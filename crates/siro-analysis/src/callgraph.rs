@@ -1,0 +1,157 @@
+//! Call graphs with type-based indirect-call resolution — the
+//! "function pointer analysis" substrate the paper's kernel bug detector
+//! builds on (its reference [67] is MLTA-style indirect-call refinement).
+
+use std::collections::{BTreeSet, HashMap};
+
+use siro_ir::{FuncId, Module, Opcode, Type, TypeId, ValueRef};
+
+/// The call graph of a module.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct and (resolved) indirect callees per function.
+    edges: HashMap<FuncId, BTreeSet<FuncId>>,
+    /// Address-taken functions (candidates for indirect calls).
+    address_taken: BTreeSet<FuncId>,
+}
+
+impl CallGraph {
+    /// Builds the call graph: direct edges from `call`/`invoke`/`callbr`
+    /// callees; indirect call sites resolve to every address-taken function
+    /// with a matching signature (ret type + arity).
+    pub fn build(module: &Module) -> Self {
+        let mut address_taken = BTreeSet::new();
+        for f in module.func_ids() {
+            let func = module.func(f);
+            for inst in &func.insts {
+                // A function used anywhere except as a direct callee is
+                // address-taken.
+                for (i, op) in inst.operands.iter().enumerate() {
+                    if let ValueRef::Func(g) = op {
+                        let is_direct_callee = i == 0
+                            && matches!(
+                                inst.opcode,
+                                Opcode::Call | Opcode::Invoke | Opcode::CallBr
+                            );
+                        if !is_direct_callee {
+                            address_taken.insert(*g);
+                        }
+                    }
+                }
+            }
+        }
+        let mut edges: HashMap<FuncId, BTreeSet<FuncId>> = HashMap::new();
+        for f in module.func_ids() {
+            let func = module.func(f);
+            let entry = edges.entry(f).or_default();
+            for inst in &func.insts {
+                if !matches!(inst.opcode, Opcode::Call | Opcode::Invoke | Opcode::CallBr) {
+                    continue;
+                }
+                match inst.callee() {
+                    Some(ValueRef::Func(g)) => {
+                        entry.insert(g);
+                    }
+                    Some(ValueRef::InlineAsm(_)) | None => {}
+                    Some(_) => {
+                        // Indirect: resolve by type signature.
+                        let argc = inst.call_args().len();
+                        for g in &address_taken {
+                            let callee = module.func(*g);
+                            if callee.params.len() == argc
+                                && same_type_shape(module, callee.ret_ty, inst.ty)
+                            {
+                                entry.insert(*g);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph {
+            edges,
+            address_taken,
+        }
+    }
+
+    /// Callees of `f`.
+    pub fn callees(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.edges.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Whether `f` is address-taken.
+    pub fn is_address_taken(&self, f: FuncId) -> bool {
+        self.address_taken.contains(&f)
+    }
+
+    /// Functions transitively reachable from `root` (including it).
+    pub fn reachable_from(&self, root: FuncId) -> BTreeSet<FuncId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(f) = stack.pop() {
+            if seen.insert(f) {
+                stack.extend(self.callees(f));
+            }
+        }
+        seen
+    }
+}
+
+/// Structural type comparison good enough for signature matching (both type
+/// ids live in the same module table here, so id equality would suffice;
+/// kept structural for robustness across merged modules).
+fn same_type_shape(module: &Module, a: TypeId, b: TypeId) -> bool {
+    if a == b {
+        return true;
+    }
+    matches!(
+        (module.types.get(a), module.types.get(b)),
+        (Type::Int(x), Type::Int(y)) if x == y
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{FuncBuilder, IrVersion};
+
+    #[test]
+    fn direct_and_indirect_edges() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        // Two candidate targets with the same signature.
+        let t1 = FuncBuilder::define(&mut m, "t1", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, t1);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        b.ret(Some(ValueRef::const_int(i32t, 1)));
+        let t2 = FuncBuilder::define(&mut m, "t2", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, t2);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        b.ret(Some(ValueRef::const_int(i32t, 2)));
+        // Caller stores t1 (address-taken) and calls through a pointer.
+        let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, main);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let fnty = b.module().types.func(i32t, vec![]);
+        let pfn = b.module().types.ptr(fnty);
+        let slot = b.alloca(pfn);
+        b.store(ValueRef::Func(t1), slot);
+        let fp = b.load(pfn, slot);
+        let r1 = b.call(i32t, fp, vec![]);
+        let r2 = b.call(i32t, ValueRef::Func(t2), vec![]);
+        let s = b.add(r1, r2);
+        b.ret(Some(s));
+        let cg = CallGraph::build(&m);
+        assert!(cg.is_address_taken(t1));
+        assert!(!cg.is_address_taken(t2));
+        let callees: Vec<FuncId> = cg.callees(main).collect();
+        // Direct edge to t2 and type-resolved indirect edge to t1.
+        assert!(callees.contains(&t1));
+        assert!(callees.contains(&t2));
+        let reach = cg.reachable_from(main);
+        assert!(reach.contains(&t1) && reach.contains(&t2) && reach.contains(&main));
+    }
+}

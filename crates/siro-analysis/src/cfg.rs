@@ -1,0 +1,165 @@
+//! Control-flow graphs over IR functions.
+
+use std::collections::VecDeque;
+
+use siro_ir::{BlockId, Function};
+
+/// Predecessor/successor structure of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block (by index).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block (by index).
+    pub preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func` from its terminators.
+    pub fn build(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            if let Some(term) = func.terminator(b) {
+                for s in term.successors() {
+                    succs[b.0 as usize].push(s);
+                    preds[s.0 as usize].push(b);
+                }
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Predecessors of `b`.
+    pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Blocks in reverse post-order from the entry.
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS computing post-order.
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succ = self.successors(b);
+            if *i < succ.len() {
+                let s = succ[*i];
+                *i += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Whether `to` is reachable from `from` (following successor edges;
+    /// `from` reaches itself).
+    pub fn reachable(&self, from: BlockId, to: BlockId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut q = VecDeque::new();
+        seen[from.0 as usize] = true;
+        q.push_back(from);
+        while let Some(b) = q.pop_front() {
+            for &s in self.successors(b) {
+                if s == to {
+                    return true;
+                }
+                if !seen[s.0 as usize] {
+                    seen[s.0 as usize] = true;
+                    q.push_back(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{FuncBuilder, IntPredicate, IrVersion, Module, ValueRef};
+
+    fn diamond() -> (Module, siro_ir::FuncId) {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "f", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let t = b.add_block("then");
+        let el = b.add_block("else");
+        let x = b.add_block("exit");
+        b.position_at_end(e);
+        let c = b.icmp(
+            IntPredicate::Slt,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 2),
+        );
+        b.cond_br(c, t, el);
+        b.position_at_end(t);
+        b.br(x);
+        b.position_at_end(el);
+        b.br(x);
+        b.position_at_end(x);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+        (m, f)
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let (m, f) = diamond();
+        let cfg = Cfg::build(m.func(f));
+        assert_eq!(cfg.successors(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.predecessors(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert!(cfg.successors(BlockId(3)).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (m, f) = diamond();
+        let cfg = Cfg::build(m.func(f));
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn reachability() {
+        let (m, f) = diamond();
+        let cfg = Cfg::build(m.func(f));
+        assert!(cfg.reachable(BlockId(0), BlockId(3)));
+        assert!(cfg.reachable(BlockId(1), BlockId(3)));
+        assert!(!cfg.reachable(BlockId(1), BlockId(2)));
+        assert!(cfg.reachable(BlockId(2), BlockId(2)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Dominator trees (Cooper–Harvey–Kennedy "a simple, fast dominance
+//! algorithm") — one of the representative built-in analyses the paper's
+//! §6.1 study tracks across LLVM versions.
+
+use siro_ir::BlockId;
+
+use crate::cfg::Cfg;
+
+/// The dominator tree of one function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block (entry's idom is itself); `None` for
+    /// unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse post-order index per block.
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes dominators over `cfg`.
+    pub fn build(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let rpo = cfg.reverse_post_order();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree { idom, rpo_index };
+        }
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.predecessors(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b.0 as usize] != new_idom {
+                    idom[b.0 as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, rpo_index }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let d = self.idom[b.0 as usize]?;
+        if d == b {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.0 as usize].is_some()
+    }
+
+    /// The reverse post-order index of a block (used as a cheap topological
+    /// position).
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.0 as usize];
+        if i == usize::MAX {
+            None
+        } else {
+            Some(i)
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed block");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed block");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{FuncBuilder, IntPredicate, IrVersion, Module, ValueRef};
+
+    /// entry -> {then, else} -> merge -> exit, with a loop merge -> then.
+    fn build() -> (Cfg, ()) {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "f", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let t = b.add_block("then");
+        let el = b.add_block("else");
+        let mg = b.add_block("merge");
+        let x = b.add_block("exit");
+        b.position_at_end(e);
+        let c = b.icmp(
+            IntPredicate::Slt,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 2),
+        );
+        b.cond_br(c, t, el);
+        b.position_at_end(t);
+        b.br(mg);
+        b.position_at_end(el);
+        b.br(mg);
+        b.position_at_end(mg);
+        b.cond_br(c, t, x);
+        b.position_at_end(x);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+        (Cfg::build(m.func(f)), ())
+    }
+
+    #[test]
+    fn idoms_of_diamond_with_loop() {
+        let (cfg, ()) = build();
+        let dom = DomTree::build(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0))); // then: entry or merge preds
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(3)));
+        assert!(dom.dominates(BlockId(0), BlockId(4)));
+        assert!(dom.dominates(BlockId(3), BlockId(4)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "f", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let dead = b.add_block("dead");
+        b.position_at_end(e);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+        b.position_at_end(dead);
+        b.ret(Some(ValueRef::const_int(i32t, 1)));
+        let cfg = Cfg::build(m.func(f));
+        let dom = DomTree::build(&cfg);
+        assert!(dom.is_reachable(e));
+        assert!(!dom.is_reachable(dead));
+    }
+}

@@ -1,0 +1,31 @@
+//! # siro-analysis — the static-analysis client substrate
+//!
+//! The paper evaluates Siro by feeding translated IR to an existing
+//! value-flow bug detector (Pinpoint, §6.3). This crate is that detector's
+//! reproduction:
+//!
+//! * [`cfg`] / [`dom`] — control-flow graphs and dominator trees (also two
+//!   of the "representative built-in analyses" tracked by the §6.1 study);
+//! * [`taint`] — sparse SSA value-flow closures (deliberately opaque
+//!   through memory, which is what makes differently-shaped IR of the same
+//!   program yield overlapping-but-distinct reports);
+//! * [`detect`] — the NPD / UAF / FDL / ML detectors of Tab. 4;
+//! * [`report`] — bug traces and the new/miss/shared diffing methodology;
+//! * [`callgraph`] — type-based indirect-call resolution (the function
+//!   pointer analysis the kernel client builds on).
+
+#![warn(missing_docs)]
+
+pub mod callgraph;
+pub mod cfg;
+pub mod detect;
+pub mod dom;
+pub mod report;
+pub mod taint;
+
+pub use callgraph::CallGraph;
+pub use cfg::Cfg;
+pub use detect::analyze_module;
+pub use dom::DomTree;
+pub use report::{BugKind, BugReport, ReportDiff, TraceStep};
+pub use taint::FlowSet;

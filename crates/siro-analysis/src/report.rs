@@ -1,0 +1,201 @@
+//! Bug reports and the report-diffing used by the Tab. 4 methodology: two
+//! reports denote the same bug when every step matches by function,
+//! source-location label, and description.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The four bug classes of Tab. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BugKind {
+    /// Null pointer dereference.
+    Npd,
+    /// Use after free.
+    Uaf,
+    /// File-descriptor leak.
+    Fdl,
+    /// Memory leak.
+    Ml,
+}
+
+impl BugKind {
+    /// All kinds, in Tab. 4 column order.
+    pub const ALL: [BugKind; 4] = [BugKind::Npd, BugKind::Uaf, BugKind::Fdl, BugKind::Ml];
+
+    /// The short name used in the paper's table.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            BugKind::Npd => "NPD",
+            BugKind::Uaf => "UAF",
+            BugKind::Fdl => "FDL",
+            BugKind::Ml => "ML",
+        }
+    }
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// One step of a bug trace (source, intermediate flows, sink).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Enclosing function.
+    pub func: String,
+    /// Source-location label (instruction name; survives compilation and
+    /// translation like debug line info).
+    pub label: String,
+    /// Human-readable description.
+    pub desc: String,
+}
+
+/// A reported bug.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BugReport {
+    /// Bug class.
+    pub kind: BugKind,
+    /// The trace from source to sink.
+    pub steps: Vec<TraceStep>,
+}
+
+impl BugReport {
+    /// The identity used for cross-setting comparison: the full trace.
+    pub fn key(&self) -> (BugKind, Vec<(String, String, String)>) {
+        (
+            self.kind,
+            self.steps
+                .iter()
+                .map(|s| (s.func.clone(), s.label.clone(), s.desc.clone()))
+                .collect(),
+        )
+    }
+
+    /// The sink step (last trace entry).
+    pub fn sink(&self) -> &TraceStep {
+        self.steps.last().expect("report without steps")
+    }
+}
+
+/// The outcome of comparing reports from two settings (paper columns of
+/// Tab. 4): `new` are only in the *translating* setting, `missing` only in
+/// the *compiling* setting, `shared` in both.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReportDiff {
+    /// Reported only by the translating setting.
+    pub new: Vec<BugReport>,
+    /// Reported only by the compiling setting.
+    pub missing: Vec<BugReport>,
+    /// Reported by both.
+    pub shared: Vec<BugReport>,
+}
+
+impl ReportDiff {
+    /// Diffs `translating` against `compiling`.
+    pub fn compare(translating: &[BugReport], compiling: &[BugReport]) -> Self {
+        let tk: BTreeSet<_> = translating.iter().map(BugReport::key).collect();
+        let ck: BTreeSet<_> = compiling.iter().map(BugReport::key).collect();
+        let mut diff = ReportDiff::default();
+        for r in translating {
+            if ck.contains(&r.key()) {
+                diff.shared.push(r.clone());
+            } else {
+                diff.new.push(r.clone());
+            }
+        }
+        for r in compiling {
+            if !tk.contains(&r.key()) {
+                diff.missing.push(r.clone());
+            }
+        }
+        diff
+    }
+
+    /// `(new, missing, shared)` counts restricted to one bug kind.
+    pub fn counts_for(&self, kind: BugKind) -> (usize, usize, usize) {
+        let count = |v: &[BugReport]| v.iter().filter(|r| r.kind == kind).count();
+        (
+            count(&self.new),
+            count(&self.missing),
+            count(&self.shared),
+        )
+    }
+
+    /// The overlap accuracy the paper reports: `shared / (shared + new)`
+    /// over all kinds, i.e. how many of the translating setting's reports
+    /// the compiling setting confirms.
+    pub fn overlap_ratio(&self) -> f64 {
+        let s = self.shared.len() as f64;
+        let n = self.new.len() as f64;
+        if s + n == 0.0 {
+            1.0
+        } else {
+            s / (s + n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(kind: BugKind, func: &str, label: &str) -> BugReport {
+        BugReport {
+            kind,
+            steps: vec![TraceStep {
+                func: func.into(),
+                label: label.into(),
+                desc: "sink".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn diff_classifies_new_missing_shared() {
+        let translating = vec![
+            report(BugKind::Npd, "f", "l1"),
+            report(BugKind::Npd, "f", "l2"),
+            report(BugKind::Ml, "g", "l3"),
+        ];
+        let compiling = vec![
+            report(BugKind::Npd, "f", "l1"),
+            report(BugKind::Uaf, "h", "l9"),
+        ];
+        let d = ReportDiff::compare(&translating, &compiling);
+        assert_eq!(d.shared.len(), 1);
+        assert_eq!(d.new.len(), 2);
+        assert_eq!(d.missing.len(), 1);
+        assert_eq!(d.counts_for(BugKind::Npd), (1, 0, 1));
+        assert_eq!(d.counts_for(BugKind::Uaf), (0, 1, 0));
+        assert_eq!(d.counts_for(BugKind::Ml), (1, 0, 0));
+    }
+
+    #[test]
+    fn traces_must_match_fully() {
+        let mut a = report(BugKind::Npd, "f", "l1");
+        a.steps.insert(
+            0,
+            TraceStep {
+                func: "f".into(),
+                label: "src".into(),
+                desc: "null born here".into(),
+            },
+        );
+        let b = report(BugKind::Npd, "f", "l1");
+        let d = ReportDiff::compare(&[a], &[b]);
+        assert!(d.shared.is_empty());
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.missing.len(), 1);
+    }
+
+    #[test]
+    fn overlap_ratio() {
+        let t = vec![report(BugKind::Npd, "f", "a"), report(BugKind::Npd, "f", "b")];
+        let c = vec![report(BugKind::Npd, "f", "a")];
+        let d = ReportDiff::compare(&t, &c);
+        assert!((d.overlap_ratio() - 0.5).abs() < 1e-9);
+    }
+}

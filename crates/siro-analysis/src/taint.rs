@@ -1,0 +1,210 @@
+//! Sparse value-flow closure over SSA values — the core of the
+//! Pinpoint-style detectors.
+//!
+//! The closure follows *value-preserving* instructions (`phi`, `select`,
+//! casts, `getelementptr`, `freeze`) and deliberately does **not** track
+//! flow through memory (`store`/`load`): that opacity is exactly what makes
+//! analyses report different bugs on differently-shaped IR of the same
+//! program (the new/miss dynamics of Tab. 4).
+
+use std::collections::HashSet;
+
+use siro_ir::{Function, InstId, Opcode, ValueRef};
+
+/// Opcodes that forward their operand value to their result.
+pub fn is_value_preserving(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Phi
+            | Opcode::Select
+            | Opcode::BitCast
+            | Opcode::AddrSpaceCast
+            | Opcode::GetElementPtr
+            | Opcode::Freeze
+            | Opcode::PtrToInt
+            | Opcode::IntToPtr
+    )
+}
+
+/// The forward value-flow closure of a seed set inside one function.
+#[derive(Debug, Clone)]
+pub struct FlowSet {
+    values: HashSet<ValueRef>,
+}
+
+impl FlowSet {
+    /// Computes the closure of `seeds` in `func`.
+    pub fn forward(func: &Function, seeds: impl IntoIterator<Item = ValueRef>) -> Self {
+        let mut values: HashSet<ValueRef> = seeds.into_iter().collect();
+        let live: Vec<InstId> = func
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().copied())
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &iid in &live {
+                let inst = func.inst(iid);
+                let out = ValueRef::Inst(iid);
+                if values.contains(&out) || !is_value_preserving(inst.opcode) {
+                    continue;
+                }
+                // `select` forwards only its data operands, not the
+                // condition; `phi` skips the incoming block labels.
+                let data_operands: Vec<ValueRef> = match inst.opcode {
+                    Opcode::Select => inst.operands[1..].to_vec(),
+                    Opcode::Phi => inst
+                        .phi_incoming()
+                        .into_iter()
+                        .map(|(v, _)| v)
+                        .collect(),
+                    Opcode::GetElementPtr => vec![inst.operands[0]],
+                    _ => inst.operands.clone(),
+                };
+                if data_operands.iter().any(|v| values.contains(v)) {
+                    values.insert(out);
+                    changed = true;
+                }
+            }
+        }
+        FlowSet { values }
+    }
+
+    /// Whether `v` is in the closure.
+    pub fn contains(&self, v: ValueRef) -> bool {
+        self.values.contains(&v)
+    }
+
+    /// Number of values in the closure.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the closure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over the closure.
+    pub fn iter(&self) -> impl Iterator<Item = &ValueRef> {
+        self.values.iter()
+    }
+}
+
+/// All `Null` constants appearing as operands anywhere in `func`.
+pub fn null_seeds(func: &Function) -> Vec<ValueRef> {
+    let mut out = Vec::new();
+    for block in &func.blocks {
+        for inst in block.insts.iter().map(|&i| func.inst(i)) {
+        for &op in &inst.operands {
+            if matches!(op, ValueRef::Null(_)) && !out.contains(&op) {
+                out.push(op);
+            }
+        }
+        }
+    }
+    out
+}
+
+/// Instruction indices of direct calls to the named external function.
+pub fn calls_to<'f>(
+    module: &siro_ir::Module,
+    func: &'f Function,
+    callee_name: &str,
+) -> Vec<(InstId, &'f siro_ir::Instruction)> {
+    let mut out = Vec::new();
+    for block in &func.blocks {
+        for &iid in &block.insts {
+            let inst = func.inst(iid);
+            if inst.opcode != Opcode::Call {
+                continue;
+            }
+            if let Some(ValueRef::Func(f)) = inst.callee() {
+                if module.func(f).name == callee_name {
+                    out.push((iid, inst));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{FuncBuilder, IrVersion, Module};
+
+    #[test]
+    fn closure_follows_casts_and_gep_but_not_memory() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let i64t = m.types.i64();
+        let p32 = m.types.ptr(i32t);
+        let f = FuncBuilder::define(&mut m, "f", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let null = ValueRef::Null(p32);
+        let g = b.gep(i32t, null, vec![ValueRef::const_int(i64t, 1)], p32);
+        let slot = b.alloca(p32);
+        b.store(g, slot);
+        let reloaded = b.load(p32, slot);
+        let v = b.load(i32t, g);
+        b.ret(Some(v));
+        let func = m.func(f);
+        let flow = FlowSet::forward(func, null_seeds(func));
+        assert!(flow.contains(null));
+        assert!(flow.contains(g), "gep forwards the base");
+        assert!(!flow.contains(reloaded), "memory is opaque");
+    }
+
+    #[test]
+    fn phi_and_select_forward_data_only() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let p32 = m.types.ptr(i32t);
+        let i1 = m.types.i1();
+        let f = FuncBuilder::define(&mut m, "f", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let null = ValueRef::Null(p32);
+        let other = b.alloca(i32t);
+        let cond = ValueRef::const_int(i1, 1);
+        let sel = b.select(cond, null, other);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+        let func = m.func(f);
+        let flow = FlowSet::forward(func, [null]);
+        assert!(flow.contains(sel));
+        // The condition does not become tainted by being an operand.
+        let flow2 = FlowSet::forward(func, [cond]);
+        assert!(!flow2.contains(sel));
+    }
+
+    #[test]
+    fn calls_to_finds_externals() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let i8t = m.types.i8();
+        let p8 = m.types.ptr(i8t);
+        let i64t = m.types.i64();
+        let malloc = m.add_func(siro_ir::Function::external(
+            "malloc",
+            p8,
+            vec![siro_ir::Param {
+                name: "n".into(),
+                ty: i64t,
+            }],
+        ));
+        let f = FuncBuilder::define(&mut m, "f", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        b.call(p8, ValueRef::Func(malloc), vec![ValueRef::const_int(i64t, 8)]);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+        let func = m.func(f);
+        assert_eq!(calls_to(&m, func, "malloc").len(), 1);
+        assert_eq!(calls_to(&m, func, "free").len(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Detector scenarios over realistic multi-function modules, plus the
+//! analyzer-on-translated-IR invariant that underpins the whole paper.
+
+use siro_analysis::{analyze_module, BugKind, CallGraph};
+use siro_core::{ReferenceTranslator, Skeleton};
+use siro_ir::IrVersion;
+
+#[test]
+fn analyzer_reports_are_stable_under_translation() {
+    // The central promise: running the analyzer on translated IR yields
+    // the same reports as on the original, for every workload project.
+    let skel = Skeleton::new(IrVersion::V3_6);
+    for spec in siro_workloads::table4_projects() {
+        let m = siro_workloads::compile_project(
+            &spec,
+            siro_workloads::Frontend::High,
+            IrVersion::V12_0,
+        );
+        let before = analyze_module(&m);
+        let t = skel.translate_module(&m, &ReferenceTranslator).unwrap();
+        let after = analyze_module(&t);
+        let key = |r: &siro_analysis::BugReport| r.key();
+        let mut a: Vec<_> = before.iter().map(key).collect();
+        let mut b: Vec<_> = after.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{}", spec.name);
+    }
+}
+
+#[test]
+fn per_kind_totals_follow_the_census() {
+    // Independent of the diff methodology: the absolute report counts on
+    // each setting follow the generator's plan.
+    let spec = siro_workloads::table4_projects()
+        .into_iter()
+        .find(|p| p.name == "tmux")
+        .unwrap();
+    let low = siro_workloads::compile_project(
+        &spec,
+        siro_workloads::Frontend::Low,
+        IrVersion::V3_6,
+    );
+    let reports = analyze_module(&low);
+    let count = |k: BugKind| reports.iter().filter(|r| r.kind == k).count();
+    // Low setting sees shared + miss instances.
+    assert_eq!(count(BugKind::Npd), 85); // 85 shared (new invisible in low)
+    assert_eq!(count(BugKind::Uaf), 14 + 3);
+    assert_eq!(count(BugKind::Ml), 105 + 5);
+    let high = siro_workloads::compile_project(
+        &spec,
+        siro_workloads::Frontend::High,
+        IrVersion::V12_0,
+    );
+    let reports = analyze_module(&high);
+    let count = |k: BugKind| reports.iter().filter(|r| r.kind == k).count();
+    // High setting sees shared + new instances.
+    assert_eq!(count(BugKind::Npd), 85 + 2);
+    assert_eq!(count(BugKind::Uaf), 14);
+    assert_eq!(count(BugKind::Ml), 105 + 9);
+}
+
+#[test]
+fn callgraph_scales_to_kernel_modules() {
+    let build = &siro_kernel::kernel_builds()[0];
+    let m = siro_kernel::build_kernel(build);
+    let cg = CallGraph::build(&m);
+    // Every defined driver function calls at least one external.
+    let mut with_callees = 0;
+    for f in m.func_ids() {
+        if m.func(f).is_external {
+            continue;
+        }
+        if cg.callees(f).next().is_some() {
+            with_callees += 1;
+        }
+    }
+    assert!(with_callees > 100, "only {with_callees} callers");
+}
+
+#[test]
+fn benign_filler_produces_no_reports() {
+    // A plan with zero bugs must analyze clean in both settings.
+    let spec = siro_workloads::table4_projects()
+        .into_iter()
+        .find(|p| p.name == "pbzip")
+        .unwrap();
+    for fe in [siro_workloads::Frontend::Low, siro_workloads::Frontend::High] {
+        let m = siro_workloads::compile_project(&spec, fe, IrVersion::V12_0);
+        let reports = analyze_module(&m);
+        assert!(reports.is_empty(), "{fe:?}: {reports:?}");
+    }
+}

@@ -1,0 +1,488 @@
+//! The translation context: the state shared between the translation
+//! skeleton and the API components while one module is being translated.
+//!
+//! It owns the target module under construction and the correspondence maps
+//! between source and target IR entities. Forward references are handled
+//! with placeholder values exactly as §5 ("Handling IR Value Dependence")
+//! describes: an untranslated operand yields a [`ValueRef::Placeholder`],
+//! and once the operand is translated every use is patched.
+
+use std::collections::HashMap;
+
+use siro_ir::{
+    BlockId, FuncId, Function, Global, GlobalId, InlineAsm, Instruction, InstId, IrVersion,
+    Module, Param, Type, TypeId, TypeTable, ValueRef,
+};
+
+use crate::error::{ApiError, ApiResult};
+
+/// Mutable translation state threaded through every API component.
+#[derive(Debug)]
+pub struct TranslationCtx<'s> {
+    /// The source module (read-only).
+    pub src: &'s Module,
+    /// A mutable scratch copy of the source type table. It starts as an
+    /// exact clone (so every source [`TypeId`] stays valid) and lets getters
+    /// intern *new* source-side types (e.g. the callee function type
+    /// required by post-9.0 builders, Fig. 13).
+    pub src_types: TypeTable,
+    /// The target module being built.
+    pub tgt: Module,
+    src_func: Option<FuncId>,
+    tgt_func: Option<FuncId>,
+    cur_block: Option<BlockId>,
+    // Module-level maps.
+    func_map: HashMap<FuncId, FuncId>,
+    global_map: HashMap<GlobalId, GlobalId>,
+    asm_map: HashMap<siro_ir::AsmId, siro_ir::AsmId>,
+    type_cache: HashMap<TypeId, TypeId>,
+    // Per-function maps (cleared by `begin_function`).
+    value_map: HashMap<InstId, ValueRef>,
+    block_map: HashMap<BlockId, BlockId>,
+    pending: HashMap<InstId, u32>,
+    placeholder_types: HashMap<u32, TypeId>,
+    next_placeholder: u32,
+    warnings: Vec<String>,
+}
+
+impl<'s> TranslationCtx<'s> {
+    /// Starts a translation of `src` into a fresh module of
+    /// `target_version`.
+    pub fn new(src: &'s Module, target_version: IrVersion) -> Self {
+        TranslationCtx {
+            src,
+            src_types: src.types.clone(),
+            tgt: Module::new(src.name.clone(), target_version),
+            src_func: None,
+            tgt_func: None,
+            cur_block: None,
+            func_map: HashMap::new(),
+            global_map: HashMap::new(),
+            asm_map: HashMap::new(),
+            type_cache: HashMap::new(),
+            value_map: HashMap::new(),
+            block_map: HashMap::new(),
+            pending: HashMap::new(),
+            placeholder_types: HashMap::new(),
+            next_placeholder: 0,
+            warnings: Vec::new(),
+        }
+    }
+
+    /// The source function currently being translated.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Missing`] outside of a function translation.
+    pub fn src_func(&self) -> ApiResult<&Function> {
+        self.src_func
+            .map(|f| self.src.func(f))
+            .ok_or_else(|| ApiError::Missing("no current source function".into()))
+    }
+
+    /// Id of the current source function.
+    pub fn src_func_id(&self) -> Option<FuncId> {
+        self.src_func
+    }
+
+    /// Id of the current target function.
+    pub fn tgt_func_id(&self) -> Option<FuncId> {
+        self.tgt_func
+    }
+
+    /// Warnings accumulated so far (e.g. unseen predicates).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Records a warning.
+    pub fn warn(&mut self, msg: impl Into<String>) {
+        self.warnings.push(msg.into());
+    }
+
+    /// Consumes the context and yields the built target module.
+    pub fn finish(self) -> Module {
+        self.tgt
+    }
+
+    // ---- Module-level registration (used by the skeleton) ----------------
+
+    /// Registers the target counterpart of a source function.
+    pub fn map_func(&mut self, src: FuncId, tgt: FuncId) {
+        self.func_map.insert(src, tgt);
+    }
+
+    /// Registers the target counterpart of a source global.
+    pub fn map_global(&mut self, src: GlobalId, tgt: GlobalId) {
+        self.global_map.insert(src, tgt);
+    }
+
+    /// Enters a new function: clears per-function maps and sets the current
+    /// source/target pair.
+    pub fn begin_function(&mut self, src: FuncId, tgt: FuncId) {
+        self.src_func = Some(src);
+        self.tgt_func = Some(tgt);
+        self.cur_block = None;
+        self.value_map.clear();
+        self.block_map.clear();
+        self.pending.clear();
+        self.placeholder_types.clear();
+    }
+
+    /// Registers the target counterpart of a source block in the current
+    /// function.
+    pub fn map_block(&mut self, src: BlockId, tgt: BlockId) {
+        self.block_map.insert(src, tgt);
+    }
+
+    /// Sets the builder insertion point in the target function.
+    pub fn set_insertion(&mut self, block: BlockId) {
+        self.cur_block = Some(block);
+    }
+
+    /// Records that source instruction `src` translated to target value
+    /// `tgt`, patching any placeholders created by earlier forward
+    /// references.
+    pub fn note_translated(&mut self, src: InstId, tgt: ValueRef) -> ApiResult<()> {
+        self.value_map.insert(src, tgt);
+        if let Some(key) = self.pending.remove(&src) {
+            let f = self
+                .tgt_func
+                .ok_or_else(|| ApiError::Missing("no target function".into()))?;
+            self.tgt.func_mut(f).replace_placeholder(key, tgt);
+        }
+        Ok(())
+    }
+
+    /// Whether forward references remain unresolved (must be empty at the
+    /// end of a function).
+    pub fn unresolved_placeholders(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Appends `inst` at the insertion point, returning its value.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Missing`] without a target function or insertion point.
+    pub fn build(&mut self, inst: Instruction) -> ApiResult<ValueRef> {
+        let f = self
+            .tgt_func
+            .ok_or_else(|| ApiError::Missing("no target function".into()))?;
+        let b = self
+            .cur_block
+            .ok_or_else(|| ApiError::Missing("no insertion point".into()))?;
+        Ok(ValueRef::Inst(self.tgt.func_mut(f).push_inst(b, inst)))
+    }
+
+    // ---- Operand translators (Tab. 2's skeleton interfaces) ---------------
+
+    /// Translates a source type to the target table, structurally.
+    pub fn translate_type(&mut self, src_ty: TypeId) -> TypeId {
+        if let Some(&t) = self.type_cache.get(&src_ty) {
+            return t;
+        }
+        let ty = self.src_types.get(src_ty).clone();
+        let mapped = match ty {
+            Type::Void => self.tgt.types.void(),
+            Type::Int(b) => self.tgt.types.int(b),
+            Type::F32 => self.tgt.types.f32(),
+            Type::F64 => self.tgt.types.f64(),
+            Type::Label => self.tgt.types.label(),
+            Type::Token => self.tgt.types.token(),
+            Type::Ptr {
+                pointee,
+                addr_space,
+            } => {
+                let p = self.translate_type(pointee);
+                self.tgt.types.ptr_in(p, addr_space)
+            }
+            Type::Array { elem, len } => {
+                let e = self.translate_type(elem);
+                self.tgt.types.array(e, len)
+            }
+            Type::Vector { elem, len } => {
+                let e = self.translate_type(elem);
+                self.tgt.types.vector(e, len)
+            }
+            Type::Struct { fields } => {
+                let fs: Vec<TypeId> = fields.iter().map(|&f| self.translate_type(f)).collect();
+                self.tgt.types.struct_(fs)
+            }
+            Type::Func {
+                ret,
+                params,
+                varargs,
+            } => {
+                let r = self.translate_type(ret);
+                let ps: Vec<TypeId> = params.iter().map(|&p| self.translate_type(p)).collect();
+                if varargs {
+                    self.tgt.types.func_varargs(r, ps)
+                } else {
+                    self.tgt.types.func(r, ps)
+                }
+            }
+        };
+        self.type_cache.insert(src_ty, mapped);
+        mapped
+    }
+
+    /// Translates a source block reference (current function).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Missing`] if the skeleton has not pre-created the block.
+    pub fn translate_block(&mut self, src: BlockId) -> ApiResult<BlockId> {
+        self.block_map
+            .get(&src)
+            .copied()
+            .ok_or_else(|| ApiError::Missing(format!("block {} not mapped", src.0)))
+    }
+
+    /// Translates a source function reference.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Missing`] if the skeleton has not pre-registered it.
+    pub fn translate_func(&mut self, src: FuncId) -> ApiResult<FuncId> {
+        self.func_map
+            .get(&src)
+            .copied()
+            .ok_or_else(|| ApiError::Missing(format!("function {} not mapped", src.0)))
+    }
+
+    /// Translates a source global, creating the target global on demand.
+    pub fn translate_global(&mut self, src: GlobalId) -> GlobalId {
+        if let Some(&g) = self.global_map.get(&src) {
+            return g;
+        }
+        let g = self.src.global(src).clone();
+        let ty = self.translate_type(g.ty);
+        let id = self.tgt.add_global(Global { ty, ..g });
+        self.global_map.insert(src, id);
+        id
+    }
+
+    /// Translates an inline-assembly snippet, creating it on demand.
+    pub fn translate_asm(&mut self, src: siro_ir::AsmId) -> siro_ir::AsmId {
+        if let Some(&a) = self.asm_map.get(&src) {
+            return a;
+        }
+        let a = self.src.asm(src).clone();
+        let ty = self.translate_type(a.ty);
+        let id = self.tgt.add_asm(InlineAsm { ty, ..a });
+        self.asm_map.insert(src, id);
+        id
+    }
+
+    /// Translates any source value to the target version — the
+    /// `TranslateValue` operand-translator interface of Fig. 4.
+    ///
+    /// Untranslated instruction operands produce placeholders that
+    /// [`TranslationCtx::note_translated`] later patches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ApiError::Missing`] for unmapped blocks/functions.
+    pub fn translate_value(&mut self, v: ValueRef) -> ApiResult<ValueRef> {
+        Ok(match v {
+            ValueRef::Inst(i) => {
+                if let Some(&t) = self.value_map.get(&i) {
+                    t
+                } else {
+                    let key = match self.pending.get(&i) {
+                        Some(&k) => k,
+                        None => {
+                            let k = self.next_placeholder;
+                            self.next_placeholder += 1;
+                            self.pending.insert(i, k);
+                            // Record the placeholder's eventual type so that
+                            // builders can infer result types through
+                            // forward references.
+                            let src_ty = self.src_func()?.inst(i).ty;
+                            let tgt_ty = self.translate_type(src_ty);
+                            self.placeholder_types.insert(k, tgt_ty);
+                            k
+                        }
+                    };
+                    ValueRef::Placeholder(key)
+                }
+            }
+            ValueRef::Arg(a) => ValueRef::Arg(a),
+            ValueRef::Global(g) => ValueRef::Global(self.translate_global(g)),
+            ValueRef::Func(f) => ValueRef::Func(self.translate_func(f)?),
+            ValueRef::Block(b) => ValueRef::Block(self.translate_block(b)?),
+            ValueRef::ConstInt { ty, value } => ValueRef::ConstInt {
+                ty: self.translate_type(ty),
+                value,
+            },
+            ValueRef::ConstFloat { ty, bits } => ValueRef::ConstFloat {
+                ty: self.translate_type(ty),
+                bits,
+            },
+            ValueRef::Null(t) => ValueRef::Null(self.translate_type(t)),
+            ValueRef::Undef(t) => ValueRef::Undef(self.translate_type(t)),
+            ValueRef::ZeroInit(t) => ValueRef::ZeroInit(self.translate_type(t)),
+            ValueRef::InlineAsm(a) => ValueRef::InlineAsm(self.translate_asm(a)),
+            ValueRef::Placeholder(_) => {
+                return Err(ApiError::Type("cannot translate a placeholder".into()))
+            }
+        })
+    }
+
+    /// The static type of a *target* value (used by builders that must
+    /// compute result types).
+    pub fn tgt_value_type(&self, v: ValueRef) -> Option<TypeId> {
+        let f = self.tgt.func(self.tgt_func?);
+        match v {
+            ValueRef::Global(g) => Some(self.tgt.global(g).ty),
+            ValueRef::Placeholder(k) => self.placeholder_types.get(&k).copied(),
+            _ => self.tgt.value_type(f, v),
+        }
+    }
+
+    /// The static type of a *source* value.
+    pub fn src_value_type(&self, v: ValueRef) -> Option<TypeId> {
+        let f = self.src.func(self.src_func?);
+        match v {
+            ValueRef::Global(g) => Some(self.src.global(g).ty),
+            _ => self.src.value_type(f, v),
+        }
+    }
+
+    /// Convenience: create a skeleton-compatible target function shell for a
+    /// source function (same name/signature, translated types).
+    pub fn clone_signature(&mut self, src_fid: FuncId) -> FuncId {
+        let f = self.src.func(src_fid);
+        let name = f.name.clone();
+        let is_external = f.is_external;
+        let varargs = f.varargs;
+        let ret = self.translate_type(f.ret_ty);
+        let params: Vec<Param> = f
+            .params
+            .clone()
+            .into_iter()
+            .map(|p| Param {
+                ty: self.translate_type(p.ty),
+                name: p.name,
+            })
+            .collect();
+        let mut nf = if is_external {
+            Function::external(name, ret, params)
+        } else {
+            Function::new(name, ret, params)
+        };
+        nf.varargs = varargs;
+        let id = self.tgt.add_func(nf);
+        self.func_map.insert(src_fid, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{FuncBuilder, Opcode};
+
+    fn src_module() -> Module {
+        let mut m = Module::new("src", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let v = b.add(ValueRef::const_int(i32t, 1), ValueRef::const_int(i32t, 2));
+        b.ret(Some(v));
+        m
+    }
+
+    #[test]
+    fn type_translation_is_structural_and_cached() {
+        let src = src_module();
+        let mut ctx = TranslationCtx::new(&src, IrVersion::V3_6);
+        let src_i32 = {
+            let mut t = src.types.clone();
+            t.i32()
+        };
+        let a = ctx.translate_type(src_i32);
+        let b = ctx.translate_type(src_i32);
+        assert_eq!(a, b);
+        assert!(ctx.tgt.types.is_int(a));
+    }
+
+    #[test]
+    fn placeholder_roundtrip() {
+        let src = src_module();
+        let mut ctx = TranslationCtx::new(&src, IrVersion::V3_6);
+        let sfid = src.func_by_name("main").unwrap();
+        let tfid = ctx.clone_signature(sfid);
+        ctx.begin_function(sfid, tfid);
+        let tb = ctx.tgt.func_mut(tfid).add_block("entry");
+        ctx.map_block(BlockId(0), tb);
+        ctx.set_insertion(tb);
+        // Forward-reference instruction 0 before translating it.
+        let ph = ctx.translate_value(ValueRef::Inst(InstId(0))).unwrap();
+        assert!(matches!(ph, ValueRef::Placeholder(_)));
+        assert_eq!(ctx.unresolved_placeholders(), 1);
+        // Build an instruction using the placeholder.
+        let i32t = ctx.tgt.types.i32();
+        let built = ctx
+            .build(Instruction::new(Opcode::Add, i32t, vec![ph, ph]))
+            .unwrap();
+        // Now "translate" instruction 0 and observe the patch.
+        ctx.note_translated(InstId(0), ValueRef::const_int(i32t, 5))
+            .unwrap();
+        assert_eq!(ctx.unresolved_placeholders(), 0);
+        let f = ctx.tgt.func(tfid);
+        let built_inst = f.inst(built.as_inst().unwrap());
+        assert_eq!(built_inst.operands[0], ValueRef::const_int(i32t, 5));
+        assert_eq!(built_inst.operands[1], ValueRef::const_int(i32t, 5));
+    }
+
+    #[test]
+    fn unmapped_block_is_an_error() {
+        let src = src_module();
+        let mut ctx = TranslationCtx::new(&src, IrVersion::V3_6);
+        let e = ctx.translate_block(BlockId(7)).unwrap_err();
+        assert!(matches!(e, ApiError::Missing(_)));
+    }
+
+    #[test]
+    fn globals_created_on_demand() {
+        let mut m = src_module();
+        let i32t = m.types.i32();
+        m.add_global(Global {
+            name: "g".into(),
+            ty: i32t,
+            init: siro_ir::GlobalInit::Int(3),
+            is_const: false,
+        });
+        let mut ctx = TranslationCtx::new(&m, IrVersion::V3_6);
+        let v = ctx.translate_value(ValueRef::Global(GlobalId(0))).unwrap();
+        assert!(matches!(v, ValueRef::Global(_)));
+        assert_eq!(ctx.tgt.globals.len(), 1);
+        // Second translation reuses the mapping.
+        let _ = ctx.translate_value(ValueRef::Global(GlobalId(0))).unwrap();
+        assert_eq!(ctx.tgt.globals.len(), 1);
+    }
+
+    #[test]
+    fn clone_signature_translates_params() {
+        let mut m = Module::new("src", IrVersion::V13_0);
+        let i64t = m.types.i64();
+        let p = m.types.ptr(i64t);
+        let f = m.add_func(Function::new(
+            "f",
+            i64t,
+            vec![Param {
+                name: "x".into(),
+                ty: p,
+            }],
+        ));
+        let mut ctx = TranslationCtx::new(&m, IrVersion::V3_0);
+        let t = ctx.clone_signature(f);
+        let tf = ctx.tgt.func(t);
+        assert_eq!(tf.name, "f");
+        assert!(ctx.tgt.types.is_ptr(tf.params[0].ty));
+    }
+}

@@ -1,0 +1,286 @@
+//! Atomic-translator programs: candidate translators as *data*.
+//!
+//! An [`ApiProgram`] is a straight-line composition of API components — the
+//! λ of Def. 3.1. Representing candidates as data (instead of closures) is
+//! what makes the rest of the paper's machinery implementable: the type
+//! graph inspects signatures, enumeration composes per-test translators from
+//! candidate lists, Optimization I merges structurally equivalent programs,
+//! and skeleton completion renders the surviving programs as source code
+//! (Figs. 4/9/11/13).
+
+use std::fmt::Write as _;
+
+use siro_ir::{InstId, Opcode};
+
+use crate::ctx::TranslationCtx;
+use crate::error::{ApiError, ApiResult};
+use crate::registry::{ApiId, ApiRegistry};
+use crate::value::{ApiType, ApiValue, Side};
+
+/// An argument slot of one program step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// The source instruction being translated.
+    Input,
+    /// The result of an earlier step.
+    Step(usize),
+}
+
+/// One API call within a program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApiCall {
+    /// The component to invoke.
+    pub api: ApiId,
+    /// Argument slots, one per parameter.
+    pub args: Vec<Reg>,
+}
+
+/// A candidate atomic translator λ for one instruction kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApiProgram {
+    /// The instruction kind this program translates.
+    pub kind: Opcode,
+    /// The steps, executed in order; the last step's result is the
+    /// translated instruction.
+    pub steps: Vec<ApiCall>,
+}
+
+impl ApiProgram {
+    /// Executes the program on one source instruction, appending the
+    /// translated instruction at the context's insertion point and returning
+    /// its value.
+    ///
+    /// # Errors
+    ///
+    /// Any component failure aborts the program (translation failure of this
+    /// candidate for this instruction).
+    pub fn run(
+        &self,
+        reg: &ApiRegistry,
+        ctx: &mut TranslationCtx<'_>,
+        inst: InstId,
+    ) -> ApiResult<siro_ir::ValueRef> {
+        let mut results: Vec<ApiValue> = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let args: Vec<ApiValue> = step
+                .args
+                .iter()
+                .map(|r| match r {
+                    Reg::Input => ApiValue::SrcInst(inst),
+                    Reg::Step(i) => results[*i].clone(),
+                })
+                .collect();
+            let out = reg.get(step.api).call(ctx, &args)?;
+            results.push(out);
+        }
+        match results.last() {
+            Some(ApiValue::TgtValue(v)) => Ok(*v),
+            other => Err(ApiError::Type(format!(
+                "program did not end in a target instruction: {other:?}"
+            ))),
+        }
+    }
+
+    /// The static type of step `i`'s result.
+    pub fn step_type(&self, reg: &ApiRegistry, i: usize) -> ApiType {
+        reg.get(self.steps[i].api).ret
+    }
+
+    /// Whether the program is well-typed w.r.t. the registry and consumes
+    /// the input instruction at least once (the reachability rule of
+    /// Def. 4.2).
+    pub fn well_typed(&self, reg: &ApiRegistry) -> bool {
+        let input_ty = ApiType::Inst(self.kind, Side::Source);
+        let mut uses_input = false;
+        for (i, step) in self.steps.iter().enumerate() {
+            let f = reg.get(step.api);
+            if f.params.len() != step.args.len() {
+                return false;
+            }
+            for (param, arg) in f.params.iter().zip(&step.args) {
+                let actual = match arg {
+                    Reg::Input => {
+                        uses_input = true;
+                        input_ty
+                    }
+                    Reg::Step(j) => {
+                        if *j >= i {
+                            return false;
+                        }
+                        self.step_type(reg, *j)
+                    }
+                };
+                if !param.accepts(actual) {
+                    return false;
+                }
+            }
+        }
+        let out_ok = self
+            .steps
+            .last()
+            .map(|s| reg.get(s.api).ret == ApiType::Inst(self.kind, Side::Target))
+            .unwrap_or(false);
+        // Nullary builders (`create_ret_void`, `create_unreachable`, the EH
+        // pads) legitimately consume nothing from the input instruction.
+        let nullary_root =
+            self.steps.len() == 1 && reg.get(self.steps[0].api).params.is_empty();
+        (uses_input || nullary_root) && out_ok
+    }
+
+    /// Renders the program as human-readable pseudo-Rust, in the style of
+    /// the paper's Fig. 4 listings.
+    pub fn render(&self, reg: &ApiRegistry) -> String {
+        let mut out = String::new();
+        let kind = ApiType::Inst(self.kind, Side::Source);
+        let _ = writeln!(out, "|inst: {kind}| {{");
+        for (i, step) in self.steps.iter().enumerate() {
+            let f = reg.get(step.api);
+            let args: Vec<String> = step
+                .args
+                .iter()
+                .map(|r| match r {
+                    Reg::Input => "inst".to_string(),
+                    Reg::Step(j) => format!("v{j}"),
+                })
+                .collect();
+            if i + 1 == self.steps.len() {
+                let _ = writeln!(out, "    {}({})", f.name, args.join(", "));
+            } else {
+                let _ = writeln!(out, "    let v{i} = {}({});", f.name, args.join(", "));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// A compact single-line summary, e.g.
+    /// `create_br(translate_block(get_successor(inst, 0)))`.
+    pub fn summary(&self, reg: &ApiRegistry) -> String {
+        fn expr(p: &ApiProgram, reg: &ApiRegistry, r: Reg) -> String {
+            match r {
+                Reg::Input => "inst".into(),
+                Reg::Step(i) => {
+                    let step = &p.steps[i];
+                    let f = reg.get(step.api);
+                    let args: Vec<String> = step
+                        .args
+                        .iter()
+                        .map(|&a| expr(p, reg, a))
+                        .collect();
+                    format!("{}({})", f.name, args.join(", "))
+                }
+            }
+        }
+        expr(self, reg, Reg::Step(self.steps.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::TranslationCtx;
+    use siro_ir::{FuncBuilder, IrVersion, Module, ValueRef};
+
+    /// Hand-assembles the correct `br`-unconditional translator:
+    /// `create_br(translate_block(get_successor(inst, 0)))`.
+    fn uncond_br_program(reg: &ApiRegistry) -> ApiProgram {
+        let const0 = reg.find("const_0").unwrap();
+        let get_succ = reg.find_for_kind("get_successor", Opcode::Br).unwrap();
+        let tr_block = reg.find("translate_block").unwrap();
+        let create_br = reg.find("create_br").unwrap();
+        ApiProgram {
+            kind: Opcode::Br,
+            steps: vec![
+                ApiCall {
+                    api: const0,
+                    args: vec![],
+                },
+                ApiCall {
+                    api: get_succ,
+                    args: vec![Reg::Input, Reg::Step(0)],
+                },
+                ApiCall {
+                    api: tr_block,
+                    args: vec![Reg::Step(1)],
+                },
+                ApiCall {
+                    api: create_br,
+                    args: vec![Reg::Step(2)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn hand_built_branch_translator_runs() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let x = b.add_block("exit");
+        b.position_at_end(e);
+        b.br(x);
+        b.position_at_end(x);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+
+        let reg = ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6);
+        let prog = uncond_br_program(&reg);
+        assert!(prog.well_typed(&reg));
+
+        let mut ctx = TranslationCtx::new(&m, IrVersion::V3_6);
+        let sfid = m.func_by_name("main").unwrap();
+        let tfid = ctx.clone_signature(sfid);
+        ctx.begin_function(sfid, tfid);
+        let te = ctx.tgt.func_mut(tfid).add_block("entry");
+        let tx = ctx.tgt.func_mut(tfid).add_block("exit");
+        ctx.map_block(siro_ir::BlockId(0), te);
+        ctx.map_block(siro_ir::BlockId(1), tx);
+        ctx.set_insertion(te);
+        let v = prog.run(&reg, &mut ctx, siro_ir::InstId(0)).unwrap();
+        assert!(matches!(v, ValueRef::Inst(_)));
+        let tf = ctx.tgt.func(tfid);
+        let inst = tf.inst(v.as_inst().unwrap());
+        assert_eq!(inst.opcode, Opcode::Br);
+        assert_eq!(inst.operands, vec![ValueRef::Block(tx)]);
+    }
+
+    #[test]
+    fn well_typed_rejects_bad_programs() {
+        let reg = ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6);
+        let mut prog = uncond_br_program(&reg);
+        assert!(prog.well_typed(&reg));
+        // Feed the block where a value is expected -> ill-typed.
+        let create_ret = reg.find("create_ret").unwrap();
+        prog.steps.last_mut().unwrap().api = create_ret;
+        assert!(!prog.well_typed(&reg));
+    }
+
+    #[test]
+    fn render_and_summary_are_readable() {
+        let reg = ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6);
+        let prog = uncond_br_program(&reg);
+        let s = prog.summary(&reg);
+        assert_eq!(
+            s,
+            "create_br(translate_block(get_successor(inst, const_0())))"
+        );
+        let r = prog.render(&reg);
+        assert!(r.contains("create_br"));
+        assert!(r.starts_with("|inst: Br_s|"));
+    }
+
+    #[test]
+    fn forward_step_references_rejected() {
+        let reg = ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6);
+        let create_br = reg.find("create_br").unwrap();
+        let prog = ApiProgram {
+            kind: Opcode::Br,
+            steps: vec![ApiCall {
+                api: create_br,
+                args: vec![Reg::Step(5)],
+            }],
+        };
+        assert!(!prog.well_typed(&reg));
+    }
+}

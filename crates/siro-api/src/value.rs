@@ -1,0 +1,254 @@
+//! The dynamic values and static types that flow through API components.
+//!
+//! Component-based synthesis (§4.2 of the paper) treats every IR-library
+//! function as a typed component. [`ApiType`] is the type vocabulary of the
+//! IR type graph (Def. 4.1); [`ApiValue`] is the runtime value a component
+//! consumes or produces when a candidate translator is actually executed.
+
+use std::fmt;
+
+use siro_ir::{
+    AtomicOrdering, BlockId, FloatPredicate, InstId, IntPredicate, Opcode, RmwOp, TypeId,
+    ValueRef,
+};
+
+/// Which version a value or type belongs to: the source (❶) or target (❷)
+/// IR libraries of Tab. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The version being translated *from*.
+    Source,
+    /// The version being translated *into*.
+    Target,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Side::Source => "s",
+            Side::Target => "t",
+        })
+    }
+}
+
+/// A node of the IR type graph: the static type of an API parameter or
+/// return value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiType {
+    /// An instruction of a specific kind, e.g. `Branch_s` / `Branch_t`.
+    Inst(Opcode, Side),
+    /// Any IR value.
+    Value(Side),
+    /// A basic block.
+    Block(Side),
+    /// An IR type handle.
+    TypeRef(Side),
+    /// A list of values (call arguments, GEP indices).
+    ValueList(Side),
+    /// A list of blocks (indirectbr / callbr destinations).
+    BlockList(Side),
+    /// Switch `(constant, block)` case pairs.
+    CaseList(Side),
+    /// Phi `(value, block)` incoming pairs.
+    PhiList(Side),
+    /// A boolean property.
+    Bool,
+    /// A small integer literal (operand / successor index).
+    U32,
+    /// An `icmp` predicate.
+    IntPred,
+    /// An `fcmp` predicate.
+    FloatPred,
+    /// An `atomicrmw` operation.
+    RmwOp,
+    /// An atomic ordering.
+    Ordering,
+    /// A constant index path / shuffle mask.
+    Indices,
+}
+
+impl ApiType {
+    /// Whether a value of static type `actual` can be passed where `self` is
+    /// expected. The only subtyping rule: a target instruction *is a* target
+    /// value (builders return instructions which are then usable as operand
+    /// values), and likewise on the source side.
+    pub fn accepts(self, actual: ApiType) -> bool {
+        if self == actual {
+            return true;
+        }
+        matches!(
+            (self, actual),
+            (ApiType::Value(a), ApiType::Inst(_, b)) if a == b
+        )
+    }
+
+    /// The version side, if this type has one.
+    pub fn side(self) -> Option<Side> {
+        match self {
+            ApiType::Inst(_, s)
+            | ApiType::Value(s)
+            | ApiType::Block(s)
+            | ApiType::TypeRef(s)
+            | ApiType::ValueList(s)
+            | ApiType::BlockList(s)
+            | ApiType::CaseList(s)
+            | ApiType::PhiList(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ApiType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiType::Inst(op, s) => write!(f, "{}_{s}", camel(op.name())),
+            ApiType::Value(s) => write!(f, "Value_{s}"),
+            ApiType::Block(s) => write!(f, "Block_{s}"),
+            ApiType::TypeRef(s) => write!(f, "Type_{s}"),
+            ApiType::ValueList(s) => write!(f, "ValueList_{s}"),
+            ApiType::BlockList(s) => write!(f, "BlockList_{s}"),
+            ApiType::CaseList(s) => write!(f, "CaseList_{s}"),
+            ApiType::PhiList(s) => write!(f, "PhiList_{s}"),
+            ApiType::Bool => f.write_str("bool"),
+            ApiType::U32 => f.write_str("u32"),
+            ApiType::IntPred => f.write_str("IntPredicate"),
+            ApiType::FloatPred => f.write_str("FloatPredicate"),
+            ApiType::RmwOp => f.write_str("RmwOp"),
+            ApiType::Ordering => f.write_str("AtomicOrdering"),
+            ApiType::Indices => f.write_str("Indices"),
+        }
+    }
+}
+
+fn camel(name: &str) -> String {
+    let mut out = String::new();
+    let mut up = true;
+    for ch in name.chars() {
+        if ch == '_' {
+            up = true;
+            continue;
+        }
+        if up {
+            out.extend(ch.to_uppercase());
+            up = false;
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// The runtime value of a sub-kind predicate: the result of a bool/enum
+/// getter (Def. 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredValue {
+    /// A boolean property value.
+    Bool(bool),
+    /// An enum property value, stored as the variant index.
+    Enum(u8),
+}
+
+impl fmt::Display for PredValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredValue::Bool(b) => write!(f, "{b}"),
+            PredValue::Enum(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+/// A dynamic value produced or consumed by an API component at translator
+/// execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiValue {
+    /// A source-version instruction handle (in the current source function).
+    SrcInst(InstId),
+    /// A source-version value.
+    SrcValue(ValueRef),
+    /// A source-version block.
+    SrcBlock(BlockId),
+    /// A source-version type handle.
+    SrcType(TypeId),
+    /// A target-version value.
+    TgtValue(ValueRef),
+    /// A target-version block.
+    TgtBlock(BlockId),
+    /// A target-version type handle.
+    TgtType(TypeId),
+    /// A list of values.
+    Values(Side, Vec<ValueRef>),
+    /// A list of blocks.
+    Blocks(Side, Vec<BlockId>),
+    /// Switch cases.
+    Cases(Side, Vec<(ValueRef, BlockId)>),
+    /// Phi incoming pairs.
+    Phis(Side, Vec<(ValueRef, BlockId)>),
+    /// A boolean.
+    Bool(bool),
+    /// A small integer.
+    U32(u32),
+    /// An integer predicate.
+    IntPred(IntPredicate),
+    /// A float predicate.
+    FloatPred(FloatPredicate),
+    /// An rmw operation.
+    RmwOp(RmwOp),
+    /// An atomic ordering.
+    Ordering(AtomicOrdering),
+    /// A constant index path.
+    Indices(Vec<u64>),
+}
+
+impl ApiValue {
+    /// The predicate value, if this is a bool or enum result.
+    pub fn as_pred(&self) -> Option<PredValue> {
+        Some(match self {
+            ApiValue::Bool(b) => PredValue::Bool(*b),
+            ApiValue::IntPred(p) => PredValue::Enum(p.as_index()),
+            ApiValue::FloatPred(p) => PredValue::Enum(p.as_index()),
+            ApiValue::RmwOp(o) => PredValue::Enum(o.as_index()),
+            ApiValue::Ordering(o) => PredValue::Enum(o.as_index()),
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_subtypes_value_on_same_side() {
+        let v = ApiType::Value(Side::Target);
+        assert!(v.accepts(ApiType::Inst(Opcode::Add, Side::Target)));
+        assert!(!v.accepts(ApiType::Inst(Opcode::Add, Side::Source)));
+        assert!(v.accepts(v));
+        assert!(!ApiType::Bool.accepts(v));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ApiType::Inst(Opcode::Br, Side::Source).to_string(), "Br_s");
+        assert_eq!(ApiType::Block(Side::Target).to_string(), "Block_t");
+        assert_eq!(
+            ApiType::Inst(Opcode::GetElementPtr, Side::Target).to_string(),
+            "Getelementptr_t"
+        );
+    }
+
+    #[test]
+    fn pred_values() {
+        assert_eq!(ApiValue::Bool(true).as_pred(), Some(PredValue::Bool(true)));
+        assert_eq!(
+            ApiValue::IntPred(IntPredicate::Slt).as_pred(),
+            Some(PredValue::Enum(8))
+        );
+        assert_eq!(ApiValue::U32(3).as_pred(), None);
+    }
+
+    #[test]
+    fn sides() {
+        assert_eq!(ApiType::Block(Side::Source).side(), Some(Side::Source));
+        assert_eq!(ApiType::U32.side(), None);
+    }
+}

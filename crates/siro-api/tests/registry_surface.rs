@@ -1,0 +1,170 @@
+//! Registry-wide invariants across every catalog version pair, plus a
+//! smoke execution of every getter against every corpus instruction.
+
+use siro_api::{ApiKind, ApiRegistry, ApiType, ApiValue, Side, TranslationCtx};
+use siro_ir::{IrVersion, Opcode};
+
+#[test]
+fn builders_exist_exactly_for_target_kinds() {
+    for &src in &IrVersion::CATALOG {
+        for &tgt in &IrVersion::CATALOG {
+            let reg = ApiRegistry::for_pair(src, tgt);
+            for op in Opcode::ALL {
+                let builders = reg.builders_for(op);
+                if tgt.supports(op) {
+                    assert!(
+                        !builders.is_empty(),
+                        "{src}->{tgt}: no builder for supported `{op}`"
+                    );
+                } else {
+                    assert!(
+                        builders.is_empty(),
+                        "{src}->{tgt}: builder for unsupported `{op}`"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn getters_first_param_is_a_source_instruction_of_a_supported_kind() {
+    let reg = ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6);
+    for (_, f) in reg.iter() {
+        if f.kind != ApiKind::Getter {
+            continue;
+        }
+        match f.params.first() {
+            Some(ApiType::Inst(op, Side::Source)) => {
+                assert!(
+                    IrVersion::V13_0.supports(*op),
+                    "getter {} on unsupported {op}",
+                    f.name
+                );
+            }
+            other => panic!("getter {} has first param {other:?}", f.name),
+        }
+    }
+}
+
+#[test]
+fn predicate_getters_return_bool_or_enums() {
+    for &src in &IrVersion::CATALOG {
+        let reg = ApiRegistry::for_pair(src, IrVersion::V3_6);
+        for (_, f) in reg.iter() {
+            if f.is_predicate {
+                assert!(
+                    matches!(
+                        f.ret,
+                        ApiType::Bool
+                            | ApiType::IntPred
+                            | ApiType::FloatPred
+                            | ApiType::RmwOp
+                            | ApiType::Ordering
+                    ),
+                    "predicate {} returns {}",
+                    f.name,
+                    f.ret
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_common_kind_has_generic_getters() {
+    let reg = ApiRegistry::for_pair(IrVersion::V17_0, IrVersion::V3_0);
+    for op in IrVersion::V17_0.common_instructions(IrVersion::V3_0) {
+        assert!(
+            reg.find_for_kind("get_result_type", op).is_some(),
+            "missing get_result_type for {op}"
+        );
+        if siro_api::operand_index_bound(op) > 0 {
+            assert!(
+                reg.find_for_kind("get_operand", op).is_some(),
+                "missing get_operand for {op}"
+            );
+        }
+    }
+}
+
+/// Every getter runs without panicking on every instruction of its kind in
+/// the whole corpus — failures are allowed (wrong sub-kind etc.), panics
+/// are not.
+#[test]
+fn getters_never_panic_on_corpus_instructions() {
+    let src = IrVersion::V17_0;
+    let reg = ApiRegistry::for_pair(src, IrVersion::V12_0);
+    for case in siro_testcases::full_corpus() {
+        let module = case.build(src);
+        let mut ctx = TranslationCtx::new(&module, IrVersion::V12_0);
+        for fid in module.func_ids() {
+            if module.func(fid).is_external {
+                continue;
+            }
+            let tfid = ctx.clone_signature(fid);
+            ctx.begin_function(fid, tfid);
+            let func = module.func(fid);
+            for (i, inst) in func.insts.iter().enumerate() {
+                let iid = siro_ir::InstId(i as u32);
+                for (api_id, f) in reg.iter() {
+                    if f.kind != ApiKind::Getter {
+                        continue;
+                    }
+                    let Some(ApiType::Inst(op, _)) = f.params.first() else {
+                        continue;
+                    };
+                    if *op != inst.opcode {
+                        continue;
+                    }
+                    // Try every index argument in range for indexed getters.
+                    if f.params.len() == 2 {
+                        for idx in 0..3u32 {
+                            let _ = reg.get(api_id).call(
+                                &mut ctx,
+                                &[ApiValue::SrcInst(iid), ApiValue::U32(idx)],
+                            );
+                        }
+                    } else {
+                        let _ = reg
+                            .get(api_id)
+                            .call(&mut ctx, &[ApiValue::SrcInst(iid)]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_sizes_grow_with_version_richness() {
+    // More instructions and explicit-type builders mean more components.
+    let small = ApiRegistry::for_pair(IrVersion::V3_0, IrVersion::V3_0).len();
+    let large = ApiRegistry::for_pair(IrVersion::V17_0, IrVersion::V17_0).len();
+    assert!(large > small, "{large} <= {small}");
+}
+
+#[test]
+fn subkind_profile_is_deterministic_and_keyed_by_name() {
+    let src = IrVersion::V13_0;
+    let reg = ApiRegistry::for_pair(src, IrVersion::V3_6);
+    let case = siro_testcases::full_corpus()
+        .into_iter()
+        .find(|c| c.name == "br_cond_true")
+        .unwrap();
+    let module = case.build(src);
+    let mut ctx = TranslationCtx::new(&module, IrVersion::V3_6);
+    let fid = module.func_by_name("main").unwrap();
+    let t = ctx.clone_signature(fid);
+    ctx.begin_function(fid, t);
+    let func = module.func(fid);
+    for (i, inst) in func.insts.iter().enumerate() {
+        let iid = siro_ir::InstId(i as u32);
+        let a = reg.subkind_profile(&mut ctx, inst.opcode, iid).unwrap();
+        let b = reg.subkind_profile(&mut ctx, inst.opcode, iid).unwrap();
+        assert_eq!(a, b);
+        for key in a.keys() {
+            assert!(key.starts_with("is_"), "predicate key {key}");
+        }
+    }
+}

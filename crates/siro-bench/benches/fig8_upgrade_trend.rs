@@ -1,0 +1,44 @@
+//! Regenerates Fig. 8: the overall upgrading trend of LLVM IR across the
+//! text, API, and semantic dimensions (cumulative percentage per version).
+
+use siro_bench::banner;
+use siro_study::{api_total_loc, new_instruction_total, text_total_loc, upgrade_trend};
+
+fn main() {
+    banner("Figure 8 - The overall upgrading trend of LLVM IR (3.0 - 17.0)");
+    println!(
+        "dimension totals: text = {} LOC (paper: ~25 KLOC), api = {} LOC (paper: ~31 KLOC), \
+         new instructions = {} (paper: 8)\n",
+        text_total_loc(),
+        api_total_loc(),
+        new_instruction_total()
+    );
+    let t = upgrade_trend();
+    println!(
+        "{:>8} | {:>18} | {:>18} | {:>18}",
+        "version", "text cum. %", "API cum. %", "semantic cum. %"
+    );
+    println!("{}", "-".repeat(72));
+    for (i, v) in t.versions.iter().enumerate() {
+        println!(
+            "{:>8} | {:>8.1} ({:>+5.1}) | {:>8.1} ({:>+5.1}) | {:>8.1} ({:>+5.1})",
+            v,
+            t.text[i].cumulative_pct,
+            t.text[i].increment_pct,
+            t.api[i].cumulative_pct,
+            t.api[i].increment_pct,
+            t.semantic[i].cumulative_pct,
+            t.semantic[i].increment_pct,
+        );
+    }
+    // The two growth periods the paper calls out.
+    let idx = |v: &str| t.versions.iter().position(|&x| x == v).unwrap();
+    let span = |s: &[siro_study::TrendPoint], a: &str, b: &str| -> f64 {
+        s[idx(a)..=idx(b)].iter().map(|p| p.increment_pct).sum()
+    };
+    println!("\nPeriod 1 (3.6 - 5):  text {:>5.1}%  api {:>5.1}%  semantic {:>5.1}%",
+        span(&t.text, "3.6", "5"), span(&t.api, "3.6", "5"), span(&t.semantic, "3.6", "5"));
+    println!("Period 2 (6 - 11):   text {:>5.1}%  api {:>5.1}%  semantic {:>5.1}%",
+        span(&t.text, "6", "11"), span(&t.api, "6", "11"), span(&t.semantic, "6", "11"));
+    println!("\npaper shape: period 1 active in all three dimensions; period 2 in API+semantic.");
+}

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks: throughput of the core pipeline stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use siro_core::{ReferenceTranslator, Skeleton};
+use siro_ir::{interp::Machine, IrVersion};
+use siro_synth::{GenLimits, TypeGraph};
+
+fn bench_translation(c: &mut Criterion) {
+    let spec = &siro_workloads::table4_projects()[1]; // tmux, the largest
+    let module = siro_workloads::compile_project(spec, siro_workloads::Frontend::High, IrVersion::V12_0);
+    let skel = Skeleton::new(IrVersion::V3_6);
+    let insts = module.inst_count();
+    c.bench_function(&format!("translate_module_{insts}_insts"), |b| {
+        b.iter(|| skel.translate_module(&module, &ReferenceTranslator).unwrap())
+    });
+}
+
+fn bench_interpretation(c: &mut Criterion) {
+    let case = siro_testcases::full_corpus()
+        .into_iter()
+        .find(|t| t.name == "phi_loop")
+        .unwrap();
+    let m = case.build(IrVersion::V13_0);
+    c.bench_function("interpret_phi_loop", |b| {
+        b.iter(|| Machine::new(&m).run_main().unwrap())
+    });
+}
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let reg = siro_api::ApiRegistry::for_pair(IrVersion::V12_0, IrVersion::V3_6);
+    c.bench_function("generate_candidates_all_kinds", |b| {
+        b.iter(|| {
+            let graph = TypeGraph::new(&reg);
+            siro_synth::generate_all(&graph, GenLimits::default())
+        })
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let spec = &siro_workloads::table4_projects()[1];
+    let module = siro_workloads::compile_project(spec, siro_workloads::Frontend::Low, IrVersion::V3_6);
+    c.bench_function("verify_tmux_module", |b| {
+        b.iter(|| siro_ir::verify::verify_module(&module).unwrap())
+    });
+}
+
+fn bench_write_parse(c: &mut Criterion) {
+    let spec = &siro_workloads::table4_projects()[0];
+    let module = siro_workloads::compile_project(spec, siro_workloads::Frontend::Low, IrVersion::V3_6);
+    let text = siro_ir::write::write_module(&module);
+    c.bench_function("write_module_libcapstone", |b| {
+        b.iter(|| siro_ir::write::write_module(&module))
+    });
+    c.bench_function("parse_module_libcapstone", |b| {
+        b.iter(|| siro_ir::parse::parse_module(&text).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_translation,
+    bench_interpretation,
+    bench_candidate_generation,
+    bench_verify,
+    bench_write_parse
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates the kernel deployment result (§6.3 "Handling Linux
+//! Kernel"): two kernel releases compiled at 14.0 / 15.0, translated down
+//! to 3.6 by two synthesized translators, and scanned by the
+//! similarity-based bug detector.
+
+use siro_bench::{banner, synthesize_pair};
+use siro_ir::IrVersion;
+use siro_kernel::{run_campaign, BugStatus};
+
+fn main() {
+    banner("RQ2 - Linux kernel deployment: similarity-based bug detection");
+    println!("synthesizing the 14.0 -> 3.6 and 15.0 -> 3.6 translators ...");
+    let t14 = synthesize_pair(IrVersion::V14_0, IrVersion::V3_6);
+    let t15 = synthesize_pair(IrVersion::V15_0, IrVersion::V3_6);
+    let campaign = run_campaign(
+        &|v| -> Box<dyn siro_core::InstTranslator> {
+            if v == IrVersion::V14_0 {
+                Box::new(t14.translator.clone())
+            } else {
+                Box::new(t15.translator.clone())
+            }
+        },
+        IrVersion::V3_6,
+    );
+    for (release, compiler, bugs) in &campaign.per_release {
+        println!(
+            "\n{release} (compiled at {compiler}, translated {compiler} -> 3.6): {} bugs",
+            bugs.len()
+        );
+        let mut per_patch: std::collections::BTreeMap<&str, usize> = Default::default();
+        for b in bugs {
+            *per_patch.entry(b.patch_id).or_default() += 1;
+        }
+        for (patch, n) in per_patch {
+            println!("  via patch {patch}: {n} similar bugs");
+        }
+    }
+    let merged = campaign.merged();
+    let total = campaign.total_bugs();
+    println!("\ntotal: {total} previously unknown bugs (paper: 80)");
+    println!(
+        "triage: {merged} fixed and merged, {} confirmed (paper: 56 merged of 80)",
+        total - merged
+    );
+    assert_eq!(total, 80);
+    assert_eq!(merged, 56);
+    let _ = BugStatus::Confirmed;
+}

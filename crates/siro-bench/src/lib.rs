@@ -1,0 +1,67 @@
+//! # siro-bench — shared helpers for the experiment harness
+//!
+//! Every table and figure of the paper's evaluation has a bench target in
+//! `benches/` (run with `cargo bench -p siro-bench --bench <name>`):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig8_upgrade_trend` | Fig. 8 (LLVM IR upgrading trend) |
+//! | `tab3_translators` | Tab. 3 (ten synthesized version pairs) |
+//! | `fig12_distributions` | Fig. 12 (candidate / refined distributions) |
+//! | `tab4_static_bugs` | Tab. 4 (Pinpoint reports under two settings) |
+//! | `tab5_fuzzing` | Tab. 5 (Magma PoC reproduction) |
+//! | `rq2_kernel` | the Linux-kernel deployment (80 bugs) |
+//! | `rq3_breakdown` | RQ3 time breakdown |
+//! | `rq3_ablation` | RQ3 ablation study |
+//! | `micro` | Criterion micro-benchmarks |
+
+use siro_ir::IrVersion;
+use siro_synth::{OracleTest, SynthesisConfig, SynthesisOutcome, Synthesizer};
+
+/// Converts the corpus cases usable for a pair into synthesizer inputs.
+pub fn oracle_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
+    siro_testcases::corpus_for_pair(src, tgt)
+        .into_iter()
+        .map(|c| OracleTest {
+            name: c.name.to_string(),
+            module: c.build(src),
+            oracle: c.oracle,
+        })
+        .collect()
+}
+
+/// Synthesizes the instruction translators for one pair from the corpus.
+///
+/// # Panics
+///
+/// Panics if synthesis fails — the corpus is expected to be sufficient.
+pub fn synthesize_pair(src: IrVersion, tgt: IrVersion) -> SynthesisOutcome {
+    let tests = oracle_tests(src, tgt);
+    Synthesizer::for_pair(src, tgt)
+        .synthesize(&tests)
+        .unwrap_or_else(|e| panic!("synthesis {src} -> {tgt} failed: {e}"))
+}
+
+/// Synthesizes with an explicit configuration.
+///
+/// # Errors
+///
+/// Propagates [`siro_synth::SynthError`].
+pub fn synthesize_with(
+    config: SynthesisConfig,
+) -> Result<SynthesisOutcome, siro_synth::SynthError> {
+    let tests = oracle_tests(config.source, config.target);
+    Synthesizer::new(config).synthesize(&tests)
+}
+
+/// Prints a titled separator for experiment output.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}

@@ -1,0 +1,108 @@
+//! Errors produced while translating a module.
+
+use std::fmt;
+
+use siro_api::{ApiError, PredConj};
+use siro_ir::Opcode;
+
+/// Failure of a module translation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranslateError {
+    /// An API component failed while running an instruction translator.
+    Api(ApiError),
+    /// The source used an instruction the target version lacks and no
+    /// new-instruction handler covers it (e.g. the Windows EH family).
+    UnsupportedInstruction {
+        /// The offending opcode.
+        opcode: Opcode,
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// A synthesized translator met a sub-kind combination no test case
+    /// covered — the paper's "unseen conjunctive predicate" warning, which
+    /// asks the user for an additional test case.
+    UnseenPredicate {
+        /// The instruction kind.
+        kind: Opcode,
+        /// The runtime predicate conjunction that was not covered.
+        conj: PredConj,
+    },
+    /// No instruction translator exists for a common instruction kind.
+    MissingTranslator(Opcode),
+    /// Forward references were left unresolved at the end of a function.
+    UnresolvedPlaceholders {
+        /// Function name.
+        func: String,
+        /// How many placeholders had no translation.
+        count: usize,
+    },
+    /// The source module has no such function/entity.
+    Ir(siro_ir::IrError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Api(e) => write!(f, "API component failed: {e}"),
+            TranslateError::UnsupportedInstruction { opcode, detail } => {
+                write!(f, "cannot translate `{opcode}`: {detail}")
+            }
+            TranslateError::UnseenPredicate { kind, conj } => {
+                write!(f, "warning trap: `{kind}` met unseen predicate conjunction {{")?;
+                for (i, (k, v)) in conj.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k}={v}")?;
+                }
+                f.write_str("}; add a test case covering it")
+            }
+            TranslateError::MissingTranslator(op) => {
+                write!(f, "no instruction translator for `{op}`")
+            }
+            TranslateError::UnresolvedPlaceholders { func, count } => {
+                write!(f, "{count} unresolved placeholder(s) left in `{func}`")
+            }
+            TranslateError::Ir(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<ApiError> for TranslateError {
+    fn from(e: ApiError) -> Self {
+        TranslateError::Api(e)
+    }
+}
+
+impl From<siro_ir::IrError> for TranslateError {
+    fn from(e: siro_ir::IrError) -> Self {
+        TranslateError::Ir(e)
+    }
+}
+
+/// Result alias for translation.
+pub type TranslateResult<T> = Result<T, TranslateError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unseen_predicate() {
+        let mut conj = PredConj::new();
+        conj.insert(
+            "is_unconditional".into(),
+            siro_api::PredValue::Bool(false),
+        );
+        let e = TranslateError::UnseenPredicate {
+            kind: Opcode::Br,
+            conj,
+        };
+        let s = e.to_string();
+        assert!(s.contains("br"));
+        assert!(s.contains("is_unconditional=false"));
+        assert!(s.contains("add a test case"));
+    }
+}

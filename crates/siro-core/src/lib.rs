@@ -1,0 +1,30 @@
+//! # siro-core — the Siro translation framework
+//!
+//! The version-agnostic half of an IR translator (§3.2 of the paper):
+//!
+//! * [`Skeleton`] — the divide-and-conquer translation skeleton of Alg. 1,
+//!   written once and reused across version pairs;
+//! * [`InstTranslator`] — the pluggable per-instruction interface the
+//!   skeleton dispatches to (`TranslateInst`);
+//! * [`SynthesizedTranslator`] / [`KindTranslator`] — the executable form of
+//!   the `M_k : [Σ_k -> Λ_k]` mappings (Def. 3.1) that `siro-synth`
+//!   produces, including the warning path for unseen predicates;
+//! * [`ReferenceTranslator`] — a hand-written structural translator used as
+//!   ground truth and by the evaluation clients;
+//! * [`newinst`] — analysis-preserving lowerings for new instructions
+//!   (§3.3.2): `callbr` → call + switch, `freeze` → operand,
+//!   `addrspacecast` → `bitcast`, and deliberate rejection of the Windows
+//!   EH family.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod newinst;
+pub mod reference;
+pub mod skeleton;
+pub mod translator;
+
+pub use error::{TranslateError, TranslateResult};
+pub use reference::ReferenceTranslator;
+pub use skeleton::Skeleton;
+pub use translator::{InstTranslator, KindTranslator, SynthesizedTranslator, TranslatorArm};

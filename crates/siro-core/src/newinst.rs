@@ -1,0 +1,227 @@
+//! Handlers for *new* instructions (§3.3.2): instructions the source version
+//! has but the target version lacks.
+//!
+//! The paper's two principles are implemented literally:
+//!
+//! 1. **Check the necessity of translation.** The five Windows
+//!    exception-handling instructions are never encountered on Linux; they
+//!    are reported as untranslatable rather than lowered.
+//! 2. **Analysis-preserving translation.** The three remaining new
+//!    instructions get one-to-many lowerings that keep control flow and
+//!    data flow intact:
+//!    * `callbr` → a plain call of the inline assembly plus a `switch` that
+//!      restores the control-flow edges;
+//!    * `freeze` → its operand value (data-flow preserving);
+//!    * `addrspacecast` → `bitcast` (its pre-3.4 spelling).
+
+use siro_api::TranslationCtx;
+use siro_ir::{Instruction, Opcode, ValueRef};
+
+use crate::error::{TranslateError, TranslateResult};
+
+/// Translates one instruction of a kind the target version does not
+/// support. Returns the target value standing in for the instruction's
+/// result.
+///
+/// # Errors
+///
+/// [`TranslateError::UnsupportedInstruction`] for kinds with no
+/// analysis-preserving lowering (the Windows EH family).
+pub fn lower_new_instruction(
+    ctx: &mut TranslationCtx<'_>,
+    inst_id: siro_ir::InstId,
+) -> TranslateResult<ValueRef> {
+    let inst = ctx.src_func()?.inst(inst_id).clone();
+    match inst.opcode {
+        Opcode::Freeze => lower_freeze(ctx, &inst),
+        Opcode::AddrSpaceCast => lower_addrspacecast(ctx, &inst),
+        Opcode::CallBr => lower_callbr(ctx, &inst),
+        op if op.is_windows_eh() => Err(TranslateError::UnsupportedInstruction {
+            opcode: op,
+            detail: "Windows exception-handling instruction; never encountered on Linux \
+                     targets, translation deliberately omitted (paper §3.3.2)"
+                .into(),
+        }),
+        op => Err(TranslateError::UnsupportedInstruction {
+            opcode: op,
+            detail: "no analysis-preserving lowering is registered".into(),
+        }),
+    }
+}
+
+/// `freeze %v` → `%v`: the freeze result is replaced by its operand,
+/// preserving data flow (undef propagation is a refinement the analyses in
+/// scope do not observe).
+fn lower_freeze(ctx: &mut TranslationCtx<'_>, inst: &Instruction) -> TranslateResult<ValueRef> {
+    Ok(ctx.translate_value(inst.operands[0])?)
+}
+
+/// `addrspacecast` → `bitcast`, the original way of writing address-space
+/// casts before LLVM 3.4.
+fn lower_addrspacecast(
+    ctx: &mut TranslationCtx<'_>,
+    inst: &Instruction,
+) -> TranslateResult<ValueRef> {
+    let v = ctx.translate_value(inst.operands[0])?;
+    let to = ctx.translate_type(inst.ty);
+    Ok(ctx.build(Instruction::new(Opcode::BitCast, to, vec![v]))?)
+}
+
+/// `callbr ... to label %ft [label %i0, ...]` → a plain `call` followed by a
+/// `switch` whose default edge is the fallthrough and whose case edges are
+/// the indirect destinations. The selector is the constant 0, so execution
+/// always takes the fallthrough edge (our simulated `callbr` semantics),
+/// while every control-flow edge of the original remains in the CFG —
+/// analysis-preserving in the sense of §3.3.2.
+fn lower_callbr(ctx: &mut TranslationCtx<'_>, inst: &Instruction) -> TranslateResult<ValueRef> {
+    let callee = ctx.translate_value(inst.operands[0])?;
+    let mut args = Vec::new();
+    for &a in inst.call_args() {
+        args.push(ctx.translate_value(a)?);
+    }
+    let succ = inst.successors();
+    let fallthrough = ctx.translate_block(succ[0])?;
+    let mut indirect = Vec::new();
+    for &b in &succ[1..] {
+        indirect.push(ctx.translate_block(b)?);
+    }
+    // The call.
+    let ret_ty = ctx.translate_type(inst.ty);
+    let n = args.len() as u32;
+    let mut ops = vec![callee];
+    ops.extend(args);
+    let mut call = Instruction::new(Opcode::Call, ret_ty, ops);
+    call.attrs.num_args = n;
+    let call_v = ctx.build(call)?;
+    // The control-flow restoring switch.
+    let i32t = ctx.tgt.types.i32();
+    let void = ctx.tgt.types.void();
+    let mut sw_ops = vec![
+        ValueRef::const_int(i32t, 0),
+        ValueRef::Block(fallthrough),
+    ];
+    for (i, b) in indirect.into_iter().enumerate() {
+        sw_ops.push(ValueRef::const_int(i32t, i as i64 + 1));
+        sw_ops.push(ValueRef::Block(b));
+    }
+    ctx.build(Instruction::new(Opcode::Switch, void, sw_ops))?;
+    Ok(call_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{FuncBuilder, InlineAsm, IrVersion, Module};
+
+    fn setup_ctx(m: &Module) -> TranslationCtx<'_> {
+        let mut ctx = TranslationCtx::new(m, IrVersion::V3_6);
+        let sfid = m.func_by_name("main").unwrap();
+        let tfid = ctx.clone_signature(sfid);
+        ctx.begin_function(sfid, tfid);
+        for b in m.func(sfid).block_ids() {
+            let name = m.func(sfid).block(b).name.clone();
+            let tb = ctx.tgt.func_mut(tfid).add_block(name);
+            ctx.map_block(b, tb);
+        }
+        ctx.set_insertion(siro_ir::BlockId(0));
+        ctx
+    }
+
+    #[test]
+    fn freeze_lowers_to_operand() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let v = b.freeze(ValueRef::const_int(i32t, 9));
+        b.ret(Some(v));
+        let mut ctx = setup_ctx(&m);
+        let out = lower_new_instruction(&mut ctx, siro_ir::InstId(0)).unwrap();
+        // Constant 9, retyped into the target table.
+        assert_eq!(out.as_int(), Some(9));
+        // No instruction was built.
+        assert_eq!(ctx.tgt.func(ctx.tgt_func_id().unwrap()).inst_count(), 0);
+    }
+
+    #[test]
+    fn addrspacecast_lowers_to_bitcast() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let p0 = m.types.ptr(i32t);
+        let p3 = m.types.ptr_in(i32t, 3);
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        b.addrspacecast(ValueRef::Null(p0), p3);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+        let mut ctx = setup_ctx(&m);
+        let out = lower_new_instruction(&mut ctx, siro_ir::InstId(0)).unwrap();
+        let tf = ctx.tgt.func(ctx.tgt_func_id().unwrap());
+        assert_eq!(tf.inst(out.as_inst().unwrap()).opcode, Opcode::BitCast);
+    }
+
+    #[test]
+    fn callbr_lowers_to_call_plus_switch() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let fnty = m.types.func(i32t, vec![]);
+        let asm = m.add_asm(InlineAsm {
+            text: "ret 4".into(),
+            constraints: String::new(),
+            ty: fnty,
+            hw_level: 1,
+        });
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let ft = b.add_block("ft");
+        let side = b.add_block("side");
+        b.position_at_end(e);
+        let v = b.callbr(i32t, ValueRef::InlineAsm(asm), vec![], ft, vec![side]);
+        b.position_at_end(ft);
+        b.ret(Some(v));
+        b.position_at_end(side);
+        b.ret(Some(ValueRef::const_int(i32t, -1)));
+        let mut ctx = setup_ctx(&m);
+        let out = lower_new_instruction(&mut ctx, siro_ir::InstId(0)).unwrap();
+        let tfid = ctx.tgt_func_id().unwrap();
+        let tf = ctx.tgt.func(tfid);
+        assert_eq!(tf.inst_count(), 2);
+        assert_eq!(tf.inst(out.as_inst().unwrap()).opcode, Opcode::Call);
+        let sw = tf.inst(siro_ir::InstId(1));
+        assert_eq!(sw.opcode, Opcode::Switch);
+        // default = fallthrough + 1 case = side target.
+        assert_eq!(sw.successors().len(), 2);
+    }
+
+    #[test]
+    fn windows_eh_is_reported_untranslatable() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let void = m.types.void();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let h = b.add_block("handler");
+        b.position_at_end(e);
+        b.push(Instruction::new(
+            Opcode::CatchSwitch,
+            void,
+            vec![ValueRef::Block(h)],
+        ));
+        b.position_at_end(h);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+        let mut ctx = setup_ctx(&m);
+        let err = lower_new_instruction(&mut ctx, siro_ir::InstId(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            TranslateError::UnsupportedInstruction {
+                opcode: Opcode::CatchSwitch,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,202 @@
+//! Instruction translators: the `M_k : [Σ_k -> Λ_k]` mappings of Def. 3.1,
+//! in executable form.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use siro_api::{ApiProgram, ApiRegistry, PredConj, TranslationCtx};
+use siro_ir::{InstId, Opcode, ValueRef};
+
+use crate::error::{TranslateError, TranslateResult};
+use crate::newinst;
+
+/// Anything that can translate a single instruction — the
+/// `TranslateInst` interface of Alg. 1 that the skeleton dispatches to.
+pub trait InstTranslator {
+    /// Translates instruction `inst` of the current source function,
+    /// appending target instructions at the context insertion point, and
+    /// returns the target value standing for the instruction's result.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TranslateError`]; the skeleton aborts the module translation.
+    fn translate_inst(
+        &self,
+        ctx: &mut TranslationCtx<'_>,
+        inst: InstId,
+    ) -> TranslateResult<ValueRef>;
+}
+
+/// One arm of an instruction translator: a predicate guard plus the atomic
+/// translator to run when it matches.
+#[derive(Debug, Clone)]
+pub struct TranslatorArm {
+    /// The predicate conjunctions this arm covers. Empty = the `true`
+    /// predicate (single sub-kind, always matches).
+    pub covers: Vec<PredConj>,
+    /// The atomic translator λ.
+    pub program: ApiProgram,
+}
+
+impl TranslatorArm {
+    /// Whether this arm matches a runtime predicate conjunction.
+    pub fn matches(&self, conj: &PredConj) -> bool {
+        self.covers.is_empty() || self.covers.iter().any(|c| c == conj)
+    }
+}
+
+/// The translator for one instruction kind: ordered arms, first match wins;
+/// no match triggers the warning path (unseen conjunctive predicate).
+#[derive(Debug, Clone, Default)]
+pub struct KindTranslator {
+    /// The arms, most specific first.
+    pub arms: Vec<TranslatorArm>,
+}
+
+impl KindTranslator {
+    /// A single-arm translator with the `true` predicate.
+    pub fn single(program: ApiProgram) -> Self {
+        KindTranslator {
+            arms: vec![TranslatorArm {
+                covers: Vec::new(),
+                program,
+            }],
+        }
+    }
+
+    /// Selects the arm matching `conj`.
+    pub fn select(&self, conj: &PredConj) -> Option<&ApiProgram> {
+        self.arms
+            .iter()
+            .find(|a| a.matches(conj))
+            .map(|a| &a.program)
+    }
+}
+
+/// A complete instruction-translator set produced by synthesis (or built by
+/// hand): the output of skeleton completion, pluggable into the skeleton.
+#[derive(Debug, Clone)]
+pub struct SynthesizedTranslator {
+    /// The component registry the programs are expressed over.
+    pub registry: Arc<ApiRegistry>,
+    /// Per-kind translators for common instructions.
+    pub kinds: HashMap<Opcode, KindTranslator>,
+}
+
+impl SynthesizedTranslator {
+    /// Creates an empty translator set over a registry.
+    pub fn new(registry: Arc<ApiRegistry>) -> Self {
+        SynthesizedTranslator {
+            registry,
+            kinds: HashMap::new(),
+        }
+    }
+
+    /// Registers the translator for one kind.
+    pub fn insert(&mut self, kind: Opcode, translator: KindTranslator) {
+        self.kinds.insert(kind, translator);
+    }
+
+    /// Kinds that have translators.
+    pub fn covered_kinds(&self) -> Vec<Opcode> {
+        let mut v: Vec<Opcode> = self.kinds.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+impl InstTranslator for SynthesizedTranslator {
+    fn translate_inst(
+        &self,
+        ctx: &mut TranslationCtx<'_>,
+        inst: InstId,
+    ) -> TranslateResult<ValueRef> {
+        let opcode = ctx.src_func()?.inst(inst).opcode;
+        // New instructions: the target version cannot express this kind.
+        if !self.registry.tgt_version.supports(opcode) {
+            return newinst::lower_new_instruction(ctx, inst);
+        }
+        let kt = self
+            .kinds
+            .get(&opcode)
+            .ok_or(TranslateError::MissingTranslator(opcode))?;
+        let conj = self.registry.subkind_profile(ctx, opcode, inst)?;
+        let program = kt.select(&conj).ok_or_else(|| {
+            // The paper's generated warning branch for unseen predicates.
+            TranslateError::UnseenPredicate {
+                kind: opcode,
+                conj: conj.clone(),
+            }
+        })?;
+        Ok(program.run(&self.registry, ctx, inst)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_api::PredValue;
+
+    fn conj(pairs: &[(&str, bool)]) -> PredConj {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), PredValue::Bool(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn arm_matching() {
+        let reg = ApiRegistry::for_pair(
+            siro_ir::IrVersion::V13_0,
+            siro_ir::IrVersion::V3_6,
+        );
+        let any_prog = ApiProgram {
+            kind: Opcode::Br,
+            steps: vec![],
+        };
+        let _ = &reg;
+        let arm = TranslatorArm {
+            covers: vec![conj(&[("is_unconditional", true)])],
+            program: any_prog.clone(),
+        };
+        assert!(arm.matches(&conj(&[("is_unconditional", true)])));
+        assert!(!arm.matches(&conj(&[("is_unconditional", false)])));
+        let true_arm = TranslatorArm {
+            covers: vec![],
+            program: any_prog,
+        };
+        assert!(true_arm.matches(&conj(&[("anything", false)])));
+    }
+
+    #[test]
+    fn kind_translator_first_match_wins() {
+        let p1 = ApiProgram {
+            kind: Opcode::Br,
+            steps: vec![],
+        };
+        let mut p2 = p1.clone();
+        p2.kind = Opcode::Ret; // distinguishable marker
+        let kt = KindTranslator {
+            arms: vec![
+                TranslatorArm {
+                    covers: vec![conj(&[("is_unconditional", true)])],
+                    program: p1,
+                },
+                TranslatorArm {
+                    covers: vec![],
+                    program: p2,
+                },
+            ],
+        };
+        assert_eq!(
+            kt.select(&conj(&[("is_unconditional", true)])).unwrap().kind,
+            Opcode::Br
+        );
+        assert_eq!(
+            kt.select(&conj(&[("is_unconditional", false)]))
+                .unwrap()
+                .kind,
+            Opcode::Ret
+        );
+    }
+}

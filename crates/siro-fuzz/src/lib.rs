@@ -1,0 +1,505 @@
+//! # siro-fuzz — the Magma-like fuzzing benchmark (Tab. 5)
+//!
+//! The paper's fuzzing experiment asks: after translating a project's IR
+//! from 12.0 down to 3.6, do the known crash inputs (PoCs) still reproduce
+//! their CVEs? This crate rebuilds that benchmark:
+//!
+//! * seven projects mirroring the Magma rows (libpng ... php), each a
+//!   module whose `main` reads the PoC byte stream (`input(i)`) and
+//!   reaches planted crash sites (`magma_bug(id)`) when guard bytes match;
+//! * a PoC corpus per CVE (counts follow Tab. 5, downscalable via
+//!   [`Scale`]);
+//! * the two non-reproduction mechanisms of the paper, modelled honestly:
+//!   - seven libtiff PoCs crash only through a `freeze undef` path, and the
+//!     analysis-preserving `freeze -> operand` lowering does not preserve
+//!     undef semantics, so they stop reproducing after translation (the
+//!     CVE itself still reproduces through its other PoCs — libtiff keeps
+//!     its 100% CVE ratio while losing 7 PoCs, as in the paper);
+//!   - php hard-codes inline assembly requiring a newer hardware level, so
+//!     the translated module fails *backend code generation*
+//!     ([`siro_ir::verify::codegen_check`]) and reproduces nothing.
+//!
+//! The [`coverage`] module adds the block-coverage instrumentation a
+//! grey-box fuzzer would apply at the IR level (Scenario II of Fig. 1).
+
+#![warn(missing_docs)]
+
+pub mod coverage;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use siro_core::{InstTranslator, Skeleton};
+use siro_ir::{
+    interp::Machine, verify, FuncBuilder, FuncId, Function, InlineAsm, IrVersion, Module, Param,
+    ValueRef,
+};
+
+/// Downscaling factor for PoC counts (1.0 = the paper's counts). The seven
+/// freeze-dependent libtiff PoCs are never scaled away, so the
+/// non-reproduction signal survives any scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Reads `SIRO_BENCH_SCALE` (default `0.05`).
+    pub fn from_env() -> Self {
+        let v = std::env::var("SIRO_BENCH_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.05);
+        Scale(v.clamp(0.001, 1.0))
+    }
+
+    fn apply(self, n: usize) -> usize {
+        ((n as f64 * self.0).ceil() as usize).max(1)
+    }
+}
+
+/// One CVE planted in a project.
+#[derive(Debug, Clone)]
+pub struct CveSpec {
+    /// Globally unique id.
+    pub id: u32,
+    /// Number of ordinary PoCs (already scaled).
+    pub pocs: usize,
+    /// Additional PoCs whose crash path goes through `freeze undef` — they
+    /// stop reproducing after a downgrade translation.
+    pub freeze_pocs: usize,
+}
+
+/// A Magma-like project.
+#[derive(Debug, Clone)]
+pub struct FuzzProject {
+    /// Project name (Tab. 5 row).
+    pub name: &'static str,
+    /// Number of fuzz targets (drivers).
+    pub targets: usize,
+    /// The planted CVEs.
+    pub cves: Vec<CveSpec>,
+    /// Whether the project hard-codes high-level inline assembly (php).
+    pub needs_hw_asm: bool,
+    /// Filler functions for bulk.
+    pub filler: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A proof-of-crash input.
+#[derive(Debug, Clone)]
+pub struct Poc {
+    /// The CVE it triggers.
+    pub cve: u32,
+    /// The input byte stream.
+    pub bytes: bytes::Bytes,
+}
+
+fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
+    let base = total / parts;
+    let rem = total % parts;
+    (0..parts).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// The seven Tab. 5 projects with the paper's CVE/PoC census, ordinary PoC
+/// counts scaled by `scale`.
+pub fn magma_projects(scale: Scale) -> Vec<FuzzProject> {
+    // (name, targets, #CVE, #PoC, needs_hw_asm, filler)
+    let rows: [(&'static str, usize, usize, usize, bool, usize); 7] = [
+        ("libpng", 1, 7, 634, false, 30),
+        ("libtiff", 2, 14, 3716, false, 60),
+        ("libxml", 2, 15, 19731, false, 80),
+        ("poppler", 3, 19, 7343, false, 90),
+        ("openssl", 4, 20, 655, false, 100),
+        ("sqlite", 1, 20, 1777, false, 70),
+        ("php", 1, 16, 1443, true, 60),
+    ];
+    let mut next_id = 1000;
+    rows.iter()
+        .enumerate()
+        .map(|(pi, &(name, targets, ncve, npoc, hw, filler))| {
+            // libtiff: 7 of its PoCs (attached to the first CVE, which also
+            // has ordinary PoCs) are freeze-guarded — the 3716 -> 3709
+            // delta of the paper, with the CVE ratio staying 100%.
+            let freeze_pocs = if name == "libtiff" { 7 } else { 0 };
+            let per_cve = split_evenly(npoc - freeze_pocs, ncve);
+            let cves = (0..ncve)
+                .map(|ci| CveSpec {
+                    id: next_id + ci as u32,
+                    pocs: scale.apply(per_cve[ci]),
+                    freeze_pocs: if ci == 0 { freeze_pocs } else { 0 },
+                })
+                .collect();
+            next_id += 100;
+            FuzzProject {
+                name,
+                targets,
+                cves,
+                needs_hw_asm: hw,
+                filler,
+                seed: 0xF022 + pi as u64,
+            }
+        })
+        .collect()
+}
+
+const MAGIC: i64 = 0xA5;
+
+/// Builds the project's module in `version` and its PoC corpus.
+///
+/// Input layout: byte `k` guards CVE index `k`; a CVE with freeze PoCs has
+/// a secondary, freeze-guarded path reading byte `#cves`.
+pub fn build_project(project: &FuzzProject, version: IrVersion) -> (Module, Vec<Poc>) {
+    let mut m = Module::new(project.name.to_string(), version);
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let input = m.add_func(Function::external(
+        "input",
+        i32t,
+        vec![Param {
+            name: "i".into(),
+            ty: i32t,
+        }],
+    ));
+    let magma_bug = m.add_func(Function::external(
+        "magma_bug",
+        void,
+        vec![Param {
+            name: "id".into(),
+            ty: i32t,
+        }],
+    ));
+    let n_guards = project.cves.len();
+    let freeze_pos = n_guards as i64;
+    // One driver function per target; CVEs distributed round-robin.
+    let mut drivers: Vec<FuncId> = Vec::new();
+    for t in 0..project.targets {
+        let f = FuncBuilder::define(&mut m, format!("driver_{t}"), i32t, vec![]);
+        drivers.push(f);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let entry = b.add_block("entry");
+        let mut next_block = entry;
+        for (ci, cve) in project.cves.iter().enumerate() {
+            if ci % project.targets != t {
+                continue;
+            }
+            // Ordinary guard: input(ci) == MAGIC.
+            next_block = emit_guard(
+                &mut b,
+                next_block,
+                input,
+                magma_bug,
+                ci as i64,
+                cve.id,
+                false,
+            );
+            // Secondary freeze-guarded path.
+            if cve.freeze_pocs > 0 {
+                next_block = emit_guard(
+                    &mut b,
+                    next_block,
+                    input,
+                    magma_bug,
+                    freeze_pos,
+                    cve.id,
+                    true,
+                );
+            }
+        }
+        b.position_at_end(next_block);
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+    }
+    // php's hardware-specific inline assembly, executed unconditionally.
+    if project.needs_hw_asm {
+        let fnty = m.types.func(i32t, vec![]);
+        let asm = m.add_asm(InlineAsm {
+            text: "crc32 ; hardware-accelerated checksum".into(),
+            constraints: "r".into(),
+            ty: fnty,
+            hw_level: 3,
+        });
+        let f = FuncBuilder::define(&mut m, "hw_checksum", i32t, vec![]);
+        drivers.insert(0, f);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let v = b.call(i32t, ValueRef::InlineAsm(asm), vec![]);
+        b.ret(Some(v));
+    }
+    // Bulk filler.
+    let mut rng = StdRng::seed_from_u64(project.seed);
+    for i in 0..project.filler {
+        let f = FuncBuilder::define(&mut m, format!("helper_{i}"), i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let a = ValueRef::const_int(i32t, rng.gen_range(0..1000i64));
+        let c = ValueRef::const_int(i32t, rng.gen_range(1..50i64));
+        let x = b.mul(a, c);
+        let y = b.add(x, ValueRef::const_int(i32t, rng.gen_range(0..9i64)));
+        b.ret(Some(y));
+    }
+    // main: run every driver in order.
+    let mainf = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, mainf);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let mut acc = ValueRef::const_int(i32t, 0);
+    for d in drivers {
+        let r = b.call(i32t, ValueRef::Func(d), vec![]);
+        acc = b.add(acc, r);
+    }
+    b.ret(Some(acc));
+    // PoC corpus.
+    let len = n_guards + 1;
+    let mut pocs = Vec::new();
+    for (ci, cve) in project.cves.iter().enumerate() {
+        for _ in 0..cve.pocs {
+            let mut bytes = benign_bytes(len, &mut rng);
+            bytes[ci] = MAGIC as u8;
+            pocs.push(Poc {
+                cve: cve.id,
+                bytes: bytes::Bytes::from(bytes),
+            });
+        }
+        for _ in 0..cve.freeze_pocs {
+            let mut bytes = benign_bytes(len, &mut rng);
+            bytes[n_guards] = MAGIC as u8;
+            pocs.push(Poc {
+                cve: cve.id,
+                bytes: bytes::Bytes::from(bytes),
+            });
+        }
+    }
+    (m, pocs)
+}
+
+fn benign_bytes(len: usize, rng: &mut StdRng) -> Vec<u8> {
+    // Anything below 0x80 never trips a guard.
+    (0..len).map(|_| rng.gen_range(0..0x80u8)).collect()
+}
+
+/// Emits one guarded crash site; returns the continuation block.
+fn emit_guard(
+    b: &mut FuncBuilder<'_>,
+    check: siro_ir::BlockId,
+    input: FuncId,
+    magma_bug: FuncId,
+    byte_pos: i64,
+    cve_id: u32,
+    freeze_guarded: bool,
+) -> siro_ir::BlockId {
+    let i32t = b.module().types.i32();
+    let void = b.module().types.void();
+    let bug = b.add_block(format!("bug_{cve_id}{}", if freeze_guarded { "_fz" } else { "" }));
+    let cont = b.add_block(format!(
+        "cont_{cve_id}{}",
+        if freeze_guarded { "_fz" } else { "" }
+    ));
+    b.position_at_end(check);
+    let byte = b.call(
+        i32t,
+        ValueRef::Func(input),
+        vec![ValueRef::const_int(i32t, byte_pos)],
+    );
+    let guard_val = if freeze_guarded {
+        // `freeze` pins the undef to a concrete value (0 here); the
+        // analysis-preserving lowering lets the undef escape, so the
+        // comparison stops holding after translation.
+        let frozen = b.freeze(ValueRef::Undef(i32t));
+        b.add(byte, frozen)
+    } else {
+        byte
+    };
+    let cond = b.icmp(
+        siro_ir::IntPredicate::Eq,
+        guard_val,
+        ValueRef::const_int(i32t, MAGIC),
+    );
+    b.cond_br(cond, bug, cont);
+    b.position_at_end(bug);
+    b.call(
+        void,
+        ValueRef::Func(magma_bug),
+        vec![ValueRef::const_int(i32t, i64::from(cve_id))],
+    );
+    b.br(cont);
+    cont
+}
+
+/// Whether `poc` reproduces its CVE on `module`.
+pub fn poc_reproduces(module: &Module, poc: &Poc) -> bool {
+    Machine::new(module)
+        .with_input(poc.bytes.to_vec())
+        .with_fuel(1_000_000)
+        .run_main()
+        .map(|o| o.triggered_cves().contains(&poc.cve))
+        .unwrap_or(false)
+}
+
+/// One Tab. 5 row.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Project name.
+    pub name: &'static str,
+    /// Fuzz-target count.
+    pub targets: usize,
+    /// Instructions in the (source-version) module.
+    pub insts: usize,
+    /// Planted CVEs.
+    pub cves: usize,
+    /// PoCs in the (scaled) corpus.
+    pub pocs: usize,
+    /// CVEs with at least one reproducing PoC after translation.
+    pub r_cve: usize,
+    /// PoCs reproducing after translation.
+    pub r_poc: usize,
+}
+
+impl Table5Row {
+    /// `R-CVE / #CVE`.
+    pub fn cve_ratio(&self) -> f64 {
+        if self.cves == 0 {
+            return 1.0;
+        }
+        self.r_cve as f64 / self.cves as f64
+    }
+
+    /// `R-PoC / #PoC`.
+    pub fn poc_ratio(&self) -> f64 {
+        if self.pocs == 0 {
+            return 1.0;
+        }
+        self.r_poc as f64 / self.pocs as f64
+    }
+}
+
+/// Runs the whole Tab. 5 pipeline: build each project at `high`, translate
+/// down to `low` with `translator`, "compile" (verify + backend check), and
+/// re-run every PoC.
+pub fn run_table5(
+    translator: &dyn InstTranslator,
+    high: IrVersion,
+    low: IrVersion,
+    scale: Scale,
+) -> Vec<Table5Row> {
+    let skel = Skeleton::new(low);
+    magma_projects(scale)
+        .iter()
+        .map(|project| {
+            let (module, pocs) = build_project(project, high);
+            verify::verify_module(&module)
+                .unwrap_or_else(|e| panic!("{}: {e}", project.name));
+            let translated = skel
+                .translate_module(&module, translator)
+                .unwrap_or_else(|e| panic!("translation of {} failed: {e}", project.name));
+            let compiled = verify::verify_module(&translated).is_ok()
+                && verify::codegen_check(&translated).is_ok();
+            let mut r_poc = 0;
+            let mut reproduced_cves = std::collections::BTreeSet::new();
+            if compiled {
+                for poc in &pocs {
+                    if poc_reproduces(&translated, poc) {
+                        r_poc += 1;
+                        reproduced_cves.insert(poc.cve);
+                    }
+                }
+            }
+            Table5Row {
+                name: project.name,
+                targets: project.targets,
+                insts: module.inst_count(),
+                cves: project.cves.len(),
+                pocs: pocs.len(),
+                r_cve: reproduced_cves.len(),
+                r_poc,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_core::ReferenceTranslator;
+
+    #[test]
+    fn pocs_reproduce_natively() {
+        let scale = Scale(0.01);
+        for project in magma_projects(scale) {
+            let (m, pocs) = build_project(&project, IrVersion::V12_0);
+            verify::verify_module(&m).unwrap();
+            for poc in pocs.iter().take(5) {
+                assert!(
+                    poc_reproduces(&m, poc),
+                    "{}: PoC for CVE {} does not crash natively",
+                    project.name,
+                    poc.cve
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table5_shape_matches_the_paper() {
+        let rows = run_table5(
+            &ReferenceTranslator,
+            IrVersion::V12_0,
+            IrVersion::V3_6,
+            Scale(0.01),
+        );
+        let by_name: std::collections::HashMap<&str, &Table5Row> =
+            rows.iter().map(|r| (r.name, r)).collect();
+        // php reproduces nothing (backend codegen failure).
+        assert_eq!(by_name["php"].r_poc, 0);
+        assert_eq!(by_name["php"].r_cve, 0);
+        // libtiff loses exactly its 7 freeze-guarded PoCs, but keeps all
+        // CVEs (the first CVE still reproduces through its ordinary PoCs).
+        let lt = by_name["libtiff"];
+        assert_eq!(lt.pocs - lt.r_poc, 7);
+        assert_eq!(lt.r_cve, lt.cves);
+        // Everything else reproduces fully.
+        for name in ["libpng", "libxml", "poppler", "openssl", "sqlite"] {
+            let r = by_name[name];
+            assert_eq!(r.r_poc, r.pocs, "{name}");
+            assert_eq!(r.r_cve, r.cves, "{name}");
+        }
+        // Paper aggregates: 111 CVEs total, 95 reproduced (php's 16 lost).
+        let cves: usize = rows.iter().map(|r| r.cves).sum();
+        let r_cves: usize = rows.iter().map(|r| r.r_cve).sum();
+        assert_eq!(cves, 111);
+        assert_eq!(r_cves, 95);
+    }
+
+    #[test]
+    fn full_scale_poc_census_matches_the_paper() {
+        // At scale 1.0 the corpus has exactly the paper's 35,299 PoCs.
+        let total: usize = magma_projects(Scale(1.0))
+            .iter()
+            .flat_map(|p| p.cves.iter().map(|c| c.pocs + c.freeze_pocs))
+            .sum();
+        assert_eq!(total, 35_299);
+    }
+
+    #[test]
+    fn freeze_guard_crashes_before_translation_only() {
+        let project = magma_projects(Scale(0.01))
+            .into_iter()
+            .find(|p| p.name == "libtiff")
+            .unwrap();
+        let (m, pocs) = build_project(&project, IrVersion::V12_0);
+        let n_guards = project.cves.len();
+        // A freeze PoC is one whose magic byte sits at the secondary slot.
+        let fp = pocs
+            .iter()
+            .find(|p| p.bytes[n_guards] == 0xA5)
+            .expect("freeze PoC present");
+        assert!(poc_reproduces(&m, fp));
+        let t = Skeleton::new(IrVersion::V3_6)
+            .translate_module(&m, &ReferenceTranslator)
+            .unwrap();
+        assert!(
+            !poc_reproduces(&t, fp),
+            "freeze lowering must lose undef pinning"
+        );
+    }
+}

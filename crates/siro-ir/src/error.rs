@@ -1,0 +1,86 @@
+//! Error types shared across the IR crate.
+
+use std::fmt;
+
+use crate::version::IrVersion;
+
+/// An error produced while constructing, verifying, parsing, or otherwise
+/// manipulating IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// A module used an opcode its version does not support.
+    UnsupportedOpcode {
+        /// The offending mnemonic.
+        opcode: &'static str,
+        /// The module's version.
+        version: IrVersion,
+    },
+    /// Verification failed; the payload lists human-readable findings.
+    Verification(Vec<String>),
+    /// Parse error at the given 1-based line.
+    Parse {
+        /// Line number.
+        line: usize,
+        /// Message.
+        message: String,
+    },
+    /// A named entity was not found.
+    NotFound(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnsupportedOpcode { opcode, version } => {
+                write!(f, "opcode `{opcode}` is not supported by IR version {version}")
+            }
+            IrError::Verification(findings) => {
+                write!(f, "verification failed with {} finding(s): ", findings.len())?;
+                for (i, m) in findings.iter().take(3).enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    f.write_str(m)?;
+                }
+                if findings.len() > 3 {
+                    write!(f, "; ... and {} more", findings.len() - 3)?;
+                }
+                Ok(())
+            }
+            IrError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IrError::NotFound(name) => write!(f, "`{name}` not found"),
+            IrError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenient result alias for IR operations.
+pub type IrResult<T> = Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IrError::UnsupportedOpcode {
+            opcode: "freeze",
+            version: IrVersion::V3_6,
+        };
+        let s = e.to_string();
+        assert!(s.contains("freeze"));
+        assert!(s.contains("3.6"));
+    }
+
+    #[test]
+    fn verification_display_truncates() {
+        let e = IrError::Verification(vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()]);
+        let s = e.to_string();
+        assert!(s.contains("5 finding(s)"));
+        assert!(s.contains("and 2 more"));
+    }
+}

@@ -1,0 +1,409 @@
+//! Instructions: `I := v0 <- op(v1, ..., vn)` (Fig. 3), plus the attribute
+//! payload ("sub-kind" properties) that the paper's predicates inspect.
+//!
+//! # Operand conventions
+//!
+//! Each opcode stores its operands in a fixed order; the verifier,
+//! interpreter, serializer, and instruction translators all rely on these
+//! conventions:
+//!
+//! | opcode | operands |
+//! |---|---|
+//! | `ret` | `[]` or `[value]` |
+//! | `br` | `[dest]` or `[cond, true_dest, false_dest]` |
+//! | `switch` | `[value, default, (case_const, case_dest)*]` |
+//! | `indirectbr` | `[address, dest*]` |
+//! | `invoke` | `[callee, arg*, normal_dest, unwind_dest]` (`num_args` in attrs) |
+//! | `callbr` | `[callee, arg*, fallthrough, indirect_dest*]` (`num_args`) |
+//! | `call` | `[callee, arg*]` |
+//! | binary ops | `[lhs, rhs]`; `fneg` takes `[value]` |
+//! | `alloca` | `[]` or `[count]`; allocated type in attrs |
+//! | `load` | `[pointer]` |
+//! | `store` | `[value, pointer]` |
+//! | `getelementptr` | `[base, index*]`; source element type in attrs |
+//! | `cmpxchg` | `[pointer, expected, replacement]` |
+//! | `atomicrmw` | `[pointer, value]`; operation in attrs |
+//! | casts | `[value]` |
+//! | `icmp`/`fcmp` | `[lhs, rhs]`; predicate in attrs |
+//! | `phi` | `[(incoming_value, incoming_block)*]` flattened |
+//! | `select` | `[cond, if_true, if_false]` |
+//! | `extractelement` | `[vector, index]` |
+//! | `insertelement` | `[vector, element, index]` |
+//! | `shufflevector` | `[lhs, rhs]`; mask in `indices` |
+//! | `extractvalue` | `[aggregate]`; path in `indices` |
+//! | `insertvalue` | `[aggregate, value]`; path in `indices` |
+//! | `freeze` | `[value]` |
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::opcode::Opcode;
+use crate::types::TypeId;
+use crate::value::{BlockId, ValueRef};
+
+macro_rules! str_enum {
+    ($(#[$m:meta])* $name:ident { $($variant:ident => $text:literal),+ $(,)? }) => {
+        $(#[$m])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum $name {
+            $(#[doc = concat!("`", $text, "`")] $variant,)+
+        }
+
+        impl $name {
+            /// All variants, in declaration order.
+            pub const ALL: &'static [$name] = &[$($name::$variant,)+];
+
+            /// The textual keyword.
+            pub const fn name(self) -> &'static str {
+                match self { $($name::$variant => $text,)+ }
+            }
+
+            /// Index of the variant in [`Self::ALL`].
+            pub fn as_index(self) -> u8 {
+                Self::ALL.iter().position(|v| *v == self).unwrap() as u8
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = ();
+            fn from_str(s: &str) -> Result<Self, ()> {
+                match s { $($text => Ok($name::$variant),)+ _ => Err(()) }
+            }
+        }
+    };
+}
+
+str_enum! {
+    /// Integer comparison predicates for `icmp`.
+    IntPredicate {
+        Eq => "eq", Ne => "ne",
+        Ugt => "ugt", Uge => "uge", Ult => "ult", Ule => "ule",
+        Sgt => "sgt", Sge => "sge", Slt => "slt", Sle => "sle",
+    }
+}
+
+str_enum! {
+    /// Floating comparison predicates for `fcmp` (ordered subset plus the
+    /// common unordered forms).
+    FloatPredicate {
+        Oeq => "oeq", Ogt => "ogt", Oge => "oge", Olt => "olt",
+        Ole => "ole", One => "one", Ord => "ord",
+        Ueq => "ueq", Une => "une", Uno => "uno",
+        AlwaysFalse => "false", AlwaysTrue => "true",
+    }
+}
+
+str_enum! {
+    /// Atomic memory orderings.
+    AtomicOrdering {
+        NotAtomic => "notatomic",
+        Unordered => "unordered",
+        Monotonic => "monotonic",
+        Acquire => "acquire",
+        Release => "release",
+        AcqRel => "acq_rel",
+        SeqCst => "seq_cst",
+    }
+}
+
+str_enum! {
+    /// `atomicrmw` operations.
+    RmwOp {
+        Xchg => "xchg", Add => "add", Sub => "sub", And => "and",
+        Or => "or", Xor => "xor", Max => "max", Min => "min",
+        UMax => "umax", UMin => "umin",
+    }
+}
+
+/// Attribute payload of an instruction: everything beyond opcode, result
+/// type, and operand list. These are the "properties" that the paper's
+/// sub-kind predicates (§3.3.1, Def. 3.1) read through bool/enum getters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InstAttrs {
+    /// `icmp` predicate.
+    pub int_pred: Option<IntPredicate>,
+    /// `fcmp` predicate.
+    pub float_pred: Option<FloatPredicate>,
+    /// Atomic ordering (`load`/`store`/`fence`/`cmpxchg`/`atomicrmw`).
+    pub ordering: Option<AtomicOrdering>,
+    /// `atomicrmw` operation.
+    pub rmw_op: Option<RmwOp>,
+    /// Explicit alignment in bytes (0 = natural).
+    pub align: u32,
+    /// `volatile` marker on memory operations.
+    pub volatile: bool,
+    /// `inbounds` marker on `getelementptr`.
+    pub inbounds: bool,
+    /// `nuw` flag on integer arithmetic.
+    pub nuw: bool,
+    /// `nsw` flag on integer arithmetic.
+    pub nsw: bool,
+    /// `exact` flag on division/shift.
+    pub exact: bool,
+    /// `tail` marker on calls.
+    pub tail_call: bool,
+    /// `cleanup` marker on `landingpad`.
+    pub is_cleanup: bool,
+    /// Allocated type of `alloca`.
+    pub alloc_ty: Option<TypeId>,
+    /// Source element type of `getelementptr` (and of `load`/`store`
+    /// pointers in versions with explicit types).
+    pub gep_source_ty: Option<TypeId>,
+    /// Explicit callee function type (`call`/`invoke`/`callbr`); mandatory
+    /// for builders of versions >= 9.0 (cf. Fig. 13).
+    pub callee_ty: Option<TypeId>,
+    /// Number of call arguments for `invoke`/`callbr`, which mix arguments
+    /// and successor blocks in the operand list.
+    pub num_args: u32,
+    /// Constant index path (`extractvalue`/`insertvalue`) or shuffle mask
+    /// (`shufflevector`).
+    pub indices: Vec<u64>,
+}
+
+/// A single IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The operation performed.
+    pub opcode: Opcode,
+    /// The result type (`void` for instructions with no result).
+    pub ty: TypeId,
+    /// Operands, in the per-opcode order documented at the module level.
+    pub operands: Vec<ValueRef>,
+    /// Attribute payload.
+    pub attrs: InstAttrs,
+    /// Optional result name (purely cosmetic; `%N` numbering otherwise).
+    pub name: Option<String>,
+}
+
+impl Instruction {
+    /// Creates an instruction with default attributes.
+    pub fn new(opcode: Opcode, ty: TypeId, operands: Vec<ValueRef>) -> Self {
+        Instruction {
+            opcode,
+            ty,
+            operands,
+            attrs: InstAttrs::default(),
+            name: None,
+        }
+    }
+
+    /// The successor blocks of a terminator, in operand order.
+    ///
+    /// Returns an empty vector for non-terminators and for `ret`, `resume`,
+    /// and `unreachable`.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self.opcode {
+            Opcode::Br | Opcode::Switch | Opcode::IndirectBr | Opcode::CatchSwitch => self
+                .operands
+                .iter()
+                .filter_map(|v| v.as_block())
+                .collect(),
+            Opcode::Invoke | Opcode::CallBr | Opcode::CatchRet | Opcode::CleanupRet => self
+                .operands
+                .iter()
+                .filter_map(|v| v.as_block())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// `true` for `br` with a single destination.
+    pub fn is_unconditional_branch(&self) -> bool {
+        self.opcode == Opcode::Br && self.operands.len() == 1
+    }
+
+    /// `true` for `ret` without a value.
+    pub fn is_void_return(&self) -> bool {
+        self.opcode == Opcode::Ret && self.operands.is_empty()
+    }
+
+    /// The callee operand of `call`/`invoke`/`callbr`.
+    pub fn callee(&self) -> Option<ValueRef> {
+        match self.opcode {
+            Opcode::Call | Opcode::Invoke | Opcode::CallBr => self.operands.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// The call arguments of `call`/`invoke`/`callbr`.
+    pub fn call_args(&self) -> &[ValueRef] {
+        match self.opcode {
+            Opcode::Call => &self.operands[1..],
+            Opcode::Invoke | Opcode::CallBr => {
+                let n = self.attrs.num_args as usize;
+                &self.operands[1..1 + n]
+            }
+            _ => &[],
+        }
+    }
+
+    /// Incoming `(value, block)` pairs of a `phi`.
+    pub fn phi_incoming(&self) -> Vec<(ValueRef, BlockId)> {
+        if self.opcode != Opcode::Phi {
+            return Vec::new();
+        }
+        self.operands
+            .chunks(2)
+            .filter_map(|c| match c {
+                [v, b] => b.as_block().map(|b| (*v, b)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `switch` cases as `(constant, destination)` pairs, excluding the
+    /// default destination.
+    pub fn switch_cases(&self) -> Vec<(ValueRef, BlockId)> {
+        if self.opcode != Opcode::Switch || self.operands.len() < 2 {
+            return Vec::new();
+        }
+        self.operands[2..]
+            .chunks(2)
+            .filter_map(|c| match c {
+                [v, b] => b.as_block().map(|b| (*v, b)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any operand is a [`ValueRef::Placeholder`].
+    pub fn has_placeholders(&self) -> bool {
+        self.operands
+            .iter()
+            .any(|v| matches!(v, ValueRef::Placeholder(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeTable;
+
+    fn i32_ty() -> (TypeTable, TypeId) {
+        let mut t = TypeTable::new();
+        let i = t.i32();
+        (t, i)
+    }
+
+    #[test]
+    fn branch_sub_kinds() {
+        let (mut t, i32t) = i32_ty();
+        let void = t.void();
+        let i1 = t.i1();
+        let uncond = Instruction::new(Opcode::Br, void, vec![ValueRef::Block(BlockId(0))]);
+        assert!(uncond.is_unconditional_branch());
+        assert_eq!(uncond.successors(), vec![BlockId(0)]);
+        let cond = Instruction::new(
+            Opcode::Br,
+            void,
+            vec![
+                ValueRef::const_int(i1, 1),
+                ValueRef::Block(BlockId(1)),
+                ValueRef::Block(BlockId(2)),
+            ],
+        );
+        assert!(!cond.is_unconditional_branch());
+        assert_eq!(cond.successors(), vec![BlockId(1), BlockId(2)]);
+        let _ = i32t;
+    }
+
+    #[test]
+    fn ret_sub_kinds() {
+        let (mut t, i32t) = i32_ty();
+        let void = t.void();
+        let rv = Instruction::new(Opcode::Ret, void, vec![ValueRef::const_int(i32t, 3)]);
+        assert!(!rv.is_void_return());
+        let r = Instruction::new(Opcode::Ret, void, vec![]);
+        assert!(r.is_void_return());
+    }
+
+    #[test]
+    fn call_accessors() {
+        let (mut t, i32t) = i32_ty();
+        let void = t.void();
+        let mut inv = Instruction::new(
+            Opcode::Invoke,
+            i32t,
+            vec![
+                ValueRef::Func(crate::value::FuncId(0)),
+                ValueRef::const_int(i32t, 1),
+                ValueRef::const_int(i32t, 2),
+                ValueRef::Block(BlockId(3)),
+                ValueRef::Block(BlockId(4)),
+            ],
+        );
+        inv.attrs.num_args = 2;
+        assert_eq!(inv.call_args().len(), 2);
+        assert_eq!(inv.successors(), vec![BlockId(3), BlockId(4)]);
+        assert!(inv.callee().is_some());
+        let _ = void;
+    }
+
+    #[test]
+    fn phi_pairs() {
+        let (mut t, i32t) = i32_ty();
+        let _ = &mut t;
+        let phi = Instruction::new(
+            Opcode::Phi,
+            i32t,
+            vec![
+                ValueRef::const_int(i32t, 1),
+                ValueRef::Block(BlockId(0)),
+                ValueRef::const_int(i32t, 2),
+                ValueRef::Block(BlockId(1)),
+            ],
+        );
+        let inc = phi.phi_incoming();
+        assert_eq!(inc.len(), 2);
+        assert_eq!(inc[1].1, BlockId(1));
+    }
+
+    #[test]
+    fn switch_cases_skip_default() {
+        let (mut t, i32t) = i32_ty();
+        let void = t.void();
+        let sw = Instruction::new(
+            Opcode::Switch,
+            void,
+            vec![
+                ValueRef::const_int(i32t, 9),
+                ValueRef::Block(BlockId(0)),
+                ValueRef::const_int(i32t, 1),
+                ValueRef::Block(BlockId(1)),
+                ValueRef::const_int(i32t, 2),
+                ValueRef::Block(BlockId(2)),
+            ],
+        );
+        assert_eq!(sw.switch_cases().len(), 2);
+        assert_eq!(sw.successors().len(), 3);
+    }
+
+    #[test]
+    fn predicate_enums_roundtrip() {
+        for p in IntPredicate::ALL {
+            assert_eq!(p.name().parse::<IntPredicate>().unwrap(), *p);
+        }
+        for p in FloatPredicate::ALL {
+            assert_eq!(p.name().parse::<FloatPredicate>().unwrap(), *p);
+        }
+        for o in RmwOp::ALL {
+            assert_eq!(o.name().parse::<RmwOp>().unwrap(), *o);
+        }
+        assert_eq!(IntPredicate::Slt.as_index(), 8);
+    }
+
+    #[test]
+    fn placeholders_detected() {
+        let (_, i32t) = i32_ty();
+        let mut i = Instruction::new(Opcode::Add, i32t, vec![ValueRef::Placeholder(7)]);
+        assert!(i.has_placeholders());
+        i.operands[0] = ValueRef::const_int(i32t, 0);
+        assert!(!i.has_placeholders());
+    }
+}

@@ -1,0 +1,371 @@
+//! The top level of the IR hierarchy: `P := F+ G+` (Fig. 3).
+
+use crate::inst::Instruction;
+use crate::types::{TypeId, TypeTable};
+use crate::value::{AsmId, BlockId, FuncId, GlobalId, InstId, ValueRef};
+use crate::version::IrVersion;
+
+/// Initializer of a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// External declaration (no initializer).
+    External,
+    /// Zero-initialized.
+    Zero,
+    /// An integer constant.
+    Int(i64),
+    /// A floating constant.
+    Float(f64),
+    /// Raw bytes (e.g. string literals).
+    Bytes(Vec<u8>),
+}
+
+/// A module-level global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Symbol name (without the `@` sigil).
+    pub name: String,
+    /// The *value* type; the global itself is addressed through a pointer to
+    /// this type.
+    pub ty: TypeId,
+    /// Initializer.
+    pub init: GlobalInit,
+    /// Whether the global is immutable (`constant`).
+    pub is_const: bool,
+}
+
+/// An inline-assembly snippet usable as a call target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InlineAsm {
+    /// The assembly text.
+    pub text: String,
+    /// Constraint string.
+    pub constraints: String,
+    /// Function type of the callable.
+    pub ty: TypeId,
+    /// Minimum backend "hardware level" able to lower this snippet; models
+    /// source code hard-coding newer hardware instructions (the paper's php
+    /// case). See [`IrVersion::max_asm_hw_level`].
+    pub hw_level: u8,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (cosmetic).
+    pub name: String,
+    /// Parameter type.
+    pub ty: TypeId,
+}
+
+/// A basic block: an ordered list of instructions (`B := I+`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasicBlock {
+    /// Label (cosmetic; blocks are referenced by [`BlockId`]).
+    pub name: String,
+    /// Instructions in execution order; ids index the function's arena.
+    pub insts: Vec<InstId>,
+}
+
+/// A function: `F := f(arg1..argn){ B+ }`.
+///
+/// Blocks and instructions live in per-function arenas; [`BlockId`] and
+/// [`InstId`] index them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Symbol name (without the `@` sigil).
+    pub name: String,
+    /// Return type.
+    pub ret_ty: TypeId,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Whether the function is variadic.
+    pub varargs: bool,
+    /// Whether this is a declaration without a body.
+    pub is_external: bool,
+    /// Basic blocks in layout order; the first is the entry block.
+    pub blocks: Vec<BasicBlock>,
+    /// Instruction arena.
+    pub insts: Vec<Instruction>,
+}
+
+impl Function {
+    /// Creates an empty function definition.
+    pub fn new(name: impl Into<String>, ret_ty: TypeId, params: Vec<Param>) -> Self {
+        Function {
+            name: name.into(),
+            ret_ty,
+            params,
+            varargs: false,
+            is_external: false,
+            blocks: Vec::new(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// Creates an external declaration.
+    pub fn external(name: impl Into<String>, ret_ty: TypeId, params: Vec<Param>) -> Self {
+        Function {
+            is_external: true,
+            ..Function::new(name, ret_ty, params)
+        }
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock {
+            name: name.into(),
+            insts: Vec::new(),
+        });
+        id
+    }
+
+    /// Appends `inst` to `block`, returning the instruction id.
+    pub fn push_inst(&mut self, block: BlockId, inst: Instruction) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        self.blocks[block.0 as usize].insts.push(id);
+        id
+    }
+
+    /// The instruction behind `id`.
+    pub fn inst(&self, id: InstId) -> &Instruction {
+        &self.insts[id.0 as usize]
+    }
+
+    /// Mutable access to the instruction behind `id`.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Instruction {
+        &mut self.insts[id.0 as usize]
+    }
+
+    /// The block behind `id`.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Iterates over block ids in layout order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// The entry block, if the function has a body.
+    pub fn entry(&self) -> Option<BlockId> {
+        if self.blocks.is_empty() {
+            None
+        } else {
+            Some(BlockId(0))
+        }
+    }
+
+    /// The terminator instruction of `block`, if present.
+    pub fn terminator(&self, block: BlockId) -> Option<&Instruction> {
+        self.block(block)
+            .insts
+            .last()
+            .map(|&i| self.inst(i))
+            .filter(|i| i.opcode.is_terminator())
+    }
+
+    /// Total number of instructions.
+    pub fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Replaces every occurrence of the placeholder `key` with `actual`
+    /// across all instruction operands (the translation fix-up pass).
+    ///
+    /// Returns the number of operand slots rewritten.
+    pub fn replace_placeholder(&mut self, key: u32, actual: ValueRef) -> usize {
+        let mut n = 0;
+        for inst in &mut self.insts {
+            for op in &mut inst.operands {
+                if *op == ValueRef::Placeholder(key) {
+                    *op = actual;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// A complete IR program of a particular version.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// Module name (cosmetic).
+    pub name: String,
+    /// The version this module's serialized form and instruction set obey.
+    pub version: IrVersion,
+    /// Interned types.
+    pub types: TypeTable,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Inline-assembly snippets.
+    pub asms: Vec<InlineAsm>,
+    /// Functions (definitions and declarations).
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module of the given version.
+    pub fn new(name: impl Into<String>, version: IrVersion) -> Self {
+        Module {
+            name: name.into(),
+            version,
+            types: TypeTable::new(),
+            globals: Vec::new(),
+            asms: Vec::new(),
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Adds a global variable, returning its id.
+    pub fn add_global(&mut self, global: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(global);
+        id
+    }
+
+    /// Adds an inline-assembly snippet, returning its id.
+    pub fn add_asm(&mut self, asm: InlineAsm) -> AsmId {
+        let id = AsmId(self.asms.len() as u32);
+        self.asms.push(asm);
+        id
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_func(&mut self, func: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(func);
+        id
+    }
+
+    /// The function behind `id`.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Mutable access to the function behind `id`.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.0 as usize]
+    }
+
+    /// The global behind `id`.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// The inline-assembly snippet behind `id`.
+    pub fn asm(&self, id: AsmId) -> &InlineAsm {
+        &self.asms[id.0 as usize]
+    }
+
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Finds a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// Iterates over function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.funcs.len() as u32).map(FuncId)
+    }
+
+    /// Iterates over global ids.
+    pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> {
+        (0..self.globals.len() as u32).map(GlobalId)
+    }
+
+    /// Total instruction count over all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(Function::inst_count).sum()
+    }
+
+    /// The static type of an operand value within `func`.
+    ///
+    /// Returns `None` for block labels (whose "type" is `label`) when the
+    /// table has not interned it, and for out-of-range references.
+    pub fn value_type(&self, func: &Function, v: ValueRef) -> Option<TypeId> {
+        match v {
+            ValueRef::Inst(i) => Some(func.inst(i).ty),
+            ValueRef::Arg(a) => func.params.get(a as usize).map(|p| p.ty),
+            ValueRef::Global(_) | ValueRef::Func(_) | ValueRef::InlineAsm(_) => None,
+            ValueRef::Block(_) => None,
+            ValueRef::ConstInt { ty, .. }
+            | ValueRef::ConstFloat { ty, .. }
+            | ValueRef::Null(ty)
+            | ValueRef::Undef(ty)
+            | ValueRef::ZeroInit(ty) => Some(ty),
+            ValueRef::Placeholder(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn build_and_query_module() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let void = m.types.void();
+        let mut f = Function::new("main", i32t, vec![]);
+        let entry = f.add_block("entry");
+        let c = ValueRef::const_int(i32t, 41);
+        let one = ValueRef::const_int(i32t, 1);
+        let add = f.push_inst(entry, Instruction::new(Opcode::Add, i32t, vec![c, one]));
+        f.push_inst(
+            entry,
+            Instruction::new(Opcode::Ret, void, vec![ValueRef::Inst(add)]),
+        );
+        let fid = m.add_func(f);
+        assert_eq!(m.func_by_name("main"), Some(fid));
+        assert_eq!(m.inst_count(), 2);
+        let f = m.func(fid);
+        assert_eq!(f.terminator(BlockId(0)).unwrap().opcode, Opcode::Ret);
+        assert_eq!(f.entry(), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn placeholder_replacement() {
+        let mut m = Module::new("m", IrVersion::V3_6);
+        let i32t = m.types.i32();
+        let mut f = Function::new("f", i32t, vec![]);
+        let b = f.add_block("entry");
+        let add = f.push_inst(
+            b,
+            Instruction::new(
+                Opcode::Add,
+                i32t,
+                vec![ValueRef::Placeholder(3), ValueRef::Placeholder(3)],
+            ),
+        );
+        let n = f.replace_placeholder(3, ValueRef::const_int(i32t, 5));
+        assert_eq!(n, 2);
+        assert!(!f.inst(add).has_placeholders());
+        let _ = m.add_func(f);
+    }
+
+    #[test]
+    fn external_functions_have_no_body() {
+        let mut m = Module::new("m", IrVersion::V3_6);
+        let i32t = m.types.i32();
+        let f = Function::external("malloc", i32t, vec![]);
+        let id = m.add_func(f);
+        assert!(m.func(id).is_external);
+        assert_eq!(m.func(id).entry(), None);
+    }
+}

@@ -1,0 +1,259 @@
+//! The instruction opcode catalog.
+//!
+//! Every opcode records the version that introduced it, so that
+//! [`IrVersion::supports`](crate::IrVersion::supports) can gate per-version
+//! instruction sets. The base (3.0) set has 57 opcodes; see `DESIGN.md` for
+//! the per-version deltas that reproduce Table 3 of the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::version::IrVersion;
+
+/// Coarse classification of an opcode, mirroring the LLVM language
+/// reference's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCategory {
+    /// Block-ending control transfer.
+    Terminator,
+    /// Integer/float arithmetic (including unary `fneg`).
+    Arithmetic,
+    /// Shift and bitwise logic.
+    Bitwise,
+    /// Memory access and addressing.
+    Memory,
+    /// Value conversions.
+    Cast,
+    /// Everything else (comparisons, phi, call, vector/aggregate ops, ...).
+    Other,
+}
+
+macro_rules! opcodes {
+    ($( $variant:ident, $name:literal, $cat:ident, $ver:ident, $term:literal; )+) => {
+        /// An IR instruction opcode.
+        ///
+        /// # Examples
+        ///
+        /// ```
+        /// use siro_ir::{IrVersion, Opcode};
+        /// assert_eq!(Opcode::Freeze.introduced_in(), IrVersion::V10_0);
+        /// assert!(!IrVersion::V3_6.supports(Opcode::Freeze));
+        /// assert_eq!("add".parse::<Opcode>().unwrap(), Opcode::Add);
+        /// ```
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum Opcode {
+            $(
+                #[doc = concat!("The `", $name, "` instruction.")]
+                $variant,
+            )+
+        }
+
+        impl Opcode {
+            /// Every opcode in canonical order.
+            pub const ALL: [Opcode; opcodes!(@count $($variant)+)] = [
+                $(Opcode::$variant,)+
+            ];
+
+            /// The textual mnemonic, e.g. `"getelementptr"`.
+            pub const fn name(self) -> &'static str {
+                match self {
+                    $(Opcode::$variant => $name,)+
+                }
+            }
+
+            /// The category this opcode belongs to.
+            pub const fn category(self) -> OpCategory {
+                match self {
+                    $(Opcode::$variant => OpCategory::$cat,)+
+                }
+            }
+
+            /// The IR version that introduced this opcode.
+            pub const fn introduced_in(self) -> IrVersion {
+                match self {
+                    $(Opcode::$variant => IrVersion::$ver,)+
+                }
+            }
+
+            /// Whether this opcode ends a basic block.
+            pub const fn is_terminator(self) -> bool {
+                match self {
+                    $(Opcode::$variant => $term,)+
+                }
+            }
+        }
+
+        impl FromStr for Opcode {
+            type Err = UnknownOpcode;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                match s {
+                    $($name => Ok(Opcode::$variant),)+
+                    _ => Err(UnknownOpcode(s.to_string())),
+                }
+            }
+        }
+    };
+    (@count) => { 0 };
+    (@count $head:ident $($tail:ident)*) => { 1 + opcodes!(@count $($tail)*) };
+}
+
+opcodes! {
+    // -- Terminators (7, base) -------------------------------------------
+    Ret, "ret", Terminator, V3_0, true;
+    Br, "br", Terminator, V3_0, true;
+    Switch, "switch", Terminator, V3_0, true;
+    IndirectBr, "indirectbr", Terminator, V3_0, true;
+    Invoke, "invoke", Terminator, V3_0, true;
+    Resume, "resume", Terminator, V3_0, true;
+    Unreachable, "unreachable", Terminator, V3_0, true;
+    // -- Arithmetic (13, base; fneg kept in the base set deliberately, see
+    //    DESIGN.md) --------------------------------------------------------
+    Add, "add", Arithmetic, V3_0, false;
+    FAdd, "fadd", Arithmetic, V3_0, false;
+    Sub, "sub", Arithmetic, V3_0, false;
+    FSub, "fsub", Arithmetic, V3_0, false;
+    Mul, "mul", Arithmetic, V3_0, false;
+    FMul, "fmul", Arithmetic, V3_0, false;
+    UDiv, "udiv", Arithmetic, V3_0, false;
+    SDiv, "sdiv", Arithmetic, V3_0, false;
+    FDiv, "fdiv", Arithmetic, V3_0, false;
+    URem, "urem", Arithmetic, V3_0, false;
+    SRem, "srem", Arithmetic, V3_0, false;
+    FRem, "frem", Arithmetic, V3_0, false;
+    FNeg, "fneg", Arithmetic, V3_0, false;
+    // -- Bitwise (6, base) -------------------------------------------------
+    Shl, "shl", Bitwise, V3_0, false;
+    LShr, "lshr", Bitwise, V3_0, false;
+    AShr, "ashr", Bitwise, V3_0, false;
+    And, "and", Bitwise, V3_0, false;
+    Or, "or", Bitwise, V3_0, false;
+    Xor, "xor", Bitwise, V3_0, false;
+    // -- Memory (7, base) ----------------------------------------------------
+    Alloca, "alloca", Memory, V3_0, false;
+    Load, "load", Memory, V3_0, false;
+    Store, "store", Memory, V3_0, false;
+    GetElementPtr, "getelementptr", Memory, V3_0, false;
+    Fence, "fence", Memory, V3_0, false;
+    CmpXchg, "cmpxchg", Memory, V3_0, false;
+    AtomicRmw, "atomicrmw", Memory, V3_0, false;
+    // -- Casts (12, base) ----------------------------------------------------
+    Trunc, "trunc", Cast, V3_0, false;
+    ZExt, "zext", Cast, V3_0, false;
+    SExt, "sext", Cast, V3_0, false;
+    FPTrunc, "fptrunc", Cast, V3_0, false;
+    FPExt, "fpext", Cast, V3_0, false;
+    FPToUI, "fptoui", Cast, V3_0, false;
+    FPToSI, "fptosi", Cast, V3_0, false;
+    UIToFP, "uitofp", Cast, V3_0, false;
+    SIToFP, "sitofp", Cast, V3_0, false;
+    PtrToInt, "ptrtoint", Cast, V3_0, false;
+    IntToPtr, "inttoptr", Cast, V3_0, false;
+    BitCast, "bitcast", Cast, V3_0, false;
+    // -- Other (12, base) ------------------------------------------------------
+    ICmp, "icmp", Other, V3_0, false;
+    FCmp, "fcmp", Other, V3_0, false;
+    Phi, "phi", Other, V3_0, false;
+    Call, "call", Other, V3_0, false;
+    Select, "select", Other, V3_0, false;
+    VAArg, "va_arg", Other, V3_0, false;
+    ExtractElement, "extractelement", Other, V3_0, false;
+    InsertElement, "insertelement", Other, V3_0, false;
+    ShuffleVector, "shufflevector", Other, V3_0, false;
+    ExtractValue, "extractvalue", Other, V3_0, false;
+    InsertValue, "insertvalue", Other, V3_0, false;
+    LandingPad, "landingpad", Other, V3_0, false;
+    // -- Introduced later ---------------------------------------------------
+    AddrSpaceCast, "addrspacecast", Cast, V3_6, false;
+    CatchSwitch, "catchswitch", Terminator, V3_7, true;
+    CatchPad, "catchpad", Other, V3_7, false;
+    CatchRet, "catchret", Terminator, V3_7, true;
+    CleanupPad, "cleanuppad", Other, V3_7, false;
+    CleanupRet, "cleanupret", Terminator, V3_7, true;
+    CallBr, "callbr", Terminator, V9_0, true;
+    Freeze, "freeze", Other, V10_0, false;
+}
+
+/// Error returned when parsing an unknown opcode mnemonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownOpcode(pub String);
+
+impl fmt::Display for UnknownOpcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown opcode mnemonic `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownOpcode {}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Opcode {
+    /// Whether this opcode is one of the five Windows exception-handling
+    /// instructions that the paper's deployment never encounters on Linux.
+    pub const fn is_windows_eh(self) -> bool {
+        matches!(
+            self,
+            Opcode::CatchSwitch
+                | Opcode::CatchPad
+                | Opcode::CatchRet
+                | Opcode::CleanupPad
+                | Opcode::CleanupRet
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_opcode_count_is_65() {
+        assert_eq!(Opcode::ALL.len(), 65);
+    }
+
+    #[test]
+    fn names_roundtrip_through_from_str() {
+        for op in Opcode::ALL {
+            assert_eq!(op.name().parse::<Opcode>().unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_an_error() {
+        let err = "frobnicate".parse::<Opcode>().unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn terminators_match_category() {
+        for op in Opcode::ALL {
+            if op.category() == OpCategory::Terminator {
+                assert!(op.is_terminator(), "{op} categorized terminator");
+            }
+        }
+        // catchpad/cleanuppad are not terminators even though they belong to
+        // the EH family.
+        assert!(!Opcode::CatchPad.is_terminator());
+        assert!(!Opcode::CleanupPad.is_terminator());
+    }
+
+    #[test]
+    fn windows_eh_set_has_five_members() {
+        let n = Opcode::ALL.iter().filter(|o| o.is_windows_eh()).count();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn base_set_is_57() {
+        let n = Opcode::ALL
+            .iter()
+            .filter(|o| o.introduced_in() == IrVersion::V3_0)
+            .count();
+        assert_eq!(n, 57);
+    }
+}

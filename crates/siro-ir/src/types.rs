@@ -1,0 +1,513 @@
+//! The IR type system: an interned table of structural types plus a fixed
+//! data layout used by the interpreter and verifier.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to an interned [`Type`] inside a [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub(crate) u32);
+
+impl TypeId {
+    /// The raw index of this type in its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A structural IR type.
+///
+/// Types are always created through [`TypeTable`] so that equal types share
+/// one [`TypeId`] and comparisons are O(1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The empty type of `ret void` functions and `store`-like instructions.
+    Void,
+    /// An integer of the given bit width (1, 8, 16, 32, 64, 128).
+    Int(u32),
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// A pointer. The pointee is always tracked in memory even for versions
+    /// that *print* opaque `ptr` (>= 15.0); opacity is a serialization quirk.
+    Ptr {
+        /// The pointed-to type.
+        pointee: TypeId,
+        /// The address space (0 is the default).
+        addr_space: u32,
+    },
+    /// A fixed-length array.
+    Array {
+        /// Element type.
+        elem: TypeId,
+        /// Element count.
+        len: u64,
+    },
+    /// A SIMD vector.
+    Vector {
+        /// Element type.
+        elem: TypeId,
+        /// Lane count.
+        len: u32,
+    },
+    /// A literal struct.
+    Struct {
+        /// Field types in declaration order.
+        fields: Vec<TypeId>,
+    },
+    /// A function signature.
+    Func {
+        /// Return type.
+        ret: TypeId,
+        /// Parameter types.
+        params: Vec<TypeId>,
+        /// Whether the function accepts variadic arguments.
+        varargs: bool,
+    },
+    /// The type of basic-block labels.
+    Label,
+    /// The landing-pad token type used by the exception instructions.
+    Token,
+}
+
+/// An interning table of [`Type`]s owned by a
+/// [`Module`](crate::module::Module).
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    types: Vec<Type>,
+    lookup: HashMap<Type, TypeId>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `ty`, returning its id.
+    pub fn intern(&mut self, ty: Type) -> TypeId {
+        if let Some(&id) = self.lookup.get(&ty) {
+            return id;
+        }
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(ty.clone());
+        self.lookup.insert(ty, id);
+        id
+    }
+
+    /// Looks up the structural type behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different table.
+    pub fn get(&self, id: TypeId) -> &Type {
+        &self.types[id.index()]
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over `(id, type)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &Type)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TypeId(i as u32), t))
+    }
+
+    // ---- Convenience constructors ---------------------------------------
+
+    /// `void`
+    pub fn void(&mut self) -> TypeId {
+        self.intern(Type::Void)
+    }
+
+    /// `i1`
+    pub fn i1(&mut self) -> TypeId {
+        self.intern(Type::Int(1))
+    }
+
+    /// `i8`
+    pub fn i8(&mut self) -> TypeId {
+        self.intern(Type::Int(8))
+    }
+
+    /// `i16`
+    pub fn i16(&mut self) -> TypeId {
+        self.intern(Type::Int(16))
+    }
+
+    /// `i32`
+    pub fn i32(&mut self) -> TypeId {
+        self.intern(Type::Int(32))
+    }
+
+    /// `i64`
+    pub fn i64(&mut self) -> TypeId {
+        self.intern(Type::Int(64))
+    }
+
+    /// An integer of arbitrary width.
+    pub fn int(&mut self, bits: u32) -> TypeId {
+        self.intern(Type::Int(bits))
+    }
+
+    /// `float`
+    pub fn f32(&mut self) -> TypeId {
+        self.intern(Type::F32)
+    }
+
+    /// `double`
+    pub fn f64(&mut self) -> TypeId {
+        self.intern(Type::F64)
+    }
+
+    /// A pointer to `pointee` in address space 0.
+    pub fn ptr(&mut self, pointee: TypeId) -> TypeId {
+        self.intern(Type::Ptr {
+            pointee,
+            addr_space: 0,
+        })
+    }
+
+    /// A pointer to `pointee` in the given address space.
+    pub fn ptr_in(&mut self, pointee: TypeId, addr_space: u32) -> TypeId {
+        self.intern(Type::Ptr {
+            pointee,
+            addr_space,
+        })
+    }
+
+    /// `[len x elem]`
+    pub fn array(&mut self, elem: TypeId, len: u64) -> TypeId {
+        self.intern(Type::Array { elem, len })
+    }
+
+    /// `<len x elem>`
+    pub fn vector(&mut self, elem: TypeId, len: u32) -> TypeId {
+        self.intern(Type::Vector { elem, len })
+    }
+
+    /// `{ fields... }`
+    pub fn struct_(&mut self, fields: Vec<TypeId>) -> TypeId {
+        self.intern(Type::Struct { fields })
+    }
+
+    /// `ret (params...)`
+    pub fn func(&mut self, ret: TypeId, params: Vec<TypeId>) -> TypeId {
+        self.intern(Type::Func {
+            ret,
+            params,
+            varargs: false,
+        })
+    }
+
+    /// A variadic function signature.
+    pub fn func_varargs(&mut self, ret: TypeId, params: Vec<TypeId>) -> TypeId {
+        self.intern(Type::Func {
+            ret,
+            params,
+            varargs: true,
+        })
+    }
+
+    /// `label`
+    pub fn label(&mut self) -> TypeId {
+        self.intern(Type::Label)
+    }
+
+    /// `token`
+    pub fn token(&mut self) -> TypeId {
+        self.intern(Type::Token)
+    }
+
+    // ---- Queries ---------------------------------------------------------
+
+    /// Whether `id` is an integer type.
+    pub fn is_int(&self, id: TypeId) -> bool {
+        matches!(self.get(id), Type::Int(_))
+    }
+
+    /// Whether `id` is `float` or `double`.
+    pub fn is_float(&self, id: TypeId) -> bool {
+        matches!(self.get(id), Type::F32 | Type::F64)
+    }
+
+    /// Whether `id` is a pointer.
+    pub fn is_ptr(&self, id: TypeId) -> bool {
+        matches!(self.get(id), Type::Ptr { .. })
+    }
+
+    /// The pointee of a pointer type, if `id` is one.
+    pub fn pointee(&self, id: TypeId) -> Option<TypeId> {
+        match self.get(id) {
+            Type::Ptr { pointee, .. } => Some(*pointee),
+            _ => None,
+        }
+    }
+
+    /// Integer bit width, if `id` is an integer type.
+    pub fn int_bits(&self, id: TypeId) -> Option<u32> {
+        match self.get(id) {
+            Type::Int(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Byte size of a value of type `id` under the fixed data layout.
+    ///
+    /// Integers round up to whole bytes; `i1` occupies one byte. Structs use
+    /// natural alignment with padding. `void`, `label`, and `token` are
+    /// zero-sized.
+    pub fn size_of(&self, id: TypeId) -> u64 {
+        match self.get(id) {
+            Type::Void | Type::Label | Type::Token => 0,
+            Type::Int(b) => u64::from((*b + 7) / 8),
+            Type::F32 => 4,
+            Type::F64 => 8,
+            Type::Ptr { .. } | Type::Func { .. } => 8,
+            Type::Array { elem, len } => self.size_of(*elem) * len,
+            Type::Vector { elem, len } => self.size_of(*elem) * u64::from(*len),
+            Type::Struct { fields } => {
+                let mut off = 0u64;
+                let mut max_align = 1u64;
+                for &f in fields {
+                    let a = self.align_of(f);
+                    max_align = max_align.max(a);
+                    off = round_up(off, a) + self.size_of(f);
+                }
+                round_up(off, max_align)
+            }
+        }
+    }
+
+    /// Alignment of a value of type `id` under the fixed data layout.
+    pub fn align_of(&self, id: TypeId) -> u64 {
+        match self.get(id) {
+            Type::Void | Type::Label | Type::Token => 1,
+            Type::Int(b) => u64::from(((*b + 7) / 8).next_power_of_two().min(8)),
+            Type::F32 => 4,
+            Type::F64 => 8,
+            Type::Ptr { .. } | Type::Func { .. } => 8,
+            Type::Array { elem, .. } | Type::Vector { elem, .. } => self.align_of(*elem),
+            Type::Struct { fields } => fields
+                .iter()
+                .map(|&f| self.align_of(f))
+                .max()
+                .unwrap_or(1),
+        }
+    }
+
+    /// Byte offset of struct field `idx` (with natural-alignment padding).
+    ///
+    /// Returns `None` if `id` is not a struct or `idx` is out of range.
+    pub fn struct_field_offset(&self, id: TypeId, idx: u32) -> Option<u64> {
+        let Type::Struct { fields } = self.get(id) else {
+            return None;
+        };
+        let fields = fields.clone();
+        if idx as usize >= fields.len() {
+            return None;
+        }
+        let mut off = 0u64;
+        for (i, &f) in fields.iter().enumerate() {
+            off = round_up(off, self.align_of(f));
+            if i == idx as usize {
+                return Some(off);
+            }
+            off += self.size_of(f);
+        }
+        None
+    }
+
+    /// Renders `id` in the version-agnostic (typed-pointer) text form.
+    pub fn display(&self, id: TypeId) -> TypeDisplay<'_> {
+        TypeDisplay {
+            table: self,
+            id,
+            opaque_ptr: false,
+        }
+    }
+
+    /// Renders `id` with pointers printed as opaque `ptr` (versions >= 15.0).
+    pub fn display_opaque(&self, id: TypeId) -> TypeDisplay<'_> {
+        TypeDisplay {
+            table: self,
+            id,
+            opaque_ptr: true,
+        }
+    }
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two() || align == 1);
+    v.div_ceil(align) * align
+}
+
+/// Displays a [`TypeId`] using its owning [`TypeTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct TypeDisplay<'a> {
+    table: &'a TypeTable,
+    id: TypeId,
+    opaque_ptr: bool,
+}
+
+impl fmt::Display for TypeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_type(f, self.table, self.id, self.opaque_ptr)
+    }
+}
+
+fn write_type(
+    f: &mut fmt::Formatter<'_>,
+    t: &TypeTable,
+    id: TypeId,
+    opaque: bool,
+) -> fmt::Result {
+    match t.get(id) {
+        Type::Void => f.write_str("void"),
+        Type::Int(b) => write!(f, "i{b}"),
+        Type::F32 => f.write_str("float"),
+        Type::F64 => f.write_str("double"),
+        Type::Ptr {
+            pointee,
+            addr_space,
+        } => {
+            if opaque {
+                if *addr_space != 0 {
+                    write!(f, "ptr addrspace({addr_space})")
+                } else {
+                    f.write_str("ptr")
+                }
+            } else {
+                write_type(f, t, *pointee, opaque)?;
+                if *addr_space != 0 {
+                    write!(f, " addrspace({addr_space})*")
+                } else {
+                    f.write_str("*")
+                }
+            }
+        }
+        Type::Array { elem, len } => {
+            write!(f, "[{len} x ")?;
+            write_type(f, t, *elem, opaque)?;
+            f.write_str("]")
+        }
+        Type::Vector { elem, len } => {
+            write!(f, "<{len} x ")?;
+            write_type(f, t, *elem, opaque)?;
+            f.write_str(">")
+        }
+        Type::Struct { fields } => {
+            f.write_str("{ ")?;
+            for (i, &fd) in fields.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_type(f, t, fd, opaque)?;
+            }
+            f.write_str(" }")
+        }
+        Type::Func {
+            ret,
+            params,
+            varargs,
+        } => {
+            write_type(f, t, *ret, opaque)?;
+            f.write_str(" (")?;
+            for (i, &p) in params.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_type(f, t, p, opaque)?;
+            }
+            if *varargs {
+                if !params.is_empty() {
+                    f.write_str(", ")?;
+                }
+                f.write_str("...")?;
+            }
+            f.write_str(")")
+        }
+        Type::Label => f.write_str("label"),
+        Type::Token => f.write_str("token"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let mut t = TypeTable::new();
+        let a = t.i32();
+        let b = t.i32();
+        assert_eq!(a, b);
+        let p1 = t.ptr(a);
+        let p2 = t.ptr(b);
+        assert_eq!(p1, p2);
+        assert_ne!(a, p1);
+    }
+
+    #[test]
+    fn sizes_and_alignment() {
+        let mut t = TypeTable::new();
+        let i1 = t.i1();
+        let i32t = t.i32();
+        let i64t = t.i64();
+        let p = t.ptr(i32t);
+        assert_eq!(t.size_of(i1), 1);
+        assert_eq!(t.size_of(i32t), 4);
+        assert_eq!(t.size_of(p), 8);
+        assert_eq!(t.align_of(i64t), 8);
+        // struct { i8, i32, i8 } -> 0, 4, 8; size 12 with tail padding.
+        let i8t = t.i8();
+        let s = t.struct_(vec![i8t, i32t, i8t]);
+        assert_eq!(t.struct_field_offset(s, 0), Some(0));
+        assert_eq!(t.struct_field_offset(s, 1), Some(4));
+        assert_eq!(t.struct_field_offset(s, 2), Some(8));
+        assert_eq!(t.size_of(s), 12);
+        assert_eq!(t.struct_field_offset(s, 3), None);
+    }
+
+    #[test]
+    fn array_and_vector_sizes() {
+        let mut t = TypeTable::new();
+        let i32t = t.i32();
+        let a = t.array(i32t, 10);
+        let v = t.vector(i32t, 4);
+        assert_eq!(t.size_of(a), 40);
+        assert_eq!(t.size_of(v), 16);
+    }
+
+    #[test]
+    fn display_typed_and_opaque() {
+        let mut t = TypeTable::new();
+        let i32t = t.i32();
+        let p = t.ptr(i32t);
+        let pp = t.ptr(p);
+        assert_eq!(t.display(pp).to_string(), "i32**");
+        assert_eq!(t.display_opaque(pp).to_string(), "ptr");
+        let f = t.func(i32t, vec![p]);
+        assert_eq!(t.display(f).to_string(), "i32 (i32*)");
+        assert_eq!(t.display_opaque(f).to_string(), "i32 (ptr)");
+    }
+
+    #[test]
+    fn addrspace_display() {
+        let mut t = TypeTable::new();
+        let i8t = t.i8();
+        let p = t.ptr_in(i8t, 3);
+        assert_eq!(t.display(p).to_string(), "i8 addrspace(3)*");
+        assert_eq!(t.display_opaque(p).to_string(), "ptr addrspace(3)");
+    }
+}

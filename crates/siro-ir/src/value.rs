@@ -1,0 +1,177 @@
+//! Value references — the operand language of Fig. 3 in the paper:
+//! `Value v := G | Arg | F | B | I | C`.
+
+use crate::types::TypeId;
+
+/// Function-local handle to an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+/// Function-local handle to a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Module-level handle to a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Module-level handle to a global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Module-level handle to an inline-assembly snippet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsmId(pub u32);
+
+/// A reference to any IR value usable as an instruction operand.
+///
+/// Instruction and block references are *function-local*; the enclosing
+/// function is always clear from context (operands never cross function
+/// boundaries — the verifier enforces this indirectly by construction).
+///
+/// Float constants store raw IEEE bits so that `ValueRef` is `Eq + Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueRef {
+    /// Result of another instruction in the same function.
+    Inst(InstId),
+    /// Function argument by index.
+    Arg(u32),
+    /// Address of a global variable.
+    Global(GlobalId),
+    /// Address of a function.
+    Func(FuncId),
+    /// A basic-block label (successor operands, `phi` incoming blocks).
+    Block(BlockId),
+    /// An integer constant of the given type.
+    ConstInt {
+        /// Type of the constant (an integer type).
+        ty: TypeId,
+        /// Sign-extended value.
+        value: i64,
+    },
+    /// A floating constant of the given type, stored as `f64` bits.
+    ConstFloat {
+        /// Type of the constant (`float` or `double`).
+        ty: TypeId,
+        /// IEEE-754 bits of the `f64` representation.
+        bits: u64,
+    },
+    /// The null pointer of the given pointer type.
+    Null(TypeId),
+    /// An undefined value of the given type.
+    Undef(TypeId),
+    /// A zero-initialized aggregate of the given type.
+    ZeroInit(TypeId),
+    /// An inline-assembly callable (only valid as a call/callbr callee).
+    InlineAsm(AsmId),
+    /// A not-yet-translated forward reference, replaced by the translation
+    /// fix-up pass (see §5 "Handling IR Value Dependence" in the paper).
+    ///
+    /// Verification fails while any placeholder remains.
+    Placeholder(u32),
+}
+
+impl ValueRef {
+    /// Convenience constructor for an integer constant.
+    pub fn const_int(ty: TypeId, value: i64) -> Self {
+        ValueRef::ConstInt { ty, value }
+    }
+
+    /// Convenience constructor for a float constant.
+    pub fn const_float(ty: TypeId, value: f64) -> Self {
+        ValueRef::ConstFloat {
+            ty,
+            bits: value.to_bits(),
+        }
+    }
+
+    /// The float value of a `ConstFloat`, if this is one.
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            ValueRef::ConstFloat { bits, .. } => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// The integer value of a `ConstInt`, if this is one.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            ValueRef::ConstInt { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether this reference is any kind of compile-time constant.
+    pub fn is_constant(self) -> bool {
+        matches!(
+            self,
+            ValueRef::ConstInt { .. }
+                | ValueRef::ConstFloat { .. }
+                | ValueRef::Null(_)
+                | ValueRef::Undef(_)
+                | ValueRef::ZeroInit(_)
+        )
+    }
+
+    /// Whether this reference is a block label.
+    pub fn is_block(self) -> bool {
+        matches!(self, ValueRef::Block(_))
+    }
+
+    /// The block id, if this is a block reference.
+    pub fn as_block(self) -> Option<BlockId> {
+        match self {
+            ValueRef::Block(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The instruction id, if this is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            ValueRef::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeTable;
+
+    #[test]
+    fn float_constants_roundtrip_bits() {
+        let mut t = TypeTable::new();
+        let f64t = t.f64();
+        let v = ValueRef::const_float(f64t, 3.25);
+        assert_eq!(v.as_float(), Some(3.25));
+        assert!(v.is_constant());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = TypeTable::new();
+        let i32t = t.i32();
+        let c = ValueRef::const_int(i32t, -7);
+        assert_eq!(c.as_int(), Some(-7));
+        assert_eq!(c.as_block(), None);
+        let b = ValueRef::Block(BlockId(2));
+        assert!(b.is_block());
+        assert_eq!(b.as_block(), Some(BlockId(2)));
+        assert!(!b.is_constant());
+        let i = ValueRef::Inst(InstId(4));
+        assert_eq!(i.as_inst(), Some(InstId(4)));
+    }
+
+    #[test]
+    fn value_ref_is_hashable() {
+        use std::collections::HashSet;
+        let mut t = TypeTable::new();
+        let f = t.f32();
+        let mut s = HashSet::new();
+        s.insert(ValueRef::const_float(f, 1.0));
+        s.insert(ValueRef::const_float(f, 1.0));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! The IR version catalog.
+//!
+//! An [`IrVersion`] plays the role that a concrete LLVM release plays in the
+//! paper: it decides which instructions exist ([`IrVersion::supports`]), how
+//! the textual serialization looks (the `*_text` quirk predicates), and which
+//! API components `siro-api` exposes with which signatures.
+
+use std::fmt;
+
+use crate::opcode::Opcode;
+
+/// A major.minor IR version, e.g. `3.6` or `13.0`.
+///
+/// Versions are totally ordered; all feature gates are expressed as
+/// "introduced in version X" and checked with `>=`.
+///
+/// # Examples
+///
+/// ```
+/// use siro_ir::IrVersion;
+/// assert!(IrVersion::V13_0 > IrVersion::V3_6);
+/// assert_eq!(IrVersion::V3_6.to_string(), "3.6");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IrVersion {
+    major: u16,
+    minor: u16,
+}
+
+impl IrVersion {
+    /// The oldest version in the catalog (57 instructions).
+    pub const V3_0: IrVersion = IrVersion::new(3, 0);
+    /// Adds `addrspacecast` (58 instructions).
+    pub const V3_6: IrVersion = IrVersion::new(3, 6);
+    /// First version with the five Windows exception-handling instructions.
+    pub const V3_7: IrVersion = IrVersion::new(3, 7);
+    /// 63 instructions.
+    pub const V4_0: IrVersion = IrVersion::new(4, 0);
+    /// 63 instructions (same set as 4.0).
+    pub const V5_0: IrVersion = IrVersion::new(5, 0);
+    /// Adds `callbr`; call/invoke builders require explicit callee type.
+    pub const V9_0: IrVersion = IrVersion::new(9, 0);
+    /// Adds `freeze`.
+    pub const V10_0: IrVersion = IrVersion::new(10, 0);
+    /// Renames the call-target getter (`get_called_value` ->
+    /// `get_called_operand`).
+    pub const V11_0: IrVersion = IrVersion::new(11, 0);
+    /// 65 instructions.
+    pub const V12_0: IrVersion = IrVersion::new(12, 0);
+    /// 65 instructions.
+    pub const V13_0: IrVersion = IrVersion::new(13, 0);
+    /// 65 instructions.
+    pub const V14_0: IrVersion = IrVersion::new(14, 0);
+    /// First version printing opaque `ptr` types.
+    pub const V15_0: IrVersion = IrVersion::new(15, 0);
+    /// The newest version in the catalog.
+    pub const V17_0: IrVersion = IrVersion::new(17, 0);
+
+    /// Every version that the reproduction's experiments reference,
+    /// oldest first.
+    pub const CATALOG: [IrVersion; 9] = [
+        Self::V3_0,
+        Self::V3_6,
+        Self::V4_0,
+        Self::V5_0,
+        Self::V12_0,
+        Self::V13_0,
+        Self::V14_0,
+        Self::V15_0,
+        Self::V17_0,
+    ];
+
+    /// Creates a version from raw major/minor numbers.
+    pub const fn new(major: u16, minor: u16) -> Self {
+        IrVersion { major, minor }
+    }
+
+    /// The major component.
+    pub const fn major(self) -> u16 {
+        self.major
+    }
+
+    /// The minor component.
+    pub const fn minor(self) -> u16 {
+        self.minor
+    }
+
+    /// Whether this version's instruction set contains `op`.
+    pub fn supports(self, op: Opcode) -> bool {
+        self >= op.introduced_in()
+    }
+
+    /// All opcodes available in this version, in canonical order.
+    pub fn instruction_set(self) -> Vec<Opcode> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|op| self.supports(*op))
+            .collect()
+    }
+
+    /// Opcodes shared between `self` and `other` ("common instructions").
+    pub fn common_instructions(self, other: IrVersion) -> Vec<Opcode> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|op| self.supports(*op) && other.supports(*op))
+            .collect()
+    }
+
+    /// Opcodes present in `self` but absent from `other`
+    /// ("new instructions" when translating `self -> other`).
+    pub fn new_instructions_vs(self, other: IrVersion) -> Vec<Opcode> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|op| self.supports(*op) && !other.supports(*op))
+            .collect()
+    }
+
+    // ---- Serialization / API quirks -------------------------------------
+
+    /// Since 3.7, `load` and `getelementptr` spell the result / source
+    /// element type explicitly in the text format.
+    pub fn explicit_load_type_in_text(self) -> bool {
+        self >= Self::V3_7
+    }
+
+    /// Since 9.0, the `call`/`invoke`/`load`/`gep` *builders* require the
+    /// callee or element type as an explicit argument (cf. Fig. 13 of the
+    /// paper).
+    pub fn builders_require_explicit_type(self) -> bool {
+        self >= Self::V9_0
+    }
+
+    /// Since 11.0, the call-target getter is named `get_called_operand`
+    /// instead of `get_called_value`.
+    pub fn renamed_called_operand_getter(self) -> bool {
+        self >= Self::V11_0
+    }
+
+    /// Since 15.0, pointer types print as opaque `ptr`.
+    pub fn opaque_pointers_in_text(self) -> bool {
+        self >= Self::V15_0
+    }
+
+    /// Maximum inline-assembly "hardware level" the backend of this version
+    /// can lower. Models the paper's php failure: source code hard-coding
+    /// newer hardware instructions compiles only with newer backends.
+    pub fn max_asm_hw_level(self) -> u8 {
+        if self >= Self::V12_0 {
+            3
+        } else if self >= Self::V9_0 {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+impl fmt::Display for IrVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_major_then_minor() {
+        assert!(IrVersion::V3_0 < IrVersion::V3_6);
+        assert!(IrVersion::V3_6 < IrVersion::V3_7);
+        assert!(IrVersion::V3_7 < IrVersion::V4_0);
+        assert!(IrVersion::V9_0 < IrVersion::V17_0);
+    }
+
+    #[test]
+    fn table3_instruction_counts() {
+        // The per-version instruction-set sizes that make every Table 3 row
+        // come out exactly as in the paper.
+        assert_eq!(IrVersion::V3_0.instruction_set().len(), 57);
+        assert_eq!(IrVersion::V3_6.instruction_set().len(), 58);
+        assert_eq!(IrVersion::V4_0.instruction_set().len(), 63);
+        assert_eq!(IrVersion::V5_0.instruction_set().len(), 63);
+        assert_eq!(IrVersion::V12_0.instruction_set().len(), 65);
+        assert_eq!(IrVersion::V17_0.instruction_set().len(), 65);
+    }
+
+    #[test]
+    fn table3_common_and_new_counts() {
+        let cases = [
+            (IrVersion::V12_0, IrVersion::V3_6, 58, 7),
+            (IrVersion::V13_0, IrVersion::V3_6, 58, 7),
+            (IrVersion::V14_0, IrVersion::V3_6, 58, 7),
+            (IrVersion::V15_0, IrVersion::V3_6, 58, 7),
+            (IrVersion::V17_0, IrVersion::V3_6, 58, 7),
+            (IrVersion::V17_0, IrVersion::V3_0, 57, 8),
+            (IrVersion::V3_6, IrVersion::V3_0, 57, 1),
+            (IrVersion::V5_0, IrVersion::V4_0, 63, 0),
+            (IrVersion::V17_0, IrVersion::V12_0, 65, 0),
+            (IrVersion::V3_6, IrVersion::V12_0, 58, 0),
+        ];
+        for (src, tgt, common, new) in cases {
+            assert_eq!(
+                src.common_instructions(tgt).len(),
+                common,
+                "common({src}, {tgt})"
+            );
+            assert_eq!(
+                src.new_instructions_vs(tgt).len(),
+                new,
+                "new({src} -> {tgt})"
+            );
+        }
+    }
+
+    #[test]
+    fn quirk_gates() {
+        assert!(!IrVersion::V3_6.explicit_load_type_in_text());
+        assert!(IrVersion::V4_0.explicit_load_type_in_text());
+        assert!(!IrVersion::V5_0.builders_require_explicit_type());
+        assert!(IrVersion::V12_0.builders_require_explicit_type());
+        assert!(!IrVersion::V14_0.opaque_pointers_in_text());
+        assert!(IrVersion::V15_0.opaque_pointers_in_text());
+        assert!(IrVersion::V17_0.renamed_called_operand_getter());
+    }
+
+    #[test]
+    fn display_matches_llvm_convention() {
+        assert_eq!(IrVersion::V3_6.to_string(), "3.6");
+        assert_eq!(IrVersion::V17_0.to_string(), "17.0");
+    }
+}

@@ -1,0 +1,620 @@
+//! The IR Writer ("write an in-memory IR program into a persisted one",
+//! Tab. 2).
+//!
+//! The textual format is a faithful subset of LLVM assembly and — crucially
+//! for the paper's *text incompatibility* (§3.1) — changes with the module's
+//! [`IrVersion`]:
+//!
+//! * `< 3.7`: `load i32* %p` / `getelementptr i32* %p, ...` (no explicit
+//!   result/source element type);
+//! * `>= 3.7`: `load i32, i32* %p` / `getelementptr i32, i32* %p, ...`;
+//! * `>= 15.0`: pointers print as opaque `ptr`.
+
+use std::fmt::Write as _;
+
+use crate::inst::Instruction;
+use crate::module::{Function, GlobalInit, Module};
+use crate::opcode::Opcode;
+use crate::types::TypeId;
+use crate::value::{BlockId, ValueRef};
+use crate::version::IrVersion;
+
+/// Serializes `module` into its version's textual format.
+pub fn write_module(module: &Module) -> String {
+    let mut w = Writer {
+        m: module,
+        v: module.version,
+        out: String::new(),
+        value_numbers: std::collections::HashMap::new(),
+    };
+    w.module();
+    w.out
+}
+
+struct Writer<'a> {
+    m: &'a Module,
+    v: IrVersion,
+    out: String,
+    /// Dense result numbering of the current function (arena ids can have
+    /// gaps after transformations; the textual form always numbers densely).
+    value_numbers: std::collections::HashMap<crate::value::InstId, usize>,
+}
+
+impl Writer<'_> {
+    fn module(&mut self) {
+        let _ = writeln!(self.out, "; ModuleID = '{}'", self.m.name);
+        let _ = writeln!(self.out, "; IR version {}", self.v);
+        if !self.m.globals.is_empty() {
+            self.out.push('\n');
+        }
+        for g in &self.m.globals {
+            let kw = if g.is_const { "constant" } else { "global" };
+            let ty = self.ty(g.ty);
+            match &g.init {
+                GlobalInit::External => {
+                    let _ = writeln!(self.out, "@{} = external {kw} {ty}", g.name);
+                }
+                GlobalInit::Zero => {
+                    let _ = writeln!(self.out, "@{} = {kw} {ty} zeroinitializer", g.name);
+                }
+                GlobalInit::Int(v) => {
+                    let _ = writeln!(self.out, "@{} = {kw} {ty} {v}", g.name);
+                }
+                GlobalInit::Float(v) => {
+                    let _ = writeln!(self.out, "@{} = {kw} {ty} 0x{:016x}", g.name, v.to_bits());
+                }
+                GlobalInit::Bytes(bs) => {
+                    let hex: String = bs.iter().map(|b| format!("\\{b:02x}")).collect();
+                    let _ = writeln!(self.out, "@{} = {kw} {ty} c\"{hex}\"", g.name);
+                }
+            }
+        }
+        for f in &self.m.funcs {
+            self.out.push('\n');
+            if f.is_external {
+                self.declare(f);
+            } else {
+                self.define(f);
+            }
+        }
+    }
+
+    fn ty(&self, t: TypeId) -> String {
+        if self.v.opaque_pointers_in_text() {
+            self.m.types.display_opaque(t).to_string()
+        } else {
+            self.m.types.display(t).to_string()
+        }
+    }
+
+    /// A type that must stay transparent even under opaque pointers (the
+    /// pointer operand of pre-3.7 `load`/`gep`, which carries the element
+    /// type).
+    fn ty_typed(&self, t: TypeId) -> String {
+        self.m.types.display(t).to_string()
+    }
+
+    fn params(&self, f: &Function) -> String {
+        let mut s = String::new();
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let name = if p.name.is_empty() {
+                format!("arg{i}")
+            } else {
+                p.name.clone()
+            };
+            let _ = write!(s, "{} %{}", self.ty(p.ty), name);
+        }
+        if f.varargs {
+            if !f.params.is_empty() {
+                s.push_str(", ");
+            }
+            s.push_str("...");
+        }
+        s
+    }
+
+    fn declare(&mut self, f: &Function) {
+        let _ = writeln!(
+            self.out,
+            "declare {} @{}({})",
+            self.ty(f.ret_ty),
+            f.name,
+            self.params(f)
+        );
+    }
+
+    fn define(&mut self, f: &Function) {
+        // Assign dense value numbers in layout order.
+        self.value_numbers.clear();
+        let mut n = 0usize;
+        for block in &f.blocks {
+            for &iid in &block.insts {
+                let inst = f.inst(iid);
+                if !matches!(self.m.types.get(inst.ty), crate::types::Type::Void) {
+                    self.value_numbers.insert(iid, n);
+                    n += 1;
+                }
+            }
+        }
+        let _ = writeln!(
+            self.out,
+            "define {} @{}({}) {{",
+            self.ty(f.ret_ty),
+            f.name,
+            self.params(f)
+        );
+        for (bi, block) in f.blocks.iter().enumerate() {
+            if bi > 0 {
+                self.out.push('\n');
+            }
+            let _ = writeln!(self.out, "{}:", block_label(f, BlockId(bi as u32)));
+            for &iid in &block.insts {
+                let inst = f.inst(iid);
+                let text = self.inst(f, inst);
+                // Anything with a non-void type carries a result — including
+                // the result-producing terminators `invoke` and `callbr`.
+                let has_result =
+                    !matches!(self.m.types.get(inst.ty), crate::types::Type::Void);
+                if has_result {
+                    let num = self.value_numbers.get(&iid).copied().unwrap_or(iid.0 as usize);
+                    let _ = writeln!(self.out, "  %t{num} = {text}");
+                } else {
+                    let _ = writeln!(self.out, "  {text}");
+                }
+            }
+        }
+        self.out.push_str("}\n");
+    }
+
+    fn val(&self, f: &Function, v: ValueRef) -> String {
+        match v {
+            ValueRef::Inst(i) => {
+                let num = self.value_numbers.get(&i).copied().unwrap_or(i.0 as usize);
+                format!("%t{num}")
+            }
+            ValueRef::Arg(a) => {
+                let p = &f.params[a as usize];
+                if p.name.is_empty() {
+                    format!("%arg{a}")
+                } else {
+                    format!("%{}", p.name)
+                }
+            }
+            ValueRef::Global(g) => format!("@{}", self.m.global(g).name),
+            ValueRef::Func(fid) => format!("@{}", self.m.func(fid).name),
+            ValueRef::Block(b) => format!("%{}", block_label(f, b)),
+            ValueRef::ConstInt { value, .. } => value.to_string(),
+            ValueRef::ConstFloat { bits, .. } => format!("0x{bits:016x}"),
+            ValueRef::Null(_) => "null".into(),
+            ValueRef::Undef(_) => "undef".into(),
+            ValueRef::ZeroInit(_) => "zeroinitializer".into(),
+            ValueRef::InlineAsm(_) => "<asm>".into(),
+            ValueRef::Placeholder(k) => format!("<placeholder:{k}>"),
+        }
+    }
+
+    /// Renders `ty value` with the operand's static type.
+    fn tval(&self, f: &Function, v: ValueRef) -> String {
+        let ty = self
+            .m
+            .value_type(f, v)
+            .map(|t| self.ty(t))
+            .unwrap_or_else(|| self.pointer_ish_type(v));
+        format!("{ty} {}", self.val(f, v))
+    }
+
+    fn pointer_ish_type(&self, v: ValueRef) -> String {
+        match v {
+            ValueRef::Global(g) => {
+                let t = self.m.global(g).ty;
+                if self.v.opaque_pointers_in_text() {
+                    "ptr".into()
+                } else {
+                    format!("{}*", self.m.types.display(t))
+                }
+            }
+            ValueRef::Func(_) => {
+                if self.v.opaque_pointers_in_text() {
+                    "ptr".into()
+                } else {
+                    "void ()*".into()
+                }
+            }
+            _ => "i64".into(),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn inst(&self, f: &Function, inst: &Instruction) -> String {
+        use Opcode::*;
+        let ops = &inst.operands;
+        match inst.opcode {
+            Ret => {
+                if ops.is_empty() {
+                    "ret void".into()
+                } else {
+                    format!("ret {}", self.tval(f, ops[0]))
+                }
+            }
+            Br => {
+                if ops.len() == 1 {
+                    format!("br label {}", self.val(f, ops[0]))
+                } else {
+                    format!(
+                        "br i1 {}, label {}, label {}",
+                        self.val(f, ops[0]),
+                        self.val(f, ops[1]),
+                        self.val(f, ops[2])
+                    )
+                }
+            }
+            Switch => {
+                let mut s = format!(
+                    "switch {}, label {} [",
+                    self.tval(f, ops[0]),
+                    self.val(f, ops[1])
+                );
+                for pair in ops[2..].chunks(2) {
+                    let _ = write!(
+                        s,
+                        " {}, label {}",
+                        self.tval(f, pair[0]),
+                        self.val(f, pair[1])
+                    );
+                }
+                s.push_str(" ]");
+                s
+            }
+            IndirectBr => {
+                let dests: Vec<String> = ops[1..]
+                    .iter()
+                    .map(|v| format!("label {}", self.val(f, *v)))
+                    .collect();
+                format!(
+                    "indirectbr {}, [{}]",
+                    self.tval(f, ops[0]),
+                    dests.join(", ")
+                )
+            }
+            Invoke => {
+                let n = inst.attrs.num_args as usize;
+                let args: Vec<String> =
+                    ops[1..1 + n].iter().map(|v| self.tval(f, *v)).collect();
+                format!(
+                    "invoke {} {}({}) to label {} unwind label {}",
+                    self.ty(inst.ty),
+                    self.val(f, ops[0]),
+                    args.join(", "),
+                    self.val(f, ops[1 + n]),
+                    self.val(f, ops[2 + n]),
+                )
+            }
+            CallBr => {
+                let n = inst.attrs.num_args as usize;
+                let args: Vec<String> =
+                    ops[1..1 + n].iter().map(|v| self.tval(f, *v)).collect();
+                let indirect: Vec<String> = ops[2 + n..]
+                    .iter()
+                    .map(|v| format!("label {}", self.val(f, *v)))
+                    .collect();
+                format!(
+                    "callbr {} {}({}) to label {} [{}]",
+                    self.ty(inst.ty),
+                    self.callee_text(f, ops[0]),
+                    args.join(", "),
+                    self.val(f, ops[1 + n]),
+                    indirect.join(", ")
+                )
+            }
+            Call => {
+                let args: Vec<String> = ops[1..].iter().map(|v| self.tval(f, *v)).collect();
+                let tail = if inst.attrs.tail_call { "tail " } else { "" };
+                format!(
+                    "{tail}call {} {}({})",
+                    self.ty(inst.ty),
+                    self.callee_text(f, ops[0]),
+                    args.join(", ")
+                )
+            }
+            Resume => format!("resume {}", self.tval(f, ops[0])),
+            Unreachable => "unreachable".into(),
+            Add | Sub | Mul | UDiv | SDiv | URem | SRem | Shl | LShr | AShr | And | Or | Xor
+            | FAdd | FSub | FMul | FDiv | FRem => {
+                let mut flags = String::new();
+                if inst.attrs.nuw {
+                    flags.push_str("nuw ");
+                }
+                if inst.attrs.nsw {
+                    flags.push_str("nsw ");
+                }
+                if inst.attrs.exact {
+                    flags.push_str("exact ");
+                }
+                format!(
+                    "{} {flags}{}, {}",
+                    inst.opcode,
+                    self.tval(f, ops[0]),
+                    self.val(f, ops[1])
+                )
+            }
+            FNeg => format!("fneg {}", self.tval(f, ops[0])),
+            Alloca => {
+                let ty = self.ty(inst.attrs.alloc_ty.unwrap_or(inst.ty));
+                if let Some(&c) = ops.first() {
+                    format!("alloca {ty}, {}", self.tval(f, c))
+                } else {
+                    format!("alloca {ty}")
+                }
+            }
+            Load => {
+                let vol = if inst.attrs.volatile { "volatile " } else { "" };
+                let ptr_ty = self
+                    .m
+                    .value_type(f, ops[0])
+                    .map(|t| self.ty(t))
+                    .unwrap_or_else(|| self.pointer_ish_type(ops[0]));
+                if self.v.explicit_load_type_in_text() {
+                    format!(
+                        "load {vol}{}, {ptr_ty} {}",
+                        self.ty(inst.ty),
+                        self.val(f, ops[0])
+                    )
+                } else {
+                    // Old style: the element type rides on the pointer type,
+                    // which therefore must stay transparent.
+                    let ptr_ty = self
+                        .m
+                        .value_type(f, ops[0])
+                        .map(|t| self.ty_typed(t))
+                        .unwrap_or_else(|| self.pointer_ish_type(ops[0]));
+                    format!("load {vol}{ptr_ty} {}", self.val(f, ops[0]))
+                }
+            }
+            Store => {
+                let vol = if inst.attrs.volatile { "volatile " } else { "" };
+                format!(
+                    "store {vol}{}, {}",
+                    self.tval(f, ops[0]),
+                    self.tval(f, ops[1])
+                )
+            }
+            GetElementPtr => {
+                let inb = if inst.attrs.inbounds { "inbounds " } else { "" };
+                let idx: Vec<String> = ops[1..].iter().map(|v| self.tval(f, *v)).collect();
+                if self.v.explicit_load_type_in_text() {
+                    let src = self.ty(inst.attrs.gep_source_ty.unwrap_or(inst.ty));
+                    format!(
+                        "getelementptr {inb}{src}, {}, {}",
+                        self.tval(f, ops[0]),
+                        idx.join(", ")
+                    )
+                } else {
+                    let ptr_ty = self
+                        .m
+                        .value_type(f, ops[0])
+                        .map(|t| self.ty_typed(t))
+                        .unwrap_or_else(|| self.pointer_ish_type(ops[0]));
+                    format!(
+                        "getelementptr {inb}{ptr_ty} {}, {}",
+                        self.val(f, ops[0]),
+                        idx.join(", ")
+                    )
+                }
+            }
+            Fence => format!(
+                "fence {}",
+                inst.attrs
+                    .ordering
+                    .unwrap_or(crate::inst::AtomicOrdering::SeqCst)
+            ),
+            CmpXchg => format!(
+                "cmpxchg {}, {}, {} seq_cst seq_cst",
+                self.tval(f, ops[0]),
+                self.tval(f, ops[1]),
+                self.tval(f, ops[2])
+            ),
+            AtomicRmw => format!(
+                "atomicrmw {} {}, {} seq_cst",
+                inst.attrs.rmw_op.map(|o| o.name()).unwrap_or("xchg"),
+                self.tval(f, ops[0]),
+                self.tval(f, ops[1])
+            ),
+            Trunc | ZExt | SExt | FPTrunc | FPExt | FPToUI | FPToSI | UIToFP | SIToFP
+            | PtrToInt | IntToPtr | BitCast | AddrSpaceCast => {
+                format!(
+                    "{} {} to {}",
+                    inst.opcode,
+                    self.tval(f, ops[0]),
+                    self.ty(inst.ty)
+                )
+            }
+            ICmp => format!(
+                "icmp {} {}, {}",
+                inst.attrs.int_pred.map(|p| p.name()).unwrap_or("eq"),
+                self.tval(f, ops[0]),
+                self.val(f, ops[1])
+            ),
+            FCmp => format!(
+                "fcmp {} {}, {}",
+                inst.attrs.float_pred.map(|p| p.name()).unwrap_or("oeq"),
+                self.tval(f, ops[0]),
+                self.val(f, ops[1])
+            ),
+            Phi => {
+                let pairs: Vec<String> = ops
+                    .chunks(2)
+                    .map(|c| format!("[ {}, {} ]", self.val(f, c[0]), self.val(f, c[1])))
+                    .collect();
+                format!("phi {} {}", self.ty(inst.ty), pairs.join(", "))
+            }
+            Select => format!(
+                "select {}, {}, {}",
+                self.tval(f, ops[0]),
+                self.tval(f, ops[1]),
+                self.tval(f, ops[2])
+            ),
+            VAArg => format!("va_arg {}, {}", self.tval(f, ops[0]), self.ty(inst.ty)),
+            ExtractElement => format!(
+                "extractelement {}, {}",
+                self.tval(f, ops[0]),
+                self.tval(f, ops[1])
+            ),
+            InsertElement => format!(
+                "insertelement {}, {}, {}",
+                self.tval(f, ops[0]),
+                self.tval(f, ops[1]),
+                self.tval(f, ops[2])
+            ),
+            ShuffleVector => {
+                let mask: Vec<String> =
+                    inst.attrs.indices.iter().map(u64::to_string).collect();
+                format!(
+                    "shufflevector {}, {}, mask <{}>",
+                    self.tval(f, ops[0]),
+                    self.tval(f, ops[1]),
+                    mask.join(", ")
+                )
+            }
+            ExtractValue => {
+                let idx: Vec<String> = inst.attrs.indices.iter().map(u64::to_string).collect();
+                format!(
+                    "extractvalue {}, {} : {}",
+                    self.tval(f, ops[0]),
+                    idx.join(", "),
+                    self.ty(inst.ty)
+                )
+            }
+            InsertValue => {
+                let idx: Vec<String> = inst.attrs.indices.iter().map(u64::to_string).collect();
+                format!(
+                    "insertvalue {}, {}, {}",
+                    self.tval(f, ops[0]),
+                    self.tval(f, ops[1]),
+                    idx.join(", ")
+                )
+            }
+            LandingPad => {
+                let cl = if inst.attrs.is_cleanup { " cleanup" } else { "" };
+                format!("landingpad {}{cl}", self.ty(inst.ty))
+            }
+            Freeze => format!("freeze {}", self.tval(f, ops[0])),
+            CatchSwitch => {
+                let dests: Vec<String> = ops
+                    .iter()
+                    .filter(|v| v.is_block())
+                    .map(|v| format!("label {}", self.val(f, *v)))
+                    .collect();
+                format!("catchswitch [{}]", dests.join(", "))
+            }
+            CatchPad => "catchpad".into(),
+            CatchRet => format!("catchret label {}", self.val(f, ops[0])),
+            CleanupPad => "cleanuppad".into(),
+            CleanupRet => format!("cleanupret label {}", self.val(f, ops[0])),
+        }
+    }
+
+    fn callee_text(&self, f: &Function, callee: ValueRef) -> String {
+        match callee {
+            ValueRef::InlineAsm(a) => {
+                let asm = self.m.asm(a);
+                format!(
+                    "asm \"{}\", \"{}\" hwlevel {}",
+                    asm.text, asm.constraints, asm.hw_level
+                )
+            }
+            other => self.val(f, other),
+        }
+    }
+}
+
+/// The textual label used for `block` inside `f`.
+pub fn block_label(f: &Function, block: BlockId) -> String {
+    let b = f.block(block);
+    if b.name.is_empty() {
+        format!("bb{}", block.0)
+    } else {
+        format!("{}.{}", b.name, block.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::{Global, Module};
+    use crate::version::IrVersion;
+
+    fn sample(version: IrVersion) -> Module {
+        let mut m = Module::new("sample", version);
+        let i32t = m.types.i32();
+        m.add_global(Global {
+            name: "g".into(),
+            ty: i32t,
+            init: GlobalInit::Int(5),
+            is_const: false,
+        });
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let p = b.alloca(i32t);
+        b.store(ValueRef::const_int(i32t, 7), p);
+        let v = b.load(i32t, p);
+        b.ret(Some(v));
+        m
+    }
+
+    #[test]
+    fn old_load_syntax_before_3_7() {
+        let text = write_module(&sample(IrVersion::V3_6));
+        assert!(text.contains("load i32* %t0"), "{text}");
+        assert!(!text.contains("load i32, "));
+    }
+
+    #[test]
+    fn new_load_syntax_since_3_7() {
+        let text = write_module(&sample(IrVersion::V13_0));
+        assert!(text.contains("load i32, i32* %t0"), "{text}");
+    }
+
+    #[test]
+    fn opaque_pointers_since_15() {
+        let text = write_module(&sample(IrVersion::V15_0));
+        assert!(text.contains("load i32, ptr %t0"), "{text}");
+        assert!(!text.contains("i32*"), "{text}");
+    }
+
+    #[test]
+    fn globals_and_header_present() {
+        let text = write_module(&sample(IrVersion::V13_0));
+        assert!(text.contains("; IR version 13.0"));
+        assert!(text.contains("@g = global i32 5"));
+        assert!(text.contains("define i32 @main()"));
+    }
+
+    #[test]
+    fn branch_and_phi_render() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let t = b.add_block("then");
+        b.position_at_end(e);
+        let c = b.icmp(
+            crate::inst::IntPredicate::Eq,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 1),
+        );
+        b.cond_br(c, t, t);
+        b.position_at_end(t);
+        let p = b.phi(i32t, vec![(ValueRef::const_int(i32t, 3), e)]);
+        b.ret(Some(p));
+        let text = write_module(&m);
+        assert!(text.contains("br i1 %t0, label %then.1, label %then.1"), "{text}");
+        assert!(text.contains("phi i32 [ 3, %entry.0 ]"), "{text}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Interpreter edge cases beyond the unit tests: the modelled libc, depth
+//! limits, vector semantics, atomics, and event streams.
+
+use siro_ir::{
+    interp::{Event, Machine, RtVal, TrapKind},
+    Function, FuncBuilder, Instruction, IntPredicate, IrVersion, Module, Opcode, Param, ValueRef,
+};
+
+fn module() -> Module {
+    Module::new("t", IrVersion::V13_0)
+}
+
+fn extern_fn(m: &mut Module, name: &str, ret: siro_ir::TypeId, params: &[siro_ir::TypeId]) -> siro_ir::FuncId {
+    let ps = params
+        .iter()
+        .enumerate()
+        .map(|(i, &ty)| Param {
+            name: format!("a{i}"),
+            ty,
+        })
+        .collect();
+    m.add_func(Function::external(name, ret, ps))
+}
+
+#[test]
+fn memcpy_and_memset_move_bytes() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let i8t = m.types.i8();
+    let p8 = m.types.ptr(i8t);
+    let void = m.types.void();
+    let memset = extern_fn(&mut m, "memset", p8, &[p8, i32t, i64t]);
+    let memcpy = extern_fn(&mut m, "memcpy", p8, &[p8, p8, i64t]);
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let arr = b.module().types.array(i8t, 8);
+    let src = b.alloca(arr);
+    let dst = b.alloca(arr);
+    let s8 = b.bitcast(src, p8);
+    let d8 = b.bitcast(dst, p8);
+    b.call(
+        p8,
+        ValueRef::Func(memset),
+        vec![s8, ValueRef::const_int(i32t, 0x41), ValueRef::const_int(i64t, 8)],
+    );
+    b.call(
+        p8,
+        ValueRef::Func(memcpy),
+        vec![d8, s8, ValueRef::const_int(i64t, 8)],
+    );
+    let pi8 = b.module().types.ptr(i8t);
+    let back = b.bitcast(d8, pi8);
+    let v = b.load(i8t, back);
+    let z = b.zext(v, i32t);
+    b.ret(Some(z));
+    let _ = void;
+    assert_eq!(
+        Machine::new(&m).run_main().unwrap().return_int(),
+        Some(0x41)
+    );
+}
+
+#[test]
+fn calloc_zeroes_and_counts_as_heap() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let i8t = m.types.i8();
+    let p8 = m.types.ptr(i8t);
+    let calloc = extern_fn(&mut m, "calloc", p8, &[i64t, i64t]);
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let p = b.call(
+        p8,
+        ValueRef::Func(calloc),
+        vec![ValueRef::const_int(i64t, 4), ValueRef::const_int(i64t, 2)],
+    );
+    let v = b.load(i8t, p);
+    let z = b.zext(v, i32t);
+    b.ret(Some(z));
+    let o = Machine::new(&m).run_main().unwrap();
+    assert_eq!(o.return_int(), Some(0));
+    assert_eq!(o.leaked_heap, 1);
+}
+
+#[test]
+fn unbounded_recursion_hits_the_depth_limit() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let r = b.call(i32t, ValueRef::Func(f), vec![]);
+    b.ret(Some(r));
+    let o = Machine::new(&m).run_main().unwrap();
+    assert_eq!(o.trap().unwrap().kind, TrapKind::DepthExceeded);
+}
+
+#[test]
+fn vector_arithmetic_is_elementwise() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let v2 = m.types.vector(i32t, 2);
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let z = ValueRef::ZeroInit(v2);
+    let a0 = b.insertelement(z, ValueRef::const_int(i32t, 3), ValueRef::const_int(i32t, 0));
+    let a = b.insertelement(a0, ValueRef::const_int(i32t, 5), ValueRef::const_int(i32t, 1));
+    let sum = b.push(Instruction::new(Opcode::Add, v2, vec![a, a]));
+    let e1 = b.extractelement(sum, ValueRef::const_int(i32t, 1), i32t);
+    b.ret(Some(e1));
+    assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(10));
+}
+
+#[test]
+fn vector_icmp_yields_a_mask() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let i1 = m.types.i1();
+    let v2 = m.types.vector(i32t, 2);
+    let v2i1 = m.types.vector(i1, 2);
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let z = ValueRef::ZeroInit(v2);
+    let a = b.insertelement(z, ValueRef::const_int(i32t, 9), ValueRef::const_int(i32t, 0));
+    let mut cmp = Instruction::new(Opcode::ICmp, v2i1, vec![a, z]);
+    cmp.attrs.int_pred = Some(IntPredicate::Sgt);
+    let mask = b.push(cmp);
+    let lane0 = b.extractelement(mask, ValueRef::const_int(i32t, 0), i1);
+    let z0 = b.zext(lane0, i32t);
+    b.ret(Some(z0));
+    assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(1));
+}
+
+#[test]
+fn cmpxchg_failure_leaves_memory_unchanged() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let slot = b.alloca(i32t);
+    b.store(ValueRef::const_int(i32t, 5), slot);
+    // Expect 7 (wrong): must not write 9.
+    let pair = b.cmpxchg(slot, ValueRef::const_int(i32t, 7), ValueRef::const_int(i32t, 9));
+    let i1 = b.module().types.i1();
+    let ok = b.extractvalue(pair, vec![1], i1);
+    let okz = b.zext(ok, i32t);
+    let cur = b.load(i32t, slot);
+    let h = b.mul(cur, ValueRef::const_int(i32t, 10));
+    let s = b.add(h, okz);
+    b.ret(Some(s)); // 5*10 + 0
+    assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(50));
+}
+
+#[test]
+fn atomicrmw_umax_and_xchg() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let slot = b.alloca(i32t);
+    b.store(ValueRef::const_int(i32t, 5), slot);
+    b.atomicrmw(siro_ir::RmwOp::UMax, slot, ValueRef::const_int(i32t, 11));
+    let old = b.atomicrmw(siro_ir::RmwOp::Xchg, slot, ValueRef::const_int(i32t, 2));
+    let cur = b.load(i32t, slot);
+    let h = b.mul(old, ValueRef::const_int(i32t, 10));
+    let s = b.add(h, cur);
+    b.ret(Some(s)); // 11*10 + 2
+    assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(112));
+}
+
+#[test]
+fn fd_events_are_recorded_in_order() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let open = extern_fn(&mut m, "open", i32t, &[]);
+    let close = extern_fn(&mut m, "close", void, &[i32t]);
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let fd1 = b.call(i32t, ValueRef::Func(open), vec![]);
+    let fd2 = b.call(i32t, ValueRef::Func(open), vec![]);
+    b.call(void, ValueRef::Func(close), vec![fd1]);
+    let _ = fd2; // leaked
+    b.ret(Some(ValueRef::const_int(i32t, 0)));
+    let o = Machine::new(&m).run_main().unwrap();
+    let fds: Vec<&Event> = o.events.iter().collect();
+    assert_eq!(fds.len(), 3);
+    assert!(matches!(fds[0], Event::FdOpened(3)));
+    assert!(matches!(fds[1], Event::FdOpened(4)));
+    assert!(matches!(fds[2], Event::FdClosed(3)));
+}
+
+#[test]
+fn undef_poisons_arithmetic_but_freeze_pins_it() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let u = ValueRef::Undef(i32t);
+    let poisoned = b.add(u, ValueRef::const_int(i32t, 1));
+    let frozen = b.freeze(poisoned);
+    let v = b.add(frozen, ValueRef::const_int(i32t, 5));
+    b.ret(Some(v));
+    // freeze(undef) = 0 in this implementation, so the result is exactly 5.
+    assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(5));
+}
+
+#[test]
+fn run_func_executes_named_functions_with_arguments() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let f = FuncBuilder::define(
+        &mut m,
+        "triple",
+        i32t,
+        vec![Param {
+            name: "x".into(),
+            ty: i32t,
+        }],
+    );
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let r = b.mul(ValueRef::Arg(0), ValueRef::const_int(i32t, 3));
+    b.ret(Some(r));
+    let o = Machine::new(&m)
+        .run_func("triple", vec![RtVal::int(32, 14)])
+        .unwrap();
+    assert_eq!(o.return_int(), Some(42));
+    // Unknown function names are IrErrors, not traps.
+    assert!(Machine::new(&m).run_func("nope", vec![]).is_err());
+}
+
+#[test]
+fn stack_slots_die_with_their_frame() {
+    // Returning a pointer to a stack slot and dereferencing it afterwards
+    // is a use-after-free in the machine's memory model.
+    let mut m = module();
+    let i32t = m.types.i32();
+    let p32 = m.types.ptr(i32t);
+    let f = FuncBuilder::define(&mut m, "leak_stack", p32, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let slot = b.alloca(i32t);
+    b.store(ValueRef::const_int(i32t, 3), slot);
+    b.ret(Some(slot));
+    let mainf = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, mainf);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let p = b.call(p32, ValueRef::Func(f), vec![]);
+    let v = b.load(i32t, p);
+    b.ret(Some(v));
+    let o = Machine::new(&m).run_main().unwrap();
+    assert_eq!(o.trap().unwrap().kind, TrapKind::UseAfterFree);
+}
+
+#[test]
+fn unknown_externals_return_zero_and_log_an_event() {
+    let mut m = module();
+    let i32t = m.types.i32();
+    let mystery = extern_fn(&mut m, "mystery_syscall", i32t, &[]);
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let v = b.call(i32t, ValueRef::Func(mystery), vec![]);
+    b.ret(Some(v));
+    let o = Machine::new(&m).run_main().unwrap();
+    assert_eq!(o.return_int(), Some(0));
+    assert!(o
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::ExternalCall(n) if n == "mystery_syscall")));
+}

@@ -1,0 +1,192 @@
+//! Property-based tests of the IR substrate itself: masked integer
+//! semantics against a reference implementation, type-table laws, and
+//! constant round-trips through memory.
+
+use proptest::prelude::*;
+
+use siro_ir::{
+    interp::Machine, FuncBuilder, Instruction, IrVersion, Module, Opcode, Type, TypeTable,
+    ValueRef,
+};
+
+/// Reference i32 semantics for the interpreter's integer ops.
+fn reference(op: Opcode, a: i32, b: i32) -> Option<i32> {
+    Some(match op {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a.wrapping_shl(b as u32 % 32),
+        Opcode::LShr => ((a as u32) >> (b as u32 % 32)) as i32,
+        Opcode::AShr => a >> (b as u32 % 32),
+        Opcode::UDiv => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u32) / (b as u32)) as i32
+        }
+        Opcode::SDiv => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        Opcode::URem => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u32) % (b as u32)) as i32
+        }
+        Opcode::SRem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        _ => return None,
+    })
+}
+
+fn run_binop(op: Opcode, a: i32, b: i32) -> Option<i32> {
+    let mut m = Module::new("prop", IrVersion::V13_0);
+    let i32t = m.types.i32();
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut bld = FuncBuilder::new(&mut m, f);
+    let e = bld.add_block("entry");
+    bld.position_at_end(e);
+    let v = bld.push(Instruction::new(
+        op,
+        i32t,
+        vec![
+            ValueRef::const_int(i32t, i64::from(a)),
+            ValueRef::const_int(i32t, i64::from(b)),
+        ],
+    ));
+    bld.ret(Some(v));
+    Machine::new(&m)
+        .run_main()
+        .unwrap()
+        .return_int()
+        .map(|v| v as i32)
+}
+
+const OPS: [Opcode; 13] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::LShr,
+    Opcode::AShr,
+    Opcode::UDiv,
+    Opcode::SDiv,
+    Opcode::URem,
+    Opcode::SRem,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The interpreter's i32 arithmetic agrees with native Rust wrapping
+    /// semantics, including the division-by-zero trap.
+    #[test]
+    fn integer_ops_match_reference(op_idx in 0usize..13, a in any::<i32>(), b in any::<i32>()) {
+        let op = OPS[op_idx];
+        let expect = reference(op, a, b);
+        let got = run_binop(op, a, b);
+        prop_assert_eq!(got, expect, "{} {} {}", op, a, b);
+    }
+
+    /// Storing then loading any i32/i64/i8 constant round-trips through the
+    /// byte-level memory.
+    #[test]
+    fn memory_roundtrips_integers(v in any::<i64>(), width in prop::sample::select(vec![8u32, 16, 32, 64])) {
+        let mut m = Module::new("prop", IrVersion::V13_0);
+        let ity = m.types.int(width);
+        let i64t = m.types.i64();
+        let f = FuncBuilder::define(&mut m, "main", i64t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let slot = b.alloca(ity);
+        b.store(ValueRef::const_int(ity, v), slot);
+        let loaded = b.load(ity, slot);
+        let wide = b.sext(loaded, i64t);
+        b.ret(Some(wide));
+        let got = Machine::new(&m).run_main().unwrap().return_int().unwrap();
+        // Expected: v sign-extended from `width` bits.
+        let shift = 64 - width;
+        let expect = (v << shift) >> shift;
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Interning is idempotent and structural: equal types share ids,
+    /// distinct types never collide.
+    #[test]
+    fn type_table_interning_laws(widths in prop::collection::vec(1u32..130, 1..20)) {
+        let mut t = TypeTable::new();
+        let ids: Vec<_> = widths.iter().map(|&w| t.int(w)).collect();
+        for (w, id) in widths.iter().zip(&ids) {
+            prop_assert_eq!(t.int(*w), *id); // idempotent
+            prop_assert_eq!(t.get(*id), &Type::Int(*w));
+        }
+        for (i, a) in widths.iter().enumerate() {
+            for (j, b) in widths.iter().enumerate() {
+                prop_assert_eq!(a == b, ids[i] == ids[j]);
+            }
+        }
+        // Pointers to distinct pointees are distinct.
+        let ptrs: Vec<_> = ids.iter().map(|&i| t.ptr(i)).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                prop_assert_eq!(a == b, ptrs[i] == ptrs[j]);
+            }
+        }
+    }
+
+    /// `size_of` is consistent: arrays scale linearly, structs are at least
+    /// the sum of their fields and aligned to the max field alignment.
+    #[test]
+    fn layout_laws(widths in prop::collection::vec(prop::sample::select(vec![8u32, 16, 32, 64]), 1..8), n in 1u64..16) {
+        let mut t = TypeTable::new();
+        let fields: Vec<_> = widths.iter().map(|&w| t.int(w)).collect();
+        let st = t.struct_(fields.clone());
+        let sum: u64 = fields.iter().map(|&f| t.size_of(f)).sum();
+        let max_align = fields.iter().map(|&f| t.align_of(f)).max().unwrap();
+        prop_assert!(t.size_of(st) >= sum);
+        prop_assert_eq!(t.size_of(st) % max_align, 0);
+        let elem = fields[0];
+        let arr = t.array(elem, n);
+        prop_assert_eq!(t.size_of(arr), t.size_of(elem) * n);
+        // Field offsets are within bounds, ordered, and aligned.
+        let mut prev_end = 0;
+        for (i, &f) in fields.iter().enumerate() {
+            let off = t.struct_field_offset(st, i as u32).unwrap();
+            prop_assert!(off >= prev_end);
+            prop_assert_eq!(off % t.align_of(f), 0);
+            prev_end = off + t.size_of(f);
+        }
+        prop_assert!(prev_end <= t.size_of(st));
+    }
+
+    /// The writer/parser round-trip holds for arbitrary integer constants
+    /// in ret position.
+    #[test]
+    fn constants_roundtrip_through_text(v in any::<i32>()) {
+        let mut m = Module::new("prop", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        b.ret(Some(ValueRef::const_int(i32t, i64::from(v))));
+        let text = siro_ir::write::write_module(&m);
+        let parsed = siro_ir::parse::parse_module(&text).unwrap();
+        let got = Machine::new(&parsed).run_main().unwrap().return_int();
+        prop_assert_eq!(got, Some(i64::from(v)));
+    }
+}

@@ -1,0 +1,175 @@
+//! Verifier rule coverage: the LLVM-faithful cast constraints (which are
+//! load-bearing for synthesis — they reject well-typed-but-wrong
+//! candidates at "compilation" time) and assorted structural rules.
+
+use siro_ir::{
+    verify::{codegen_check, collect_findings, verify_module},
+    FuncBuilder, InlineAsm, Instruction, IrVersion, Module, Opcode, TypeId, ValueRef,
+};
+
+/// Builds `op` with a constant of `src` type and result of `dst` type, and
+/// returns whether verification accepted it.
+fn cast_ok(
+    op: Opcode,
+    src: fn(&mut siro_ir::TypeTable) -> TypeId,
+    src_const: fn(TypeId) -> ValueRef,
+    dst: fn(&mut siro_ir::TypeTable) -> TypeId,
+) -> bool {
+    let mut m = Module::new("m", IrVersion::V13_0);
+    let i32t = m.types.i32();
+    let s = src(&mut m.types);
+    let d = dst(&mut m.types);
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    b.push(Instruction::new(op, d, vec![src_const(s)]));
+    b.ret(Some(ValueRef::const_int(i32t, 0)));
+    verify_module(&m).is_ok()
+}
+
+fn ci(t: TypeId) -> ValueRef {
+    ValueRef::const_int(t, 1)
+}
+
+fn cfl(t: TypeId) -> ValueRef {
+    ValueRef::const_float(t, 1.5)
+}
+
+fn cnull(t: TypeId) -> ValueRef {
+    ValueRef::Null(t)
+}
+
+#[test]
+fn trunc_requires_narrowing() {
+    assert!(cast_ok(Opcode::Trunc, |t| t.i64(), ci, |t| t.i8()));
+    assert!(!cast_ok(Opcode::Trunc, |t| t.i8(), ci, |t| t.i64()));
+    assert!(!cast_ok(Opcode::Trunc, |t| t.i32(), ci, |t| t.i32()));
+    assert!(!cast_ok(Opcode::Trunc, |t| t.f64(), cfl, |t| t.i8()));
+}
+
+#[test]
+fn ext_requires_widening() {
+    assert!(cast_ok(Opcode::ZExt, |t| t.i8(), ci, |t| t.i32()));
+    assert!(!cast_ok(Opcode::ZExt, |t| t.i32(), ci, |t| t.i8()));
+    assert!(!cast_ok(Opcode::SExt, |t| t.i32(), ci, |t| t.i32()));
+}
+
+#[test]
+fn fp_casts_require_float_width_changes() {
+    assert!(cast_ok(Opcode::FPTrunc, |t| t.f64(), cfl, |t| t.f32()));
+    assert!(!cast_ok(Opcode::FPTrunc, |t| t.f32(), cfl, |t| t.f64()));
+    assert!(!cast_ok(Opcode::FPTrunc, |t| t.f64(), cfl, |t| t.f64()));
+    assert!(cast_ok(Opcode::FPExt, |t| t.f32(), cfl, |t| t.f64()));
+    assert!(!cast_ok(Opcode::FPExt, |t| t.f64(), cfl, |t| t.f32()));
+}
+
+#[test]
+fn int_float_conversions_check_both_sides() {
+    // The exact rule that kills the Fig. 9-style wrong uitofp candidate.
+    assert!(cast_ok(Opcode::UIToFP, |t| t.i32(), ci, |t| t.f64()));
+    assert!(!cast_ok(Opcode::UIToFP, |t| t.i32(), ci, |t| t.i32()));
+    assert!(cast_ok(Opcode::FPToSI, |t| t.f64(), cfl, |t| t.i32()));
+    assert!(!cast_ok(Opcode::FPToSI, |t| t.f64(), cfl, |t| t.f64()));
+}
+
+#[test]
+fn pointer_conversions() {
+    assert!(cast_ok(
+        Opcode::PtrToInt,
+        |t| {
+            let i = t.i8();
+            t.ptr(i)
+        },
+        cnull,
+        |t| t.i64()
+    ));
+    assert!(!cast_ok(Opcode::PtrToInt, |t| t.i64(), ci, |t| t.i64()));
+    assert!(cast_ok(Opcode::IntToPtr, |t| t.i64(), ci, |t| {
+        let i = t.i8();
+        t.ptr(i)
+    }));
+    assert!(!cast_ok(
+        Opcode::IntToPtr,
+        |t| {
+            let i = t.i8();
+            t.ptr(i)
+        },
+        cnull,
+        |t| {
+            let i = t.i8();
+            t.ptr(i)
+        }
+    ));
+}
+
+#[test]
+fn bitcast_requires_size_match_or_pointers() {
+    assert!(cast_ok(Opcode::BitCast, |t| t.i32(), ci, |t| t.f32()));
+    assert!(!cast_ok(Opcode::BitCast, |t| t.i32(), ci, |t| t.f64()));
+    assert!(cast_ok(
+        Opcode::BitCast,
+        |t| {
+            let i = t.i8();
+            t.ptr(i)
+        },
+        cnull,
+        |t| {
+            let i = t.i32();
+            t.ptr(i)
+        }
+    ));
+    // Pointer <-> int is ptrtoint/inttoptr territory, not bitcast.
+    assert!(!cast_ok(
+        Opcode::BitCast,
+        |t| {
+            let i = t.i8();
+            t.ptr(i)
+        },
+        cnull,
+        |t| t.i64()
+    ));
+}
+
+#[test]
+fn codegen_check_gates_asm_hw_levels() {
+    let mut m = Module::new("m", IrVersion::V3_6);
+    let i32t = m.types.i32();
+    let fnty = m.types.func(i32t, vec![]);
+    m.add_asm(InlineAsm {
+        text: "newfangled".into(),
+        constraints: String::new(),
+        ty: fnty,
+        hw_level: 3,
+    });
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    b.ret(Some(ValueRef::const_int(i32t, 0)));
+    assert!(codegen_check(&m).is_err());
+    // The same module "compiled" at 12.0 is fine.
+    let mut high = m.clone();
+    high.version = IrVersion::V12_0;
+    assert!(codegen_check(&high).is_ok());
+}
+
+#[test]
+fn findings_accumulate_rather_than_bail() {
+    let mut m = Module::new("m", IrVersion::V3_6);
+    let i32t = m.types.i32();
+    let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    // Two independent problems: a gated opcode and a bad cast.
+    b.freeze(ValueRef::const_int(i32t, 1));
+    b.push(Instruction::new(
+        Opcode::Trunc,
+        i32t,
+        vec![ValueRef::const_int(i32t, 1)],
+    ));
+    b.ret(Some(ValueRef::const_int(i32t, 0)));
+    let findings = collect_findings(&m);
+    assert!(findings.len() >= 2, "{findings:?}");
+}

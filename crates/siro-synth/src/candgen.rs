@@ -1,0 +1,372 @@
+//! Type-guided candidate generation (§4.2, step ➊ of Alg. 2).
+//!
+//! For each common instruction kind `k`, the generator searches the IR type
+//! graph backwards from the target type `Inst(k, Target)` and materialises
+//! every *feasible subgraph* (Def. 4.2) as an [`ApiProgram`]:
+//!
+//! * **Consumption rule** — every component invocation receives exactly one
+//!   argument per parameter, satisfied by construction.
+//! * **Reachability rule** — programs must consume the source instruction
+//!   (nullary builders exempt) and end in the target type, checked by
+//!   [`ApiProgram::well_typed`].
+//!
+//! Structural pruning embodied in the search (all justified by the paper's
+//! "analyze the type information of APIs"):
+//!
+//! * Only getters applicable to kind `k` participate.
+//! * Constant indices beyond the kind's static operand arity are skipped.
+//! * Builders appear only at the root: common-instruction translators are
+//!   one-to-one mappings (Def. 3.1).
+
+use std::collections::HashMap;
+
+use siro_api::{ApiCall, ApiId, ApiKind, ApiProgram, ApiType, Reg, Side};
+use siro_ir::Opcode;
+
+use crate::typegraph::TypeGraph;
+
+/// Limits for the candidate search.
+#[derive(Debug, Clone, Copy)]
+pub struct GenLimits {
+    /// Maximum distinct producer expressions kept per needed type.
+    pub max_exprs_per_type: usize,
+    /// Maximum candidate programs kept per instruction kind.
+    pub max_candidates_per_kind: usize,
+    /// Maximum recursion depth below the root builder.
+    pub max_depth: u32,
+}
+
+impl Default for GenLimits {
+    fn default() -> Self {
+        GenLimits {
+            max_exprs_per_type: 128,
+            max_candidates_per_kind: 4096,
+            max_depth: 3,
+        }
+    }
+}
+
+/// An expression tree over API components (flattened into programs later).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Expr {
+    Input,
+    Call(ApiId, Vec<Expr>),
+}
+
+/// Generates the candidate atomic translators Λ*_k for one kind.
+pub fn generate_for_kind(graph: &TypeGraph<'_>, kind: Opcode, limits: GenLimits) -> Vec<ApiProgram> {
+    let reg = graph.registry();
+    let target = ApiType::Inst(kind, Side::Target);
+    let reachable = graph.backward_reachable(target);
+    let mut gen = Gen {
+        graph,
+        kind,
+        limits,
+        memo: HashMap::new(),
+    };
+    let mut out = Vec::new();
+    for &builder in graph.producers_of(target) {
+        if !reachable.contains(&builder) {
+            continue;
+        }
+        let f = reg.get(builder);
+        if f.kind != ApiKind::Builder {
+            continue;
+        }
+        // Producers for each parameter.
+        let per_param: Vec<Vec<Expr>> = f
+            .params
+            .iter()
+            .map(|&p| gen.producers(p, limits.max_depth))
+            .collect();
+        if per_param.iter().any(Vec::is_empty) {
+            continue;
+        }
+        // Cartesian product, capped.
+        let mut idx = vec![0usize; per_param.len()];
+        loop {
+            let args: Vec<Expr> = idx
+                .iter()
+                .zip(&per_param)
+                .map(|(&i, v)| v[i].clone())
+                .collect();
+            let expr = Expr::Call(builder, args);
+            out.push(flatten(reg, kind, &expr));
+            if out.len() >= limits.max_candidates_per_kind {
+                break;
+            }
+            // Advance mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == idx.len() {
+                    break;
+                }
+                idx[pos] += 1;
+                if idx[pos] < per_param[pos].len() {
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+            }
+            if pos == idx.len() {
+                break;
+            }
+        }
+        if out.len() >= limits.max_candidates_per_kind {
+            break;
+        }
+    }
+    // Keep only well-typed, input-consuming programs, deduplicated.
+    out.retain(|p| p.well_typed(reg));
+    out.sort();
+    out.dedup();
+    out
+}
+
+struct Gen<'g, 'r> {
+    graph: &'g TypeGraph<'r>,
+    kind: Opcode,
+    limits: GenLimits,
+    memo: HashMap<(ApiType, u32), Vec<Expr>>,
+}
+
+impl Gen<'_, '_> {
+    /// All expressions producing a value usable as `ty`, within `depth`
+    /// component applications.
+    fn producers(&mut self, ty: ApiType, depth: u32) -> Vec<Expr> {
+        if let Some(v) = self.memo.get(&(ty, depth)) {
+            return v.clone();
+        }
+        let reg = self.graph.registry();
+        let mut out = Vec::new();
+        // The input instruction itself.
+        if ty.accepts(ApiType::Inst(self.kind, Side::Source)) {
+            out.push(Expr::Input);
+        }
+        if depth > 0 {
+            for &api in self.graph.producers_of(ty) {
+                let f = reg.get(api);
+                if !self.allowed(api) {
+                    continue;
+                }
+                let per_param: Vec<Vec<Expr>> = f
+                    .params
+                    .iter()
+                    .map(|&p| self.producers(p, depth - 1))
+                    .collect();
+                if per_param.iter().any(Vec::is_empty) {
+                    continue;
+                }
+                let mut idx = vec![0usize; per_param.len()];
+                'prod: loop {
+                    let args: Vec<Expr> = idx
+                        .iter()
+                        .zip(&per_param)
+                        .map(|(&i, v)| v[i].clone())
+                        .collect();
+                    out.push(Expr::Call(api, args));
+                    if out.len() >= self.limits.max_exprs_per_type {
+                        break 'prod;
+                    }
+                    if per_param.is_empty() {
+                        break;
+                    }
+                    let mut pos = 0;
+                    loop {
+                        if pos == idx.len() {
+                            break 'prod;
+                        }
+                        idx[pos] += 1;
+                        if idx[pos] < per_param[pos].len() {
+                            break;
+                        }
+                        idx[pos] = 0;
+                        pos += 1;
+                    }
+                }
+                if out.len() >= self.limits.max_exprs_per_type {
+                    break;
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out.truncate(self.limits.max_exprs_per_type);
+        self.memo.insert((ty, depth), out.clone());
+        out
+    }
+
+    /// Structural pruning for non-root components.
+    fn allowed(&self, api: ApiId) -> bool {
+        let reg = self.graph.registry();
+        let f = reg.get(api);
+        match f.kind {
+            // One-to-one mapping: builders only at the root.
+            ApiKind::Builder => false,
+            ApiKind::Getter => {
+                // Only getters on this kind's source instruction.
+                f.params
+                    .first()
+                    .is_some_and(|p| p.accepts(ApiType::Inst(self.kind, Side::Source)))
+            }
+            ApiKind::Const => {
+                // Indices beyond the kind's static arity can never succeed.
+                let bound = siro_api::operand_index_bound(self.kind);
+                match f.name.strip_prefix("const_").and_then(|s| s.parse::<u32>().ok()) {
+                    Some(i) => i < bound.max(1),
+                    None => true,
+                }
+            }
+            ApiKind::OperandTranslator => true,
+        }
+    }
+}
+
+/// Flattens an expression tree into a straight-line program with common
+/// subexpressions shared (so `get_condition(inst)` is fetched once even if
+/// used twice, as in hand-written translators).
+fn flatten(reg: &siro_api::ApiRegistry, kind: Opcode, root: &Expr) -> ApiProgram {
+    let _ = reg;
+    let mut steps: Vec<ApiCall> = Vec::new();
+    let mut cache: HashMap<Expr, usize> = HashMap::new();
+    fn walk(
+        e: &Expr,
+        steps: &mut Vec<ApiCall>,
+        cache: &mut HashMap<Expr, usize>,
+    ) -> Reg {
+        match e {
+            Expr::Input => Reg::Input,
+            Expr::Call(api, args) => {
+                if let Some(&i) = cache.get(e) {
+                    return Reg::Step(i);
+                }
+                let regs: Vec<Reg> = args.iter().map(|a| walk(a, steps, cache)).collect();
+                let i = steps.len();
+                steps.push(ApiCall {
+                    api: *api,
+                    args: regs,
+                });
+                cache.insert(e.clone(), i);
+                Reg::Step(i)
+            }
+        }
+    }
+    walk(root, &mut steps, &mut cache);
+    ApiProgram { kind, steps }
+}
+
+/// Generates candidates for every kind common to the registry's version
+/// pair, returning `(kind, candidates)` in opcode order.
+pub fn generate_all(
+    graph: &TypeGraph<'_>,
+    limits: GenLimits,
+) -> Vec<(Opcode, Vec<ApiProgram>)> {
+    let reg = graph.registry();
+    reg.src_version
+        .common_instructions(reg.tgt_version)
+        .into_iter()
+        .map(|k| (k, generate_for_kind(graph, k, limits)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_api::ApiRegistry;
+    use siro_ir::IrVersion;
+
+    fn candidates(kind: Opcode) -> (ApiRegistry, Vec<ApiProgram>) {
+        let reg = ApiRegistry::for_pair(IrVersion::V12_0, IrVersion::V3_6);
+        let progs = {
+            let graph = TypeGraph::new(&reg);
+            generate_for_kind(&graph, kind, GenLimits::default())
+        };
+        (reg, progs)
+    }
+
+    #[test]
+    fn branch_candidates_include_both_correct_forms() {
+        let (reg, progs) = candidates(Opcode::Br);
+        assert!(progs.len() >= 10, "too few branch candidates: {}", progs.len());
+        let summaries: Vec<String> = progs.iter().map(|p| p.summary(&reg)).collect();
+        // The Fig. 4 translator (via get_successor)...
+        assert!(
+            summaries
+                .iter()
+                .any(|s| s == "create_br(translate_block(get_successor(inst, const_0())))"),
+            "missing correct uncond-br candidate"
+        );
+        // ...and the Fig. 11 equivalent (via get_block_operand).
+        assert!(
+            summaries
+                .iter()
+                .any(|s| s
+                    == "create_br(translate_block(get_block_operand(inst, const_0())))"),
+            "missing alias uncond-br candidate"
+        );
+        // The correct conditional translator.
+        assert!(summaries.iter().any(|s| s.contains("create_cond_br(translate_value(get_condition(inst))")));
+        // And the Fig. 9 wrong-but-well-typed swapped variant.
+        assert!(summaries.iter().any(|s| s
+            == "create_cond_br(translate_value(get_condition(inst)), \
+                translate_block(get_successor(inst, const_1())), \
+                translate_block(get_successor(inst, const_0())))"
+            || s.contains("const_1())), translate_block(get_successor(inst, const_0())))")));
+    }
+
+    #[test]
+    fn binary_candidates_cover_operand_permutations() {
+        let (reg, progs) = candidates(Opcode::Sub);
+        let summaries: Vec<String> = progs.iter().map(|p| p.summary(&reg)).collect();
+        assert!(summaries.iter().any(|s| s.contains("get_operand(inst, const_0())")
+            && s.contains("get_operand(inst, const_1())")));
+        // The duplicated-operand candidate of Fig. 7 must be in the space.
+        let dup = "create_sub(translate_value(get_operand(inst, const_0())), \
+                   translate_value(get_operand(inst, const_0())))";
+        assert!(summaries.iter().any(|s| s == dup), "missing {dup}");
+    }
+
+    #[test]
+    fn every_candidate_is_well_typed() {
+        for kind in [Opcode::Br, Opcode::Ret, Opcode::Load, Opcode::Phi, Opcode::Call] {
+            let (reg, progs) = candidates(kind);
+            assert!(!progs.is_empty(), "no candidates for {kind}");
+            for p in &progs {
+                assert!(p.well_typed(&reg), "ill-typed candidate {}", p.summary(&reg));
+            }
+        }
+    }
+
+    #[test]
+    fn ret_includes_nullary_void_builder() {
+        let (reg, progs) = candidates(Opcode::Ret);
+        let summaries: Vec<String> = progs.iter().map(|p| p.summary(&reg)).collect();
+        assert!(summaries.iter().any(|s| s == "create_ret_void()"));
+        assert!(summaries
+            .iter()
+            .any(|s| s == "create_ret(translate_value(get_return_value(inst)))"));
+    }
+
+    #[test]
+    fn generate_all_covers_common_kinds() {
+        let reg = ApiRegistry::for_pair(IrVersion::V12_0, IrVersion::V3_6);
+        let graph = TypeGraph::new(&reg);
+        let all = generate_all(&graph, GenLimits::default());
+        assert_eq!(all.len(), 58);
+        for (k, progs) in &all {
+            assert!(!progs.is_empty(), "no candidates for {k}");
+        }
+    }
+
+    #[test]
+    fn explicit_type_builders_change_the_space() {
+        // Upgrading to 13.0: create_load takes (TypeRef, Value).
+        let reg = ApiRegistry::for_pair(IrVersion::V3_6, IrVersion::V13_0);
+        let graph = TypeGraph::new(&reg);
+        let progs = generate_for_kind(&graph, Opcode::Load, GenLimits::default());
+        let summaries: Vec<String> = progs.iter().map(|p| p.summary(&reg)).collect();
+        assert!(summaries
+            .iter()
+            .any(|s| s.contains("create_load(translate_type(")));
+    }
+}

@@ -1,0 +1,271 @@
+//! Skeleton completion (§4.3.5, step ➎ of Alg. 2): turning the refined
+//! mapping `M*` into final instruction translators and rendering them as
+//! source code.
+//!
+//! For each kind: if one candidate survives under *every* observed
+//! conjunction, the kind has a single sub-kind and gets `[true -> λ]`.
+//! Otherwise a minimum set of candidates covering all observed conjunctions
+//! is selected (greedy set cover) and each selected candidate's covered
+//! conjunctions are OR-ed into its guard. Conjunctions never observed fall
+//! through to the generated warning branch that asks the user for a new
+//! test case.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use siro_api::{ApiProgram, ApiRegistry, PredConj};
+use siro_core::{KindTranslator, SynthesizedTranslator, TranslatorArm};
+use siro_ir::Opcode;
+
+use crate::refine::{CandIdx, MStar};
+
+/// Builds the [`KindTranslator`] for one kind from its refined mapping.
+///
+/// Returns `None` if the kind has no observed conjunction (no test coverage
+/// — the kind gets a pure warning translator).
+pub fn complete_kind(
+    mstar: &MStar,
+    kind: Opcode,
+    candidates: &[ApiProgram],
+) -> Option<KindTranslator> {
+    let entries = mstar.entries(kind)?;
+    if entries.is_empty() {
+        return None;
+    }
+    // A candidate surviving under every conjunction => single sub-kind.
+    let mut universal: Option<CandIdx> = None;
+    'outer: for &c in entries.values().next().unwrap() {
+        for set in entries.values() {
+            if !set.contains(&c) {
+                continue 'outer;
+            }
+        }
+        universal = Some(c);
+        break;
+    }
+    if let Some(c) = universal {
+        return Some(KindTranslator::single(candidates[c].clone()));
+    }
+    // Greedy minimum cover of the observed conjunctions.
+    let mut uncovered: Vec<&PredConj> = entries.keys().collect();
+    let mut arms = Vec::new();
+    while !uncovered.is_empty() {
+        // Pick the candidate covering the most uncovered conjunctions
+        // (ties: smallest index for determinism).
+        let mut best: Option<(CandIdx, Vec<usize>)> = None;
+        let all_cands: BTreeSet<CandIdx> = entries.values().flatten().copied().collect();
+        for &c in &all_cands {
+            let covered: Vec<usize> = uncovered
+                .iter()
+                .enumerate()
+                .filter(|(_, conj)| entries[**conj].contains(&c))
+                .map(|(i, _)| i)
+                .collect();
+            let better = match &best {
+                None => !covered.is_empty(),
+                Some((_, b)) => covered.len() > b.len(),
+            };
+            if better {
+                best = Some((c, covered));
+            }
+        }
+        let (cand, covered_idx) = best?;
+        // OR the covered conjunctions into this arm's guard.
+        let covers: Vec<PredConj> = covered_idx.iter().map(|&i| uncovered[i].clone()).collect();
+        for &i in covered_idx.iter().rev() {
+            uncovered.remove(i);
+        }
+        arms.push(TranslatorArm {
+            covers,
+            program: candidates[cand].clone(),
+        });
+    }
+    Some(KindTranslator { arms })
+}
+
+/// Completes the whole translator: one [`KindTranslator`] per common kind
+/// (kinds without coverage get an empty translator whose only behaviour is
+/// the unseen-predicate warning).
+pub fn complete_translator(
+    registry: Arc<ApiRegistry>,
+    mstar: &MStar,
+    per_kind: &HashMap<Opcode, Vec<ApiProgram>>,
+) -> SynthesizedTranslator {
+    let mut out = SynthesizedTranslator::new(Arc::clone(&registry));
+    for kind in registry
+        .src_version
+        .common_instructions(registry.tgt_version)
+    {
+        let kt = per_kind
+            .get(&kind)
+            .and_then(|cands| complete_kind(mstar, kind, cands))
+            .unwrap_or_default();
+        out.insert(kind, kt);
+    }
+    out
+}
+
+/// Renders the finished translator as human-readable source in the style of
+/// the paper's Fig. 4 listings, including the warning branch.
+pub fn render_translator(translator: &SynthesizedTranslator) -> String {
+    let reg = &translator.registry;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// IR translator {} -> {} (synthesized by Siro)",
+        reg.src_version, reg.tgt_version
+    );
+    for kind in translator.covered_kinds() {
+        let kt = &translator.kinds[&kind];
+        let _ = writeln!(out, "\nfn translate_{}(inst: {}_s) -> {}_t {{", kind.name(), camel(kind.name()), camel(kind.name()));
+        if kt.arms.is_empty() {
+            let _ = writeln!(
+                out,
+                "    warn_unseen_predicate!(); // no test case covered `{kind}`"
+            );
+        }
+        for (i, arm) in kt.arms.iter().enumerate() {
+            if arm.covers.is_empty() {
+                let _ = writeln!(out, "    // predicate: true");
+                let _ = writeln!(out, "    return {};", arm.program.summary(reg));
+            } else {
+                let guard = arm
+                    .covers
+                    .iter()
+                    .map(render_conj)
+                    .collect::<Vec<_>>()
+                    .join(" || ");
+                let kw = if i == 0 { "if" } else { "else if" };
+                let _ = writeln!(out, "    {kw} {guard} {{");
+                let _ = writeln!(out, "        return {};", arm.program.summary(reg));
+                let _ = writeln!(out, "    }}");
+            }
+        }
+        if kt.arms.iter().any(|a| !a.covers.is_empty()) {
+            let _ = writeln!(
+                out,
+                "    else {{ warn_unseen_predicate!(); /* add a test case */ }}"
+            );
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn render_conj(conj: &PredConj) -> String {
+    if conj.is_empty() {
+        return "true".into();
+    }
+    let parts: Vec<String> = conj
+        .iter()
+        .map(|(name, v)| match v {
+            siro_api::PredValue::Bool(true) => format!("inst.{name}()"),
+            siro_api::PredValue::Bool(false) => format!("!inst.{name}()"),
+            siro_api::PredValue::Enum(i) => format!("inst.{name}() == #{i}"),
+        })
+        .collect();
+    format!("({})", parts.join(" && "))
+}
+
+fn camel(name: &str) -> String {
+    let mut out = String::new();
+    let mut up = true;
+    for ch in name.chars() {
+        if ch == '_' {
+            up = true;
+            continue;
+        }
+        if up {
+            out.extend(ch.to_uppercase());
+            up = false;
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Lines of code of a rendered candidate set — the paper's `#Atomic Trans
+/// (LOC)` / `#Inst Trans (LOC)` columns of Tab. 3.
+pub fn candidate_loc(registry: &ApiRegistry, per_kind: &HashMap<Opcode, Vec<ApiProgram>>) -> usize {
+    per_kind
+        .values()
+        .flatten()
+        .map(|p| p.render(registry).lines().count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_api::PredValue;
+
+    fn prog(kind: Opcode, marker: usize) -> ApiProgram {
+        // Distinguishable dummy programs (marker = number of steps).
+        ApiProgram {
+            kind,
+            steps: vec![
+                siro_api::ApiCall {
+                    api: siro_api::ApiId(0),
+                    args: vec![]
+                };
+                marker
+            ],
+        }
+    }
+
+    fn conj(v: bool) -> PredConj {
+        let mut c = PredConj::new();
+        c.insert("is_unconditional".into(), PredValue::Bool(v));
+        c
+    }
+
+    #[test]
+    fn single_subkind_collapses_to_true_arm() {
+        let mut m = MStar::new();
+        let survivors: BTreeSet<usize> = [0, 1].into_iter().collect();
+        m.refine(Opcode::Add, &PredConj::new(), &survivors);
+        let cands = vec![prog(Opcode::Add, 1), prog(Opcode::Add, 2)];
+        let kt = complete_kind(&m, Opcode::Add, &cands).unwrap();
+        assert_eq!(kt.arms.len(), 1);
+        assert!(kt.arms[0].covers.is_empty()); // the `true` predicate
+        assert_eq!(kt.arms[0].program.steps.len(), 1); // lowest index picked
+    }
+
+    #[test]
+    fn two_subkinds_produce_guarded_arms() {
+        let mut m = MStar::new();
+        m.refine(Opcode::Br, &conj(true), &[0].into_iter().collect());
+        m.refine(Opcode::Br, &conj(false), &[1].into_iter().collect());
+        let cands = vec![prog(Opcode::Br, 1), prog(Opcode::Br, 2)];
+        let kt = complete_kind(&m, Opcode::Br, &cands).unwrap();
+        assert_eq!(kt.arms.len(), 2);
+        // Each arm covers exactly one conjunction.
+        for arm in &kt.arms {
+            assert_eq!(arm.covers.len(), 1);
+        }
+        // Selection works at runtime.
+        assert!(kt.select(&conj(true)).is_some());
+        assert!(kt.select(&conj(false)).is_some());
+        let mut other = PredConj::new();
+        other.insert("is_unconditional".into(), PredValue::Enum(3));
+        assert!(kt.select(&other).is_none(), "unseen conjunction must warn");
+    }
+
+    #[test]
+    fn universal_candidate_wins_over_cover() {
+        // Candidate 2 survives under both conjunctions -> single arm.
+        let mut m = MStar::new();
+        m.refine(Opcode::Ret, &conj(true), &[0, 2].into_iter().collect());
+        m.refine(Opcode::Ret, &conj(false), &[1, 2].into_iter().collect());
+        let cands = vec![
+            prog(Opcode::Ret, 1),
+            prog(Opcode::Ret, 2),
+            prog(Opcode::Ret, 3),
+        ];
+        let kt = complete_kind(&m, Opcode::Ret, &cands).unwrap();
+        assert_eq!(kt.arms.len(), 1);
+        assert_eq!(kt.arms[0].program.steps.len(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! # siro-synth — the Siro instruction-translator synthesis system
+//!
+//! Implements §4 of the paper: an iterative, continuously shrinking search
+//! over candidate instruction translators.
+//!
+//! * [`typegraph`] — the IR type graph (Def. 4.1) and backward
+//!   reachability (Def. 4.2);
+//! * [`candgen`] — type-guided candidate generation (➊);
+//! * [`profile`] — the location / kind / sub-kind profilers and the profile
+//!   table (Def. 4.3, ➋);
+//! * [`pertest`] — per-test translators (Alg. 3 / Def. 4.4) and their
+//!   differential-testing validation (Fig. 6, ➌);
+//! * [`refine`] — the conservative mapping `M*` (Alg. 4, ➍);
+//! * [`complete`] — skeleton completion and source rendering (➎);
+//! * [`driver`] — [`Synthesizer`], wiring Alg. 2 together with the three
+//!   optimizations of §4.4 (equivalence, memoization, test ordering) and
+//!   parallel validation (§5 "Speeding up Synthesis Process").
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use siro_ir::IrVersion;
+//! use siro_synth::{OracleTest, Synthesizer};
+//!
+//! let tests: Vec<OracleTest> = siro_testcases::corpus_for_pair(IrVersion::V13_0, IrVersion::V3_6)
+//!     .into_iter()
+//!     .map(|c| OracleTest {
+//!         name: c.name.to_string(),
+//!         module: c.build(IrVersion::V13_0),
+//!         oracle: c.oracle,
+//!     })
+//!     .collect();
+//! let outcome = Synthesizer::for_pair(IrVersion::V13_0, IrVersion::V3_6)
+//!     .synthesize(&tests)
+//!     .unwrap();
+//! println!("{}", outcome.rendered);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod candgen;
+pub mod complete;
+pub mod driver;
+pub mod pertest;
+pub mod profile;
+pub mod refine;
+pub mod typegraph;
+
+pub use candgen::{generate_all, generate_for_kind, GenLimits};
+pub use driver::{
+    StageTimings, SynthError, SynthesisConfig, SynthesisOutcome, SynthesisReport, Synthesizer,
+    TestStats,
+};
+pub use pertest::{OracleTest, PerTestTranslator};
+pub use profile::{profile_module, ProfileTable, ProfiledInst};
+pub use refine::{CandIdx, MStar};
+pub use typegraph::TypeGraph;

@@ -1,0 +1,127 @@
+//! Refinement (Alg. 4): the conservative mapping `M*` from predicate
+//! conjunctions to surviving candidate sets.
+//!
+//! `M*_k : [Σ&_k -> Λ*_k]` records, for each instruction kind and each
+//! runtime predicate conjunction encountered so far, the candidates that
+//! participated in at least one successful per-test translation of every
+//! test exercising that conjunction. New conjunctions install the observed
+//! set; repeated conjunctions intersect — an over-approximation of
+//! correctness that only ever shrinks.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use siro_api::PredConj;
+use siro_ir::Opcode;
+
+/// Candidate index into the kind's Λ* list.
+pub type CandIdx = usize;
+
+/// The refinement state for all kinds.
+#[derive(Debug, Clone, Default)]
+pub struct MStar {
+    map: HashMap<Opcode, BTreeMap<PredConj, BTreeSet<CandIdx>>>,
+}
+
+impl MStar {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The refined candidate set for `(kind, conj)`, if that conjunction
+    /// has been observed (the memoization source of Optimization II).
+    pub fn lookup(&self, kind: Opcode, conj: &PredConj) -> Option<&BTreeSet<CandIdx>> {
+        self.map.get(&kind).and_then(|m| m.get(conj))
+    }
+
+    /// Alg. 4: installs or intersects the surviving candidates for one
+    /// conjunction.
+    pub fn refine(&mut self, kind: Opcode, conj: &PredConj, survivors: &BTreeSet<CandIdx>) {
+        let per_kind = self.map.entry(kind).or_default();
+        match per_kind.get_mut(conj) {
+            None => {
+                per_kind.insert(conj.clone(), survivors.clone());
+            }
+            Some(existing) => {
+                existing.retain(|c| survivors.contains(c));
+            }
+        }
+    }
+
+    /// All observed conjunctions and their candidate sets for one kind.
+    pub fn entries(&self, kind: Opcode) -> Option<&BTreeMap<PredConj, BTreeSet<CandIdx>>> {
+        self.map.get(&kind)
+    }
+
+    /// Kinds with at least one observed conjunction.
+    pub fn kinds(&self) -> Vec<Opcode> {
+        let mut v: Vec<Opcode> = self.map.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The union of all surviving candidates for a kind (Fig. 12(b)'s
+    /// "refined atomic translators" count).
+    pub fn refined_candidates(&self, kind: Opcode) -> BTreeSet<CandIdx> {
+        self.map
+            .get(&kind)
+            .map(|m| m.values().flatten().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether any conjunction for `kind` has an empty candidate set — a
+    /// contradiction meaning the test corpus is inconsistent or the search
+    /// space lacked a correct translator.
+    pub fn has_conflict(&self, kind: Opcode) -> bool {
+        self.map
+            .get(&kind)
+            .is_some_and(|m| m.values().any(BTreeSet::is_empty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_api::PredValue;
+
+    fn conj(v: bool) -> PredConj {
+        let mut c = PredConj::new();
+        c.insert("is_unconditional".into(), PredValue::Bool(v));
+        c
+    }
+
+    fn set(xs: &[usize]) -> BTreeSet<CandIdx> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn install_then_intersect() {
+        let mut m = MStar::new();
+        m.refine(Opcode::Br, &conj(true), &set(&[1, 2, 3]));
+        assert_eq!(m.lookup(Opcode::Br, &conj(true)), Some(&set(&[1, 2, 3])));
+        // A second test kills candidate 3 (the Fig. 7 dynamic).
+        m.refine(Opcode::Br, &conj(true), &set(&[2, 3, 9]));
+        assert_eq!(m.lookup(Opcode::Br, &conj(true)), Some(&set(&[2, 3])));
+        // Distinct conjunction tracked separately.
+        m.refine(Opcode::Br, &conj(false), &set(&[7]));
+        assert_eq!(m.lookup(Opcode::Br, &conj(false)), Some(&set(&[7])));
+        assert_eq!(m.refined_candidates(Opcode::Br), set(&[2, 3, 7]));
+    }
+
+    #[test]
+    fn conflicts_detected() {
+        let mut m = MStar::new();
+        m.refine(Opcode::Add, &conj(true), &set(&[1]));
+        assert!(!m.has_conflict(Opcode::Add));
+        m.refine(Opcode::Add, &conj(true), &set(&[2]));
+        assert!(m.has_conflict(Opcode::Add));
+    }
+
+    #[test]
+    fn unknown_kind_is_empty() {
+        let m = MStar::new();
+        assert!(m.lookup(Opcode::Phi, &conj(true)).is_none());
+        assert!(m.refined_candidates(Opcode::Phi).is_empty());
+        assert!(!m.has_conflict(Opcode::Phi));
+    }
+}

@@ -1,0 +1,180 @@
+//! The IR type graph of Def. 4.1.
+//!
+//! Nodes are API components and types; a *return edge* `a -> ω` says
+//! component `a` produces type `ω`, and a *parameter edge* `ω -x-> a` says
+//! `a` consumes `ω` at parameter position `x`. Candidate generation walks
+//! this graph backwards from the target instruction type (Def. 4.2's
+//! reachability rule); the consumption rule is enforced by construction
+//! when programs are assembled.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use siro_api::{ApiId, ApiRegistry, ApiType};
+
+/// A node of the type graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// An API component.
+    Api(ApiId),
+    /// A type.
+    Type(ApiType),
+}
+
+/// The IR type graph over one [`ApiRegistry`].
+#[derive(Debug)]
+pub struct TypeGraph<'r> {
+    registry: &'r ApiRegistry,
+    /// For each type, the components that *return* a value usable as it
+    /// (including the `Inst -> Value` subsumption).
+    producers: HashMap<ApiType, Vec<ApiId>>,
+    /// Every type mentioned by any signature.
+    types: HashSet<ApiType>,
+}
+
+impl<'r> TypeGraph<'r> {
+    /// Builds the graph for a registry.
+    pub fn new(registry: &'r ApiRegistry) -> Self {
+        let mut types = HashSet::new();
+        for (_, f) in registry.iter() {
+            types.insert(f.ret);
+            types.extend(f.params.iter().copied());
+        }
+        let mut producers: HashMap<ApiType, Vec<ApiId>> = HashMap::new();
+        for &ty in &types {
+            let mut v: Vec<ApiId> = registry
+                .iter()
+                .filter(|(_, f)| ty.accepts(f.ret))
+                .map(|(id, _)| id)
+                .collect();
+            v.sort();
+            producers.insert(ty, v);
+        }
+        TypeGraph {
+            registry,
+            producers,
+            types,
+        }
+    }
+
+    /// The registry this graph was built over.
+    pub fn registry(&self) -> &ApiRegistry {
+        self.registry
+    }
+
+    /// Components whose return value can be consumed where `ty` is expected.
+    pub fn producers_of(&self, ty: ApiType) -> &[ApiId] {
+        self.producers.get(&ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of type nodes.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of API nodes.
+    pub fn api_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Total edge count (return edges + parameter edges).
+    pub fn edge_count(&self) -> usize {
+        let ret_edges = self.registry.len();
+        let param_edges: usize = self
+            .registry
+            .iter()
+            .map(|(_, f)| f.params.len())
+            .sum();
+        ret_edges + param_edges
+    }
+
+    /// All components backwards-reachable from `target`: the sub-library
+    /// that could possibly participate in a feasible subgraph for it
+    /// (Def. 4.2's reachability rule as a pruning step).
+    pub fn backward_reachable(&self, target: ApiType) -> HashSet<ApiId> {
+        let mut seen_types: HashSet<ApiType> = HashSet::new();
+        let mut seen_apis: HashSet<ApiId> = HashSet::new();
+        let mut queue: VecDeque<ApiType> = VecDeque::new();
+        seen_types.insert(target);
+        queue.push_back(target);
+        while let Some(ty) = queue.pop_front() {
+            for &api in self.producers_of(ty) {
+                if seen_apis.insert(api) {
+                    for &p in &self.registry.get(api).params {
+                        if seen_types.insert(p) {
+                            queue.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+        seen_apis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_api::Side;
+    use siro_ir::{IrVersion, Opcode};
+
+    fn graph_for(src: IrVersion, tgt: IrVersion) -> (ApiRegistry, usize) {
+        let reg = ApiRegistry::for_pair(src, tgt);
+        let n = reg.len();
+        (reg, n)
+    }
+
+    #[test]
+    fn graph_covers_registry() {
+        let (reg, n) = graph_for(IrVersion::V13_0, IrVersion::V3_6);
+        let g = TypeGraph::new(&reg);
+        assert_eq!(g.api_count(), n);
+        assert!(g.type_count() > 20);
+        assert!(g.edge_count() > g.api_count());
+    }
+
+    #[test]
+    fn builders_produce_their_instruction_type() {
+        let (reg, _) = graph_for(IrVersion::V13_0, IrVersion::V3_6);
+        let g = TypeGraph::new(&reg);
+        let target = ApiType::Inst(Opcode::Br, Side::Target);
+        let prods = g.producers_of(target);
+        assert!(!prods.is_empty());
+        for &p in prods {
+            assert!(reg.get(p).name.starts_with("create_"));
+        }
+    }
+
+    #[test]
+    fn backward_reachability_includes_the_whole_chain() {
+        let (reg, _) = graph_for(IrVersion::V13_0, IrVersion::V3_6);
+        let g = TypeGraph::new(&reg);
+        let reach = g.backward_reachable(ApiType::Inst(Opcode::Br, Side::Target));
+        let names: Vec<&str> = reach.iter().map(|&id| reg.get(id).name.as_str()).collect();
+        for needed in [
+            "create_cond_br",
+            "create_br",
+            "translate_block",
+            "translate_value",
+            "get_successor",
+            "const_0",
+        ] {
+            assert!(names.contains(&needed), "missing {needed}");
+        }
+    }
+
+    #[test]
+    fn unreachable_components_are_excluded() {
+        let (reg, _) = graph_for(IrVersion::V13_0, IrVersion::V3_6);
+        let g = TypeGraph::new(&reg);
+        // Nothing can flow from a `create_store` into a `ret` translator's
+        // target type... but store produces Inst(Store, T) which subsumes to
+        // Value(T), so it *is* reachable. A truly unreachable component for
+        // the Ret target: none with Value subsumption. Check instead that
+        // the Fence target graph excludes e.g. `get_cases` (CaseList never
+        // feeds an ordering).
+        let reach = g.backward_reachable(ApiType::Inst(Opcode::Fence, Side::Target));
+        let names: Vec<&str> = reach.iter().map(|&id| reg.get(id).name.as_str()).collect();
+        assert!(names.contains(&"get_ordering"));
+        assert!(!names.contains(&"translate_cases"));
+    }
+}

@@ -1,0 +1,951 @@
+//! The 68 test cases. Every case builds `main() -> i32` returning its
+//! oracle constant, exercising one or a few instruction kinds with
+//! operand values chosen to discriminate wrong candidates.
+
+use siro_ir::{
+    FloatPredicate, FuncBuilder, Global, GlobalInit, InlineAsm, Instruction,
+    IntPredicate, IrVersion, Module, Opcode, Param, TypeId, ValueRef,
+};
+
+use crate::TestCase;
+
+fn ci(ty: TypeId, v: i64) -> ValueRef {
+    ValueRef::const_int(ty, v)
+}
+
+fn cf(ty: TypeId, v: f64) -> ValueRef {
+    ValueRef::const_float(ty, v)
+}
+
+/// Creates a module with an empty `main` and hands a positioned builder to
+/// the closure.
+fn simple(v: IrVersion, f: impl FnOnce(&mut FuncBuilder<'_>, TypeId)) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    f(&mut b, i32t);
+    m
+}
+
+macro_rules! binary_case {
+    ($fname:ident, $method:ident, $a:expr, $b:expr) => {
+        fn $fname(v: IrVersion) -> Module {
+            simple(v, |b, i32t| {
+                let x = b.$method(ci(i32t, $a), ci(i32t, $b));
+                b.ret(Some(x));
+            })
+        }
+    };
+}
+
+macro_rules! float_case {
+    ($fname:ident, $method:ident, $a:expr, $b:expr) => {
+        fn $fname(v: IrVersion) -> Module {
+            simple(v, |b, i32t| {
+                let f64t = b.module().types.f64();
+                let x = b.$method(cf(f64t, $a), cf(f64t, $b));
+                let n = b.cast(Opcode::FPToSI, x, i32t);
+                b.ret(Some(n));
+            })
+        }
+    };
+}
+
+// ---- Arithmetic ----------------------------------------------------------
+
+fn ret_const(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        b.ret(Some(ci(i32t, 7)));
+    })
+}
+
+binary_case!(add_sym, add, 10, 10); // deliberately weak (Fig. 7 left)
+binary_case!(add_asym, add, 20, 10);
+binary_case!(sub_asym, sub, 20, 10); // the Fig. 7 right-hand case
+binary_case!(mul_asym, mul, 6, 7);
+binary_case!(udiv_asym, udiv, 40, 5);
+binary_case!(sdiv_neg, sdiv, -40, 5);
+binary_case!(urem_asym, urem, 43, 5);
+binary_case!(srem_neg, srem, -43, 5);
+binary_case!(shl_asym, shl, 3, 1);
+binary_case!(lshr_asym, lshr, 64, 2);
+binary_case!(ashr_neg, ashr, -64, 2);
+binary_case!(and_asym, and, 12, 10);
+binary_case!(or_asym, or, 12, 10);
+binary_case!(xor_asym, xor, 12, 10);
+
+float_case!(fadd_to_int, fadd, 2.5, 0.25);
+float_case!(fsub_to_int, fsub, 5.5, 1.25);
+float_case!(fmul_to_int, fmul, 2.5, 4.0);
+float_case!(fdiv_to_int, fdiv, 10.0, 4.0);
+float_case!(frem_to_int, frem, 10.5, 4.0);
+
+fn fneg_to_int(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f64t = b.module().types.f64();
+        let x = b.fneg(cf(f64t, -5.0));
+        let n = b.cast(Opcode::FPToSI, x, i32t);
+        b.ret(Some(n));
+    })
+}
+
+// ---- Casts ---------------------------------------------------------------
+
+fn trunc_zext(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let i64t = b.module().types.i64();
+        let i8t = b.module().types.i8();
+        let t = b.trunc(ci(i64t, 300), i8t); // 300 mod 256 = 44
+        let z = b.zext(t, i32t);
+        b.ret(Some(z));
+    })
+}
+
+fn sext_neg(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let i8t = b.module().types.i8();
+        let s = b.sext(ci(i8t, 200), i32t); // 200 as i8 = -56
+        b.ret(Some(s));
+    })
+}
+
+fn fptrunc_case(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f64t = b.module().types.f64();
+        let f32t = b.module().types.f32();
+        let t = b.cast(Opcode::FPTrunc, cf(f64t, 2.75), f32t);
+        let n = b.cast(Opcode::FPToSI, t, i32t);
+        b.ret(Some(n));
+    })
+}
+
+fn fpext_case(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f32t = b.module().types.f32();
+        let f64t = b.module().types.f64();
+        let e = b.cast(Opcode::FPExt, cf(f32t, 3.5), f64t);
+        let n = b.cast(Opcode::FPToSI, e, i32t);
+        b.ret(Some(n));
+    })
+}
+
+fn fptoui_case(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f64t = b.module().types.f64();
+        let n = b.cast(Opcode::FPToUI, cf(f64t, 7.9), i32t);
+        b.ret(Some(n));
+    })
+}
+
+fn fptosi_case(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f64t = b.module().types.f64();
+        let n = b.cast(Opcode::FPToSI, cf(f64t, -7.9), i32t);
+        b.ret(Some(n));
+    })
+}
+
+fn uitofp_case(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f64t = b.module().types.f64();
+        let f = b.cast(Opcode::UIToFP, ci(i32t, 5), f64t);
+        let d = b.fmul(f, cf(f64t, 2.0));
+        let n = b.cast(Opcode::FPToSI, d, i32t);
+        b.ret(Some(n));
+    })
+}
+
+fn sitofp_case(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f64t = b.module().types.f64();
+        let f = b.cast(Opcode::SIToFP, ci(i32t, -5), f64t);
+        let g = b.fneg(f);
+        let n = b.cast(Opcode::FPToSI, g, i32t);
+        b.ret(Some(n));
+    })
+}
+
+fn ptr_roundtrip(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let i64t = b.module().types.i64();
+        let p_i32 = b.module().types.ptr(i32t);
+        let slot = b.alloca(i32t);
+        b.store(ci(i32t, 9), slot);
+        let addr = b.ptrtoint(slot, i64t);
+        let back = b.inttoptr(addr, p_i32);
+        let val = b.load(i32t, back);
+        b.ret(Some(val));
+    })
+}
+
+fn bitcast_float(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f32t = b.module().types.f32();
+        // 0x40490FDB is pi as an f32.
+        let f = b.bitcast(ci(i32t, 0x4049_0FDB), f32t);
+        let n = b.cast(Opcode::FPToSI, f, i32t);
+        b.ret(Some(n));
+    })
+}
+
+fn addrspacecast_rt(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let p1 = b.module().types.ptr_in(i32t, 1);
+        let slot = b.alloca(i32t);
+        b.store(ci(i32t, 5), slot);
+        let cast = b.addrspacecast(slot, p1);
+        let val = b.load(i32t, cast);
+        b.ret(Some(val));
+    })
+}
+
+// ---- Comparisons / select --------------------------------------------------
+
+fn icmp_three_preds(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let i8t = b.module().types.i8();
+        let a = b.icmp(IntPredicate::Slt, ci(i32t, 3), ci(i32t, 5));
+        let c1 = b.zext(a, i32t);
+        let e = b.icmp(IntPredicate::Eq, ci(i32t, 10), ci(i32t, 20));
+        let c2 = b.zext(e, i32t);
+        // unsigned: 3 < 200; signed it would be 3 < -56 = false.
+        let u = b.icmp(IntPredicate::Ult, ci(i8t, 3), ci(i8t, 200));
+        let c3 = b.zext(u, i32t);
+        let h = b.mul(c1, ci(i32t, 100));
+        let t = b.mul(c2, ci(i32t, 10));
+        let s1 = b.add(h, t);
+        let s2 = b.add(s1, c3);
+        b.ret(Some(s2));
+    })
+}
+
+fn fcmp_two_preds(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f64t = b.module().types.f64();
+        let g = b.fcmp(FloatPredicate::Ogt, cf(f64t, 2.5), cf(f64t, 1.5));
+        let c1 = b.zext(g, i32t);
+        let l = b.fcmp(FloatPredicate::Olt, cf(f64t, 2.5), cf(f64t, 1.5));
+        let c2 = b.zext(l, i32t);
+        let h = b.mul(c1, ci(i32t, 10));
+        let s = b.add(h, c2);
+        b.ret(Some(s));
+    })
+}
+
+fn select_both(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let t = b.icmp(IntPredicate::Slt, ci(i32t, 1), ci(i32t, 2));
+        let x = b.select(t, ci(i32t, 8), ci(i32t, 9));
+        let f = b.icmp(IntPredicate::Sgt, ci(i32t, 1), ci(i32t, 2));
+        let y = b.select(f, ci(i32t, 8), ci(i32t, 9));
+        let h = b.mul(x, ci(i32t, 10));
+        let s = b.add(h, y);
+        b.ret(Some(s)); // 80 + 9
+    })
+}
+
+// ---- Control flow ----------------------------------------------------------
+
+/// The Fig. 10 test case, "before the diff": the condition is true.
+fn br_cond_true(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let cond = b.icmp(IntPredicate::Eq, ci(i32t, 10), ci(i32t, 10));
+        let then = b.add_block("then");
+        let els = b.add_block("else");
+        b.cond_br(cond, then, els);
+        b.position_at_end(then);
+        b.ret(Some(ci(i32t, 42)));
+        b.position_at_end(els);
+        b.ret(Some(ci(i32t, 41)));
+    })
+}
+
+/// The Fig. 10 enhancement, "after the diff": the condition is false, which
+/// kills the swapped-successor candidate (Fig. 9's `AtomicBranch2`).
+fn br_cond_false(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let cond = b.icmp(IntPredicate::Eq, ci(i32t, 10), ci(i32t, 20));
+        let then = b.add_block("then");
+        let els = b.add_block("else");
+        b.cond_br(cond, then, els);
+        b.position_at_end(then);
+        b.ret(Some(ci(i32t, 42)));
+        b.position_at_end(els);
+        b.ret(Some(ci(i32t, 41)));
+    })
+}
+
+fn br_uncond_chain(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let b1 = b.add_block("b1");
+        let b2 = b.add_block("b2");
+        b.br(b1);
+        b.position_at_end(b1);
+        b.br(b2);
+        b.position_at_end(b2);
+        b.ret(Some(ci(i32t, 5)));
+    })
+}
+
+fn switch_both(v: IrVersion) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    // dispatch(x): switch with cases 1 -> 10, 2 -> 20, default -> 30.
+    let disp = FuncBuilder::define(
+        &mut m,
+        "dispatch",
+        i32t,
+        vec![Param {
+            name: "x".into(),
+            ty: i32t,
+        }],
+    );
+    let mut b = FuncBuilder::new(&mut m, disp);
+    let e = b.add_block("entry");
+    let c1 = b.add_block("c1");
+    let c2 = b.add_block("c2");
+    let d = b.add_block("d");
+    b.position_at_end(e);
+    b.switch(ValueRef::Arg(0), d, vec![(1, c1), (2, c2)]);
+    b.position_at_end(c1);
+    b.ret(Some(ci(i32t, 10)));
+    b.position_at_end(c2);
+    b.ret(Some(ci(i32t, 20)));
+    b.position_at_end(d);
+    b.ret(Some(ci(i32t, 30)));
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let a = b.call(i32t, ValueRef::Func(disp), vec![ci(i32t, 2)]);
+    let z = b.call(i32t, ValueRef::Func(disp), vec![ci(i32t, 9)]);
+    let s = b.add(a, z);
+    b.ret(Some(s)); // 20 + 30
+    m
+}
+
+fn indirectbr_second(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let i64t = b.module().types.i64();
+        let a = b.add_block("a");
+        let c = b.add_block("c");
+        let void = b.module().types.void();
+        b.push(Instruction::new(
+            Opcode::IndirectBr,
+            void,
+            vec![ci(i64t, 1), ValueRef::Block(a), ValueRef::Block(c)],
+        ));
+        b.position_at_end(a);
+        b.ret(Some(ci(i32t, 10)));
+        b.position_at_end(c);
+        b.ret(Some(ci(i32t, 11)));
+    })
+}
+
+fn phi_if(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let then = b.add_block("then");
+        let els = b.add_block("else");
+        let merge = b.add_block("merge");
+        let cond = b.icmp(IntPredicate::Eq, ci(i32t, 1), ci(i32t, 1));
+        b.cond_br(cond, then, els);
+        b.position_at_end(then);
+        b.br(merge);
+        b.position_at_end(els);
+        b.br(merge);
+        b.position_at_end(merge);
+        let p = b.phi(i32t, vec![(ci(i32t, 3), then), (ci(i32t, 9), els)]);
+        b.ret(Some(p));
+    })
+}
+
+fn phi_loop(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        let entry = siro_ir::BlockId(0);
+        b.br(header);
+        b.position_at_end(header);
+        let i = b.phi(i32t, vec![(ci(i32t, 0), entry)]);
+        let s = b.phi(i32t, vec![(ci(i32t, 0), entry)]);
+        let c = b.icmp(IntPredicate::Slt, i, ci(i32t, 5));
+        b.cond_br(c, body, exit);
+        b.position_at_end(body);
+        let s2 = b.add(s, i);
+        let i2 = b.add(i, ci(i32t, 1));
+        b.br(header);
+        b.position_at_end(exit);
+        b.ret(Some(s));
+        // Patch the back edges.
+        let (ip, sp) = (i.as_inst().unwrap(), s.as_inst().unwrap());
+        let fid = b.func_id();
+        let fm = b.module().func_mut(fid);
+        fm.inst_mut(ip).operands.extend([i2, ValueRef::Block(body)]);
+        fm.inst_mut(sp).operands.extend([s2, ValueRef::Block(body)]);
+    })
+}
+
+fn unreachable_dead(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let dead = b.add_block("dead");
+        let live = b.add_block("live");
+        let cond = b.icmp(IntPredicate::Eq, ci(i32t, 1), ci(i32t, 2));
+        b.cond_br(cond, dead, live);
+        b.position_at_end(dead);
+        b.unreachable();
+        b.position_at_end(live);
+        b.ret(Some(ci(i32t, 4)));
+    })
+}
+
+// ---- Calls ------------------------------------------------------------------
+
+fn void_call_global(v: IrVersion) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let g = m.add_global(Global {
+        name: "g".into(),
+        ty: i32t,
+        init: GlobalInit::Zero,
+        is_const: false,
+    });
+    let setg = FuncBuilder::define(&mut m, "setg", void, vec![]);
+    let mut b = FuncBuilder::new(&mut m, setg);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    b.store(ci(i32t, 7), ValueRef::Global(g));
+    b.ret(None);
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    b.call(void, ValueRef::Func(setg), vec![]);
+    let val = b.load(i32t, ValueRef::Global(g));
+    b.ret(Some(val));
+    m
+}
+
+fn call_args_asym(v: IrVersion) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let sub = FuncBuilder::define(
+        &mut m,
+        "subtract",
+        i32t,
+        vec![
+            Param {
+                name: "a".into(),
+                ty: i32t,
+            },
+            Param {
+                name: "b".into(),
+                ty: i32t,
+            },
+        ],
+    );
+    let mut b = FuncBuilder::new(&mut m, sub);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let r = b.sub(ValueRef::Arg(0), ValueRef::Arg(1));
+    b.ret(Some(r));
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let r = b.call(i32t, ValueRef::Func(sub), vec![ci(i32t, 20), ci(i32t, 4)]);
+    b.ret(Some(r)); // 16
+    m
+}
+
+fn call_indirect(v: IrVersion) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let target = FuncBuilder::define(&mut m, "target", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, target);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    b.ret(Some(ci(i32t, 33)));
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let fnty = b.module().types.func(i32t, vec![]);
+    let pfn = b.module().types.ptr(fnty);
+    let slot = b.alloca(pfn);
+    b.store(ValueRef::Func(target), slot);
+    let fp = b.load(pfn, slot);
+    let r = b.call(i32t, fp, vec![]);
+    b.ret(Some(r));
+    m
+}
+
+fn tail_call_case(v: IrVersion) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let callee = FuncBuilder::define(&mut m, "tailme", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, callee);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    b.ret(Some(ci(i32t, 12)));
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let r = b.call(i32t, ValueRef::Func(callee), vec![]);
+    if let ValueRef::Inst(id) = r {
+        let fid = b.func_id();
+        b.module().func_mut(fid).inst_mut(id).attrs.tail_call = true;
+    }
+    b.ret(Some(r));
+    m
+}
+
+fn nested_calls(v: IrVersion) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let g = FuncBuilder::define(
+        &mut m,
+        "twice",
+        i32t,
+        vec![Param {
+            name: "x".into(),
+            ty: i32t,
+        }],
+    );
+    let mut b = FuncBuilder::new(&mut m, g);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let r = b.mul(ValueRef::Arg(0), ci(i32t, 2));
+    b.ret(Some(r));
+    let f = FuncBuilder::define(
+        &mut m,
+        "twice_plus_one",
+        i32t,
+        vec![Param {
+            name: "x".into(),
+            ty: i32t,
+        }],
+    );
+    let mut b = FuncBuilder::new(&mut m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let t = b.call(i32t, ValueRef::Func(g), vec![ValueRef::Arg(0)]);
+    let r = b.add(t, ci(i32t, 1));
+    b.ret(Some(r));
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let r = b.call(i32t, ValueRef::Func(f), vec![ci(i32t, 5)]);
+    b.ret(Some(r)); // 11
+    m
+}
+
+fn invoke_landingpad(v: IrVersion) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let callee = FuncBuilder::define(&mut m, "may_throw", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, callee);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    b.ret(Some(ci(i32t, 9)));
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    let normal = b.add_block("normal");
+    let unwind = b.add_block("unwind");
+    b.position_at_end(e);
+    let r = b.invoke(i32t, ValueRef::Func(callee), vec![], normal, unwind);
+    b.position_at_end(normal);
+    b.ret(Some(r));
+    b.position_at_end(unwind);
+    let i8t = b.module().types.i8();
+    let p8 = b.module().types.ptr(i8t);
+    let lp_ty = b.module().types.struct_(vec![p8, i32t]);
+    let mut lp = Instruction::new(Opcode::LandingPad, lp_ty, vec![]);
+    lp.attrs.is_cleanup = true;
+    let lpv = b.push(lp);
+    let void = b.module().types.void();
+    b.push(Instruction::new(Opcode::Resume, void, vec![lpv]));
+    m
+}
+
+// ---- Memory ------------------------------------------------------------------
+
+fn store_load_two_slots(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let p = b.alloca(i32t);
+        let q = b.alloca(i32t);
+        b.store(ci(i32t, 1), p);
+        b.store(ci(i32t, 2), q);
+        let x = b.load(i32t, p);
+        let y = b.load(i32t, q);
+        let h = b.mul(x, ci(i32t, 10));
+        let s = b.add(h, y);
+        b.ret(Some(s)); // 12
+    })
+}
+
+fn gep_array(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let i64t = b.module().types.i64();
+        let arr = b.module().types.array(i32t, 4);
+        let p_i32 = b.module().types.ptr(i32t);
+        let base = b.alloca(arr);
+        let slot = b.gep(arr, base, vec![ci(i64t, 0), ci(i64t, 2)], p_i32);
+        b.store(ci(i32t, 99), slot);
+        let val = b.load(i32t, slot);
+        b.ret(Some(val));
+    })
+}
+
+fn gep_struct(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let i64t = b.module().types.i64();
+        let st = b.module().types.struct_(vec![i32t, i64t]);
+        let p_i32 = b.module().types.ptr(i32t);
+        let p_i64 = b.module().types.ptr(i64t);
+        let base = b.alloca(st);
+        let f0 = b.gep(st, base, vec![ci(i64t, 0), ci(i32t, 0)], p_i32);
+        let f1 = b.gep(st, base, vec![ci(i64t, 0), ci(i32t, 1)], p_i64);
+        b.store(ci(i32t, 7), f0);
+        b.store(ci(i64t, 9), f1);
+        let a = b.load(i32t, f0);
+        let bl = b.load(i64t, f1);
+        let bt = b.trunc(bl, i32t);
+        let s = b.add(a, bt);
+        b.ret(Some(s)); // 16
+    })
+}
+
+fn cmpxchg_success(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let slot = b.alloca(i32t);
+        b.store(ci(i32t, 5), slot);
+        let pair = b.cmpxchg(slot, ci(i32t, 5), ci(i32t, 9));
+        let old = b.extractvalue(pair, vec![0], i32t);
+        let cur = b.load(i32t, slot);
+        let h = b.mul(old, ci(i32t, 100));
+        let s = b.add(h, cur);
+        b.ret(Some(s)); // 509
+    })
+}
+
+fn atomicrmw_add(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let slot = b.alloca(i32t);
+        b.store(ci(i32t, 5), slot);
+        let old = b.atomicrmw(siro_ir::RmwOp::Add, slot, ci(i32t, 3));
+        let cur = b.load(i32t, slot);
+        let h = b.mul(old, ci(i32t, 10));
+        let s = b.add(h, cur);
+        b.ret(Some(s)); // 58
+    })
+}
+
+fn fence_case(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let slot = b.alloca(i32t);
+        b.store(ci(i32t, 3), slot);
+        b.fence();
+        let val = b.load(i32t, slot);
+        b.ret(Some(val));
+    })
+}
+
+fn va_arg_zero(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let i8t = b.module().types.i8();
+        let ap = b.alloca(i8t);
+        // Simulated va_arg yields a zero of its type.
+        let va = b.push(Instruction::new(Opcode::VAArg, i32t, vec![ap]));
+        let s = b.add(va, ci(i32t, 21));
+        b.ret(Some(s)); // 21
+    })
+}
+
+fn global_const_load(v: IrVersion) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let g = m.add_global(Global {
+        name: "answer".into(),
+        ty: i32t,
+        init: GlobalInit::Int(11),
+        is_const: true,
+    });
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    let val = b.load(i32t, ValueRef::Global(g));
+    b.ret(Some(val));
+    m
+}
+
+// ---- Vectors / aggregates ----------------------------------------------------
+
+fn vector_insert_extract(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let v4 = b.module().types.vector(i32t, 4);
+        let z = ValueRef::ZeroInit(v4);
+        let v1 = b.insertelement(z, ci(i32t, 5), ci(i32t, 1));
+        let v2 = b.insertelement(v1, ci(i32t, 7), ci(i32t, 2));
+        let e2 = b.extractelement(v2, ci(i32t, 2), i32t);
+        let e1 = b.extractelement(v2, ci(i32t, 1), i32t);
+        let h = b.mul(e2, ci(i32t, 10));
+        let s = b.add(h, e1);
+        b.ret(Some(s)); // 75
+    })
+}
+
+fn shufflevector_case(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let v2 = b.module().types.vector(i32t, 2);
+        let z = ValueRef::ZeroInit(v2);
+        let a0 = b.insertelement(z, ci(i32t, 1), ci(i32t, 0));
+        let a = b.insertelement(a0, ci(i32t, 2), ci(i32t, 1));
+        let b0 = b.insertelement(z, ci(i32t, 3), ci(i32t, 0));
+        let bb = b.insertelement(b0, ci(i32t, 4), ci(i32t, 1));
+        let mut sh = Instruction::new(Opcode::ShuffleVector, v2, vec![a, bb]);
+        sh.attrs.indices = vec![1, 2];
+        let shv = b.push(sh);
+        let e0 = b.extractelement(shv, ci(i32t, 0), i32t);
+        let e1 = b.extractelement(shv, ci(i32t, 1), i32t);
+        let h = b.mul(e0, ci(i32t, 10));
+        let s = b.add(h, e1);
+        b.ret(Some(s)); // a[1]*10 + b[0] = 23
+    })
+}
+
+fn aggregate_insert_extract(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let st = b.module().types.struct_(vec![i32t, i32t]);
+        let z = ValueRef::ZeroInit(st);
+        let a1 = b.insertvalue(z, ci(i32t, 42), vec![0]);
+        let a2 = b.insertvalue(a1, ci(i32t, 7), vec![1]);
+        let e0 = b.extractvalue(a2, vec![0], i32t);
+        let e1 = b.extractvalue(a2, vec![1], i32t);
+        let h = b.mul(e0, ci(i32t, 10));
+        let s = b.add(h, e1);
+        b.ret(Some(s)); // 427
+    })
+}
+
+// ---- Extended corpus (the paper's 8 extra cases for pairs 8/9) ---------------
+
+fn freeze_value(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f = b.freeze(ci(i32t, 9));
+        b.ret(Some(f));
+    })
+}
+
+fn freeze_in_arith(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let f = b.freeze(ci(i32t, 4));
+        let s = b.add(f, ci(i32t, 3));
+        b.ret(Some(s));
+    })
+}
+
+fn callbr_module(v: IrVersion, asm_text: &str, args: Vec<i64>, extra_dests: usize) -> Module {
+    let mut m = Module::new("case", v);
+    let i32t = m.types.i32();
+    let arg_tys = vec![i32t; args.len()];
+    let fnty = m.types.func(i32t, arg_tys);
+    let asm = m.add_asm(InlineAsm {
+        text: asm_text.into(),
+        constraints: "r".into(),
+        ty: fnty,
+        hw_level: 1,
+    });
+    let main = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+    let mut b = FuncBuilder::new(&mut m, main);
+    let e = b.add_block("entry");
+    let ft = b.add_block("ft");
+    let mut indirect = Vec::new();
+    for i in 0..extra_dests {
+        indirect.push(b.add_block(format!("side{i}")));
+    }
+    b.position_at_end(e);
+    let argv: Vec<ValueRef> = args.iter().map(|&a| ci(i32t, a)).collect();
+    let r = b.callbr(i32t, ValueRef::InlineAsm(asm), argv, ft, indirect.clone());
+    b.position_at_end(ft);
+    let s = b.add(r, ci(i32t, 1));
+    b.ret(Some(s));
+    for blk in indirect {
+        b.position_at_end(blk);
+        b.ret(Some(ci(i32t, -1)));
+    }
+    m
+}
+
+fn callbr_fallthrough(v: IrVersion) -> Module {
+    callbr_module(v, "ret 4", vec![], 1) // 4 + 1 = 5
+}
+
+fn callbr_with_args(v: IrVersion) -> Module {
+    callbr_module(v, "add $0, $1", vec![5, 6], 1) // 11 + 1 = 12
+}
+
+fn callbr_indirect_list(v: IrVersion) -> Module {
+    callbr_module(v, "ret 8", vec![], 2) // 8 + 1 = 9
+}
+
+fn eh_catch_path(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let handler = b.add_block("handler");
+        let cont = b.add_block("cont");
+        let void = b.module().types.void();
+        let token = b.module().types.token();
+        b.push(Instruction::new(
+            Opcode::CatchSwitch,
+            void,
+            vec![ValueRef::Block(handler)],
+        ));
+        b.position_at_end(handler);
+        b.push(Instruction::new(Opcode::CatchPad, token, vec![]));
+        b.push(Instruction::new(
+            Opcode::CatchRet,
+            void,
+            vec![ValueRef::Block(cont)],
+        ));
+        b.position_at_end(cont);
+        b.ret(Some(ci(i32t, 6)));
+    })
+}
+
+fn eh_cleanup_path(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let exit = b.add_block("exit");
+        let void = b.module().types.void();
+        let token = b.module().types.token();
+        b.push(Instruction::new(Opcode::CleanupPad, token, vec![]));
+        b.push(Instruction::new(
+            Opcode::CleanupRet,
+            void,
+            vec![ValueRef::Block(exit)],
+        ));
+        b.position_at_end(exit);
+        b.ret(Some(ci(i32t, 8)));
+    })
+}
+
+fn eh_full(v: IrVersion) -> Module {
+    simple(v, |b, i32t| {
+        let handler = b.add_block("handler");
+        let cleanup = b.add_block("cleanup");
+        let exit = b.add_block("exit");
+        let void = b.module().types.void();
+        let token = b.module().types.token();
+        b.push(Instruction::new(
+            Opcode::CatchSwitch,
+            void,
+            vec![ValueRef::Block(handler)],
+        ));
+        b.position_at_end(handler);
+        b.push(Instruction::new(Opcode::CatchPad, token, vec![]));
+        b.push(Instruction::new(
+            Opcode::CatchRet,
+            void,
+            vec![ValueRef::Block(cleanup)],
+        ));
+        b.position_at_end(cleanup);
+        b.push(Instruction::new(Opcode::CleanupPad, token, vec![]));
+        b.push(Instruction::new(
+            Opcode::CleanupRet,
+            void,
+            vec![ValueRef::Block(exit)],
+        ));
+        b.position_at_end(exit);
+        b.ret(Some(ci(i32t, 12)));
+    })
+}
+
+/// The full corpus, base cases first.
+pub(crate) fn all() -> Vec<TestCase> {
+    let mut v = vec![
+        TestCase::new("ret_const", 7, false, ret_const),
+        TestCase::new("void_call_global", 7, false, void_call_global),
+        TestCase::new("add_sym", 20, false, add_sym),
+        TestCase::new("add_asym", 30, false, add_asym),
+        TestCase::new("sub_asym", 10, false, sub_asym),
+        TestCase::new("mul_asym", 42, false, mul_asym),
+        TestCase::new("udiv_asym", 8, false, udiv_asym),
+        TestCase::new("sdiv_neg", -8, false, sdiv_neg),
+        TestCase::new("urem_asym", 3, false, urem_asym),
+        TestCase::new("srem_neg", -3, false, srem_neg),
+        TestCase::new("fadd_to_int", 2, false, fadd_to_int),
+        TestCase::new("fsub_to_int", 4, false, fsub_to_int),
+        TestCase::new("fmul_to_int", 10, false, fmul_to_int),
+        TestCase::new("fdiv_to_int", 2, false, fdiv_to_int),
+        TestCase::new("frem_to_int", 2, false, frem_to_int),
+        TestCase::new("fneg_to_int", 5, false, fneg_to_int),
+        TestCase::new("shl_asym", 6, false, shl_asym),
+        TestCase::new("lshr_asym", 16, false, lshr_asym),
+        TestCase::new("ashr_neg", -16, false, ashr_neg),
+        TestCase::new("and_asym", 8, false, and_asym),
+        TestCase::new("or_asym", 14, false, or_asym),
+        TestCase::new("xor_asym", 6, false, xor_asym),
+        TestCase::new("trunc_zext", 44, false, trunc_zext),
+        TestCase::new("sext_neg", -56, false, sext_neg),
+        TestCase::new("fptrunc_case", 2, false, fptrunc_case),
+        TestCase::new("fpext_case", 3, false, fpext_case),
+        TestCase::new("fptoui_case", 7, false, fptoui_case),
+        TestCase::new("fptosi_case", -7, false, fptosi_case),
+        TestCase::new("uitofp_case", 10, false, uitofp_case),
+        TestCase::new("sitofp_case", 5, false, sitofp_case),
+        TestCase::new("ptr_roundtrip", 9, false, ptr_roundtrip),
+        TestCase::new("bitcast_float", 3, false, bitcast_float),
+        TestCase::new("icmp_three_preds", 101, false, icmp_three_preds),
+        TestCase::new("fcmp_two_preds", 10, false, fcmp_two_preds),
+        TestCase::new("br_cond_true", 42, false, br_cond_true),
+        TestCase::new("br_cond_false", 41, false, br_cond_false),
+        TestCase::new("br_uncond_chain", 5, false, br_uncond_chain),
+        TestCase::new("switch_both", 50, false, switch_both),
+        TestCase::new("indirectbr_second", 11, false, indirectbr_second),
+        TestCase::new("phi_if", 3, false, phi_if),
+        TestCase::new("phi_loop", 10, false, phi_loop),
+        TestCase::new("select_both", 89, false, select_both),
+        TestCase::new("call_args_asym", 16, false, call_args_asym),
+        TestCase::new("call_indirect", 33, false, call_indirect),
+        TestCase::new("tail_call_case", 12, false, tail_call_case),
+        TestCase::new("invoke_landingpad", 9, false, invoke_landingpad),
+        TestCase::new("unreachable_dead", 4, false, unreachable_dead),
+        TestCase::new("store_load_two_slots", 12, false, store_load_two_slots),
+        TestCase::new("gep_array", 99, false, gep_array),
+        TestCase::new("gep_struct", 16, false, gep_struct),
+        TestCase::new("vector_insert_extract", 75, false, vector_insert_extract),
+        TestCase::new("shufflevector_case", 23, false, shufflevector_case),
+        TestCase::new(
+            "aggregate_insert_extract",
+            427,
+            false,
+            aggregate_insert_extract,
+        ),
+        TestCase::new("cmpxchg_success", 509, false, cmpxchg_success),
+        TestCase::new("atomicrmw_add", 58, false, atomicrmw_add),
+        TestCase::new("fence_case", 3, false, fence_case),
+        TestCase::new("va_arg_zero", 21, false, va_arg_zero),
+        TestCase::new("addrspacecast_rt", 5, false, addrspacecast_rt),
+        TestCase::new("global_const_load", 11, false, global_const_load),
+        TestCase::new("nested_calls", 11, false, nested_calls),
+        // -- extended --
+        TestCase::new("freeze_value", 9, true, freeze_value),
+        TestCase::new("freeze_in_arith", 7, true, freeze_in_arith),
+        TestCase::new("callbr_fallthrough", 5, true, callbr_fallthrough),
+        TestCase::new("callbr_with_args", 12, true, callbr_with_args),
+        TestCase::new("callbr_indirect_list", 9, true, callbr_indirect_list),
+        TestCase::new("eh_catch_path", 6, true, eh_catch_path),
+        TestCase::new("eh_cleanup_path", 8, true, eh_cleanup_path),
+        TestCase::new("eh_full", 12, true, eh_full),
+    ];
+    debug_assert_eq!(v.len(), 68);
+    v.sort_by_key(|c| c.extended);
+    v
+}

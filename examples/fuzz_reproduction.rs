@@ -1,0 +1,61 @@
+//! Scenario II of the paper (Fig. 1): a fuzzer's PoCs must still crash
+//! after the target's IR is translated across versions, and IR-level
+//! instrumentation must keep working on the translated module.
+//!
+//! ```sh
+//! cargo run --example fuzz_reproduction
+//! ```
+
+use siro::core::{ReferenceTranslator, Skeleton};
+use siro::fuzz::{build_project, coverage, magma_projects, poc_reproduces, Scale};
+use siro::ir::IrVersion;
+
+fn main() {
+    let project = magma_projects(Scale(0.01))
+        .into_iter()
+        .find(|p| p.name == "libpng")
+        .unwrap();
+    let (module, pocs) = build_project(&project, IrVersion::V12_0);
+    println!(
+        "{}: {} CVEs, {} PoCs, {} instructions (IR {})",
+        project.name,
+        project.cves.len(),
+        pocs.len(),
+        module.inst_count(),
+        module.version
+    );
+
+    // Translate down to the fuzzer's IR version.
+    let translated = Skeleton::new(IrVersion::V3_6)
+        .translate_module(&module, &ReferenceTranslator)
+        .expect("translate");
+
+    // Reproduce every PoC on the translated module.
+    let mut ok = 0;
+    for poc in &pocs {
+        if poc_reproduces(&translated, poc) {
+            ok += 1;
+        }
+    }
+    println!("PoCs reproduced after 12.0 -> 3.6 translation: {ok}/{}", pocs.len());
+
+    // Grey-box-style coverage instrumentation on the *translated* IR.
+    let (instrumented, probes) = coverage::instrument_checked(&translated).expect("instrument");
+    println!("inserted {probes} coverage probes into the translated module");
+    let cov_crash = coverage::covered_blocks(&instrumented, &pocs[0].bytes);
+    let cov_benign = coverage::covered_blocks(&instrumented, &[0u8; 16]);
+    println!(
+        "block coverage: crashing input {} blocks, benign input {} blocks",
+        cov_crash.len(),
+        cov_benign.len()
+    );
+
+    // Corpus minimisation, the classic fuzzing loop ingredient.
+    let corpus: Vec<Vec<u8>> = pocs.iter().map(|p| p.bytes.to_vec()).collect();
+    let kept = coverage::minimise_corpus(&instrumented, &corpus);
+    println!(
+        "coverage-guided corpus minimisation kept {} of {} inputs",
+        kept.len(),
+        corpus.len()
+    );
+}

@@ -1,0 +1,79 @@
+//! Runs the full synthesis pipeline for one version pair and inspects what
+//! came out: the refined candidate counts, the generated translator source
+//! (Fig. 4 style), and the corpus feedback (which tests pruned nothing).
+//!
+//! ```sh
+//! cargo run --example synthesize_translator [SRC TGT]   # default 12.0 3.6
+//! ```
+
+use siro::ir::IrVersion;
+use siro::synth::{OracleTest, Synthesizer};
+
+fn parse_version(s: &str) -> Option<IrVersion> {
+    let (maj, min) = s.split_once('.')?;
+    Some(IrVersion::new(maj.parse().ok()?, min.parse().ok()?))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let src = args
+        .get(1)
+        .and_then(|s| parse_version(s))
+        .unwrap_or(IrVersion::V12_0);
+    let tgt = args
+        .get(2)
+        .and_then(|s| parse_version(s))
+        .unwrap_or(IrVersion::V3_6);
+
+    let tests: Vec<OracleTest> = siro::testcases::corpus_for_pair(src, tgt)
+        .into_iter()
+        .map(|c| OracleTest {
+            name: c.name.to_string(),
+            module: c.build(src),
+            oracle: c.oracle,
+        })
+        .collect();
+    println!("pair {src} -> {tgt}: {} usable test cases", tests.len());
+    println!(
+        "common instructions: {}, new instructions: {}",
+        src.common_instructions(tgt).len(),
+        src.new_instructions_vs(tgt).len()
+    );
+
+    let outcome = Synthesizer::for_pair(src, tgt)
+        .synthesize(&tests)
+        .expect("synthesis failed");
+    let r = &outcome.report;
+    println!(
+        "\nsynthesis: {:.2}s total, {} per-test translators validated",
+        r.timings.total().as_secs_f64(),
+        r.assignments_validated
+    );
+    println!(
+        "candidates: {} LOC generated, final translator {} LOC",
+        r.candidate_loc, r.translator_loc
+    );
+
+    println!("\nkinds with sub-kind predicates or multiple equivalent candidates:");
+    for (kind, refined) in &r.refined_counts {
+        if *refined > 1 {
+            println!("  {kind}: {refined} refined candidates");
+        }
+    }
+
+    let redundant = r.redundant_tests();
+    if redundant.is_empty() {
+        println!("\nevery test case pruned candidates (no redundant tests).");
+    } else {
+        println!("\ntest cases that pruned nothing (candidates for removal):");
+        for t in redundant {
+            println!("  {t}");
+        }
+    }
+
+    println!("\n--- generated translator source (excerpt) ---");
+    for line in outcome.rendered.lines().take(60) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)", outcome.rendered.lines().count());
+}

@@ -1,0 +1,251 @@
+//! The `siro` command-line tool: translate textual IR between versions,
+//! run programs, synthesize translators, and inspect the version catalog.
+//!
+//! ```text
+//! siro versions
+//! siro run program.sir
+//! siro translate --to 3.6 program.sir [-o out.sir] [--synthesized]
+//! siro synthesize --from 13.0 --to 3.6 [--emit-code]
+//! siro opt program.sir [-o out.sir]
+//! ```
+
+use std::process::ExitCode;
+
+use siro::core::{ReferenceTranslator, Skeleton};
+use siro::ir::{interp::Machine, parse, verify, write, IrVersion, Module};
+use siro::synth::{OracleTest, Synthesizer};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("versions") => cmd_versions(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("translate") => cmd_translate(&args[1..]),
+        Some("synthesize") => cmd_synthesize(&args[1..]),
+        Some("opt") => cmd_opt(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `siro help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "siro - synthesis-powered IR version translation (ASPLOS 2024 reproduction)
+
+USAGE:
+    siro versions                                    list the IR version catalog
+    siro run <file>                                  interpret a textual IR module
+    siro translate --to <ver> <file> [-o <out>]      translate across versions
+                   [--synthesized]                   use a corpus-synthesized translator
+    siro synthesize --from <ver> --to <ver>          synthesize instruction translators
+                   [--emit-code]                     print the generated source
+    siro opt <file> [-o <out>]                       run the optimizer pipeline"
+    );
+}
+
+fn parse_version(s: &str) -> Result<IrVersion, String> {
+    let (maj, min) = s
+        .split_once('.')
+        .ok_or_else(|| format!("version `{s}` must look like `13.0`"))?;
+    Ok(IrVersion::new(
+        maj.parse().map_err(|_| format!("bad major in `{s}`"))?,
+        min.parse().map_err(|_| format!("bad minor in `{s}`"))?,
+    ))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") && a != "--synthesized" && a != "--emit-code" {
+            skip = true;
+            continue;
+        }
+        if a == "-o" {
+            skip = true;
+            continue;
+        }
+        if !a.starts_with('-') {
+            out.push(args[i].as_str());
+        }
+    }
+    out
+}
+
+fn load_module(path: &str) -> Result<Module, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let m = parse::parse_module(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    verify::verify_module(&m).map_err(|e| format!("{path} does not verify: {e}"))?;
+    Ok(m)
+}
+
+fn emit_module(m: &Module, out: Option<&str>) -> Result<(), String> {
+    let text = write::write_module(m);
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_versions() -> Result<(), String> {
+    println!("{:>8} | {:>8} | notes", "version", "#opcodes");
+    println!("{}", "-".repeat(60));
+    for v in IrVersion::CATALOG {
+        let mut notes = Vec::new();
+        if v.explicit_load_type_in_text() {
+            notes.push("explicit load/gep types");
+        }
+        if v.builders_require_explicit_type() {
+            notes.push("typed builders (Fig. 13)");
+        }
+        if v.opaque_pointers_in_text() {
+            notes.push("opaque ptr");
+        }
+        println!(
+            "{:>8} | {:>8} | {}",
+            v.to_string(),
+            v.instruction_set().len(),
+            notes.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let [path] = positional(args)[..] else {
+        return Err("usage: siro run <file>".into());
+    };
+    let m = load_module(path)?;
+    let outcome = Machine::new(&m)
+        .run_main()
+        .map_err(|e| format!("running {path}: {e}"))?;
+    match outcome.result {
+        siro::ir::interp::ExecResult::Returned(_) => {
+            println!("main() = {:?} ({} steps)", outcome.return_int(), outcome.steps);
+            Ok(())
+        }
+        siro::ir::interp::ExecResult::Trapped(t) => Err(format!("trapped: {t}")),
+    }
+}
+
+fn corpus_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
+    siro::testcases::corpus_for_pair(src, tgt)
+        .into_iter()
+        .map(|c| OracleTest {
+            name: c.name.to_string(),
+            module: c.build(src),
+            oracle: c.oracle,
+        })
+        .collect()
+}
+
+fn cmd_translate(args: &[String]) -> Result<(), String> {
+    let to = parse_version(flag_value(args, "--to").ok_or("missing --to <version>")?)?;
+    let [path] = positional(args)[..] else {
+        return Err("usage: siro translate --to <ver> <file> [-o <out>] [--synthesized]".into());
+    };
+    let m = load_module(path)?;
+    let skel = Skeleton::new(to);
+    let translated = if args.iter().any(|a| a == "--synthesized") {
+        eprintln!(
+            "synthesizing a {} -> {} translator from the corpus ...",
+            m.version, to
+        );
+        let outcome = Synthesizer::for_pair(m.version, to)
+            .synthesize(&corpus_tests(m.version, to))
+            .map_err(|e| format!("synthesis failed: {e}"))?;
+        skel.translate_module(&m, &outcome.translator)
+    } else {
+        skel.translate_module(&m, &ReferenceTranslator)
+    }
+    .map_err(|e| format!("translation failed: {e}"))?;
+    verify::verify_module(&translated).map_err(|e| format!("output does not verify: {e}"))?;
+    emit_module(&translated, flag_value(args, "-o"))
+}
+
+fn cmd_synthesize(args: &[String]) -> Result<(), String> {
+    let from = parse_version(flag_value(args, "--from").ok_or("missing --from <version>")?)?;
+    let to = parse_version(flag_value(args, "--to").ok_or("missing --to <version>")?)?;
+    let tests = corpus_tests(from, to);
+    eprintln!("pair {from} -> {to}: {} usable corpus tests", tests.len());
+    let outcome = Synthesizer::for_pair(from, to)
+        .synthesize(&tests)
+        .map_err(|e| format!("synthesis failed: {e}"))?;
+    let r = &outcome.report;
+    println!(
+        "synthesized {} instruction translators in {:.2}s \
+         ({} per-test translators validated)",
+        outcome.translator.covered_kinds().len(),
+        r.timings.total().as_secs_f64(),
+        r.assignments_validated
+    );
+    println!(
+        "candidate space {} LOC -> final translator {} LOC",
+        r.candidate_loc, r.translator_loc
+    );
+    let redundant = r.redundant_tests();
+    if !redundant.is_empty() {
+        println!("redundant tests: {}", redundant.join(", "));
+    }
+    if args.iter().any(|a| a == "--emit-code") {
+        println!("\n{}", outcome.rendered);
+    }
+    // Smoke-check the result against the corpus, like the paper's review.
+    let skel = Skeleton::new(to);
+    for case in siro::testcases::corpus_for_pair(from, to) {
+        let m = case.build(from);
+        let t = skel
+            .translate_module(&m, &outcome.translator)
+            .map_err(|e| format!("self-check {} failed: {e}", case.name))?;
+        let got = Machine::new(&t)
+            .run_main()
+            .map_err(|e| e.to_string())?
+            .return_int();
+        if got != Some(case.oracle) {
+            return Err(format!(
+                "self-check {}: got {got:?}, want {}",
+                case.name, case.oracle
+            ));
+        }
+    }
+    println!("self-check: all corpus cases translate and meet their oracles");
+    Ok(())
+}
+
+fn cmd_opt(args: &[String]) -> Result<(), String> {
+    let [path] = positional(args)[..] else {
+        return Err("usage: siro opt <file> [-o <out>]".into());
+    };
+    let mut m = load_module(path)?;
+    let stats = siro::opt::optimize(&mut m);
+    verify::verify_module(&m).map_err(|e| format!("optimized module does not verify: {e}"))?;
+    eprintln!(
+        "mem2reg: {} slots; folded: {}; blocks removed: {}; dead insts: {}",
+        stats.promoted_slots, stats.folded, stats.removed_blocks, stats.removed_insts
+    );
+    emit_module(&m, flag_value(args, "-o"))
+}

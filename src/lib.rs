@@ -1,0 +1,17 @@
+//! # siro — synthesis-powered IR version translation
+//!
+//! Facade crate for the Siro reproduction (ASPLOS 2024). Re-exports every
+//! subsystem crate under one roof; see the README for the architecture and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use siro_analysis as analysis;
+pub use siro_api as api;
+pub use siro_core as core;
+pub use siro_fuzz as fuzz;
+pub use siro_ir as ir;
+pub use siro_kernel as kernel;
+pub use siro_opt as opt;
+pub use siro_study as study;
+pub use siro_synth as synth;
+pub use siro_testcases as testcases;
+pub use siro_workloads as workloads;
