@@ -125,14 +125,14 @@ fn detect_npd(ctx: &FnCtx<'_>, out: &mut Vec<BugReport>) {
             continue;
         }
         // Suppress if any null-check dominates the sink.
-        let guarded = checks.iter().any(|&chk| {
-            match (ctx.position(chk), ctx.position(sink)) {
+        let guarded = checks
+            .iter()
+            .any(|&chk| match (ctx.position(chk), ctx.position(sink)) {
                 (Some((cb, cp)), Some((sb, sp))) => {
                     (cb == sb && cp < sp) || (cb != sb && ctx.dom.dominates(cb, sb))
                 }
                 _ => false,
-            }
-        });
+            });
         if guarded {
             continue;
         }
@@ -224,21 +224,19 @@ fn detect_ml(ctx: &FnCtx<'_>, out: &mut Vec<BugReport>) {
                         }
                     }
                 }
-                Opcode::Ret => {
-                    if inst.operands.iter().any(|&v| flow.contains(v)) {
+                Opcode::Ret
+                    if inst.operands.iter().any(|&v| flow.contains(v)) => {
                         escapes = true;
                     }
-                }
-                Opcode::Store => {
+                Opcode::Store
                     // Storing the pointer into a *global* publishes it;
                     // storing into a local slot loses it (the value-flow
                     // opacity driving the Tab. 4 miss column).
                     if flow.contains(inst.operands[0])
                         && matches!(inst.operands[1], ValueRef::Global(_))
-                    {
+                    => {
                         escapes = true;
                     }
-                }
                 _ => {}
             }
         }
@@ -254,7 +252,7 @@ fn detect_ml(ctx: &FnCtx<'_>, out: &mut Vec<BugReport>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use siro_ir::{FuncBuilder, Function as IrFunction, FuncId, IntPredicate, IrVersion, Param};
+    use siro_ir::{FuncBuilder, FuncId, Function as IrFunction, IntPredicate, IrVersion, Param};
 
     struct Externs {
         malloc: FuncId,
@@ -361,7 +359,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, f);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        let p = b.call(p8, ValueRef::Func(ex.malloc), vec![ValueRef::const_int(i64t, 8)]);
+        let p = b.call(
+            p8,
+            ValueRef::Func(ex.malloc),
+            vec![ValueRef::const_int(i64t, 8)],
+        );
         // Use before free: fine.
         b.load(i8t, p);
         b.call(void, ValueRef::Func(ex.free), vec![p]);
@@ -411,14 +413,22 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, f);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        b.call(p8, ValueRef::Func(ex.malloc), vec![ValueRef::const_int(i64t, 8)]);
+        b.call(
+            p8,
+            ValueRef::Func(ex.malloc),
+            vec![ValueRef::const_int(i64t, 8)],
+        );
         b.ret(Some(ValueRef::const_int(i32t, 0)));
         // Freed: fine.
         let g = FuncBuilder::define(&mut m, "freed", i32t, vec![]);
         let mut b = FuncBuilder::new(&mut m, g);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        let p = b.call(p8, ValueRef::Func(ex.malloc), vec![ValueRef::const_int(i64t, 8)]);
+        let p = b.call(
+            p8,
+            ValueRef::Func(ex.malloc),
+            vec![ValueRef::const_int(i64t, 8)],
+        );
         b.call(void, ValueRef::Func(ex.free), vec![p]);
         b.ret(Some(ValueRef::const_int(i32t, 0)));
         // Escapes via return: fine.
@@ -426,7 +436,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, h);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        let p = b.call(p8, ValueRef::Func(ex.malloc), vec![ValueRef::const_int(i64t, 8)]);
+        let p = b.call(
+            p8,
+            ValueRef::Func(ex.malloc),
+            vec![ValueRef::const_int(i64t, 8)],
+        );
         b.ret(Some(p));
         let reports = analyze_module(&m);
         let mls: Vec<_> = reports.iter().filter(|r| r.kind == BugKind::Ml).collect();
@@ -450,7 +464,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, f);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        let p = b.call(p8, ValueRef::Func(ex.malloc), vec![ValueRef::const_int(i64t, 8)]);
+        let p = b.call(
+            p8,
+            ValueRef::Func(ex.malloc),
+            vec![ValueRef::const_int(i64t, 8)],
+        );
         let slot = b.alloca(p8);
         b.store(p, slot);
         let q = b.load(p8, slot);

@@ -5,10 +5,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The four bug classes of Tab. 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BugKind {
     /// Null pointer dereference.
     Npd,
@@ -42,7 +40,7 @@ impl fmt::Display for BugKind {
 }
 
 /// One step of a bug trace (source, intermediate flows, sink).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct TraceStep {
     /// Enclosing function.
     pub func: String,
@@ -54,7 +52,7 @@ pub struct TraceStep {
 }
 
 /// A reported bug.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct BugReport {
     /// Bug class.
     pub kind: BugKind,
@@ -83,7 +81,7 @@ impl BugReport {
 /// The outcome of comparing reports from two settings (paper columns of
 /// Tab. 4): `new` are only in the *translating* setting, `missing` only in
 /// the *compiling* setting, `shared` in both.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ReportDiff {
     /// Reported only by the translating setting.
     pub new: Vec<BugReport>,
@@ -117,11 +115,7 @@ impl ReportDiff {
     /// `(new, missing, shared)` counts restricted to one bug kind.
     pub fn counts_for(&self, kind: BugKind) -> (usize, usize, usize) {
         let count = |v: &[BugReport]| v.iter().filter(|r| r.kind == kind).count();
-        (
-            count(&self.new),
-            count(&self.missing),
-            count(&self.shared),
-        )
+        (count(&self.new), count(&self.missing), count(&self.shared))
     }
 
     /// The overlap accuracy the paper reports: `shared / (shared + new)`
@@ -193,7 +187,10 @@ mod tests {
 
     #[test]
     fn overlap_ratio() {
-        let t = vec![report(BugKind::Npd, "f", "a"), report(BugKind::Npd, "f", "b")];
+        let t = vec![
+            report(BugKind::Npd, "f", "a"),
+            report(BugKind::Npd, "f", "b"),
+        ];
         let c = vec![report(BugKind::Npd, "f", "a")];
         let d = ReportDiff::compare(&t, &c);
         assert!((d.overlap_ratio() - 0.5).abs() < 1e-9);

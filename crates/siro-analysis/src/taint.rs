@@ -54,11 +54,7 @@ impl FlowSet {
                 // condition; `phi` skips the incoming block labels.
                 let data_operands: Vec<ValueRef> = match inst.opcode {
                     Opcode::Select => inst.operands[1..].to_vec(),
-                    Opcode::Phi => inst
-                        .phi_incoming()
-                        .into_iter()
-                        .map(|(v, _)| v)
-                        .collect(),
+                    Opcode::Phi => inst.phi_incoming().into_iter().map(|(v, _)| v).collect(),
                     Opcode::GetElementPtr => vec![inst.operands[0]],
                     _ => inst.operands.clone(),
                 };
@@ -97,11 +93,11 @@ pub fn null_seeds(func: &Function) -> Vec<ValueRef> {
     let mut out = Vec::new();
     for block in &func.blocks {
         for inst in block.insts.iter().map(|&i| func.inst(i)) {
-        for &op in &inst.operands {
-            if matches!(op, ValueRef::Null(_)) && !out.contains(&op) {
-                out.push(op);
+            for &op in &inst.operands {
+                if matches!(op, ValueRef::Null(_)) && !out.contains(&op) {
+                    out.push(op);
+                }
             }
-        }
         }
     }
     out
@@ -201,7 +197,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, f);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        b.call(p8, ValueRef::Func(malloc), vec![ValueRef::const_int(i64t, 8)]);
+        b.call(
+            p8,
+            ValueRef::Func(malloc),
+            vec![ValueRef::const_int(i64t, 8)],
+        );
         b.ret(Some(ValueRef::const_int(i32t, 0)));
         let func = m.func(f);
         assert_eq!(calls_to(&m, func, "malloc").len(), 1);

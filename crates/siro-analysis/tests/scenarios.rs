@@ -36,22 +36,16 @@ fn per_kind_totals_follow_the_census() {
         .into_iter()
         .find(|p| p.name == "tmux")
         .unwrap();
-    let low = siro_workloads::compile_project(
-        &spec,
-        siro_workloads::Frontend::Low,
-        IrVersion::V3_6,
-    );
+    let low =
+        siro_workloads::compile_project(&spec, siro_workloads::Frontend::Low, IrVersion::V3_6);
     let reports = analyze_module(&low);
     let count = |k: BugKind| reports.iter().filter(|r| r.kind == k).count();
     // Low setting sees shared + miss instances.
     assert_eq!(count(BugKind::Npd), 85); // 85 shared (new invisible in low)
     assert_eq!(count(BugKind::Uaf), 14 + 3);
     assert_eq!(count(BugKind::Ml), 105 + 5);
-    let high = siro_workloads::compile_project(
-        &spec,
-        siro_workloads::Frontend::High,
-        IrVersion::V12_0,
-    );
+    let high =
+        siro_workloads::compile_project(&spec, siro_workloads::Frontend::High, IrVersion::V12_0);
     let reports = analyze_module(&high);
     let count = |k: BugKind| reports.iter().filter(|r| r.kind == k).count();
     // High setting sees shared + new instances.
@@ -85,7 +79,10 @@ fn benign_filler_produces_no_reports() {
         .into_iter()
         .find(|p| p.name == "pbzip")
         .unwrap();
-    for fe in [siro_workloads::Frontend::Low, siro_workloads::Frontend::High] {
+    for fe in [
+        siro_workloads::Frontend::Low,
+        siro_workloads::Frontend::High,
+    ] {
         let m = siro_workloads::compile_project(&spec, fe, IrVersion::V12_0);
         let reports = analyze_module(&m);
         assert!(reports.is_empty(), "{fe:?}: {reports:?}");

@@ -837,7 +837,8 @@ fn register_one(reg: &mut ApiRegistry, op: Opcode, explicit: bool) {
                 |ctx, args| {
                     let v = tgt_value_arg(args, 0)?;
                     let ty = want_type(ctx, v)?;
-                    ctx.build(Instruction::new(Freeze, ty, vec![v])).map(as_inst)
+                    ctx.build(Instruction::new(Freeze, ty, vec![v]))
+                        .map(as_inst)
                 },
             );
         }
@@ -1054,10 +1055,7 @@ mod tests {
                     ApiValue::TgtValue(ValueRef::Null(parr)),
                     ApiValue::Values(
                         Side::Target,
-                        vec![
-                            ValueRef::const_int(i64t, 0),
-                            ValueRef::const_int(i64t, 2),
-                        ],
+                        vec![ValueRef::const_int(i64t, 0), ValueRef::const_int(i64t, 2)],
                     ),
                 ],
             )

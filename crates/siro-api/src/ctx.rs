@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 
 use siro_ir::{
-    BlockId, FuncId, Function, Global, GlobalId, InlineAsm, Instruction, InstId, IrVersion,
-    Module, Param, Type, TypeId, TypeTable, ValueRef,
+    BlockId, FuncId, Function, Global, GlobalId, InlineAsm, InstId, Instruction, IrVersion, Module,
+    Param, Type, TypeId, TypeTable, ValueRef,
 };
 
 use crate::error::{ApiError, ApiResult};

@@ -50,6 +50,8 @@ mod tests {
         assert!(ApiError::WrongSubKind("x".into())
             .to_string()
             .contains("sub-kind"));
-        assert!(ApiError::Missing("f".into()).to_string().contains("missing"));
+        assert!(ApiError::Missing("f".into())
+            .to_string()
+            .contains("missing"));
     }
 }

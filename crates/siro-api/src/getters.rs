@@ -205,9 +205,7 @@ fn register_specific(reg: &mut ApiRegistry, op: Opcode) {
                         .first()
                         .copied()
                         .map(ApiValue::SrcValue)
-                        .ok_or_else(|| {
-                            ApiError::WrongSubKind("void return has no value".into())
-                        })
+                        .ok_or_else(|| ApiError::WrongSubKind("void return has no value".into()))
                 },
             );
         }
@@ -724,16 +722,14 @@ mod tests {
         let reg = ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6);
         let get_cond = reg.find_for_kind("get_condition", Opcode::Br).unwrap();
         // Instruction 1 is the conditional branch.
-        let ok = reg.get(get_cond).call(
-            &mut ctx,
-            &[ApiValue::SrcInst(siro_ir::InstId(1))],
-        );
+        let ok = reg
+            .get(get_cond)
+            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId(1))]);
         assert!(matches!(ok, Ok(ApiValue::SrcValue(_))));
         // Instruction 3 is the unconditional branch in `else`.
-        let err = reg.get(get_cond).call(
-            &mut ctx,
-            &[ApiValue::SrcInst(siro_ir::InstId(3))],
-        );
+        let err = reg
+            .get(get_cond)
+            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId(3))]);
         assert!(matches!(err, Err(ApiError::WrongSubKind(_))));
     }
 

@@ -122,8 +122,7 @@ impl ApiProgram {
             .unwrap_or(false);
         // Nullary builders (`create_ret_void`, `create_unreachable`, the EH
         // pads) legitimately consume nothing from the input instruction.
-        let nullary_root =
-            self.steps.len() == 1 && reg.get(self.steps[0].api).params.is_empty();
+        let nullary_root = self.steps.len() == 1 && reg.get(self.steps[0].api).params.is_empty();
         (uses_input || nullary_root) && out_ok
     }
 
@@ -162,11 +161,7 @@ impl ApiProgram {
                 Reg::Step(i) => {
                     let step = &p.steps[i];
                     let f = reg.get(step.api);
-                    let args: Vec<String> = step
-                        .args
-                        .iter()
-                        .map(|&a| expr(p, reg, a))
-                        .collect();
+                    let args: Vec<String> = step.args.iter().map(|&a| expr(p, reg, a)).collect();
                     format!("{}({})", f.name, args.join(", "))
                 }
             }

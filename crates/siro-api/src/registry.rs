@@ -40,7 +40,8 @@ pub enum ApiKind {
     Const,
 }
 
-type ApiImpl = Arc<dyn Fn(&mut TranslationCtx<'_>, &[ApiValue]) -> ApiResult<ApiValue> + Send + Sync>;
+type ApiImpl =
+    Arc<dyn Fn(&mut TranslationCtx<'_>, &[ApiValue]) -> ApiResult<ApiValue> + Send + Sync>;
 
 /// One typed API component.
 #[derive(Clone)]
@@ -181,9 +182,7 @@ impl ApiRegistry {
 
     /// Finds a component by exact name (first match).
     pub fn find(&self, name: &str) -> Option<ApiId> {
-        self.iter()
-            .find(|(_, f)| f.name == name)
-            .map(|(id, _)| id)
+        self.iter().find(|(_, f)| f.name == name).map(|(id, _)| id)
     }
 
     /// Finds a component by name whose first parameter accepts source
@@ -425,7 +424,11 @@ mod tests {
         for &s in &IrVersion::CATALOG {
             for &t in &IrVersion::CATALOG {
                 let r = ApiRegistry::for_pair(s, t);
-                assert!(r.len() > 100, "registry for {s}->{t} too small: {}", r.len());
+                assert!(
+                    r.len() > 100,
+                    "registry for {s}->{t} too small: {}",
+                    r.len()
+                );
             }
         }
     }
@@ -468,8 +471,6 @@ mod tests {
         let r = ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6);
         let preds = r.predicates_for(Opcode::Br);
         assert!(!preds.is_empty());
-        assert!(preds
-            .iter()
-            .any(|&p| r.get(p).name == "is_unconditional"));
+        assert!(preds.iter().any(|&p| r.get(p).name == "is_unconditional"));
     }
 }

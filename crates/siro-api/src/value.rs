@@ -8,8 +8,7 @@
 use std::fmt;
 
 use siro_ir::{
-    AtomicOrdering, BlockId, FloatPredicate, InstId, IntPredicate, Opcode, RmwOp, TypeId,
-    ValueRef,
+    AtomicOrdering, BlockId, FloatPredicate, InstId, IntPredicate, Opcode, RmwOp, TypeId, ValueRef,
 };
 
 /// Which version a value or type belongs to: the source (❶) or target (❷)

@@ -120,15 +120,12 @@ fn getters_never_panic_on_corpus_instructions() {
                     // Try every index argument in range for indexed getters.
                     if f.params.len() == 2 {
                         for idx in 0..3u32 {
-                            let _ = reg.get(api_id).call(
-                                &mut ctx,
-                                &[ApiValue::SrcInst(iid), ApiValue::U32(idx)],
-                            );
+                            let _ = reg
+                                .get(api_id)
+                                .call(&mut ctx, &[ApiValue::SrcInst(iid), ApiValue::U32(idx)]);
                         }
                     } else {
-                        let _ = reg
-                            .get(api_id)
-                            .call(&mut ctx, &[ApiValue::SrcInst(iid)]);
+                        let _ = reg.get(api_id).call(&mut ctx, &[ApiValue::SrcInst(iid)]);
                     }
                 }
             }

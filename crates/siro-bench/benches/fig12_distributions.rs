@@ -25,7 +25,8 @@ fn bucket_b(n: usize) -> usize {
 
 fn main() {
     banner("Figure 12 - candidate and refined atomic-translator distributions (12.0 -> 3.6)");
-    let outcome = synthesize_pair(IrVersion::V12_0, IrVersion::V3_6);
+    let outcome =
+        synthesize_pair(IrVersion::V12_0, IrVersion::V3_6).unwrap_or_else(|e| panic!("{e}"));
     let total = outcome.report.candidate_counts.len() as f64;
 
     let mut a = [0usize; 4];
@@ -34,7 +35,10 @@ fn main() {
     }
     println!("\n(a) initial candidates per common instruction (paper: 15% / 64% / 16% / 5%):");
     for (label, count) in ["[1-3]", "[4-10]", "[11-100]", ">100"].iter().zip(a) {
-        println!("  {label:>9}: {count:>3} kinds ({:>5.1}%)", count as f64 / total * 100.0);
+        println!(
+            "  {label:>9}: {count:>3} kinds ({:>5.1}%)",
+            count as f64 / total * 100.0
+        );
     }
 
     let mut b = [0usize; 4];
@@ -44,12 +48,20 @@ fn main() {
     let rtotal = outcome.report.refined_counts.len() as f64;
     println!("\n(b) refined candidates per kind (paper: 72% / 16% / 10% / 2%):");
     for (label, count) in ["1", "2", "[3-6]", ">6"].iter().zip(b) {
-        println!("  {label:>9}: {count:>3} kinds ({:>5.1}%)", count as f64 / rtotal * 100.0);
+        println!(
+            "  {label:>9}: {count:>3} kinds ({:>5.1}%)",
+            count as f64 / rtotal * 100.0
+        );
     }
 
     println!("\nper-kind detail (initial -> refined):");
     for (kind, n) in &outcome.report.candidate_counts {
-        let r = outcome.report.refined_counts.get(kind).copied().unwrap_or(0);
+        let r = outcome
+            .report
+            .refined_counts
+            .get(kind)
+            .copied()
+            .unwrap_or(0);
         println!("  {:>16}: {:>4} -> {:>2}", kind.to_string(), n, r);
     }
     println!("\npaper findings reproduced: sub-kinds for branch/return, commutative arithmetic");

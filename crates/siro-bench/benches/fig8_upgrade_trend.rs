@@ -36,9 +36,17 @@ fn main() {
     let span = |s: &[siro_study::TrendPoint], a: &str, b: &str| -> f64 {
         s[idx(a)..=idx(b)].iter().map(|p| p.increment_pct).sum()
     };
-    println!("\nPeriod 1 (3.6 - 5):  text {:>5.1}%  api {:>5.1}%  semantic {:>5.1}%",
-        span(&t.text, "3.6", "5"), span(&t.api, "3.6", "5"), span(&t.semantic, "3.6", "5"));
-    println!("Period 2 (6 - 11):   text {:>5.1}%  api {:>5.1}%  semantic {:>5.1}%",
-        span(&t.text, "6", "11"), span(&t.api, "6", "11"), span(&t.semantic, "6", "11"));
+    println!(
+        "\nPeriod 1 (3.6 - 5):  text {:>5.1}%  api {:>5.1}%  semantic {:>5.1}%",
+        span(&t.text, "3.6", "5"),
+        span(&t.api, "3.6", "5"),
+        span(&t.semantic, "3.6", "5")
+    );
+    println!(
+        "Period 2 (6 - 11):   text {:>5.1}%  api {:>5.1}%  semantic {:>5.1}%",
+        span(&t.text, "6", "11"),
+        span(&t.api, "6", "11"),
+        span(&t.semantic, "6", "11")
+    );
     println!("\npaper shape: period 1 active in all three dimensions; period 2 in API+semantic.");
 }

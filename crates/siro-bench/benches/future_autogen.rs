@@ -24,7 +24,11 @@ fn main() {
         .filter(|k| !kinds.contains(k))
         .map(|k| k.name().to_string())
         .collect();
-    println!("never generated ({}): {}", missing.len(), missing.join(", "));
+    println!(
+        "never generated ({}): {}",
+        missing.len(),
+        missing.join(", ")
+    );
 
     let tests: Vec<OracleTest> = generated
         .into_iter()
@@ -66,7 +70,10 @@ fn main() {
         .run_main()
         .unwrap()
         .return_int();
-    println!("covered-kind check (sub_asym): {got:?} (want Some({}))", case.oracle);
+    println!(
+        "covered-kind check (sub_asym): {got:?} (want Some({}))",
+        case.oracle
+    );
     // ... and warns on what it never saw.
     let invoke_case = siro_testcases::full_corpus()
         .into_iter()

@@ -1,67 +1,90 @@
-//! Criterion micro-benchmarks: throughput of the core pipeline stages.
+//! Micro-benchmarks: throughput of the core pipeline stages, measured with
+//! a self-contained warmup + timed-iterations harness (no external bench
+//! framework, so the workspace stays registry-free).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
 use siro_core::{ReferenceTranslator, Skeleton};
 use siro_ir::{interp::Machine, IrVersion};
 use siro_synth::{GenLimits, TypeGraph};
 
-fn bench_translation(c: &mut Criterion) {
-    let spec = &siro_workloads::table4_projects()[1]; // tmux, the largest
-    let module = siro_workloads::compile_project(spec, siro_workloads::Frontend::High, IrVersion::V12_0);
-    let skel = Skeleton::new(IrVersion::V3_6);
-    let insts = module.inst_count();
-    c.bench_function(&format!("translate_module_{insts}_insts"), |b| {
-        b.iter(|| skel.translate_module(&module, &ReferenceTranslator).unwrap())
-    });
+/// Runs `body` repeatedly for ~`budget` after a short warmup and reports
+/// mean wall-clock per iteration.
+fn bench_function<R>(name: &str, budget: Duration, mut body: impl FnMut() -> R) {
+    // Warmup: let caches and allocator reach steady state.
+    let warm_until = Instant::now() + budget / 10;
+    while Instant::now() < warm_until {
+        std::hint::black_box(body());
+    }
+    let started = Instant::now();
+    let mut iters = 0u64;
+    while started.elapsed() < budget {
+        std::hint::black_box(body());
+        iters += 1;
+    }
+    let per_iter = started.elapsed().as_secs_f64() / iters as f64;
+    let (scaled, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "us")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("{name:<40} {scaled:>10.3} {unit}/iter  ({iters} iters)");
 }
 
-fn bench_interpretation(c: &mut Criterion) {
+fn main() {
+    let budget = Duration::from_millis(500);
+    println!(
+        "micro-benchmarks ({}ms budget per case)\n",
+        budget.as_millis()
+    );
+
+    // Translation throughput on the largest Tab. 4 project.
+    let spec = &siro_workloads::table4_projects()[1]; // tmux, the largest
+    let module =
+        siro_workloads::compile_project(spec, siro_workloads::Frontend::High, IrVersion::V12_0);
+    let skel = Skeleton::new(IrVersion::V3_6);
+    let insts = module.inst_count();
+    bench_function(&format!("translate_module_{insts}_insts"), budget, || {
+        skel.translate_module(&module, &ReferenceTranslator)
+            .unwrap()
+    });
+
+    // Interpretation.
     let case = siro_testcases::full_corpus()
         .into_iter()
         .find(|t| t.name == "phi_loop")
         .unwrap();
     let m = case.build(IrVersion::V13_0);
-    c.bench_function("interpret_phi_loop", |b| {
-        b.iter(|| Machine::new(&m).run_main().unwrap())
+    bench_function("interpret_phi_loop", budget, || {
+        Machine::new(&m).run_main().unwrap()
     });
-}
 
-fn bench_candidate_generation(c: &mut Criterion) {
+    // Candidate generation.
     let reg = siro_api::ApiRegistry::for_pair(IrVersion::V12_0, IrVersion::V3_6);
-    c.bench_function("generate_candidates_all_kinds", |b| {
-        b.iter(|| {
-            let graph = TypeGraph::new(&reg);
-            siro_synth::generate_all(&graph, GenLimits::default())
-        })
+    bench_function("generate_candidates_all_kinds", budget, || {
+        let graph = TypeGraph::new(&reg);
+        siro_synth::generate_all(&graph, GenLimits::default())
     });
-}
 
-fn bench_verify(c: &mut Criterion) {
+    // Verification.
     let spec = &siro_workloads::table4_projects()[1];
-    let module = siro_workloads::compile_project(spec, siro_workloads::Frontend::Low, IrVersion::V3_6);
-    c.bench_function("verify_tmux_module", |b| {
-        b.iter(|| siro_ir::verify::verify_module(&module).unwrap())
+    let vmodule =
+        siro_workloads::compile_project(spec, siro_workloads::Frontend::Low, IrVersion::V3_6);
+    bench_function("verify_tmux_module", budget, || {
+        siro_ir::verify::verify_module(&vmodule).unwrap()
     });
-}
 
-fn bench_write_parse(c: &mut Criterion) {
+    // Writer / parser.
     let spec = &siro_workloads::table4_projects()[0];
-    let module = siro_workloads::compile_project(spec, siro_workloads::Frontend::Low, IrVersion::V3_6);
-    let text = siro_ir::write::write_module(&module);
-    c.bench_function("write_module_libcapstone", |b| {
-        b.iter(|| siro_ir::write::write_module(&module))
+    let wmodule =
+        siro_workloads::compile_project(spec, siro_workloads::Frontend::Low, IrVersion::V3_6);
+    let text = siro_ir::write::write_module(&wmodule);
+    bench_function("write_module_libcapstone", budget, || {
+        siro_ir::write::write_module(&wmodule)
     });
-    c.bench_function("parse_module_libcapstone", |b| {
-        b.iter(|| siro_ir::parse::parse_module(&text).unwrap())
+    bench_function("parse_module_libcapstone", budget, || {
+        siro_ir::parse::parse_module(&text).unwrap()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_translation,
-    bench_interpretation,
-    bench_candidate_generation,
-    bench_verify,
-    bench_write_parse
-);
-criterion_main!(benches);

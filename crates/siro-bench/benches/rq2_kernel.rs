@@ -10,8 +10,8 @@ use siro_kernel::{run_campaign, BugStatus};
 fn main() {
     banner("RQ2 - Linux kernel deployment: similarity-based bug detection");
     println!("synthesizing the 14.0 -> 3.6 and 15.0 -> 3.6 translators ...");
-    let t14 = synthesize_pair(IrVersion::V14_0, IrVersion::V3_6);
-    let t15 = synthesize_pair(IrVersion::V15_0, IrVersion::V3_6);
+    let t14 = synthesize_pair(IrVersion::V14_0, IrVersion::V3_6).unwrap_or_else(|e| panic!("{e}"));
+    let t15 = synthesize_pair(IrVersion::V15_0, IrVersion::V3_6).unwrap_or_else(|e| panic!("{e}"));
     let campaign = run_campaign(
         &|v| -> Box<dyn siro_core::InstTranslator> {
             if v == IrVersion::V14_0 {
@@ -21,7 +21,8 @@ fn main() {
             }
         },
         IrVersion::V3_6,
-    );
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
     for (release, compiler, bugs) in &campaign.per_release {
         println!(
             "\n{release} (compiled at {compiler}, translated {compiler} -> 3.6): {} bugs",

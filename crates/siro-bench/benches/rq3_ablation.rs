@@ -6,10 +6,10 @@
 //!    the paper's 24 h timeout with 13,000,000 translators pending;
 //! 3. optimization III versus five random test orders.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use siro_bench::{banner, oracle_tests};
 use siro_ir::IrVersion;
+use siro_rng::seq::SliceRandom;
+use siro_rng::SeedableRng;
 use siro_synth::{GenLimits, SynthesisConfig, Synthesizer, TypeGraph};
 
 fn main() {
@@ -37,8 +37,11 @@ fn main() {
         }
     }
     println!("\n1. no per-test translators (validate the whole suite at once):");
-    println!("   {insts} instructions across {} tests -> ~1e{:.0} combined translators",
-        tests.len(), log10_combos);
+    println!(
+        "   {insts} instructions across {} tests -> ~1e{:.0} combined translators",
+        tests.len(),
+        log10_combos
+    );
     println!("   (paper: 1e40 even ignoring predicates -> no chance for synthesis)");
 
     // -- 2. Optimizations I + II disabled --------------------------------
@@ -49,9 +52,7 @@ fn main() {
     println!("\n2. optimizations I (equivalence) and II (memoization) disabled:");
     match Synthesizer::new(cfg).synthesize(&tests) {
         Err(siro_synth::SynthError::Blowup { test, assignments }) => {
-            println!(
-                "   aborted: test `{test}` left {assignments} per-test translators pending"
-            );
+            println!("   aborted: test `{test}` left {assignments} per-test translators pending");
             println!("   (paper: timeout after 24 h, stuck at 13,000,000 pending translators)");
         }
         Err(e) => println!("   aborted: {e}"),
@@ -65,13 +66,15 @@ fn main() {
     println!("\n3. optimization III (simple-tests-first) vs five random orders:");
     let mut cfg = SynthesisConfig::new(src, tgt);
     cfg.max_assignments_per_test = 2_000_000;
-    let baseline = Synthesizer::new(cfg.clone()).synthesize(&tests).expect("baseline");
+    let baseline = Synthesizer::new(cfg.clone())
+        .synthesize(&tests)
+        .expect("baseline");
     println!(
         "   ordered   : {:>9} validations, {:>7.2}s",
         baseline.report.assignments_validated,
         baseline.report.timings.total().as_secs_f64()
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    let mut rng = siro_rng::StdRng::seed_from_u64(0x5EED);
     for run in 0..5 {
         let mut shuffled = tests.clone();
         shuffled.shuffle(&mut rng);

@@ -6,17 +6,19 @@
 //! executing test cases (translation/compilation rejects most wrong
 //! translators early).
 
-use siro_bench::{banner, oracle_tests};
+use std::time::Instant;
+
+use siro_bench::{banner, oracle_tests, perf::SynthRecord, synthesize_pair};
 use siro_ir::IrVersion;
-use siro_synth::Synthesizer;
 
 fn main() {
     banner("RQ3 - synthesis time breakdown (13.0 -> 3.6, base corpus)");
     let tests: Vec<_> = oracle_tests(IrVersion::V13_0, IrVersion::V3_6);
     println!("test cases: {}", tests.len());
-    let outcome = Synthesizer::for_pair(IrVersion::V13_0, IrVersion::V3_6)
-        .synthesize(&tests)
-        .expect("synthesis");
+    let t0 = Instant::now();
+    let outcome =
+        synthesize_pair(IrVersion::V13_0, IrVersion::V3_6).unwrap_or_else(|e| panic!("{e}"));
+    let wall = t0.elapsed();
     let t = outcome.report.timings;
     let total = t.total().as_secs_f64();
     let row = |name: &str, d: std::time::Duration| {
@@ -59,6 +61,11 @@ fn main() {
             redundant.join(", ")
         }
     );
+    let record = SynthRecord::new(IrVersion::V13_0, IrVersion::V3_6, &outcome, wall, false);
+    match siro_bench::perf::write_synthesis_json(&[record]) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_synthesis.json: {e}"),
+    }
     println!("\npaper shape: validation dominates; execution is a small fraction of it");
     println!("because translation/compilation failures reject most candidates early.");
 }

@@ -1,15 +1,18 @@
 //! Regenerates Tab. 3: synthesizing IR translators for ten version pairs.
 //!
-//! For every pair the harness runs the full synthesis pipeline over the
-//! test-case corpus and reports the common/new instruction counts (exact
-//! reproduction) and the candidate / final translator sizes (our substrate's
-//! scale; the paper's numbers are C++ LOC over real LLVM).
+//! The ten pairs are synthesized concurrently through the process-wide
+//! translator cache (`synthesize_pairs` fans one worker out per pair;
+//! each worker parallelizes internally). For every pair the harness
+//! reports the common/new instruction counts (exact reproduction) and the
+//! candidate / final translator sizes (our substrate's scale; the paper's
+//! numbers are C++ LOC over real LLVM), then dumps per-pair stage timings
+//! and cache counters to `BENCH_synthesis.json`.
 
 use std::time::Instant;
 
-use siro_bench::{banner, oracle_tests};
+use siro_bench::{banner, synthesize_pairs};
 use siro_ir::IrVersion;
-use siro_synth::Synthesizer;
+use siro_synth::TranslatorCache;
 
 fn main() {
     banner("Table 3 - Pairs of IR translator versions achieved by Siro");
@@ -26,18 +29,28 @@ fn main() {
         (IrVersion::V3_6, IrVersion::V12_0),
     ];
     println!(
-        "{:>3} | {:>7} | {:>7} | {:>12} | {:>9} | {:>6} | {:>17} | {:>15} | {:>8}",
-        "No.", "Source", "Target", "#Common Inst", "#New Inst", "#Tests",
-        "#Atomic Trans(LOC)", "#Inst Trans(LOC)", "Time"
+        "synthesizing {} pairs concurrently ({} worker threads per pair) ...",
+        pairs.len(),
+        siro_synth::resolve_threads()
+    );
+    let t0 = Instant::now();
+    let results = synthesize_pairs(&pairs).unwrap_or_else(|e| panic!("{e}"));
+    let fanout_wall = t0.elapsed();
+
+    println!(
+        "\n{:>3} | {:>7} | {:>7} | {:>12} | {:>9} | {:>6} | {:>17} | {:>15} | {:>8}",
+        "No.",
+        "Source",
+        "Target",
+        "#Common Inst",
+        "#New Inst",
+        "#Tests",
+        "#Atomic Trans(LOC)",
+        "#Inst Trans(LOC)",
+        "Time"
     );
     println!("{}", "-".repeat(110));
-    for (i, (src, tgt)) in pairs.iter().enumerate() {
-        let tests = oracle_tests(*src, *tgt);
-        let t0 = Instant::now();
-        let outcome = Synthesizer::for_pair(*src, *tgt)
-            .synthesize(&tests)
-            .unwrap_or_else(|e| panic!("pair {}: {e}", i + 1));
-        let elapsed = t0.elapsed();
+    for (i, ((src, tgt), (outcome, record))) in pairs.iter().zip(&results).enumerate() {
         let common = src.common_instructions(*tgt).len();
         let new = src.new_instructions_vs(*tgt).len();
         println!(
@@ -47,11 +60,26 @@ fn main() {
             tgt.to_string(),
             common,
             new,
-            tests.len(),
+            record.tests_used,
             outcome.report.candidate_loc,
             outcome.report.translator_loc,
-            elapsed.as_secs_f64(),
+            record.wall.as_secs_f64(),
         );
+    }
+    let records: Vec<_> = results.iter().map(|(_, r)| r.clone()).collect();
+    let stats = TranslatorCache::stats();
+    println!(
+        "\nfan-out wall clock: {:.2}s for {} pairs (sum of per-pair walls: {:.2}s); \
+         cache: {} hits / {} misses",
+        fanout_wall.as_secs_f64(),
+        pairs.len(),
+        records.iter().map(|r| r.wall.as_secs_f64()).sum::<f64>(),
+        stats.hits,
+        stats.misses,
+    );
+    match siro_bench::perf::write_synthesis_json(&records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_synthesis.json: {e}"),
     }
     println!("\npaper columns reproduced exactly: #Common Inst, #New Inst (all ten rows).");
     println!("LOC columns measure this substrate's rendered translators; the paper's are C++.");

@@ -10,8 +10,10 @@ use siro_workloads::run_table4;
 fn main() {
     banner("Table 4 - Bugs reported by Pinpoint under two settings");
     println!("synthesizing the 12.0 -> 3.6 translator from the corpus ...");
-    let outcome = synthesize_pair(IrVersion::V12_0, IrVersion::V3_6);
-    let results = run_table4(&outcome.translator, IrVersion::V12_0, IrVersion::V3_6);
+    let outcome =
+        synthesize_pair(IrVersion::V12_0, IrVersion::V3_6).unwrap_or_else(|e| panic!("{e}"));
+    let results = run_table4(&outcome.translator, IrVersion::V12_0, IrVersion::V3_6)
+        .unwrap_or_else(|e| panic!("{e}"));
 
     println!(
         "\n{:>12} | {:^17} | {:^17} | {:^17} | {:^17}",

@@ -12,14 +12,32 @@ use siro_ir::IrVersion;
 fn main() {
     banner("Table 5 - Statistics of reproducing PoCs with Siro");
     let scale = Scale::from_env();
-    println!("PoC scale: {} (SIRO_BENCH_SCALE; 1.0 = the paper's 35,299 PoCs)", scale.0);
+    println!(
+        "PoC scale: {} (SIRO_BENCH_SCALE; 1.0 = the paper's 35,299 PoCs)",
+        scale.0
+    );
     println!("synthesizing the 12.0 -> 3.6 translator from the corpus ...");
-    let outcome = synthesize_pair(IrVersion::V12_0, IrVersion::V3_6);
-    let rows = run_table5(&outcome.translator, IrVersion::V12_0, IrVersion::V3_6, scale);
+    let outcome =
+        synthesize_pair(IrVersion::V12_0, IrVersion::V3_6).unwrap_or_else(|e| panic!("{e}"));
+    let rows = run_table5(
+        &outcome.translator,
+        IrVersion::V12_0,
+        IrVersion::V3_6,
+        scale,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
 
     println!(
         "\n{:>9} | {:>8} | {:>7} | {:>5} | {:>6} | {:>6} | {:>6} | {:>9} | {:>9}",
-        "Project", "#Targets", "#Insts", "#CVE", "#PoC", "#R-CVE", "#R-PoC", "CVE-Ratio", "PoC-Ratio"
+        "Project",
+        "#Targets",
+        "#Insts",
+        "#CVE",
+        "#PoC",
+        "#R-CVE",
+        "#R-PoC",
+        "CVE-Ratio",
+        "PoC-Ratio"
     );
     println!("{}", "-".repeat(88));
     let (mut cves, mut pocs, mut rc, mut rp) = (0, 0, 0, 0);

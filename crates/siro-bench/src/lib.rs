@@ -13,10 +13,22 @@
 //! | `rq2_kernel` | the Linux-kernel deployment (80 bugs) |
 //! | `rq3_breakdown` | RQ3 time breakdown |
 //! | `rq3_ablation` | RQ3 ablation study |
-//! | `micro` | Criterion micro-benchmarks |
+//! | `full_eval` | the whole pipeline sharing one translator cache |
+//! | `micro` | micro-benchmarks |
+//!
+//! All synthesis goes through [`siro_synth::TranslatorCache`], so targets
+//! that need the same version pair (and the `full_eval` composite run)
+//! synthesize it once per process. [`perf::write_synthesis_json`] dumps
+//! per-pair stage timings and the cache hit/miss counters to
+//! `BENCH_synthesis.json` (path overridable via `SIRO_BENCH_JSON`).
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use siro_ir::IrVersion;
-use siro_synth::{OracleTest, SynthesisConfig, SynthesisOutcome, Synthesizer};
+use siro_synth::{OracleTest, SynthError, SynthesisConfig, SynthesisOutcome, TranslatorCache};
+
+pub mod perf;
 
 /// Converts the corpus cases usable for a pair into synthesizer inputs.
 pub fn oracle_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
@@ -30,28 +42,108 @@ pub fn oracle_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
         .collect()
 }
 
-/// Synthesizes the instruction translators for one pair from the corpus.
-///
-/// # Panics
-///
-/// Panics if synthesis fails — the corpus is expected to be sufficient.
-pub fn synthesize_pair(src: IrVersion, tgt: IrVersion) -> SynthesisOutcome {
-    let tests = oracle_tests(src, tgt);
-    Synthesizer::for_pair(src, tgt)
-        .synthesize(&tests)
-        .unwrap_or_else(|e| panic!("synthesis {src} -> {tgt} failed: {e}"))
+/// A synthesis failure tagged with the version pair it belongs to, so a
+/// failing multi-pair run names the culprit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairError {
+    /// Source version of the failing pair.
+    pub source: IrVersion,
+    /// Target version of the failing pair.
+    pub target: IrVersion,
+    /// The underlying synthesis error.
+    pub error: SynthError,
 }
 
-/// Synthesizes with an explicit configuration.
+impl std::fmt::Display for PairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "synthesis {} -> {} failed: {}",
+            self.source, self.target, self.error
+        )
+    }
+}
+
+impl std::error::Error for PairError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Synthesizes (or fetches from the process-wide cache) the instruction
+/// translators for one pair from the corpus.
 ///
 /// # Errors
 ///
-/// Propagates [`siro_synth::SynthError`].
-pub fn synthesize_with(
-    config: SynthesisConfig,
-) -> Result<SynthesisOutcome, siro_synth::SynthError> {
+/// Returns a [`PairError`] naming the pair when synthesis fails.
+pub fn synthesize_pair(src: IrVersion, tgt: IrVersion) -> Result<Arc<SynthesisOutcome>, PairError> {
+    let tests = oracle_tests(src, tgt);
+    TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &tests).map_err(|error| {
+        PairError {
+            source: src,
+            target: tgt,
+            error,
+        }
+    })
+}
+
+/// Synthesizes with an explicit configuration, through the cache (each
+/// distinct knob setting is its own cache key).
+///
+/// # Errors
+///
+/// Propagates [`SynthError`].
+pub fn synthesize_with(config: SynthesisConfig) -> Result<Arc<SynthesisOutcome>, SynthError> {
     let tests = oracle_tests(config.source, config.target);
-    Synthesizer::new(config).synthesize(&tests)
+    TranslatorCache::get_or_synthesize(config, &tests)
+}
+
+/// Synthesizes many pairs concurrently (one worker per pair, each worker
+/// parallelizing internally on `config.threads`), returning the outcomes
+/// in input order together with a [`perf::SynthRecord`] per pair for the
+/// JSON dump.
+///
+/// # Errors
+///
+/// The first failing pair's [`PairError`] (all pairs still run to
+/// completion first).
+pub fn synthesize_pairs(
+    pairs: &[(IrVersion, IrVersion)],
+) -> Result<Vec<(Arc<SynthesisOutcome>, perf::SynthRecord)>, PairError> {
+    let results: Vec<Result<(Arc<SynthesisOutcome>, perf::SynthRecord), PairError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .iter()
+                .map(|&(src, tgt)| {
+                    scope.spawn(move || {
+                        let tests = oracle_tests(src, tgt);
+                        let t0 = Instant::now();
+                        let lookup = TranslatorCache::lookup_or_synthesize(
+                            SynthesisConfig::new(src, tgt),
+                            &tests,
+                        )
+                        .map_err(|error| PairError {
+                            source: src,
+                            target: tgt,
+                            error,
+                        })?;
+                        let record = perf::SynthRecord::new(
+                            src,
+                            tgt,
+                            &lookup.outcome,
+                            t0.elapsed(),
+                            !lookup.fresh,
+                        );
+                        Ok((lookup.outcome, record))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pair synthesis worker panicked"))
+                .collect()
+        });
+    results.into_iter().collect()
 }
 
 /// Prints a titled separator for experiment output.

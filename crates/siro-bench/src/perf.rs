@@ -1,0 +1,163 @@
+//! Machine-readable benchmark output: `BENCH_synthesis.json`.
+//!
+//! The JSON is hand-rolled (the workspace is registry-free, so no serde):
+//! a flat schema of per-pair stage timings plus the process-wide
+//! [`TranslatorCache`] hit/miss counters, written to
+//! `BENCH_synthesis.json` in the working directory or wherever
+//! `SIRO_BENCH_JSON` points.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use siro_ir::IrVersion;
+use siro_synth::{StageTimings, SynthesisOutcome, TranslatorCache};
+
+/// One pair's worth of benchmark data for the JSON dump.
+#[derive(Debug, Clone)]
+pub struct SynthRecord {
+    /// Source version.
+    pub source: IrVersion,
+    /// Target version.
+    pub target: IrVersion,
+    /// Wall clock of the `TranslatorCache` lookup (≈ synthesis time on a
+    /// miss, ≈ zero on a hit).
+    pub wall: Duration,
+    /// Whether the outcome came from the cache.
+    pub from_cache: bool,
+    /// Test cases consumed.
+    pub tests_used: usize,
+    /// Per-test translators validated.
+    pub assignments_validated: u64,
+    /// Rendered LOC of the final translator.
+    pub translator_loc: usize,
+    /// Per-stage breakdown (from the memoized report — identical on hit
+    /// and miss).
+    pub timings: StageTimings,
+}
+
+impl SynthRecord {
+    /// Builds a record from a finished outcome.
+    pub fn new(
+        source: IrVersion,
+        target: IrVersion,
+        outcome: &SynthesisOutcome,
+        wall: Duration,
+        from_cache: bool,
+    ) -> Self {
+        SynthRecord {
+            source,
+            target,
+            wall,
+            from_cache,
+            tests_used: outcome.report.tests_used,
+            assignments_validated: outcome.report.assignments_validated,
+            translator_loc: outcome.report.translator_loc,
+            timings: outcome.report.timings,
+        }
+    }
+}
+
+/// Where the JSON goes: `SIRO_BENCH_JSON` if set, else
+/// `BENCH_synthesis.json` in the current directory.
+pub fn json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_synthesis.json"))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn secs(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64())
+}
+
+/// Renders the records plus current cache counters as a JSON document.
+pub fn render_synthesis_json(records: &[SynthRecord]) -> String {
+    let stats = TranslatorCache::stats();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"siro-bench/synthesis-v1\",");
+    let _ = writeln!(out, "  \"threads\": {},", siro_synth::resolve_threads());
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {} }},",
+        stats.hits, stats.misses
+    );
+    out.push_str("  \"pairs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let t = &r.timings;
+        out.push_str("    {\n");
+        let _ = writeln!(
+            out,
+            "      \"source\": {},",
+            json_string(&r.source.to_string())
+        );
+        let _ = writeln!(
+            out,
+            "      \"target\": {},",
+            json_string(&r.target.to_string())
+        );
+        let _ = writeln!(out, "      \"from_cache\": {},", r.from_cache);
+        let _ = writeln!(out, "      \"wall_secs\": {},", secs(r.wall));
+        let _ = writeln!(out, "      \"tests_used\": {},", r.tests_used);
+        let _ = writeln!(
+            out,
+            "      \"assignments_validated\": {},",
+            r.assignments_validated
+        );
+        let _ = writeln!(out, "      \"translator_loc\": {},", r.translator_loc);
+        out.push_str("      \"timings_secs\": {\n");
+        let _ = writeln!(out, "        \"generation\": {},", secs(t.generation));
+        let _ = writeln!(out, "        \"profiling\": {},", secs(t.profiling));
+        let _ = writeln!(out, "        \"enumeration\": {},", secs(t.enumeration));
+        let _ = writeln!(out, "        \"validation\": {},", secs(t.validation));
+        let _ = writeln!(
+            out,
+            "        \"validation_execute_cpu\": {},",
+            secs(t.validation_execute_cpu)
+        );
+        let _ = writeln!(
+            out,
+            "        \"validation_translate_cpu\": {},",
+            secs(t.validation_translate_cpu)
+        );
+        let _ = writeln!(out, "        \"refinement\": {},", secs(t.refinement));
+        let _ = writeln!(out, "        \"completion\": {}", secs(t.completion));
+        out.push_str("      }\n");
+        out.push_str(if i + 1 == records.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_synthesis.json` and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_synthesis_json(records: &[SynthRecord]) -> std::io::Result<PathBuf> {
+    let path = json_path();
+    std::fs::write(&path, render_synthesis_json(records))?;
+    Ok(path)
+}

@@ -48,7 +48,10 @@ impl fmt::Display for TranslateError {
                 write!(f, "cannot translate `{opcode}`: {detail}")
             }
             TranslateError::UnseenPredicate { kind, conj } => {
-                write!(f, "warning trap: `{kind}` met unseen predicate conjunction {{")?;
+                write!(
+                    f,
+                    "warning trap: `{kind}` met unseen predicate conjunction {{"
+                )?;
                 for (i, (k, v)) in conj.iter().enumerate() {
                     if i > 0 {
                         f.write_str(", ")?;
@@ -92,10 +95,7 @@ mod tests {
     #[test]
     fn display_unseen_predicate() {
         let mut conj = PredConj::new();
-        conj.insert(
-            "is_unconditional".into(),
-            siro_api::PredValue::Bool(false),
-        );
+        conj.insert("is_unconditional".into(), siro_api::PredValue::Bool(false));
         let e = TranslateError::UnseenPredicate {
             kind: Opcode::Br,
             conj,

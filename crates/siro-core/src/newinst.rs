@@ -96,10 +96,7 @@ fn lower_callbr(ctx: &mut TranslationCtx<'_>, inst: &Instruction) -> TranslateRe
     // The control-flow restoring switch.
     let i32t = ctx.tgt.types.i32();
     let void = ctx.tgt.types.void();
-    let mut sw_ops = vec![
-        ValueRef::const_int(i32t, 0),
-        ValueRef::Block(fallthrough),
-    ];
+    let mut sw_ops = vec![ValueRef::const_int(i32t, 0), ValueRef::Block(fallthrough)];
     for (i, b) in indirect.into_iter().enumerate() {
         sw_ops.push(ValueRef::const_int(i32t, i as i64 + 1));
         sw_ops.push(ValueRef::Block(b));

@@ -252,7 +252,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, f);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        let r = b.call(i32t, ValueRef::Func(malloc), vec![ValueRef::const_int(i32t, 4)]);
+        let r = b.call(
+            i32t,
+            ValueRef::Func(malloc),
+            vec![ValueRef::const_int(i32t, 4)],
+        );
         let _ = r;
         b.ret(Some(ValueRef::const_int(i32t, 0)));
         let out = Skeleton::new(IrVersion::V3_6)

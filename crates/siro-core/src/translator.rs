@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn arm_matching() {
-        let reg = ApiRegistry::for_pair(
-            siro_ir::IrVersion::V13_0,
-            siro_ir::IrVersion::V3_6,
-        );
+        let reg = ApiRegistry::for_pair(siro_ir::IrVersion::V13_0, siro_ir::IrVersion::V3_6);
         let any_prog = ApiProgram {
             kind: Opcode::Br,
             steps: vec![],
@@ -189,7 +186,9 @@ mod tests {
             ],
         };
         assert_eq!(
-            kt.select(&conj(&[("is_unconditional", true)])).unwrap().kind,
+            kt.select(&conj(&[("is_unconditional", true)]))
+                .unwrap()
+                .kind,
             Opcode::Br
         );
         assert_eq!(

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 use siro_ir::{
     interp::{Event, Machine},
-    Function, FuncId, Instruction, IrVersion, Module, Opcode, Param, ValueRef,
+    FuncId, Function, Instruction, IrVersion, Module, Opcode, Param, ValueRef,
 };
 
 /// Instruments every block of every defined function with a coverage
@@ -47,7 +47,10 @@ pub fn instrument(module: &Module) -> (Module, usize) {
                 void,
                 vec![
                     ValueRef::Func(sink),
-                    ValueRef::ConstInt { ty: i64t, value: id },
+                    ValueRef::ConstInt {
+                        ty: i64t,
+                        value: id,
+                    },
                 ],
             );
             call.attrs.num_args = 1;
@@ -135,7 +138,11 @@ pub fn demo_target(version: IrVersion) -> Module {
     let yes = b.add_block("yes");
     let no = b.add_block("no");
     b.position_at_end(e);
-    let v = b.call(i32t, ValueRef::Func(input), vec![ValueRef::const_int(i32t, 0)]);
+    let v = b.call(
+        i32t,
+        ValueRef::Func(input),
+        vec![ValueRef::const_int(i32t, 0)],
+    );
     let c = b.icmp(siro_ir::IntPredicate::Eq, v, ValueRef::const_int(i32t, 1));
     b.cond_br(c, yes, no);
     b.position_at_end(yes);

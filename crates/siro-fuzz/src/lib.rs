@@ -26,8 +26,7 @@
 
 pub mod coverage;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use siro_rng::{Rng, SeedableRng, StdRng};
 
 use siro_core::{InstTranslator, Skeleton};
 use siro_ir::{
@@ -91,7 +90,7 @@ pub struct Poc {
     /// The CVE it triggers.
     pub cve: u32,
     /// The input byte stream.
-    pub bytes: bytes::Bytes,
+    pub bytes: Vec<u8>,
 }
 
 fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
@@ -184,24 +183,12 @@ pub fn build_project(project: &FuzzProject, version: IrVersion) -> (Module, Vec<
             }
             // Ordinary guard: input(ci) == MAGIC.
             next_block = emit_guard(
-                &mut b,
-                next_block,
-                input,
-                magma_bug,
-                ci as i64,
-                cve.id,
-                false,
+                &mut b, next_block, input, magma_bug, ci as i64, cve.id, false,
             );
             // Secondary freeze-guarded path.
             if cve.freeze_pocs > 0 {
                 next_block = emit_guard(
-                    &mut b,
-                    next_block,
-                    input,
-                    magma_bug,
-                    freeze_pos,
-                    cve.id,
-                    true,
+                    &mut b, next_block, input, magma_bug, freeze_pos, cve.id, true,
                 );
             }
         }
@@ -256,18 +243,12 @@ pub fn build_project(project: &FuzzProject, version: IrVersion) -> (Module, Vec<
         for _ in 0..cve.pocs {
             let mut bytes = benign_bytes(len, &mut rng);
             bytes[ci] = MAGIC as u8;
-            pocs.push(Poc {
-                cve: cve.id,
-                bytes: bytes::Bytes::from(bytes),
-            });
+            pocs.push(Poc { cve: cve.id, bytes });
         }
         for _ in 0..cve.freeze_pocs {
             let mut bytes = benign_bytes(len, &mut rng);
             bytes[n_guards] = MAGIC as u8;
-            pocs.push(Poc {
-                cve: cve.id,
-                bytes: bytes::Bytes::from(bytes),
-            });
+            pocs.push(Poc { cve: cve.id, bytes });
         }
     }
     (m, pocs)
@@ -290,7 +271,10 @@ fn emit_guard(
 ) -> siro_ir::BlockId {
     let i32t = b.module().types.i32();
     let void = b.module().types.void();
-    let bug = b.add_block(format!("bug_{cve_id}{}", if freeze_guarded { "_fz" } else { "" }));
+    let bug = b.add_block(format!(
+        "bug_{cve_id}{}",
+        if freeze_guarded { "_fz" } else { "" }
+    ));
     let cont = b.add_block(format!(
         "cont_{cve_id}{}",
         if freeze_guarded { "_fz" } else { "" }
@@ -329,7 +313,7 @@ fn emit_guard(
 /// Whether `poc` reproduces its CVE on `module`.
 pub fn poc_reproduces(module: &Module, poc: &Poc) -> bool {
     Machine::new(module)
-        .with_input(poc.bytes.to_vec())
+        .with_input(poc.bytes.clone())
         .with_fuel(1_000_000)
         .run_main()
         .map(|o| o.triggered_cves().contains(&poc.cve))
@@ -373,25 +357,67 @@ impl Table5Row {
     }
 }
 
+/// A Tab. 5 pipeline failure, tagged with the Magma project and the stage
+/// that failed.
+#[derive(Debug)]
+pub struct PipelineError {
+    /// The Magma project being processed.
+    pub project: &'static str,
+    /// The stage that failed (`"build verification"`, `"translation"`).
+    pub stage: &'static str,
+    /// The underlying error.
+    pub source: Box<dyn std::error::Error + Send + Sync>,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} failed: {}",
+            self.stage, self.project, self.source
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source.as_ref())
+    }
+}
+
 /// Runs the whole Tab. 5 pipeline: build each project at `high`, translate
 /// down to `low` with `translator`, "compile" (verify + backend check), and
 /// re-run every PoC.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the project when a pre-translation
+/// build fails to verify or translation itself fails. A *post*-translation
+/// compile failure is data, not an error — it shows up as the project
+/// reproducing zero PoCs (php in the paper).
 pub fn run_table5(
     translator: &dyn InstTranslator,
     high: IrVersion,
     low: IrVersion,
     scale: Scale,
-) -> Vec<Table5Row> {
+) -> Result<Vec<Table5Row>, PipelineError> {
     let skel = Skeleton::new(low);
     magma_projects(scale)
         .iter()
         .map(|project| {
             let (module, pocs) = build_project(project, high);
-            verify::verify_module(&module)
-                .unwrap_or_else(|e| panic!("{}: {e}", project.name));
-            let translated = skel
-                .translate_module(&module, translator)
-                .unwrap_or_else(|e| panic!("translation of {} failed: {e}", project.name));
+            verify::verify_module(&module).map_err(|e| PipelineError {
+                project: project.name,
+                stage: "build verification",
+                source: Box::new(e),
+            })?;
+            let translated =
+                skel.translate_module(&module, translator)
+                    .map_err(|e| PipelineError {
+                        project: project.name,
+                        stage: "translation",
+                        source: Box::new(e),
+                    })?;
             let compiled = verify::verify_module(&translated).is_ok()
                 && verify::codegen_check(&translated).is_ok();
             let mut r_poc = 0;
@@ -404,7 +430,7 @@ pub fn run_table5(
                     }
                 }
             }
-            Table5Row {
+            Ok(Table5Row {
                 name: project.name,
                 targets: project.targets,
                 insts: module.inst_count(),
@@ -412,7 +438,7 @@ pub fn run_table5(
                 pocs: pocs.len(),
                 r_cve: reproduced_cves.len(),
                 r_poc,
-            }
+            })
         })
         .collect()
 }
@@ -446,7 +472,8 @@ mod tests {
             IrVersion::V12_0,
             IrVersion::V3_6,
             Scale(0.01),
-        );
+        )
+        .unwrap();
         let by_name: std::collections::HashMap<&str, &Table5Row> =
             rows.iter().map(|r| (r.name, r)).collect();
         // php reproduces nothing (backend codegen failure).

@@ -34,10 +34,17 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::UnsupportedOpcode { opcode, version } => {
-                write!(f, "opcode `{opcode}` is not supported by IR version {version}")
+                write!(
+                    f,
+                    "opcode `{opcode}` is not supported by IR version {version}"
+                )
             }
             IrError::Verification(findings) => {
-                write!(f, "verification failed with {} finding(s): ", findings.len())?;
+                write!(
+                    f,
+                    "verification failed with {} finding(s): ",
+                    findings.len()
+                )?;
                 for (i, m) in findings.iter().take(3).enumerate() {
                     if i > 0 {
                         f.write_str("; ")?;
@@ -78,7 +85,13 @@ mod tests {
 
     #[test]
     fn verification_display_truncates() {
-        let e = IrError::Verification(vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()]);
+        let e = IrError::Verification(vec![
+            "a".into(),
+            "b".into(),
+            "c".into(),
+            "d".into(),
+            "e".into(),
+        ]);
         let s = e.to_string();
         assert!(s.contains("5 finding(s)"));
         assert!(s.contains("and 2 more"));

@@ -199,16 +199,12 @@ impl Instruction {
     /// and `unreachable`.
     pub fn successors(&self) -> Vec<BlockId> {
         match self.opcode {
-            Opcode::Br | Opcode::Switch | Opcode::IndirectBr | Opcode::CatchSwitch => self
-                .operands
-                .iter()
-                .filter_map(|v| v.as_block())
-                .collect(),
-            Opcode::Invoke | Opcode::CallBr | Opcode::CatchRet | Opcode::CleanupRet => self
-                .operands
-                .iter()
-                .filter_map(|v| v.as_block())
-                .collect(),
+            Opcode::Br | Opcode::Switch | Opcode::IndirectBr | Opcode::CatchSwitch => {
+                self.operands.iter().filter_map(|v| v.as_block()).collect()
+            }
+            Opcode::Invoke | Opcode::CallBr | Opcode::CatchRet | Opcode::CleanupRet => {
+                self.operands.iter().filter_map(|v| v.as_block()).collect()
+            }
             _ => Vec::new(),
         }
     }

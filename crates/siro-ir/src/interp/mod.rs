@@ -436,7 +436,10 @@ impl<'m> Machine<'m> {
         let mut env: Vec<Option<RtVal>> = vec![None; func.insts.len()];
         let mut frame_allocs: Vec<u64> = Vec::new();
         let mut cur = func.entry().ok_or_else(|| {
-            Trap::new(TrapKind::Unsupported, format!("`{}` has no body", func.name))
+            Trap::new(
+                TrapKind::Unsupported,
+                format!("`{}` has no body", func.name),
+            )
         })?;
         let mut prev: Option<BlockId> = None;
         let ret = 'outer: loop {
@@ -451,9 +454,8 @@ impl<'m> Machine<'m> {
                     break;
                 }
                 body_start = i + 1;
-                let pb = prev.ok_or_else(|| {
-                    Trap::new(TrapKind::Unsupported, "phi in entry block".into())
-                })?;
+                let pb = prev
+                    .ok_or_else(|| Trap::new(TrapKind::Unsupported, "phi in entry block".into()))?;
                 let incoming = inst.phi_incoming();
                 let (v, _) = incoming
                     .into_iter()
@@ -475,8 +477,14 @@ impl<'m> Machine<'m> {
                 }
                 self.steps += 1;
                 let inst = func.inst(iid);
-                match self.exec_inst(func, &mut env, args.as_slice(), &mut frame_allocs, iid, inst)
-                {
+                match self.exec_inst(
+                    func,
+                    &mut env,
+                    args.as_slice(),
+                    &mut frame_allocs,
+                    iid,
+                    inst,
+                ) {
                     Ok(Flow::Next) => {}
                     Ok(Flow::Jump(b)) => {
                         prev = Some(cur);
@@ -541,9 +549,8 @@ impl<'m> Machine<'m> {
                 ))
             }
         })
-        .map(|v| {
+        .inspect(|_v| {
             let _ = func;
-            v
         })
     }
 
@@ -554,9 +561,7 @@ impl<'m> Machine<'m> {
             Type::F32 => RtVal::F32(0.0),
             Type::F64 => RtVal::F64(0.0),
             Type::Ptr { .. } | Type::Func { .. } => RtVal::Ptr(0),
-            Type::Array { elem, len } => {
-                RtVal::Agg(vec![self.zero_value(*elem); *len as usize])
-            }
+            Type::Array { elem, len } => RtVal::Agg(vec![self.zero_value(*elem); *len as usize]),
             Type::Vector { elem, len } => {
                 RtVal::Vector(vec![self.zero_value(*elem); *len as usize])
             }
@@ -570,7 +575,7 @@ impl<'m> Machine<'m> {
     fn exec_inst(
         &mut self,
         func: &Function,
-        env: &mut Vec<Option<RtVal>>,
+        env: &mut [Option<RtVal>],
         args: &[RtVal],
         frame_allocs: &mut Vec<u64>,
         iid: InstId,
@@ -637,7 +642,10 @@ impl<'m> Machine<'m> {
                     .filter_map(|v| v.as_block())
                     .collect();
                 dests.get(idx).copied().map(Flow::Jump).ok_or_else(|| {
-                    Trap::new(TrapKind::BadIndirect, format!("index {idx} of {}", dests.len()))
+                    Trap::new(
+                        TrapKind::BadIndirect,
+                        format!("index {idx} of {}", dests.len()),
+                    )
                 })
             }
             Unreachable => Err(Trap::new(TrapKind::Unreachable, String::new())),
@@ -761,10 +769,7 @@ impl<'m> Machine<'m> {
                 if equal {
                     self.store_typed(vty, addr, &new)?;
                 }
-                set!(RtVal::Agg(vec![
-                    old,
-                    RtVal::int(1, i128::from(equal))
-                ]))
+                set!(RtVal::Agg(vec![old, RtVal::int(1, i128::from(equal))]))
             }
             AtomicRmw => {
                 let addr = ev!(inst.operands[0])
@@ -842,22 +847,16 @@ impl<'m> Machine<'m> {
                 let r = self.do_call(func, env, args, inst)?;
                 env[iid.0 as usize] = Some(r);
                 // Never unwinds in this model: always the normal destination.
-                let blocks: Vec<BlockId> = inst
-                    .operands
-                    .iter()
-                    .filter_map(|v| v.as_block())
-                    .collect();
+                let blocks: Vec<BlockId> =
+                    inst.operands.iter().filter_map(|v| v.as_block()).collect();
                 Ok(Flow::Jump(blocks[0]))
             }
             CallBr => {
                 let r = self.do_call(func, env, args, inst)?;
                 env[iid.0 as usize] = Some(r);
                 // Fallthrough destination (asm-goto side targets never taken).
-                let blocks: Vec<BlockId> = inst
-                    .operands
-                    .iter()
-                    .filter_map(|v| v.as_block())
-                    .collect();
+                let blocks: Vec<BlockId> =
+                    inst.operands.iter().filter_map(|v| v.as_block()).collect();
                 Ok(Flow::Jump(blocks[0]))
             }
             VAArg => set!(self.zero_value(inst.ty)),
@@ -1291,7 +1290,7 @@ impl<'m> Machine<'m> {
     fn load_typed(&mut self, ty: TypeId, addr: u64) -> Result<RtVal, Trap> {
         match self.module.types.get(ty).clone() {
             Type::Int(b) => {
-                let n = u64::from((b + 7) / 8);
+                let n = u64::from(b.div_ceil(8));
                 let bytes = self.mem.read(addr, n)?;
                 let mut buf = [0u8; 16];
                 buf[..bytes.len()].copy_from_slice(&bytes);
@@ -1349,11 +1348,11 @@ impl<'m> Machine<'m> {
         };
         match (self.module.types.get(ty).clone(), v) {
             (Type::Int(b), RtVal::Int { val, .. }) => {
-                let n = ((b + 7) / 8) as usize;
+                let n = b.div_ceil(8) as usize;
                 self.mem.write(addr, &val.to_le_bytes()[..n])
             }
             (Type::Int(b), RtVal::Ptr(p)) => {
-                let n = ((b + 7) / 8) as usize;
+                let n = b.div_ceil(8) as usize;
                 self.mem.write(addr, &u128::from(p).to_le_bytes()[..n])
             }
             (Type::F32, val) => {
@@ -1495,7 +1494,10 @@ mod tests {
         b.position_at_end(e);
         let x = b.add(ValueRef::const_int(i8t, 127), ValueRef::const_int(i8t, 1));
         b.ret(Some(x));
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(-128));
+        assert_eq!(
+            Machine::new(&m).run_main().unwrap().return_int(),
+            Some(-128)
+        );
     }
 
     #[test]
@@ -1603,7 +1605,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, mainf);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        let r = b.call(i32t, ValueRef::Func(fib), vec![ValueRef::const_int(i32t, 10)]);
+        let r = b.call(
+            i32t,
+            ValueRef::Func(fib),
+            vec![ValueRef::const_int(i32t, 10)],
+        );
         b.ret(Some(r));
         assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(55));
     }
@@ -1642,7 +1648,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, f);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        b.call(p8, ValueRef::Func(malloc), vec![ValueRef::const_int(i64t, 16)]);
+        b.call(
+            p8,
+            ValueRef::Func(malloc),
+            vec![ValueRef::const_int(i64t, 16)],
+        );
         b.ret(Some(ValueRef::const_int(i32t, 0)));
         let o = Machine::new(&m).run_main().unwrap();
         assert_eq!(o.leaked_heap, 1);
@@ -1664,9 +1674,16 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, f);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        let v = b.call(i32t, ValueRef::Func(input), vec![ValueRef::const_int(i32t, 1)]);
+        let v = b.call(
+            i32t,
+            ValueRef::Func(input),
+            vec![ValueRef::const_int(i32t, 1)],
+        );
         b.ret(Some(v));
-        let o = Machine::new(&m).with_input(vec![10, 20, 30]).run_main().unwrap();
+        let o = Machine::new(&m)
+            .with_input(vec![10, 20, 30])
+            .run_main()
+            .unwrap();
         assert_eq!(o.return_int(), Some(20));
     }
 
@@ -1687,7 +1704,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, f);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        b.call(void, ValueRef::Func(bug), vec![ValueRef::const_int(i32t, 77)]);
+        b.call(
+            void,
+            ValueRef::Func(bug),
+            vec![ValueRef::const_int(i32t, 77)],
+        );
         b.ret(Some(ValueRef::const_int(i32t, 0)));
         let o = Machine::new(&m).run_main().unwrap();
         assert!(o.crashed());
@@ -1720,7 +1741,11 @@ mod tests {
             ValueRef::const_int(i32t, 5),
             ValueRef::const_int(i32t, 3),
         );
-        let v = b.select(c, ValueRef::const_int(i32t, 1), ValueRef::const_int(i32t, 2));
+        let v = b.select(
+            c,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 2),
+        );
         b.ret(Some(v));
         assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(1));
     }
@@ -1735,7 +1760,11 @@ mod tests {
         let e = b.add_block("entry");
         b.position_at_end(e);
         let z = ValueRef::ZeroInit(v4);
-        let v1 = b.insertelement(z, ValueRef::const_int(i32t, 11), ValueRef::const_int(i32t, 2));
+        let v1 = b.insertelement(
+            z,
+            ValueRef::const_int(i32t, 11),
+            ValueRef::const_int(i32t, 2),
+        );
         let x = b.extractelement(v1, ValueRef::const_int(i32t, 2), i32t);
         b.ret(Some(x));
         assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(11));

@@ -8,9 +8,7 @@
 use std::collections::HashMap;
 
 use crate::error::{IrError, IrResult};
-use crate::inst::{
-    AtomicOrdering, FloatPredicate, InstAttrs, Instruction, IntPredicate, RmwOp,
-};
+use crate::inst::{AtomicOrdering, FloatPredicate, InstAttrs, Instruction, IntPredicate, RmwOp};
 use crate::module::{Function, Global, GlobalInit, InlineAsm, Module, Param};
 use crate::opcode::Opcode;
 use crate::types::{Type, TypeId};
@@ -140,8 +138,7 @@ fn parse_body(
             if let Some((lhs, _)) = line.split_once('=') {
                 let lhs = lhs.trim();
                 if let Some(n) = lhs.strip_prefix('%') {
-                    if !line.trim_start().starts_with("br ")
-                        && lhs.split_whitespace().count() == 1
+                    if !line.trim_start().starts_with("br ") && lhs.split_whitespace().count() == 1
                     {
                         inst_names.insert(n.to_string(), InstId(next_inst));
                     }
@@ -211,7 +208,9 @@ fn parse_global(module: &mut Module, line: &str, lineno: usize) -> IrResult<()> 
         line: lineno,
         message: m.into(),
     };
-    let (name, rest) = line[1..].split_once('=').ok_or_else(|| err("expected `=`"))?;
+    let (name, rest) = line[1..]
+        .split_once('=')
+        .ok_or_else(|| err("expected `=`"))?;
     let name = name.trim().to_string();
     let mut c = Cursor::new(rest.trim(), lineno);
     let external = c.eat_word("external");
@@ -572,8 +571,8 @@ impl InstCtx<'_> {
                 let (ty, v) = self.parse_tval(&mut c)?;
                 Instruction::new(Opcode::FNeg, ty, vec![v])
             }
-            "add" | "sub" | "mul" | "udiv" | "sdiv" | "urem" | "srem" | "shl" | "lshr"
-            | "ashr" | "and" | "or" | "xor" | "fadd" | "fsub" | "fmul" | "fdiv" | "frem" => {
+            "add" | "sub" | "mul" | "udiv" | "sdiv" | "urem" | "srem" | "shl" | "lshr" | "ashr"
+            | "and" | "or" | "xor" | "fadd" | "fsub" | "fmul" | "fdiv" | "frem" => {
                 let op: Opcode = word.parse().unwrap();
                 let mut attrs = InstAttrs::default();
                 loop {
@@ -996,12 +995,11 @@ impl<'a> Cursor<'a> {
     fn eat_word(&mut self, word: &str) -> bool {
         self.skip_ws();
         let r = self.rest();
-        if r.starts_with(word) {
-            let after = &r[word.len()..];
+        if let Some(after) = r.strip_prefix(word) {
             let boundary = after
                 .chars()
                 .next()
-                .map_or(true, |c| !c.is_ascii_alphanumeric() && c != '_' && c != '.');
+                .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_' && c != '.');
             // `...` is punctuation-only, always a boundary match.
             if boundary || word == "..." {
                 self.pos += word.len();
@@ -1094,8 +1092,7 @@ impl<'a> Cursor<'a> {
                 break;
             }
         }
-        u64::from_str_radix(&self.s[start..self.pos], 16)
-            .map_err(|_| self.err("bad hex literal"))
+        u64::from_str_radix(&self.s[start..self.pos], 16).map_err(|_| self.err("bad hex literal"))
     }
 
     fn parse_string(&mut self) -> IrResult<String> {
@@ -1167,9 +1164,7 @@ impl<'a> Cursor<'a> {
                     types.ptr(i8t)
                 }
                 other => {
-                    if let Some(bits) = other
-                        .strip_prefix('i')
-                        .and_then(|b| b.parse::<u32>().ok())
+                    if let Some(bits) = other.strip_prefix('i').and_then(|b| b.parse::<u32>().ok())
                     {
                         types.int(bits)
                     } else {

@@ -270,7 +270,7 @@ impl TypeTable {
     pub fn size_of(&self, id: TypeId) -> u64 {
         match self.get(id) {
             Type::Void | Type::Label | Type::Token => 0,
-            Type::Int(b) => u64::from((*b + 7) / 8),
+            Type::Int(b) => u64::from((*b).div_ceil(8)),
             Type::F32 => 4,
             Type::F64 => 8,
             Type::Ptr { .. } | Type::Func { .. } => 8,
@@ -293,16 +293,12 @@ impl TypeTable {
     pub fn align_of(&self, id: TypeId) -> u64 {
         match self.get(id) {
             Type::Void | Type::Label | Type::Token => 1,
-            Type::Int(b) => u64::from(((*b + 7) / 8).next_power_of_two().min(8)),
+            Type::Int(b) => u64::from((*b).div_ceil(8).next_power_of_two().min(8)),
             Type::F32 => 4,
             Type::F64 => 8,
             Type::Ptr { .. } | Type::Func { .. } => 8,
             Type::Array { elem, .. } | Type::Vector { elem, .. } => self.align_of(*elem),
-            Type::Struct { fields } => fields
-                .iter()
-                .map(|&f| self.align_of(f))
-                .max()
-                .unwrap_or(1),
+            Type::Struct { fields } => fields.iter().map(|&f| self.align_of(f)).max().unwrap_or(1),
         }
     }
 
@@ -366,12 +362,7 @@ impl fmt::Display for TypeDisplay<'_> {
     }
 }
 
-fn write_type(
-    f: &mut fmt::Formatter<'_>,
-    t: &TypeTable,
-    id: TypeId,
-    opaque: bool,
-) -> fmt::Result {
+fn write_type(f: &mut fmt::Formatter<'_>, t: &TypeTable, id: TypeId, opaque: bool) -> fmt::Result {
     match t.get(id) {
         Type::Void => f.write_str("void"),
         Type::Int(b) => write!(f, "i{b}"),

@@ -168,35 +168,26 @@ impl Verifier<'_> {
         }
         for op in &inst.operands {
             match *op {
-                ValueRef::Inst(i) => {
-                    if i.0 as usize >= f.insts.len() {
-                        self.report(format!("{}: operand references dangling {:?}", f.name, i));
-                    }
+                ValueRef::Inst(i) if i.0 as usize >= f.insts.len() => {
+                    self.report(format!("{}: operand references dangling {:?}", f.name, i));
                 }
-                ValueRef::Arg(a) => {
-                    if a as usize >= f.params.len() {
-                        self.report(format!("{}: argument index {a} out of range", f.name));
-                    }
+                ValueRef::Arg(a) if a as usize >= f.params.len() => {
+                    self.report(format!("{}: argument index {a} out of range", f.name));
                 }
-                ValueRef::Block(b) => {
-                    if b.0 as usize >= f.blocks.len() {
-                        self.report(format!("{}: block operand {:?} out of range", f.name, b));
-                    }
+                ValueRef::Block(b) if b.0 as usize >= f.blocks.len() => {
+                    self.report(format!("{}: block operand {:?} out of range", f.name, b));
                 }
-                ValueRef::Global(g) => {
-                    if g.0 as usize >= m.globals.len() {
-                        self.report(format!("{}: global operand {:?} out of range", f.name, g));
-                    }
+                ValueRef::Global(g) if g.0 as usize >= m.globals.len() => {
+                    self.report(format!("{}: global operand {:?} out of range", f.name, g));
                 }
-                ValueRef::Func(fid) => {
-                    if fid.0 as usize >= m.funcs.len() {
-                        self.report(format!("{}: function operand {:?} out of range", f.name, fid));
-                    }
+                ValueRef::Func(fid) if fid.0 as usize >= m.funcs.len() => {
+                    self.report(format!(
+                        "{}: function operand {:?} out of range",
+                        f.name, fid
+                    ));
                 }
-                ValueRef::InlineAsm(a) => {
-                    if a.0 as usize >= m.asms.len() {
-                        self.report(format!("{}: asm operand {:?} out of range", f.name, a));
-                    }
+                ValueRef::InlineAsm(a) if a.0 as usize >= m.asms.len() => {
+                    self.report(format!("{}: asm operand {:?} out of range", f.name, a));
                 }
                 ValueRef::Placeholder(k) => {
                     self.report(format!(
@@ -226,7 +217,10 @@ impl Verifier<'_> {
                 } else if n == 1 {
                     if let Some(ty) = m.value_type(f, inst.operands[0]) {
                         if ty != f.ret_ty {
-                            bad(self, "returned value type differs from function return type");
+                            bad(
+                                self,
+                                "returned value type differs from function return type",
+                            );
                         }
                     }
                 } else if m.types.get(f.ret_ty) != &Type::Void {
@@ -250,7 +244,7 @@ impl Verifier<'_> {
                 }
             }
             Switch => {
-                if n < 2 || n % 2 != 0 {
+                if n < 2 || !n.is_multiple_of(2) {
                     bad(self, "needs value, default, and (const, label) pairs");
                 } else if !inst.operands[1].is_block() {
                     bad(self, "second operand must be the default label");
@@ -338,7 +332,7 @@ impl Verifier<'_> {
                 }
             }
             Phi => {
-                if n == 0 || n % 2 != 0 {
+                if n == 0 || !n.is_multiple_of(2) {
                     bad(self, "needs (value, block) pairs");
                 } else {
                     for pair in inst.operands.chunks(2) {
@@ -495,25 +489,17 @@ impl Verifier<'_> {
                 (Some(a), Some(b)) if a < b => {}
                 _ => bad("requires a narrower float source than destination"),
             },
-            FPToUI | FPToSI => {
-                if !is_float(s) || int_bits(d).is_none() {
-                    bad("requires a float source and an integer destination");
-                }
+            FPToUI | FPToSI if (!is_float(s) || int_bits(d).is_none()) => {
+                bad("requires a float source and an integer destination");
             }
-            UIToFP | SIToFP => {
-                if int_bits(s).is_none() || !is_float(d) {
-                    bad("requires an integer source and a float destination");
-                }
+            UIToFP | SIToFP if (int_bits(s).is_none() || !is_float(d)) => {
+                bad("requires an integer source and a float destination");
             }
-            PtrToInt => {
-                if !is_ptr(s) || int_bits(d).is_none() {
-                    bad("requires a pointer source and an integer destination");
-                }
+            PtrToInt if (!is_ptr(s) || int_bits(d).is_none()) => {
+                bad("requires a pointer source and an integer destination");
             }
-            IntToPtr => {
-                if int_bits(s).is_none() || !is_ptr(d) {
-                    bad("requires an integer source and a pointer destination");
-                }
+            IntToPtr if (int_bits(s).is_none() || !is_ptr(d)) => {
+                bad("requires an integer source and a pointer destination");
             }
             BitCast => {
                 let ok = (is_ptr(s) && is_ptr(d))
@@ -525,10 +511,8 @@ impl Verifier<'_> {
                     bad("requires pointer-to-pointer or same-sized non-aggregate types");
                 }
             }
-            AddrSpaceCast => {
-                if !is_ptr(s) || !is_ptr(d) {
-                    bad("requires pointer types");
-                }
+            AddrSpaceCast if (!is_ptr(s) || !is_ptr(d)) => {
+                bad("requires pointer types");
             }
             _ => {}
         }
@@ -572,7 +556,10 @@ mod tests {
         let v = b.freeze(ValueRef::const_int(i32t, 1));
         b.ret(Some(v));
         let findings = collect_findings(&m);
-        assert!(findings.iter().any(|s| s.contains("freeze")), "{findings:?}");
+        assert!(
+            findings.iter().any(|s| s.contains("freeze")),
+            "{findings:?}"
+        );
     }
 
     #[test]

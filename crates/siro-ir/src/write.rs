@@ -156,10 +156,13 @@ impl Writer<'_> {
                 let text = self.inst(f, inst);
                 // Anything with a non-void type carries a result — including
                 // the result-producing terminators `invoke` and `callbr`.
-                let has_result =
-                    !matches!(self.m.types.get(inst.ty), crate::types::Type::Void);
+                let has_result = !matches!(self.m.types.get(inst.ty), crate::types::Type::Void);
                 if has_result {
-                    let num = self.value_numbers.get(&iid).copied().unwrap_or(iid.0 as usize);
+                    let num = self
+                        .value_numbers
+                        .get(&iid)
+                        .copied()
+                        .unwrap_or(iid.0 as usize);
                     let _ = writeln!(self.out, "  %t{num} = {text}");
                 } else {
                     let _ = writeln!(self.out, "  {text}");
@@ -281,8 +284,7 @@ impl Writer<'_> {
             }
             Invoke => {
                 let n = inst.attrs.num_args as usize;
-                let args: Vec<String> =
-                    ops[1..1 + n].iter().map(|v| self.tval(f, *v)).collect();
+                let args: Vec<String> = ops[1..1 + n].iter().map(|v| self.tval(f, *v)).collect();
                 format!(
                     "invoke {} {}({}) to label {} unwind label {}",
                     self.ty(inst.ty),
@@ -294,8 +296,7 @@ impl Writer<'_> {
             }
             CallBr => {
                 let n = inst.attrs.num_args as usize;
-                let args: Vec<String> =
-                    ops[1..1 + n].iter().map(|v| self.tval(f, *v)).collect();
+                let args: Vec<String> = ops[1..1 + n].iter().map(|v| self.tval(f, *v)).collect();
                 let indirect: Vec<String> = ops[2 + n..]
                     .iter()
                     .map(|v| format!("label {}", self.val(f, *v)))
@@ -469,8 +470,7 @@ impl Writer<'_> {
                 self.tval(f, ops[2])
             ),
             ShuffleVector => {
-                let mask: Vec<String> =
-                    inst.attrs.indices.iter().map(u64::to_string).collect();
+                let mask: Vec<String> = inst.attrs.indices.iter().map(u64::to_string).collect();
                 format!(
                     "shufflevector {}, {}, mask <{}>",
                     self.tval(f, ops[0]),
@@ -497,7 +497,11 @@ impl Writer<'_> {
                 )
             }
             LandingPad => {
-                let cl = if inst.attrs.is_cleanup { " cleanup" } else { "" };
+                let cl = if inst.attrs.is_cleanup {
+                    " cleanup"
+                } else {
+                    ""
+                };
                 format!("landingpad {}{cl}", self.ty(inst.ty))
             }
             Freeze => format!("freeze {}", self.tval(f, ops[0])),
@@ -614,7 +618,10 @@ mod tests {
         let p = b.phi(i32t, vec![(ValueRef::const_int(i32t, 3), e)]);
         b.ret(Some(p));
         let text = write_module(&m);
-        assert!(text.contains("br i1 %t0, label %then.1, label %then.1"), "{text}");
+        assert!(
+            text.contains("br i1 %t0, label %then.1, label %then.1"),
+            "{text}"
+        );
         assert!(text.contains("phi i32 [ 3, %entry.0 ]"), "{text}");
     }
 }

@@ -3,14 +3,19 @@
 
 use siro_ir::{
     interp::{Event, Machine, RtVal, TrapKind},
-    Function, FuncBuilder, Instruction, IntPredicate, IrVersion, Module, Opcode, Param, ValueRef,
+    FuncBuilder, Function, Instruction, IntPredicate, IrVersion, Module, Opcode, Param, ValueRef,
 };
 
 fn module() -> Module {
     Module::new("t", IrVersion::V13_0)
 }
 
-fn extern_fn(m: &mut Module, name: &str, ret: siro_ir::TypeId, params: &[siro_ir::TypeId]) -> siro_ir::FuncId {
+fn extern_fn(
+    m: &mut Module,
+    name: &str,
+    ret: siro_ir::TypeId,
+    params: &[siro_ir::TypeId],
+) -> siro_ir::FuncId {
     let ps = params
         .iter()
         .enumerate()
@@ -44,7 +49,11 @@ fn memcpy_and_memset_move_bytes() {
     b.call(
         p8,
         ValueRef::Func(memset),
-        vec![s8, ValueRef::const_int(i32t, 0x41), ValueRef::const_int(i64t, 8)],
+        vec![
+            s8,
+            ValueRef::const_int(i32t, 0x41),
+            ValueRef::const_int(i64t, 8),
+        ],
     );
     b.call(
         p8,
@@ -112,8 +121,16 @@ fn vector_arithmetic_is_elementwise() {
     let e = b.add_block("entry");
     b.position_at_end(e);
     let z = ValueRef::ZeroInit(v2);
-    let a0 = b.insertelement(z, ValueRef::const_int(i32t, 3), ValueRef::const_int(i32t, 0));
-    let a = b.insertelement(a0, ValueRef::const_int(i32t, 5), ValueRef::const_int(i32t, 1));
+    let a0 = b.insertelement(
+        z,
+        ValueRef::const_int(i32t, 3),
+        ValueRef::const_int(i32t, 0),
+    );
+    let a = b.insertelement(
+        a0,
+        ValueRef::const_int(i32t, 5),
+        ValueRef::const_int(i32t, 1),
+    );
     let sum = b.push(Instruction::new(Opcode::Add, v2, vec![a, a]));
     let e1 = b.extractelement(sum, ValueRef::const_int(i32t, 1), i32t);
     b.ret(Some(e1));
@@ -132,7 +149,11 @@ fn vector_icmp_yields_a_mask() {
     let e = b.add_block("entry");
     b.position_at_end(e);
     let z = ValueRef::ZeroInit(v2);
-    let a = b.insertelement(z, ValueRef::const_int(i32t, 9), ValueRef::const_int(i32t, 0));
+    let a = b.insertelement(
+        z,
+        ValueRef::const_int(i32t, 9),
+        ValueRef::const_int(i32t, 0),
+    );
     let mut cmp = Instruction::new(Opcode::ICmp, v2i1, vec![a, z]);
     cmp.attrs.int_pred = Some(IntPredicate::Sgt);
     let mask = b.push(cmp);
@@ -153,7 +174,11 @@ fn cmpxchg_failure_leaves_memory_unchanged() {
     let slot = b.alloca(i32t);
     b.store(ValueRef::const_int(i32t, 5), slot);
     // Expect 7 (wrong): must not write 9.
-    let pair = b.cmpxchg(slot, ValueRef::const_int(i32t, 7), ValueRef::const_int(i32t, 9));
+    let pair = b.cmpxchg(
+        slot,
+        ValueRef::const_int(i32t, 7),
+        ValueRef::const_int(i32t, 9),
+    );
     let i1 = b.module().types.i1();
     let ok = b.extractvalue(pair, vec![1], i1);
     let okz = b.zext(ok, i32t);

@@ -148,9 +148,18 @@ entry:
 #[test]
 fn error_reports_carry_line_numbers() {
     let bad_inputs = [
-        ("; IR version 13.0\n\ndefine i32 @main() {\nentry:\n  %x = bogus i32 1\n}\n", 5),
-        ("; IR version 13.0\n\ndefine i32 @main() {\nentry:\n  %x = add i32 1\n}\n", 5),
-        ("; IR version 13.0\n\ndefine i32 @main() {\nentry:\n  br label %nowhere\n}\n", 5),
+        (
+            "; IR version 13.0\n\ndefine i32 @main() {\nentry:\n  %x = bogus i32 1\n}\n",
+            5,
+        ),
+        (
+            "; IR version 13.0\n\ndefine i32 @main() {\nentry:\n  %x = add i32 1\n}\n",
+            5,
+        ),
+        (
+            "; IR version 13.0\n\ndefine i32 @main() {\nentry:\n  br label %nowhere\n}\n",
+            5,
+        ),
     ];
     for (text, line) in bad_inputs {
         match parse::parse_module(text) {
@@ -205,8 +214,8 @@ fn workload_modules_roundtrip() {
         ] {
             let m = siro_workloads::compile_project(spec, fe, version);
             let t1 = write::write_module(&m);
-            let parsed = parse::parse_module(&t1)
-                .unwrap_or_else(|e| panic!("{} ({fe:?}): {e}", spec.name));
+            let parsed =
+                parse::parse_module(&t1).unwrap_or_else(|e| panic!("{} ({fe:?}): {e}", spec.name));
             let t2 = write::write_module(&parsed);
             assert_eq!(t1, t2, "{} ({fe:?})", spec.name);
         }

@@ -1,12 +1,14 @@
 //! Property-based tests of the IR substrate itself: masked integer
 //! semantics against a reference implementation, type-table laws, and
 //! constant round-trips through memory.
+//!
+//! Driven by the deterministic `siro-rng` generator (fixed seeds, fixed
+//! case counts) so every failure reproduces exactly.
 
-use proptest::prelude::*;
+use siro_rng::{Rng, SeedableRng, StdRng};
 
 use siro_ir::{
-    interp::Machine, FuncBuilder, Instruction, IrVersion, Module, Opcode, Type, TypeTable,
-    ValueRef,
+    interp::Machine, FuncBuilder, Instruction, IrVersion, Module, Opcode, Type, TypeTable, ValueRef,
 };
 
 /// Reference i32 semantics for the interpreter's integer ops.
@@ -88,23 +90,41 @@ const OPS: [Opcode; 13] = [
     Opcode::SRem,
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Draws an i32 biased towards interesting boundary values.
+fn arb_i32(rng: &mut StdRng) -> i32 {
+    match rng.gen_range(0..8u32) {
+        0 => 0,
+        1 => 1,
+        2 => -1,
+        3 => i32::MIN,
+        4 => i32::MAX,
+        _ => rng.gen_range(i32::MIN as i64..i32::MAX as i64 + 1) as i32,
+    }
+}
 
-    /// The interpreter's i32 arithmetic agrees with native Rust wrapping
-    /// semantics, including the division-by-zero trap.
-    #[test]
-    fn integer_ops_match_reference(op_idx in 0usize..13, a in any::<i32>(), b in any::<i32>()) {
-        let op = OPS[op_idx];
+/// The interpreter's i32 arithmetic agrees with native Rust wrapping
+/// semantics, including the division-by-zero trap.
+#[test]
+fn integer_ops_match_reference() {
+    let mut rng = StdRng::seed_from_u64(0x1A_01);
+    for _ in 0..256 {
+        let op = OPS[rng.gen_range(0..OPS.len())];
+        let a = arb_i32(&mut rng);
+        let b = arb_i32(&mut rng);
         let expect = reference(op, a, b);
         let got = run_binop(op, a, b);
-        prop_assert_eq!(got, expect, "{} {} {}", op, a, b);
+        assert_eq!(got, expect, "{op} {a} {b}");
     }
+}
 
-    /// Storing then loading any i32/i64/i8 constant round-trips through the
-    /// byte-level memory.
-    #[test]
-    fn memory_roundtrips_integers(v in any::<i64>(), width in prop::sample::select(vec![8u32, 16, 32, 64])) {
+/// Storing then loading any i8/i16/i32/i64 constant round-trips through the
+/// byte-level memory.
+#[test]
+fn memory_roundtrips_integers() {
+    let mut rng = StdRng::seed_from_u64(0x1A_02);
+    for _ in 0..256 {
+        let v = rng.gen_range(i64::MIN..i64::MAX);
+        let width = [8u32, 16, 32, 64][rng.gen_range(0..4usize)];
         let mut m = Module::new("prop", IrVersion::V13_0);
         let ity = m.types.int(width);
         let i64t = m.types.i64();
@@ -121,62 +141,83 @@ proptest! {
         // Expected: v sign-extended from `width` bits.
         let shift = 64 - width;
         let expect = (v << shift) >> shift;
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "width {width}, value {v}");
     }
+}
 
-    /// Interning is idempotent and structural: equal types share ids,
-    /// distinct types never collide.
-    #[test]
-    fn type_table_interning_laws(widths in prop::collection::vec(1u32..130, 1..20)) {
+/// Interning is idempotent and structural: equal types share ids,
+/// distinct types never collide.
+#[test]
+fn type_table_interning_laws() {
+    let mut rng = StdRng::seed_from_u64(0x1A_03);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..20usize);
+        let widths: Vec<u32> = (0..n).map(|_| rng.gen_range(1..130u32)).collect();
         let mut t = TypeTable::new();
         let ids: Vec<_> = widths.iter().map(|&w| t.int(w)).collect();
         for (w, id) in widths.iter().zip(&ids) {
-            prop_assert_eq!(t.int(*w), *id); // idempotent
-            prop_assert_eq!(t.get(*id), &Type::Int(*w));
+            assert_eq!(t.int(*w), *id); // idempotent
+            assert_eq!(t.get(*id), &Type::Int(*w));
         }
         for (i, a) in widths.iter().enumerate() {
             for (j, b) in widths.iter().enumerate() {
-                prop_assert_eq!(a == b, ids[i] == ids[j]);
+                assert_eq!(a == b, ids[i] == ids[j]);
             }
         }
         // Pointers to distinct pointees are distinct.
         let ptrs: Vec<_> = ids.iter().map(|&i| t.ptr(i)).collect();
         for (i, a) in ids.iter().enumerate() {
             for (j, b) in ids.iter().enumerate() {
-                prop_assert_eq!(a == b, ptrs[i] == ptrs[j]);
+                assert_eq!(a == b, ptrs[i] == ptrs[j]);
             }
         }
     }
+}
 
-    /// `size_of` is consistent: arrays scale linearly, structs are at least
-    /// the sum of their fields and aligned to the max field alignment.
-    #[test]
-    fn layout_laws(widths in prop::collection::vec(prop::sample::select(vec![8u32, 16, 32, 64]), 1..8), n in 1u64..16) {
+/// `size_of` is consistent: arrays scale linearly, structs are at least
+/// the sum of their fields and aligned to the max field alignment.
+#[test]
+fn layout_laws() {
+    let mut rng = StdRng::seed_from_u64(0x1A_04);
+    for _ in 0..64 {
+        let nfields = rng.gen_range(1..8usize);
+        let widths: Vec<u32> = (0..nfields)
+            .map(|_| [8u32, 16, 32, 64][rng.gen_range(0..4usize)])
+            .collect();
+        let n = rng.gen_range(1..16u64);
         let mut t = TypeTable::new();
         let fields: Vec<_> = widths.iter().map(|&w| t.int(w)).collect();
         let st = t.struct_(fields.clone());
         let sum: u64 = fields.iter().map(|&f| t.size_of(f)).sum();
         let max_align = fields.iter().map(|&f| t.align_of(f)).max().unwrap();
-        prop_assert!(t.size_of(st) >= sum);
-        prop_assert_eq!(t.size_of(st) % max_align, 0);
+        assert!(t.size_of(st) >= sum);
+        assert_eq!(t.size_of(st) % max_align, 0);
         let elem = fields[0];
         let arr = t.array(elem, n);
-        prop_assert_eq!(t.size_of(arr), t.size_of(elem) * n);
+        assert_eq!(t.size_of(arr), t.size_of(elem) * n);
         // Field offsets are within bounds, ordered, and aligned.
         let mut prev_end = 0;
         for (i, &f) in fields.iter().enumerate() {
             let off = t.struct_field_offset(st, i as u32).unwrap();
-            prop_assert!(off >= prev_end);
-            prop_assert_eq!(off % t.align_of(f), 0);
+            assert!(off >= prev_end);
+            assert_eq!(off % t.align_of(f), 0);
             prev_end = off + t.size_of(f);
         }
-        prop_assert!(prev_end <= t.size_of(st));
+        assert!(prev_end <= t.size_of(st));
     }
+}
 
-    /// The writer/parser round-trip holds for arbitrary integer constants
-    /// in ret position.
-    #[test]
-    fn constants_roundtrip_through_text(v in any::<i32>()) {
+/// The writer/parser round-trip holds for arbitrary integer constants
+/// in ret position.
+#[test]
+fn constants_roundtrip_through_text() {
+    let mut rng = StdRng::seed_from_u64(0x1A_05);
+    for case in 0..256 {
+        let v = if case < 5 {
+            [0, 1, -1, i32::MIN, i32::MAX][case]
+        } else {
+            arb_i32(&mut rng)
+        };
         let mut m = Module::new("prop", IrVersion::V13_0);
         let i32t = m.types.i32();
         let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
@@ -187,6 +228,6 @@ proptest! {
         let text = siro_ir::write::write_module(&m);
         let parsed = siro_ir::parse::parse_module(&text).unwrap();
         let got = Machine::new(&parsed).run_main().unwrap().return_int();
-        prop_assert_eq!(got, Some(i64::from(v)));
+        assert_eq!(got, Some(i64::from(v)));
     }
 }

@@ -85,10 +85,15 @@ fn pointer_conversions() {
         |t| t.i64()
     ));
     assert!(!cast_ok(Opcode::PtrToInt, |t| t.i64(), ci, |t| t.i64()));
-    assert!(cast_ok(Opcode::IntToPtr, |t| t.i64(), ci, |t| {
-        let i = t.i8();
-        t.ptr(i)
-    }));
+    assert!(cast_ok(
+        Opcode::IntToPtr,
+        |t| t.i64(),
+        ci,
+        |t| {
+            let i = t.i8();
+            t.ptr(i)
+        }
+    ));
     assert!(!cast_ok(
         Opcode::IntToPtr,
         |t| {

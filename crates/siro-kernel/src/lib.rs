@@ -21,14 +21,13 @@
 
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use siro_rng::{Rng, SeedableRng, StdRng};
 
 use siro_analysis::{Cfg, DomTree, FlowSet};
 use siro_core::{InstTranslator, Skeleton};
 use siro_ir::{
-    FuncBuilder, Function, FuncId, InstId, IntPredicate, IrVersion, Module, Opcode, Param,
-    TypeId, ValueRef,
+    FuncBuilder, FuncId, Function, InstId, IntPredicate, IrVersion, Module, Opcode, Param, TypeId,
+    ValueRef,
 };
 
 /// The root-cause shape a security patch fixes.
@@ -161,10 +160,7 @@ fn declare_kernel_externs(m: &mut Module) -> KernelExterns {
     let i8t = m.types.i8();
     let p8 = m.types.ptr(i8t);
     let void = m.types.void();
-    let p = |n: &str, ty: TypeId| Param {
-        name: n.into(),
-        ty,
-    };
+    let p = |n: &str, ty: TypeId| Param { name: n.into(), ty };
     let mut by_name = std::collections::HashMap::new();
     for (name, ret, params) in [
         ("kmalloc", p8, vec![p("n", i64t)]),
@@ -376,14 +372,14 @@ fn scan_function(module: &Module, func: &Function, patch: &SecurityPatch) -> Vec
                     if !flow.contains(ptr) {
                         continue;
                     }
-                    let guarded = checks.iter().any(|&chk| {
-                        match (position(chk), position(sink)) {
+                    let guarded = checks
+                        .iter()
+                        .any(|&chk| match (position(chk), position(sink)) {
                             (Some((cb, cp)), Some((sb, sp))) => {
                                 (cb == sb && cp < sp) || (cb != sb && dom.dominates(cb, sb))
                             }
                             _ => false,
-                        }
-                    });
+                        });
                     if !guarded {
                         out.push(KernelBug {
                             patch_id: patch.id,
@@ -442,37 +438,77 @@ impl KernelCampaign {
     }
 }
 
+/// A kernel-deployment failure, tagged with the release and the stage
+/// that failed.
+#[derive(Debug)]
+pub struct PipelineError {
+    /// The kernel release being processed.
+    pub release: &'static str,
+    /// The stage that failed (`"build verification"`, `"translation"`,
+    /// `"post-translation verification"`).
+    pub stage: &'static str,
+    /// The underlying error.
+    pub source: Box<dyn std::error::Error + Send + Sync>,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} failed: {}",
+            self.stage, self.release, self.source
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source.as_ref())
+    }
+}
+
 /// Runs the full deployment: build each kernel release at its required
 /// compiler version, translate down to `analyzer_version` with the
 /// translator `translator_for` provides for that source version (the paper
 /// uses two translators, 14.0 → 3.6 and 15.0 → 3.6), and run the
 /// similarity detector over the translated IR.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a kernel module fails to translate or verify.
+/// Returns a [`PipelineError`] naming the release when a kernel module
+/// fails to translate or verify.
 pub fn run_campaign(
     translator_for: &dyn Fn(IrVersion) -> Box<dyn InstTranslator>,
     analyzer_version: IrVersion,
-) -> KernelCampaign {
+) -> Result<KernelCampaign, PipelineError> {
     let skel = Skeleton::new(analyzer_version);
     let per_release = kernel_builds()
         .iter()
         .map(|build| {
             let kernel_ir = build_kernel(build);
-            siro_ir::verify::verify_module(&kernel_ir)
-                .unwrap_or_else(|e| panic!("{}: {e}", build.release));
+            siro_ir::verify::verify_module(&kernel_ir).map_err(|e| PipelineError {
+                release: build.release,
+                stage: "build verification",
+                source: Box::new(e),
+            })?;
             let translator = translator_for(build.compiler);
             let translated = skel
                 .translate_module(&kernel_ir, translator.as_ref())
-                .unwrap_or_else(|e| panic!("translating {}: {e}", build.release));
-            siro_ir::verify::verify_module(&translated)
-                .unwrap_or_else(|e| panic!("translated {}: {e}", build.release));
+                .map_err(|e| PipelineError {
+                    release: build.release,
+                    stage: "translation",
+                    source: Box::new(e),
+                })?;
+            siro_ir::verify::verify_module(&translated).map_err(|e| PipelineError {
+                release: build.release,
+                stage: "post-translation verification",
+                source: Box::new(e),
+            })?;
             let bugs = detect_similar_bugs(&translated);
-            (build.release, build.compiler, bugs)
+            Ok((build.release, build.compiler, bugs))
         })
-        .collect();
-    KernelCampaign { per_release }
+        .collect::<Result<Vec<_>, PipelineError>>()?;
+    Ok(KernelCampaign { per_release })
 }
 
 #[cfg(test)]
@@ -482,7 +518,7 @@ mod tests {
 
     #[test]
     fn campaign_finds_eighty_bugs_with_fifty_six_merged() {
-        let campaign = run_campaign(&|_| Box::new(ReferenceTranslator), IrVersion::V3_6);
+        let campaign = run_campaign(&|_| Box::new(ReferenceTranslator), IrVersion::V3_6).unwrap();
         assert_eq!(campaign.total_bugs(), 80);
         assert_eq!(campaign.merged(), 56);
         // Both translators (14.0 -> 3.6, 15.0 -> 3.6) contributed.

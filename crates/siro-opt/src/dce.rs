@@ -113,7 +113,11 @@ mod tests {
         let e = b.add_block("entry");
         b.position_at_end(e);
         // The call result is unused but the call must stay.
-        b.call(void, ValueRef::Func(sink), vec![ValueRef::const_int(i32t, 1)]);
+        b.call(
+            void,
+            ValueRef::Func(sink),
+            vec![ValueRef::const_int(i32t, 1)],
+        );
         // Division may trap: must stay even if unused.
         b.sdiv(ValueRef::const_int(i32t, 4), ValueRef::const_int(i32t, 2));
         let slot = b.alloca(i32t);

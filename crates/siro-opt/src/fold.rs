@@ -233,15 +233,16 @@ mod tests {
             ValueRef::const_int(i32t, 1),
             ValueRef::const_int(i32t, 2),
         );
-        let v = b.select(c, ValueRef::const_int(i32t, 5), ValueRef::const_int(i32t, 6));
+        let v = b.select(
+            c,
+            ValueRef::const_int(i32t, 5),
+            ValueRef::const_int(i32t, 6),
+        );
         b.ret(Some(v));
         fold_constants(&mut m);
         let func = m.func(siro_ir::FuncId(0));
         assert_eq!(func.blocks[0].insts.len(), 1);
-        assert_eq!(
-            Machine::new(&m).run_main().unwrap().return_int(),
-            Some(5)
-        );
+        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(5));
     }
 
     #[test]

@@ -84,7 +84,9 @@ pub fn optimize(module: &mut siro_ir::Module) -> OptStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use siro_ir::{interp::Machine, verify, FuncBuilder, IntPredicate, IrVersion, Module, ValueRef};
+    use siro_ir::{
+        interp::Machine, verify, FuncBuilder, IntPredicate, IrVersion, Module, ValueRef,
+    };
 
     #[test]
     fn pipeline_collapses_slot_diamond_to_a_constant_return() {

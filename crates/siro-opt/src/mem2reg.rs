@@ -8,9 +8,7 @@
 use std::collections::{HashMap, HashSet};
 
 use siro_analysis::{Cfg, DomTree};
-use siro_ir::{
-    BlockId, Function, Instruction, InstId, Module, Opcode, TypeId, ValueRef,
-};
+use siro_ir::{BlockId, Function, InstId, Instruction, Module, Opcode, TypeId, ValueRef};
 
 /// Runs mem2reg on every defined function. Returns the number of promoted
 /// slots.
@@ -148,15 +146,10 @@ fn promote_function(func: &mut Function) -> usize {
         child_idx: usize,
         pushed: Vec<InstId>, // slots whose stack we pushed in this block
     }
-    let mut stacks: HashMap<InstId, Vec<ValueRef>> = slots
-        .iter()
-        .map(|&s| (s, Vec::new()))
-        .collect();
+    let mut stacks: HashMap<InstId, Vec<ValueRef>> =
+        slots.iter().map(|&s| (s, Vec::new())).collect();
     let current = |stacks: &HashMap<InstId, Vec<ValueRef>>, slot: InstId, ty: TypeId| {
-        stacks[&slot]
-            .last()
-            .copied()
-            .unwrap_or(ValueRef::Undef(ty))
+        stacks[&slot].last().copied().unwrap_or(ValueRef::Undef(ty))
     };
 
     let mut stack_frames = vec![Frame {

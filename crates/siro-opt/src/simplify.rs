@@ -5,7 +5,7 @@
 use std::collections::{HashMap, HashSet};
 
 use siro_analysis::Cfg;
-use siro_ir::{BlockId, Function, Instruction, InstId, Module, Opcode, ValueRef};
+use siro_ir::{BlockId, Function, InstId, Instruction, Module, Opcode, ValueRef};
 
 /// Simplifies every defined function's CFG. Returns the number of removed
 /// blocks.
@@ -46,11 +46,15 @@ fn merge_straight_line(func: &mut Function) -> usize {
         let cfg = Cfg::build(func);
         let mut pair: Option<(BlockId, BlockId)> = None;
         for b in func.block_ids() {
-            let Some(term) = func.terminator(b) else { continue };
+            let Some(term) = func.terminator(b) else {
+                continue;
+            };
             if !(term.opcode == Opcode::Br && term.operands.len() == 1) {
                 continue;
             }
-            let Some(s) = term.operands[0].as_block() else { continue };
+            let Some(s) = term.operands[0].as_block() else {
+                continue;
+            };
             if s == b || s.0 == 0 || cfg.predecessors(s) != [b] {
                 continue;
             }
@@ -98,8 +102,7 @@ fn fold_branches(func: &mut Function) {
                     } else {
                         inst.operands[2]
                     };
-                    *func.inst_mut(last) =
-                        Instruction::new(Opcode::Br, inst.ty, vec![taken]);
+                    *func.inst_mut(last) = Instruction::new(Opcode::Br, inst.ty, vec![taken]);
                 }
             }
             Opcode::Switch => {
@@ -111,8 +114,7 @@ fn fold_branches(func: &mut Function) {
                             break;
                         }
                     }
-                    *func.inst_mut(last) =
-                        Instruction::new(Opcode::Br, inst.ty, vec![dest]);
+                    *func.inst_mut(last) = Instruction::new(Opcode::Br, inst.ty, vec![dest]);
                 }
             }
             _ => {}

@@ -14,10 +14,8 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
-
 /// One surveyed LLVM version step.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct VersionChange {
     /// Version label as plotted on the X axis.
     pub version: &'static str,
@@ -75,7 +73,7 @@ pub fn survey() -> Vec<VersionChange> {
         row("6", 480, 430, 1090, 590, 0),
         row("7", 450, 400, 1130, 610, 0),
         row("8", 460, 410, 1170, 630, 0),
-        row("9", 500, 450, 1260, 660, 1), // callbr
+        row("9", 500, 450, 1260, 660, 1),  // callbr
         row("10", 480, 430, 1220, 640, 1), // freeze
         row("11", 460, 410, 1200, 630, 0),
         // ---- tail ------------------------------------------------------
@@ -90,7 +88,7 @@ pub fn survey() -> Vec<VersionChange> {
 
 /// One point of a Fig. 8 series: the version's contribution to the overall
 /// change, as a percentage (modules within a dimension weighted equally).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TrendPoint {
     /// Per-version increment (percent of the dimension's total change).
     pub increment_pct: f64,
@@ -99,7 +97,7 @@ pub struct TrendPoint {
 }
 
 /// The three Fig. 8 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct UpgradeTrend {
     /// X-axis labels.
     pub versions: Vec<&'static str>,
@@ -144,10 +142,7 @@ pub fn upgrade_trend() -> UpgradeTrend {
     };
     UpgradeTrend {
         versions: data.iter().map(|r| r.version).collect(),
-        text: cumulative(&[
-            col(|r| r.bitcode_parser_loc),
-            col(|r| r.bitcode_reader_loc),
-        ]),
+        text: cumulative(&[col(|r| r.bitcode_parser_loc), col(|r| r.bitcode_reader_loc)]),
         api: cumulative(&[col(|r| r.ir_header_loc), col(|r| r.builtin_analyses_loc)]),
         semantic: cumulative(&[col(|r| r.new_instructions)]),
     }

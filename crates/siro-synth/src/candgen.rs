@@ -26,7 +26,7 @@ use siro_ir::Opcode;
 use crate::typegraph::TypeGraph;
 
 /// Limits for the candidate search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GenLimits {
     /// Maximum distinct producer expressions kept per needed type.
     pub max_exprs_per_type: usize,
@@ -54,7 +54,11 @@ enum Expr {
 }
 
 /// Generates the candidate atomic translators Λ*_k for one kind.
-pub fn generate_for_kind(graph: &TypeGraph<'_>, kind: Opcode, limits: GenLimits) -> Vec<ApiProgram> {
+pub fn generate_for_kind(
+    graph: &TypeGraph<'_>,
+    kind: Opcode,
+    limits: GenLimits,
+) -> Vec<ApiProgram> {
     let reg = graph.registry();
     let target = ApiType::Inst(kind, Side::Target);
     let reachable = graph.backward_reachable(target);
@@ -212,7 +216,11 @@ impl Gen<'_, '_> {
             ApiKind::Const => {
                 // Indices beyond the kind's static arity can never succeed.
                 let bound = siro_api::operand_index_bound(self.kind);
-                match f.name.strip_prefix("const_").and_then(|s| s.parse::<u32>().ok()) {
+                match f
+                    .name
+                    .strip_prefix("const_")
+                    .and_then(|s| s.parse::<u32>().ok())
+                {
                     Some(i) => i < bound.max(1),
                     None => true,
                 }
@@ -229,11 +237,7 @@ fn flatten(reg: &siro_api::ApiRegistry, kind: Opcode, root: &Expr) -> ApiProgram
     let _ = reg;
     let mut steps: Vec<ApiCall> = Vec::new();
     let mut cache: HashMap<Expr, usize> = HashMap::new();
-    fn walk(
-        e: &Expr,
-        steps: &mut Vec<ApiCall>,
-        cache: &mut HashMap<Expr, usize>,
-    ) -> Reg {
+    fn walk(e: &Expr, steps: &mut Vec<ApiCall>, cache: &mut HashMap<Expr, usize>) -> Reg {
         match e {
             Expr::Input => Reg::Input,
             Expr::Call(api, args) => {
@@ -257,10 +261,7 @@ fn flatten(reg: &siro_api::ApiRegistry, kind: Opcode, root: &Expr) -> ApiProgram
 
 /// Generates candidates for every kind common to the registry's version
 /// pair, returning `(kind, candidates)` in opcode order.
-pub fn generate_all(
-    graph: &TypeGraph<'_>,
-    limits: GenLimits,
-) -> Vec<(Opcode, Vec<ApiProgram>)> {
+pub fn generate_all(graph: &TypeGraph<'_>, limits: GenLimits) -> Vec<(Opcode, Vec<ApiProgram>)> {
     let reg = graph.registry();
     reg.src_version
         .common_instructions(reg.tgt_version)
@@ -287,7 +288,11 @@ mod tests {
     #[test]
     fn branch_candidates_include_both_correct_forms() {
         let (reg, progs) = candidates(Opcode::Br);
-        assert!(progs.len() >= 10, "too few branch candidates: {}", progs.len());
+        assert!(
+            progs.len() >= 10,
+            "too few branch candidates: {}",
+            progs.len()
+        );
         let summaries: Vec<String> = progs.iter().map(|p| p.summary(&reg)).collect();
         // The Fig. 4 translator (via get_successor)...
         assert!(
@@ -300,12 +305,13 @@ mod tests {
         assert!(
             summaries
                 .iter()
-                .any(|s| s
-                    == "create_br(translate_block(get_block_operand(inst, const_0())))"),
+                .any(|s| s == "create_br(translate_block(get_block_operand(inst, const_0())))"),
             "missing alias uncond-br candidate"
         );
         // The correct conditional translator.
-        assert!(summaries.iter().any(|s| s.contains("create_cond_br(translate_value(get_condition(inst))")));
+        assert!(summaries
+            .iter()
+            .any(|s| s.contains("create_cond_br(translate_value(get_condition(inst))")));
         // And the Fig. 9 wrong-but-well-typed swapped variant.
         assert!(summaries.iter().any(|s| s
             == "create_cond_br(translate_value(get_condition(inst)), \
@@ -318,8 +324,10 @@ mod tests {
     fn binary_candidates_cover_operand_permutations() {
         let (reg, progs) = candidates(Opcode::Sub);
         let summaries: Vec<String> = progs.iter().map(|p| p.summary(&reg)).collect();
-        assert!(summaries.iter().any(|s| s.contains("get_operand(inst, const_0())")
-            && s.contains("get_operand(inst, const_1())")));
+        assert!(summaries
+            .iter()
+            .any(|s| s.contains("get_operand(inst, const_0())")
+                && s.contains("get_operand(inst, const_1())")));
         // The duplicated-operand candidate of Fig. 7 must be in the space.
         let dup = "create_sub(translate_value(get_operand(inst, const_0())), \
                    translate_value(get_operand(inst, const_0())))";
@@ -328,11 +336,21 @@ mod tests {
 
     #[test]
     fn every_candidate_is_well_typed() {
-        for kind in [Opcode::Br, Opcode::Ret, Opcode::Load, Opcode::Phi, Opcode::Call] {
+        for kind in [
+            Opcode::Br,
+            Opcode::Ret,
+            Opcode::Load,
+            Opcode::Phi,
+            Opcode::Call,
+        ] {
             let (reg, progs) = candidates(kind);
             assert!(!progs.is_empty(), "no candidates for {kind}");
             for p in &progs {
-                assert!(p.well_typed(&reg), "ill-typed candidate {}", p.summary(&reg));
+                assert!(
+                    p.well_typed(&reg),
+                    "ill-typed candidate {}",
+                    p.summary(&reg)
+                );
             }
         }
     }

@@ -118,7 +118,13 @@ pub fn render_translator(translator: &SynthesizedTranslator) -> String {
     );
     for kind in translator.covered_kinds() {
         let kt = &translator.kinds[&kind];
-        let _ = writeln!(out, "\nfn translate_{}(inst: {}_s) -> {}_t {{", kind.name(), camel(kind.name()), camel(kind.name()));
+        let _ = writeln!(
+            out,
+            "\nfn translate_{}(inst: {}_s) -> {}_t {{",
+            kind.name(),
+            camel(kind.name()),
+            camel(kind.name())
+        );
         if kt.arms.is_empty() {
             let _ = writeln!(
                 out,

@@ -70,12 +70,31 @@ impl SynthesisConfig {
             opt_equivalence: true,
             opt_memoization: true,
             opt_ordering: true,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
-                .unwrap_or(4),
+            threads: resolve_threads(),
             limits: GenLimits::default(),
             max_assignments_per_test: 500_000,
         }
+    }
+}
+
+/// Resolves the worker-thread count for synthesis: the `SIRO_THREADS`
+/// environment variable when set to a positive integer, otherwise every
+/// core `available_parallelism` reports.
+pub fn resolve_threads() -> usize {
+    threads_from_override(std::env::var("SIRO_THREADS").ok().as_deref())
+}
+
+/// Pure core of [`resolve_threads`], split out so the fallback rules are
+/// testable without racing on the process environment. Zero or unparsable
+/// overrides fall back to the detected parallelism, so `SIRO_THREADS=0`
+/// can never configure a run with no workers.
+pub fn threads_from_override(raw: Option<&str>) -> usize {
+    let detected = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    match raw.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => detected,
     }
 }
 
@@ -413,26 +432,24 @@ impl Synthesizer {
             } else {
                 (0..all.len()).collect()
             };
-            // Probe each candidate against the concrete instruction;
-            // failures are dropped, successes grouped by signature
-            // (Opt. I(b)) or kept singleton.
+            // Probe each candidate against the concrete instruction (in
+            // parallel; probe order is preserved so grouping stays
+            // deterministic); failures are dropped, successes grouped by
+            // signature (Opt. I(b)) or kept singleton.
+            let probes = self.probe_all(registry, test, row, all, &base);
             let mut groups: Vec<Vec<usize>> = Vec::new();
             let mut by_sig: HashMap<String, usize> = HashMap::new();
-            for &ci in &base {
-                match probe_candidate(registry, &test.module, row, &all[ci]) {
-                    Ok(sig) => {
-                        if cfg.opt_equivalence {
-                            if let Some(&gi) = by_sig.get(&sig) {
-                                groups[gi].push(ci);
-                            } else {
-                                by_sig.insert(sig, groups.len());
-                                groups.push(vec![ci]);
-                            }
-                        } else {
-                            groups.push(vec![ci]);
-                        }
+            for (ci, sig) in probes {
+                let Some(sig) = sig else { continue };
+                if cfg.opt_equivalence {
+                    if let Some(&gi) = by_sig.get(&sig) {
+                        groups[gi].push(ci);
+                    } else {
+                        by_sig.insert(sig, groups.len());
+                        groups.push(vec![ci]);
                     }
-                    Err(_) => {}
+                } else {
+                    groups.push(vec![ci]);
                 }
             }
             if groups.is_empty() {
@@ -449,6 +466,43 @@ impl Synthesizer {
             });
         }
         Ok(Enumeration { slots, slot_of_loc })
+    }
+
+    /// Probes every candidate in `base` against the concrete instruction,
+    /// fanning the work out over contiguous chunks that are reassembled in
+    /// order — the result is identical to a sequential probe loop, so the
+    /// downstream signature grouping (and hence the synthesized translator)
+    /// does not depend on the thread count. Failed probes come back `None`.
+    fn probe_all(
+        &self,
+        registry: &ApiRegistry,
+        test: &OracleTest,
+        row: &crate::profile::ProfiledInst,
+        all: &[ApiProgram],
+        base: &[usize],
+    ) -> Vec<(usize, Option<String>)> {
+        let probe = |&ci: &usize| {
+            (
+                ci,
+                probe_candidate(registry, &test.module, row, &all[ci]).ok(),
+            )
+        };
+        let threads = self.config.threads.max(1).min(base.len().max(1));
+        // Below this size thread spawn overhead beats the win.
+        if threads == 1 || base.len() < 64 {
+            return base.iter().map(probe).collect();
+        }
+        let chunk = base.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = base
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(probe).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("probe worker panicked"))
+                .collect()
+        })
     }
 
     /// Validates every assignment, in parallel, returning the passing
@@ -523,6 +577,22 @@ mod tests {
                 oracle: c.oracle,
             })
             .collect()
+    }
+
+    #[test]
+    fn thread_override_rules() {
+        let detected = threads_from_override(None);
+        assert!(detected >= 1, "no override: detected parallelism");
+        assert_eq!(threads_from_override(Some("3")), 3);
+        assert_eq!(threads_from_override(Some(" 5 ")), 5);
+        // Zero or garbage can never configure a run with no workers.
+        assert_eq!(threads_from_override(Some("0")), detected);
+        assert_eq!(threads_from_override(Some("lots")), detected);
+        assert_eq!(threads_from_override(Some("")), detected);
+        assert_eq!(threads_from_override(Some("-2")), detected);
+        // The default config inherits the resolved count.
+        let cfg = SynthesisConfig::new(IrVersion::V13_0, IrVersion::V3_6);
+        assert!(cfg.threads >= 1);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`complete`] — skeleton completion and source rendering (➎);
 //! * [`driver`] — [`Synthesizer`], wiring Alg. 2 together with the three
 //!   optimizations of §4.4 (equivalence, memoization, test ordering) and
-//!   parallel validation (§5 "Speeding up Synthesis Process").
+//!   parallel probing + validation (§5 "Speeding up Synthesis Process");
+//! * [`cache`] — the process-wide [`TranslatorCache`] memoizing finished
+//!   outcomes per `(pair, corpus fingerprint, config)` and the
+//!   [`synthesize_all`] multi-pair fan-out.
 //!
 //! ## Example
 //!
@@ -38,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod candgen;
 pub mod complete;
 pub mod driver;
@@ -46,10 +50,11 @@ pub mod profile;
 pub mod refine;
 pub mod typegraph;
 
+pub use cache::{corpus_fingerprint, synthesize_all, CacheLookup, CacheStats, TranslatorCache};
 pub use candgen::{generate_all, generate_for_kind, GenLimits};
 pub use driver::{
-    StageTimings, SynthError, SynthesisConfig, SynthesisOutcome, SynthesisReport, Synthesizer,
-    TestStats,
+    resolve_threads, threads_from_override, StageTimings, SynthError, SynthesisConfig,
+    SynthesisOutcome, SynthesisReport, Synthesizer, TestStats,
 };
 pub use pertest::{OracleTest, PerTestTranslator};
 pub use profile::{profile_module, ProfileTable, ProfiledInst};

@@ -74,10 +74,7 @@ impl Enumeration {
     /// Total number of per-test translators (product of representative
     /// counts), without materialising them.
     pub fn assignment_count(&self) -> u128 {
-        self.slots
-            .iter()
-            .map(|s| s.groups.len() as u128)
-            .product()
+        self.slots.iter().map(|s| s.groups.len() as u128).product()
     }
 
     /// Decodes assignment number `n` (mixed radix) into one representative
@@ -216,8 +213,8 @@ pub fn validate_assignment(
             return false;
         }
     };
-    let compiled = verify::verify_module(&translated).is_ok()
-        && verify::codegen_check(&translated).is_ok();
+    let compiled =
+        verify::verify_module(&translated).is_ok() && verify::codegen_check(&translated).is_ok();
     timing.translate_compile_ns += t0.elapsed().as_nanos() as u64;
     if !compiled {
         return false;

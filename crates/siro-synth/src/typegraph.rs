@@ -79,11 +79,7 @@ impl<'r> TypeGraph<'r> {
     /// Total edge count (return edges + parameter edges).
     pub fn edge_count(&self) -> usize {
         let ret_edges = self.registry.len();
-        let param_edges: usize = self
-            .registry
-            .iter()
-            .map(|(_, f)| f.params.len())
-            .sum();
+        let param_edges: usize = self.registry.iter().map(|(_, f)| f.params.len()).sum();
         ret_edges + param_edges
     }
 

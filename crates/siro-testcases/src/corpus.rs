@@ -3,8 +3,8 @@
 //! operand values chosen to discriminate wrong candidates.
 
 use siro_ir::{
-    FloatPredicate, FuncBuilder, Global, GlobalInit, InlineAsm, Instruction,
-    IntPredicate, IrVersion, Module, Opcode, Param, TypeId, ValueRef,
+    FloatPredicate, FuncBuilder, Global, GlobalInit, InlineAsm, Instruction, IntPredicate,
+    IrVersion, Module, Opcode, Param, TypeId, ValueRef,
 };
 
 use crate::TestCase;

@@ -16,8 +16,7 @@
 
 use std::collections::BTreeSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use siro_rng::{Rng, SeedableRng, StdRng};
 
 use siro_ir::{
     interp::Machine, verify, FuncBuilder, Instruction, IntPredicate, IrVersion, Module, Opcode,
@@ -216,10 +215,7 @@ mod tests {
     #[test]
     fn generated_cases_meet_their_computed_oracles() {
         for case in generate_cases(7, 25, IrVersion::V13_0) {
-            let got = Machine::new(&case.module)
-                .run_main()
-                .unwrap()
-                .return_int();
+            let got = Machine::new(&case.module).run_main().unwrap().return_int();
             assert_eq!(got, Some(case.oracle), "{}", case.name);
         }
     }
@@ -229,7 +225,13 @@ mod tests {
         let cases = generate_cases(1, 80, IrVersion::V13_0);
         let kinds = kind_coverage(&cases);
         // The easy kinds appear...
-        for k in [Opcode::Add, Opcode::ICmp, Opcode::Br, Opcode::Ret, Opcode::Phi] {
+        for k in [
+            Opcode::Add,
+            Opcode::ICmp,
+            Opcode::Br,
+            Opcode::Ret,
+            Opcode::Phi,
+        ] {
             assert!(kinds.contains(&k), "missing {k}");
         }
         // ...the long tail does not (the §7 diversity limitation).

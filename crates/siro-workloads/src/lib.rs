@@ -23,8 +23,7 @@
 
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use siro_rng::{Rng, SeedableRng, StdRng};
 
 use siro_analysis::{analyze_module, BugKind, ReportDiff};
 use siro_core::{InstTranslator, Skeleton};
@@ -244,14 +243,7 @@ impl Category {
     }
 }
 
-fn emit_bug(
-    m: &mut Module,
-    ex: &Externs,
-    proj: &str,
-    kind: BugKind,
-    cat: Category,
-    idx: usize,
-) {
+fn emit_bug(m: &mut Module, ex: &Externs, proj: &str, kind: BugKind, cat: Category, idx: usize) {
     let i32t = m.types.i32();
     let i64t = m.types.i64();
     let i8t = m.types.i8();
@@ -499,36 +491,71 @@ pub struct ProjectResult {
     pub diff: ReportDiff,
 }
 
+/// A Tab. 4 pipeline failure, tagged with the project and the stage that
+/// failed so a multi-project run names the culprit.
+#[derive(Debug)]
+pub struct PipelineError {
+    /// The project being processed.
+    pub project: &'static str,
+    /// The stage that failed (`"translation"`, `"verification"`).
+    pub stage: &'static str,
+    /// The underlying error.
+    pub source: Box<dyn std::error::Error + Send + Sync>,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} failed: {}",
+            self.stage, self.project, self.source
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source.as_ref())
+    }
+}
+
 /// Runs the full Tab. 4 pipeline for every project:
 /// compile-high → translate with `translator` → analyze, versus
 /// compile-low → analyze; then diff.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if translation of a project fails — the translator under test is
-/// expected to handle the full workload.
+/// Returns a [`PipelineError`] naming the project when translation or
+/// verification of a translated module fails.
 pub fn run_table4(
     translator: &dyn InstTranslator,
     high: IrVersion,
     low: IrVersion,
-) -> Vec<ProjectResult> {
+) -> Result<Vec<ProjectResult>, PipelineError> {
     let skel = Skeleton::new(low);
     table4_projects()
         .iter()
         .map(|spec| {
             let high_ir = compile_project(spec, Frontend::High, high);
-            let translated = skel
-                .translate_module(&high_ir, translator)
-                .unwrap_or_else(|e| panic!("translation of {} failed: {e}", spec.name));
-            siro_ir::verify::verify_module(&translated)
-                .unwrap_or_else(|e| panic!("translated {} does not verify: {e}", spec.name));
+            let translated =
+                skel.translate_module(&high_ir, translator)
+                    .map_err(|e| PipelineError {
+                        project: spec.name,
+                        stage: "translation",
+                        source: Box::new(e),
+                    })?;
+            siro_ir::verify::verify_module(&translated).map_err(|e| PipelineError {
+                project: spec.name,
+                stage: "verification",
+                source: Box::new(e),
+            })?;
             let low_ir = compile_project(spec, Frontend::Low, low);
             let translating = analyze_module(&translated);
             let compiling = analyze_module(&low_ir);
-            ProjectResult {
+            Ok(ProjectResult {
                 name: spec.name,
                 diff: ReportDiff::compare(&translating, &compiling),
-            }
+            })
         })
         .collect()
 }
@@ -562,8 +589,9 @@ mod tests {
 
     #[test]
     fn table4_counts_match_the_paper() {
-        let results = run_table4(&ReferenceTranslator, IrVersion::V12_0, IrVersion::V3_6);
-        let expect: &[(&str, [(usize, usize, usize); 4])] = &[
+        type CountRow = [(usize, usize, usize); 4];
+        let results = run_table4(&ReferenceTranslator, IrVersion::V12_0, IrVersion::V3_6).unwrap();
+        let expect: &[(&str, CountRow)] = &[
             ("libcapstone", [(1, 0, 18), (0, 0, 0), (0, 0, 0), (0, 0, 0)]),
             ("tmux", [(2, 0, 85), (0, 3, 14), (0, 0, 0), (9, 5, 105)]),
             ("libssh", [(3, 0, 21), (0, 0, 0), (0, 0, 0), (0, 0, 4)]),

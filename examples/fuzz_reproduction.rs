@@ -37,7 +37,10 @@ fn main() {
             ok += 1;
         }
     }
-    println!("PoCs reproduced after 12.0 -> 3.6 translation: {ok}/{}", pocs.len());
+    println!(
+        "PoCs reproduced after 12.0 -> 3.6 translation: {ok}/{}",
+        pocs.len()
+    );
 
     // Grey-box-style coverage instrumentation on the *translated* IR.
     let (instrumented, probes) = coverage::instrument_checked(&translated).expect("instrument");

@@ -5,9 +5,7 @@
 //! cargo run --example ir_tour
 //! ```
 
-use siro::ir::{
-    interp::Machine, parse, verify, write, FuncBuilder, IrVersion, Module, ValueRef,
-};
+use siro::ir::{interp::Machine, parse, verify, write, FuncBuilder, IrVersion, Module, ValueRef};
 
 fn sample(version: IrVersion) -> Module {
     let mut m = Module::new("tour", version);

@@ -29,7 +29,8 @@ fn main() {
     let campaign = run_campaign(
         &|_| -> Box<dyn InstTranslator> { Box::new(ReferenceTranslator) },
         IrVersion::V3_6,
-    );
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
     println!();
     for (release, compiler, bugs) in &campaign.per_release {
         println!(

@@ -32,14 +32,15 @@ fn main() {
 
     // 2. Synthesize the 13.0 -> 3.6 instruction translators from the
     //    oracle-carrying corpus (this is Alg. 2 of the paper, end to end).
-    let tests: Vec<OracleTest> = siro::testcases::corpus_for_pair(IrVersion::V13_0, IrVersion::V3_6)
-        .into_iter()
-        .map(|c| OracleTest {
-            name: c.name.to_string(),
-            module: c.build(IrVersion::V13_0),
-            oracle: c.oracle,
-        })
-        .collect();
+    let tests: Vec<OracleTest> =
+        siro::testcases::corpus_for_pair(IrVersion::V13_0, IrVersion::V3_6)
+            .into_iter()
+            .map(|c| OracleTest {
+                name: c.name.to_string(),
+                module: c.build(IrVersion::V13_0),
+                oracle: c.oracle,
+            })
+            .collect();
     println!(
         "synthesizing a 13.0 -> 3.6 translator from {} test cases ...",
         tests.len()

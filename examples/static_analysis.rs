@@ -19,7 +19,10 @@ fn main() {
         .into_iter()
         .find(|p| p.name == "tmux")
         .unwrap();
-    println!("project: {} (synthetic stand-in with the paper's bug census)", spec.name);
+    println!(
+        "project: {} (synthetic stand-in with the paper's bug census)",
+        spec.name
+    );
 
     // The translating setting: high-version IR, downgraded by Siro.
     let high = compile_project(&spec, Frontend::High, IrVersion::V12_0);
@@ -57,17 +60,22 @@ fn main() {
     println!("\nexample `new` reports (surfaced only after translation):");
     for r in diff.new.iter().take(3) {
         let sink = r.sink();
-        println!("  [{}] {} at {} - {}", r.kind, sink.func, sink.label, sink.desc);
+        println!(
+            "  [{}] {} at {} - {}",
+            r.kind, sink.func, sink.label, sink.desc
+        );
     }
     println!("\nexample `missing` reports (only the old frontend's IR shape shows them):");
     for r in diff.missing.iter().take(3) {
         let sink = r.sink();
-        println!("  [{}] {} at {} - {}", r.kind, sink.func, sink.label, sink.desc);
+        println!(
+            "  [{}] {} at {} - {}",
+            r.kind, sink.func, sink.label, sink.desc
+        );
     }
     println!(
         "\noverlap accuracy for this project: {:.1}%",
-        diff.shared.len() as f64
-            / (diff.shared.len() + diff.new.len() + diff.missing.len()) as f64
+        diff.shared.len() as f64 / (diff.shared.len() + diff.new.len() + diff.missing.len()) as f64
             * 100.0
     );
 }

@@ -145,7 +145,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("running {path}: {e}"))?;
     match outcome.result {
         siro::ir::interp::ExecResult::Returned(_) => {
-            println!("main() = {:?} ({} steps)", outcome.return_int(), outcome.steps);
+            println!(
+                "main() = {:?} ({} steps)",
+                outcome.return_int(),
+                outcome.steps
+            );
             Ok(())
         }
         siro::ir::interp::ExecResult::Trapped(t) => Err(format!("trapped: {t}")),

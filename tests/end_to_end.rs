@@ -1,9 +1,11 @@
 //! Cross-crate integration tests: the full pipeline from synthesis to
 //! clients, spanning every workspace crate.
 
+use std::sync::Arc;
+
 use siro::core::{InstTranslator, ReferenceTranslator, Skeleton};
 use siro::ir::{interp::Machine, verify, IrVersion};
-use siro::synth::{OracleTest, Synthesizer};
+use siro::synth::{OracleTest, SynthesisConfig, SynthesisOutcome, Synthesizer, TranslatorCache};
 
 fn oracle_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
     siro::testcases::corpus_for_pair(src, tgt)
@@ -16,12 +18,17 @@ fn oracle_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
         .collect()
 }
 
+/// Synthesizes through the process-wide cache, so tests in this binary
+/// that need the same pair share one synthesis.
+fn synth(src: IrVersion, tgt: IrVersion) -> Arc<SynthesisOutcome> {
+    TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &oracle_tests(src, tgt))
+        .expect("synthesis")
+}
+
 #[test]
 fn synthesized_translator_handles_whole_corpus_for_pair_12_to_3_6() {
     let (src, tgt) = (IrVersion::V12_0, IrVersion::V3_6);
-    let outcome = Synthesizer::for_pair(src, tgt)
-        .synthesize(&oracle_tests(src, tgt))
-        .expect("synthesis");
+    let outcome = synth(src, tgt);
     let skel = Skeleton::new(tgt);
     for case in siro::testcases::corpus_for_pair(src, tgt) {
         let m = case.build(src);
@@ -98,11 +105,10 @@ fn pair_17_to_12_covers_callbr_and_freeze() {
     let t = Skeleton::new(tgt)
         .translate_module(&m, &outcome.translator)
         .unwrap();
-    let has_callbr = t.funcs.iter().any(|f| {
-        f.insts
-            .iter()
-            .any(|i| i.opcode == siro::ir::Opcode::CallBr)
-    });
+    let has_callbr = t
+        .funcs
+        .iter()
+        .any(|f| f.insts.iter().any(|i| i.opcode == siro::ir::Opcode::CallBr));
     assert!(has_callbr, "callbr must survive a 17.0 -> 12.0 translation");
 }
 
@@ -157,21 +163,29 @@ fn translated_text_roundtrips_through_the_low_version_reader() {
 fn clients_compose_with_a_synthesized_translator() {
     // Tab. 4 and the kernel campaign driven by a *synthesized* (not
     // reference) translator.
-    let outcome = Synthesizer::for_pair(IrVersion::V12_0, IrVersion::V3_6)
-        .synthesize(&oracle_tests(IrVersion::V12_0, IrVersion::V3_6))
-        .expect("synthesis");
-    let results = siro::workloads::run_table4(&outcome.translator, IrVersion::V12_0, IrVersion::V3_6);
+    let outcome = synth(IrVersion::V12_0, IrVersion::V3_6);
+    let results =
+        siro::workloads::run_table4(&outcome.translator, IrVersion::V12_0, IrVersion::V3_6)
+            .expect("table 4 pipeline");
     let shared: usize = results.iter().map(|r| r.diff.shared.len()).sum();
     let new: usize = results.iter().map(|r| r.diff.new.len()).sum();
     let missing: usize = results.iter().map(|r| r.diff.missing.len()).sum();
     assert_eq!((shared, new, missing), (253, 15, 8));
 
-    let t14 = Synthesizer::for_pair(IrVersion::V14_0, IrVersion::V3_6)
-        .synthesize(&oracle_tests(IrVersion::V14_0, IrVersion::V3_6))
-        .expect("synthesis 14");
-    let t15 = Synthesizer::for_pair(IrVersion::V15_0, IrVersion::V3_6)
-        .synthesize(&oracle_tests(IrVersion::V15_0, IrVersion::V3_6))
-        .expect("synthesis 15");
+    // Multi-pair fan-out: both kernel translators synthesize concurrently
+    // through the cache.
+    let jobs: Vec<_> = [IrVersion::V14_0, IrVersion::V15_0]
+        .into_iter()
+        .map(|src| {
+            (
+                SynthesisConfig::new(src, IrVersion::V3_6),
+                oracle_tests(src, IrVersion::V3_6),
+            )
+        })
+        .collect();
+    let mut outcomes = siro::synth::synthesize_all(&jobs).into_iter();
+    let t14 = outcomes.next().unwrap().expect("synthesis 14");
+    let t15 = outcomes.next().unwrap().expect("synthesis 15");
     let campaign = siro::kernel::run_campaign(
         &|v| -> Box<dyn InstTranslator> {
             if v == IrVersion::V14_0 {
@@ -181,22 +195,22 @@ fn clients_compose_with_a_synthesized_translator() {
             }
         },
         IrVersion::V3_6,
-    );
+    )
+    .expect("kernel campaign");
     assert_eq!(campaign.total_bugs(), 80);
     assert_eq!(campaign.merged(), 56);
 }
 
 #[test]
 fn fuzz_pipeline_with_synthesized_translator() {
-    let outcome = Synthesizer::for_pair(IrVersion::V12_0, IrVersion::V3_6)
-        .synthesize(&oracle_tests(IrVersion::V12_0, IrVersion::V3_6))
-        .expect("synthesis");
+    let outcome = synth(IrVersion::V12_0, IrVersion::V3_6);
     let rows = siro::fuzz::run_table5(
         &outcome.translator,
         IrVersion::V12_0,
         IrVersion::V3_6,
         siro::fuzz::Scale(0.005),
-    );
+    )
+    .expect("table 5 pipeline");
     let cves: usize = rows.iter().map(|r| r.cves).sum();
     let r_cves: usize = rows.iter().map(|r| r.r_cve).sum();
     assert_eq!(cves, 111);

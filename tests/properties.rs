@@ -1,8 +1,12 @@
 //! Property-based tests over randomly generated programs: translation is
 //! behaviour-preserving, serialization round-trips, and the verifier
 //! accepts every translator output.
+//!
+//! The programs are driven by the deterministic `siro-rng` generator: each
+//! property runs a fixed number of cases derived from a fixed seed, so
+//! failures reproduce exactly (re-run with the printed case seed).
 
-use proptest::prelude::*;
+use siro_rng::{Rng, RngCore, SeedableRng, StdRng};
 
 use siro::core::{ReferenceTranslator, Skeleton};
 use siro::ir::{
@@ -36,15 +40,28 @@ const BIN_OPS: [Opcode; 9] = [
     Opcode::AShr,
 ];
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u8..9, 0usize..64, 0usize..64).prop_map(|(o, a, b)| Step::Bin(o, a, b)),
-        (-1000i32..1000).prop_map(Step::Const),
-        (0usize..64).prop_map(Step::SlotRoundTrip),
-        (0usize..64, 0usize..64, 0usize..64, 0usize..64)
-            .prop_map(|(a, b, x, y)| Step::Diamond(a, b, x, y)),
-        (0usize..64).prop_map(Step::Narrow),
-    ]
+fn random_step(rng: &mut StdRng) -> Step {
+    match rng.gen_range(0..5u32) {
+        0 => Step::Bin(
+            rng.gen_range(0..9u8),
+            rng.gen_range(0..64usize),
+            rng.gen_range(0..64usize),
+        ),
+        1 => Step::Const(rng.gen_range(-1000..1000i32)),
+        2 => Step::SlotRoundTrip(rng.gen_range(0..64usize)),
+        3 => Step::Diamond(
+            rng.gen_range(0..64usize),
+            rng.gen_range(0..64usize),
+            rng.gen_range(0..64usize),
+            rng.gen_range(0..64usize),
+        ),
+        _ => Step::Narrow(rng.gen_range(0..64usize)),
+    }
+}
+
+fn random_steps(rng: &mut StdRng, max_len: usize) -> Vec<Step> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| random_step(rng)).collect()
 }
 
 /// Builds a runnable module from a step list, in the given version.
@@ -70,8 +87,7 @@ fn build_program(steps: &[Step], version: IrVersion) -> Module {
                 let op = BIN_OPS[*op as usize % BIN_OPS.len()];
                 // Mask shift amounts to keep semantics portable.
                 let y = if matches!(op, Opcode::Shl | Opcode::LShr | Opcode::AShr) {
-                    let masked = b.and(y, ValueRef::const_int(i32t, 7));
-                    masked
+                    b.and(y, ValueRef::const_int(i32t, 7))
                 } else {
                     y
                 };
@@ -113,67 +129,94 @@ fn build_program(steps: &[Step], version: IrVersion) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Runs `body` on `cases` random step lists derived from `seed`, labelling
+/// failures with the per-case sub-seed.
+fn for_each_case(seed: u64, cases: usize, max_len: usize, body: impl Fn(&[Step])) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let case_seed = rng.next_u64();
+        let mut case_rng = StdRng::seed_from_u64(case_seed);
+        let steps = random_steps(&mut case_rng, max_len);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&steps)));
+        if let Err(panic) = result {
+            eprintln!("property failed at case {case} (sub-seed {case_seed:#x}): {steps:?}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
 
-    /// Random programs verify and run deterministically.
-    #[test]
-    fn random_programs_verify_and_run(steps in prop::collection::vec(step_strategy(), 1..25)) {
-        let m = build_program(&steps, IrVersion::V13_0);
+/// Random programs verify and run deterministically.
+#[test]
+fn random_programs_verify_and_run() {
+    for_each_case(0x51_50_01, 64, 25, |steps| {
+        let m = build_program(steps, IrVersion::V13_0);
         verify::verify_module(&m).unwrap();
         let a = Machine::new(&m).run_main().unwrap().return_int();
         let b = Machine::new(&m).run_main().unwrap().return_int();
-        prop_assert!(a.is_some());
-        prop_assert_eq!(a, b);
-    }
+        assert!(a.is_some());
+        assert_eq!(a, b);
+    });
+}
 
-    /// Downgrade translation preserves execution on random programs.
-    #[test]
-    fn translation_preserves_execution(steps in prop::collection::vec(step_strategy(), 1..25)) {
-        let m = build_program(&steps, IrVersion::V13_0);
+/// Downgrade translation preserves execution on random programs.
+#[test]
+fn translation_preserves_execution() {
+    for_each_case(0x51_50_02, 64, 25, |steps| {
+        let m = build_program(steps, IrVersion::V13_0);
         let before = Machine::new(&m).run_main().unwrap().return_int();
-        for tgt in [IrVersion::V3_0, IrVersion::V3_6, IrVersion::V5_0, IrVersion::V15_0] {
-            let t = Skeleton::new(tgt).translate_module(&m, &ReferenceTranslator).unwrap();
+        for tgt in [
+            IrVersion::V3_0,
+            IrVersion::V3_6,
+            IrVersion::V5_0,
+            IrVersion::V15_0,
+        ] {
+            let t = Skeleton::new(tgt)
+                .translate_module(&m, &ReferenceTranslator)
+                .unwrap();
             verify::verify_module(&t).unwrap();
             let after = Machine::new(&t).run_main().unwrap().return_int();
-            prop_assert_eq!(before, after, "target {}", tgt);
+            assert_eq!(before, after, "target {tgt}");
         }
-    }
+    });
+}
 
-    /// The same source steps built at different versions behave identically
-    /// (the builder itself is version-agnostic for common instructions).
-    #[test]
-    fn builder_is_version_agnostic(steps in prop::collection::vec(step_strategy(), 1..20)) {
-        let a = build_program(&steps, IrVersion::V3_0);
-        let b = build_program(&steps, IrVersion::V17_0);
+/// The same source steps built at different versions behave identically
+/// (the builder itself is version-agnostic for common instructions).
+#[test]
+fn builder_is_version_agnostic() {
+    for_each_case(0x51_50_03, 64, 20, |steps| {
+        let a = build_program(steps, IrVersion::V3_0);
+        let b = build_program(steps, IrVersion::V17_0);
         let ra = Machine::new(&a).run_main().unwrap().return_int();
         let rb = Machine::new(&b).run_main().unwrap().return_int();
-        prop_assert_eq!(ra, rb);
-    }
+        assert_eq!(ra, rb);
+    });
+}
 
-    /// Writer/parser round trip: textually idempotent and behaviourally
-    /// stable, in every serialization dialect.
-    #[test]
-    fn serialization_roundtrips(steps in prop::collection::vec(step_strategy(), 1..20)) {
+/// Writer/parser round trip: textually idempotent and behaviourally
+/// stable, in every serialization dialect.
+#[test]
+fn serialization_roundtrips() {
+    for_each_case(0x51_50_04, 64, 20, |steps| {
         for version in [IrVersion::V3_6, IrVersion::V13_0, IrVersion::V15_0] {
-            let m = build_program(&steps, version);
+            let m = build_program(steps, version);
             let expect = Machine::new(&m).run_main().unwrap().return_int();
             let t1 = siro::ir::write::write_module(&m);
             let parsed = siro::ir::parse::parse_module(&t1).unwrap();
             let t2 = siro::ir::write::write_module(&parsed);
-            prop_assert_eq!(&t1, &t2, "idempotence at {}", version);
+            assert_eq!(&t1, &t2, "idempotence at {version}");
             let got = Machine::new(&parsed).run_main().unwrap().return_int();
-            prop_assert_eq!(expect, got, "behaviour at {}", version);
+            assert_eq!(expect, got, "behaviour at {version}");
         }
-    }
+    });
+}
 
-    /// Translating a random program twice (13.0 -> 3.6 -> 3.0) is still
-    /// behaviour-preserving.
-    #[test]
-    fn chained_translation_preserves_execution(
-        steps in prop::collection::vec(step_strategy(), 1..15)
-    ) {
-        let m = build_program(&steps, IrVersion::V13_0);
+/// Translating a random program twice (13.0 -> 3.6 -> 3.0) is still
+/// behaviour-preserving.
+#[test]
+fn chained_translation_preserves_execution() {
+    for_each_case(0x51_50_05, 64, 15, |steps| {
+        let m = build_program(steps, IrVersion::V13_0);
         let before = Machine::new(&m).run_main().unwrap().return_int();
         let hop1 = Skeleton::new(IrVersion::V3_6)
             .translate_module(&m, &ReferenceTranslator)
@@ -182,6 +225,6 @@ proptest! {
             .translate_module(&hop1, &ReferenceTranslator)
             .unwrap();
         let after = Machine::new(&hop2).run_main().unwrap().return_int();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
 }
