@@ -16,7 +16,7 @@ use siro_ir::{Opcode, Type, ValueRef};
 
 use crate::registry::{inst_arg, u32_arg, ApiKind, ApiRegistry};
 use crate::value::{ApiType, ApiValue, Side};
-use crate::ApiError;
+use crate::{ApiError, ApiResult};
 
 const S: Side = Side::Source;
 
@@ -668,8 +668,28 @@ fn register_call_family(reg: &mut ApiRegistry, op: Opcode) {
                         .src_value_type(v)
                         .ok_or_else(|| ApiError::Type("untyped callee".into()))?;
                     match ctx.src_types.get(ty) {
-                        Type::Ptr { pointee, .. } => Ok(ApiValue::SrcType(*pointee)),
+                        Type::Ptr { pointee, .. }
+                            if matches!(ctx.src_types.get(*pointee), Type::Func { .. }) =>
+                        {
+                            Ok(ApiValue::SrcType(*pointee))
+                        }
                         Type::Func { .. } => Ok(ApiValue::SrcType(ty)),
+                        // Opaque-pointer dialects erase the pointee, so an
+                        // indirect call's function type must be rebuilt from
+                        // the call site (return type + argument types) —
+                        // exactly what LLVM's opaque-pointer migration does.
+                        Type::Ptr { .. } => {
+                            let params = inst
+                                .call_args()
+                                .iter()
+                                .map(|&a| {
+                                    ctx.src_value_type(a).ok_or_else(|| {
+                                        ApiError::Type("untyped call argument".into())
+                                    })
+                                })
+                                .collect::<ApiResult<Vec<_>>>()?;
+                            Ok(ApiValue::SrcType(ctx.src_types.func(inst.ty, params)))
+                        }
                         _ => Err(ApiError::Type("callee is not a function pointer".into())),
                     }
                 }
@@ -794,6 +814,53 @@ mod tests {
             ApiValue::SrcType(t) => {
                 assert!(matches!(ctx.src_types.get(t), Type::Func { .. }));
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// An indirect call whose callee is a bare opaque `ptr` (the shape a
+    /// module parsed from a 15.0+ dialect has — the function pointee is
+    /// erased to the nominal `i8`) must still yield a function type,
+    /// rebuilt from the call site.
+    #[test]
+    fn callee_type_getter_rebuilds_through_opaque_pointers() {
+        let mut m = Module::new("m", IrVersion::V15_0);
+        let i32t = m.types.i32();
+        let i8t = m.types.i8();
+        let opaque = m.types.ptr(i8t);
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        let slot = b.alloca(opaque);
+        let fp = b.load(opaque, slot);
+        let arg = ValueRef::const_int(i32t, 7);
+        let call_id = {
+            let r = b.call(i32t, fp, vec![arg]);
+            match r {
+                ValueRef::Inst(id) => id,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        b.ret(Some(ValueRef::const_int(i32t, 0)));
+        let mut ctx = TranslationCtx::new(&m, IrVersion::V13_0);
+        let sfid = m.func_by_name("main").unwrap();
+        let tfid = ctx.clone_signature(sfid);
+        ctx.begin_function(sfid, tfid);
+        let reg = ApiRegistry::for_pair(IrVersion::V15_0, IrVersion::V13_0);
+        let g = reg.find_for_kind("get_callee_type", Opcode::Call).unwrap();
+        let v = reg
+            .get(g)
+            .call(&mut ctx, &[ApiValue::SrcInst(call_id)])
+            .unwrap();
+        match v {
+            ApiValue::SrcType(t) => match ctx.src_types.get(t).clone() {
+                Type::Func { ret, params, .. } => {
+                    assert_eq!(ret, i32t, "return type comes from the call site");
+                    assert_eq!(params, vec![i32t], "params come from the arguments");
+                }
+                other => panic!("expected a function type, got {other:?}"),
+            },
             other => panic!("unexpected {other:?}"),
         }
     }

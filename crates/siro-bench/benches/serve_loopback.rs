@@ -1,0 +1,127 @@
+//! Loopback benchmark for the `siro-serve` translation daemon.
+//!
+//! Boots an in-process server on an ephemeral loopback port, drives it
+//! from several concurrent client connections with a mixed workload
+//! (multiple version pairs, both reference and synthesized translators,
+//! pipelined batches), and dumps the run to `BENCH_serve.json`
+//! (`siro-bench/serve-v1` schema, path overridable via
+//! `SIRO_BENCH_SERVE_JSON`).
+//!
+//! Knobs: `SIRO_THREADS` sizes the worker pool (the server default),
+//! `SIRO_BENCH_SERVE_CONNS` the client connections (default 4), and
+//! `SIRO_BENCH_SERVE_REQS` the requests per connection (default 64).
+
+use std::time::{Duration, Instant};
+
+use siro_bench::perf;
+use siro_ir::{write, IrVersion};
+use siro_serve::{Client, ServeConfig, TranslateMode};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// The mixed workload: every connection cycles through these pairs, so
+/// cold synthesis, cache hits, and coalescing all occur naturally.
+const PAIRS: [(IrVersion, IrVersion); 4] = [
+    (IrVersion::V13_0, IrVersion::V3_6),
+    (IrVersion::V12_0, IrVersion::V3_0),
+    (IrVersion::V17_0, IrVersion::V12_0),
+    (IrVersion::V15_0, IrVersion::V13_0),
+];
+
+fn main() {
+    let connections = env_usize("SIRO_BENCH_SERVE_CONNS", 4);
+    let per_conn = env_usize("SIRO_BENCH_SERVE_REQS", 64);
+
+    let handle = siro_serve::start(ServeConfig::default()).expect("bind loopback server");
+    let addr = handle.addr();
+    siro_bench::banner(&format!(
+        "serve_loopback: {} workers on {addr}, {connections} connections x {per_conn} requests",
+        handle.workers()
+    ));
+
+    // Pre-render the request bodies once so the timed loop measures the
+    // daemon, not the corpus builders.
+    let bodies: Vec<Vec<(IrVersion, IrVersion, TranslateMode, String)>> = (0..connections)
+        .map(|conn| {
+            (0..per_conn)
+                .map(|i| {
+                    let (src, tgt) = PAIRS[(conn + i) % PAIRS.len()];
+                    let mode = if i % 2 == 0 {
+                        TranslateMode::Reference
+                    } else {
+                        TranslateMode::Synthesized
+                    };
+                    let cases = siro_testcases::corpus_for_pair(src, tgt);
+                    let case = &cases[i % cases.len()];
+                    (src, tgt, mode, write::write_module(&case.build(src)))
+                })
+                .collect()
+        })
+        .collect();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for body in &bodies {
+            scope.spawn(move || {
+                let mut client =
+                    Client::connect(addr, Duration::from_secs(60)).expect("connect client");
+                // Pipelined batches of 8 keep the queue busy without
+                // saturating it into Busy rejections.
+                for chunk in body.chunks(8) {
+                    let results = client.translate_batch(chunk).expect("batch");
+                    for r in results {
+                        r.expect("every benchmark translation succeeds");
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    let metrics = handle.metrics().snapshot();
+    let cache = siro_synth::TranslatorCache::snapshot();
+    let totals = handle.engine().coalescer().totals();
+    let record = perf::ServeRecord {
+        threads: handle.workers(),
+        connections,
+        requests_total: metrics.requests_total,
+        requests_ok: metrics.requests_ok,
+        requests_busy: metrics.requests_busy,
+        requests_error: metrics.requests_error,
+        translations: metrics.translations,
+        wall,
+        latency_p50_us: metrics.latency_p50_us,
+        latency_p99_us: metrics.latency_p99_us,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        pairs_synthesized: totals.syntheses,
+        coalesced_waiters: totals.coalesced,
+    };
+
+    println!(
+        "{} requests in {:.3}s  ({:.0} req/s)",
+        record.requests_ok,
+        wall.as_secs_f64(),
+        record.throughput_rps()
+    );
+    println!(
+        "latency p50 {:?}us  p99 {:?}us",
+        record.latency_p50_us, record.latency_p99_us
+    );
+    println!(
+        "cache {} hits / {} misses; {} pairs synthesized, {} coalesced",
+        record.cache_hits, record.cache_misses, record.pairs_synthesized, record.coalesced_waiters
+    );
+
+    match perf::write_serve_json(&record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+    handle.shutdown();
+}

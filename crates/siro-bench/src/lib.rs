@@ -15,12 +15,15 @@
 //! | `rq3_ablation` | RQ3 ablation study |
 //! | `full_eval` | the whole pipeline sharing one translator cache |
 //! | `micro` | micro-benchmarks |
+//! | `serve_loopback` | the `siro-serve` daemon over a loopback socket |
 //!
 //! All synthesis goes through [`siro_synth::TranslatorCache`], so targets
 //! that need the same version pair (and the `full_eval` composite run)
 //! synthesize it once per process. [`perf::write_synthesis_json`] dumps
 //! per-pair stage timings and the cache hit/miss counters to
-//! `BENCH_synthesis.json` (path overridable via `SIRO_BENCH_JSON`).
+//! `BENCH_synthesis.json` (path overridable via `SIRO_BENCH_JSON`);
+//! `serve_loopback` dumps a [`perf::ServeRecord`] to `BENCH_serve.json`
+//! (overridable via `SIRO_BENCH_SERVE_JSON`).
 
 use std::sync::Arc;
 use std::time::Instant;

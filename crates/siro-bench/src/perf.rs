@@ -1,10 +1,13 @@
-//! Machine-readable benchmark output: `BENCH_synthesis.json`.
+//! Machine-readable benchmark output: `BENCH_synthesis.json` and
+//! `BENCH_serve.json`.
 //!
 //! The JSON is hand-rolled (the workspace is registry-free, so no serde):
 //! a flat schema of per-pair stage timings plus the process-wide
 //! [`TranslatorCache`] hit/miss counters, written to
 //! `BENCH_synthesis.json` in the working directory or wherever
-//! `SIRO_BENCH_JSON` points.
+//! `SIRO_BENCH_JSON` points. The `serve_loopback` bench writes a
+//! [`ServeRecord`] to `BENCH_serve.json` (overridable via
+//! `SIRO_BENCH_SERVE_JSON`).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -159,5 +162,112 @@ pub fn render_synthesis_json(records: &[SynthRecord]) -> String {
 pub fn write_synthesis_json(records: &[SynthRecord]) -> std::io::Result<PathBuf> {
     let path = json_path();
     std::fs::write(&path, render_synthesis_json(records))?;
+    Ok(path)
+}
+
+/// Whole-run summary of the loopback serving benchmark, dumped to
+/// `BENCH_serve.json` (schema `siro-bench/serve-v1`).
+#[derive(Debug, Clone)]
+pub struct ServeRecord {
+    /// Worker threads the daemon ran with.
+    pub threads: usize,
+    /// Concurrent client connections the bench drove.
+    pub connections: usize,
+    /// Requests sent (== `requests_total` on the server's STATS page).
+    pub requests_total: u64,
+    /// Requests answered successfully.
+    pub requests_ok: u64,
+    /// Requests rejected with `Busy` by the bounded queue.
+    pub requests_busy: u64,
+    /// Requests answered with any other structured error.
+    pub requests_error: u64,
+    /// Successful translations among the ok requests.
+    pub translations: u64,
+    /// Wall clock of the whole driving loop.
+    pub wall: Duration,
+    /// Median server-side request latency, microseconds.
+    pub latency_p50_us: Option<u64>,
+    /// 99th-percentile server-side request latency, microseconds.
+    pub latency_p99_us: Option<u64>,
+    /// Process-wide translator-cache hits at the end of the run.
+    pub cache_hits: u64,
+    /// Process-wide translator-cache misses at the end of the run.
+    pub cache_misses: u64,
+    /// Distinct version pairs the daemon synthesized.
+    pub pairs_synthesized: u64,
+    /// Requests that coalesced onto another request's synthesis.
+    pub coalesced_waiters: u64,
+}
+
+impl ServeRecord {
+    /// Completed requests per second over the driving loop.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.requests_ok as f64 / secs
+        }
+    }
+}
+
+/// Where the serving JSON goes: `SIRO_BENCH_SERVE_JSON` if set, else
+/// `BENCH_serve.json` in the current directory.
+pub fn serve_json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_SERVE_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_serve.json"))
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+/// Renders the serving record as a JSON document.
+pub fn render_serve_json(record: &ServeRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"siro-bench/serve-v1\",");
+    let _ = writeln!(out, "  \"threads\": {},", record.threads);
+    let _ = writeln!(out, "  \"connections\": {},", record.connections);
+    let _ = writeln!(
+        out,
+        "  \"requests\": {{ \"total\": {}, \"ok\": {}, \"busy\": {}, \"error\": {}, \"translations\": {} }},",
+        record.requests_total,
+        record.requests_ok,
+        record.requests_busy,
+        record.requests_error,
+        record.translations
+    );
+    let _ = writeln!(out, "  \"duration_secs\": {},", secs(record.wall));
+    let _ = writeln!(out, "  \"throughput_rps\": {:.3},", record.throughput_rps());
+    let _ = writeln!(
+        out,
+        "  \"latency_us\": {{ \"p50\": {}, \"p99\": {} }},",
+        json_opt_u64(record.latency_p50_us),
+        json_opt_u64(record.latency_p99_us)
+    );
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {} }},",
+        record.cache_hits, record.cache_misses
+    );
+    let _ = writeln!(
+        out,
+        "  \"coalescing\": {{ \"pairs_synthesized\": {}, \"coalesced_waiters\": {} }}",
+        record.pairs_synthesized, record.coalesced_waiters
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_serve.json` and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_serve_json(record: &ServeRecord) -> std::io::Result<PathBuf> {
+    let path = serve_json_path();
+    std::fs::write(&path, render_serve_json(record))?;
     Ok(path)
 }

@@ -75,8 +75,14 @@ mod tests {
         assert_eq!(dropped, 3);
         let func = m.func(siro_ir::FuncId(0));
         assert_eq!(func.insts.len(), func.blocks[0].insts.len());
-        verify::verify_module(&m).unwrap();
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(42));
+        verify::verify_module(&m).expect("pass output must verify");
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            Some(42)
+        );
     }
 
     #[test]

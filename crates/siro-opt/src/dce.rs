@@ -91,8 +91,14 @@ mod tests {
         b.ret(Some(ValueRef::const_int(i32t, 5)));
         let removed = dce(&mut m);
         assert_eq!(removed, 2);
-        verify::verify_module(&m).unwrap();
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(5));
+        verify::verify_module(&m).expect("pass output must verify");
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            Some(5)
+        );
     }
 
     #[test]

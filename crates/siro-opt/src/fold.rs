@@ -211,11 +211,20 @@ mod tests {
         let y = b.add(x, ValueRef::const_int(i32t, 8));
         let z = b.ashr(y, ValueRef::const_int(i32t, 1));
         b.ret(Some(z));
-        let before = Machine::new(&m).run_main().unwrap().return_int();
+        let before = Machine::new(&m)
+            .run_main()
+            .expect("interpreter must not fault")
+            .return_int();
         let n = fold_constants(&mut m);
         assert_eq!(n, 3);
-        verify::verify_module(&m).unwrap();
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), before);
+        verify::verify_module(&m).expect("pass output must verify");
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            before
+        );
         // main is now a single ret.
         assert_eq!(m.func(siro_ir::FuncId(0)).blocks[0].insts.len(), 1);
     }
@@ -242,7 +251,13 @@ mod tests {
         fold_constants(&mut m);
         let func = m.func(siro_ir::FuncId(0));
         assert_eq!(func.blocks[0].insts.len(), 1);
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(5));
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            Some(5)
+        );
     }
 
     #[test]
@@ -257,7 +272,10 @@ mod tests {
         b.ret(Some(v));
         assert_eq!(fold_constants(&mut m), 0);
         // The runtime trap is preserved.
-        assert!(Machine::new(&m).run_main().unwrap().crashed());
+        assert!(Machine::new(&m)
+            .run_main()
+            .expect("interpreter must not fault")
+            .crashed());
     }
 
     #[test]
@@ -274,6 +292,12 @@ mod tests {
         let s = b.sext(t, i32t);
         b.ret(Some(s));
         fold_constants(&mut m);
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(44));
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            Some(44)
+        );
     }
 }

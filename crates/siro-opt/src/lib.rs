@@ -116,10 +116,19 @@ mod tests {
         b.position_at_end(mg);
         let v = b.load(i32t, slot);
         b.ret(Some(v));
-        let before = Machine::new(&m).run_main().unwrap().return_int();
+        let before = Machine::new(&m)
+            .run_main()
+            .expect("interpreter must not fault")
+            .return_int();
         let stats = optimize(&mut m);
-        verify::verify_module(&m).unwrap();
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), before);
+        verify::verify_module(&m).expect("pass output must verify");
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            before
+        );
         assert_eq!(before, Some(33));
         assert_eq!(stats.promoted_slots, 1);
         assert!(stats.removed_blocks >= 2, "{stats:?}");
@@ -135,11 +144,15 @@ mod tests {
         // pipeline — the optimizer is itself IR-based software.
         for case in siro_testcases::full_corpus() {
             let mut m = case.build(IrVersion::V17_0);
-            let before = Machine::new(&m).run_main().unwrap();
+            let before = Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault");
             optimize(&mut m);
             verify::verify_module(&m)
                 .unwrap_or_else(|e| panic!("{} after optimize: {e}", case.name));
-            let after = Machine::new(&m).run_main().unwrap();
+            let after = Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault");
             assert_eq!(
                 before.return_int(),
                 after.return_int(),

@@ -166,7 +166,10 @@ fn promote_function(func: &mut Function) -> usize {
             // 1. Phis placed in this block define new values.
             for (&(pb, slot), &pid) in &phi_slots {
                 if pb == b {
-                    stacks.get_mut(&slot).unwrap().push(ValueRef::Inst(pid));
+                    stacks
+                        .get_mut(&slot)
+                        .expect("phi_slots only references promotable slots, which all have stacks")
+                        .push(ValueRef::Inst(pid));
                     frame.pushed.push(slot);
                 }
             }
@@ -187,7 +190,10 @@ fn promote_function(func: &mut Function) -> usize {
                         if let Some(ValueRef::Inst(slot)) = inst.operands.get(1) {
                             if slot_set.contains(slot) {
                                 let stored = inst.operands[0];
-                                stacks.get_mut(slot).unwrap().push(stored);
+                                stacks
+                                    .get_mut(slot)
+                                    .expect("slot_set membership implies a stack entry")
+                                    .push(stored);
                                 frame.pushed.push(*slot);
                                 dead.insert(iid);
                             }
@@ -221,9 +227,14 @@ fn promote_function(func: &mut Function) -> usize {
             continue;
         }
         // 5. Pop this block's definitions.
-        let frame = stack_frames.pop().unwrap();
+        let frame = stack_frames
+            .pop()
+            .expect("loop condition guarantees a live frame");
         for slot in frame.pushed {
-            stacks.get_mut(&slot).unwrap().pop();
+            stacks
+                .get_mut(&slot)
+                .expect("frames only record slots that have stacks")
+                .pop();
         }
     }
 
@@ -260,7 +271,10 @@ mod tests {
     use siro_ir::{interp::Machine, verify, FuncBuilder, IntPredicate, IrVersion};
 
     fn run(m: &Module) -> Option<i64> {
-        Machine::new(m).run_main().unwrap().return_int()
+        Machine::new(m)
+            .run_main()
+            .expect("interpreter must not fault")
+            .return_int()
     }
 
     #[test]
@@ -279,7 +293,7 @@ mod tests {
         let before = run(&m);
         let n = mem2reg(&mut m);
         assert_eq!(n, 1);
-        verify::verify_module(&m).unwrap();
+        verify::verify_module(&m).expect("pass output must verify");
         assert_eq!(run(&m), before);
         // No memory operations remain.
         let func = m.func(siro_ir::FuncId(0));
@@ -324,7 +338,7 @@ mod tests {
         let before = run(&m);
         assert_eq!(before, Some(10));
         mem2reg(&mut m);
-        verify::verify_module(&m).unwrap();
+        verify::verify_module(&m).expect("pass output must verify");
         assert_eq!(run(&m), before);
         let func = m.func(siro_ir::FuncId(0));
         let has_phi = func
@@ -369,7 +383,7 @@ mod tests {
         assert_eq!(run(&m), Some(10));
         let n = mem2reg(&mut m);
         assert_eq!(n, 2);
-        verify::verify_module(&m).unwrap();
+        verify::verify_module(&m).expect("pass output must verify");
         assert_eq!(run(&m), Some(10));
     }
 
@@ -408,10 +422,12 @@ mod tests {
         let w = b.and(v, ValueRef::const_int(i32t, 0));
         b.ret(Some(w));
         mem2reg(&mut m);
-        verify::verify_module(&m).unwrap();
+        verify::verify_module(&m).expect("pass output must verify");
         // Undef & 0 interprets as Undef in our semantics; the program still
         // runs to completion.
-        let o = Machine::new(&m).run_main().unwrap();
+        let o = Machine::new(&m)
+            .run_main()
+            .expect("interpreter must not fault");
         assert!(o.trap().is_none());
     }
 }

@@ -273,8 +273,14 @@ mod tests {
         crate::fold::fold_constants(&mut m);
         let removed = simplify_cfg(&mut m);
         assert!(removed >= 1, "removed {removed}");
-        verify::verify_module(&m).unwrap();
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(4));
+        verify::verify_module(&m).expect("pass output must verify");
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            Some(4)
+        );
         // dead removed, live merged into entry.
         assert_eq!(m.func(siro_ir::FuncId(0)).blocks.len(), 1);
     }
@@ -299,8 +305,14 @@ mod tests {
         b.ret(Some(ValueRef::const_int(i32t, 30)));
         let removed = simplify_cfg(&mut m);
         assert!(removed >= 2, "removed {removed}");
-        verify::verify_module(&m).unwrap();
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(20));
+        verify::verify_module(&m).expect("pass output must verify");
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            Some(20)
+        );
         assert_eq!(m.func(siro_ir::FuncId(0)).blocks.len(), 1);
     }
 
@@ -336,9 +348,15 @@ mod tests {
         b.ret(Some(p));
         crate::fold::fold_constants(&mut m);
         simplify_cfg(&mut m);
-        verify::verify_module(&m).unwrap();
+        verify::verify_module(&m).expect("pass output must verify");
         // The else edge died; the single-incoming phi collapsed to 7.
-        assert_eq!(Machine::new(&m).run_main().unwrap().return_int(), Some(7));
+        assert_eq!(
+            Machine::new(&m)
+                .run_main()
+                .expect("interpreter must not fault")
+                .return_int(),
+            Some(7)
+        );
         let func = m.func(siro_ir::FuncId(0));
         let any_phi = func
             .blocks

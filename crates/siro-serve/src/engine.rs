@@ -1,0 +1,254 @@
+//! Request execution: the code a worker thread runs for one request.
+//!
+//! The engine is deliberately free of any socket or queue knowledge so it
+//! can be exercised directly by unit tests and reused by the in-process
+//! `STATS` path. All IR work — parse, verify, translate, verify again,
+//! print — happens here, and every failure maps to a structured
+//! [`ErrorCode`] instead of a panic: a malformed served module must never
+//! take down a worker.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use siro_core::{ReferenceTranslator, Skeleton};
+use siro_ir::{parse, verify, write};
+
+use crate::coalesce::PairCoalescer;
+use crate::protocol::{ErrorCode, Request, Response, StageNanos, TranslateMode};
+use crate::stats::Metrics;
+
+/// Shared, thread-safe request executor.
+pub struct Engine {
+    coalescer: PairCoalescer,
+    metrics: Arc<Metrics>,
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+impl Engine {
+    /// Creates an engine publishing into `metrics`.
+    pub fn new(metrics: Arc<Metrics>) -> Self {
+        Engine {
+            coalescer: PairCoalescer::new(),
+            metrics,
+        }
+    }
+
+    /// The coalescer, for stats reporting.
+    pub fn coalescer(&self) -> &PairCoalescer {
+        &self.coalescer
+    }
+
+    /// Executes one already-dequeued request. `Stats` and `Shutdown` are
+    /// handled at the connection layer; a worker seeing them answers
+    /// `Internal` rather than crashing.
+    pub fn execute(&self, request: &Request) -> Response {
+        match request {
+            Request::Translate {
+                source,
+                target,
+                mode,
+                text,
+            } => self.translate(*source, *target, *mode, text),
+            Request::Ping { delay_ms } => {
+                if *delay_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(u64::from(*delay_ms)));
+                }
+                Response::Pong
+            }
+            Request::Stats | Request::Shutdown => err(
+                ErrorCode::Internal,
+                "control request routed to a worker thread",
+            ),
+        }
+    }
+
+    fn translate(
+        &self,
+        source: siro_ir::IrVersion,
+        target: siro_ir::IrVersion,
+        mode: TranslateMode,
+        text: &str,
+    ) -> Response {
+        let t_start = Instant::now();
+        self.metrics
+            .translations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+        // Parse + verify the incoming module; its `; IR version` header
+        // selects the dialect and must agree with the request's source.
+        let module = match parse::parse_module(text) {
+            Ok(m) => m,
+            Err(e) => return err(ErrorCode::Parse, format!("parsing request module: {e}")),
+        };
+        if module.version != source {
+            return err(
+                ErrorCode::Parse,
+                format!(
+                    "module text declares version {} but the request says {}",
+                    module.version, source
+                ),
+            );
+        }
+        if let Err(e) = verify::verify_module(&module) {
+            return err(ErrorCode::Verify, format!("request module: {e}"));
+        }
+        let parse_nanos = t_start.elapsed().as_nanos() as u64;
+
+        // Obtain a translator (possibly synthesizing, coalesced per pair).
+        let t_synth = Instant::now();
+        let skeleton = Skeleton::new(target);
+        let (translated, cache_hit, synth_nanos) = match mode {
+            TranslateMode::Reference => {
+                let r = skeleton.translate_module(&module, &ReferenceTranslator);
+                (r, false, 0)
+            }
+            TranslateMode::Synthesized => {
+                let lookup = match self.coalescer.translator_for(source, target) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        return err(
+                            ErrorCode::Synthesis,
+                            format!("synthesizing {source} -> {target}: {e}"),
+                        )
+                    }
+                };
+                let synth_nanos = t_synth.elapsed().as_nanos() as u64;
+                let r = skeleton.translate_module(&module, &lookup.outcome.translator);
+                (r, !lookup.fresh, synth_nanos)
+            }
+        };
+        let t_translate = Instant::now();
+        let translated = match translated {
+            Ok(m) => m,
+            Err(e) => {
+                return err(
+                    ErrorCode::Translate,
+                    format!("translating {source} -> {target}: {e}"),
+                )
+            }
+        };
+        if let Err(e) = verify::verify_module(&translated) {
+            return err(ErrorCode::Verify, format!("translated module: {e}"));
+        }
+        let translate_nanos = t_translate.duration_since(t_synth).as_nanos() as u64;
+
+        let text = write::write_module(&translated);
+        Response::TranslateOk {
+            cache_hit,
+            timings: StageNanos {
+                parse: parse_nanos,
+                synth: synth_nanos,
+                translate: translate_nanos,
+                total: t_start.elapsed().as_nanos() as u64,
+            },
+            text,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::IrVersion;
+
+    fn engine() -> Engine {
+        Engine::new(Arc::new(Metrics::default()))
+    }
+
+    fn sample_module(version: IrVersion) -> String {
+        let case = &siro_testcases::full_corpus()[0];
+        write::write_module(&case.build(version))
+    }
+
+    #[test]
+    fn reference_translation_matches_in_process() {
+        let e = engine();
+        let text = sample_module(IrVersion::V13_0);
+        let resp = e.execute(&Request::Translate {
+            source: IrVersion::V13_0,
+            target: IrVersion::V3_6,
+            mode: TranslateMode::Reference,
+            text: text.clone(),
+        });
+        let Response::TranslateOk {
+            text: served,
+            cache_hit,
+            timings,
+        } = resp
+        else {
+            panic!("expected TranslateOk, got {resp:?}");
+        };
+        assert!(!cache_hit);
+        assert!(timings.total >= timings.translate);
+        let module = parse::parse_module(&text).expect("reparse");
+        let expected = Skeleton::new(IrVersion::V3_6)
+            .translate_module(&module, &ReferenceTranslator)
+            .expect("in-process translation");
+        assert_eq!(served, write::write_module(&expected));
+    }
+
+    #[test]
+    fn malformed_module_is_a_parse_error_not_a_panic() {
+        let e = engine();
+        let resp = e.execute(&Request::Translate {
+            source: IrVersion::V13_0,
+            target: IrVersion::V3_6,
+            mode: TranslateMode::Reference,
+            text: "this is not ir".into(),
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::Parse,
+                    ..
+                }
+            ),
+            "got {resp:?}"
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_reported() {
+        let e = engine();
+        let resp = e.execute(&Request::Translate {
+            source: IrVersion::V12_0,
+            target: IrVersion::V3_6,
+            mode: TranslateMode::Reference,
+            text: sample_module(IrVersion::V13_0),
+        });
+        match resp {
+            Response::Error {
+                code: ErrorCode::Parse,
+                message,
+            } => assert!(message.contains("declares version"), "{message}"),
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_requests_do_not_reach_workers() {
+        let e = engine();
+        assert!(matches!(
+            e.execute(&Request::Stats),
+            Response::Error {
+                code: ErrorCode::Internal,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ping_pongs() {
+        assert_eq!(
+            engine().execute(&Request::Ping { delay_ms: 0 }),
+            Response::Pong
+        );
+    }
+}

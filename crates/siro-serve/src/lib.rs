@@ -1,0 +1,62 @@
+//! # siro-serve — the concurrent IR-translation service
+//!
+//! Siro's end product is a fleet of version-to-version translators;
+//! this crate serves them over TCP so many clients can share one
+//! process-wide [`siro_synth::TranslatorCache`]: translators are
+//! synthesized once and amortized across every subsequent request.
+//!
+//! * [`protocol`] — the length-prefixed binary wire protocol (documented
+//!   in `DESIGN.md` § "The siro-serve wire protocol");
+//! * [`queue`] — the bounded request queue whose `try_push` *rejects*
+//!   (`Busy`) instead of queuing unboundedly — backpressure by
+//!   construction;
+//! * [`pool`] — the fixed worker pool, sized by `SIRO_THREADS`;
+//! * [`engine`] — per-request execution (parse → verify → translate →
+//!   verify → print), panic-isolated per request;
+//! * [`coalesce`] — per-version-pair request coalescing: N concurrent
+//!   requests for the same cold pair run exactly one synthesis;
+//! * [`stats`] — lock-free metrics and the plaintext `STATS` page;
+//! * [`server`] — the accept loop, per-connection reader/writer threads,
+//!   timeouts, and graceful drain-on-shutdown;
+//! * [`client`] — a blocking client (used by `siro translate --remote`,
+//!   the loopback bench, and CI).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use siro_ir::IrVersion;
+//! use siro_serve::{Client, ServeConfig, TranslateMode};
+//!
+//! let handle = siro_serve::start(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+//! let out = client
+//!     .translate(
+//!         IrVersion::V13_0,
+//!         IrVersion::V3_6,
+//!         TranslateMode::Synthesized,
+//!         "; IR version 13.0\n…",
+//!     )
+//!     .unwrap();
+//! println!("{}", out.text);
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod coalesce;
+pub mod engine;
+pub mod pool;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, ClientError, Translated};
+pub use coalesce::{CoalesceTotals, PairCoalescer};
+pub use engine::Engine;
+pub use protocol::{ErrorCode, Request, Response, StageNanos, TranslateMode};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use stats::{stats_value, Metrics, MetricsSnapshot};

@@ -1,0 +1,177 @@
+//! The fixed worker pool draining the bounded queue.
+//!
+//! Sizing: `SIRO_THREADS` (via [`siro_synth::resolve_threads`]) unless the
+//! config pins an explicit count — the same knob that sizes synthesis
+//! fan-out, so one environment variable governs all CPU-bound
+//! parallelism. Workers execute translation jobs through the shared
+//! [`Engine`]; a panicking job is caught per-request and answered with an
+//! `Internal` error, so one poisoned module cannot take a worker (or the
+//! whole pool) down.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::engine::Engine;
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::queue::BoundedQueue;
+use crate::stats::Metrics;
+
+/// One unit of queued work: a decoded request plus the channel that routes
+/// its response back to the owning connection's writer.
+pub struct Job {
+    /// Echo id from the request frame.
+    pub id: u64,
+    /// The decoded request.
+    pub request: Request,
+    /// Where the response goes (the connection's writer thread).
+    pub reply: mpsc::Sender<(u64, Response)>,
+    /// When the connection enqueued the job (queue wait + execution are
+    /// both part of the served latency).
+    pub enqueued: Instant,
+}
+
+/// Handles to the running workers.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads draining `queue` through `engine`.
+    pub fn spawn(
+        workers: usize,
+        queue: Arc<BoundedQueue<Job>>,
+        engine: Arc<Engine>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let engine = Arc::clone(&engine);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("siro-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &engine, &metrics))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Waits for every worker to exit (the queue must be closed first).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &BoundedQueue<Job>, engine: &Engine, metrics: &Metrics) {
+    while let Some(job) = queue.pop() {
+        let response =
+            match std::panic::catch_unwind(AssertUnwindSafe(|| engine.execute(&job.request))) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let what = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".into());
+                    Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("worker panicked: {what}"),
+                    }
+                }
+            };
+        if matches!(&response, Response::Error { .. }) {
+            metrics.on_error();
+        } else {
+            metrics.on_ok(job.enqueued.elapsed());
+        }
+        // The connection may be gone (client hung up mid-flight); a dead
+        // channel just drops the response.
+        let _ = job.reply.send((job.id, response));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::TranslateMode;
+    use siro_ir::IrVersion;
+
+    fn pool_fixture(workers: usize, cap: usize) -> (Arc<BoundedQueue<Job>>, WorkerPool) {
+        let metrics = Arc::new(Metrics::default());
+        let engine = Arc::new(Engine::new(Arc::clone(&metrics)));
+        let queue = Arc::new(BoundedQueue::new(cap));
+        let pool = WorkerPool::spawn(workers, Arc::clone(&queue), engine, metrics);
+        (queue, pool)
+    }
+
+    #[test]
+    fn pool_executes_jobs_and_drains_on_close() {
+        let (queue, pool) = pool_fixture(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for id in 0..5u64 {
+            queue
+                .try_push(Job {
+                    id,
+                    request: Request::Ping { delay_ms: 0 },
+                    reply: tx.clone(),
+                    enqueued: Instant::now(),
+                })
+                .unwrap_or_else(|_| panic!("queue full"));
+        }
+        drop(tx);
+        queue.close();
+        pool.join();
+        let mut ids: Vec<u64> = rx
+            .iter()
+            .map(|(id, r)| {
+                assert_eq!(r, Response::Pong);
+                id
+            })
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bad_module_yields_error_response_and_pool_survives() {
+        let (queue, pool) = pool_fixture(1, 4);
+        let (tx, rx) = mpsc::channel();
+        let bad = Job {
+            id: 1,
+            request: Request::Translate {
+                source: IrVersion::V13_0,
+                target: IrVersion::V3_6,
+                mode: TranslateMode::Reference,
+                text: "garbage".into(),
+            },
+            reply: tx.clone(),
+            enqueued: Instant::now(),
+        };
+        let good = Job {
+            id: 2,
+            request: Request::Ping { delay_ms: 0 },
+            reply: tx.clone(),
+            enqueued: Instant::now(),
+        };
+        queue.try_push(bad).unwrap_or_else(|_| panic!("push"));
+        queue.try_push(good).unwrap_or_else(|_| panic!("push"));
+        drop(tx);
+        queue.close();
+        pool.join();
+        let responses: Vec<(u64, Response)> = rx.iter().collect();
+        assert_eq!(responses.len(), 2);
+        assert!(matches!(
+            responses[0].1,
+            Response::Error {
+                code: ErrorCode::Parse,
+                ..
+            }
+        ));
+        assert_eq!(responses[1].1, Response::Pong);
+    }
+}

@@ -1,0 +1,690 @@
+//! The `siro-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! +------------+---------------------------------------------+
+//! | u32 length | payload (exactly `length` bytes)            |
+//! +------------+---------------------------------------------+
+//! ```
+//!
+//! All integers are big-endian. The payload starts with a fixed header:
+//!
+//! ```text
+//! magic  b"SIRO"      4 bytes
+//! proto  u8           protocol version, currently 1
+//! kind   u8           message kind (see below)
+//! id     u64          request id, echoed verbatim in the response
+//! ```
+//!
+//! Requests and responses share the framing; responses set the high bit
+//! of the request kind (`0x81` answers `0x01`, …) except for the generic
+//! error response `0xEE`. Frames larger than [`MAX_FRAME`] are rejected
+//! before allocation, so a malicious length prefix cannot OOM the server.
+//!
+//! | kind | direction | body |
+//! |---|---|---|
+//! | `0x01` Translate | → | src `u16.u16`, tgt `u16.u16`, mode `u8`, module text |
+//! | `0x02` Stats | → | empty |
+//! | `0x03` Ping | → | `u32` artificial delay in ms (diagnostics / tests) |
+//! | `0x04` Shutdown | → | empty |
+//! | `0x81` TranslateOk | ← | flags `u8`, 4 × `u64` stage nanos, module text |
+//! | `0x82` StatsOk | ← | plaintext stats body |
+//! | `0x83` Pong | ← | empty |
+//! | `0x84` ShutdownOk | ← | empty |
+//! | `0xEE` Error | ← | code `u8`, message |
+//!
+//! Strings are `u32` length + UTF-8 bytes. `mode` is `0` for the built-in
+//! reference translator, `1` for a corpus-synthesized translator (served
+//! through the process-wide `TranslatorCache`).
+
+use std::io::{self, Read, Write};
+
+use siro_ir::IrVersion;
+
+/// Magic bytes opening every payload.
+pub const MAGIC: [u8; 4] = *b"SIRO";
+/// Wire protocol version.
+pub const PROTO_VERSION: u8 = 1;
+/// Upper bound on one frame's payload (16 MiB).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Whether to translate with the reference translator or a synthesized one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateMode {
+    /// The hand-written [`siro_core::ReferenceTranslator`].
+    Reference,
+    /// A corpus-synthesized translator, memoized in the `TranslatorCache`.
+    Synthesized,
+}
+
+impl TranslateMode {
+    fn to_byte(self) -> u8 {
+        match self {
+            TranslateMode::Reference => 0,
+            TranslateMode::Synthesized => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtocolError> {
+        match b {
+            0 => Ok(TranslateMode::Reference),
+            1 => Ok(TranslateMode::Synthesized),
+            other => Err(ProtocolError::Malformed(format!(
+                "unknown translate mode {other}"
+            ))),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Translate a textual IR module from `source` to `target`.
+    Translate {
+        /// Version the module text is written in (validated server-side
+        /// against the module's own version comment).
+        source: IrVersion,
+        /// Version to translate to.
+        target: IrVersion,
+        /// Reference or synthesized translator.
+        mode: TranslateMode,
+        /// The module in Siro's textual IR format.
+        text: String,
+    },
+    /// Fetch the plaintext stats page.
+    Stats,
+    /// Liveness probe; `delay_ms` stalls the worker on purpose (used by
+    /// the backpressure tests and latency calibration).
+    Ping {
+        /// Artificial in-worker delay.
+        delay_ms: u32,
+    },
+    /// Ask the server to drain in-flight requests and exit.
+    Shutdown,
+}
+
+/// Structured error codes a server can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The bounded request queue is full — retry later.
+    Busy = 1,
+    /// The request frame did not decode.
+    Malformed = 2,
+    /// The module text did not parse.
+    Parse = 3,
+    /// The module (input or output) failed verification.
+    Verify = 4,
+    /// The requested version pair is not serveable.
+    Unsupported = 5,
+    /// Translator synthesis failed for the requested pair.
+    Synthesis = 6,
+    /// The translation itself failed.
+    Translate = 7,
+    /// The server is draining for shutdown.
+    ShuttingDown = 8,
+    /// A worker panicked or another internal invariant broke.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    fn from_byte(b: u8) -> Result<Self, ProtocolError> {
+        Ok(match b {
+            1 => ErrorCode::Busy,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::Parse,
+            4 => ErrorCode::Verify,
+            5 => ErrorCode::Unsupported,
+            6 => ErrorCode::Synthesis,
+            7 => ErrorCode::Translate,
+            8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::Internal,
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown error code {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Verify => "verify",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Synthesis => "synthesis",
+            ErrorCode::Translate => "translate",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-request stage timings reported back to the client, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Parsing + verifying the incoming text.
+    pub parse: u64,
+    /// Obtaining the translator (≈0 on a cache hit; the synthesis wall
+    /// clock on a cold synthesized request; 0 in reference mode).
+    pub synth: u64,
+    /// Running the translation skeleton.
+    pub translate: u64,
+    /// End-to-end time inside the worker (parse → rendered response).
+    pub total: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Successful translation.
+    TranslateOk {
+        /// Whether the translator came out of the `TranslatorCache`
+        /// (always `false` in reference mode).
+        cache_hit: bool,
+        /// Per-stage worker timings.
+        timings: StageNanos,
+        /// The translated module, printed in the target dialect.
+        text: String,
+    },
+    /// The plaintext stats page.
+    StatsOk {
+        /// `key value` lines, one metric per line.
+        text: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Shutdown acknowledged; the server drains and exits afterwards.
+    ShutdownOk,
+    /// Any failure, including backpressure ([`ErrorCode::Busy`]).
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Decode/IO failures while reading or writing frames.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// Structurally invalid payload.
+    Malformed(String),
+    /// Length prefix exceeded [`MAX_FRAME`].
+    FrameTooLarge(usize),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o: {e}"),
+            ProtocolError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+// ---- primitive encoders -------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_version(out: &mut Vec<u8>, v: IrVersion) {
+    put_u16(out, v.major());
+    put_u16(out, v.minor());
+}
+
+/// Cursor over a received payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ProtocolError::Malformed("truncated payload".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Malformed("string is not UTF-8".into()))
+    }
+
+    fn version(&mut self) -> Result<IrVersion, ProtocolError> {
+        Ok(IrVersion::new(self.u16()?, self.u16()?))
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+const KIND_TRANSLATE: u8 = 0x01;
+const KIND_STATS: u8 = 0x02;
+const KIND_PING: u8 = 0x03;
+const KIND_SHUTDOWN: u8 = 0x04;
+const KIND_TRANSLATE_OK: u8 = 0x81;
+const KIND_STATS_OK: u8 = 0x82;
+const KIND_PONG: u8 = 0x83;
+const KIND_SHUTDOWN_OK: u8 = 0x84;
+const KIND_ERROR: u8 = 0xEE;
+
+fn header(kind: u8, id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTO_VERSION);
+    out.push(kind);
+    put_u64(&mut out, id);
+    out
+}
+
+fn parse_header(r: &mut Reader<'_>) -> Result<(u8, u64), ProtocolError> {
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(ProtocolError::Malformed("bad magic".into()));
+    }
+    let proto = r.u8()?;
+    if proto != PROTO_VERSION {
+        return Err(ProtocolError::Malformed(format!(
+            "protocol version {proto} (this build speaks {PROTO_VERSION})"
+        )));
+    }
+    let kind = r.u8()?;
+    let id = r.u64()?;
+    Ok((kind, id))
+}
+
+impl Request {
+    /// Serializes the request (with its echo id) into a payload.
+    pub fn encode(&self, id: u64) -> Vec<u8> {
+        match self {
+            Request::Translate {
+                source,
+                target,
+                mode,
+                text,
+            } => {
+                let mut out = header(KIND_TRANSLATE, id);
+                put_version(&mut out, *source);
+                put_version(&mut out, *target);
+                out.push(mode.to_byte());
+                put_str(&mut out, text);
+                out
+            }
+            Request::Stats => header(KIND_STATS, id),
+            Request::Ping { delay_ms } => {
+                let mut out = header(KIND_PING, id);
+                put_u32(&mut out, *delay_ms);
+                out
+            }
+            Request::Shutdown => header(KIND_SHUTDOWN, id),
+        }
+    }
+
+    /// Decodes a request payload, returning it with its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on any structural problem.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
+        let mut r = Reader::new(payload);
+        let (kind, id) = parse_header(&mut r)?;
+        let req = match kind {
+            KIND_TRANSLATE => {
+                let source = r.version()?;
+                let target = r.version()?;
+                let mode = TranslateMode::from_byte(r.u8()?)?;
+                let text = r.string()?;
+                Request::Translate {
+                    source,
+                    target,
+                    mode,
+                    text,
+                }
+            }
+            KIND_STATS => Request::Stats,
+            KIND_PING => Request::Ping { delay_ms: r.u32()? },
+            KIND_SHUTDOWN => Request::Shutdown,
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown request kind {other:#04x}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok((id, req))
+    }
+}
+
+impl Response {
+    /// Serializes the response (echoing `id`) into a payload.
+    pub fn encode(&self, id: u64) -> Vec<u8> {
+        match self {
+            Response::TranslateOk {
+                cache_hit,
+                timings,
+                text,
+            } => {
+                let mut out = header(KIND_TRANSLATE_OK, id);
+                out.push(u8::from(*cache_hit));
+                put_u64(&mut out, timings.parse);
+                put_u64(&mut out, timings.synth);
+                put_u64(&mut out, timings.translate);
+                put_u64(&mut out, timings.total);
+                put_str(&mut out, text);
+                out
+            }
+            Response::StatsOk { text } => {
+                let mut out = header(KIND_STATS_OK, id);
+                put_str(&mut out, text);
+                out
+            }
+            Response::Pong => header(KIND_PONG, id),
+            Response::ShutdownOk => header(KIND_SHUTDOWN_OK, id),
+            Response::Error { code, message } => {
+                let mut out = header(KIND_ERROR, id);
+                out.push(*code as u8);
+                put_str(&mut out, message);
+                out
+            }
+        }
+    }
+
+    /// Decodes a response payload, returning it with its echoed id.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on any structural problem.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Response), ProtocolError> {
+        let mut r = Reader::new(payload);
+        let (kind, id) = parse_header(&mut r)?;
+        let resp = match kind {
+            KIND_TRANSLATE_OK => {
+                let cache_hit = r.u8()? != 0;
+                let timings = StageNanos {
+                    parse: r.u64()?,
+                    synth: r.u64()?,
+                    translate: r.u64()?,
+                    total: r.u64()?,
+                };
+                let text = r.string()?;
+                Response::TranslateOk {
+                    cache_hit,
+                    timings,
+                    text,
+                }
+            }
+            KIND_STATS_OK => Response::StatsOk { text: r.string()? },
+            KIND_PONG => Response::Pong,
+            KIND_SHUTDOWN_OK => Response::ShutdownOk,
+            KIND_ERROR => Response::Error {
+                code: ErrorCode::from_byte(r.u8()?)?,
+                message: r.string()?,
+            },
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown response kind {other:#04x}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok((id, resp))
+    }
+}
+
+// ---- framing ------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`ProtocolError::FrameTooLarge`] when the payload exceeds [`MAX_FRAME`],
+/// otherwise the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
+    if payload.len() > MAX_FRAME {
+        return Err(ProtocolError::FrameTooLarge(payload.len()));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Outcome of [`read_frame`].
+pub enum FrameRead {
+    /// A complete payload.
+    Payload(Vec<u8>),
+    /// The peer closed the connection cleanly (EOF before any byte).
+    Eof,
+    /// The read timed out before *any* byte of the next frame arrived —
+    /// the connection is merely idle, not broken.
+    Idle,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one length-prefixed frame.
+///
+/// A timeout before the first byte of the length prefix maps to
+/// [`FrameRead::Idle`]; a timeout (or EOF) in the middle of a frame is a
+/// hard error, because the stream is no longer in sync.
+///
+/// # Errors
+///
+/// [`ProtocolError::FrameTooLarge`] for an oversized length prefix,
+/// [`ProtocolError::Io`] for mid-frame failures.
+pub fn read_frame(r: &mut impl Read) -> Result<FrameRead, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(ProtocolError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) && got == 0 => return Ok(FrameRead::Idle),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(ProtocolError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame payload",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(FrameRead::Payload(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Translate {
+                source: IrVersion::V13_0,
+                target: IrVersion::V3_6,
+                mode: TranslateMode::Synthesized,
+                text: "define i32 @main() {\n}\n".into(),
+            },
+            Request::Stats,
+            Request::Ping { delay_ms: 250 },
+            Request::Shutdown,
+        ];
+        for (i, req) in cases.into_iter().enumerate() {
+            let id = 1000 + i as u64;
+            let (got_id, got) = Request::decode(&req.encode(id)).expect("decode");
+            assert_eq!(got_id, id);
+            assert_eq!(got, req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = [
+            Response::TranslateOk {
+                cache_hit: true,
+                timings: StageNanos {
+                    parse: 1,
+                    synth: 2,
+                    translate: 3,
+                    total: 7,
+                },
+                text: "; IR version 3.6\n".into(),
+            },
+            Response::StatsOk {
+                text: "requests_total 5\n".into(),
+            },
+            Response::Pong,
+            Response::ShutdownOk,
+            Response::Error {
+                code: ErrorCode::Busy,
+                message: "queue full".into(),
+            },
+        ];
+        for (i, resp) in cases.into_iter().enumerate() {
+            let id = 42 + i as u64;
+            let (got_id, got) = Response::decode(&resp.encode(id)).expect("decode");
+            assert_eq!(got_id, id);
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_trailing_bytes_are_rejected() {
+        let mut payload = Request::Stats.encode(1);
+        payload[0] = b'X';
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ProtocolError::Malformed(_))
+        ));
+        let mut ok = Request::Stats.encode(1);
+        ok.push(0);
+        assert!(matches!(
+            Request::decode(&ok),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0, 0];
+        assert!(matches!(
+            read_frame(&mut buf),
+            Err(ProtocolError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let payload = Request::Ping { delay_ms: 9 }.encode(77);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        let mut cursor: &[u8] = &wire;
+        match read_frame(&mut cursor).expect("read") {
+            FrameRead::Payload(p) => assert_eq!(p, payload),
+            _ => panic!("expected payload"),
+        }
+        match read_frame(&mut cursor).expect("read eof") {
+            FrameRead::Eof => {}
+            _ => panic!("expected eof"),
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! A bounded MPMC work queue with *rejecting* backpressure.
+//!
+//! The server never blocks a connection thread on a full queue — that
+//! would push the backlog into the kernel's socket buffers where it is
+//! invisible. Instead [`BoundedQueue::try_push`] fails fast with
+//! [`PushError::Full`] and the connection answers `Busy`, keeping the
+//! queue depth (and therefore tail latency) bounded by construction.
+//!
+//! Closing the queue stops new work but lets consumers drain what is
+//! already queued — the graceful-shutdown contract.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed for new work; the item is handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; both return the item to the caller.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means "no more work ever" and consumers exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, queued items still drain.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_recovers_after_pop() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("first");
+        q.try_push(2).expect("second");
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).expect("freed slot");
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").expect("push");
+        q.try_push("b").expect("push");
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        // Give the consumer time to park, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().expect("join"), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_item_count() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let mut producers = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                let mut accepted = 0u64;
+                for i in 0..100 {
+                    if q.try_push(t * 1000 + i).is_ok() {
+                        accepted += 1;
+                    }
+                }
+                accepted
+            }));
+        }
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while q.pop().is_some() {
+                    seen += 1;
+                }
+                seen
+            })
+        };
+        let accepted: u64 = producers
+            .into_iter()
+            .map(|h| h.join().expect("producer"))
+            .sum();
+        q.close();
+        let seen = consumer.join().expect("consumer");
+        assert_eq!(accepted, seen);
+    }
+}

@@ -1,0 +1,400 @@
+//! The TCP server: accept loop, connection threads, graceful shutdown.
+//!
+//! Thread model:
+//!
+//! * one **acceptor** thread owns the `TcpListener`;
+//! * one **reader** + one **writer** thread per connection — readers
+//!   decode frames and enqueue [`Job`]s (or answer `Busy` when the
+//!   bounded queue rejects), writers serialize responses back onto the
+//!   socket, so a connection can keep many requests in flight (pipelined
+//!   batching) and responses return as soon as a worker finishes them;
+//! * a fixed pool of **worker** threads (see [`crate::pool`]) executes
+//!   the CPU-bound translation work.
+//!
+//! Shutdown (via [`ServerHandle::request_shutdown`] or a wire `Shutdown`
+//! frame) stops the acceptor, closes the queue for new work, lets workers
+//! drain what is already queued, and joins every thread before
+//! [`ServerHandle::wait`] returns — in-flight requests are answered, new
+//! ones get `ShuttingDown`.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::Engine;
+use crate::pool::{Job, WorkerPool};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameRead, ProtocolError, Request, Response,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::{render_stats, Metrics};
+
+/// Server configuration. `Default` is suitable for tests and local use.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:4799`; port `0` picks a free one.
+    pub addr: String,
+    /// Worker threads; `None` defers to `SIRO_THREADS` /
+    /// `available_parallelism` via [`siro_synth::resolve_threads`].
+    pub threads: Option<usize>,
+    /// Bounded queue capacity; pushes beyond it answer `Busy`.
+    pub queue_capacity: usize,
+    /// Per-connection socket read timeout. Readers wake at this cadence
+    /// to notice shutdown, and a peer stalling *mid-frame* longer than
+    /// this is disconnected.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout; a peer not draining its
+    /// responses for longer than this is disconnected.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: None,
+            queue_capacity: 64,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    addr: SocketAddr,
+    queue: Arc<BoundedQueue<Job>>,
+    engine: Arc<Engine>,
+    metrics: Arc<Metrics>,
+    workers: usize,
+    shutting_down: AtomicBool,
+    shutdown_cv: (Mutex<bool>, Condvar),
+}
+
+impl Shared {
+    fn signal_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection; it re-checks
+        // the flag after every accept.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        let (lock, cv) = &self.shutdown_cv;
+        *lock.lock().expect("shutdown cv poisoned") = true;
+        cv.notify_all();
+    }
+
+    fn stats_page(&self) -> String {
+        let totals = self.engine.coalescer().totals();
+        render_stats(
+            &self.metrics,
+            self.queue.len(),
+            self.queue.capacity(),
+            self.workers,
+            totals.syntheses,
+            totals.coalesced,
+        )
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`ServerHandle::shutdown`] (or send a wire `Shutdown` frame and then
+/// [`ServerHandle::wait`]).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Worker threads serving requests.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Capacity of the bounded request queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// The live metrics (shared with the workers).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// The engine, exposing the per-pair coalescing counters.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// The plaintext stats page, rendered in-process (same code path as
+    /// the wire `STATS` endpoint).
+    pub fn stats_page(&self) -> String {
+        self.shared.stats_page()
+    }
+
+    /// Signals shutdown without waiting (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shared.signal_shutdown();
+    }
+
+    /// Blocks until shutdown is signalled — by [`Self::request_shutdown`]
+    /// or a wire `Shutdown` frame — then drains in-flight work and joins
+    /// every thread.
+    pub fn wait(mut self) {
+        {
+            let (lock, cv) = &self.shared.shutdown_cv;
+            let mut signalled = lock.lock().expect("shutdown cv poisoned");
+            while !*signalled {
+                signalled = cv.wait(signalled).expect("shutdown cv poisoned");
+            }
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // No new connections now. Readers notice the flag within one read
+        // timeout and stop enqueuing; close the queue so workers exit once
+        // the backlog is drained (close still drains queued jobs).
+        self.shared.queue.close();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// [`Self::request_shutdown`] + [`Self::wait`].
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.wait();
+    }
+}
+
+/// Binds the listener, spawns the pool and the acceptor, and returns.
+///
+/// # Errors
+///
+/// Propagates binding failures.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config
+        .threads
+        .filter(|&n| n > 0)
+        .unwrap_or_else(siro_synth::resolve_threads);
+    let metrics = Arc::new(Metrics::default());
+    let engine = Arc::new(Engine::new(Arc::clone(&metrics)));
+    let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let shared = Arc::new(Shared {
+        config,
+        addr,
+        queue: Arc::clone(&queue),
+        engine: Arc::clone(&engine),
+        metrics: Arc::clone(&metrics),
+        workers,
+        shutting_down: AtomicBool::new(false),
+        shutdown_cv: (Mutex::new(false), Condvar::new()),
+    });
+    let pool = WorkerPool::spawn(workers, queue, engine, metrics);
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let connections = Arc::clone(&connections);
+        std::thread::Builder::new()
+            .name("siro-serve-acceptor".into())
+            .spawn(move || accept_loop(&listener, &shared, &connections))
+            .expect("spawning acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        pool: Some(pool),
+        connections,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("siro-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &shared);
+            })
+            .expect("spawning connection thread");
+        connections
+            .lock()
+            .expect("connection list poisoned")
+            .push(handle);
+    }
+}
+
+/// Reader half of one connection. Spawns the writer, decodes frames,
+/// enqueues work, answers control requests inline.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<(), ProtocolError> {
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+
+    // All responses — worker results and inline control answers — funnel
+    // through one channel into the writer thread, which owns the write
+    // half. The writer exits when every sender (reader + queued jobs) is
+    // gone.
+    let (tx, rx) = mpsc::channel::<(u64, Response)>();
+    let writer = std::thread::Builder::new()
+        .name("siro-serve-conn-writer".into())
+        .spawn(move || {
+            let mut stream = stream;
+            for (id, response) in rx {
+                if write_frame(&mut stream, &response.encode(id)).is_err() {
+                    // Peer gone or write timeout: stop writing; remaining
+                    // responses drain into the disconnected channel.
+                    break;
+                }
+            }
+            let _ = stream.flush();
+        })
+        .expect("spawning connection writer");
+
+    let result = reader_loop(&mut reader, shared, &tx);
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+fn reader_loop(
+    reader: &mut TcpStream,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<(u64, Response)>,
+) -> Result<(), ProtocolError> {
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match read_frame(reader) {
+            Ok(FrameRead::Payload(p)) => p,
+            Ok(FrameRead::Eof) => return Ok(()),
+            Ok(FrameRead::Idle) => continue, // timeout between frames: poll shutdown
+            Err(e) => {
+                // Tell the peer what went wrong if the socket still works,
+                // then drop the connection: after a framing error the
+                // stream can no longer be trusted to be in sync.
+                let msg = e.to_string();
+                let _ = tx.send((
+                    0,
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: msg,
+                    },
+                ));
+                return Err(e);
+            }
+        };
+        shared.metrics.on_request();
+        let (id, request) = match Request::decode(&payload) {
+            Ok(ok) => ok,
+            Err(e) => {
+                shared.metrics.on_error();
+                let _ = tx.send((
+                    0,
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                ));
+                // Decoding failed on a *complete* frame — framing is still
+                // intact, so keep the connection.
+                continue;
+            }
+        };
+        match request {
+            // Control plane: answered inline so they work (and stay fast)
+            // even when every worker is busy or the queue is full.
+            Request::Stats => {
+                shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((
+                    id,
+                    Response::StatsOk {
+                        text: shared.stats_page(),
+                    },
+                ));
+            }
+            Request::Shutdown => {
+                shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((id, Response::ShutdownOk));
+                shared.signal_shutdown();
+                return Ok(());
+            }
+            // Data plane: through the bounded queue.
+            request @ (Request::Translate { .. } | Request::Ping { .. }) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    shared.metrics.on_error();
+                    let _ = tx.send((
+                        id,
+                        Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is draining".into(),
+                        },
+                    ));
+                    return Ok(());
+                }
+                let job = Job {
+                    id,
+                    request,
+                    reply: tx.clone(),
+                    enqueued: Instant::now(),
+                };
+                match shared.queue.try_push(job) {
+                    Ok(()) => {}
+                    Err(PushError::Full(job)) => {
+                        shared.metrics.on_busy();
+                        let _ = tx.send((
+                            job.id,
+                            Response::Error {
+                                code: ErrorCode::Busy,
+                                message: format!(
+                                    "queue full ({} pending)",
+                                    shared.queue.capacity()
+                                ),
+                            },
+                        ));
+                    }
+                    Err(PushError::Closed(job)) => {
+                        shared.metrics.on_error();
+                        let _ = tx.send((
+                            job.id,
+                            Response::Error {
+                                code: ErrorCode::ShuttingDown,
+                                message: "server is draining".into(),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

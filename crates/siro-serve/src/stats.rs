@@ -1,0 +1,229 @@
+//! Server metrics and the plaintext `STATS` page.
+//!
+//! All counters are lock-free atomics so the hot path never contends on
+//! the stats. Latency goes into a power-of-two bucketed histogram
+//! (microsecond resolution, 40 buckets ≈ 18 minutes of range); p50/p99
+//! are read from the bucket boundaries, which is exact enough for a
+//! serving dashboard and needs no allocation or sorting.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use siro_synth::TranslatorCache;
+
+const BUCKETS: usize = 40;
+
+/// Power-of-two latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(us: u64) -> usize {
+        // Bucket i holds [2^i, 2^(i+1)) microseconds; 0 µs lands in bucket 0.
+        (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bucket bound (µs) below which `q` of the samples fall;
+    /// `None` before the first sample. `q` is clamped to `0.0..=1.0`.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Process-lifetime serving counters. One instance per server, shared by
+/// every connection and worker thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests read off the wire (any kind, before queueing).
+    pub requests_total: AtomicU64,
+    /// Requests answered with a success response.
+    pub requests_ok: AtomicU64,
+    /// Requests rejected with `Busy` by the bounded queue.
+    pub requests_busy: AtomicU64,
+    /// Requests answered with any other error.
+    pub requests_error: AtomicU64,
+    /// Translate requests executed by workers.
+    pub translations: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Worker-side latency of completed requests.
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a request read off the wire.
+    pub fn on_request(&self) {
+        Self::add(&self.requests_total, 1);
+    }
+
+    /// Counts a success and its latency.
+    pub fn on_ok(&self, latency: Duration) {
+        Self::add(&self.requests_ok, 1);
+        self.latency.record(latency);
+    }
+
+    /// Counts a backpressure rejection.
+    pub fn on_busy(&self) {
+        Self::add(&self.requests_busy, 1);
+    }
+
+    /// Counts a non-busy error response.
+    pub fn on_error(&self) {
+        Self::add(&self.requests_error, 1);
+    }
+
+    /// Immutable copy of the counters, for JSON dumps and assertions.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_busy: self.requests_busy.load(Ordering::Relaxed),
+            requests_error: self.requests_error.load(Ordering::Relaxed),
+            translations: self.translations.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            latency_p50_us: self.latency.quantile_us(0.50),
+            latency_p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// Point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests_total`].
+    pub requests_total: u64,
+    /// See [`Metrics::requests_ok`].
+    pub requests_ok: u64,
+    /// See [`Metrics::requests_busy`].
+    pub requests_busy: u64,
+    /// See [`Metrics::requests_error`].
+    pub requests_error: u64,
+    /// See [`Metrics::translations`].
+    pub translations: u64,
+    /// See [`Metrics::connections`].
+    pub connections: u64,
+    /// p50 latency in µs (bucket upper bound), if any sample exists.
+    pub latency_p50_us: Option<u64>,
+    /// p99 latency in µs (bucket upper bound), if any sample exists.
+    pub latency_p99_us: Option<u64>,
+}
+
+/// Renders the plaintext `STATS` page: one `key value` per line, stable
+/// keys, so it is trivially greppable from CI and shell scripts.
+pub fn render_stats(
+    metrics: &Metrics,
+    queue_depth: usize,
+    queue_capacity: usize,
+    workers: usize,
+    pairs_synthesized: u64,
+    coalesced_waiters: u64,
+) -> String {
+    let m = metrics.snapshot();
+    let cache = TranslatorCache::snapshot();
+    let mut out = String::with_capacity(512);
+    let mut line = |k: &str, v: u64| {
+        let _ = writeln!(out, "{k} {v}");
+    };
+    line("requests_total", m.requests_total);
+    line("requests_ok", m.requests_ok);
+    line("requests_busy", m.requests_busy);
+    line("requests_error", m.requests_error);
+    line("translations", m.translations);
+    line("connections", m.connections);
+    line("queue_depth", queue_depth as u64);
+    line("queue_capacity", queue_capacity as u64);
+    line("workers", workers as u64);
+    line("latency_p50_us", m.latency_p50_us.unwrap_or(0));
+    line("latency_p99_us", m.latency_p99_us.unwrap_or(0));
+    line("cache_hits", cache.hits);
+    line("cache_misses", cache.misses);
+    line("cache_entries", cache.entries as u64);
+    line("cache_failures", cache.failures as u64);
+    line("pairs_synthesized", pairs_synthesized);
+    line("coalesced_waiters", coalesced_waiters);
+    out
+}
+
+/// Parses one `key value` line back out of a rendered stats page.
+pub fn stats_value(page: &str, key: &str) -> Option<u64> {
+    page.lines().find_map(|l| {
+        let (k, v) = l.split_once(' ')?;
+        (k == key).then(|| v.trim().parse().ok())?
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile_us(0.50).expect("p50");
+        let p99 = h.quantile_us(0.99).expect("p99");
+        // 1 ms = 1000 µs lives in [512, 1024); 100 ms in [65536, 131072).
+        assert!((1024..=2048).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 131072, "p99 = {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn stats_page_is_greppable() {
+        let m = Metrics::default();
+        m.on_request();
+        m.on_ok(Duration::from_micros(300));
+        let page = render_stats(&m, 3, 64, 8, 2, 5);
+        assert_eq!(stats_value(&page, "requests_total"), Some(1));
+        assert_eq!(stats_value(&page, "queue_depth"), Some(3));
+        assert_eq!(stats_value(&page, "queue_capacity"), Some(64));
+        assert_eq!(stats_value(&page, "workers"), Some(8));
+        assert_eq!(stats_value(&page, "pairs_synthesized"), Some(2));
+        assert_eq!(stats_value(&page, "coalesced_waiters"), Some(5));
+        assert_eq!(stats_value(&page, "no_such_key"), None);
+    }
+}

@@ -1,0 +1,301 @@
+//! End-to-end tests over a real loopback socket: byte-identical
+//! translation, request coalescing, backpressure, pipelining, error
+//! mapping, and graceful shutdown.
+//!
+//! Each test starts its own server on an ephemeral port, so the tests are
+//! independent and can run concurrently. The `TranslatorCache` is
+//! process-global, so tests that assert cold-pair behaviour each reserve
+//! a version pair no other test in this binary touches.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use siro_core::{ReferenceTranslator, Skeleton};
+use siro_ir::{parse, write, IrVersion};
+use siro_serve::{
+    stats_value, Client, ClientError, ErrorCode, Response, ServeConfig, TranslateMode,
+};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The `TranslatorCache` counters are process-global, and several tests
+/// below assert *exact* deltas on them — so the tests in this binary run
+/// one at a time.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn start_server(threads: usize, queue: usize) -> siro_serve::ServerHandle {
+    siro_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: Some(threads),
+        queue_capacity: queue,
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_secs(10),
+    })
+    .expect("server must bind an ephemeral port")
+}
+
+fn corpus_module_text(version: IrVersion, target: IrVersion, index: usize) -> String {
+    let usable: Vec<_> = siro_testcases::full_corpus()
+        .into_iter()
+        .filter(|c| c.usable_for_pair(version, target))
+        .collect();
+    write::write_module(&usable[index % usable.len()].build(version))
+}
+
+/// Acceptance: a module translated over the socket is byte-identical to
+/// the same translation done in-process, for two version pairs and both
+/// translator modes.
+#[test]
+fn served_translation_is_byte_identical_to_in_process() {
+    let _serial = serial();
+    let handle = start_server(2, 32);
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let pairs = [
+        (IrVersion::V13_0, IrVersion::V3_6),
+        (IrVersion::V12_0, IrVersion::V3_0),
+    ];
+    for (src, tgt) in pairs {
+        for index in 0..3 {
+            let text = corpus_module_text(src, tgt, index);
+            let module = parse::parse_module(&text).expect("local parse");
+
+            // Reference mode vs in-process reference translation.
+            let served = client
+                .translate(src, tgt, TranslateMode::Reference, text.clone())
+                .expect("served reference translation");
+            let local = Skeleton::new(tgt)
+                .translate_module(&module, &ReferenceTranslator)
+                .expect("local reference translation");
+            assert_eq!(
+                served.text,
+                write::write_module(&local),
+                "reference {src} -> {tgt} case {index} must match byte-for-byte"
+            );
+
+            // Synthesized mode vs in-process synthesized translation
+            // (sharing the same process-wide TranslatorCache).
+            let served = client
+                .translate(src, tgt, TranslateMode::Synthesized, text.clone())
+                .expect("served synthesized translation");
+            let outcome = siro_bench_corpus_outcome(src, tgt);
+            let local = Skeleton::new(tgt)
+                .translate_module(&module, &outcome.translator)
+                .expect("local synthesized translation");
+            assert_eq!(
+                served.text,
+                write::write_module(&local),
+                "synthesized {src} -> {tgt} case {index} must match byte-for-byte"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+/// The same corpus + config the server uses, so the cache key matches and
+/// the in-process comparison exercises the *same* translator.
+fn siro_bench_corpus_outcome(src: IrVersion, tgt: IrVersion) -> Arc<siro_synth::SynthesisOutcome> {
+    let tests: Vec<siro_synth::OracleTest> = siro_testcases::corpus_for_pair(src, tgt)
+        .into_iter()
+        .map(|c| siro_synth::OracleTest {
+            name: c.name.to_string(),
+            module: c.build(src),
+            oracle: c.oracle,
+        })
+        .collect();
+    siro_synth::TranslatorCache::get_or_synthesize(
+        siro_synth::SynthesisConfig::new(src, tgt),
+        &tests,
+    )
+    .expect("synthesis")
+}
+
+/// Acceptance: M concurrent cold requests for one pair → exactly one
+/// synthesis, observable in the server's coalescing counters and the
+/// cache counters on the STATS page.
+#[test]
+fn concurrent_cold_requests_coalesce_into_one_synthesis() {
+    let _serial = serial();
+    // Reserved pair: no other test in this binary synthesizes 14.0 -> 3.6.
+    let (src, tgt) = (IrVersion::V14_0, IrVersion::V3_6);
+    let handle = start_server(8, 64);
+    let addr = handle.addr();
+    let before = siro_synth::TranslatorCache::snapshot();
+
+    let threads: Vec<_> = (0..8)
+        .map(|index| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+                let text = corpus_module_text(src, tgt, index);
+                client
+                    .translate(src, tgt, TranslateMode::Synthesized, text)
+                    .expect("translation under stampede")
+            })
+        })
+        .collect();
+    let results: Vec<_> = threads
+        .into_iter()
+        .map(|t| t.join().expect("join"))
+        .collect();
+    assert_eq!(results.len(), 8);
+
+    // Exactly one synthesis ran for the pair…
+    let (syntheses, coalesced) = handle.engine().coalescer().pair_counters(src, tgt);
+    assert_eq!(syntheses, 1, "stampede must synthesize exactly once");
+    assert_eq!(coalesced, 7, "the other seven requests must coalesce");
+    // …and the process-wide cache counters agree (exactly one new miss
+    // for this key; hits grew by at least the seven coalesced requests).
+    let after = siro_synth::TranslatorCache::snapshot();
+    assert_eq!(
+        after.misses - before.misses,
+        1,
+        "cache must record one miss for the cold pair"
+    );
+    assert!(after.hits >= before.hits + 7);
+
+    // STATS reflects the same numbers.
+    let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+    let page = client.stats().expect("stats");
+    assert_eq!(stats_value(&page, "pairs_synthesized"), Some(1));
+    assert_eq!(stats_value(&page, "coalesced_waiters"), Some(7));
+    handle.shutdown();
+}
+
+/// Acceptance: a saturated bounded queue answers `Busy` instead of
+/// blocking. One worker is pinned by a slow ping; the queue (capacity 1)
+/// is filled by a second; the next request must be rejected immediately.
+#[test]
+fn saturated_queue_answers_busy_without_blocking() {
+    let _serial = serial();
+    let handle = start_server(1, 1);
+    let addr = handle.addr();
+
+    let mut filler = Client::connect(addr, TIMEOUT).expect("connect filler");
+    // Request 1 occupies the single worker for ~1.5 s.
+    filler.ping_nowait(1500).expect("send slow ping");
+    // Request 2 sits in the single queue slot.
+    std::thread::sleep(Duration::from_millis(200));
+    filler.ping_nowait(1500).expect("send queued ping");
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Request 3 must bounce with Busy, and must do so immediately — far
+    // sooner than the ~2.6 s the worker needs to drain the backlog.
+    let mut probe = Client::connect(addr, TIMEOUT).expect("connect probe");
+    let t0 = std::time::Instant::now();
+    let err = probe.ping(0).expect_err("queue is saturated");
+    let elapsed = t0.elapsed();
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::Busy),
+        other => panic!("expected Busy, got {other}"),
+    }
+    assert!(
+        elapsed < Duration::from_millis(1000),
+        "busy rejection must not block behind the queue (took {elapsed:?})"
+    );
+
+    // The filler's two slow pings still complete (backpressure rejected
+    // new work, it did not drop accepted work).
+    let (_, first) = filler.recv_response().expect("first pong");
+    let (_, second) = filler.recv_response().expect("second pong");
+    assert_eq!(first, Response::Pong);
+    assert_eq!(second, Response::Pong);
+
+    let page = probe.stats().expect("stats");
+    assert_eq!(stats_value(&page, "requests_busy"), Some(1));
+    handle.shutdown();
+}
+
+/// Pipelined batches on one connection come back complete and in order.
+#[test]
+fn pipelined_batch_preserves_request_order() {
+    let _serial = serial();
+    let handle = start_server(4, 64);
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_0);
+    let batch: Vec<_> = (0..12)
+        .map(|i| {
+            (
+                src,
+                tgt,
+                TranslateMode::Reference,
+                corpus_module_text(src, tgt, i),
+            )
+        })
+        .collect();
+    let results = client.translate_batch(&batch).expect("batch");
+    assert_eq!(results.len(), 12);
+    for (i, r) in results.iter().enumerate() {
+        let out = r.as_ref().expect("each batched translation succeeds");
+        let module = parse::parse_module(&batch[i].3).expect("parse");
+        let local = Skeleton::new(tgt)
+            .translate_module(&module, &ReferenceTranslator)
+            .expect("local");
+        assert_eq!(out.text, write::write_module(&local), "slot {i}");
+    }
+    handle.shutdown();
+}
+
+/// Server-side failures arrive as structured codes, and the connection
+/// (and server) survive them.
+#[test]
+fn errors_are_structured_and_nonfatal() {
+    let _serial = serial();
+    let handle = start_server(2, 16);
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+
+    let err = client
+        .translate(
+            IrVersion::V13_0,
+            IrVersion::V3_6,
+            TranslateMode::Reference,
+            "not ir at all",
+        )
+        .expect_err("malformed module must fail");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::Parse),
+        other => panic!("expected Parse error, got {other}"),
+    }
+
+    // Same connection keeps working afterwards.
+    let text = corpus_module_text(IrVersion::V13_0, IrVersion::V3_6, 0);
+    client
+        .translate(
+            IrVersion::V13_0,
+            IrVersion::V3_6,
+            TranslateMode::Reference,
+            text,
+        )
+        .expect("connection survives a request-level error");
+    handle.shutdown();
+}
+
+/// A wire Shutdown drains in-flight work before the server exits: a slow
+/// request accepted before the shutdown still completes.
+#[test]
+fn wire_shutdown_drains_in_flight_requests() {
+    let _serial = serial();
+    let handle = start_server(1, 8);
+    let addr = handle.addr();
+
+    let mut slow = Client::connect(addr, TIMEOUT).expect("connect slow");
+    slow.ping_nowait(800).expect("send slow ping");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut admin = Client::connect(addr, TIMEOUT).expect("connect admin");
+    admin.shutdown().expect("shutdown ack");
+
+    // The in-flight slow ping must still be answered.
+    let (_, response) = slow.recv_response().expect("drained response");
+    assert_eq!(response, Response::Pong);
+
+    handle.wait();
+
+    // And the port is actually closed afterwards.
+    assert!(
+        Client::connect(addr, Duration::from_millis(300)).is_err(),
+        "server must stop accepting after shutdown"
+    );
+}

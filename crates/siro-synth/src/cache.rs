@@ -96,6 +96,23 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Point-in-time view of the whole cache: the hit/miss counters plus the
+/// shape of the stored map. This is the one source of truth that both the
+/// benchmark JSON dumps and `siro-serve`'s `STATS` endpoint read, so the
+/// two can never disagree about what the cache did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran a synthesis.
+    pub misses: u64,
+    /// Distinct keys currently stored (successes, failures, and slots
+    /// whose first synthesis is still in flight).
+    pub entries: usize,
+    /// Stored keys whose memoized outcome is a [`SynthError`].
+    pub failures: usize,
+}
+
 /// Result of a cache lookup: the shared outcome plus whether this call is
 /// the one that actually synthesized it.
 #[derive(Debug, Clone)]
@@ -163,6 +180,26 @@ impl TranslatorCache {
         CacheStats {
             hits: HITS.load(Ordering::Relaxed),
             misses: MISSES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Full snapshot: counters plus stored-entry shape. Counters are read
+    /// before the map lock, so under concurrency a snapshot can observe a
+    /// miss whose entry is not stored yet — consumers treating this as a
+    /// monitoring view (STATS, bench JSON) are unaffected.
+    pub fn snapshot() -> CacheSnapshot {
+        let stats = Self::stats();
+        let map = cache().lock().expect("translator cache poisoned");
+        let entries = map.len();
+        let failures = map
+            .values()
+            .filter(|slot| matches!(slot.get(), Some(Err(_))))
+            .count();
+        CacheSnapshot {
+            hits: stats.hits,
+            misses: stats.misses,
+            entries,
+            failures,
         }
     }
 
@@ -282,6 +319,36 @@ mod tests {
         for r in &results[1..] {
             assert!(Arc::ptr_eq(first, r.as_ref().unwrap()));
         }
+    }
+
+    #[test]
+    fn snapshot_tracks_entries_and_failures() {
+        // Unique key for this test: a corpus subset no other test uses.
+        let (src, tgt) = (IrVersion::V14_0, IrVersion::V3_0);
+        let tests = tests_subset(src, tgt, &["ret_const", "add_asym"]);
+        let config = SynthesisConfig::new(src, tgt);
+        let before = TranslatorCache::snapshot();
+        TranslatorCache::get_or_synthesize(config.clone(), &tests).unwrap();
+        let after = TranslatorCache::snapshot();
+        assert!(after.entries > before.entries, "new key must be stored");
+        assert!(after.misses > before.misses, "cold lookup is a miss");
+        TranslatorCache::get_or_synthesize(config, &tests).unwrap();
+        let warm = TranslatorCache::snapshot();
+        assert_eq!(warm.entries, after.entries, "hit stores nothing new");
+        assert!(warm.hits > after.hits);
+
+        // A failing synthesis is stored and counted as a failure entry
+        // (same blow-up recipe as `failures_are_memoized_too`, distinct
+        // pair so the two tests never share a key).
+        let mut bad = SynthesisConfig::new(src, tgt);
+        bad.opt_equivalence = false;
+        bad.opt_memoization = false;
+        bad.max_assignments_per_test = 10_000;
+        let fail_tests = tests_subset(src, tgt, &["switch_both", "gep_struct"]);
+        let outcome = TranslatorCache::lookup_or_synthesize(bad, &fail_tests);
+        assert!(outcome.is_err(), "blow-up recipe must fail");
+        let failed = TranslatorCache::snapshot();
+        assert!(failed.failures > after.failures, "failure must be stored");
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub mod profile;
 pub mod refine;
 pub mod typegraph;
 
-pub use cache::{corpus_fingerprint, synthesize_all, CacheLookup, CacheStats, TranslatorCache};
+pub use cache::{
+    corpus_fingerprint, synthesize_all, CacheLookup, CacheSnapshot, CacheStats, TranslatorCache,
+};
 pub use candgen::{generate_all, generate_for_kind, GenLimits};
 pub use driver::{
     resolve_threads, threads_from_override, StageTimings, SynthError, SynthesisConfig,

@@ -1,19 +1,30 @@
 //! The `siro` command-line tool: translate textual IR between versions,
-//! run programs, synthesize translators, and inspect the version catalog.
+//! run programs, synthesize translators, inspect the version catalog, and
+//! run or talk to the `siro-serve` translation daemon.
 //!
 //! ```text
 //! siro versions
 //! siro run program.sir
 //! siro translate --to 3.6 program.sir [-o out.sir] [--synthesized]
+//! siro translate --remote 127.0.0.1:4799 --to 3.6 program.sir
 //! siro synthesize --from 13.0 --to 3.6 [--emit-code]
 //! siro opt program.sir [-o out.sir]
+//! siro serve [--addr 127.0.0.1:4799] [--threads N] [--queue N]
+//! siro stats --remote 127.0.0.1:4799
+//! siro shutdown --remote 127.0.0.1:4799
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use siro::core::{ReferenceTranslator, Skeleton};
 use siro::ir::{interp::Machine, parse, verify, write, IrVersion, Module};
+use siro::serve::{Client, ServeConfig, TranslateMode};
 use siro::synth::{OracleTest, Synthesizer};
+
+/// I/O timeout for the remote-client commands. Generous because a cold
+/// synthesized pair blocks the response on a full synthesis.
+const REMOTE_TIMEOUT: Duration = Duration::from_secs(30);
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +34,9 @@ fn main() -> ExitCode {
         Some("translate") => cmd_translate(&args[1..]),
         Some("synthesize") => cmd_synthesize(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -47,9 +61,14 @@ USAGE:
     siro run <file>                                  interpret a textual IR module
     siro translate --to <ver> <file> [-o <out>]      translate across versions
                    [--synthesized]                   use a corpus-synthesized translator
+                   [--remote <addr>]                 translate via a siro-serve daemon
     siro synthesize --from <ver> --to <ver>          synthesize instruction translators
                    [--emit-code]                     print the generated source
-    siro opt <file> [-o <out>]                       run the optimizer pipeline"
+    siro opt <file> [-o <out>]                       run the optimizer pipeline
+    siro serve [--addr <host:port>]                  run the translation daemon
+               [--threads <n>] [--queue <n>]         (defaults: SIRO_THREADS, 64)
+    siro stats --remote <addr>                       print a daemon's STATS page
+    siro shutdown --remote <addr>                    gracefully stop a daemon"
     );
 }
 
@@ -170,8 +189,14 @@ fn corpus_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
 fn cmd_translate(args: &[String]) -> Result<(), String> {
     let to = parse_version(flag_value(args, "--to").ok_or("missing --to <version>")?)?;
     let [path] = positional(args)[..] else {
-        return Err("usage: siro translate --to <ver> <file> [-o <out>] [--synthesized]".into());
+        return Err(
+            "usage: siro translate --to <ver> <file> [-o <out>] [--synthesized] [--remote <addr>]"
+                .into(),
+        );
     };
+    if let Some(addr) = flag_value(args, "--remote") {
+        return cmd_translate_remote(args, addr, to, path);
+    }
     let m = load_module(path)?;
     let skel = Skeleton::new(to);
     let translated = if args.iter().any(|a| a == "--synthesized") {
@@ -189,6 +214,90 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     .map_err(|e| format!("translation failed: {e}"))?;
     verify::verify_module(&translated).map_err(|e| format!("output does not verify: {e}"))?;
     emit_module(&translated, flag_value(args, "-o"))
+}
+
+/// `siro translate --remote`: ship the module text to a daemon and emit
+/// what comes back. The daemon parses/verifies server-side, so this path
+/// deliberately does not parse locally — the wire carries the raw text.
+fn cmd_translate_remote(
+    args: &[String],
+    addr: &str,
+    to: IrVersion,
+    path: &str,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let source = parse::parse_module(&text)
+        .map_err(|e| format!("parsing {path}: {e}"))?
+        .version;
+    let mode = if args.iter().any(|a| a == "--synthesized") {
+        TranslateMode::Synthesized
+    } else {
+        TranslateMode::Reference
+    };
+    let mut client =
+        Client::connect(addr, REMOTE_TIMEOUT).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let out = client
+        .translate(source, to, mode, text)
+        .map_err(|e| format!("remote translation failed: {e}"))?;
+    eprintln!(
+        "translated {source} -> {to} remotely in {:.3} ms (cache {})",
+        out.timings.total as f64 / 1e6,
+        if out.cache_hit { "hit" } else { "miss" }
+    );
+    match flag_value(args, "-o") {
+        Some(out_path) => {
+            std::fs::write(out_path, out.text).map_err(|e| format!("writing {out_path}: {e}"))
+        }
+        None => {
+            print!("{}", out.text);
+            Ok(())
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(n) = flag_value(args, "--threads") {
+        config.threads = Some(n.parse().map_err(|_| format!("bad --threads `{n}`"))?);
+    }
+    if let Some(n) = flag_value(args, "--queue") {
+        config.queue_capacity = n.parse().map_err(|_| format!("bad --queue `{n}`"))?;
+    }
+    let handle = siro::serve::start(config).map_err(|e| format!("starting server: {e}"))?;
+    // Parsed by scripts (and the CI smoke test) to discover the port.
+    println!("siro-serve listening on {}", handle.addr());
+    println!(
+        "workers {} | queue capacity {} | shut down with `siro shutdown --remote {}`",
+        handle.workers(),
+        handle.queue_capacity(),
+        handle.addr()
+    );
+    handle.wait();
+    eprintln!("siro-serve drained and stopped");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--remote").ok_or("usage: siro stats --remote <addr>")?;
+    let mut client =
+        Client::connect(addr, REMOTE_TIMEOUT).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let page = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
+    print!("{page}");
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--remote").ok_or("usage: siro shutdown --remote <addr>")?;
+    let mut client =
+        Client::connect(addr, REMOTE_TIMEOUT).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    client
+        .shutdown()
+        .map_err(|e| format!("requesting shutdown: {e}"))?;
+    println!("shutdown acknowledged; {addr} is draining");
+    Ok(())
 }
 
 fn cmd_synthesize(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,52 @@
+//! Facade-level check that the served translation path (`siro::serve`)
+//! agrees byte-for-byte with the in-process path (`siro::core`), the way
+//! a downstream user of the `siro` crate would wire it.
+
+use std::time::Duration;
+
+use siro::core::{ReferenceTranslator, Skeleton};
+use siro::ir::{interp::Machine, parse, write, IrVersion};
+use siro::serve::{stats_value, Client, ServeConfig, TranslateMode};
+
+#[test]
+fn facade_serves_byte_identical_translations() {
+    let handle = siro::serve::start(ServeConfig {
+        threads: Some(2),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(30)).expect("connect");
+
+    for (src, tgt) in [
+        (IrVersion::V13_0, IrVersion::V3_6),
+        (IrVersion::V17_0, IrVersion::V12_0),
+    ] {
+        let case = siro::testcases::corpus_for_pair(src, tgt)
+            .into_iter()
+            .next()
+            .expect("corpus has cases for the pair");
+        let module = case.build(src);
+        let text = write::write_module(&module);
+
+        let served = client
+            .translate(src, tgt, TranslateMode::Reference, text)
+            .expect("served translation");
+        let local = Skeleton::new(tgt)
+            .translate_module(&module, &ReferenceTranslator)
+            .expect("in-process translation");
+        assert_eq!(served.text, write::write_module(&local), "{src} -> {tgt}");
+
+        // The served text is a live module: it reparses and still meets
+        // the corpus oracle.
+        let reparsed = parse::parse_module(&served.text).expect("reparse served text");
+        let got = Machine::new(&reparsed)
+            .run_main()
+            .expect("run served module")
+            .return_int();
+        assert_eq!(got, Some(case.oracle), "{src} -> {tgt} oracle");
+    }
+
+    let page = client.stats().expect("stats");
+    assert_eq!(stats_value(&page, "translations"), Some(2));
+    handle.shutdown();
+}
