@@ -1,6 +1,6 @@
 //! Call graphs with type-based indirect-call resolution — the
 //! "function pointer analysis" substrate the paper's kernel bug detector
-//! builds on (its reference [67] is MLTA-style indirect-call refinement).
+//! builds on (its reference \[67\] is MLTA-style indirect-call refinement).
 
 use std::collections::{BTreeSet, HashMap};
 

@@ -4,7 +4,7 @@
 //! value-flow bug detector (Pinpoint, §6.3). This crate is that detector's
 //! reproduction:
 //!
-//! * [`cfg`] / [`dom`] — control-flow graphs and dominator trees (also two
+//! * [`mod@cfg`] / [`dom`] — control-flow graphs and dominator trees (also two
 //!   of the "representative built-in analyses" tracked by the §6.1 study);
 //! * [`taint`] — sparse SSA value-flow closures (deliberately opaque
 //!   through memory, which is what makes differently-shaped IR of the same

@@ -271,3 +271,70 @@ pub fn write_serve_json(record: &ServeRecord) -> std::io::Result<PathBuf> {
     std::fs::write(&path, render_serve_json(record))?;
     Ok(path)
 }
+
+/// Result of the `trace_overhead` bench: the cost of the `siro-trace`
+/// instrumentation relative to an uninstrumented workload, dumped to
+/// `BENCH_trace.json` (schema `siro-bench/trace-v1`).
+#[derive(Debug, Clone)]
+pub struct TraceOverheadRecord {
+    /// Operations per measurement repetition.
+    pub iters: u64,
+    /// Repetitions per configuration (the record keeps the medians).
+    pub reps: u64,
+    /// ns/op with no tracing calls in the loop at all.
+    pub baseline_ns_per_op: f64,
+    /// ns/op with `span!` + `counter` calls present but tracing off.
+    pub disabled_ns_per_op: f64,
+    /// ns/op with tracing on (spans recorded and flushed).
+    pub enabled_ns_per_op: f64,
+    /// `(disabled - baseline) / baseline`, percent.
+    pub overhead_disabled_pct: f64,
+    /// `(enabled - baseline) / baseline`, percent.
+    pub overhead_enabled_pct: f64,
+    /// The threshold the disabled overhead was checked against, percent.
+    pub threshold_pct: f64,
+    /// Whether the disabled overhead stayed under the threshold.
+    pub pass: bool,
+}
+
+/// Where the trace-overhead JSON goes: `SIRO_BENCH_TRACE_JSON` if set,
+/// else `BENCH_trace.json` in the current directory.
+pub fn trace_json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_TRACE_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_trace.json"))
+}
+
+/// Renders the trace-overhead record as a JSON document.
+pub fn render_trace_json(record: &TraceOverheadRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"siro-bench/trace-v1\",");
+    let _ = writeln!(out, "  \"iters\": {},", record.iters);
+    let _ = writeln!(out, "  \"reps\": {},", record.reps);
+    let _ = writeln!(
+        out,
+        "  \"ns_per_op\": {{ \"baseline\": {:.3}, \"disabled\": {:.3}, \"enabled\": {:.3} }},",
+        record.baseline_ns_per_op, record.disabled_ns_per_op, record.enabled_ns_per_op
+    );
+    let _ = writeln!(
+        out,
+        "  \"overhead_pct\": {{ \"disabled\": {:.3}, \"enabled\": {:.3} }},",
+        record.overhead_disabled_pct, record.overhead_enabled_pct
+    );
+    let _ = writeln!(out, "  \"threshold_pct\": {:.3},", record.threshold_pct);
+    let _ = writeln!(out, "  \"pass\": {}", record.pass);
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_trace.json` and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_trace_json(record: &TraceOverheadRecord) -> std::io::Result<PathBuf> {
+    let path = trace_json_path();
+    std::fs::write(&path, render_trace_json(record))?;
+    Ok(path)
+}

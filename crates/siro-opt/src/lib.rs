@@ -1,8 +1,8 @@
 //! # siro-opt — optimization passes over the siro IR
 //!
-//! A small but real optimizer: slot promotion ([`mem2reg`]), constant
+//! A small but real optimizer: slot promotion ([`mem2reg()`]), constant
 //! folding ([`fold_constants`]), CFG simplification ([`simplify_cfg`]), and
-//! dead-code elimination ([`dce`]), composed by [`optimize`].
+//! dead-code elimination ([`dce()`]), composed by [`optimize`].
 //!
 //! In the reproduction these passes are what makes the *high-version
 //! compiler frontend* of the Tab. 4 experiment real: the high frontend is

@@ -222,6 +222,31 @@ impl Client {
         }
     }
 
+    /// Fetches the Prometheus-style plaintext metrics page. Parse samples
+    /// out of it with [`crate::stats::metrics_value`]:
+    ///
+    /// ```no_run
+    /// use std::time::Duration;
+    /// use siro_serve::{metrics_value, Client};
+    ///
+    /// let mut client = Client::connect("127.0.0.1:4799", Duration::from_secs(5))?;
+    /// let page = client.metrics()?;
+    /// let served = metrics_value(&page, "siro_requests_total").unwrap_or(0);
+    /// println!("server has answered {served} requests");
+    /// # Ok::<(), siro_serve::ClientError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::translate`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::MetricsOk { text } => Ok(text),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Sends a ping, optionally asking the worker to stall `delay_ms`.
     ///
     /// # Errors

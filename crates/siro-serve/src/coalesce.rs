@@ -105,8 +105,10 @@ impl PairCoalescer {
             TranslatorCache::lookup_or_synthesize(SynthesisConfig::new(source, target), corpus)?;
         if lookup.fresh {
             state.counters.syntheses.fetch_add(1, Ordering::Relaxed);
+            siro_trace::counter("serve.coalesce_fresh", 1);
         } else {
             state.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            siro_trace::counter("serve.coalesce_joined", 1);
         }
         Ok(CoalescedLookup {
             outcome: lookup.outcome,

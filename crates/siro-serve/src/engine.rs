@@ -61,7 +61,7 @@ impl Engine {
                 }
                 Response::Pong
             }
-            Request::Stats | Request::Shutdown => err(
+            Request::Stats | Request::Shutdown | Request::Metrics => err(
                 ErrorCode::Internal,
                 "control request routed to a worker thread",
             ),
@@ -82,6 +82,7 @@ impl Engine {
 
         // Parse + verify the incoming module; its `; IR version` header
         // selects the dialect and must agree with the request's source.
+        let sp = siro_trace::span!("serve.parse");
         let module = match parse::parse_module(text) {
             Ok(m) => m,
             Err(e) => return err(ErrorCode::Parse, format!("parsing request module: {e}")),
@@ -98,6 +99,7 @@ impl Engine {
         if let Err(e) = verify::verify_module(&module) {
             return err(ErrorCode::Verify, format!("request module: {e}"));
         }
+        drop(sp);
         let parse_nanos = t_start.elapsed().as_nanos() as u64;
 
         // Obtain a translator (possibly synthesizing, coalesced per pair).
@@ -105,10 +107,13 @@ impl Engine {
         let skeleton = Skeleton::new(target);
         let (translated, cache_hit, synth_nanos) = match mode {
             TranslateMode::Reference => {
+                let sp = siro_trace::span!("serve.translate", "{source}->{target} reference");
                 let r = skeleton.translate_module(&module, &ReferenceTranslator);
+                drop(sp);
                 (r, false, 0)
             }
             TranslateMode::Synthesized => {
+                let sp = siro_trace::span!("serve.acquire_translator", "{source}->{target}");
                 let lookup = match self.coalescer.translator_for(source, target) {
                     Ok(l) => l,
                     Err(e) => {
@@ -118,8 +123,11 @@ impl Engine {
                         )
                     }
                 };
+                drop(sp);
                 let synth_nanos = t_synth.elapsed().as_nanos() as u64;
+                let sp = siro_trace::span!("serve.translate", "{source}->{target} synthesized");
                 let r = skeleton.translate_module(&module, &lookup.outcome.translator);
+                drop(sp);
                 (r, !lookup.fresh, synth_nanos)
             }
         };
@@ -138,7 +146,9 @@ impl Engine {
         }
         let translate_nanos = t_translate.duration_since(t_synth).as_nanos() as u64;
 
+        let sp = siro_trace::span!("serve.serialize");
         let text = write::write_module(&translated);
+        drop(sp);
         Response::TranslateOk {
             cache_hit,
             timings: StageNanos {

@@ -15,7 +15,8 @@
 //!   verify → print), panic-isolated per request;
 //! * [`coalesce`] — per-version-pair request coalescing: N concurrent
 //!   requests for the same cold pair run exactly one synthesis;
-//! * [`stats`] — lock-free metrics and the plaintext `STATS` page;
+//! * [`stats`] — lock-free metrics, the plaintext `STATS` page, and the
+//!   Prometheus-style `METRICS` page (see `docs/OBSERVABILITY.md`);
 //! * [`server`] — the accept loop, per-connection reader/writer threads,
 //!   timeouts, and graceful drain-on-shutdown;
 //! * [`client`] — a blocking client (used by `siro translate --remote`,
@@ -42,7 +43,7 @@
 //! handle.shutdown();
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod coalesce;
@@ -59,4 +60,4 @@ pub use engine::Engine;
 pub use protocol::{ErrorCode, Request, Response, StageNanos, TranslateMode};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, ServeConfig, ServerHandle};
-pub use stats::{stats_value, Metrics, MetricsSnapshot};
+pub use stats::{metrics_value, stats_value, Metrics, MetricsSnapshot};

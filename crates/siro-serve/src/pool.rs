@@ -69,6 +69,8 @@ impl WorkerPool {
 
 fn worker_loop(queue: &BoundedQueue<Job>, engine: &Engine, metrics: &Metrics) {
     while let Some(job) = queue.pop() {
+        let _req = siro_trace::span!("serve.request", "id {}", job.id);
+        siro_trace::record_since("serve.queue_wait", job.enqueued, String::new);
         let response =
             match std::panic::catch_unwind(AssertUnwindSafe(|| engine.execute(&job.request))) {
                 Ok(r) => r,

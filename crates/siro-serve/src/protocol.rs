@@ -28,10 +28,12 @@
 //! | `0x02` Stats | → | empty |
 //! | `0x03` Ping | → | `u32` artificial delay in ms (diagnostics / tests) |
 //! | `0x04` Shutdown | → | empty |
+//! | `0x05` Metrics | → | empty |
 //! | `0x81` TranslateOk | ← | flags `u8`, 4 × `u64` stage nanos, module text |
 //! | `0x82` StatsOk | ← | plaintext stats body |
 //! | `0x83` Pong | ← | empty |
 //! | `0x84` ShutdownOk | ← | empty |
+//! | `0x85` MetricsOk | ← | Prometheus-style plaintext metrics body |
 //! | `0xEE` Error | ← | code `u8`, message |
 //!
 //! Strings are `u32` length + UTF-8 bytes. `mode` is `0` for the built-in
@@ -102,6 +104,10 @@ pub enum Request {
     },
     /// Ask the server to drain in-flight requests and exit.
     Shutdown,
+    /// Fetch the Prometheus-style plaintext metrics page (serving
+    /// counters, latency histogram, cache/coalesce totals, and every
+    /// `siro-trace` counter).
+    Metrics,
 }
 
 /// Structured error codes a server can answer with.
@@ -202,6 +208,11 @@ pub enum Response {
     Pong,
     /// Shutdown acknowledged; the server drains and exits afterwards.
     ShutdownOk,
+    /// The Prometheus-style plaintext metrics page.
+    MetricsOk {
+        /// `# TYPE` comments and `name value` samples, one per line.
+        text: String,
+    },
     /// Any failure, including backpressure ([`ErrorCode::Busy`]).
     Error {
         /// Machine-readable category.
@@ -336,10 +347,12 @@ const KIND_TRANSLATE: u8 = 0x01;
 const KIND_STATS: u8 = 0x02;
 const KIND_PING: u8 = 0x03;
 const KIND_SHUTDOWN: u8 = 0x04;
+const KIND_METRICS: u8 = 0x05;
 const KIND_TRANSLATE_OK: u8 = 0x81;
 const KIND_STATS_OK: u8 = 0x82;
 const KIND_PONG: u8 = 0x83;
 const KIND_SHUTDOWN_OK: u8 = 0x84;
+const KIND_METRICS_OK: u8 = 0x85;
 const KIND_ERROR: u8 = 0xEE;
 
 fn header(kind: u8, id: u64) -> Vec<u8> {
@@ -391,6 +404,7 @@ impl Request {
                 out
             }
             Request::Shutdown => header(KIND_SHUTDOWN, id),
+            Request::Metrics => header(KIND_METRICS, id),
         }
     }
 
@@ -418,6 +432,7 @@ impl Request {
             KIND_STATS => Request::Stats,
             KIND_PING => Request::Ping { delay_ms: r.u32()? },
             KIND_SHUTDOWN => Request::Shutdown,
+            KIND_METRICS => Request::Metrics,
             other => {
                 return Err(ProtocolError::Malformed(format!(
                     "unknown request kind {other:#04x}"
@@ -454,6 +469,11 @@ impl Response {
             }
             Response::Pong => header(KIND_PONG, id),
             Response::ShutdownOk => header(KIND_SHUTDOWN_OK, id),
+            Response::MetricsOk { text } => {
+                let mut out = header(KIND_METRICS_OK, id);
+                put_str(&mut out, text);
+                out
+            }
             Response::Error { code, message } => {
                 let mut out = header(KIND_ERROR, id);
                 out.push(*code as u8);
@@ -490,6 +510,7 @@ impl Response {
             KIND_STATS_OK => Response::StatsOk { text: r.string()? },
             KIND_PONG => Response::Pong,
             KIND_SHUTDOWN_OK => Response::ShutdownOk,
+            KIND_METRICS_OK => Response::MetricsOk { text: r.string()? },
             KIND_ERROR => Response::Error {
                 code: ErrorCode::from_byte(r.u8()?)?,
                 message: r.string()?,
@@ -607,6 +628,7 @@ mod tests {
             Request::Stats,
             Request::Ping { delay_ms: 250 },
             Request::Shutdown,
+            Request::Metrics,
         ];
         for (i, req) in cases.into_iter().enumerate() {
             let id = 1000 + i as u64;
@@ -634,6 +656,9 @@ mod tests {
             },
             Response::Pong,
             Response::ShutdownOk,
+            Response::MetricsOk {
+                text: "# TYPE siro_requests_total counter\nsiro_requests_total 5\n".into(),
+            },
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "queue full".into(),

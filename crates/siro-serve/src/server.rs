@@ -30,7 +30,7 @@ use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameRead, ProtocolError, Request, Response,
 };
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::{render_stats, Metrics};
+use crate::stats::{render_metrics, render_stats, Metrics};
 
 /// Server configuration. `Default` is suitable for tests and local use.
 #[derive(Debug, Clone)]
@@ -98,6 +98,18 @@ impl Shared {
             totals.coalesced,
         )
     }
+
+    fn metrics_page(&self) -> String {
+        let totals = self.engine.coalescer().totals();
+        render_metrics(
+            &self.metrics,
+            self.queue.len(),
+            self.queue.capacity(),
+            self.workers,
+            totals.syntheses,
+            totals.coalesced,
+        )
+    }
 }
 
 /// A running server. Dropping the handle does *not* stop it; call
@@ -140,6 +152,12 @@ impl ServerHandle {
     /// the wire `STATS` endpoint).
     pub fn stats_page(&self) -> String {
         self.shared.stats_page()
+    }
+
+    /// The Prometheus-style metrics page, rendered in-process (same code
+    /// path as the wire `METRICS` endpoint).
+    pub fn metrics_page(&self) -> String {
+        self.shared.metrics_page()
     }
 
     /// Signals shutdown without waiting (idempotent).
@@ -340,6 +358,15 @@ fn reader_loop(
                     id,
                     Response::StatsOk {
                         text: shared.stats_page(),
+                    },
+                ));
+            }
+            Request::Metrics => {
+                shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((
+                    id,
+                    Response::MetricsOk {
+                        text: shared.metrics_page(),
                     },
                 ));
             }

@@ -182,6 +182,59 @@ pub fn render_stats(
     line("cache_failures", cache.failures as u64);
     line("pairs_synthesized", pairs_synthesized);
     line("coalesced_waiters", coalesced_waiters);
+    line("trace_enabled", u64::from(siro_trace::enabled()));
+    out
+}
+
+/// Renders the Prometheus-style plaintext `METRICS` page: the serving
+/// counters, latency quantiles, translator-cache and coalescer totals,
+/// plus the `siro_trace_enabled` gauge and every `siro-trace` counter
+/// (the trace section is rendered by
+/// [`siro_trace::export::render_prometheus_counters`], so the two
+/// surfaces can never disagree).
+pub fn render_metrics(
+    metrics: &Metrics,
+    queue_depth: usize,
+    queue_capacity: usize,
+    workers: usize,
+    pairs_synthesized: u64,
+    coalesced_waiters: u64,
+) -> String {
+    let m = metrics.snapshot();
+    let cache = TranslatorCache::snapshot();
+    let mut out = String::with_capacity(1024);
+    let mut sample = |name: &str, kind: &str, v: u64| {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    sample("siro_requests_total", "counter", m.requests_total);
+    sample("siro_requests_ok_total", "counter", m.requests_ok);
+    sample("siro_requests_busy_total", "counter", m.requests_busy);
+    sample("siro_requests_error_total", "counter", m.requests_error);
+    sample("siro_translations_total", "counter", m.translations);
+    sample("siro_connections_total", "counter", m.connections);
+    sample("siro_queue_depth", "gauge", queue_depth as u64);
+    sample("siro_queue_capacity", "gauge", queue_capacity as u64);
+    sample("siro_workers", "gauge", workers as u64);
+    sample(
+        "siro_latency_p50_microseconds",
+        "gauge",
+        m.latency_p50_us.unwrap_or(0),
+    );
+    sample(
+        "siro_latency_p99_microseconds",
+        "gauge",
+        m.latency_p99_us.unwrap_or(0),
+    );
+    sample("siro_cache_hits_total", "counter", cache.hits);
+    sample("siro_cache_misses_total", "counter", cache.misses);
+    sample("siro_cache_entries", "gauge", cache.entries as u64);
+    sample("siro_cache_failures", "gauge", cache.failures as u64);
+    sample("siro_pairs_synthesized_total", "counter", pairs_synthesized);
+    sample("siro_coalesced_waiters_total", "counter", coalesced_waiters);
+    out.push_str(&siro_trace::export::render_prometheus_counters(
+        &siro_trace::snapshot(),
+    ));
     out
 }
 
@@ -190,6 +243,15 @@ pub fn stats_value(page: &str, key: &str) -> Option<u64> {
     page.lines().find_map(|l| {
         let (k, v) = l.split_once(' ')?;
         (k == key).then(|| v.trim().parse().ok())?
+    })
+}
+
+/// Reads one sample back out of a rendered Prometheus-style metrics page
+/// (`# TYPE` comments are skipped; the first matching sample wins).
+pub fn metrics_value(page: &str, name: &str) -> Option<u64> {
+    page.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+        let (k, v) = l.split_once(' ')?;
+        (k == name).then(|| v.trim().parse().ok())?
     })
 }
 
@@ -225,5 +287,30 @@ mod tests {
         assert_eq!(stats_value(&page, "pairs_synthesized"), Some(2));
         assert_eq!(stats_value(&page, "coalesced_waiters"), Some(5));
         assert_eq!(stats_value(&page, "no_such_key"), None);
+        // Operators can tell traced runs apart from the page itself.
+        assert!(stats_value(&page, "trace_enabled").is_some());
+    }
+
+    #[test]
+    fn metrics_page_is_prometheus_shaped() {
+        let m = Metrics::default();
+        m.on_request();
+        m.on_ok(Duration::from_micros(300));
+        let page = render_metrics(&m, 3, 64, 8, 2, 5);
+        assert_eq!(metrics_value(&page, "siro_requests_total"), Some(1));
+        assert_eq!(metrics_value(&page, "siro_queue_capacity"), Some(64));
+        assert!(metrics_value(&page, "siro_trace_enabled").is_some());
+        // Every sample line is preceded by a `# TYPE` declaration.
+        let mut prev = "";
+        for line in page.lines() {
+            if !line.starts_with('#') {
+                let name = line.split(' ').next().unwrap();
+                assert!(
+                    prev.starts_with(&format!("# TYPE {name} ")),
+                    "sample `{line}` lacks a TYPE comment (prev: `{prev}`)"
+                );
+            }
+            prev = line;
+        }
     }
 }

@@ -13,7 +13,8 @@ use std::time::Duration;
 use siro_core::{ReferenceTranslator, Skeleton};
 use siro_ir::{parse, write, IrVersion};
 use siro_serve::{
-    stats_value, Client, ClientError, ErrorCode, Response, ServeConfig, TranslateMode,
+    metrics_value, stats_value, Client, ClientError, ErrorCode, Response, ServeConfig,
+    TranslateMode,
 };
 
 const TIMEOUT: Duration = Duration::from_secs(30);
@@ -298,4 +299,60 @@ fn wire_shutdown_drains_in_flight_requests() {
         Client::connect(addr, Duration::from_millis(300)).is_err(),
         "server must stop accepting after shutdown"
     );
+}
+
+/// The METRICS endpoint serves a Prometheus-style page over the socket,
+/// its counters move after a translate, and it always reports the
+/// `siro-trace` enabled/disabled gauge so operators can tell traced runs
+/// apart.
+#[test]
+fn metrics_over_the_socket_parse_and_move() {
+    let _serial = serial();
+    let handle = start_server(2, 16);
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+
+    let before = client.metrics().expect("metrics page");
+    let served_before = metrics_value(&before, "siro_requests_total").expect("requests sample");
+    let translated_before =
+        metrics_value(&before, "siro_translations_total").expect("translations sample");
+    // The trace state gauge is always present, whatever its value.
+    let trace_gauge = metrics_value(&before, "siro_trace_enabled").expect("trace gauge");
+    assert!(trace_gauge <= 1, "gauge is 0 or 1, got {trace_gauge}");
+    // Every sample carries a TYPE declaration (Prometheus exposition shape).
+    for line in before.lines().filter(|l| !l.starts_with('#')) {
+        let name = line.split(' ').next().unwrap();
+        assert!(
+            before.contains(&format!("# TYPE {name} ")),
+            "sample `{line}` lacks a TYPE comment"
+        );
+    }
+
+    let text = corpus_module_text(IrVersion::V13_0, IrVersion::V3_6, 0);
+    client
+        .translate(
+            IrVersion::V13_0,
+            IrVersion::V3_6,
+            TranslateMode::Reference,
+            text,
+        )
+        .expect("translate");
+
+    let after = client.metrics().expect("metrics page again");
+    let served_after = metrics_value(&after, "siro_requests_total").expect("requests sample");
+    let translated_after =
+        metrics_value(&after, "siro_translations_total").expect("translations sample");
+    // The translate plus the first metrics fetch both count as requests.
+    assert!(
+        served_after >= served_before + 2,
+        "requests_total must move: {served_before} -> {served_after}"
+    );
+    assert_eq!(
+        translated_after,
+        translated_before + 1,
+        "exactly one translation ran"
+    );
+    // The in-process rendering is the same code path as the wire page.
+    let inproc = handle.metrics_page();
+    assert!(metrics_value(&inproc, "siro_requests_total").is_some());
+    handle.shutdown();
 }

@@ -169,8 +169,10 @@ impl TranslatorCache {
         let fresh = ran.get();
         if fresh {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            siro_trace::counter("cache.misses", 1);
         } else {
             HITS.fetch_add(1, Ordering::Relaxed);
+            siro_trace::counter("cache.hits", 1);
         }
         result.clone().map(|outcome| CacheLookup { outcome, fresh })
     }
@@ -187,6 +189,16 @@ impl TranslatorCache {
     /// before the map lock, so under concurrency a snapshot can observe a
     /// miss whose entry is not stored yet — consumers treating this as a
     /// monitoring view (STATS, bench JSON) are unaffected.
+    ///
+    /// ```
+    /// use siro_synth::TranslatorCache;
+    /// let snap = TranslatorCache::snapshot();
+    /// // Failures are a subset of the stored entries, and every lookup is
+    /// // either a hit or a miss.
+    /// assert!(snap.failures <= snap.entries);
+    /// assert_eq!(snap.hits + snap.misses, TranslatorCache::stats().hits
+    ///     + TranslatorCache::stats().misses);
+    /// ```
     pub fn snapshot() -> CacheSnapshot {
         let stats = Self::stats();
         let map = cache().lock().expect("translator cache poisoned");

@@ -121,9 +121,12 @@ pub fn generate_for_kind(
         }
     }
     // Keep only well-typed, input-consuming programs, deduplicated.
+    let raw = out.len() as u64;
     out.retain(|p| p.well_typed(reg));
     out.sort();
     out.dedup();
+    siro_trace::counter("synth.candidates_generated", out.len() as u64);
+    siro_trace::counter("synth.candidates_type_pruned", raw - out.len() as u64);
     out
 }
 

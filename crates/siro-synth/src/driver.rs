@@ -257,15 +257,24 @@ impl Synthesizer {
     /// See [`SynthError`].
     pub fn synthesize(&self, tests: &[OracleTest]) -> Result<SynthesisOutcome, SynthError> {
         let cfg = &self.config;
+        let _run = siro_trace::span!(
+            "synth.run",
+            "{}->{} ({} tests)",
+            cfg.source,
+            cfg.target,
+            tests.len()
+        );
         let registry = Arc::new(ApiRegistry::for_pair(cfg.source, cfg.target));
         let mut timings = StageTimings::default();
 
         // ➊ Type-guided generation.
         let t0 = Instant::now();
+        let sp = siro_trace::span!("synth.generate");
         let per_kind: HashMap<Opcode, Vec<ApiProgram>> = {
             let graph = TypeGraph::new(&registry);
             generate_all(&graph, cfg.limits).into_iter().collect()
         };
+        drop(sp);
         timings.generation = t0.elapsed();
         let candidate_counts: BTreeMap<Opcode, usize> =
             per_kind.iter().map(|(k, v)| (*k, v.len())).collect();
@@ -297,15 +306,20 @@ impl Synthesizer {
 
         for &ti in &order {
             let test = &tests[ti];
+            let _t = siro_trace::span!("synth.test", "{}", test.name);
             // ➋ Profiling.
             let tp = Instant::now();
+            let sp = siro_trace::span!("synth.profile");
             let table = profile_module(&registry, &test.module)
                 .map_err(|e| SynthError::Api(format!("{}: {e}", test.name)))?;
+            drop(sp);
             timings.profiling += tp.elapsed();
 
             // ➋ Enumeration: build the boxes.
             let te = Instant::now();
+            let sp = siro_trace::span!("synth.enumerate");
             let enumeration = self.enumerate(&registry, &per_kind, test, &table, &mstar)?;
+            drop(sp);
             timings.enumeration += te.elapsed();
 
             let count = enumeration.assignment_count();
@@ -316,15 +330,25 @@ impl Synthesizer {
                 });
             }
             let count = count as u64;
+            siro_trace::counter("synth.enum_slots", enumeration.slots.len() as u64);
+            siro_trace::counter("synth.enum_assignments", count);
 
             // ➌ Validation (parallel differential testing).
             let tv = Instant::now();
+            let sp = siro_trace::span!("synth.validate", "{} assignments", count);
             let (passing, exec_ns, trans_ns) =
                 self.validate_all(&registry, &per_kind, test, &enumeration, count);
+            drop(sp);
             timings.validation += tv.elapsed();
             timings.validation_execute_cpu += Duration::from_nanos(exec_ns);
             timings.validation_translate_cpu += Duration::from_nanos(trans_ns);
             assignments_total += count;
+            siro_trace::counter("synth.assignments_validated", count);
+            siro_trace::counter("synth.assignments_passed", passing.len() as u64);
+            siro_trace::counter(
+                "synth.assignments_failed",
+                count.saturating_sub(passing.len() as u64),
+            );
 
             if passing.is_empty() {
                 return Err(SynthError::Conflict {
@@ -334,6 +358,7 @@ impl Synthesizer {
 
             // ➍ Refinement (Alg. 4).
             let tr = Instant::now();
+            let sp = siro_trace::span!("synth.refine", "{} passing", passing.len());
             let before: usize = enumeration
                 .slots
                 .iter()
@@ -355,20 +380,25 @@ impl Synthesizer {
                 .iter()
                 .map(|s| mstar.lookup(s.kind, &s.conj).map_or(0, BTreeSet::len))
                 .sum();
+            drop(sp);
             timings.refinement += tr.elapsed();
 
+            let pruned = before.saturating_sub(after) as u64;
+            siro_trace::counter("synth.candidates_pruned", pruned);
             per_test_stats.push(TestStats {
                 name: test.name.to_string(),
                 assignments: count,
                 passed: passing.len() as u64,
-                pruned: before.saturating_sub(after) as u64,
+                pruned,
             });
         }
 
         // ➎ Skeleton completion.
         let tc = Instant::now();
+        let sp = siro_trace::span!("synth.complete");
         let translator = complete_translator(Arc::clone(&registry), &mstar, &per_kind);
         let rendered = render_translator(&translator);
+        drop(sp);
         timings.completion = tc.elapsed();
 
         let refined_counts: BTreeMap<Opcode, usize> = mstar
@@ -440,7 +470,10 @@ impl Synthesizer {
             let mut groups: Vec<Vec<usize>> = Vec::new();
             let mut by_sig: HashMap<String, usize> = HashMap::new();
             for (ci, sig) in probes {
-                let Some(sig) = sig else { continue };
+                let Some(sig) = sig else {
+                    siro_trace::counter("synth.probes_failed", 1);
+                    continue;
+                };
                 if cfg.opt_equivalence {
                     if let Some(&gi) = by_sig.get(&sig) {
                         groups[gi].push(ci);
@@ -481,6 +514,7 @@ impl Synthesizer {
         all: &[ApiProgram],
         base: &[usize],
     ) -> Vec<(usize, Option<String>)> {
+        siro_trace::counter("synth.probes", base.len() as u64);
         let probe = |&ci: &usize| {
             (
                 ci,

@@ -210,6 +210,7 @@ pub fn validate_assignment(
         Ok(m) => m,
         Err(_) => {
             timing.translate_compile_ns += t0.elapsed().as_nanos() as u64;
+            siro_trace::counter("synth.validate_translate_rejects", 1);
             return false;
         }
     };
@@ -217,8 +218,10 @@ pub fn validate_assignment(
         verify::verify_module(&translated).is_ok() && verify::codegen_check(&translated).is_ok();
     timing.translate_compile_ns += t0.elapsed().as_nanos() as u64;
     if !compiled {
+        siro_trace::counter("synth.validate_compile_rejects", 1);
         return false;
     }
+    siro_trace::counter("synth.validate_executions", 1);
     let t1 = std::time::Instant::now();
     let ok = Machine::new(&translated)
         .with_fuel(200_000)

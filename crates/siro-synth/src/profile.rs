@@ -96,6 +96,7 @@ pub fn profile_module(registry: &ApiRegistry, module: &Module) -> ApiResult<Prof
             }
         }
     }
+    siro_trace::counter("synth.profile_rows", table.rows.len() as u64);
     Ok(table)
 }
 

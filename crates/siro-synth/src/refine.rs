@@ -37,10 +37,12 @@ impl MStar {
     /// Alg. 4: installs or intersects the surviving candidates for one
     /// conjunction.
     pub fn refine(&mut self, kind: Opcode, conj: &PredConj, survivors: &BTreeSet<CandIdx>) {
+        siro_trace::counter("synth.refine_iterations", 1);
         let per_kind = self.map.entry(kind).or_default();
         match per_kind.get_mut(conj) {
             None => {
                 per_kind.insert(conj.clone(), survivors.clone());
+                siro_trace::counter("synth.refine_conjunctions", 1);
             }
             Some(existing) => {
                 existing.retain(|c| survivors.contains(c));

@@ -49,6 +49,7 @@ impl<'r> TypeGraph<'r> {
             v.sort();
             producers.insert(ty, v);
         }
+        siro_trace::counter("synth.typegraph_types", types.len() as u64);
         TypeGraph {
             registry,
             producers,

@@ -1,0 +1,471 @@
+//! # siro-trace — structured tracing and metrics for the Siro stack
+//!
+//! A std-only, zero-dependency tracing subsystem: cheap named spans with
+//! parent/child nesting, typed counters, and three exporters — a Chrome
+//! `trace_event` JSON file (loadable in `chrome://tracing` / Perfetto), a
+//! per-span aggregate table (`siro trace-report`), and a Prometheus-style
+//! plaintext rendering served by `siro-serve`'s `METRICS` endpoint.
+//!
+//! ## Design
+//!
+//! * **Gating** — tracing is off unless the `SIRO_TRACE` environment
+//!   variable is set to `1`/`true`/`on` (or [`set_enabled`] is called).
+//!   The disabled path is one relaxed atomic load per [`span!`] /
+//!   [`counter`] call: no allocation, no locks, no formatting — the
+//!   `trace_overhead` bench in `siro-bench` proves the instrumented build
+//!   costs ~nothing when off.
+//! * **Lock-cheap recording** — each thread buffers finished spans in a
+//!   thread-local `Vec` and only takes the process-wide collector lock
+//!   when its root span closes (or the buffer fills). Counters are
+//!   process-wide atomics resolved through a thread-local cache, so the
+//!   steady-state increment is a single `fetch_add`.
+//! * **Nesting** — spans form a tree per thread via a thread-local stack;
+//!   every record carries its parent's id, which the Chrome exporter
+//!   preserves in `args` so tooling (and tests) can rebuild the tree.
+//!
+//! ## Example
+//!
+//! ```
+//! siro_trace::set_enabled(true);
+//! {
+//!     let _outer = siro_trace::span!("example.outer");
+//!     let _inner = siro_trace::span!("example.inner", "iteration {}", 7);
+//!     siro_trace::counter("example.widgets", 3);
+//! }
+//! let snap = siro_trace::snapshot();
+//! assert!(snap.spans.iter().any(|s| s.name == "example.outer"));
+//! assert_eq!(snap.counters.get("example.widgets"), Some(&3));
+//! siro_trace::set_enabled(false);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---- gating -------------------------------------------------------------
+
+/// Tri-state so the environment is consulted exactly once: 0 = uninit,
+/// 1 = disabled, 2 = enabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+fn init_from_env() -> bool {
+    let on = matches!(
+        std::env::var("SIRO_TRACE").ok().as_deref(),
+        Some("1") | Some("true") | Some("on")
+    );
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Whether tracing is currently enabled. The hot-path check: one relaxed
+/// atomic load (plus a one-time `SIRO_TRACE` environment read on the very
+/// first call in the process).
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Turns tracing on or off programmatically, overriding `SIRO_TRACE`.
+/// Used by benches and tests; servers expose the current state via their
+/// `STATS`/`METRICS` pages so operators can tell traced runs apart.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+// ---- clock and ids ------------------------------------------------------
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+// ---- records ------------------------------------------------------------
+
+/// One finished span, as stored by the collector and round-tripped through
+/// the Chrome trace exporter/parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (the taxonomy in `docs/OBSERVABILITY.md`).
+    pub name: String,
+    /// Free-form detail string (`span!("x", "pair {a}->{b}")`), possibly
+    /// empty.
+    pub detail: String,
+    /// Trace-local thread id (sequential from 1, not the OS tid).
+    pub tid: u64,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Start offset since the process trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Point-in-time copy of everything the collector holds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// Finished spans, in collection order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+// ---- collector ----------------------------------------------------------
+
+/// Flush the thread-local buffer once it holds this many spans even if the
+/// root span has not closed yet (bounds per-thread memory).
+const FLUSH_THRESHOLD: usize = 64;
+
+static SPANS: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+
+fn span_sink() -> &'static Mutex<Vec<SpanRecord>> {
+    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Counter registry: name -> leaked atomic. Leaking keeps the increment
+/// path free of locks once a thread has cached the reference; the leak is
+/// bounded by the number of distinct counter names.
+static COUNTERS: OnceLock<Mutex<BTreeMap<&'static str, &'static AtomicU64>>> = OnceLock::new();
+
+fn counter_registry() -> &'static Mutex<BTreeMap<&'static str, &'static AtomicU64>> {
+    COUNTERS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+struct ThreadState {
+    tid: u64,
+    stack: Vec<u64>,
+    buf: Vec<SpanRecord>,
+    counter_cache: HashMap<&'static str, &'static AtomicU64>,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState {
+        tid: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        buf: Vec::new(),
+        counter_cache: HashMap::new(),
+    });
+}
+
+fn flush_locked(state: &mut ThreadState) {
+    if state.buf.is_empty() {
+        return;
+    }
+    let mut sink = span_sink().lock().expect("trace collector poisoned");
+    sink.append(&mut state.buf);
+}
+
+/// Flushes the calling thread's buffered spans into the process-wide
+/// collector. Called automatically when a thread's outermost span closes;
+/// call it manually before a thread exits with non-span work pending.
+pub fn flush() {
+    TLS.with(|tls| flush_locked(&mut tls.borrow_mut()));
+}
+
+/// Adds `n` to the named counter. A no-op (single relaxed load) while
+/// tracing is disabled.
+#[inline]
+pub fn counter(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    counter_slow(name, n);
+}
+
+#[cold]
+fn counter_slow(name: &'static str, n: u64) {
+    TLS.with(|tls| {
+        let mut state = tls.borrow_mut();
+        let cell = match state.counter_cache.get(name) {
+            Some(&c) => c,
+            None => {
+                let mut reg = counter_registry()
+                    .lock()
+                    .expect("counter registry poisoned");
+                let c = *reg
+                    .entry(name)
+                    .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))));
+                state.counter_cache.insert(name, c);
+                c
+            }
+        };
+        cell.fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// Copies out every finished span and counter total, flushing the calling
+/// thread first. Spans buffered on *other* threads that have not closed
+/// their root span yet are not included.
+pub fn snapshot() -> TraceSnapshot {
+    flush();
+    let spans = span_sink()
+        .lock()
+        .expect("trace collector poisoned")
+        .clone();
+    let counters = counter_registry()
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect();
+    TraceSnapshot { spans, counters }
+}
+
+/// Drops every collected span and zeroes every counter (the calling
+/// thread's buffer included). Meant for benches and tests that measure
+/// isolated sections; other threads' unflushed buffers are untouched.
+pub fn reset() {
+    TLS.with(|tls| tls.borrow_mut().buf.clear());
+    span_sink()
+        .lock()
+        .expect("trace collector poisoned")
+        .clear();
+    for c in counter_registry()
+        .lock()
+        .expect("counter registry poisoned")
+        .values()
+    {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---- spans --------------------------------------------------------------
+
+/// A live span: created by [`span!`] (or [`Span::enter`]), recorded into
+/// the thread-local buffer when dropped. While tracing is disabled the
+/// guard is inert and costs nothing beyond its stack slot.
+#[must_use = "a span measures the scope it is alive in; bind it to a variable"]
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when tracing was disabled at entry.
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    name: &'static str,
+    detail: String,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    start_ns: u64,
+}
+
+impl Span {
+    /// Opens a span. `detail` is only invoked when tracing is enabled, so
+    /// formatting costs nothing on the disabled path — prefer the
+    /// [`span!`] macro, which wraps the format arguments for you.
+    pub fn enter(name: &'static str, detail: impl FnOnce() -> String) -> Span {
+        if !enabled() {
+            return Span { live: None };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = TLS.with(|tls| {
+            let mut state = tls.borrow_mut();
+            let parent = state.stack.last().copied();
+            state.stack.push(id);
+            parent
+        });
+        Span {
+            live: Some(LiveSpan {
+                name,
+                detail: detail(),
+                id,
+                parent,
+                start: Instant::now(),
+                start_ns: now_ns(),
+            }),
+        }
+    }
+
+    /// The span's id, if it is live (`None` while tracing is disabled).
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let dur_ns = live.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        TLS.with(|tls| {
+            let mut state = tls.borrow_mut();
+            // Normally a strict stack; tolerate out-of-order drops by
+            // removing the id wherever it sits.
+            if let Some(i) = state.stack.iter().rposition(|&id| id == live.id) {
+                state.stack.remove(i);
+            }
+            let tid = state.tid;
+            state.buf.push(SpanRecord {
+                name: live.name.to_string(),
+                detail: live.detail,
+                tid,
+                id: live.id,
+                parent: live.parent,
+                start_ns: live.start_ns,
+                dur_ns,
+            });
+            if state.stack.is_empty() || state.buf.len() >= FLUSH_THRESHOLD {
+                flush_locked(&mut state);
+            }
+        });
+    }
+}
+
+/// Records a span whose start point lies in the past — e.g. queue wait,
+/// where the interval began on another thread. The span closes now; its
+/// parent is whatever span is open on the calling thread.
+pub fn record_since(name: &'static str, start: Instant, detail: impl FnOnce() -> String) {
+    if !enabled() {
+        return;
+    }
+    let end_ns = now_ns();
+    let dur_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    TLS.with(|tls| {
+        let mut state = tls.borrow_mut();
+        let parent = state.stack.last().copied();
+        let tid = state.tid;
+        state.buf.push(SpanRecord {
+            name: name.to_string(),
+            detail: detail(),
+            tid,
+            id,
+            parent,
+            start_ns: end_ns.saturating_sub(dur_ns),
+            dur_ns,
+        });
+        if state.stack.is_empty() || state.buf.len() >= FLUSH_THRESHOLD {
+            flush_locked(&mut state);
+        }
+    });
+}
+
+/// Opens a [`Span`] measuring the enclosing scope.
+///
+/// ```
+/// siro_trace::set_enabled(true);
+/// {
+///     let _s = siro_trace::span!("doc.work", "item {}", 42);
+/// }
+/// assert!(siro_trace::snapshot()
+///     .spans
+///     .iter()
+///     .any(|s| s.name == "doc.work" && s.detail == "item 42"));
+/// siro_trace::set_enabled(false);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name, ::std::string::String::new)
+    };
+    ($name:expr, $($arg:tt)+) => {
+        $crate::Span::enter($name, || ::std::format!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector and the enabled flag are process-global and the test
+    // harness is multi-threaded; serialize every test that toggles them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        {
+            let s = span!("off.root");
+            assert_eq!(s.id(), None);
+            counter("off.count", 5);
+        }
+        let snap = snapshot();
+        assert!(snap.spans.iter().all(|s| s.name != "off.root"));
+        assert_eq!(snap.counters.get("off.count"), None);
+    }
+
+    #[test]
+    fn nesting_links_parents_and_children() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let outer = span!("nest.outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = span!("nest.inner", "depth {}", 2);
+                assert_ne!(inner.id().unwrap(), outer_id);
+            }
+            let sibling = span!("nest.sibling");
+            drop(sibling);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let by_name = |n: &str| snap.spans.iter().find(|s| s.name == n).expect(n);
+        let outer = by_name("nest.outer");
+        let inner = by_name("nest.inner");
+        let sibling = by_name("nest.sibling");
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(sibling.parent, Some(outer.id));
+        assert_eq!(inner.detail, "depth 2");
+        // Children complete (and are buffered) before their parent.
+        let pos = |id| snap.spans.iter().position(|s| s.id == id).unwrap();
+        assert!(pos(inner.id) < pos(outer.id));
+        // The child interval nests inside the parent interval.
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns + 1_000);
+    }
+
+    #[test]
+    fn counters_accumulate_across_calls() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        counter("acc.total", 2);
+        counter("acc.total", 3);
+        set_enabled(false);
+        assert_eq!(snapshot().counters.get("acc.total"), Some(&5));
+    }
+
+    #[test]
+    fn record_since_captures_past_intervals() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let t0 = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        record_since("past.wait", t0, String::new);
+        set_enabled(false);
+        let snap = snapshot();
+        let s = snap.spans.iter().find(|s| s.name == "past.wait").unwrap();
+        assert!(s.dur_ns >= 1_000_000, "dur {}", s.dur_ns);
+    }
+}

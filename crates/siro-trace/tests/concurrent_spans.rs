@@ -1,0 +1,170 @@
+//! Concurrency tests for the span collector: nesting links survive many
+//! threads recording at once, buffers flush children before their
+//! parents, the mid-span threshold flush bounds per-thread memory, and
+//! counters never drop increments under contention.
+//!
+//! These run in their own process (integration test binary), so enabling
+//! tracing globally here cannot leak into any other test suite. Within
+//! the binary the collector is still process-global, so the tests
+//! serialize on a static mutex.
+
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Many threads each record a root span with nested children; every
+/// record keeps the right thread id and parent link, and within the
+/// collected order every child precedes its parent (children close — and
+/// are buffered — first; the whole per-thread buffer lands in the sink as
+/// one contiguous block when the root closes).
+#[test]
+fn nesting_is_correct_across_threads() {
+    let _g = guard();
+    siro_trace::set_enabled(true);
+    siro_trace::reset();
+
+    const THREADS: usize = 4;
+    const CHILDREN: usize = 3;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let root = siro_trace::span!("cc.root", "thread {}", t);
+                let root_id = root.id().expect("tracing is on");
+                for i in 0..CHILDREN {
+                    let child = siro_trace::span!("cc.child", "{}:{}", t, i);
+                    assert_ne!(child.id(), Some(root_id));
+                    siro_trace::counter("cc.ops", 1);
+                }
+                // Root drops here, flushing this thread's buffer.
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    siro_trace::set_enabled(false);
+    let snap = siro_trace::snapshot();
+    let roots: Vec<_> = snap.spans.iter().filter(|s| s.name == "cc.root").collect();
+    let children: Vec<_> = snap.spans.iter().filter(|s| s.name == "cc.child").collect();
+    assert_eq!(roots.len(), THREADS);
+    assert_eq!(children.len(), THREADS * CHILDREN);
+    assert_eq!(
+        snap.counters.get("cc.ops"),
+        Some(&((THREADS * CHILDREN) as u64))
+    );
+
+    // Thread ids are distinct per thread and shared within one.
+    let mut tids: Vec<u64> = roots.iter().map(|r| r.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), THREADS, "each thread gets its own tid");
+    for child in &children {
+        let root = roots
+            .iter()
+            .find(|r| Some(r.id) == child.parent)
+            .unwrap_or_else(|| panic!("child {} has no root parent", child.detail));
+        assert_eq!(child.tid, root.tid, "nesting never crosses threads");
+        assert!(child.start_ns >= root.start_ns);
+    }
+
+    // Flush ordering: every span's parent appears *after* it in the
+    // collected order (children finish first, buffers are appended whole).
+    let index_of = |id: u64| snap.spans.iter().position(|s| s.id == id).unwrap();
+    for s in &snap.spans {
+        if let Some(p) = s.parent {
+            assert!(
+                index_of(s.id) < index_of(p),
+                "{}({}) flushed after its parent",
+                s.name,
+                s.detail
+            );
+        }
+    }
+}
+
+/// A long-lived root span must not buffer its children unboundedly: once
+/// the thread-local buffer crosses the flush threshold the children land
+/// in the shared collector even though the root is still open — visible
+/// to a snapshot taken from *another* thread (which cannot flush ours).
+#[test]
+fn threshold_flush_publishes_children_while_root_is_open() {
+    let _g = guard();
+    siro_trace::set_enabled(true);
+    siro_trace::reset();
+
+    const CHILDREN: usize = 100; // comfortably past the 64-span threshold
+    let root = siro_trace::span!("thresh.root");
+    for i in 0..CHILDREN {
+        let _c = siro_trace::span!("thresh.child", "{}", i);
+    }
+
+    // Snapshot from a helper thread: it flushes only *its own* (empty)
+    // buffer, so whatever it sees of ours got there via threshold flush.
+    let mid = std::thread::spawn(siro_trace::snapshot)
+        .join()
+        .expect("snapshot thread");
+    let flushed = mid
+        .spans
+        .iter()
+        .filter(|s| s.name == "thresh.child")
+        .count();
+    assert!(
+        flushed >= 64,
+        "expected a threshold flush before the root closed, saw {flushed}"
+    );
+    assert!(
+        !mid.spans.iter().any(|s| s.name == "thresh.root"),
+        "the still-open root must not be in the collector yet"
+    );
+
+    drop(root);
+    siro_trace::set_enabled(false);
+    let full = siro_trace::snapshot();
+    assert_eq!(
+        full.spans
+            .iter()
+            .filter(|s| s.name == "thresh.child")
+            .count(),
+        CHILDREN
+    );
+    assert_eq!(
+        full.spans
+            .iter()
+            .filter(|s| s.name == "thresh.root")
+            .count(),
+        1
+    );
+}
+
+/// Counter increments are atomic: heavy contention loses nothing.
+#[test]
+fn counters_do_not_drop_increments_under_contention() {
+    let _g = guard();
+    siro_trace::set_enabled(true);
+    siro_trace::reset();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 1_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..PER_THREAD {
+                    siro_trace::counter("contended.total", 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    siro_trace::set_enabled(false);
+    assert_eq!(
+        siro_trace::snapshot().counters.get("contended.total"),
+        Some(&(THREADS as u64 * PER_THREAD))
+    );
+}

@@ -1,0 +1,125 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! The rendered JSON for a fixed snapshot is compared byte-for-byte
+//! against `tests/golden/trace.json`, so any accidental change to the
+//! wire shape (field names, number formatting, escaping, ordering) fails
+//! loudly. Regenerate deliberately with:
+//!
+//! ```text
+//! SIRO_REGEN_GOLDEN=1 cargo test -p siro-trace --test golden_chrome_trace
+//! ```
+
+use std::path::PathBuf;
+
+use siro_trace::export::{chrome_trace_json, parse_chrome_trace};
+use siro_trace::json::{self, Value};
+use siro_trace::{SpanRecord, TraceSnapshot};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace.json")
+}
+
+/// A hand-built snapshot exercising the interesting cases: nesting,
+/// multiple threads, sub-microsecond durations, and detail strings that
+/// need JSON escaping.
+fn fixture() -> TraceSnapshot {
+    TraceSnapshot {
+        spans: vec![
+            SpanRecord {
+                name: "synth.run".into(),
+                detail: "13.0->3.6 (60 tests)".into(),
+                tid: 1,
+                id: 1,
+                parent: None,
+                start_ns: 0,
+                dur_ns: 18_232_000,
+            },
+            SpanRecord {
+                name: "synth.generate".into(),
+                detail: String::new(),
+                tid: 1,
+                id: 2,
+                parent: Some(1),
+                start_ns: 1_250,
+                dur_ns: 5_782_125,
+            },
+            SpanRecord {
+                name: "synth.test".into(),
+                detail: "escaped \"quotes\" and\nnewline \\ backslash".into(),
+                tid: 2,
+                id: 3,
+                parent: None,
+                start_ns: 2_500,
+                dur_ns: 999, // sub-microsecond: exercises the .nnn decimals
+            },
+        ],
+        counters: [
+            ("synth.probes".to_string(), 1796u64),
+            ("synth.profile_rows".to_string(), 254u64),
+        ]
+        .into_iter()
+        .collect(),
+    }
+}
+
+#[test]
+fn exporter_output_matches_the_golden_file() {
+    let rendered = chrome_trace_json(&fixture());
+    let path = golden_path();
+    if std::env::var_os("SIRO_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir golden");
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e}; regenerate with SIRO_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "Chrome trace JSON drifted from tests/golden/trace.json; if the \
+         change is intentional, regenerate with SIRO_REGEN_GOLDEN=1"
+    );
+}
+
+/// The golden file itself satisfies the Chrome `trace_event` schema that
+/// Perfetto / `chrome://tracing` expect: object form, complete events,
+/// microsecond timestamps, and our id/parent/detail args.
+#[test]
+fn golden_file_has_the_chrome_trace_schema() {
+    let text = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let doc = json::parse(&text).expect("golden file is valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), fixture().spans.len());
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(ev.get("cat").and_then(Value::as_str), Some("siro"));
+        assert_eq!(ev.get("pid").and_then(Value::as_u64), Some(1));
+        assert!(ev.get("name").and_then(Value::as_str).is_some());
+        assert!(ev.get("tid").and_then(Value::as_u64).is_some());
+        assert!(ev.get("ts").and_then(Value::as_f64).is_some());
+        assert!(ev.get("dur").and_then(Value::as_f64).is_some());
+        let args = ev.get("args").expect("args object");
+        assert!(args.get("span_id").and_then(Value::as_u64).is_some());
+        assert!(args.get("detail").and_then(Value::as_str).is_some());
+    }
+    assert!(doc.get("siroCounters").and_then(Value::as_obj).is_some());
+}
+
+/// Parsing the golden file reconstructs the fixture exactly — ids,
+/// parents, nanosecond timings, escaped details, and counters.
+#[test]
+fn golden_file_round_trips_to_the_fixture() {
+    let text = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let parsed = parse_chrome_trace(&text).expect("golden file parses");
+    assert_eq!(parsed, fixture());
+}

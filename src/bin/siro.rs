@@ -11,8 +11,16 @@
 //! siro opt program.sir [-o out.sir]
 //! siro serve [--addr 127.0.0.1:4799] [--threads N] [--queue N]
 //! siro stats --remote 127.0.0.1:4799
+//! siro metrics --remote 127.0.0.1:4799
 //! siro shutdown --remote 127.0.0.1:4799
+//! siro trace-report [trace.json]
 //! ```
+//!
+//! With `SIRO_TRACE=1`, `synthesize` and `serve` write a Chrome
+//! `trace_event` JSON file on exit (`SIRO_TRACE_FILE` overrides the
+//! `siro_trace.json` default) which `siro trace-report` aggregates and
+//! Perfetto / `chrome://tracing` load directly — see
+//! `docs/OBSERVABILITY.md`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -36,6 +44,8 @@ fn main() -> ExitCode {
         Some("opt") => cmd_opt(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("trace-report") => cmd_trace_report(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -68,7 +78,15 @@ USAGE:
     siro serve [--addr <host:port>]                  run the translation daemon
                [--threads <n>] [--queue <n>]         (defaults: SIRO_THREADS, 64)
     siro stats --remote <addr>                       print a daemon's STATS page
-    siro shutdown --remote <addr>                    gracefully stop a daemon"
+    siro metrics --remote <addr>                     print a daemon's Prometheus METRICS page
+    siro trace-report [<trace.json>]                 aggregate a SIRO_TRACE Chrome trace
+    siro shutdown --remote <addr>                    gracefully stop a daemon
+
+ENVIRONMENT:
+    SIRO_TRACE=1          record spans/counters; synthesize and serve write
+                          a Chrome trace_event JSON on exit
+    SIRO_TRACE_FILE=path  where to write it (default siro_trace.json)
+    SIRO_THREADS=n        worker threads for synthesis and serving"
     );
 }
 
@@ -276,6 +294,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         handle.addr()
     );
     handle.wait();
+    finish_trace();
     eprintln!("siro-serve drained and stopped");
     Ok(())
 }
@@ -287,6 +306,57 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let page = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
     print!("{page}");
     Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--remote").ok_or("usage: siro metrics --remote <addr>")?;
+    let mut client =
+        Client::connect(addr, REMOTE_TIMEOUT).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let page = client
+        .metrics()
+        .map_err(|e| format!("fetching metrics: {e}"))?;
+    print!("{page}");
+    Ok(())
+}
+
+fn cmd_trace_report(args: &[String]) -> Result<(), String> {
+    let default = siro::trace::export::default_trace_path();
+    let path = positional(args)
+        .first()
+        .map(std::path::PathBuf::from)
+        .unwrap_or(default);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "reading {}: {e} (run with SIRO_TRACE=1 first)",
+            path.display()
+        )
+    })?;
+    let snapshot = siro::trace::export::parse_chrome_trace(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "{} spans, {} counters from {}\n",
+        snapshot.spans.len(),
+        snapshot.counters.len(),
+        path.display()
+    );
+    print!("{}", siro::trace::export::render_aggregate(&snapshot));
+    Ok(())
+}
+
+/// Writes the collected trace (if tracing is on) and says where it went.
+fn finish_trace() {
+    if !siro::trace::enabled() {
+        return;
+    }
+    let path = siro::trace::export::default_trace_path();
+    match siro::trace::export::write_chrome_trace(&path) {
+        Ok(p) => eprintln!(
+            "trace written to {} (load in Perfetto or run `siro trace-report {}`)",
+            p.display(),
+            p.display()
+        ),
+        Err(e) => eprintln!("warning: writing trace {}: {e}", path.display()),
+    }
 }
 
 fn cmd_shutdown(args: &[String]) -> Result<(), String> {
@@ -346,6 +416,7 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
         }
     }
     println!("self-check: all corpus cases translate and meet their oracles");
+    finish_trace();
     Ok(())
 }
 
