@@ -32,6 +32,7 @@ pub fn lower_new_instruction(
     inst_id: siro_ir::InstId,
 ) -> TranslateResult<ValueRef> {
     let inst = ctx.src_func()?.inst(inst_id).clone();
+    siro_trace::counter("core.newinsts_lowered", 1);
     match inst.opcode {
         Opcode::Freeze => lower_freeze(ctx, &inst),
         Opcode::AddrSpaceCast => lower_addrspacecast(ctx, &inst),

@@ -62,6 +62,7 @@ impl Skeleton {
     ) -> TranslateResult<Module> {
         let mut ctx = TranslationCtx::new(src, self.target);
         self.translate_into(&mut ctx, src, inst_translator)?;
+        siro_trace::counter("core.modules_translated", 1);
         Ok(ctx.finish())
     }
 
@@ -106,6 +107,20 @@ impl Skeleton {
         let tgt_fid = ctx.translate_func(src_fid)?;
         ctx.begin_function(src_fid, tgt_fid);
         let func = src.func(src_fid);
+        // Translator-phase funnel counters: coarse per-phase totals the
+        // difftest fuzzer deltas around a translation to derive feedback
+        // (an input that pushes more blocks/phis/insts through the funnel
+        // is structurally novel even when block coverage is unchanged).
+        siro_trace::counter("core.funcs_translated", 1);
+        siro_trace::counter("core.blocks_translated", func.blocks.len() as u64);
+        siro_trace::counter(
+            "core.phis_translated",
+            func.blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .filter(|&&i| func.inst(i).opcode == siro_ir::Opcode::Phi)
+                .count() as u64,
+        );
         // TranslateArg: arguments were carried over by clone_signature;
         // TranslateBlock: pre-create each block so block operands and
         // forward branches resolve.
@@ -119,6 +134,7 @@ impl Skeleton {
             let tb = ctx.translate_block(b)?;
             ctx.set_insertion(tb);
             for &i in &func.block(b).insts {
+                siro_trace::counter("core.insts_translated", 1);
                 let v = inst_translator.translate_inst(ctx, i)?;
                 // Carry the source instruction's name (our stand-in for
                 // `!dbg` source locations) onto the translated result —

@@ -1,0 +1,470 @@
+//! The coverage-guided differential fuzzing loop.
+//!
+//! The loop mutates well-typed source-version modules (seeded from
+//! [`siro_testcases::gen`]) with the targeted mutators, checks every
+//! mutant against the [`ChainSet`] oracles, and keeps a mutant in the
+//! corpus when it exercises a *new feature*. Two feature maps feed the
+//! guidance signal:
+//!
+//! * **executed opcode kinds** — the instruction kinds on blocks the
+//!   interpreter actually reached, measured with
+//!   [`siro_fuzz::coverage`] block probes. Coverage block ids are
+//!   per-module, so they are abstracted to opcode kinds before being
+//!   compared across mutants;
+//! * **translator-phase funnel buckets** — log₂ buckets of the
+//!   [`siro_trace`] `core.*` counter deltas observed while the oracles
+//!   translated the input. A mutant that pushes a different order of
+//!   magnitude through a translation phase is novel even if it executes
+//!   no new kind.
+//!
+//! Failures are shrunk on the spot by [`crate::reduce::reduce`] against a
+//! same-oracle/same-family predicate, so every reported failure is
+//! already minimal.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use siro_fuzz::coverage;
+use siro_ir::{IrVersion, Module, Opcode};
+use siro_rng::{Rng, SeedableRng, StdRng};
+use siro_synth::{SynthError, SynthFault};
+use siro_testcases::gen::generate_cases;
+
+use crate::oracle::{ChainSet, FailureFamily, Verdict, ORACLE_FUEL};
+use crate::reduce::{placed_inst_count, reduce};
+
+/// Reduced failures at or under this many placed instructions count as
+/// fully shrunk.
+pub const SHRINK_TARGET: usize = 10;
+
+/// Configuration for one fuzzing run over a `(src, mid, tgt)` triple.
+#[derive(Debug, Clone)]
+pub struct DifftestConfig {
+    /// Source version `A`.
+    pub src: IrVersion,
+    /// Intermediate version `B` for the chain/roundtrip oracles.
+    pub mid: IrVersion,
+    /// Target version `C`.
+    pub tgt: IrVersion,
+    /// RNG seed (mutant choice and mutation sites).
+    pub seed: u64,
+    /// Wall-clock budget for the mutation loop.
+    pub budget: Duration,
+    /// Hard cap on oracle executions (budget still applies).
+    pub max_execs: usize,
+    /// Translator fault to inject into every synthesis leg (test only).
+    pub fault: Option<SynthFault>,
+    /// Interpreter fuel per oracle run.
+    pub fuel: u64,
+    /// How many generated seed programs start the corpus.
+    pub seed_cases: usize,
+}
+
+impl DifftestConfig {
+    /// A default configuration for the triple.
+    pub fn new(src: IrVersion, mid: IrVersion, tgt: IrVersion) -> Self {
+        DifftestConfig {
+            src,
+            mid,
+            tgt,
+            seed: 42,
+            budget: Duration::from_secs(5),
+            max_execs: usize::MAX,
+            fault: None,
+            fuel: ORACLE_FUEL,
+            seed_cases: 6,
+        }
+    }
+}
+
+/// A failure found by the loop, already reduced.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// Which oracle tripped.
+    pub oracle: &'static str,
+    /// Failure family.
+    pub family: FailureFamily,
+    /// Evidence from the *reduced* reproduction.
+    pub detail: String,
+    /// The mutator that produced the failing input.
+    pub mutator: &'static str,
+    /// The reduced failing module.
+    pub module: Module,
+    /// Placed instructions before reduction.
+    pub original_insts: usize,
+    /// Placed instructions after reduction.
+    pub reduced_insts: usize,
+    /// Whether reduction reached [`SHRINK_TARGET`].
+    pub shrunk: bool,
+}
+
+/// The outcome of one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct DifftestReport {
+    /// The triple fuzzed.
+    pub src: IrVersion,
+    /// Intermediate version.
+    pub mid: IrVersion,
+    /// Target version.
+    pub tgt: IrVersion,
+    /// Oracle executions performed.
+    pub execs: usize,
+    /// Wall-clock time spent in the loop.
+    pub wall: Duration,
+    /// Final corpus size (seeds + admitted mutants).
+    pub corpus_size: usize,
+    /// Seed corpus size.
+    pub seed_corpus_size: usize,
+    /// Distinct features observed (kinds + funnel buckets).
+    pub features: usize,
+    /// Opcode kinds placed in the generated seed corpus.
+    pub generated_kinds: BTreeSet<Opcode>,
+    /// Opcode kinds placed in the final corpus.
+    pub corpus_kinds: BTreeSet<Opcode>,
+    /// Reduced failures, in discovery order. One record per distinct
+    /// `(oracle, family, mutator)` key — repeat sightings of an
+    /// already-reduced failure only bump [`DifftestReport::duplicate_failures`].
+    pub failures: Vec<FailureRecord>,
+    /// Failures observed whose `(oracle, family, mutator)` key was
+    /// already recorded (not re-reduced).
+    pub duplicate_failures: usize,
+    /// Inputs skipped (fuel or translator partiality).
+    pub skips: usize,
+}
+
+impl DifftestReport {
+    /// The kinds coverage-guided mutation reached that generation alone
+    /// never produced.
+    pub fn new_kinds(&self) -> Vec<Opcode> {
+        self.corpus_kinds
+            .difference(&self.generated_kinds)
+            .copied()
+            .collect()
+    }
+
+    /// Failures deduplicated by oracle, family, and the kind signature of
+    /// the reduced reproduction.
+    pub fn distinct_failures(&self) -> usize {
+        self.failures
+            .iter()
+            .map(|f| (f.oracle, f.family, kind_signature(&f.module)))
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Executions per wall-clock second.
+    pub fn execs_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.execs as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A guidance feature: something novel an input did.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Feature {
+    /// The input executed a block carrying this opcode kind.
+    ExecKind(Opcode),
+    /// A `core.*` funnel counter moved by ~2^bucket during the oracles.
+    Funnel(String, u32),
+}
+
+/// Opcode kinds statically placed in blocks of defined functions.
+pub fn placed_kinds(m: &Module) -> BTreeSet<Opcode> {
+    let mut out = BTreeSet::new();
+    for f in &m.funcs {
+        for b in &f.blocks {
+            for &i in &b.insts {
+                out.insert(f.inst(i).opcode);
+            }
+        }
+    }
+    out
+}
+
+fn kind_signature(m: &Module) -> String {
+    placed_kinds(m)
+        .iter()
+        .map(|k| format!("{k}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The opcode kinds on blocks the interpreter actually reaches.
+///
+/// Coverage block ids are assigned per-module (sequentially over defined
+/// non-`sink` functions in id order, blocks in layout order), so the raw
+/// id set is meaningless across mutants. This maps ids back to the
+/// original module's blocks and abstracts to kinds, which *are*
+/// comparable.
+pub fn executed_kinds(m: &Module) -> BTreeSet<Opcode> {
+    let (instrumented, _) = coverage::instrument(m);
+    let covered = coverage::covered_blocks(&instrumented, &[]);
+    let mut out = BTreeSet::new();
+    let mut global = 0i64;
+    for f in &m.funcs {
+        if f.is_external || f.name == "sink" {
+            continue;
+        }
+        for b in &f.blocks {
+            if covered.contains(&global) {
+                for &i in &b.insts {
+                    out.insert(f.inst(i).opcode);
+                }
+            }
+            global += 1;
+        }
+    }
+    out
+}
+
+fn counter_delta(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>) -> Vec<Feature> {
+    let mut out = Vec::new();
+    for (k, &v) in after {
+        if !k.starts_with("core.") {
+            continue;
+        }
+        let delta = v.saturating_sub(before.get(k).copied().unwrap_or(0));
+        if delta > 0 {
+            out.push(Feature::Funnel(k.clone(), 64 - delta.leading_zeros()));
+        }
+    }
+    out
+}
+
+/// Runs one oracle check and collects the input's guidance features.
+fn check_with_features(chain: &ChainSet, m: &Module, fuel: u64) -> (Verdict, Vec<Feature>) {
+    let before = siro_trace::snapshot().counters;
+    let verdict = chain.check(m, fuel);
+    let after = siro_trace::snapshot().counters;
+    let mut features: Vec<Feature> = executed_kinds(m)
+        .into_iter()
+        .map(Feature::ExecKind)
+        .collect();
+    features.extend(counter_delta(&before, &after));
+    (verdict, features)
+}
+
+/// Runs the coverage-guided differential fuzzing loop.
+///
+/// Tracing is force-enabled for the duration (the funnel features need
+/// the `core.*` counters) and restored afterwards.
+///
+/// # Errors
+///
+/// Propagates synthesis failures for any translator leg.
+pub fn run(cfg: &DifftestConfig) -> Result<DifftestReport, SynthError> {
+    let was_enabled = siro_trace::enabled();
+    siro_trace::set_enabled(true);
+    let result = run_inner(cfg);
+    siro_trace::set_enabled(was_enabled);
+    result
+}
+
+fn run_inner(cfg: &DifftestConfig) -> Result<DifftestReport, SynthError> {
+    let chain = ChainSet::synthesize(cfg.src, cfg.mid, cfg.tgt, cfg.fault)?;
+    let start = Instant::now();
+
+    let seeds = generate_cases(cfg.seed, cfg.seed_cases, cfg.src);
+    let mut corpus: Vec<Module> = Vec::new();
+    let mut generated_kinds = BTreeSet::new();
+    let mut features: BTreeSet<Feature> = BTreeSet::new();
+    let mut failures: Vec<FailureRecord> = Vec::new();
+    let mut seen_failures: BTreeSet<(&'static str, FailureFamily, &'static str)> = BTreeSet::new();
+    let mut duplicate_failures = 0usize;
+    let mut skips = 0usize;
+    let mut execs = 0usize;
+
+    // Seed the corpus and both maps. Seeds are kept unconditionally —
+    // they are the mutation bases — but still contribute features, and a
+    // faulted translator can fail already on a seed.
+    for case in seeds {
+        generated_kinds.extend(placed_kinds(&case.module));
+        let (verdict, fs) = check_with_features(&chain, &case.module, cfg.fuel);
+        execs += 1;
+        features.extend(fs);
+        match verdict {
+            Verdict::Fail(f) => {
+                if seen_failures.insert((f.oracle, f.family, "seed")) {
+                    record_failure(&chain, &case.module, "seed", f, cfg.fuel, &mut failures);
+                } else {
+                    duplicate_failures += 1;
+                }
+            }
+            Verdict::Skip(_) => skips += 1,
+            Verdict::Agree => {}
+        }
+        corpus.push(case.module);
+    }
+
+    let mutators = crate::mutate::applicable_mutators(cfg.src);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5f5f_d1ff);
+    // Mutators are scheduled round-robin (bases stay random): every
+    // mutator is guaranteed airtime, so a translator bug keyed to one
+    // injected kind is found within one sweep of the catalogue.
+    let mut attempt = 0usize;
+    while start.elapsed() < cfg.budget && execs < cfg.max_execs && !corpus.is_empty() {
+        let base = &corpus[rng.gen_range(0..corpus.len())];
+        let mutator = mutators[attempt % mutators.len()];
+        attempt += 1;
+        let Some(mutant) = mutator.apply(base, &mut rng) else {
+            continue;
+        };
+        let (verdict, fs) = check_with_features(&chain, &mutant, cfg.fuel);
+        execs += 1;
+        match verdict {
+            Verdict::Fail(f) => {
+                if seen_failures.insert((f.oracle, f.family, mutator.name())) {
+                    record_failure(&chain, &mutant, mutator.name(), f, cfg.fuel, &mut failures);
+                } else {
+                    duplicate_failures += 1;
+                }
+            }
+            Verdict::Skip(_) => skips += 1,
+            Verdict::Agree => {
+                let novel = fs.iter().any(|f| !features.contains(f));
+                if novel {
+                    features.extend(fs);
+                    corpus.push(mutant);
+                }
+            }
+        }
+    }
+
+    let corpus_kinds = corpus.iter().flat_map(placed_kinds).collect();
+    Ok(DifftestReport {
+        src: cfg.src,
+        mid: cfg.mid,
+        tgt: cfg.tgt,
+        execs,
+        wall: start.elapsed(),
+        corpus_size: corpus.len(),
+        seed_corpus_size: cfg.seed_cases.min(corpus.len()),
+        features: features.len(),
+        generated_kinds,
+        corpus_kinds,
+        failures,
+        duplicate_failures,
+        skips,
+    })
+}
+
+/// Shrinks a failing input against a same-oracle/same-family predicate
+/// and appends the reduced record.
+fn record_failure(
+    chain: &ChainSet,
+    module: &Module,
+    mutator: &'static str,
+    found: crate::oracle::Failure,
+    fuel: u64,
+    failures: &mut Vec<FailureRecord>,
+) {
+    let oracle = found.oracle;
+    let family = found.family;
+    let still_fails = |m: &Module| {
+        matches!(
+            chain.check(m, fuel),
+            Verdict::Fail(f) if f.oracle == oracle && f.family == family
+        )
+    };
+    let original_insts = placed_inst_count(module);
+    let out = reduce(module, still_fails);
+    let reduced_insts = placed_inst_count(&out.module);
+    // Re-derive the detail from the reduced module so the record's
+    // evidence matches the artifact that gets persisted.
+    let detail = match chain.check(&out.module, fuel) {
+        Verdict::Fail(f) => f.detail,
+        _ => found.detail,
+    };
+    failures.push(FailureRecord {
+        oracle,
+        family,
+        detail,
+        mutator,
+        module: out.module,
+        original_insts,
+        reduced_insts,
+        shrunk: reduced_insts <= SHRINK_TARGET,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executed_kinds_sees_only_reached_blocks() {
+        use siro_ir::{FuncBuilder, IntPredicate, ValueRef};
+        let mut m = Module::new("t", IrVersion::V13_0);
+        let i32t = m.types.i32();
+        let f = FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        let dead = b.add_block("dead");
+        let live = b.add_block("live");
+        b.position_at_end(e);
+        let c = b.icmp(
+            IntPredicate::Eq,
+            ValueRef::const_int(i32t, 1),
+            ValueRef::const_int(i32t, 1),
+        );
+        b.cond_br(c, live, dead);
+        b.position_at_end(dead);
+        let x = b.mul(ValueRef::const_int(i32t, 2), ValueRef::const_int(i32t, 3));
+        b.ret(Some(x));
+        b.position_at_end(live);
+        b.ret(Some(ValueRef::const_int(i32t, 1)));
+        let kinds = executed_kinds(&m);
+        assert!(kinds.contains(&Opcode::ICmp));
+        assert!(kinds.contains(&Opcode::Ret));
+        assert!(
+            !kinds.contains(&Opcode::Mul),
+            "dead block must not contribute kinds"
+        );
+    }
+
+    #[test]
+    fn clean_run_finds_no_failures_and_new_kinds() {
+        let mut cfg = DifftestConfig::new(IrVersion::V13_0, IrVersion::V12_0, IrVersion::V3_6);
+        cfg.budget = Duration::from_secs(30);
+        cfg.max_execs = 60;
+        let report = run(&cfg).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report.execs >= report.seed_corpus_size);
+        assert!(
+            report.corpus_size > report.seed_corpus_size,
+            "no mutant was ever admitted to the corpus"
+        );
+        assert!(
+            !report.new_kinds().is_empty(),
+            "mutation should reach kinds generation does not"
+        );
+    }
+
+    #[test]
+    fn faulted_run_finds_and_shrinks_a_failure() {
+        let mut cfg = DifftestConfig::new(IrVersion::V13_0, IrVersion::V12_0, IrVersion::V3_6);
+        cfg.fault = Some(SynthFault::SwapOperands(Opcode::Sub));
+        cfg.budget = Duration::from_secs(30);
+        cfg.max_execs = 30;
+        let report = run(&cfg).unwrap();
+        assert!(
+            !report.failures.is_empty(),
+            "the injected fault must be caught"
+        );
+        let best = report
+            .failures
+            .iter()
+            .map(|f| f.reduced_insts)
+            .min()
+            .unwrap();
+        assert!(
+            best <= SHRINK_TARGET,
+            "reduction stalled at {best} placed instructions"
+        );
+        assert!(report.distinct_failures() >= 1);
+    }
+}

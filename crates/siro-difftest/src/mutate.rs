@@ -1,0 +1,492 @@
+//! Targeted IR mutators: well-typed program surgery that injects the
+//! long-tail instruction kinds random generation essentially never
+//! produces (the §7 diversity limitation [`siro_testcases::gen`]
+//! documents).
+//!
+//! Every structural mutator works the same way: find `main`'s returning
+//! block, detach its `ret`, build a small *garnish* snippet whose value
+//! depends on the original return value, and return `ret (old ^ garnish)`.
+//! The data dependence matters — a miscompiled garnish changes the
+//! program's observable result, so the differential oracle sees it.
+//!
+//! Mutants never use `undef` values: the `freeze` lowering is
+//! operand-forwarding, so an `undef`-carrying mutant would make the
+//! oracles unsound rather than the translator wrong.
+
+use siro_ir::{
+    verify, BlockId, FloatPredicate, FuncBuilder, FuncId, Instruction, IntPredicate, IrVersion,
+    Module, Opcode, RmwOp, TypeId, ValueRef,
+};
+use siro_rng::{Rng, StdRng};
+
+/// One targeted mutation. Every variant is deterministic given the RNG
+/// state and gated on [`Mutator::applicable`] so mutants stay well-formed
+/// for their module's version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Mutator {
+    /// Perturb one integer constant in an arithmetic/compare position.
+    ConstTweak,
+    /// Insert a `fence` barrier (no data effect).
+    FenceBarrier,
+    /// `alloca`/`store`/`atomicrmw add`/`load` counter round trip.
+    AtomicCounter,
+    /// `cmpxchg` plus `extractvalue` on its `{ty, i1}` result.
+    CompareExchange,
+    /// `insertelement`/`shufflevector`/`extractelement` lane traffic.
+    VectorLanes,
+    /// A `switch` over the low bits, merged through a `phi`.
+    SwitchDispatch,
+    /// An `indirectbr` over the low bit, merged through a `phi`.
+    IndirectDispatch,
+    /// `invoke` of a helper with a `landingpad`/`resume` unwind block.
+    InvokeUnwind,
+    /// `sitofp` → float arithmetic → `fcmp` → `select`.
+    FloatChain,
+    /// `getelementptr` into an `alloca`'d array, store/load round trip.
+    ArrayGep,
+    /// A never-taken branch to an `unreachable` block.
+    DeadUnreachable,
+    /// `ptrtoint`/`inttoptr` round trip, then load through the result.
+    PointerRoundTrip,
+    /// `freeze` of a concrete value (version ≥ 10.0).
+    FreezeValue,
+    /// `insertvalue`/`extractvalue` struct round trip.
+    AggregateRoundTrip,
+    /// A `va_arg` probe (defined-zero in the interpreter's model).
+    VaArgProbe,
+    /// Asymmetric arithmetic (`sub`/`udiv`/`shl` with safe constants) —
+    /// the kinds an operand-swap miscompile is most sensitive to.
+    BinopMix,
+}
+
+impl Mutator {
+    /// Every mutator, in catalogue order.
+    pub const ALL: [Mutator; 16] = [
+        Mutator::ConstTweak,
+        Mutator::FenceBarrier,
+        Mutator::AtomicCounter,
+        Mutator::CompareExchange,
+        Mutator::VectorLanes,
+        Mutator::SwitchDispatch,
+        Mutator::IndirectDispatch,
+        Mutator::InvokeUnwind,
+        Mutator::FloatChain,
+        Mutator::ArrayGep,
+        Mutator::DeadUnreachable,
+        Mutator::PointerRoundTrip,
+        Mutator::FreezeValue,
+        Mutator::AggregateRoundTrip,
+        Mutator::VaArgProbe,
+        Mutator::BinopMix,
+    ];
+
+    /// Stable catalogue name (used in reports and regression artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutator::ConstTweak => "const-tweak",
+            Mutator::FenceBarrier => "fence-barrier",
+            Mutator::AtomicCounter => "atomic-counter",
+            Mutator::CompareExchange => "compare-exchange",
+            Mutator::VectorLanes => "vector-lanes",
+            Mutator::SwitchDispatch => "switch-dispatch",
+            Mutator::IndirectDispatch => "indirect-dispatch",
+            Mutator::InvokeUnwind => "invoke-unwind",
+            Mutator::FloatChain => "float-chain",
+            Mutator::ArrayGep => "array-gep",
+            Mutator::DeadUnreachable => "dead-unreachable",
+            Mutator::PointerRoundTrip => "pointer-round-trip",
+            Mutator::FreezeValue => "freeze-value",
+            Mutator::AggregateRoundTrip => "aggregate-round-trip",
+            Mutator::VaArgProbe => "va-arg-probe",
+            Mutator::BinopMix => "binop-mix",
+        }
+    }
+
+    /// The opcodes the mutator injects; all must be supported by the
+    /// module's version for the mutant to verify.
+    pub fn injected_kinds(self) -> &'static [Opcode] {
+        match self {
+            Mutator::ConstTweak => &[],
+            Mutator::FenceBarrier => &[Opcode::Fence],
+            Mutator::AtomicCounter => &[Opcode::AtomicRmw],
+            Mutator::CompareExchange => &[Opcode::CmpXchg, Opcode::ExtractValue, Opcode::ZExt],
+            Mutator::VectorLanes => &[
+                Opcode::InsertElement,
+                Opcode::ShuffleVector,
+                Opcode::ExtractElement,
+            ],
+            Mutator::SwitchDispatch => &[Opcode::Switch, Opcode::Phi],
+            Mutator::IndirectDispatch => &[Opcode::IndirectBr, Opcode::Phi],
+            Mutator::InvokeUnwind => &[Opcode::Invoke, Opcode::LandingPad, Opcode::Resume],
+            Mutator::FloatChain => &[
+                Opcode::SIToFP,
+                Opcode::FAdd,
+                Opcode::FMul,
+                Opcode::FCmp,
+                Opcode::Select,
+            ],
+            Mutator::ArrayGep => &[Opcode::GetElementPtr],
+            Mutator::DeadUnreachable => &[Opcode::Unreachable],
+            Mutator::PointerRoundTrip => &[Opcode::PtrToInt, Opcode::IntToPtr],
+            Mutator::FreezeValue => &[Opcode::Freeze],
+            Mutator::AggregateRoundTrip => &[Opcode::InsertValue, Opcode::ExtractValue],
+            Mutator::VaArgProbe => &[Opcode::VAArg],
+            Mutator::BinopMix => &[Opcode::Sub, Opcode::UDiv, Opcode::Shl],
+        }
+    }
+
+    /// Whether the mutator's injected kinds all exist at `version`.
+    pub fn applicable(self, version: IrVersion) -> bool {
+        self.injected_kinds().iter().all(|&k| version.supports(k))
+    }
+
+    /// Applies the mutation. Returns `None` when the module has no
+    /// suitable surgery site or the mutant fails verification.
+    pub fn apply(self, module: &Module, rng: &mut StdRng) -> Option<Module> {
+        if !self.applicable(module.version) {
+            return None;
+        }
+        let out = match self {
+            Mutator::ConstTweak => const_tweak(module, rng),
+            Mutator::FenceBarrier => with_appended_snippet(module, |b, i32t, _| {
+                b.fence();
+                ValueRef::const_int(i32t, 0)
+            }),
+            Mutator::AtomicCounter => with_appended_snippet(module, |b, i32t, x| {
+                let slot = b.alloca(i32t);
+                b.store(ValueRef::const_int(i32t, 5), slot);
+                let old = b.atomicrmw(RmwOp::Add, slot, x);
+                let now = b.load(i32t, slot);
+                b.add(old, now)
+            }),
+            Mutator::CompareExchange => with_appended_snippet(module, |b, i32t, x| {
+                let i1 = b.module().types.i1();
+                let slot = b.alloca(i32t);
+                b.store(x, slot);
+                let pair = b.cmpxchg(slot, x, ValueRef::const_int(i32t, 11));
+                let old = b.extractvalue(pair, vec![0], i32t);
+                let ok = b.extractvalue(pair, vec![1], i1);
+                let oki = b.zext(ok, i32t);
+                b.add(old, oki)
+            }),
+            Mutator::VectorLanes => with_appended_snippet(module, |b, i32t, x| {
+                let v4 = b.module().types.vector(i32t, 4);
+                let v0 = ValueRef::ZeroInit(v4);
+                let v1 = b.insertelement(v0, x, ValueRef::const_int(i32t, 0));
+                let v2 = b.insertelement(
+                    v1,
+                    ValueRef::const_int(i32t, 9),
+                    ValueRef::const_int(i32t, 3),
+                );
+                let mut sh = Instruction::new(Opcode::ShuffleVector, v4, vec![v2, v0]);
+                sh.attrs.indices = vec![3, 0, 5, 2];
+                let shuffled = b.push(sh);
+                b.extractelement(shuffled, ValueRef::const_int(i32t, 1), i32t)
+            }),
+            Mutator::SwitchDispatch => with_appended_snippet(module, |b, i32t, x| {
+                let sel = b.and(x, ValueRef::const_int(i32t, 3));
+                let c0 = b.add_block("df_c0");
+                let c1 = b.add_block("df_c1");
+                let dflt = b.add_block("df_default");
+                let merge = b.add_block("df_merge");
+                b.switch(sel, dflt, vec![(0, c0), (1, c1)]);
+                b.position_at_end(c0);
+                b.br(merge);
+                b.position_at_end(c1);
+                b.br(merge);
+                b.position_at_end(dflt);
+                b.br(merge);
+                b.position_at_end(merge);
+                b.phi(
+                    i32t,
+                    vec![
+                        (ValueRef::const_int(i32t, 21), c0),
+                        (x, c1),
+                        (ValueRef::const_int(i32t, 4), dflt),
+                    ],
+                )
+            }),
+            Mutator::IndirectDispatch => with_appended_snippet(module, |b, i32t, x| {
+                let void = b.module().types.void();
+                let sel = b.and(x, ValueRef::const_int(i32t, 1));
+                let d0 = b.add_block("df_d0");
+                let d1 = b.add_block("df_d1");
+                let merge = b.add_block("df_merge");
+                b.push(Instruction::new(
+                    Opcode::IndirectBr,
+                    void,
+                    vec![sel, ValueRef::Block(d0), ValueRef::Block(d1)],
+                ));
+                b.position_at_end(d0);
+                b.br(merge);
+                b.position_at_end(d1);
+                b.br(merge);
+                b.position_at_end(merge);
+                b.phi(i32t, vec![(ValueRef::const_int(i32t, 17), d0), (x, d1)])
+            }),
+            Mutator::InvokeUnwind => {
+                let mut pre = module.clone();
+                let helper = ensure_helper_callee(&mut pre);
+                with_appended_snippet(&pre, |b, i32t, _| {
+                    let void = b.module().types.void();
+                    let normal = b.add_block("df_normal");
+                    let unwind = b.add_block("df_unwind");
+                    let v = b.invoke(i32t, ValueRef::Func(helper), vec![], normal, unwind);
+                    b.position_at_end(unwind);
+                    let lp = b.push(Instruction::new(Opcode::LandingPad, i32t, vec![]));
+                    b.push(Instruction::new(Opcode::Resume, void, vec![lp]));
+                    b.position_at_end(normal);
+                    v
+                })
+            }
+            Mutator::FloatChain => with_appended_snippet(module, |b, i32t, x| {
+                let f64t = b.module().types.f64();
+                let xf = b.cast(Opcode::SIToFP, x, f64t);
+                let g = b.fadd(
+                    xf,
+                    ValueRef::ConstFloat {
+                        ty: f64t,
+                        bits: 1.5f64.to_bits(),
+                    },
+                );
+                let sq = b.fmul(g, g);
+                let c = b.fcmp(
+                    FloatPredicate::Olt,
+                    sq,
+                    ValueRef::ConstFloat {
+                        ty: f64t,
+                        bits: 1.0e6f64.to_bits(),
+                    },
+                );
+                b.select(
+                    c,
+                    ValueRef::const_int(i32t, 13),
+                    ValueRef::const_int(i32t, 27),
+                )
+            }),
+            Mutator::ArrayGep => with_appended_snippet(module, |b, i32t, x| {
+                let arr = b.module().types.array(i32t, 4);
+                let pi32 = b.module().types.ptr(i32t);
+                let slot = b.alloca(arr);
+                let p = b.gep(
+                    arr,
+                    slot,
+                    vec![ValueRef::const_int(i32t, 0), ValueRef::const_int(i32t, 2)],
+                    pi32,
+                );
+                b.store(x, p);
+                b.load(i32t, p)
+            }),
+            Mutator::DeadUnreachable => with_appended_snippet(module, |b, i32t, _| {
+                let c = b.icmp(
+                    IntPredicate::Eq,
+                    ValueRef::const_int(i32t, 1),
+                    ValueRef::const_int(i32t, 2),
+                );
+                let dead = b.add_block("df_dead");
+                let live = b.add_block("df_live");
+                b.cond_br(c, dead, live);
+                b.position_at_end(dead);
+                b.unreachable();
+                b.position_at_end(live);
+                ValueRef::const_int(i32t, 6)
+            }),
+            Mutator::PointerRoundTrip => with_appended_snippet(module, |b, i32t, x| {
+                let i64t = b.module().types.i64();
+                let pi32 = b.module().types.ptr(i32t);
+                let slot = b.alloca(i32t);
+                b.store(x, slot);
+                let addr = b.ptrtoint(slot, i64t);
+                let back = b.inttoptr(addr, pi32);
+                b.load(i32t, back)
+            }),
+            Mutator::FreezeValue => with_appended_snippet(module, |b, _, x| b.freeze(x)),
+            Mutator::AggregateRoundTrip => with_appended_snippet(module, |b, i32t, x| {
+                let st = b.module().types.struct_(vec![i32t, i32t]);
+                let a0 = ValueRef::ZeroInit(st);
+                let a1 = b.insertvalue(a0, x, vec![0]);
+                let a2 = b.insertvalue(a1, ValueRef::const_int(i32t, 3), vec![1]);
+                let e0 = b.extractvalue(a2, vec![0], i32t);
+                let e1 = b.extractvalue(a2, vec![1], i32t);
+                b.add(e0, e1)
+            }),
+            Mutator::VaArgProbe => with_appended_snippet(module, |b, i32t, _| {
+                let slot = b.alloca(i32t);
+                b.push(Instruction::new(Opcode::VAArg, i32t, vec![slot]))
+            }),
+            Mutator::BinopMix => with_appended_snippet(module, |b, i32t, x| {
+                let a = b.sub(x, ValueRef::const_int(i32t, 3));
+                let d = b.udiv(a, ValueRef::const_int(i32t, 5));
+                b.shl(d, ValueRef::const_int(i32t, 1))
+            }),
+        }?;
+        verify::verify_module(&out).ok()?;
+        Some(out)
+    }
+}
+
+/// The mutators usable for modules of `version`, in catalogue order.
+pub fn applicable_mutators(version: IrVersion) -> Vec<Mutator> {
+    Mutator::ALL
+        .into_iter()
+        .filter(|m| m.applicable(version))
+        .collect()
+}
+
+/// The surgery shared by every structural mutator: detach `main`'s
+/// `ret i32 %v`, run `inject` positioned in the returning block, and close
+/// with `ret (%v ^ garnish)`. Returns `None` when `main` has no
+/// single-operand i32 `ret` to splice (the detached `ret` stays in the
+/// arena as a harmless orphan; artifacts round-trip through text, which
+/// compacts it away).
+pub fn with_appended_snippet(
+    module: &Module,
+    inject: impl FnOnce(&mut FuncBuilder<'_>, TypeId, ValueRef) -> ValueRef,
+) -> Option<Module> {
+    let mut m = module.clone();
+    let i32t = m.types.i32();
+    let fid = m.func_by_name("main")?;
+    let (bi, ret_val) = {
+        let f = m.func(fid);
+        f.blocks.iter().enumerate().find_map(|(bi, blk)| {
+            let &iid = blk.insts.last()?;
+            let inst = f.inst(iid);
+            (inst.opcode == Opcode::Ret
+                && inst.operands.len() == 1
+                && m.value_type(f, inst.operands[0]) == Some(i32t))
+            .then(|| (bi, inst.operands[0]))
+        })?
+    };
+    m.func_mut(fid).blocks[bi].insts.pop();
+    let ret_block = BlockId(bi as u32);
+    let mut b = FuncBuilder::new(&mut m, fid);
+    b.position_at_end(ret_block);
+    let garnish = inject(&mut b, i32t, ret_val);
+    let combined = b.xor(ret_val, garnish);
+    b.ret(Some(combined));
+    Some(m)
+}
+
+/// Adds (or finds) the defined helper `df_callee` the invoke mutator
+/// calls: `define i32 @df_callee() { ret i32 7 }`.
+fn ensure_helper_callee(m: &mut Module) -> FuncId {
+    if let Some(f) = m.func_by_name("df_callee") {
+        return f;
+    }
+    let i32t = m.types.i32();
+    let f = FuncBuilder::define(m, "df_callee", i32t, vec![]);
+    let mut b = FuncBuilder::new(m, f);
+    let e = b.add_block("entry");
+    b.position_at_end(e);
+    b.ret(Some(ValueRef::const_int(i32t, 7)));
+    f
+}
+
+/// Integer-constant perturbation, restricted to operand positions that
+/// cannot introduce division by zero or unportable shift amounts
+/// (`add`/`sub`/`mul`/`xor`/`icmp`/`select`/`phi`/`ret`, i32 only).
+fn const_tweak(module: &Module, rng: &mut StdRng) -> Option<Module> {
+    let mut m = module.clone();
+    let i32t = m.types.i32();
+    let mut sites: Vec<(usize, siro_ir::InstId, usize)> = Vec::new();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        for blk in &f.blocks {
+            for &iid in &blk.insts {
+                let inst = f.inst(iid);
+                if !matches!(
+                    inst.opcode,
+                    Opcode::Add
+                        | Opcode::Sub
+                        | Opcode::Mul
+                        | Opcode::Xor
+                        | Opcode::ICmp
+                        | Opcode::Select
+                        | Opcode::Phi
+                        | Opcode::Ret
+                ) {
+                    continue;
+                }
+                for (oi, op) in inst.operands.iter().enumerate() {
+                    if matches!(op, ValueRef::ConstInt { ty, .. } if *ty == i32t) {
+                        sites.push((fi, iid, oi));
+                    }
+                }
+            }
+        }
+    }
+    if sites.is_empty() {
+        return None;
+    }
+    let (fi, iid, oi) = sites[rng.gen_range(0..sites.len())];
+    let delta = rng.gen_range(1..9);
+    if let ValueRef::ConstInt { value, .. } = &mut m.funcs[fi].inst_mut(iid).operands[oi] {
+        *value = value.wrapping_add(delta);
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::interp::Machine;
+    use siro_rng::SeedableRng;
+    use siro_testcases::gen::generate_cases;
+
+    fn seed_module() -> Module {
+        generate_cases(42, 1, IrVersion::V13_0).remove(0).module
+    }
+
+    #[test]
+    fn every_mutator_yields_a_verifying_running_mutant() {
+        let base = seed_module();
+        for m in Mutator::ALL {
+            let mut rng = StdRng::seed_from_u64(9);
+            let Some(mutant) = m.apply(&base, &mut rng) else {
+                panic!("{} produced no mutant on the seed", m.name());
+            };
+            verify::verify_module(&mutant).unwrap();
+            let out = Machine::new(&mutant).with_fuel(100_000).run_main().unwrap();
+            assert!(
+                out.return_int().is_some(),
+                "{} mutant did not return an int: {:?}",
+                m.name(),
+                out.result
+            );
+            for &k in m.injected_kinds() {
+                let placed = mutant.funcs.iter().any(|f| {
+                    f.blocks
+                        .iter()
+                        .flat_map(|b| &b.insts)
+                        .any(|&i| f.inst(i).opcode == k)
+                });
+                assert!(placed, "{} did not place {k}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let base = seed_module();
+        for m in Mutator::ALL {
+            let a = m.apply(&base, &mut StdRng::seed_from_u64(3));
+            let b = m.apply(&base, &mut StdRng::seed_from_u64(3));
+            match (a, b) {
+                (Some(x), Some(y)) => assert_eq!(
+                    siro_ir::write::write_module(&x),
+                    siro_ir::write::write_module(&y),
+                    "{}",
+                    m.name()
+                ),
+                (None, None) => {}
+                _ => panic!("{} nondeterministic applicability", m.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_is_gated_on_version() {
+        assert!(!Mutator::FreezeValue.applicable(IrVersion::V3_6));
+        assert!(Mutator::FreezeValue.applicable(IrVersion::V13_0));
+        assert!(!applicable_mutators(IrVersion::V3_6).contains(&Mutator::FreezeValue));
+    }
+}

@@ -1,0 +1,554 @@
+//! The delta-debugging IR reducer: shrink a failing input while
+//! preserving the failure.
+//!
+//! Three passes run to a fixpoint, coarsest first:
+//!
+//! 1. **terminator simplification** — rewrite a `cond_br`/`switch`/
+//!    `indirectbr` into an unconditional `br` to one of its successors,
+//!    then sweep the blocks that became unreachable;
+//! 2. **instruction dropping** — remove one placed instruction, replacing
+//!    its uses with the zero constant of its type;
+//! 3. **operand simplification** — replace an instruction/argument operand
+//!    with the zero constant of its type.
+//!
+//! Every candidate is re-verified and re-checked against the caller's
+//! `still_fails` predicate before it is accepted, so the reducer can never
+//! drift onto a different (or vanished) bug. The search order is fixed and
+//! the passes use no randomness, so reduction is deterministic for a given
+//! input and predicate.
+
+use siro_ir::{
+    verify, BasicBlock, BlockId, InstId, Instruction, Module, Opcode, Type, TypeId, TypeTable,
+    ValueRef,
+};
+
+/// Upper bound on fixpoint rounds (each round runs all three passes).
+const MAX_ROUNDS: usize = 8;
+
+/// The result of a reduction.
+#[derive(Debug, Clone)]
+pub struct ReduceOutcome {
+    /// The reduced module (still failing, still verifying).
+    pub module: Module,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Candidate edits tried.
+    pub tried: usize,
+    /// Candidate edits accepted.
+    pub accepted: usize,
+}
+
+/// The number of instructions actually placed in blocks (arena orphans
+/// and unreachable code do not count — this is the size a human reads).
+pub fn placed_inst_count(m: &Module) -> usize {
+    m.funcs
+        .iter()
+        .map(|f| f.blocks.iter().map(|b| b.insts.len()).sum::<usize>())
+        .sum()
+}
+
+/// The zero constant of `ty`, if the type has one.
+fn zero_const(types: &TypeTable, ty: TypeId) -> Option<ValueRef> {
+    match types.get(ty) {
+        Type::Int(_) => Some(ValueRef::ConstInt { ty, value: 0 }),
+        Type::F32 | Type::F64 => Some(ValueRef::ConstFloat { ty, bits: 0 }),
+        Type::Ptr { .. } => Some(ValueRef::Null(ty)),
+        Type::Array { .. } | Type::Vector { .. } | Type::Struct { .. } => {
+            Some(ValueRef::ZeroInit(ty))
+        }
+        _ => None,
+    }
+}
+
+/// Rebuilds every defined function keeping only blocks reachable from the
+/// entry and the instructions placed in them, renumbering ids densely.
+/// Phi incomings from dropped predecessors are removed; stray references
+/// to dropped instructions (possible only in unverified intermediates)
+/// become zero constants.
+pub fn compact(m: &Module) -> Module {
+    let mut out = m.clone();
+    for (fi, f) in out.funcs.iter_mut().enumerate() {
+        if f.is_external || f.blocks.is_empty() {
+            continue;
+        }
+        let old = &m.funcs[fi];
+        // Reachability over the block graph.
+        let mut reach = vec![false; old.blocks.len()];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut reach[b], true) {
+                continue;
+            }
+            if let Some(&tid) = old.blocks[b].insts.last() {
+                for s in old.inst(tid).successors() {
+                    if !reach[s.0 as usize] {
+                        stack.push(s.0 as usize);
+                    }
+                }
+            }
+        }
+        // Renumber blocks and placed instructions.
+        let mut block_map: Vec<Option<BlockId>> = vec![None; old.blocks.len()];
+        let mut next_block = 0u32;
+        for (bi, r) in reach.iter().enumerate() {
+            if *r {
+                block_map[bi] = Some(BlockId(next_block));
+                next_block += 1;
+            }
+        }
+        let mut inst_map: Vec<Option<InstId>> = vec![None; old.insts.len()];
+        let mut new_insts: Vec<Instruction> = Vec::new();
+        let mut new_blocks: Vec<BasicBlock> = Vec::new();
+        for (bi, blk) in old.blocks.iter().enumerate() {
+            if !reach[bi] {
+                continue;
+            }
+            let mut nb = BasicBlock {
+                name: blk.name.clone(),
+                insts: Vec::with_capacity(blk.insts.len()),
+            };
+            for &iid in &blk.insts {
+                let mut inst = old.inst(iid).clone();
+                if inst.opcode == Opcode::Phi {
+                    let mut ops = Vec::with_capacity(inst.operands.len());
+                    for pair in inst.operands.chunks(2) {
+                        if let [_, ValueRef::Block(pb)] = pair {
+                            if reach[pb.0 as usize] {
+                                ops.extend_from_slice(pair);
+                            }
+                        }
+                    }
+                    inst.operands = ops;
+                }
+                let nid = InstId(new_insts.len() as u32);
+                inst_map[iid.0 as usize] = Some(nid);
+                new_insts.push(inst);
+                nb.insts.push(nid);
+            }
+            new_blocks.push(nb);
+        }
+        // Remap operands.
+        for inst in &mut new_insts {
+            for op in &mut inst.operands {
+                *op = match *op {
+                    ValueRef::Inst(oid) => match inst_map[oid.0 as usize] {
+                        Some(nid) => ValueRef::Inst(nid),
+                        None => m
+                            .value_type(old, ValueRef::Inst(oid))
+                            .and_then(|t| zero_const(&m.types, t))
+                            .unwrap_or(ValueRef::Inst(oid)),
+                    },
+                    ValueRef::Block(ob) => ValueRef::Block(block_map[ob.0 as usize].unwrap_or(ob)),
+                    other => other,
+                };
+            }
+        }
+        f.blocks = new_blocks;
+        f.insts = new_insts;
+    }
+    out
+}
+
+fn accept(cand: &Module, still_fails: &impl Fn(&Module) -> bool) -> bool {
+    verify::verify_module(cand).is_ok() && still_fails(cand)
+}
+
+/// Pass 1: try collapsing multi-way terminators into plain branches.
+/// Returns true when an edit was accepted (and applied to `cur`).
+fn simplify_one_terminator(
+    cur: &mut Module,
+    still_fails: &impl Fn(&Module) -> bool,
+    tried: &mut usize,
+) -> bool {
+    let void = cur.types.void();
+    for fi in 0..cur.funcs.len() {
+        if cur.funcs[fi].is_external {
+            continue;
+        }
+        for bi in 0..cur.funcs[fi].blocks.len() {
+            let Some(&tid) = cur.funcs[fi].blocks[bi].insts.last() else {
+                continue;
+            };
+            let term = cur.funcs[fi].inst(tid);
+            let multiway = matches!(term.opcode, Opcode::Switch | Opcode::IndirectBr)
+                || (term.opcode == Opcode::Br && term.operands.len() == 3);
+            if !multiway {
+                continue;
+            }
+            let mut succs = term.successors();
+            succs.dedup();
+            for s in succs {
+                *tried += 1;
+                let mut cand = cur.clone();
+                cand.funcs[fi].insts[tid.0 as usize] =
+                    Instruction::new(Opcode::Br, void, vec![ValueRef::Block(s)]);
+                let cand = compact(&cand);
+                if accept(&cand, still_fails) {
+                    *cur = cand;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Pass 1b: try dropping one `switch` case (keeps the opcode, sheds an
+/// arm). Operand layout: `[value, default, (const, dest)*]`.
+fn drop_one_switch_case(
+    cur: &mut Module,
+    still_fails: &impl Fn(&Module) -> bool,
+    tried: &mut usize,
+) -> bool {
+    for fi in 0..cur.funcs.len() {
+        if cur.funcs[fi].is_external {
+            continue;
+        }
+        for bi in 0..cur.funcs[fi].blocks.len() {
+            let Some(&tid) = cur.funcs[fi].blocks[bi].insts.last() else {
+                continue;
+            };
+            let term = cur.funcs[fi].inst(tid);
+            if term.opcode != Opcode::Switch || term.operands.len() < 4 {
+                continue;
+            }
+            let n_cases = (term.operands.len() - 2) / 2;
+            for ci in 0..n_cases {
+                *tried += 1;
+                let mut cand = cur.clone();
+                let ops = &mut cand.funcs[fi].inst_mut(tid).operands;
+                ops.drain(2 + 2 * ci..4 + 2 * ci);
+                let cand = compact(&cand);
+                if accept(&cand, still_fails) {
+                    *cur = cand;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Pass 1c: try merging a single-predecessor block into the block that
+/// unconditionally branches to it. This is what collapses the long
+/// straight-line `br` chains generated loop shapes leave behind.
+fn merge_one_block(
+    cur: &mut Module,
+    still_fails: &impl Fn(&Module) -> bool,
+    tried: &mut usize,
+) -> bool {
+    for fi in 0..cur.funcs.len() {
+        if cur.funcs[fi].is_external {
+            continue;
+        }
+        for bi in 0..cur.funcs[fi].blocks.len() {
+            let Some(&tid) = cur.funcs[fi].blocks[bi].insts.last() else {
+                continue;
+            };
+            let term = cur.funcs[fi].inst(tid);
+            if term.opcode != Opcode::Br || term.operands.len() != 1 {
+                continue;
+            }
+            let ValueRef::Block(s) = term.operands[0] else {
+                continue;
+            };
+            let si = s.0 as usize;
+            if si == bi || si == 0 {
+                continue;
+            }
+            // `s` must have no other predecessor.
+            let f = &cur.funcs[fi];
+            let other_pred = f.blocks.iter().enumerate().any(|(obi, ob)| {
+                obi != bi
+                    && ob
+                        .insts
+                        .last()
+                        .is_some_and(|&t| f.inst(t).successors().contains(&s))
+            });
+            if other_pred {
+                continue;
+            }
+            *tried += 1;
+            let mut cand = cur.clone();
+            let func = &mut cand.funcs[fi];
+            func.blocks[bi].insts.pop();
+            let moved = std::mem::take(&mut func.blocks[si].insts);
+            func.blocks[bi].insts.extend(moved);
+            // Phi incomings recorded "from s" now arrive from `bi`.
+            for inst in &mut func.insts {
+                if inst.opcode == Opcode::Phi {
+                    for op in &mut inst.operands {
+                        if *op == ValueRef::Block(s) {
+                            *op = ValueRef::Block(BlockId(bi as u32));
+                        }
+                    }
+                }
+            }
+            let cand = compact(&cand);
+            if accept(&cand, still_fails) {
+                *cur = cand;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Pass 2: try dropping one placed non-terminator instruction.
+fn drop_one_instruction(
+    cur: &mut Module,
+    still_fails: &impl Fn(&Module) -> bool,
+    tried: &mut usize,
+) -> bool {
+    for fi in 0..cur.funcs.len() {
+        if cur.funcs[fi].is_external {
+            continue;
+        }
+        for bi in 0..cur.funcs[fi].blocks.len() {
+            // Latest-added first: garnish code sits at the end of blocks.
+            for pos in (0..cur.funcs[fi].blocks[bi].insts.len()).rev() {
+                let iid = cur.funcs[fi].blocks[bi].insts[pos];
+                let inst = cur.funcs[fi].inst(iid);
+                if inst.opcode.is_terminator() {
+                    continue;
+                }
+                let uses = cur.funcs[fi]
+                    .blocks
+                    .iter()
+                    .flat_map(|b| &b.insts)
+                    .flat_map(|&i| &cur.funcs[fi].inst(i).operands)
+                    .filter(|&&op| op == ValueRef::Inst(iid))
+                    .count();
+                let repl = if uses > 0 {
+                    let f = &cur.funcs[fi];
+                    match cur
+                        .value_type(f, ValueRef::Inst(iid))
+                        .and_then(|t| zero_const(&cur.types, t))
+                    {
+                        Some(r) => Some(r),
+                        None => continue,
+                    }
+                } else {
+                    None
+                };
+                *tried += 1;
+                let mut cand = cur.clone();
+                cand.funcs[fi].blocks[bi].insts.remove(pos);
+                if let Some(repl) = repl {
+                    for inst in &mut cand.funcs[fi].insts {
+                        for op in &mut inst.operands {
+                            if *op == ValueRef::Inst(iid) {
+                                *op = repl;
+                            }
+                        }
+                    }
+                }
+                let cand = compact(&cand);
+                if accept(&cand, still_fails) {
+                    *cur = cand;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Pass 3: try replacing one instruction/argument operand with zero.
+fn simplify_one_operand(
+    cur: &mut Module,
+    still_fails: &impl Fn(&Module) -> bool,
+    tried: &mut usize,
+) -> bool {
+    for fi in 0..cur.funcs.len() {
+        if cur.funcs[fi].is_external {
+            continue;
+        }
+        let placed: Vec<InstId> = cur.funcs[fi]
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().copied())
+            .collect();
+        for iid in placed {
+            let n_ops = cur.funcs[fi].inst(iid).operands.len();
+            for oi in 0..n_ops {
+                let op = cur.funcs[fi].inst(iid).operands[oi];
+                if !matches!(op, ValueRef::Inst(_) | ValueRef::Arg(_)) {
+                    continue;
+                }
+                let repl = {
+                    let f = &cur.funcs[fi];
+                    match cur
+                        .value_type(f, op)
+                        .and_then(|t| zero_const(&cur.types, t))
+                    {
+                        Some(r) => r,
+                        None => continue,
+                    }
+                };
+                *tried += 1;
+                let mut cand = cur.clone();
+                cand.funcs[fi].inst_mut(iid).operands[oi] = repl;
+                if accept(&cand, still_fails) {
+                    *cur = cand;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Reduces `module` while `still_fails` keeps holding.
+///
+/// The input must fail the predicate already; if it does not, it is
+/// returned unchanged. The returned module always verifies and fails.
+pub fn reduce(module: &Module, still_fails: impl Fn(&Module) -> bool) -> ReduceOutcome {
+    let mut tried = 0usize;
+    let mut accepted = 0usize;
+    if !still_fails(module) {
+        return ReduceOutcome {
+            module: module.clone(),
+            rounds: 0,
+            tried,
+            accepted,
+        };
+    }
+    // Start from the compacted form when it preserves the failure.
+    let mut cur = {
+        let c = compact(module);
+        if accept(&c, &still_fails) {
+            c
+        } else {
+            module.clone()
+        }
+    };
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut progress = false;
+        while simplify_one_terminator(&mut cur, &still_fails, &mut tried) {
+            accepted += 1;
+            progress = true;
+        }
+        while drop_one_switch_case(&mut cur, &still_fails, &mut tried) {
+            accepted += 1;
+            progress = true;
+        }
+        while merge_one_block(&mut cur, &still_fails, &mut tried) {
+            accepted += 1;
+            progress = true;
+        }
+        while drop_one_instruction(&mut cur, &still_fails, &mut tried) {
+            accepted += 1;
+            progress = true;
+        }
+        while simplify_one_operand(&mut cur, &still_fails, &mut tried) {
+            accepted += 1;
+            progress = true;
+        }
+        if !progress || rounds >= MAX_ROUNDS {
+            break;
+        }
+    }
+    ReduceOutcome {
+        module: cur,
+        rounds,
+        tried,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::Mutator;
+    use siro_ir::IrVersion;
+    use siro_rng::{SeedableRng, StdRng};
+    use siro_testcases::gen::generate_cases;
+
+    /// A synthetic failure predicate: "the program still places a
+    /// `switch`". Stands in for a translator bug keyed to one kind.
+    fn places_switch(m: &Module) -> bool {
+        m.funcs.iter().any(|f| {
+            f.blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .any(|&i| f.inst(i).opcode == Opcode::Switch)
+        })
+    }
+
+    fn switchy_module() -> Module {
+        let base = generate_cases(42, 3, IrVersion::V13_0).remove(2).module;
+        Mutator::SwitchDispatch
+            .apply(&base, &mut StdRng::seed_from_u64(5))
+            .expect("switch mutant")
+    }
+
+    #[test]
+    fn every_accepted_step_verifies_and_still_fails() {
+        let m = switchy_module();
+        assert!(places_switch(&m));
+        // The predicate wrapper asserts the reducer's contract on every
+        // candidate it *accepts* (reduce re-checks before accepting).
+        let out = reduce(&m, places_switch);
+        verify::verify_module(&out.module).unwrap();
+        assert!(places_switch(&out.module), "reduction lost the failure");
+        assert!(out.tried >= out.accepted);
+    }
+
+    #[test]
+    fn reduction_shrinks_aggressively() {
+        let m = switchy_module();
+        let before = placed_inst_count(&m);
+        let out = reduce(&m, places_switch);
+        let after = placed_inst_count(&out.module);
+        assert!(after < before, "no shrinkage: {before} -> {after}");
+        // switch + its selector + per-edge control flow + ret: a handful.
+        assert!(after <= 10, "expected <= 10 placed insts, got {after}");
+    }
+
+    #[test]
+    fn reduction_is_deterministic() {
+        let m = switchy_module();
+        let a = reduce(&m, places_switch);
+        let b = reduce(&m, places_switch);
+        assert_eq!(
+            siro_ir::write::write_module(&a.module),
+            siro_ir::write::write_module(&b.module)
+        );
+        assert_eq!(a.tried, b.tried);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let m = generate_cases(7, 1, IrVersion::V13_0).remove(0).module;
+        assert!(!places_switch(&m));
+        let out = reduce(&m, places_switch);
+        assert_eq!(
+            siro_ir::write::write_module(&out.module),
+            siro_ir::write::write_module(&m)
+        );
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn compact_drops_unreachable_blocks_and_orphans() {
+        let m = switchy_module();
+        // The surgery leaves the detached `ret` in the arena; compaction
+        // must remove it and keep behaviour intact.
+        let c = compact(&m);
+        verify::verify_module(&c).unwrap();
+        let run = |m: &Module| {
+            siro_ir::interp::Machine::new(m)
+                .with_fuel(100_000)
+                .run_main()
+                .unwrap()
+                .return_int()
+        };
+        assert_eq!(run(&m), run(&c));
+        let arena: usize = c.funcs.iter().map(|f| f.insts.len()).sum();
+        assert_eq!(arena, placed_inst_count(&c), "compact left orphans");
+    }
+}

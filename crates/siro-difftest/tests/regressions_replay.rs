@@ -1,0 +1,112 @@
+//! Replays every committed regression artifact as a failing-then-fixed
+//! check, in the default `cargo test` lane.
+//!
+//! Each artifact under `regressions/` records the version triple, the
+//! injected translator fault that produced the failure, the oracle that
+//! tripped, and the reduced reproduction module. The replay asserts the
+//! full contract:
+//!
+//! * the module is shrunk (≤ [`SHRINK_TARGET`] placed instructions);
+//! * with the recorded fault injected, the recorded oracle still fails
+//!   with the recorded family (**failing**);
+//! * with the production translators (no fault), no oracle fails
+//!   (**then fixed**).
+
+use std::path::Path;
+
+use siro_difftest::oracle::ChainSet;
+use siro_difftest::{
+    placed_inst_count, FailureFamily, RegressionArtifact, Verdict, ORACLE_FUEL, SHRINK_TARGET,
+};
+
+fn regressions_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/regressions"))
+}
+
+#[test]
+fn committed_artifacts_exist_and_parse() {
+    let artifacts = RegressionArtifact::load_dir(regressions_dir());
+    assert!(
+        !artifacts.is_empty(),
+        "no regression artifacts under {}",
+        regressions_dir().display()
+    );
+    for (path, a) in &artifacts {
+        assert!(
+            !a.oracle.is_empty() && !a.mutator.is_empty(),
+            "{} has empty metadata",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn committed_artifacts_are_shrunk() {
+    for (path, a) in RegressionArtifact::load_dir(regressions_dir()) {
+        let n = placed_inst_count(&a.module);
+        assert!(
+            n <= SHRINK_TARGET,
+            "{} has {n} placed instructions (target {SHRINK_TARGET})",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn artifacts_fail_with_recorded_fault_and_pass_without() {
+    for (path, a) in RegressionArtifact::load_dir(regressions_dir()) {
+        assert!(
+            a.fault.is_some(),
+            "{}: a faultless artifact would be a real translator bug — \
+             fix the translator instead of committing it",
+            path.display()
+        );
+
+        // Failing: the faulted translator still trips the recorded oracle.
+        let faulted = ChainSet::synthesize(a.src, a.mid, a.tgt, a.fault)
+            .unwrap_or_else(|e| panic!("{}: faulted synthesis failed: {e}", path.display()));
+        match faulted.check(&a.module, ORACLE_FUEL) {
+            Verdict::Fail(f) => {
+                assert_eq!(f.oracle, a.oracle, "{}: wrong oracle", path.display());
+                assert_eq!(f.family, a.family, "{}: wrong family", path.display());
+            }
+            other => panic!(
+                "{}: expected the recorded {}/{} failure, got {other:?}",
+                path.display(),
+                a.oracle,
+                a.family.name()
+            ),
+        }
+
+        // Then fixed: the production translators agree on the same input.
+        let clean = ChainSet::synthesize(a.src, a.mid, a.tgt, None)
+            .unwrap_or_else(|e| panic!("{}: clean synthesis failed: {e}", path.display()));
+        match clean.check(&a.module, ORACLE_FUEL) {
+            Verdict::Fail(f) => panic!(
+                "{}: production translators fail too ({}/{}): {}",
+                path.display(),
+                f.oracle,
+                f.family.name(),
+                f.detail
+            ),
+            Verdict::Agree | Verdict::Skip(_) => {}
+        }
+    }
+}
+
+#[test]
+fn artifact_family_metadata_is_well_formed() {
+    for (path, a) in RegressionArtifact::load_dir(regressions_dir()) {
+        assert!(
+            FailureFamily::parse(a.family.name()).is_some(),
+            "{}: family does not round-trip",
+            path.display()
+        );
+        assert!(
+            matches!(a.oracle.as_str(), "differential" | "chain" | "roundtrip"),
+            "{}: unknown oracle `{}`",
+            path.display(),
+            a.oracle
+        );
+    }
+}

@@ -77,6 +77,13 @@ impl<'m> FuncBuilder<'m> {
         self.block = Some(block);
     }
 
+    /// The current insertion block, if one has been set — the predecessor
+    /// a generator needs when it is about to branch to a new block and
+    /// record phi incomings.
+    pub fn current_block(&self) -> Option<BlockId> {
+        self.block
+    }
+
     /// Appends a raw instruction at the insertion point.
     ///
     /// # Panics

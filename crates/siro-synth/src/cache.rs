@@ -29,6 +29,7 @@ use siro_ir::IrVersion;
 use crate::candgen::GenLimits;
 use crate::driver::{SynthError, SynthesisConfig, SynthesisOutcome, Synthesizer};
 use crate::pertest::OracleTest;
+use crate::refine::SynthFault;
 
 /// Everything that can change what `Synthesizer::synthesize` produces.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -41,6 +42,7 @@ struct CacheKey {
     opt_ordering: bool,
     limits: GenLimits,
     max_assignments_per_test: u128,
+    fault: Option<SynthFault>,
 }
 
 impl CacheKey {
@@ -54,6 +56,7 @@ impl CacheKey {
             opt_ordering: config.opt_ordering,
             limits: config.limits,
             max_assignments_per_test: config.max_assignments_per_test,
+            fault: config.fault,
         }
     }
 }

@@ -36,7 +36,7 @@ use crate::pertest::{
     probe_candidate, validate_assignment, Enumeration, OracleTest, Slot, ValidationTiming,
 };
 use crate::profile::profile_module;
-use crate::refine::MStar;
+use crate::refine::{MStar, SynthFault};
 use crate::typegraph::TypeGraph;
 
 /// Configuration of one synthesis run.
@@ -59,6 +59,10 @@ pub struct SynthesisConfig {
     /// Per-test translator budget; exceeding it aborts like the paper's
     /// 24-hour timeout with 13,000,000 translators pending.
     pub max_assignments_per_test: u128,
+    /// Test-only fault injection: a deliberately broken synthesis rule the
+    /// differential fuzzer must find. `None` (the default and the only
+    /// production value) synthesizes normally.
+    pub fault: Option<SynthFault>,
 }
 
 impl SynthesisConfig {
@@ -73,6 +77,7 @@ impl SynthesisConfig {
             threads: resolve_threads(),
             limits: GenLimits::default(),
             max_assignments_per_test: 500_000,
+            fault: None,
         }
     }
 }
@@ -393,10 +398,24 @@ impl Synthesizer {
             });
         }
 
+        // Armed fault injection (test-only): corrupt the refinement state
+        // after the test loop so the run still completes but the completed
+        // translator is wrong — the seeded bug the difftest fuzzer must
+        // rediscover.
+        if let Some(SynthFault::ForgetRefinement(kind)) = cfg.fault {
+            if let Some(cands) = per_kind.get(&kind) {
+                mstar.forget_refinement(kind, cands.len());
+                siro_trace::counter("synth.fault_injected", 1);
+            }
+        }
+
         // ➎ Skeleton completion.
         let tc = Instant::now();
         let sp = siro_trace::span!("synth.complete");
-        let translator = complete_translator(Arc::clone(&registry), &mstar, &per_kind);
+        let mut translator = complete_translator(Arc::clone(&registry), &mstar, &per_kind);
+        if let Some(SynthFault::SwapOperands(kind)) = cfg.fault {
+            apply_swap_operands_fault(&registry, &mut translator, kind);
+        }
         let rendered = render_translator(&translator);
         drop(sp);
         timings.completion = tc.elapsed();
@@ -595,6 +614,33 @@ impl Synthesizer {
     }
 }
 
+/// Implements [`SynthFault::SwapOperands`]: rewrites every arm of the
+/// kind's completed translator so steps fetching operand 0 fetch operand 1
+/// and vice versa. The corrupted program stays well-typed (the two index
+/// constants have the same API type), so the bug is a silent miscompile
+/// rather than a loud translation failure.
+fn apply_swap_operands_fault(
+    registry: &ApiRegistry,
+    translator: &mut SynthesizedTranslator,
+    kind: Opcode,
+) {
+    let (Some(c0), Some(c1)) = (registry.find("const_0"), registry.find("const_1")) else {
+        return;
+    };
+    if let Some(kt) = translator.kinds.get_mut(&kind) {
+        for arm in &mut kt.arms {
+            for step in &mut arm.program.steps {
+                if step.api == c0 {
+                    step.api = c1;
+                } else if step.api == c1 {
+                    step.api = c0;
+                }
+            }
+        }
+        siro_trace::counter("synth.fault_injected", 1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +755,41 @@ mod tests {
             assert_eq!(ra, rb, "case {}", case.name);
             assert_eq!(ra, Some(case.oracle), "case {}", case.name);
         }
+    }
+
+    #[test]
+    fn injected_fault_corrupts_the_completed_translator() {
+        // The difftest acceptance bug: the swapped-operand Sub candidate
+        // the asymmetric corpus had specifically eliminated.
+        let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+        let tests = tests_from_corpus(src, tgt, &["ret_const", "sub_asym"]);
+        let mut cfg = SynthesisConfig::new(src, tgt);
+        cfg.fault = Some(crate::refine::SynthFault::SwapOperands(Opcode::Sub));
+        let outcome = Synthesizer::new(cfg).synthesize(&tests).unwrap();
+        let case = siro_testcases::full_corpus()
+            .into_iter()
+            .find(|c| c.name == "sub_asym")
+            .unwrap();
+        let m = case.build(src);
+        let out = Skeleton::new(tgt)
+            .translate_module(&m, &outcome.translator)
+            .unwrap();
+        siro_ir::verify::verify_module(&out).unwrap();
+        let got = Machine::new(&out).run_main().unwrap().return_int();
+        assert_ne!(
+            got,
+            Some(case.oracle),
+            "the armed fault must change observable behaviour"
+        );
+        // Without the fault the same corpus synthesizes correctly.
+        let clean = Synthesizer::for_pair(src, tgt).synthesize(&tests).unwrap();
+        let out = Skeleton::new(tgt)
+            .translate_module(&m, &clean.translator)
+            .unwrap();
+        assert_eq!(
+            Machine::new(&out).run_main().unwrap().return_int(),
+            Some(case.oracle)
+        );
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub use driver::{
 };
 pub use pertest::{OracleTest, PerTestTranslator};
 pub use profile::{profile_module, ProfileTable, ProfiledInst};
-pub use refine::{CandIdx, MStar};
+pub use refine::{CandIdx, MStar, SynthFault};
 pub use typegraph::TypeGraph;

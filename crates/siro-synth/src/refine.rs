@@ -16,6 +16,65 @@ use siro_ir::Opcode;
 /// Candidate index into the kind's Λ* list.
 pub type CandIdx = usize;
 
+/// A deliberately broken synthesis rule, armed through
+/// [`SynthesisConfig::fault`](crate::SynthesisConfig) so correctness
+/// tooling (the `siro-difftest` fuzzer, regression replays) has a known
+/// translator bug to find. Faults act *after* the per-test loop so the run
+/// still completes — they corrupt the final translator, never abort
+/// synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SynthFault {
+    /// Discards every refinement decision Alg. 4 made for one kind: each
+    /// observed conjunction is reset to the full candidate domain, so
+    /// completion falls back to the lowest-index candidate as if the corpus
+    /// had never discriminated.
+    ForgetRefinement(Opcode),
+    /// Swaps the operand-index constants in the completed translator for
+    /// one kind — the Fig. 7 swapped-operand candidate surviving refinement.
+    /// For non-commutative kinds this is a silent miscompile: the output
+    /// verifies and runs, but computes `op1 ⊕ op0`.
+    SwapOperands(Opcode),
+}
+
+impl SynthFault {
+    /// The instruction kind the fault corrupts.
+    pub fn kind(&self) -> Opcode {
+        match *self {
+            SynthFault::ForgetRefinement(k) | SynthFault::SwapOperands(k) => k,
+        }
+    }
+}
+
+impl std::fmt::Display for SynthFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthFault::ForgetRefinement(k) => write!(f, "forget-refine:{}", k.name()),
+            SynthFault::SwapOperands(k) => write!(f, "swap-operands:{}", k.name()),
+        }
+    }
+}
+
+impl std::str::FromStr for SynthFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once(':') {
+            Some(("forget-refine", kind)) => kind
+                .parse::<Opcode>()
+                .map(SynthFault::ForgetRefinement)
+                .map_err(|_| format!("unknown opcode `{kind}` in fault spec")),
+            Some(("swap-operands", kind)) => kind
+                .parse::<Opcode>()
+                .map(SynthFault::SwapOperands)
+                .map_err(|_| format!("unknown opcode `{kind}` in fault spec")),
+            _ => Err(format!(
+                "unknown fault `{s}` (expected forget-refine:<opcode> or \
+                 swap-operands:<opcode>)"
+            )),
+        }
+    }
+}
+
 /// The refinement state for all kinds.
 #[derive(Debug, Clone, Default)]
 pub struct MStar {
@@ -69,6 +128,18 @@ impl MStar {
             .get(&kind)
             .map(|m| m.values().flatten().copied().collect())
             .unwrap_or_default()
+    }
+
+    /// Applies [`SynthFault::ForgetRefinement`]: resets every observed
+    /// conjunction for `kind` to the full candidate domain `0..domain`, as
+    /// if Alg. 4 had installed but never intersected. Test-only tooling —
+    /// production paths never arm a fault.
+    pub fn forget_refinement(&mut self, kind: Opcode, domain: usize) {
+        if let Some(per_kind) = self.map.get_mut(&kind) {
+            for set in per_kind.values_mut() {
+                *set = (0..domain).collect();
+            }
+        }
     }
 
     /// Whether any conjunction for `kind` has an empty candidate set — a

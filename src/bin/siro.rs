@@ -8,6 +8,7 @@
 //! siro translate --to 3.6 program.sir [-o out.sir] [--synthesized]
 //! siro translate --remote 127.0.0.1:4799 --to 3.6 program.sir
 //! siro synthesize --from 13.0 --to 3.6 [--emit-code]
+//! siro difftest --pairs 13.0:3.6,17.0:12.0 --budget 60
 //! siro opt program.sir [-o out.sir]
 //! siro serve [--addr 127.0.0.1:4799] [--threads N] [--queue N]
 //! siro stats --remote 127.0.0.1:4799
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("translate") => cmd_translate(&args[1..]),
         Some("synthesize") => cmd_synthesize(&args[1..]),
+        Some("difftest") => cmd_difftest(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -74,6 +76,11 @@ USAGE:
                    [--remote <addr>]                 translate via a siro-serve daemon
     siro synthesize --from <ver> --to <ver>          synthesize instruction translators
                    [--emit-code]                     print the generated source
+    siro difftest [--pairs <a:b,...>]                fuzz synthesized translators
+                   [--budget <secs>] [--seed <n>]    (defaults: 13.0:3.6, 10 s, 42)
+                   [--mid <ver>] [--fault <spec>]    chain intermediate; injected fault
+                   [--expect-failure]                require a caught+shrunk failure
+                   [--regressions <dir>] [-o <json>] artifact dir; BENCH_difftest.json
     siro opt <file> [-o <out>]                       run the optimizer pipeline
     siro serve [--addr <host:port>]                  run the translation daemon
                [--threads <n>] [--queue <n>]         (defaults: SIRO_THREADS, 64)
@@ -115,7 +122,11 @@ fn positional(args: &[String]) -> Vec<&str> {
             skip = false;
             continue;
         }
-        if a.starts_with("--") && a != "--synthesized" && a != "--emit-code" {
+        if a.starts_with("--")
+            && a != "--synthesized"
+            && a != "--emit-code"
+            && a != "--expect-failure"
+        {
             skip = true;
             continue;
         }
@@ -418,6 +429,134 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
     println!("self-check: all corpus cases translate and meet their oracles");
     finish_trace();
     Ok(())
+}
+
+/// Picks the chain intermediate for a pair: the middlemost catalog
+/// version strictly between the two, else any catalog version distinct
+/// from both.
+fn pick_mid(src: IrVersion, tgt: IrVersion) -> IrVersion {
+    let (lo, hi) = if src < tgt { (src, tgt) } else { (tgt, src) };
+    let between: Vec<IrVersion> = IrVersion::CATALOG
+        .into_iter()
+        .filter(|&v| lo < v && v < hi)
+        .collect();
+    if let Some(&v) = between.get(between.len() / 2) {
+        return v;
+    }
+    IrVersion::CATALOG
+        .into_iter()
+        .find(|&v| v != src && v != tgt)
+        .expect("catalog has more than two versions")
+}
+
+fn cmd_difftest(args: &[String]) -> Result<(), String> {
+    use siro::difftest::{DifftestConfig, RegressionArtifact};
+
+    let pairs_spec = flag_value(args, "--pairs").unwrap_or("13.0:3.6");
+    let budget: f64 = match flag_value(args, "--budget") {
+        Some(s) => s.parse().map_err(|_| format!("bad --budget `{s}`"))?,
+        None => 10.0,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => s.parse().map_err(|_| format!("bad --seed `{s}`"))?,
+        None => 42,
+    };
+    let fault = match flag_value(args, "--fault") {
+        Some(s) => Some(
+            s.parse::<siro::synth::SynthFault>()
+                .map_err(|e| format!("bad --fault: {e}"))?,
+        ),
+        None => None,
+    };
+    let mid_override = match flag_value(args, "--mid") {
+        Some(s) => Some(parse_version(s)?),
+        None => None,
+    };
+    let expect_failure = args.iter().any(|a| a == "--expect-failure");
+    let regressions = flag_value(args, "--regressions");
+
+    let mut reports = Vec::new();
+    let mut any_failure = false;
+    let mut any_shrunk = false;
+    for pair in pairs_spec.split(',') {
+        let (a, b) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("pair `{pair}` must look like `13.0:3.6`"))?;
+        let src = parse_version(a)?;
+        let tgt = parse_version(b)?;
+        let mid = mid_override.unwrap_or_else(|| pick_mid(src, tgt));
+        let mut cfg = DifftestConfig::new(src, mid, tgt);
+        cfg.seed = seed;
+        cfg.budget = Duration::from_secs_f64(budget);
+        cfg.fault = fault;
+        eprintln!(
+            "difftest {src} -> {tgt} (chain via {mid}, budget {budget}s{})",
+            fault
+                .map(|f| format!(", injected fault {f}"))
+                .unwrap_or_default()
+        );
+        let report = siro::difftest::run(&cfg).map_err(|e| format!("synthesis failed: {e}"))?;
+        println!(
+            "pair {src}:{tgt}: {} execs ({:.1}/s), corpus {} ({} kinds, {} beyond generation), \
+             {} failures ({} distinct, {} duplicate sightings), {} skips",
+            report.execs,
+            report.execs_per_sec(),
+            report.corpus_size,
+            report.corpus_kinds.len(),
+            report.new_kinds().len(),
+            report.failures.len(),
+            report.distinct_failures(),
+            report.duplicate_failures,
+            report.skips
+        );
+        for f in &report.failures {
+            println!(
+                "  [{}/{}] via {}: {} ({} -> {} insts{})",
+                f.oracle,
+                f.family.name(),
+                f.mutator,
+                f.detail,
+                f.original_insts,
+                f.reduced_insts,
+                if f.shrunk { ", shrunk" } else { ", NOT SHRUNK" }
+            );
+        }
+        if let Some(dir) = regressions {
+            for f in &report.failures {
+                let artifact = RegressionArtifact::from_record(src, mid, tgt, fault, f);
+                let path = artifact
+                    .save(std::path::Path::new(dir))
+                    .map_err(|e| format!("writing regression artifact: {e}"))?;
+                println!("  regression artifact: {}", path.display());
+            }
+        }
+        any_failure |= !report.failures.is_empty();
+        any_shrunk |= report.failures.iter().any(|f| f.shrunk);
+        reports.push(report);
+    }
+
+    let json = siro::difftest::render_difftest_json(&reports);
+    let json_path = flag_value(args, "-o")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(siro::difftest::report::json_path);
+    std::fs::write(&json_path, json)
+        .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    eprintln!("report written to {}", json_path.display());
+
+    if expect_failure {
+        if any_failure && any_shrunk {
+            println!("expected failure was found and shrunk");
+            Ok(())
+        } else if any_failure {
+            Err("--expect-failure: a failure was found but did not shrink to the target".into())
+        } else {
+            Err("--expect-failure: no oracle failure was found".into())
+        }
+    } else if any_failure {
+        Err("oracle failures were found (see the report and artifacts)".into())
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_opt(args: &[String]) -> Result<(), String> {

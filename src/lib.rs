@@ -7,6 +7,7 @@
 pub use siro_analysis as analysis;
 pub use siro_api as api;
 pub use siro_core as core;
+pub use siro_difftest as difftest;
 pub use siro_fuzz as fuzz;
 pub use siro_ir as ir;
 pub use siro_kernel as kernel;
