@@ -7,7 +7,9 @@
 //! `BENCH_synthesis.json` in the working directory or wherever
 //! `SIRO_BENCH_JSON` points. The `serve_loopback` bench writes a
 //! [`ServeRecord`] to `BENCH_serve.json` (overridable via
-//! `SIRO_BENCH_SERVE_JSON`).
+//! `SIRO_BENCH_SERVE_JSON`); the `warmstart` bench writes a
+//! [`WarmstartRecord`] to `BENCH_warmstart.json` (overridable via
+//! `SIRO_BENCH_WARMSTART_JSON`).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -336,5 +338,92 @@ pub fn render_trace_json(record: &TraceOverheadRecord) -> String {
 pub fn write_trace_json(record: &TraceOverheadRecord) -> std::io::Result<PathBuf> {
     let path = trace_json_path();
     std::fs::write(&path, render_trace_json(record))?;
+    Ok(path)
+}
+
+/// Result of the `warmstart` bench: first-request latency of a server
+/// booted from a populated translator store versus cold synthesis and
+/// versus the steady-state cache hit, dumped to `BENCH_warmstart.json`
+/// (schema `siro-bench/warmstart-v1`).
+#[derive(Debug, Clone)]
+pub struct WarmstartRecord {
+    /// Source version of the measured pair.
+    pub source: IrVersion,
+    /// Target version of the measured pair.
+    pub target: IrVersion,
+    /// First-request latency on a cold server (includes synthesis), µs.
+    pub cold_first_us: u64,
+    /// Median cache-hit latency on the cold server after warm-up, µs.
+    pub cold_hit_p50_us: u64,
+    /// Wall clock of booting the warm server (store open + warm start), µs.
+    pub warm_boot_us: u64,
+    /// First-request latency on the warm-started server, µs.
+    pub warm_first_us: u64,
+    /// Median cache-hit latency on the warm server, µs.
+    pub warm_hit_p50_us: u64,
+    /// Entries pre-loaded from the store at warm boot.
+    pub warm_loaded: u64,
+    /// Total bytes of the store directory's entries.
+    pub store_bytes: u64,
+    /// `synth.*` spans recorded during the whole warm phase (must be 0:
+    /// warm start never synthesizes).
+    pub synth_spans: usize,
+    /// The gate: `warm_first_us` must stay within this multiple of the
+    /// warm hit median (the median is floored at 200 µs so scheduler
+    /// noise on very fast requests cannot flake the gate).
+    pub max_ratio: f64,
+    /// `warm_first_us / max(warm_hit_p50_us, 200)`.
+    pub ratio: f64,
+    /// Whether the gate held and no synthesis span was recorded.
+    pub pass: bool,
+}
+
+/// Where the warm-start JSON goes: `SIRO_BENCH_WARMSTART_JSON` if set,
+/// else `BENCH_warmstart.json` in the current directory.
+pub fn warmstart_json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_WARMSTART_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_warmstart.json"))
+}
+
+/// Renders the warm-start record as a JSON document.
+pub fn render_warmstart_json(record: &WarmstartRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"siro-bench/warmstart-v1\",");
+    let _ = writeln!(
+        out,
+        "  \"pair\": {{ \"source\": {}, \"target\": {} }},",
+        json_string(&record.source.to_string()),
+        json_string(&record.target.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "  \"cold_us\": {{ \"first_request\": {}, \"hit_p50\": {} }},",
+        record.cold_first_us, record.cold_hit_p50_us
+    );
+    let _ = writeln!(
+        out,
+        "  \"warm_us\": {{ \"boot\": {}, \"first_request\": {}, \"hit_p50\": {} }},",
+        record.warm_boot_us, record.warm_first_us, record.warm_hit_p50_us
+    );
+    let _ = writeln!(out, "  \"warm_loaded\": {},", record.warm_loaded);
+    let _ = writeln!(out, "  \"store_bytes\": {},", record.store_bytes);
+    let _ = writeln!(out, "  \"synth_spans\": {},", record.synth_spans);
+    let _ = writeln!(out, "  \"max_ratio\": {:.3},", record.max_ratio);
+    let _ = writeln!(out, "  \"ratio\": {:.3},", record.ratio);
+    let _ = writeln!(out, "  \"pass\": {}", record.pass);
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_warmstart.json` and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_warmstart_json(record: &WarmstartRecord) -> std::io::Result<PathBuf> {
+    let path = warmstart_json_path();
+    std::fs::write(&path, render_warmstart_json(record))?;
     Ok(path)
 }

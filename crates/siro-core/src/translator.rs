@@ -29,7 +29,7 @@ pub trait InstTranslator {
 
 /// One arm of an instruction translator: a predicate guard plus the atomic
 /// translator to run when it matches.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TranslatorArm {
     /// The predicate conjunctions this arm covers. Empty = the `true`
     /// predicate (single sub-kind, always matches).
@@ -47,7 +47,7 @@ impl TranslatorArm {
 
 /// The translator for one instruction kind: ordered arms, first match wins;
 /// no match triggers the warning path (unseen conjunctive predicate).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KindTranslator {
     /// The arms, most specific first.
     pub arms: Vec<TranslatorArm>,
@@ -102,6 +102,18 @@ impl SynthesizedTranslator {
         let mut v: Vec<Opcode> = self.kinds.keys().copied().collect();
         v.sort();
         v
+    }
+
+    /// Structural equality: same version pair and identical per-kind arms
+    /// (covers and programs). `PartialEq` is deliberately *not* derived —
+    /// the registry holds closures, so this method spells out exactly what
+    /// "the same translator" means: two structurally equal translators
+    /// over registries of the same pair behave identically, because
+    /// [`ApiRegistry::for_pair`] is deterministic.
+    pub fn structurally_eq(&self, other: &SynthesizedTranslator) -> bool {
+        self.registry.src_version == other.registry.src_version
+            && self.registry.tgt_version == other.registry.tgt_version
+            && self.kinds == other.kinds
     }
 }
 

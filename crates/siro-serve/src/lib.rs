@@ -18,7 +18,8 @@
 //! * [`stats`] — lock-free metrics, the plaintext `STATS` page, and the
 //!   Prometheus-style `METRICS` page (see `docs/OBSERVABILITY.md`);
 //! * [`server`] — the accept loop, per-connection reader/writer threads,
-//!   timeouts, and graceful drain-on-shutdown;
+//!   timeouts, graceful drain-on-shutdown, and warm start from the
+//!   persistent translator store (`docs/PERSISTENCE.md`);
 //! * [`client`] — a blocking client (used by `siro translate --remote`,
 //!   the loopback bench, and CI).
 //!
@@ -60,4 +61,5 @@ pub use engine::Engine;
 pub use protocol::{ErrorCode, Request, Response, StageNanos, TranslateMode};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, ServeConfig, ServerHandle};
+pub use siro_synth::ValidationMode;
 pub use stats::{metrics_value, stats_value, Metrics, MetricsSnapshot};

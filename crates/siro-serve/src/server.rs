@@ -19,10 +19,16 @@
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use siro_synth::{
+    corpus_fingerprint, oracle_corpus, set_active_store, StoreConfig, StoreKey, SynthesisConfig,
+    TranslatorCache, TranslatorStore, ValidationMode,
+};
 
 use crate::engine::Engine;
 use crate::pool::{Job, WorkerPool};
@@ -49,6 +55,16 @@ pub struct ServeConfig {
     /// Per-connection socket write timeout; a peer not draining its
     /// responses for longer than this is disconnected.
     pub write_timeout: Duration,
+    /// Persistent translator store directory. When set, the store is
+    /// attached process-wide, every entry is prefetched into the
+    /// [`TranslatorCache`] before the listener accepts traffic
+    /// (warm start), and cold syntheses write back.
+    pub store_dir: Option<PathBuf>,
+    /// Validation applied when loading store entries.
+    pub store_validation: ValidationMode,
+    /// Size cap for the store; write-backs GC least-recently-used entries
+    /// down to it. `None` leaves the store unbounded.
+    pub store_max_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +75,9 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_secs(10),
+            store_dir: None,
+            store_validation: ValidationMode::default(),
+            store_max_bytes: None,
         }
     }
 }
@@ -201,10 +220,13 @@ impl ServerHandle {
 }
 
 /// Binds the listener, spawns the pool and the acceptor, and returns.
+/// When [`ServeConfig::store_dir`] is set, the persistent store is
+/// attached and warm-started *before* the acceptor spawns, so the first
+/// accepted request already finds every stored pair in the cache.
 ///
 /// # Errors
 ///
-/// Propagates binding failures.
+/// Propagates binding and store-opening failures.
 pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -214,6 +236,15 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         .unwrap_or_else(siro_synth::resolve_threads);
     let metrics = Arc::new(Metrics::default());
     let engine = Arc::new(Engine::new(Arc::clone(&metrics)));
+    if let Some(dir) = &config.store_dir {
+        let store = TranslatorStore::open(StoreConfig {
+            dir: dir.clone(),
+            validation: config.store_validation,
+            max_bytes: config.store_max_bytes,
+        })?;
+        set_active_store(Some(Arc::new(store)));
+        warm_start(&engine);
+    }
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
     let shared = Arc::new(Shared {
         config,
@@ -243,6 +274,45 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         pool: Some(pool),
         connections,
     })
+}
+
+/// Warm-starts the translator cache from the active persistent store.
+///
+/// For every readable entry, the outcome is loaded and seeded into the
+/// in-process [`TranslatorCache`] via
+/// [`TranslatorCache::warm_from_store`]. Entries whose key matches the
+/// default serving configuration are additionally primed through the
+/// coalescer so the pair's serving corpus is built up front; that call is
+/// a guaranteed cache hit, so warm start never synthesizes. Unreadable or
+/// corrupt entries are skipped (counted by the store as corrupt) and the
+/// pair falls back to cold synthesis on first request.
+///
+/// Returns the number of entries successfully seeded.
+fn warm_start(engine: &Arc<Engine>) -> u64 {
+    let Some(store) = siro_synth::active_store() else {
+        return 0;
+    };
+    let mut loaded = 0u64;
+    for entry in store.entries().unwrap_or_default() {
+        let Some(key) = entry.key else { continue };
+        let tests = oracle_corpus(key.source, key.target);
+        let config = key.config();
+        if !TranslatorCache::warm_from_store(&config, &tests) {
+            continue;
+        }
+        loaded += 1;
+        let default_key = StoreKey::new(
+            &SynthesisConfig::new(key.source, key.target),
+            corpus_fingerprint(&tests),
+        );
+        if key == default_key {
+            // Pre-build the serving corpus for the pair; the cache slot is
+            // already populated, so this cannot trigger synthesis.
+            let _ = engine.coalescer().translator_for(key.source, key.target);
+        }
+    }
+    siro_trace::counter("serve.warm_loaded", loaded);
+    loaded
 }
 
 fn accept_loop(

@@ -182,6 +182,13 @@ pub fn render_stats(
     line("cache_failures", cache.failures as u64);
     line("pairs_synthesized", pairs_synthesized);
     line("coalesced_waiters", coalesced_waiters);
+    let store = siro_synth::store_stats();
+    line("store_attached", u64::from(store.attached));
+    line("store_warm_loaded", store.warm_loaded);
+    line("store_hits", store.hits);
+    line("store_misses", store.misses);
+    line("store_corrupt", store.corrupt);
+    line("store_writes", store.writes);
     line("trace_enabled", u64::from(siro_trace::enabled()));
     out
 }
@@ -232,6 +239,13 @@ pub fn render_metrics(
     sample("siro_cache_failures", "gauge", cache.failures as u64);
     sample("siro_pairs_synthesized_total", "counter", pairs_synthesized);
     sample("siro_coalesced_waiters_total", "counter", coalesced_waiters);
+    let store = siro_synth::store_stats();
+    sample("siro_store_attached", "gauge", u64::from(store.attached));
+    sample("siro_store_warm_loaded_total", "counter", store.warm_loaded);
+    sample("siro_store_hits_total", "counter", store.hits);
+    sample("siro_store_misses_total", "counter", store.misses);
+    sample("siro_store_corrupt_total", "counter", store.corrupt);
+    sample("siro_store_writes_total", "counter", store.writes);
     out.push_str(&siro_trace::export::render_prometheus_counters(
         &siro_trace::snapshot(),
     ));
@@ -289,6 +303,9 @@ mod tests {
         assert_eq!(stats_value(&page, "no_such_key"), None);
         // Operators can tell traced runs apart from the page itself.
         assert!(stats_value(&page, "trace_enabled").is_some());
+        // The persistent-store funnel is always present, attached or not.
+        assert!(stats_value(&page, "store_attached").is_some());
+        assert!(stats_value(&page, "store_corrupt").is_some());
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn start_server(threads: usize, queue: usize) -> siro_serve::ServerHandle {
         queue_capacity: queue,
         read_timeout: Duration::from_millis(100),
         write_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
     })
     .expect("server must bind an ephemeral port")
 }

@@ -1,0 +1,108 @@
+//! End-to-end warm start: a server booted with `--store` on a populated
+//! directory must answer its first TRANSLATE byte-identically to the cold
+//! run, with the synthesis funnel untouched — zero coalescer syntheses
+//! and zero `synth.*` spans.
+//!
+//! The translator cache, the active store, and the trace collector are
+//! process-global, so both phases run inside one `#[test]`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use siro_ir::IrVersion;
+use siro_serve::{stats_value, Client, ServeConfig, TranslateMode};
+use siro_synth::{
+    reset_store_stats, set_active_store, store_stats, StoreConfig, TranslatorCache, TranslatorStore,
+};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn corpus_module_text(src: IrVersion, tgt: IrVersion) -> String {
+    let case = siro_testcases::full_corpus()
+        .into_iter()
+        .find(|c| c.usable_for_pair(src, tgt))
+        .expect("a usable corpus case");
+    siro_ir::write::write_module(&case.build(src))
+}
+
+#[test]
+fn warm_started_server_serves_identically_without_synthesizing() {
+    let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+    let dir = std::env::temp_dir().join(format!("siro-warmstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let text = corpus_module_text(src, tgt);
+
+    // ---- Phase 1: cold server with the store attached; the first
+    // translate cold-synthesizes and writes the entry back. -------------
+    let store = Arc::new(TranslatorStore::open(StoreConfig::at(&dir)).expect("open store"));
+    set_active_store(Some(store));
+    reset_store_stats();
+    TranslatorCache::reset();
+    let handle = siro_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: Some(2),
+        ..ServeConfig::default()
+    })
+    .expect("cold server binds");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect cold");
+    let cold = client
+        .translate(src, tgt, TranslateMode::Synthesized, text.clone())
+        .expect("cold translation");
+    assert!(!cold.cache_hit, "phase 1 must be the cold synthesis");
+    drop(client);
+    handle.shutdown();
+    assert_eq!(store_stats().writes, 1, "cold synthesis must persist");
+    set_active_store(None);
+
+    // ---- Phase 2: fresh process state, boot from the store. ------------
+    TranslatorCache::reset();
+    reset_store_stats();
+    siro_trace::set_enabled(true);
+    siro_trace::reset();
+    let handle = siro_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: Some(2),
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("warm server binds");
+    assert!(
+        store_stats().warm_loaded >= 1,
+        "boot must pre-load the stored translator"
+    );
+
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect warm");
+    let warm = client
+        .translate(src, tgt, TranslateMode::Synthesized, text)
+        .expect("warm translation");
+    assert!(warm.cache_hit, "the first warm request must be a cache hit");
+    assert_eq!(
+        warm.text, cold.text,
+        "warm-start output differs from the cold output"
+    );
+
+    // The synthesis funnel never moved: no coalescer synthesis, no
+    // synthesis spans — the store answered everything.
+    let stats = client.stats().expect("stats page");
+    assert_eq!(stats_value(&stats, "pairs_synthesized"), Some(0));
+    assert_eq!(stats_value(&stats, "store_attached"), Some(1));
+    assert!(stats_value(&stats, "store_warm_loaded").unwrap_or(0) >= 1);
+    let spans = siro_trace::snapshot();
+    let synth_spans: Vec<_> = spans
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("synth."))
+        .collect();
+    assert!(
+        synth_spans.is_empty(),
+        "warm start ran synthesis stages: {:?}",
+        synth_spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+
+    drop(client);
+    handle.shutdown();
+    siro_trace::set_enabled(false);
+    set_active_store(None);
+    TranslatorCache::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}

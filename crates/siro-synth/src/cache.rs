@@ -17,6 +17,12 @@
 //! Failures are cached too: the same key means the same inputs, which
 //! deterministically reproduce the same [`SynthError`], so retrying a
 //! failed pair would only burn the same CPU again.
+//!
+//! When a persistent [`crate::store::TranslatorStore`] is attached (via
+//! [`crate::store::set_active_store`]), a miss first consults the store —
+//! a validated entry is adopted without synthesizing — and a cold
+//! synthesis writes its outcome back, so the *next* process starts warm.
+//! Failures and fault-injected configs never touch the store.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -123,8 +129,12 @@ pub struct CacheLookup {
     /// The memoized outcome.
     pub outcome: Arc<SynthesisOutcome>,
     /// `true` when this call performed the synthesis (a miss), `false`
-    /// when the outcome was already cached.
+    /// when the outcome was already cached (in memory or in the
+    /// persistent store).
     pub fresh: bool,
+    /// `true` when this call populated the in-memory slot from the
+    /// persistent store instead of synthesizing.
+    pub from_store: bool,
 }
 
 /// The process-wide translator cache. All methods are associated
@@ -158,26 +168,99 @@ impl TranslatorCache {
         tests: &[OracleTest],
     ) -> Result<CacheLookup, SynthError> {
         let key = CacheKey::new(&config, tests);
+        let fingerprint = key.corpus_fingerprint;
         let slot = {
             let mut map = cache().lock().expect("translator cache poisoned");
             Arc::clone(map.entry(key).or_default())
         };
+        // Fault-injected configs never touch the persistent store: a
+        // deliberately broken translator must not outlive this process.
+        let store = if config.fault.is_none() {
+            crate::store::active_store()
+        } else {
+            None
+        };
         let ran = std::cell::Cell::new(false);
+        let loaded = std::cell::Cell::new(false);
         let result = slot.get_or_init(|| {
+            if let Some(store) = &store {
+                let skey = crate::store::StoreKey::new(&config, fingerprint);
+                let sp = siro_trace::span!("store.load", "{}->{}", config.source, config.target);
+                let hit = store.load(&skey, tests);
+                drop(sp);
+                if let Some(outcome) = hit {
+                    loaded.set(true);
+                    return Ok(outcome);
+                }
+            }
             ran.set(true);
-            Synthesizer::new(config.clone())
+            let result = Synthesizer::new(config.clone())
                 .synthesize(tests)
-                .map(Arc::new)
+                .map(Arc::new);
+            if let (Some(store), Ok(outcome)) = (&store, &result) {
+                let skey = crate::store::StoreKey::new(&config, fingerprint);
+                let sp = siro_trace::span!("store.save", "{}->{}", config.source, config.target);
+                if store.save(&skey, outcome).is_err() {
+                    siro_trace::counter("store.save_errors", 1);
+                }
+                drop(sp);
+            }
+            result
         });
         let fresh = ran.get();
+        let from_store = loaded.get();
         if fresh {
             MISSES.fetch_add(1, Ordering::Relaxed);
             siro_trace::counter("cache.misses", 1);
         } else {
+            // Store loads count as hits: the lookup was answered by a
+            // previous synthesis, just one from another process.
             HITS.fetch_add(1, Ordering::Relaxed);
             siro_trace::counter("cache.hits", 1);
         }
-        result.clone().map(|outcome| CacheLookup { outcome, fresh })
+        result.clone().map(|outcome| CacheLookup {
+            outcome,
+            fresh,
+            from_store,
+        })
+    }
+
+    /// Pre-populates the in-memory slot for `(config, tests)` from the
+    /// attached persistent store *without ever synthesizing*: no entry (or
+    /// a corrupt one) just returns `false`. Returns `true` when the slot
+    /// is populated — whether by this call or already beforehand — so
+    /// callers know a subsequent lookup will hit.
+    pub fn warm_from_store(config: &SynthesisConfig, tests: &[OracleTest]) -> bool {
+        if config.fault.is_some() {
+            return false;
+        }
+        let Some(store) = crate::store::active_store() else {
+            return false;
+        };
+        let key = CacheKey::new(config, tests);
+        {
+            let map = cache().lock().expect("translator cache poisoned");
+            if map.get(&key).is_some_and(|slot| slot.get().is_some()) {
+                return true;
+            }
+        }
+        let skey = crate::store::StoreKey::new(config, key.corpus_fingerprint);
+        let sp = siro_trace::span!("store.load", "{}->{} (warm)", config.source, config.target);
+        let outcome = store.load(&skey, tests);
+        drop(sp);
+        let Some(outcome) = outcome else {
+            return false;
+        };
+        let slot = {
+            let mut map = cache().lock().expect("translator cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // A concurrent lookup may have raced us into the slot; either way
+        // the slot is populated now.
+        if slot.set(Ok(outcome)).is_ok() {
+            crate::store::note_warm_loaded();
+        }
+        true
     }
 
     /// Current hit/miss counters.
@@ -188,10 +271,12 @@ impl TranslatorCache {
         }
     }
 
-    /// Full snapshot: counters plus stored-entry shape. Counters are read
-    /// before the map lock, so under concurrency a snapshot can observe a
-    /// miss whose entry is not stored yet — consumers treating this as a
-    /// monitoring view (STATS, bench JSON) are unaffected.
+    /// Full snapshot: counters plus stored-entry shape. Counters and map
+    /// shape are read together *under the map lock*, so a snapshot racing
+    /// a [`TranslatorCache::reset`] sees either the pre-reset state or the
+    /// post-reset state — never non-zero counters over an empty map.
+    /// (Snapshotting before the lock was a real bug: a reader could
+    /// observe `hits + misses > 0` with `entries == 0`.)
     ///
     /// ```
     /// use siro_synth::TranslatorCache;
@@ -203,26 +288,30 @@ impl TranslatorCache {
     ///     + TranslatorCache::stats().misses);
     /// ```
     pub fn snapshot() -> CacheSnapshot {
-        let stats = Self::stats();
         let map = cache().lock().expect("translator cache poisoned");
+        let hits = HITS.load(Ordering::Relaxed);
+        let misses = MISSES.load(Ordering::Relaxed);
         let entries = map.len();
         let failures = map
             .values()
             .filter(|slot| matches!(slot.get(), Some(Err(_))))
             .count();
         CacheSnapshot {
-            hits: stats.hits,
-            misses: stats.misses,
+            hits,
+            misses,
             entries,
             failures,
         }
     }
 
-    /// Drops every cached outcome and zeroes the counters. Meant for
-    /// benchmarks that measure cold runs; in-flight lookups keep their
-    /// `Arc`s alive, so this is always safe.
+    /// Drops every cached outcome and zeroes the counters — both under
+    /// the map lock, so concurrent [`TranslatorCache::snapshot`]s never
+    /// observe cleared entries with stale counters. Meant for benchmarks
+    /// that measure cold runs; in-flight lookups keep their `Arc`s alive,
+    /// so this is always safe.
     pub fn reset() {
-        cache().lock().expect("translator cache poisoned").clear();
+        let mut map = cache().lock().expect("translator cache poisoned");
+        map.clear();
         HITS.store(0, Ordering::Relaxed);
         MISSES.store(0, Ordering::Relaxed);
     }

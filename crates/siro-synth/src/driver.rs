@@ -104,7 +104,7 @@ pub fn threads_from_override(raw: Option<&str>) -> usize {
 }
 
 /// Wall-clock breakdown of the synthesis stages (the RQ3 "time breakdown").
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
     /// Type-guided candidate generation.
     pub generation: Duration,
@@ -139,7 +139,7 @@ impl StageTimings {
 
 /// Per-test statistics (drives the "did this test prune anything" feedback
 /// the paper uses to spot duplicated test cases).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TestStats {
     /// Test name.
     pub name: String,

@@ -17,7 +17,11 @@
 //!   parallel probing + validation (§5 "Speeding up Synthesis Process");
 //! * [`cache`] — the process-wide [`TranslatorCache`] memoizing finished
 //!   outcomes per `(pair, corpus fingerprint, config)` and the
-//!   [`synthesize_all`] multi-pair fan-out.
+//!   [`synthesize_all`] multi-pair fan-out;
+//! * [`persist`] + [`store`] — the on-disk [`TranslatorStore`]: a
+//!   versioned, checksummed binary format persisting outcomes across
+//!   processes, with load-time validation against the oracle corpus and
+//!   LRU-ish garbage collection.
 //!
 //! ## Example
 //!
@@ -45,9 +49,11 @@ pub mod cache;
 pub mod candgen;
 pub mod complete;
 pub mod driver;
+pub mod persist;
 pub mod pertest;
 pub mod profile;
 pub mod refine;
+pub mod store;
 pub mod typegraph;
 
 pub use cache::{
@@ -61,4 +67,8 @@ pub use driver::{
 pub use pertest::{OracleTest, PerTestTranslator};
 pub use profile::{profile_module, ProfileTable, ProfiledInst};
 pub use refine::{CandIdx, MStar, SynthFault};
+pub use store::{
+    active_store, oracle_corpus, reset_store_stats, set_active_store, store_stats, GcReport,
+    StoreConfig, StoreEntry, StoreKey, StoreStats, TranslatorStore, ValidationMode, VerifyOutcome,
+};
 pub use typegraph::TypeGraph;

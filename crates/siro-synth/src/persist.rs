@@ -1,0 +1,303 @@
+//! Binary encoding primitives for the persistent translator store.
+//!
+//! Mirrors the hand-rolled style of `siro-serve`'s wire protocol: all
+//! integers big-endian, strings length-prefixed, no external dependencies.
+//! On top of the cursor pair this module provides [`fnv1a64`], the stable
+//! checksum the store format uses — [`std::collections::hash_map::DefaultHasher`]
+//! makes no cross-toolchain promises, and a store entry written by one
+//! build of siro must still verify under the next.
+
+use std::fmt;
+
+/// Appends big-endian primitives into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u128`.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a bool as one byte (`0`/`1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Decoding failure: the byte stream is truncated or malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn short(msg: impl Into<String>) -> DecodeError {
+    DecodeError(msg.into())
+}
+
+/// A checked cursor over an immutable byte slice; every read validates the
+/// remaining length, so corrupt input becomes a [`DecodeError`], never a
+/// panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(short(format!(
+                "truncated: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u128`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_be_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads a one-byte bool; any value other than `0`/`1` is malformed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation or a non-boolean byte.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(short(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation or invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| short("string is not valid UTF-8"))
+    }
+
+    /// Asserts every byte has been consumed — trailing garbage after a
+    /// structurally valid entry is corruption, not padding.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] when bytes remain.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(short(format!(
+                "{} trailing bytes after the entry",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit hash: tiny, dependency-free, and — unlike
+/// `DefaultHasher` — specified, so checksums and file names derived from
+/// it are stable across builds and toolchains.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(513);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_u128(1 << 90);
+        w.put_bool(true);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.u128().unwrap(), 1 << 90);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.put_str("truncate me");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.string().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_malformed() {
+        let mut r = ByteReader::new(&[9]);
+        assert!(r.bool().is_err());
+        // Length 1, then an invalid UTF-8 byte.
+        let mut r = ByteReader::new(&[0, 0, 0, 1, 0xFF]);
+        assert!(r.string().is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -10,7 +10,11 @@
 //! siro synthesize --from 13.0 --to 3.6 [--emit-code]
 //! siro difftest --pairs 13.0:3.6,17.0:12.0 --budget 60
 //! siro opt program.sir [-o out.sir]
-//! siro serve [--addr 127.0.0.1:4799] [--threads N] [--queue N]
+//! siro serve [--addr 127.0.0.1:4799] [--threads N] [--queue N] [--store DIR]
+//! siro store warm --dir DIR [--pairs 13.0:3.6,17.0:12.0]
+//! siro store ls --dir DIR
+//! siro store gc --dir DIR --max-bytes N
+//! siro store verify --dir DIR
 //! siro stats --remote 127.0.0.1:4799
 //! siro metrics --remote 127.0.0.1:4799
 //! siro shutdown --remote 127.0.0.1:4799
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
         Some("difftest") => cmd_difftest(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("trace-report") => cmd_trace_report(&args[1..]),
@@ -84,6 +89,14 @@ USAGE:
     siro opt <file> [-o <out>]                       run the optimizer pipeline
     siro serve [--addr <host:port>]                  run the translation daemon
                [--threads <n>] [--queue <n>]         (defaults: SIRO_THREADS, 64)
+               [--store <dir>]                       persist translators; warm-start at boot
+               [--store-validation off|checksum|full] load-time validation (default checksum)
+               [--store-max-bytes <n>]               GC the store down to <n> bytes after writes
+    siro store warm --dir <dir> [--pairs <a:b,...>]  synthesize and persist translators
+               [--validation off|checksum|full]      (default pair 13.0:3.6)
+    siro store ls --dir <dir>                        list persisted translators
+    siro store gc --dir <dir> --max-bytes <n>        sweep temp files; evict LRU over <n> bytes
+    siro store verify --dir <dir>                    re-validate every entry against the corpus
     siro stats --remote <addr>                       print a daemon's STATS page
     siro metrics --remote <addr>                     print a daemon's Prometheus METRICS page
     siro trace-report [<trace.json>]                 aggregate a SIRO_TRACE Chrome trace
@@ -295,9 +308,32 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(n) = flag_value(args, "--queue") {
         config.queue_capacity = n.parse().map_err(|_| format!("bad --queue `{n}`"))?;
     }
+    if let Some(dir) = flag_value(args, "--store") {
+        config.store_dir = Some(dir.into());
+    }
+    if let Some(mode) = flag_value(args, "--store-validation") {
+        config.store_validation = mode
+            .parse()
+            .map_err(|e| format!("bad --store-validation: {e}"))?;
+    }
+    if let Some(n) = flag_value(args, "--store-max-bytes") {
+        config.store_max_bytes = Some(
+            n.parse()
+                .map_err(|_| format!("bad --store-max-bytes `{n}`"))?,
+        );
+    }
     let handle = siro::serve::start(config).map_err(|e| format!("starting server: {e}"))?;
     // Parsed by scripts (and the CI smoke test) to discover the port.
     println!("siro-serve listening on {}", handle.addr());
+    let store = siro::synth::store_stats();
+    if store.attached {
+        println!(
+            "store attached | warm-loaded {} translator(s), {} corrupt entr{} skipped",
+            store.warm_loaded,
+            store.corrupt,
+            if store.corrupt == 1 { "y" } else { "ies" }
+        );
+    }
     println!(
         "workers {} | queue capacity {} | shut down with `siro shutdown --remote {}`",
         handle.workers(),
@@ -308,6 +344,135 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     finish_trace();
     eprintln!("siro-serve drained and stopped");
     Ok(())
+}
+
+/// `siro store <warm|ls|gc|verify>`: manage a persistent translator
+/// store directory (see `docs/PERSISTENCE.md`).
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    use siro::synth::{self, StoreConfig, TranslatorStore, ValidationMode};
+
+    const USAGE: &str = "usage: siro store <warm|ls|gc|verify> --dir <dir> \
+                         [--pairs <a:b,...>] [--validation <mode>] [--max-bytes <n>]";
+    let sub = args.first().map(String::as_str).ok_or(USAGE)?;
+    let dir = flag_value(args, "--dir").ok_or("missing --dir <path>")?;
+    let validation = match flag_value(args, "--validation") {
+        Some(s) => s
+            .parse::<ValidationMode>()
+            .map_err(|e| format!("bad --validation: {e}"))?,
+        None => ValidationMode::default(),
+    };
+    let store = TranslatorStore::open(StoreConfig {
+        dir: dir.into(),
+        validation,
+        max_bytes: None,
+    })
+    .map_err(|e| format!("opening store {dir}: {e}"))?;
+    match sub {
+        "warm" => {
+            let pairs_spec = flag_value(args, "--pairs").unwrap_or("13.0:3.6");
+            let previous = synth::set_active_store(Some(std::sync::Arc::new(store)));
+            let result = (|| {
+                for pair in pairs_spec.split(',') {
+                    let (a, b) = pair
+                        .split_once(':')
+                        .ok_or_else(|| format!("pair `{pair}` must look like `13.0:3.6`"))?;
+                    let src = parse_version(a)?;
+                    let tgt = parse_version(b)?;
+                    let tests = corpus_tests(src, tgt);
+                    let config = synth::SynthesisConfig::new(src, tgt);
+                    let lookup = synth::TranslatorCache::lookup_or_synthesize(config, &tests)
+                        .map_err(|e| format!("synthesis {src} -> {tgt} failed: {e}"))?;
+                    println!(
+                        "{src} -> {tgt}: {}",
+                        if lookup.from_store {
+                            "already stored (validated on load)"
+                        } else if lookup.fresh {
+                            "synthesized and stored"
+                        } else {
+                            "already cached in this process"
+                        }
+                    );
+                }
+                Ok(())
+            })();
+            synth::set_active_store(previous);
+            let s = synth::store_stats();
+            println!(
+                "store {dir}: {} write(s), {} validated load(s), {} corrupt",
+                s.writes, s.hits, s.corrupt
+            );
+            finish_trace();
+            result
+        }
+        "ls" => {
+            let entries = store.entries().map_err(|e| format!("listing {dir}: {e}"))?;
+            println!("{:>20} | {:>10} | entry", "pair", "bytes");
+            println!("{}", "-".repeat(60));
+            for e in &entries {
+                let pair = e
+                    .key
+                    .map(|k| format!("{} -> {}", k.source, k.target))
+                    .unwrap_or_else(|| "(unreadable)".into());
+                let name = e.path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+                println!("{pair:>20} | {:>10} | {name}", e.bytes);
+            }
+            println!(
+                "{} entr{}",
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" }
+            );
+            Ok(())
+        }
+        "gc" => {
+            let max: u64 = flag_value(args, "--max-bytes")
+                .ok_or("missing --max-bytes <n>")?
+                .parse()
+                .map_err(|_| "bad --max-bytes".to_string())?;
+            let report = store.gc(max).map_err(|e| format!("gc {dir}: {e}"))?;
+            println!(
+                "scanned {} entr{}, removed {}, swept {} stale temp file(s), {} -> {} bytes",
+                report.scanned,
+                if report.scanned == 1 { "y" } else { "ies" },
+                report.removed,
+                report.stale_tmp_removed,
+                report.bytes_before,
+                report.bytes_after
+            );
+            Ok(())
+        }
+        "verify" => {
+            let outcomes = store.verify().map_err(|e| format!("verify {dir}: {e}"))?;
+            let mut corrupt = 0usize;
+            for o in &outcomes {
+                let name = o.path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+                let pair = o
+                    .pair
+                    .map(|(s, t)| format!("{s} -> {t}"))
+                    .unwrap_or_else(|| "(unreadable)".into());
+                match &o.result {
+                    Ok(()) => println!("ok      {pair:>16}  {name}"),
+                    Err(reason) => {
+                        corrupt += 1;
+                        println!("CORRUPT {pair:>16}  {name}: {reason}");
+                    }
+                }
+            }
+            if corrupt > 0 {
+                Err(format!(
+                    "{corrupt} corrupt entr{} in {dir}",
+                    if corrupt == 1 { "y" } else { "ies" }
+                ))
+            } else {
+                println!(
+                    "{} entr{} verified",
+                    outcomes.len(),
+                    if outcomes.len() == 1 { "y" } else { "ies" }
+                );
+                Ok(())
+            }
+        }
+        other => Err(format!("unknown store subcommand `{other}` ({USAGE})")),
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
