@@ -9,7 +9,9 @@
 //! [`ServeRecord`] to `BENCH_serve.json` (overridable via
 //! `SIRO_BENCH_SERVE_JSON`); the `warmstart` bench writes a
 //! [`WarmstartRecord`] to `BENCH_warmstart.json` (overridable via
-//! `SIRO_BENCH_WARMSTART_JSON`).
+//! `SIRO_BENCH_WARMSTART_JSON`); the `router_matrix` bench writes a
+//! [`RouterRecord`] to `BENCH_router.json` (overridable via
+//! `SIRO_BENCH_ROUTER_JSON`).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -425,5 +427,109 @@ pub fn render_warmstart_json(record: &WarmstartRecord) -> String {
 pub fn write_warmstart_json(record: &WarmstartRecord) -> std::io::Result<PathBuf> {
     let path = warmstart_json_path();
     std::fs::write(&path, render_warmstart_json(record))?;
+    Ok(path)
+}
+
+/// Serving latency for one hop-count bucket of the routed matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct HopBucket {
+    /// Hops of the plans in this bucket (1 = direct).
+    pub hops: usize,
+    /// Pairs served through plans of this length.
+    pub count: usize,
+    /// Median per-pair serve latency, µs.
+    pub p50_us: u64,
+    /// 99th-percentile per-pair serve latency, µs.
+    pub p99_us: u64,
+}
+
+/// Result of the `router_matrix` bench: every ordered catalog pair
+/// planned and served through the version-graph router, with composed
+/// outputs checked byte-identical to direct synthesis. Dumped to
+/// `BENCH_router.json` (schema `siro-bench/router-v1`).
+#[derive(Debug, Clone)]
+pub struct RouterRecord {
+    /// Catalog size (nodes of the graph).
+    pub nodes: usize,
+    /// Ordered non-identity pairs planned.
+    pub pairs: usize,
+    /// Pairs whose cheapest plan was a single hop.
+    pub direct: usize,
+    /// Pairs whose cheapest plan composed two or more hops.
+    pub composed: usize,
+    /// Pairs with no plan at all — the CI gate requires zero.
+    pub unreachable: usize,
+    /// Longest planned path, in hops.
+    pub max_hops: usize,
+    /// Pairs checked composed-vs-direct over the pair's full oracle
+    /// corpus.
+    pub byte_checked: usize,
+    /// Corpus cases compared byte-for-byte (every route version supports
+    /// every placed opcode).
+    pub byte_cases: usize,
+    /// Corpus cases compared by interpreter verdict instead (an
+    /// intermediate lowered a feature it cannot represent).
+    pub behavioral_cases: usize,
+    /// Cases where the routes disagreed (bytes where required, behaviour
+    /// otherwise) — the gate requires zero.
+    pub byte_mismatches: usize,
+    /// Per-hop-count serve latency, ascending by hop count.
+    pub hop_latency: Vec<HopBucket>,
+    /// Whether both gates held.
+    pub pass: bool,
+}
+
+/// Where the router JSON goes: `SIRO_BENCH_ROUTER_JSON` if set, else
+/// `BENCH_router.json` in the current directory.
+pub fn router_json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_ROUTER_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_router.json"))
+}
+
+/// Renders the router record as a JSON document.
+pub fn render_router_json(record: &RouterRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"siro-bench/router-v1\",");
+    let _ = writeln!(out, "  \"nodes\": {},", record.nodes);
+    let _ = writeln!(out, "  \"pairs\": {},", record.pairs);
+    let _ = writeln!(out, "  \"direct\": {},", record.direct);
+    let _ = writeln!(out, "  \"composed\": {},", record.composed);
+    let _ = writeln!(out, "  \"unreachable\": {},", record.unreachable);
+    let _ = writeln!(out, "  \"max_hops\": {},", record.max_hops);
+    let _ = writeln!(
+        out,
+        "  \"byte_identity\": {{ \"pairs_checked\": {}, \"byte_cases\": {}, \
+         \"behavioral_cases\": {}, \"mismatches\": {} }},",
+        record.byte_checked, record.byte_cases, record.behavioral_cases, record.byte_mismatches
+    );
+    out.push_str("  \"hop_latency_us\": [\n");
+    for (i, b) in record.hop_latency.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"hops\": {}, \"count\": {}, \"p50\": {}, \"p99\": {} }}",
+            b.hops, b.count, b.p50_us, b.p99_us
+        );
+        out.push_str(if i + 1 == record.hop_latency.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"pass\": {}", record.pass);
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_router.json` and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_router_json(record: &RouterRecord) -> std::io::Result<PathBuf> {
+    let path = router_json_path();
+    std::fs::write(&path, render_router_json(record))?;
     Ok(path)
 }

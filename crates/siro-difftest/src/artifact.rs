@@ -68,17 +68,18 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl RegressionArtifact {
-    /// Builds an artifact from a fuzzing failure record.
+    /// Builds an artifact from a fuzzing failure record. The intermediate
+    /// comes from the record itself — with path-selection fuzzing the
+    /// failing path need not be the run's primary triple.
     pub fn from_record(
         src: IrVersion,
-        mid: IrVersion,
         tgt: IrVersion,
         fault: Option<SynthFault>,
         rec: &FailureRecord,
     ) -> Self {
         RegressionArtifact {
             src,
-            mid,
+            mid: rec.mid,
             tgt,
             fault,
             oracle: rec.oracle.to_string(),

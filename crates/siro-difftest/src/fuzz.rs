@@ -30,7 +30,7 @@ use siro_rng::{Rng, SeedableRng, StdRng};
 use siro_synth::{SynthError, SynthFault};
 use siro_testcases::gen::generate_cases;
 
-use crate::oracle::{ChainSet, FailureFamily, Verdict, ORACLE_FUEL};
+use crate::oracle::{routed_mids, ChainSet, FailureFamily, Verdict, ORACLE_FUEL};
 use crate::reduce::{placed_inst_count, reduce};
 
 /// Reduced failures at or under this many placed instructions count as
@@ -58,6 +58,12 @@ pub struct DifftestConfig {
     pub fuel: u64,
     /// How many generated seed programs start the corpus.
     pub seed_cases: usize,
+    /// How many router-ranked paths to fuzz. `1` checks only the
+    /// configured `(src, mid, tgt)` triple; `n > 1` adds the next
+    /// `n - 1` intermediates from [`routed_mids`], and the loop rotates
+    /// mutants across the paths — path selection itself becomes part of
+    /// the fuzzed surface.
+    pub route_mids: usize,
 }
 
 impl DifftestConfig {
@@ -73,7 +79,19 @@ impl DifftestConfig {
             fault: None,
             fuel: ORACLE_FUEL,
             seed_cases: 6,
+            route_mids: 1,
         }
+    }
+
+    /// A default configuration for `(src, tgt)` with the intermediate
+    /// chosen by the version-graph router (the cheapest two-hop
+    /// decomposition under the current edge costs) instead of the test
+    /// author.
+    pub fn routed(src: IrVersion, tgt: IrVersion) -> Self {
+        let mid = *routed_mids(src, tgt)
+            .first()
+            .expect("catalog has at least three versions");
+        Self::new(src, mid, tgt)
     }
 }
 
@@ -82,6 +100,8 @@ impl DifftestConfig {
 pub struct FailureRecord {
     /// Which oracle tripped.
     pub oracle: &'static str,
+    /// The intermediate of the path the failure was found on.
+    pub mid: IrVersion,
     /// Failure family.
     pub family: FailureFamily,
     /// Evidence from the *reduced* reproduction.
@@ -103,10 +123,15 @@ pub struct FailureRecord {
 pub struct DifftestReport {
     /// The triple fuzzed.
     pub src: IrVersion,
-    /// Intermediate version.
+    /// Primary intermediate version (the first entry of
+    /// [`DifftestReport::mids`]).
     pub mid: IrVersion,
     /// Target version.
     pub tgt: IrVersion,
+    /// Every intermediate fuzzed, in check rotation order (more than one
+    /// when [`DifftestConfig::route_mids`] asked for alternate
+    /// router-ranked paths).
+    pub mids: Vec<IrVersion>,
     /// Oracle executions performed.
     pub execs: usize,
     /// Wall-clock time spent in the loop.
@@ -265,7 +290,17 @@ pub fn run(cfg: &DifftestConfig) -> Result<DifftestReport, SynthError> {
 }
 
 fn run_inner(cfg: &DifftestConfig) -> Result<DifftestReport, SynthError> {
-    let chain = ChainSet::synthesize(cfg.src, cfg.mid, cfg.tgt, cfg.fault)?;
+    // The primary path is the configured triple; extra router-ranked
+    // intermediates (route_mids > 1) become alternate paths the loop
+    // rotates mutants through.
+    let mut chains = vec![ChainSet::synthesize(cfg.src, cfg.mid, cfg.tgt, cfg.fault)?];
+    for m in routed_mids(cfg.src, cfg.tgt)
+        .into_iter()
+        .filter(|&m| m != cfg.mid)
+        .take(cfg.route_mids.saturating_sub(1))
+    {
+        chains.push(ChainSet::synthesize(cfg.src, m, cfg.tgt, cfg.fault)?);
+    }
     let start = Instant::now();
 
     let seeds = generate_cases(cfg.seed, cfg.seed_cases, cfg.src);
@@ -273,7 +308,8 @@ fn run_inner(cfg: &DifftestConfig) -> Result<DifftestReport, SynthError> {
     let mut generated_kinds = BTreeSet::new();
     let mut features: BTreeSet<Feature> = BTreeSet::new();
     let mut failures: Vec<FailureRecord> = Vec::new();
-    let mut seen_failures: BTreeSet<(&'static str, FailureFamily, &'static str)> = BTreeSet::new();
+    let mut seen_failures: BTreeSet<(IrVersion, &'static str, FailureFamily, &'static str)> =
+        BTreeSet::new();
     let mut duplicate_failures = 0usize;
     let mut skips = 0usize;
     let mut execs = 0usize;
@@ -283,13 +319,14 @@ fn run_inner(cfg: &DifftestConfig) -> Result<DifftestReport, SynthError> {
     // faulted translator can fail already on a seed.
     for case in seeds {
         generated_kinds.extend(placed_kinds(&case.module));
-        let (verdict, fs) = check_with_features(&chain, &case.module, cfg.fuel);
+        let chain = &chains[execs % chains.len()];
+        let (verdict, fs) = check_with_features(chain, &case.module, cfg.fuel);
         execs += 1;
         features.extend(fs);
         match verdict {
             Verdict::Fail(f) => {
-                if seen_failures.insert((f.oracle, f.family, "seed")) {
-                    record_failure(&chain, &case.module, "seed", f, cfg.fuel, &mut failures);
+                if seen_failures.insert((chain.mid, f.oracle, f.family, "seed")) {
+                    record_failure(chain, &case.module, "seed", f, cfg.fuel, &mut failures);
                 } else {
                     duplicate_failures += 1;
                 }
@@ -313,12 +350,16 @@ fn run_inner(cfg: &DifftestConfig) -> Result<DifftestReport, SynthError> {
         let Some(mutant) = mutator.apply(base, &mut rng) else {
             continue;
         };
-        let (verdict, fs) = check_with_features(&chain, &mutant, cfg.fuel);
+        // Rotating the path per attempt fuzzes the route as well as the
+        // input: a translator bug keyed to one intermediate is reached
+        // within one sweep of the path list.
+        let chain = &chains[attempt % chains.len()];
+        let (verdict, fs) = check_with_features(chain, &mutant, cfg.fuel);
         execs += 1;
         match verdict {
             Verdict::Fail(f) => {
-                if seen_failures.insert((f.oracle, f.family, mutator.name())) {
-                    record_failure(&chain, &mutant, mutator.name(), f, cfg.fuel, &mut failures);
+                if seen_failures.insert((chain.mid, f.oracle, f.family, mutator.name())) {
+                    record_failure(chain, &mutant, mutator.name(), f, cfg.fuel, &mut failures);
                 } else {
                     duplicate_failures += 1;
                 }
@@ -339,6 +380,7 @@ fn run_inner(cfg: &DifftestConfig) -> Result<DifftestReport, SynthError> {
         src: cfg.src,
         mid: cfg.mid,
         tgt: cfg.tgt,
+        mids: chains.iter().map(|c| c.mid).collect(),
         execs,
         wall: start.elapsed(),
         corpus_size: corpus.len(),
@@ -381,6 +423,7 @@ fn record_failure(
     };
     failures.push(FailureRecord {
         oracle,
+        mid: chain.mid,
         family,
         detail,
         mutator,

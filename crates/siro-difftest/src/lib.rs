@@ -37,6 +37,8 @@ pub mod report;
 pub use artifact::{RegressionArtifact, ARTIFACT_SCHEMA};
 pub use fuzz::{run, DifftestConfig, DifftestReport, FailureRecord, SHRINK_TARGET};
 pub use mutate::{applicable_mutators, Mutator};
-pub use oracle::{behaviour, Behaviour, ChainSet, Failure, FailureFamily, Verdict, ORACLE_FUEL};
+pub use oracle::{
+    behaviour, routed_mids, Behaviour, ChainSet, Failure, FailureFamily, Verdict, ORACLE_FUEL,
+};
 pub use reduce::{compact, placed_inst_count, reduce, ReduceOutcome};
 pub use report::{render_difftest_json, write_difftest_json};

@@ -25,7 +25,7 @@ use siro_ir::{
     verify, IrVersion, Module,
 };
 use siro_synth::{
-    OracleTest, SynthError, SynthFault, SynthesisConfig, SynthesisOutcome, TranslatorCache,
+    OracleTest, Router, SynthError, SynthFault, SynthesisConfig, SynthesisOutcome, TranslatorCache,
 };
 
 /// Default interpreter fuel for oracle runs.
@@ -157,7 +157,56 @@ pub fn corpus_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
         .collect()
 }
 
+/// Catalog intermediates for `(src, tgt)` ranked the way the router
+/// ranks them: by the summed edge cost of the two-hop decomposition
+/// `src → mid → tgt` under the router's *current* cost landscape (cache
+/// warmth, store entries, observed latency), cheapest first with ties
+/// broken toward the lower version. The head of this list is the
+/// intermediate a composed route would take; the tail is the alternate
+/// paths that path-selection fuzzing rotates through.
+pub fn routed_mids(src: IrVersion, tgt: IrVersion) -> Vec<IrVersion> {
+    let graph = Router::new().graph();
+    let mut mids: Vec<(u64, IrVersion)> = graph
+        .nodes()
+        .iter()
+        .copied()
+        .filter(|&m| m != src && m != tgt)
+        .map(|m| {
+            // A missing edge (off-catalog hop) prices as unreachable but
+            // still finite, so the sort stays total.
+            let leg = |a, b| graph.edge(a, b).map_or(u64::MAX / 4, |e| e.cost_us);
+            (leg(src, m).saturating_add(leg(m, tgt)), m)
+        })
+        .collect();
+    mids.sort();
+    mids.into_iter().map(|(_, m)| m).collect()
+}
+
 impl ChainSet {
+    /// [`ChainSet::synthesize`] with the intermediate chosen by the
+    /// router instead of the test author: the cheapest two-hop
+    /// decomposition of `(src, tgt)` under the current edge costs (see
+    /// [`routed_mids`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first leg's [`SynthError`].
+    ///
+    /// # Panics
+    ///
+    /// When the catalog has no intermediate between `src` and `tgt`
+    /// (impossible for the 13-version catalog).
+    pub fn routed(
+        src: IrVersion,
+        tgt: IrVersion,
+        fault: Option<SynthFault>,
+    ) -> Result<Self, SynthError> {
+        let mid = *routed_mids(src, tgt)
+            .first()
+            .expect("catalog has at least three versions");
+        Self::synthesize(src, mid, tgt, fault)
+    }
+
     /// Synthesizes (or fetches from the process-wide [`TranslatorCache`])
     /// all four legs. `fault` is threaded into every leg's config, so a
     /// faulted set never collides with a clean one in the cache.

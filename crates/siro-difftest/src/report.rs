@@ -57,6 +57,8 @@ pub fn render_difftest_json(reports: &[DifftestReport]) -> String {
             json_string(&r.src.to_string())
         );
         let _ = writeln!(out, "      \"mid\": {},", json_string(&r.mid.to_string()));
+        let mids: Vec<String> = r.mids.iter().map(|m| json_string(&m.to_string())).collect();
+        let _ = writeln!(out, "      \"mids\": [{}],", mids.join(", "));
         let _ = writeln!(
             out,
             "      \"target\": {},",
@@ -131,6 +133,7 @@ mod tests {
             src: IrVersion::V13_0,
             mid: IrVersion::V12_0,
             tgt: IrVersion::V3_6,
+            mids: vec![IrVersion::V12_0],
             execs: 10,
             wall: Duration::from_millis(500),
             corpus_size: 8,

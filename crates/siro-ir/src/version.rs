@@ -58,11 +58,15 @@ impl IrVersion {
 
     /// Every version that the reproduction's experiments reference,
     /// oldest first.
-    pub const CATALOG: [IrVersion; 9] = [
+    pub const CATALOG: [IrVersion; 13] = [
         Self::V3_0,
         Self::V3_6,
+        Self::V3_7,
         Self::V4_0,
         Self::V5_0,
+        Self::V9_0,
+        Self::V10_0,
+        Self::V11_0,
         Self::V12_0,
         Self::V13_0,
         Self::V14_0,
@@ -225,6 +229,30 @@ mod tests {
         assert!(!IrVersion::V14_0.opaque_pointers_in_text());
         assert!(IrVersion::V15_0.opaque_pointers_in_text());
         assert!(IrVersion::V17_0.renamed_called_operand_getter());
+    }
+
+    #[test]
+    fn catalog_lists_every_declared_version_in_order() {
+        // The catalog must contain every named constant exactly once,
+        // sorted oldest-first: the version-graph router treats it as the
+        // complete node set.
+        let all = [
+            IrVersion::V3_0,
+            IrVersion::V3_6,
+            IrVersion::V3_7,
+            IrVersion::V4_0,
+            IrVersion::V5_0,
+            IrVersion::V9_0,
+            IrVersion::V10_0,
+            IrVersion::V11_0,
+            IrVersion::V12_0,
+            IrVersion::V13_0,
+            IrVersion::V14_0,
+            IrVersion::V15_0,
+            IrVersion::V17_0,
+        ];
+        assert_eq!(IrVersion::CATALOG, all);
+        assert!(IrVersion::CATALOG.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use siro_core::{ReferenceTranslator, Skeleton};
 use siro_ir::{parse, verify, write};
+use siro_synth::{RouteOutcome, Router};
 
 use crate::coalesce::PairCoalescer;
 use crate::protocol::{ErrorCode, Request, Response, StageNanos, TranslateMode};
@@ -20,6 +21,7 @@ use crate::stats::Metrics;
 /// Shared, thread-safe request executor.
 pub struct Engine {
     coalescer: PairCoalescer,
+    router: Router,
     metrics: Arc<Metrics>,
 }
 
@@ -35,6 +37,7 @@ impl Engine {
     pub fn new(metrics: Arc<Metrics>) -> Self {
         Engine {
             coalescer: PairCoalescer::new(),
+            router: Router::new(),
             metrics,
         }
     }
@@ -42,6 +45,11 @@ impl Engine {
     /// The coalescer, for stats reporting.
     pub fn coalescer(&self) -> &PairCoalescer {
         &self.coalescer
+    }
+
+    /// The version-graph router serving any-pair requests.
+    pub fn router(&self) -> &Router {
+        &self.router
     }
 
     /// Executes one already-dequeued request. `Stats` and `Shutdown` are
@@ -113,9 +121,16 @@ impl Engine {
                 (r, false, 0)
             }
             TranslateMode::Synthesized => {
+                // Any-pair serving: the router picks the cheapest route
+                // (direct or composed); every hop acquisition goes through
+                // the coalescer so per-pair serving counters keep working.
                 let sp = siro_trace::span!("serve.acquire_translator", "{source}->{target}");
-                let lookup = match self.coalescer.translator_for(source, target) {
-                    Ok(l) => l,
+                let acquired = match self.router.acquire_with(source, target, &|s, t, _tests| {
+                    self.coalescer
+                        .translator_for(s, t)
+                        .map(|l| (l.outcome, l.fresh))
+                }) {
+                    Ok(a) => a,
                     Err(e) => {
                         return err(
                             ErrorCode::Synthesis,
@@ -126,9 +141,14 @@ impl Engine {
                 drop(sp);
                 let synth_nanos = t_synth.elapsed().as_nanos() as u64;
                 let sp = siro_trace::span!("serve.translate", "{source}->{target} synthesized");
-                let r = skeleton.translate_module(&module, &lookup.outcome.translator);
+                let r = match &acquired.outcome {
+                    RouteOutcome::Direct(outcome) => {
+                        skeleton.translate_module(&module, &outcome.translator)
+                    }
+                    RouteOutcome::Composed(chain) => chain.translate_module(&module),
+                };
                 drop(sp);
-                (r, !lookup.fresh, synth_nanos)
+                (r, !acquired.fresh, synth_nanos)
             }
         };
         let t_translate = Instant::now();
@@ -240,6 +260,52 @@ mod tests {
             } => assert!(message.contains("declares version"), "{message}"),
             other => panic!("expected version mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn composed_route_serves_byte_identical_to_direct() {
+        // Warm the two hop edges in the process-global cache so the
+        // router's cheapest path for (11.0 -> 3.7) composes through 5.0,
+        // then check the served text equals a direct synthesis. The pair
+        // triple is unique to this test so no other test perturbs the
+        // edge classes.
+        let (a, m, b) = (IrVersion::V11_0, IrVersion::V5_0, IrVersion::V3_7);
+        for (s, t) in [(a, m), (m, b)] {
+            let corpus = siro_synth::oracle_corpus(s, t);
+            siro_synth::TranslatorCache::get_or_synthesize(
+                siro_synth::SynthesisConfig::new(s, t),
+                &corpus,
+            )
+            .expect("hop synthesis");
+        }
+        let e = engine();
+        let plan = e.router().plan(a, b).expect("plan");
+        assert_eq!(
+            plan.hop_count(),
+            2,
+            "hot hops must compose: {}",
+            plan.describe()
+        );
+        let text = sample_module(a);
+        let resp = e.execute(&Request::Translate {
+            source: a,
+            target: b,
+            mode: TranslateMode::Synthesized,
+            text: text.clone(),
+        });
+        let Response::TranslateOk { text: served, .. } = resp else {
+            panic!("expected TranslateOk, got {resp:?}");
+        };
+        let module = parse::parse_module(&text).expect("reparse");
+        let direct = siro_synth::TranslatorCache::get_or_synthesize(
+            siro_synth::SynthesisConfig::new(a, b),
+            &siro_synth::oracle_corpus(a, b),
+        )
+        .expect("direct synthesis");
+        let expected = Skeleton::new(b)
+            .translate_module(&module, &direct.translator)
+            .expect("direct translation");
+        assert_eq!(served, write::write_module(&expected));
     }
 
     #[test]

@@ -60,6 +60,11 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
+                // The last bucket is open-ended (it absorbs everything at or
+                // above 2^(BUCKETS-1) µs), so it has no finite upper bound.
+                if i == BUCKETS - 1 {
+                    return Some(u64::MAX);
+                }
                 return Some(1u64 << (i + 1));
             }
         }
@@ -189,6 +194,14 @@ pub fn render_stats(
     line("store_misses", store.misses);
     line("store_corrupt", store.corrupt);
     line("store_writes", store.writes);
+    let router = siro_synth::router_stats();
+    line("router_plans", router.plans);
+    line("router_direct", router.direct);
+    line("router_composed", router.composed);
+    line("router_composed_cached", router.composed_cached);
+    line("router_fallbacks", router.fallbacks);
+    line("router_chains_persisted", router.chains_persisted);
+    line("router_max_hops", router.max_hops);
     line("trace_enabled", u64::from(siro_trace::enabled()));
     out
 }
@@ -246,6 +259,22 @@ pub fn render_metrics(
     sample("siro_store_misses_total", "counter", store.misses);
     sample("siro_store_corrupt_total", "counter", store.corrupt);
     sample("siro_store_writes_total", "counter", store.writes);
+    let router = siro_synth::router_stats();
+    sample("siro_router_plans_total", "counter", router.plans);
+    sample("siro_router_direct_total", "counter", router.direct);
+    sample("siro_router_composed_total", "counter", router.composed);
+    sample(
+        "siro_router_composed_cached_total",
+        "counter",
+        router.composed_cached,
+    );
+    sample("siro_router_fallbacks_total", "counter", router.fallbacks);
+    sample(
+        "siro_router_chains_persisted_total",
+        "counter",
+        router.chains_persisted,
+    );
+    sample("siro_router_max_hops", "gauge", router.max_hops);
     out.push_str(&siro_trace::export::render_prometheus_counters(
         &siro_trace::snapshot(),
     ));
@@ -289,6 +318,21 @@ mod tests {
     }
 
     #[test]
+    fn histogram_saturated_bucket_reports_open_bound() {
+        let h = Histogram::default();
+        // 2^(BUCKETS-1) µs is the first value that lands in the saturated
+        // last bucket; anything in it must report the open bound, not a
+        // fabricated 2^BUCKETS µs ceiling.
+        h.record(Duration::from_micros(1u64 << (BUCKETS - 1)));
+        assert_eq!(h.quantile_us(0.5), Some(u64::MAX));
+        assert_eq!(h.quantile_us(1.0), Some(u64::MAX));
+        // One bucket below the boundary still reports its finite bound.
+        let h = Histogram::default();
+        h.record(Duration::from_micros((1u64 << (BUCKETS - 1)) - 1));
+        assert_eq!(h.quantile_us(0.5), Some(1u64 << (BUCKETS - 1)));
+    }
+
+    #[test]
     fn stats_page_is_greppable() {
         let m = Metrics::default();
         m.on_request();
@@ -306,6 +350,10 @@ mod tests {
         // The persistent-store funnel is always present, attached or not.
         assert!(stats_value(&page, "store_attached").is_some());
         assert!(stats_value(&page, "store_corrupt").is_some());
+        // The version-graph router funnel is always present too.
+        assert!(stats_value(&page, "router_plans").is_some());
+        assert!(stats_value(&page, "router_composed").is_some());
+        assert!(stats_value(&page, "router_fallbacks").is_some());
     }
 
     #[test]
@@ -317,11 +365,19 @@ mod tests {
         assert_eq!(metrics_value(&page, "siro_requests_total"), Some(1));
         assert_eq!(metrics_value(&page, "siro_queue_capacity"), Some(64));
         assert!(metrics_value(&page, "siro_trace_enabled").is_some());
-        // Every sample line is preceded by a `# TYPE` declaration.
+        // Every sample line is preceded by a `# TYPE` declaration. Parse
+        // fallibly so a format tweak names the offending line instead of
+        // panicking inside the iterator chain.
         let mut prev = "";
         for line in page.lines() {
             if !line.starts_with('#') {
-                let name = line.split(' ').next().unwrap();
+                let Some((name, value)) = line.split_once(' ') else {
+                    panic!("sample line `{line}` is not `name value` shaped");
+                };
+                assert!(
+                    value.trim().parse::<u64>().is_ok(),
+                    "sample `{line}` has a non-numeric value"
+                );
                 assert!(
                     prev.starts_with(&format!("# TYPE {name} ")),
                     "sample `{line}` lacks a TYPE comment (prev: `{prev}`)"

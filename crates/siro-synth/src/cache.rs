@@ -263,6 +263,17 @@ impl TranslatorCache {
         true
     }
 
+    /// Whether the in-memory slot for `(config, tests)` already holds a
+    /// *successful* outcome — no store probe, no synthesis, no counter
+    /// bump. The version-graph router uses this to classify an edge as
+    /// hot (answerable at memory speed) without perturbing the edge.
+    pub fn is_warm(config: &SynthesisConfig, tests: &[OracleTest]) -> bool {
+        let key = CacheKey::new(config, tests);
+        let map = cache().lock().expect("translator cache poisoned");
+        map.get(&key)
+            .is_some_and(|slot| matches!(slot.get(), Some(Ok(_))))
+    }
+
     /// Current hit/miss counters.
     pub fn stats() -> CacheStats {
         CacheStats {

@@ -21,7 +21,11 @@
 //! * [`persist`] + [`store`] — the on-disk [`TranslatorStore`]: a
 //!   versioned, checksummed binary format persisting outcomes across
 //!   processes, with load-time validation against the oracle corpus and
-//!   LRU-ish garbage collection.
+//!   LRU-ish garbage collection;
+//! * [`router`] — the version-graph router: any `(from, to)` request over
+//!   the full catalog answered by cheapest-path composition of pairwise
+//!   translators, with composed chains memoized and persisted under their
+//!   own keys.
 //!
 //! ## Example
 //!
@@ -53,6 +57,7 @@ pub mod persist;
 pub mod pertest;
 pub mod profile;
 pub mod refine;
+pub mod router;
 pub mod store;
 pub mod typegraph;
 
@@ -67,6 +72,11 @@ pub use driver::{
 pub use pertest::{OracleTest, PerTestTranslator};
 pub use profile::{profile_module, ProfileTable, ProfiledInst};
 pub use refine::{CandIdx, MStar, SynthFault};
+pub use router::{
+    chain_persist_key, reset_router_stats, router_stats, Acquired, ComposedHop, ComposedTranslator,
+    EdgeClass, EdgeInfo, RouteOutcome, RoutePlan, Router, RouterStats, VersionGraph, COST_COLD_US,
+    COST_HOT_US, COST_WARM_US, OBSERVED_CAP_US,
+};
 pub use store::{
     active_store, oracle_corpus, reset_store_stats, set_active_store, store_stats, GcReport,
     StoreConfig, StoreEntry, StoreKey, StoreStats, TranslatorStore, ValidationMode, VerifyOutcome,

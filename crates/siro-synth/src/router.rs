@@ -1,0 +1,959 @@
+//! The version-graph router: any-to-any translation over the catalog.
+//!
+//! The paper's headline scenario is a set of IR versions with *any-to-any*
+//! compatibility. Direct synthesis can serve every pair, but it is the
+//! most expensive way to answer a request whose endpoints are already
+//! bridged by warm translators. This module models the catalog as a
+//! directed graph — nodes are [`IrVersion::CATALOG`], an edge `a -> b` is
+//! the pairwise translator for `(a, b)` — and answers a `(from, to)`
+//! request by cheapest-path composition over that graph.
+//!
+//! ## Edge-cost formula
+//!
+//! Each edge is classified by how much work acquiring its translator
+//! costs *right now*:
+//!
+//! * **Hot** — a successful outcome sits in the in-memory
+//!   [`TranslatorCache`] ([`COST_HOT_US`] ≈ an `Arc` clone);
+//! * **Warm** — a persisted `.sirt` entry exists in the attached
+//!   [`TranslatorStore`] ([`COST_WARM_US`] ≈ read + validate);
+//! * **Cold** — the translator must be synthesized ([`COST_COLD_US`] ≈
+//!   a measured full-corpus synthesis).
+//!
+//! `cost(edge) = class_cost_us + observed_hop_us`, where `observed_hop_us`
+//! is the mean duration of `route.hop` / `serve.translate` spans recorded
+//! by [`siro_trace`] for that pair (zero when tracing is off or the pair
+//! has no traffic yet). The unit is "expected microseconds to serve one
+//! request through this edge", so path costs add meaningfully.
+//!
+//! ## Fallback ladder
+//!
+//! 1. cheapest path over the graph (direct edges compete on cost like any
+//!    other path);
+//! 2. if acquiring any hop of a composed path fails, fall back to direct
+//!    synthesis of the full pair;
+//! 3. if direct synthesis also fails, the error propagates to the caller.
+//!
+//! Composed chains are memoized per process (the router's composed cache)
+//! and persisted as first-class store entries: a [`ComposedTranslator`]
+//! has its own persist key and a plaintext `.sirc` manifest naming each
+//! hop's `.sirt` entry (see [`TranslatorStore::save_chain`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use siro_core::Skeleton;
+use siro_ir::{IrVersion, Module};
+
+use crate::cache::{CacheLookup, TranslatorCache};
+use crate::driver::{SynthError, SynthesisConfig, SynthesisOutcome};
+use crate::persist::fnv1a64;
+use crate::pertest::OracleTest;
+use crate::store::{active_store, oracle_corpus, StoreKey, TranslatorStore};
+
+/// Cost (µs) of an edge whose translator is in the in-memory cache.
+pub const COST_HOT_US: u64 = 10;
+/// Cost (µs) of an edge whose translator is persisted in the store.
+pub const COST_WARM_US: u64 = 2_000;
+/// Cost (µs) of an edge whose translator must be synthesized.
+pub const COST_COLD_US: u64 = 50_000;
+/// Cap on the observed-latency term, so one pathological trace sample
+/// cannot make a hot edge look colder than synthesis.
+pub const OBSERVED_CAP_US: u64 = COST_COLD_US / 2;
+
+/// How an edge's translator would be acquired right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// In the in-memory [`TranslatorCache`].
+    Hot,
+    /// Persisted in the attached [`TranslatorStore`].
+    Warm,
+    /// Must be synthesized.
+    Cold,
+}
+
+impl std::fmt::Display for EdgeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EdgeClass::Hot => "hot",
+            EdgeClass::Warm => "warm",
+            EdgeClass::Cold => "cold",
+        })
+    }
+}
+
+/// One edge of the version graph, with its cost breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeInfo {
+    /// Source version of the hop.
+    pub from: IrVersion,
+    /// Target version of the hop.
+    pub to: IrVersion,
+    /// Acquisition class at snapshot time.
+    pub class: EdgeClass,
+    /// Mean observed per-hop translate latency (µs) from trace spans,
+    /// when any traffic has been recorded.
+    pub observed_us: Option<u64>,
+    /// Total edge cost: class cost + capped observed latency.
+    pub cost_us: u64,
+}
+
+/// A snapshot of the version graph: every node of the catalog (or a
+/// custom node set) and every synthesizable edge with its current cost.
+#[derive(Debug, Clone)]
+pub struct VersionGraph {
+    nodes: Vec<IrVersion>,
+    edges: HashMap<(IrVersion, IrVersion), EdgeInfo>,
+}
+
+impl VersionGraph {
+    /// Builds a graph from an explicit edge set. [`Router::graph`] builds
+    /// the live snapshot; this constructor exists for planners and tests
+    /// that need a synthetic cost landscape (e.g. difftest fuzzing path
+    /// selection over randomized warm/cold mixes).
+    pub fn from_edges(nodes: Vec<IrVersion>, edges: Vec<EdgeInfo>) -> Self {
+        VersionGraph {
+            nodes,
+            edges: edges.into_iter().map(|e| ((e.from, e.to), e)).collect(),
+        }
+    }
+
+    /// The node set.
+    pub fn nodes(&self) -> &[IrVersion] {
+        &self.nodes
+    }
+
+    /// The edge `from -> to`, if it exists in this snapshot.
+    pub fn edge(&self, from: IrVersion, to: IrVersion) -> Option<&EdgeInfo> {
+        self.edges.get(&(from, to))
+    }
+
+    /// Number of edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Cheapest path `from -> to` by summed edge cost (Dijkstra; ties
+    /// broken toward fewer hops, then lower version order, so plans are
+    /// deterministic). `from == to` yields an empty-hop plan.
+    pub fn cheapest_path(&self, from: IrVersion, to: IrVersion) -> Option<RoutePlan> {
+        if !self.nodes.contains(&from) || !self.nodes.contains(&to) {
+            return None;
+        }
+        if from == to {
+            return Some(RoutePlan {
+                from,
+                to,
+                hops: Vec::new(),
+                cost_us: 0,
+            });
+        }
+        // dist: node -> (cost, hops); prev: node -> predecessor.
+        let mut dist: HashMap<IrVersion, (u64, usize)> = HashMap::new();
+        let mut prev: HashMap<IrVersion, IrVersion> = HashMap::new();
+        let mut done: Vec<IrVersion> = Vec::new();
+        dist.insert(from, (0, 0));
+        loop {
+            let (&node, &(cost, hops)) = dist
+                .iter()
+                .filter(|(v, _)| !done.contains(v))
+                .min_by_key(|(v, &(c, h))| (c, h, **v))?;
+            if node == to {
+                let mut hops_rev = Vec::new();
+                let mut cur = to;
+                while cur != from {
+                    let p = prev[&cur];
+                    hops_rev.push(self.edges[&(p, cur)]);
+                    cur = p;
+                }
+                hops_rev.reverse();
+                return Some(RoutePlan {
+                    from,
+                    to,
+                    hops: hops_rev,
+                    cost_us: cost,
+                });
+            }
+            done.push(node);
+            for (&(a, b), e) in &self.edges {
+                if a != node {
+                    continue;
+                }
+                let next = (cost + e.cost_us, hops + 1);
+                let better = match dist.get(&b) {
+                    None => true,
+                    Some(&(c, h)) => next < (c, h),
+                };
+                if better {
+                    dist.insert(b, next);
+                    prev.insert(b, node);
+                }
+            }
+        }
+    }
+}
+
+/// The route chosen for one `(from, to)` request.
+#[derive(Debug, Clone)]
+pub struct RoutePlan {
+    /// Requested source version.
+    pub from: IrVersion,
+    /// Requested target version.
+    pub to: IrVersion,
+    /// The hops, in order; empty for `from == to`, one entry for a
+    /// direct route.
+    pub hops: Vec<EdgeInfo>,
+    /// Summed edge cost.
+    pub cost_us: u64,
+}
+
+impl RoutePlan {
+    /// Number of hops (0 = identity, 1 = direct, 2+ = composed).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether this plan needs no composition.
+    pub fn is_direct(&self) -> bool {
+        self.hops.len() <= 1
+    }
+
+    /// One-line rendering, e.g. `13.0 -> 12.0 -> 3.6 (2 hops, cost 2010us)`.
+    pub fn describe(&self) -> String {
+        let mut path = self.from.to_string();
+        for hop in &self.hops {
+            path.push_str(&format!(" -> {}", hop.to));
+        }
+        format!(
+            "{path} ({} hop{}, cost {}us)",
+            self.hop_count(),
+            if self.hop_count() == 1 { "" } else { "s" },
+            self.cost_us
+        )
+    }
+}
+
+/// One leg of a composed translator.
+#[derive(Debug, Clone)]
+pub struct ComposedHop {
+    /// Hop source version.
+    pub from: IrVersion,
+    /// Hop target version.
+    pub to: IrVersion,
+    /// The hop's synthesized translator.
+    pub outcome: Arc<SynthesisOutcome>,
+    /// The hop's `.sirt` entry file name (its persistent identity).
+    pub entry_file: String,
+}
+
+/// A chain of pairwise translators serving one `(from, to)` pair by
+/// module-level composition: the module is translated hop by hop, each
+/// hop running the full skeleton translation into its own target version.
+#[derive(Debug, Clone)]
+pub struct ComposedTranslator {
+    /// Composed source version.
+    pub from: IrVersion,
+    /// Composed target version.
+    pub to: IrVersion,
+    /// The legs, in application order.
+    pub hops: Vec<ComposedHop>,
+    /// The plan this chain was built from.
+    pub plan: RoutePlan,
+}
+
+impl ComposedTranslator {
+    /// Number of legs.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Translates a whole module through every hop in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first hop's [`siro_core::TranslateError`].
+    pub fn translate_module(&self, module: &Module) -> siro_core::TranslateResult<Module> {
+        let mut current = module.clone();
+        for hop in &self.hops {
+            let sp = siro_trace::span!("route.hop", "{}->{}", hop.from, hop.to);
+            let next = Skeleton::new(hop.to).translate_module(&current, &hop.outcome.translator)?;
+            drop(sp);
+            current = next;
+        }
+        Ok(current)
+    }
+
+    /// The chain's persist key (see [`chain_persist_key`]).
+    pub fn persist_key(&self) -> String {
+        chain_persist_key(
+            self.from,
+            self.to,
+            self.hops.iter().map(|h| h.entry_file.as_str()),
+        )
+    }
+
+    /// The plaintext manifest persisted as the chain's `.sirc` entry.
+    pub fn manifest(&self) -> String {
+        let mut out = format!(
+            "SIRC 1\nfrom {}\nto {}\ncost {}\n",
+            self.from, self.to, self.plan.cost_us
+        );
+        for hop in &self.hops {
+            out.push_str(&format!("hop {} {} {}\n", hop.from, hop.to, hop.entry_file));
+        }
+        out
+    }
+}
+
+/// How [`Router::acquire`] answered a request.
+#[derive(Debug, Clone)]
+pub enum RouteOutcome {
+    /// A single pairwise translator (direct route).
+    Direct(Arc<SynthesisOutcome>),
+    /// A composed chain.
+    Composed(Arc<ComposedTranslator>),
+}
+
+/// A resolved `(from, to)` acquisition.
+#[derive(Debug, Clone)]
+pub struct Acquired {
+    /// The translator to run.
+    pub outcome: RouteOutcome,
+    /// The plan that produced it (the *attempted* plan; when the fallback
+    /// ladder demoted a composed plan to direct synthesis,
+    /// [`Acquired::fell_back`] is set and the outcome is direct).
+    pub plan: RoutePlan,
+    /// `true` when any synthesis ran during this call.
+    pub fresh: bool,
+    /// `true` when a composed hop failed and direct synthesis answered.
+    pub fell_back: bool,
+}
+
+/// A hop resolver: returns the translator outcome for one pair plus
+/// whether this call synthesized it. The serving layer passes a
+/// coalescer-backed resolver; the default resolver goes straight to
+/// [`TranslatorCache`].
+pub type HopResolver<'a> = &'a dyn Fn(
+    IrVersion,
+    IrVersion,
+    &[OracleTest],
+) -> Result<(Arc<SynthesisOutcome>, bool), SynthError>;
+
+// ---- process-wide router counters (read by serve STATS/METRICS) ---------
+
+static PLANS: AtomicU64 = AtomicU64::new(0);
+static DIRECT: AtomicU64 = AtomicU64::new(0);
+static COMPOSED: AtomicU64 = AtomicU64::new(0);
+static COMPOSED_CACHED: AtomicU64 = AtomicU64::new(0);
+static FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static CHAINS_PERSISTED: AtomicU64 = AtomicU64::new(0);
+static MAX_HOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime router counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Route plans computed.
+    pub plans: u64,
+    /// Acquisitions answered by a direct (≤1 hop) route.
+    pub direct: u64,
+    /// Acquisitions answered by a composed chain (freshly built or
+    /// cached).
+    pub composed: u64,
+    /// Composed acquisitions answered from the composed cache.
+    pub composed_cached: u64,
+    /// Composed plans demoted to direct synthesis by a failing hop.
+    pub fallbacks: u64,
+    /// Chain manifests persisted to the store.
+    pub chains_persisted: u64,
+    /// Longest hop count acquired so far.
+    pub max_hops: u64,
+}
+
+/// Snapshot of the router counters.
+pub fn router_stats() -> RouterStats {
+    RouterStats {
+        plans: PLANS.load(Ordering::Relaxed),
+        direct: DIRECT.load(Ordering::Relaxed),
+        composed: COMPOSED.load(Ordering::Relaxed),
+        composed_cached: COMPOSED_CACHED.load(Ordering::Relaxed),
+        fallbacks: FALLBACKS.load(Ordering::Relaxed),
+        chains_persisted: CHAINS_PERSISTED.load(Ordering::Relaxed),
+        max_hops: MAX_HOPS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the router counters (benches and tests).
+pub fn reset_router_stats() {
+    for c in [
+        &PLANS,
+        &DIRECT,
+        &COMPOSED,
+        &COMPOSED_CACHED,
+        &FALLBACKS,
+        &CHAINS_PERSISTED,
+        &MAX_HOPS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+fn note_max_hops(hops: u64) {
+    MAX_HOPS.fetch_max(hops, Ordering::Relaxed);
+}
+
+/// The version-graph router. One instance per engine / CLI invocation;
+/// the counters it bumps are process-global so `STATS` can report them.
+pub struct Router {
+    nodes: Vec<IrVersion>,
+    corpora: Mutex<PairMap<Arc<Vec<OracleTest>>>>,
+    composed: Mutex<PairMap<Arc<ComposedTranslator>>>,
+}
+
+/// Memoization table keyed by an ordered version pair.
+type PairMap<T> = HashMap<(IrVersion, IrVersion), T>;
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router {
+    /// A router over the full [`IrVersion::CATALOG`].
+    pub fn new() -> Self {
+        Self::over(IrVersion::CATALOG.to_vec())
+    }
+
+    /// A router over a custom node set (tests, partial deployments).
+    pub fn over(nodes: Vec<IrVersion>) -> Self {
+        Router {
+            nodes,
+            corpora: Mutex::new(HashMap::new()),
+            composed: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The memoized oracle corpus for a pair (empty corpus = no edge).
+    pub fn corpus(&self, from: IrVersion, to: IrVersion) -> Arc<Vec<OracleTest>> {
+        let mut map = self.corpora.lock().expect("router corpora poisoned");
+        Arc::clone(
+            map.entry((from, to))
+                .or_insert_with(|| Arc::new(oracle_corpus(from, to))),
+        )
+    }
+
+    fn observed_latencies() -> HashMap<(IrVersion, IrVersion), u64> {
+        let mut sums: HashMap<(IrVersion, IrVersion), (u64, u64)> = HashMap::new();
+        for span in siro_trace::snapshot().spans {
+            if span.name != "route.hop" && span.name != "serve.translate" {
+                continue;
+            }
+            // Details look like `13.0->3.6` (route.hop) or
+            // `13.0->3.6 synthesized` (serve.translate).
+            let pair_str = span.detail.split(' ').next().unwrap_or("");
+            let Some((a, b)) = pair_str.split_once("->") else {
+                continue;
+            };
+            let (Some(a), Some(b)) = (parse_version(a), parse_version(b)) else {
+                continue;
+            };
+            let e = sums.entry((a, b)).or_insert((0, 0));
+            e.0 += span.dur_ns / 1_000;
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(pair, (total_us, n))| (pair, total_us / n.max(1)))
+            .collect()
+    }
+
+    /// Snapshots the version graph: classifies every edge against the
+    /// in-memory cache and the attached store, and folds in observed
+    /// per-hop latencies from the trace collector.
+    pub fn graph(&self) -> VersionGraph {
+        let store = active_store();
+        let observed = Self::observed_latencies();
+        let mut edges = HashMap::new();
+        for &a in &self.nodes {
+            for &b in &self.nodes {
+                if a == b {
+                    continue;
+                }
+                let corpus = self.corpus(a, b);
+                if corpus.is_empty() {
+                    continue;
+                }
+                let config = SynthesisConfig::new(a, b);
+                let class = if TranslatorCache::is_warm(&config, &corpus) {
+                    EdgeClass::Hot
+                } else if store.as_ref().is_some_and(|s| {
+                    let fp = crate::cache::corpus_fingerprint(&corpus);
+                    s.entry_path(&StoreKey::new(&config, fp)).exists()
+                }) {
+                    EdgeClass::Warm
+                } else {
+                    EdgeClass::Cold
+                };
+                let class_cost = match class {
+                    EdgeClass::Hot => COST_HOT_US,
+                    EdgeClass::Warm => COST_WARM_US,
+                    EdgeClass::Cold => COST_COLD_US,
+                };
+                let observed_us = observed.get(&(a, b)).copied();
+                let cost_us = class_cost + observed_us.unwrap_or(0).min(OBSERVED_CAP_US);
+                edges.insert(
+                    (a, b),
+                    EdgeInfo {
+                        from: a,
+                        to: b,
+                        class,
+                        observed_us,
+                        cost_us,
+                    },
+                );
+            }
+        }
+        VersionGraph {
+            nodes: self.nodes.clone(),
+            edges,
+        }
+    }
+
+    /// Plans the cheapest route for `(from, to)` over a fresh graph
+    /// snapshot. `None` when either endpoint is off-catalog or no path
+    /// exists.
+    pub fn plan(&self, from: IrVersion, to: IrVersion) -> Option<RoutePlan> {
+        PLANS.fetch_add(1, Ordering::Relaxed);
+        siro_trace::counter("route.plans", 1);
+        let sp = siro_trace::span!("route.plan", "{from}->{to}");
+        let plan = self.graph().cheapest_path(from, to);
+        drop(sp);
+        plan
+    }
+
+    /// Plans every ordered pair over one graph snapshot, row-major in
+    /// catalog order (identity pairs included, as 0-hop plans). Pairs with
+    /// no path are reported as `None` at their matrix position.
+    pub fn matrix(&self) -> Vec<((IrVersion, IrVersion), Option<RoutePlan>)> {
+        let graph = self.graph();
+        let mut out = Vec::with_capacity(self.nodes.len() * self.nodes.len());
+        for &a in &self.nodes {
+            for &b in &self.nodes {
+                out.push(((a, b), graph.cheapest_path(a, b)));
+            }
+        }
+        out
+    }
+
+    /// Acquires a translator for `(from, to)` along the cheapest route,
+    /// with the default [`TranslatorCache`]-backed hop resolver.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError`] when no route exists (reported as the direct pair's
+    /// synthesis error) or when the entire fallback ladder failed.
+    pub fn acquire(&self, from: IrVersion, to: IrVersion) -> Result<Acquired, SynthError> {
+        self.acquire_with(from, to, &|a, b, tests| {
+            TranslatorCache::lookup_or_synthesize(SynthesisConfig::new(a, b), tests)
+                .map(|CacheLookup { outcome, fresh, .. }| (outcome, fresh))
+        })
+    }
+
+    /// [`Router::acquire`] with a caller-supplied hop resolver (the
+    /// serving layer passes its coalescer so per-pair serving counters
+    /// keep working).
+    ///
+    /// # Errors
+    ///
+    /// See [`Router::acquire`].
+    pub fn acquire_with(
+        &self,
+        from: IrVersion,
+        to: IrVersion,
+        resolve: HopResolver<'_>,
+    ) -> Result<Acquired, SynthError> {
+        let plan = self.plan(from, to).unwrap_or_else(|| RoutePlan {
+            from,
+            to,
+            // Off-graph or unreachable: attempt the direct pair anyway and
+            // let its synthesis error speak.
+            hops: Vec::new(),
+            cost_us: COST_COLD_US,
+        });
+        note_max_hops(plan.hop_count() as u64);
+
+        if plan.is_direct() {
+            let (outcome, fresh) = resolve(from, to, &self.corpus(from, to))?;
+            DIRECT.fetch_add(1, Ordering::Relaxed);
+            siro_trace::counter("route.direct", 1);
+            return Ok(Acquired {
+                outcome: RouteOutcome::Direct(outcome),
+                plan,
+                fresh,
+                fell_back: false,
+            });
+        }
+
+        // Composed route: serve from the composed cache when possible.
+        if let Some(chain) = self
+            .composed
+            .lock()
+            .expect("router composed cache poisoned")
+            .get(&(from, to))
+        {
+            COMPOSED.fetch_add(1, Ordering::Relaxed);
+            COMPOSED_CACHED.fetch_add(1, Ordering::Relaxed);
+            siro_trace::counter("route.composed_cached", 1);
+            return Ok(Acquired {
+                outcome: RouteOutcome::Composed(Arc::clone(chain)),
+                plan,
+                fresh: false,
+                fell_back: false,
+            });
+        }
+
+        match self.compose(&plan, resolve) {
+            Ok((chain, fresh)) => {
+                COMPOSED.fetch_add(1, Ordering::Relaxed);
+                siro_trace::counter("route.composed", 1);
+                Ok(Acquired {
+                    outcome: RouteOutcome::Composed(chain),
+                    plan,
+                    fresh,
+                    fell_back: false,
+                })
+            }
+            Err(_) => {
+                // Fallback ladder step 2: a hop died; synthesize the pair
+                // directly.
+                FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                siro_trace::counter("route.fallbacks", 1);
+                let (outcome, fresh) = resolve(from, to, &self.corpus(from, to))?;
+                DIRECT.fetch_add(1, Ordering::Relaxed);
+                Ok(Acquired {
+                    outcome: RouteOutcome::Direct(outcome),
+                    plan,
+                    fresh,
+                    fell_back: true,
+                })
+            }
+        }
+    }
+
+    /// Builds (and memoizes + persists) the composed chain for a plan.
+    fn compose(
+        &self,
+        plan: &RoutePlan,
+        resolve: HopResolver<'_>,
+    ) -> Result<(Arc<ComposedTranslator>, bool), SynthError> {
+        let mut hops = Vec::with_capacity(plan.hops.len());
+        let mut fresh = false;
+        for edge in &plan.hops {
+            let corpus = self.corpus(edge.from, edge.to);
+            let (outcome, hop_fresh) = resolve(edge.from, edge.to, &corpus)?;
+            fresh |= hop_fresh;
+            let config = SynthesisConfig::new(edge.from, edge.to);
+            let fp = crate::cache::corpus_fingerprint(&corpus);
+            hops.push(ComposedHop {
+                from: edge.from,
+                to: edge.to,
+                outcome,
+                entry_file: StoreKey::new(&config, fp).file_name(),
+            });
+        }
+        let chain = Arc::new(ComposedTranslator {
+            from: plan.from,
+            to: plan.to,
+            hops,
+            plan: plan.clone(),
+        });
+        self.composed
+            .lock()
+            .expect("router composed cache poisoned")
+            .insert((plan.from, plan.to), Arc::clone(&chain));
+        if let Some(store) = active_store() {
+            if store
+                .save_chain(&chain.persist_key(), &chain.manifest())
+                .is_ok()
+            {
+                CHAINS_PERSISTED.fetch_add(1, Ordering::Relaxed);
+                siro_trace::counter("route.chains_persisted", 1);
+            }
+        }
+        Ok((chain, fresh))
+    }
+
+    /// Composes a translator along an explicit node path, the caller
+    /// choosing the route instead of the cost model — the byte-identity
+    /// matrix checks and difftest's path-selection fuzzing exercise
+    /// router alternates this way. Hops resolve through the process-wide
+    /// [`TranslatorCache`]; the chain is returned without entering the
+    /// router's composed-chain memo, so cost-driven serving is
+    /// unaffected. Hop edges are rendered hot: once resolved, the chain
+    /// holds every hop in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing hop's [`SynthError`].
+    ///
+    /// # Panics
+    ///
+    /// When `path` has fewer than two nodes.
+    pub fn compose_path(&self, path: &[IrVersion]) -> Result<ComposedTranslator, SynthError> {
+        assert!(path.len() >= 2, "a route needs at least two nodes");
+        let mut hops = Vec::with_capacity(path.len() - 1);
+        let mut edges = Vec::with_capacity(path.len() - 1);
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let corpus = self.corpus(a, b);
+            let lookup =
+                TranslatorCache::lookup_or_synthesize(SynthesisConfig::new(a, b), &corpus)?;
+            let config = SynthesisConfig::new(a, b);
+            let fp = crate::cache::corpus_fingerprint(&corpus);
+            hops.push(ComposedHop {
+                from: a,
+                to: b,
+                outcome: lookup.outcome,
+                entry_file: StoreKey::new(&config, fp).file_name(),
+            });
+            edges.push(EdgeInfo {
+                from: a,
+                to: b,
+                class: EdgeClass::Hot,
+                observed_us: None,
+                cost_us: COST_HOT_US,
+            });
+        }
+        let plan = RoutePlan {
+            from: path[0],
+            to: *path.last().expect("non-empty path"),
+            cost_us: edges.iter().map(|e| e.cost_us).sum(),
+            hops: edges,
+        };
+        Ok(ComposedTranslator {
+            from: plan.from,
+            to: plan.to,
+            hops,
+            plan,
+        })
+    }
+
+    /// Number of chains currently memoized in the composed cache.
+    pub fn composed_cached_count(&self) -> usize {
+        self.composed
+            .lock()
+            .expect("router composed cache poisoned")
+            .len()
+    }
+}
+
+/// The persist key of a composed chain, e.g. `c13.0-t3.6-9e3779b97f4a7c15`:
+/// the pair plus an FNV-1a hash over the ordered hop entry file names, so a
+/// different path (or different hop knobs) gets a different key.
+pub fn chain_persist_key<'a>(
+    from: IrVersion,
+    to: IrVersion,
+    entry_files: impl Iterator<Item = &'a str>,
+) -> String {
+    let mut bytes = Vec::new();
+    for file in entry_files {
+        bytes.extend_from_slice(file.as_bytes());
+        bytes.push(0);
+    }
+    format!(
+        "c{}.{}-t{}.{}-{:016x}",
+        from.major(),
+        from.minor(),
+        to.major(),
+        to.minor(),
+        fnv1a64(&bytes),
+    )
+}
+
+fn parse_version(s: &str) -> Option<IrVersion> {
+    let (maj, min) = s.split_once('.')?;
+    Some(IrVersion::new(maj.parse().ok()?, min.parse().ok()?))
+}
+
+/// Validates a persisted chain manifest against a store: every named hop
+/// entry must still exist. Returns the hop pairs when the chain is whole.
+pub fn chain_hops_if_whole(
+    store: &TranslatorStore,
+    manifest: &str,
+) -> Option<Vec<(IrVersion, IrVersion)>> {
+    let mut hops = Vec::new();
+    for line in manifest.lines() {
+        let Some(rest) = line.strip_prefix("hop ") else {
+            continue;
+        };
+        let mut parts = rest.split(' ');
+        let from = parse_version(parts.next()?)?;
+        let to = parse_version(parts.next()?)?;
+        let entry_file = parts.next()?;
+        if !store.dir().join(entry_file).exists() {
+            return None;
+        }
+        hops.push((from, to));
+    }
+    (!hops.is_empty()).then_some(hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: router counters are process-global and tests run concurrently,
+    // so assertions use per-call results (plans, Acquired flags) and
+    // counter *deltas* only where a unique pair guarantees isolation.
+
+    fn small_router() -> Router {
+        Router::over(vec![IrVersion::V13_0, IrVersion::V12_0, IrVersion::V3_6])
+    }
+
+    #[test]
+    fn cold_graph_plans_direct_routes() {
+        let r = small_router();
+        let plan = r.plan(IrVersion::V13_0, IrVersion::V3_6).expect("plan");
+        assert_eq!(plan.hop_count(), 1, "{}", plan.describe());
+        assert!(plan.is_direct());
+    }
+
+    #[test]
+    fn identity_plans_zero_hops() {
+        let r = small_router();
+        let plan = r.plan(IrVersion::V13_0, IrVersion::V13_0).expect("plan");
+        assert_eq!(plan.hop_count(), 0);
+        assert_eq!(plan.cost_us, 0);
+    }
+
+    #[test]
+    fn off_catalog_endpoint_has_no_plan() {
+        let r = small_router();
+        assert!(r.plan(IrVersion::new(2, 0), IrVersion::V3_6).is_none());
+    }
+
+    #[test]
+    fn warm_hops_beat_a_cold_direct_edge() {
+        // Hand-build a graph where 13.0->3.6 direct is cold but the two
+        // hops through 12.0 are hot: the cheapest path must compose.
+        let mk = |from, to, class, cost_us| EdgeInfo {
+            from,
+            to,
+            class,
+            observed_us: None,
+            cost_us,
+        };
+        let (a, m, b) = (IrVersion::V13_0, IrVersion::V12_0, IrVersion::V3_6);
+        let mut edges = HashMap::new();
+        edges.insert((a, b), mk(a, b, EdgeClass::Cold, COST_COLD_US));
+        edges.insert((a, m), mk(a, m, EdgeClass::Hot, COST_HOT_US));
+        edges.insert((m, b), mk(m, b, EdgeClass::Hot, COST_HOT_US));
+        let g = VersionGraph {
+            nodes: vec![a, m, b],
+            edges,
+        };
+        let plan = g.cheapest_path(a, b).expect("path");
+        assert_eq!(plan.hop_count(), 2, "{}", plan.describe());
+        assert_eq!(plan.hops[0].to, m);
+        assert_eq!(plan.cost_us, 2 * COST_HOT_US);
+    }
+
+    #[test]
+    fn ties_prefer_fewer_hops() {
+        let mk = |from, to, cost_us| EdgeInfo {
+            from,
+            to,
+            class: EdgeClass::Hot,
+            observed_us: None,
+            cost_us,
+        };
+        let (a, m, b) = (IrVersion::V13_0, IrVersion::V12_0, IrVersion::V3_6);
+        let mut edges = HashMap::new();
+        edges.insert((a, b), mk(a, b, 20));
+        edges.insert((a, m), mk(a, m, 10));
+        edges.insert((m, b), mk(m, b, 10));
+        let g = VersionGraph {
+            nodes: vec![a, m, b],
+            edges,
+        };
+        let plan = g.cheapest_path(a, b).expect("path");
+        assert_eq!(plan.hop_count(), 1, "equal cost must stay direct");
+    }
+
+    #[test]
+    fn fallback_demotes_a_failing_composed_plan_to_direct() {
+        // Warm the two hop edges so the plan composes, then hand acquire a
+        // resolver that refuses the second hop: the fallback ladder must
+        // answer with direct synthesis and set `fell_back`.
+        let (a, m, b) = (IrVersion::V14_0, IrVersion::V12_0, IrVersion::V3_0);
+        let r = Router::over(vec![a, m, b]);
+        for (s, t) in [(a, m), (m, b)] {
+            TranslatorCache::get_or_synthesize(SynthesisConfig::new(s, t), &r.corpus(s, t))
+                .expect("hop synthesis");
+        }
+        let plan = r.plan(a, b).expect("plan");
+        assert_eq!(plan.hop_count(), 2, "{}", plan.describe());
+        let acquired = r
+            .acquire_with(a, b, &|s, t, tests| {
+                if (s, t) == (m, b) {
+                    return Err(SynthError::Api("injected hop failure".into()));
+                }
+                TranslatorCache::lookup_or_synthesize(SynthesisConfig::new(s, t), tests)
+                    .map(|l| (l.outcome, l.fresh))
+            })
+            .expect("fallback must answer");
+        assert!(acquired.fell_back);
+        assert!(matches!(acquired.outcome, RouteOutcome::Direct(_)));
+    }
+
+    #[test]
+    fn composed_chain_is_memoized_and_byte_identical_to_direct() {
+        let (a, m, b) = (IrVersion::V15_0, IrVersion::V13_0, IrVersion::V4_0);
+        let r = Router::over(vec![a, m, b]);
+        for (s, t) in [(a, m), (m, b)] {
+            TranslatorCache::get_or_synthesize(SynthesisConfig::new(s, t), &r.corpus(s, t))
+                .expect("hop synthesis");
+        }
+        let first = r.acquire(a, b).expect("acquire");
+        let RouteOutcome::Composed(chain) = &first.outcome else {
+            panic!("warm hops must compose, got {:?}", first.plan.describe());
+        };
+        assert_eq!(chain.hop_count(), 2);
+        assert_eq!(r.composed_cached_count(), 1);
+        let second = r.acquire(a, b).expect("acquire again");
+        let RouteOutcome::Composed(chain2) = &second.outcome else {
+            panic!("second acquire must stay composed");
+        };
+        assert!(Arc::ptr_eq(chain, chain2), "chain must be memoized");
+        assert!(!second.fresh);
+
+        // Composed output equals the direct translator's output.
+        let direct =
+            TranslatorCache::get_or_synthesize(SynthesisConfig::new(a, b), &r.corpus(a, b))
+                .expect("direct synthesis");
+        for case in siro_testcases::corpus_for_pair(a, b).iter().take(8) {
+            let module = case.build(a);
+            let via_chain = chain.translate_module(&module).expect("chain translate");
+            let via_direct = Skeleton::new(b)
+                .translate_module(&module, &direct.translator)
+                .expect("direct translate");
+            assert_eq!(
+                siro_ir::write::write_module(&via_chain),
+                siro_ir::write::write_module(&via_direct),
+                "case {}",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn persist_key_distinguishes_paths() {
+        let (from, to) = (IrVersion::V13_0, IrVersion::V3_6);
+        let via_12 = ["s13.0-t12.0-0.sirt", "s12.0-t3.6-0.sirt"];
+        let via_4 = ["s13.0-t4.0-0.sirt", "s4.0-t3.6-0.sirt"];
+        let k12 = chain_persist_key(from, to, via_12.into_iter());
+        let k4 = chain_persist_key(from, to, via_4.into_iter());
+        assert_ne!(k12, k4, "different paths must get different keys");
+        assert!(k12.starts_with("c13.0-t3.6-"));
+    }
+}

@@ -11,6 +11,8 @@
 //! siro difftest --pairs 13.0:3.6,17.0:12.0 --budget 60
 //! siro opt program.sir [-o out.sir]
 //! siro serve [--addr 127.0.0.1:4799] [--threads N] [--queue N] [--store DIR]
+//! siro route plan --from 13.0 --to 3.6 [--store DIR]
+//! siro route matrix [--store DIR]
 //! siro store warm --dir DIR [--pairs 13.0:3.6,17.0:12.0]
 //! siro store ls --dir DIR
 //! siro store gc --dir DIR --max-bytes N
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         Some("difftest") => cmd_difftest(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
@@ -84,6 +87,7 @@ USAGE:
     siro difftest [--pairs <a:b,...>]                fuzz synthesized translators
                    [--budget <secs>] [--seed <n>]    (defaults: 13.0:3.6, 10 s, 42)
                    [--mid <ver>] [--fault <spec>]    chain intermediate; injected fault
+                   [--route-mids <n>]                fuzz the top-n router-ranked paths
                    [--expect-failure]                require a caught+shrunk failure
                    [--regressions <dir>] [-o <json>] artifact dir; BENCH_difftest.json
     siro opt <file> [-o <out>]                       run the optimizer pipeline
@@ -92,6 +96,9 @@ USAGE:
                [--store <dir>]                       persist translators; warm-start at boot
                [--store-validation off|checksum|full] load-time validation (default checksum)
                [--store-max-bytes <n>]               GC the store down to <n> bytes after writes
+    siro route plan --from <ver> --to <ver>          show the cheapest translation route
+               [--store <dir>]                       classify edges against a store
+    siro route matrix [--store <dir>]                plan every catalog pair (hop-count grid)
     siro store warm --dir <dir> [--pairs <a:b,...>]  synthesize and persist translators
                [--validation off|checksum|full]      (default pair 13.0:3.6)
     siro store ls --dir <dir>                        list persisted translators
@@ -347,6 +354,99 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// `siro store <warm|ls|gc|verify>`: manage a persistent translator
+/// `siro route plan|matrix`: inspect the version-graph router (see
+/// `docs/ROUTING.md`). With `--store`, edges are classified against the
+/// persisted translators in that directory (warm vs cold).
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    use siro::synth::{self, Router, StoreConfig, TranslatorStore, ValidationMode};
+
+    const USAGE: &str = "usage: siro route <plan|matrix> [--from <ver> --to <ver>] [--store <dir>]";
+    let sub = args.first().map(String::as_str).ok_or(USAGE)?;
+    let previous = match flag_value(args, "--store") {
+        Some(dir) => {
+            let store = TranslatorStore::open(StoreConfig {
+                dir: dir.into(),
+                validation: ValidationMode::default(),
+                max_bytes: None,
+            })
+            .map_err(|e| format!("opening store {dir}: {e}"))?;
+            Some(synth::set_active_store(Some(std::sync::Arc::new(store))))
+        }
+        None => None,
+    };
+    let router = Router::new();
+    let result = match sub {
+        "plan" => {
+            let from = parse_version(flag_value(args, "--from").ok_or("missing --from <ver>")?)?;
+            let to = parse_version(flag_value(args, "--to").ok_or("missing --to <ver>")?)?;
+            match router.plan(from, to) {
+                Some(plan) => {
+                    println!("{}", plan.describe());
+                    for hop in &plan.hops {
+                        let observed = hop
+                            .observed_us
+                            .map(|us| format!(", observed {us}us"))
+                            .unwrap_or_default();
+                        println!(
+                            "  {} -> {}: {} (cost {}us{observed})",
+                            hop.from, hop.to, hop.class, hop.cost_us
+                        );
+                    }
+                    Ok(())
+                }
+                None => Err(format!("no route from {from} to {to}")),
+            }
+        }
+        "matrix" => {
+            let nodes = IrVersion::CATALOG;
+            let matrix = router.matrix();
+            print!("{:>6} |", "from\\to");
+            for v in nodes {
+                print!("{:>6}", v.to_string());
+            }
+            println!();
+            println!("{}", "-".repeat(8 + 6 * nodes.len()));
+            let (mut direct, mut composed, mut unreachable) = (0usize, 0usize, 0usize);
+            for (i, row) in matrix.chunks(nodes.len()).enumerate() {
+                print!("{:>7} |", nodes[i].to_string());
+                for ((from, to), plan) in row {
+                    match plan {
+                        Some(p) => {
+                            if *from != *to {
+                                if p.is_direct() {
+                                    direct += 1;
+                                } else {
+                                    composed += 1;
+                                }
+                            }
+                            print!("{:>6}", p.hop_count());
+                        }
+                        None => {
+                            unreachable += 1;
+                            print!("{:>6}", "-");
+                        }
+                    }
+                }
+                println!();
+            }
+            println!(
+                "{} pair(s): {direct} direct, {composed} composed, {unreachable} unreachable",
+                nodes.len() * (nodes.len() - 1),
+            );
+            if unreachable > 0 {
+                Err(format!("{unreachable} pair(s) are unreachable"))
+            } else {
+                Ok(())
+            }
+        }
+        other => Err(format!("unknown route subcommand `{other}` ({USAGE})")),
+    };
+    if let Some(previous) = previous {
+        synth::set_active_store(previous);
+    }
+    result
+}
+
 /// store directory (see `docs/PERSISTENCE.md`).
 fn cmd_store(args: &[String]) -> Result<(), String> {
     use siro::synth::{self, StoreConfig, TranslatorStore, ValidationMode};
@@ -596,21 +696,12 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Picks the chain intermediate for a pair: the middlemost catalog
-/// version strictly between the two, else any catalog version distinct
-/// from both.
+/// Picks the chain intermediate for a pair the way the version-graph
+/// router would: the cheapest two-hop decomposition under the current
+/// edge costs.
 fn pick_mid(src: IrVersion, tgt: IrVersion) -> IrVersion {
-    let (lo, hi) = if src < tgt { (src, tgt) } else { (tgt, src) };
-    let between: Vec<IrVersion> = IrVersion::CATALOG
-        .into_iter()
-        .filter(|&v| lo < v && v < hi)
-        .collect();
-    if let Some(&v) = between.get(between.len() / 2) {
-        return v;
-    }
-    IrVersion::CATALOG
-        .into_iter()
-        .find(|&v| v != src && v != tgt)
+    *siro::difftest::routed_mids(src, tgt)
+        .first()
         .expect("catalog has more than two versions")
 }
 
@@ -637,6 +728,10 @@ fn cmd_difftest(args: &[String]) -> Result<(), String> {
         Some(s) => Some(parse_version(s)?),
         None => None,
     };
+    let route_mids: usize = match flag_value(args, "--route-mids") {
+        Some(s) => s.parse().map_err(|_| format!("bad --route-mids `{s}`"))?,
+        None => 1,
+    };
     let expect_failure = args.iter().any(|a| a == "--expect-failure");
     let regressions = flag_value(args, "--regressions");
 
@@ -654,6 +749,7 @@ fn cmd_difftest(args: &[String]) -> Result<(), String> {
         cfg.seed = seed;
         cfg.budget = Duration::from_secs_f64(budget);
         cfg.fault = fault;
+        cfg.route_mids = route_mids;
         eprintln!(
             "difftest {src} -> {tgt} (chain via {mid}, budget {budget}s{})",
             fault
@@ -676,9 +772,10 @@ fn cmd_difftest(args: &[String]) -> Result<(), String> {
         );
         for f in &report.failures {
             println!(
-                "  [{}/{}] via {}: {} ({} -> {} insts{})",
+                "  [{}/{}] path via {}, mutator {}: {} ({} -> {} insts{})",
                 f.oracle,
                 f.family.name(),
+                f.mid,
                 f.mutator,
                 f.detail,
                 f.original_insts,
@@ -688,7 +785,7 @@ fn cmd_difftest(args: &[String]) -> Result<(), String> {
         }
         if let Some(dir) = regressions {
             for f in &report.failures {
-                let artifact = RegressionArtifact::from_record(src, mid, tgt, fault, f);
+                let artifact = RegressionArtifact::from_record(src, tgt, fault, f);
                 let path = artifact
                     .save(std::path::Path::new(dir))
                     .map_err(|e| format!("writing regression artifact: {e}"))?;
