@@ -533,3 +533,25 @@ pub fn write_router_json(record: &RouterRecord) -> std::io::Result<PathBuf> {
     std::fs::write(&path, render_router_json(record))?;
     Ok(path)
 }
+
+// -------------------------------------------------------------------------
+
+/// Where the sustained-load JSON goes: `SIRO_BENCH_LOADTEST_JSON` if set,
+/// else `BENCH_loadtest.json` in the current directory.
+pub fn loadtest_json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_LOADTEST_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_loadtest.json"))
+}
+
+/// Writes the pre-rendered `siro-bench/loadtest-v1` document (see
+/// `siro_loadgen::render_loadtest_json`) and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_loadtest_json(json: &str) -> std::io::Result<PathBuf> {
+    let path = loadtest_json_path();
+    std::fs::write(&path, json)?;
+    Ok(path)
+}

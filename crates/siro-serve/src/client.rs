@@ -8,7 +8,7 @@
 
 use std::io::{self};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use siro_ir::IrVersion;
 
@@ -29,6 +29,19 @@ pub enum ClientError {
         /// Server-provided detail.
         message: String,
     },
+    /// Admission control rejected the request; retry after the given
+    /// backoff instead of immediately.
+    Throttled {
+        /// Milliseconds until the per-peer token bucket refills.
+        retry_after_ms: u32,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// Connecting, or waiting for a response, exceeded the configured
+    /// timeout (see [`Client::set_op_timeout`]). Distinct from
+    /// [`ClientError::Protocol`] so callers can retry timeouts without
+    /// parsing error strings.
+    Timeout,
     /// The server answered with the wrong response kind or id.
     Unexpected(String),
 }
@@ -38,6 +51,11 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Protocol(e) => write!(f, "{e}"),
             ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::Throttled {
+                retry_after_ms,
+                message,
+            } => write!(f, "throttled (retry after {retry_after_ms} ms): {message}"),
+            ClientError::Timeout => f.write_str("timed out waiting for the server"),
             ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
         }
     }
@@ -53,7 +71,14 @@ impl From<ProtocolError> for ClientError {
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Protocol(ProtocolError::Io(e))
+        if matches!(
+            e.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            ClientError::Timeout
+        } else {
+            ClientError::Protocol(ProtocolError::Io(e))
+        }
     }
 }
 
@@ -72,10 +97,17 @@ pub struct Translated {
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    op_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects with the given I/O timeouts.
+    /// Connects with the given I/O timeouts. A connect that exceeds
+    /// `timeout` fails with [`ClientError::Timeout`].
+    ///
+    /// The per-operation response deadline starts *disabled* — a cold
+    /// synthesis may legitimately take a long time — and is opted into
+    /// with [`Client::set_op_timeout`] (the CLI wires `--timeout-ms` /
+    /// `SIRO_CLIENT_TIMEOUT_MS` to it).
     ///
     /// # Errors
     ///
@@ -89,7 +121,18 @@ impl Client {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, next_id: 1 })
+        Ok(Client {
+            stream,
+            next_id: 1,
+            op_timeout: None,
+        })
+    }
+
+    /// Caps how long any single receive waits for a response; exceeding
+    /// it yields [`ClientError::Timeout`]. `None` (the default) waits
+    /// indefinitely.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) {
+        self.op_timeout = timeout;
     }
 
     fn send(&mut self, request: &Request) -> Result<u64, ClientError> {
@@ -100,10 +143,19 @@ impl Client {
     }
 
     fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        let deadline = self.op_timeout.map(|t| Instant::now() + t);
         loop {
             match read_frame(&mut self.stream)? {
                 FrameRead::Payload(p) => return Ok(Response::decode(&p)?),
-                FrameRead::Idle => continue, // server still working; keep waiting
+                FrameRead::Idle => {
+                    // Server still working. Idle reads wake at the socket
+                    // read-timeout cadence, so the deadline is checked at
+                    // that granularity.
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(ClientError::Timeout);
+                    }
+                    continue;
+                }
                 FrameRead::Eof => {
                     return Err(ClientError::Unexpected(
                         "connection closed mid-request".into(),
@@ -154,6 +206,13 @@ impl Client {
                 timings,
             }),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Throttled {
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Throttled {
+                retry_after_ms,
+                message,
+            }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
@@ -201,6 +260,13 @@ impl Client {
                         timings,
                     }),
                     Response::Error { code, message } => Err((code, message)),
+                    Response::Throttled {
+                        retry_after_ms,
+                        message,
+                    } => Err((
+                        ErrorCode::Throttled,
+                        format!("retry after {retry_after_ms} ms: {message}"),
+                    )),
                     other => {
                         return Err(ClientError::Unexpected(format!("{other:?}")));
                     }
@@ -256,6 +322,13 @@ impl Client {
         match self.roundtrip(&Request::Ping { delay_ms })? {
             Response::Pong => Ok(()),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Throttled {
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Throttled {
+                retry_after_ms,
+                message,
+            }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

@@ -11,10 +11,18 @@
 //! * per-pair counters (`syntheses`, `coalesced`) make the coalescing
 //!   observable — the e2e test asserts `syntheses == 1` after a stampede,
 //!   and `STATS` exposes the totals.
+//!
+//! The pair map is **sharded** [`COALESCE_SHARDS`] ways by pair hash,
+//! mirroring the sharded `TranslatorCache`: concurrent requests for
+//! different pairs never contend on one lock, and [`PairCoalescer::totals`]
+//! takes every shard lock at once so its cross-shard view is from a single
+//! epoch.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use siro_ir::IrVersion;
 use siro_synth::{OracleTest, SynthError, SynthesisConfig, SynthesisOutcome, TranslatorCache};
@@ -34,10 +42,22 @@ struct PairState {
     counters: PairCounters,
 }
 
+/// Number of independent pair-map shards (power of two).
+pub const COALESCE_SHARDS: usize = 8;
+
+type PairMap = HashMap<(IrVersion, IrVersion), Arc<PairState>>;
+
 /// Coalesces translator acquisition per `(source, target)` pair.
-#[derive(Default)]
 pub struct PairCoalescer {
-    pairs: Mutex<HashMap<(IrVersion, IrVersion), Arc<PairState>>>,
+    shards: [Mutex<PairMap>; COALESCE_SHARDS],
+}
+
+impl Default for PairCoalescer {
+    fn default() -> Self {
+        PairCoalescer {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
 }
 
 /// What [`PairCoalescer::translator_for`] reports alongside the outcome.
@@ -66,8 +86,23 @@ impl PairCoalescer {
         Self::default()
     }
 
+    fn shard(&self, pair: (IrVersion, IrVersion)) -> &Mutex<PairMap> {
+        let mut h = DefaultHasher::new();
+        pair.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (COALESCE_SHARDS - 1)]
+    }
+
+    /// Locks every shard in index order; holding all guards makes the
+    /// cross-shard reads in [`PairCoalescer::totals`] atomic.
+    fn lock_all(&self) -> Vec<MutexGuard<'_, PairMap>> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("coalescer poisoned"))
+            .collect()
+    }
+
     fn state(&self, pair: (IrVersion, IrVersion)) -> Arc<PairState> {
-        let mut map = self.pairs.lock().expect("coalescer poisoned");
+        let mut map = self.shard(pair).lock().expect("coalescer poisoned");
         Arc::clone(map.entry(pair).or_insert_with(|| {
             Arc::new(PairState {
                 corpus: OnceLock::new(),
@@ -118,8 +153,9 @@ impl PairCoalescer {
 
     /// Counters for one pair: `(syntheses, coalesced)`.
     pub fn pair_counters(&self, source: IrVersion, target: IrVersion) -> (u64, u64) {
-        let map = self.pairs.lock().expect("coalescer poisoned");
-        map.get(&(source, target))
+        let pair = (source, target);
+        let map = self.shard(pair).lock().expect("coalescer poisoned");
+        map.get(&pair)
             .map(|s| {
                 (
                     s.counters.syntheses.load(Ordering::Relaxed),
@@ -129,16 +165,17 @@ impl PairCoalescer {
             .unwrap_or((0, 0))
     }
 
-    /// Totals across every pair seen so far.
+    /// Totals across every pair seen so far, read with all shard locks
+    /// held so the view is from one epoch.
     pub fn totals(&self) -> CoalesceTotals {
-        let map = self.pairs.lock().expect("coalescer poisoned");
-        let mut t = CoalesceTotals {
-            pairs: map.len() as u64,
-            ..CoalesceTotals::default()
-        };
-        for s in map.values() {
-            t.syntheses += s.counters.syntheses.load(Ordering::Relaxed);
-            t.coalesced += s.counters.coalesced.load(Ordering::Relaxed);
+        let guards = self.lock_all();
+        let mut t = CoalesceTotals::default();
+        for map in &guards {
+            t.pairs += map.len() as u64;
+            for s in map.values() {
+                t.syntheses += s.counters.syntheses.load(Ordering::Relaxed);
+                t.coalesced += s.counters.coalesced.load(Ordering::Relaxed);
+            }
         }
         t
     }
@@ -183,5 +220,43 @@ mod tests {
         let c = PairCoalescer::new();
         assert_eq!(c.pair_counters(IrVersion::V3_0, IrVersion::V3_6), (0, 0));
         assert_eq!(c.totals(), CoalesceTotals::default());
+    }
+
+    /// A stampede that spans *multiple shards at once* (several distinct
+    /// cold pairs, racers on each) must still synthesize exactly once per
+    /// pair, and the cross-shard totals must account for every request.
+    #[test]
+    fn cross_shard_stampede_synthesizes_once_per_pair() {
+        // Pairs reserved for this test (no other test in this binary
+        // synthesizes them), chosen to land in different shards with high
+        // probability; correctness does not depend on the spread.
+        let pairs = [
+            (IrVersion::V17_0, IrVersion::V3_6),
+            (IrVersion::V17_0, IrVersion::V3_0),
+            (IrVersion::V10_0, IrVersion::V3_0),
+        ];
+        const RACERS: usize = 4;
+        let coalescer = Arc::new(PairCoalescer::new());
+        let mut handles = Vec::new();
+        for &(src, tgt) in &pairs {
+            for _ in 0..RACERS {
+                let c = Arc::clone(&coalescer);
+                handles.push(std::thread::spawn(move || {
+                    c.translator_for(src, tgt).expect("synthesis")
+                }));
+            }
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        for &(src, tgt) in &pairs {
+            let (syntheses, coalesced) = coalescer.pair_counters(src, tgt);
+            assert_eq!(syntheses, 1, "{src}->{tgt} must synthesize exactly once");
+            assert_eq!(coalesced, (RACERS - 1) as u64, "{src}->{tgt}");
+        }
+        let totals = coalescer.totals();
+        assert_eq!(totals.pairs, pairs.len() as u64);
+        assert_eq!(totals.syntheses, pairs.len() as u64);
+        assert_eq!(totals.coalesced, (pairs.len() * (RACERS - 1)) as u64);
     }
 }

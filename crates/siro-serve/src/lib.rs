@@ -15,13 +15,20 @@
 //!   verify → print), panic-isolated per request;
 //! * [`coalesce`] — per-version-pair request coalescing: N concurrent
 //!   requests for the same cold pair run exactly one synthesis;
+//! * [`poller`] — std-only level-triggered readiness (epoll on Linux via
+//!   an `extern "C"` shim, `poll(2)` elsewhere — no new dependencies);
+//! * [`reactor`] — the nonblocking event-loop engine: one thread owns
+//!   every socket, workers handle CPU-bound work, write queues give
+//!   per-connection backpressure (see `docs/SERVING.md`);
+//! * [`admission`] — per-peer token-bucket fairness; over-budget
+//!   requests get a structured `Throttled` with retry-after;
 //! * [`stats`] — lock-free metrics, the plaintext `STATS` page, and the
 //!   Prometheus-style `METRICS` page (see `docs/OBSERVABILITY.md`);
-//! * [`server`] — the accept loop, per-connection reader/writer threads,
-//!   timeouts, graceful drain-on-shutdown, and warm start from the
-//!   persistent translator store (`docs/PERSISTENCE.md`);
+//! * [`server`] — engine dispatch ([`EngineMode`]), the accept paths
+//!   with failure backoff, graceful drain-on-shutdown, and warm start
+//!   from the persistent translator store (`docs/PERSISTENCE.md`);
 //! * [`client`] — a blocking client (used by `siro translate --remote`,
-//!   the loopback bench, and CI).
+//!   `siro loadgen`, the loopback bench, and CI).
 //!
 //! ## Example
 //!
@@ -46,20 +53,25 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod client;
 pub mod coalesce;
 pub mod engine;
+pub mod poller;
 pub mod pool;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod stats;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionControl};
 pub use client::{Client, ClientError, Translated};
 pub use coalesce::{CoalesceTotals, PairCoalescer};
 pub use engine::Engine;
 pub use protocol::{ErrorCode, Request, Response, StageNanos, TranslateMode};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{start, ServeConfig, ServerHandle};
+pub use reactor::ReactorStats;
+pub use server::{start, EngineMode, ServeConfig, ServerHandle};
 pub use siro_synth::ValidationMode;
-pub use stats::{metrics_value, stats_value, Metrics, MetricsSnapshot};
+pub use stats::{metrics_value, stats_value, Metrics, MetricsSnapshot, ServeGauges};

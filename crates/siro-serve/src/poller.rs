@@ -1,0 +1,492 @@
+//! Readiness polling for the event-loop engine — std-only, no new deps.
+//!
+//! The reactor needs one thing from the OS: "block until any registered
+//! socket is readable/writable, and tell me which". On Linux that is
+//! `epoll`; everywhere else on unix it is `poll(2)`. Neither is exposed
+//! by std, so this module declares the handful of symbols directly with
+//! `extern "C"` — they live in the C runtime std already links, so no
+//! `libc` crate (or any other dependency) is required.
+//!
+//! Semantics are deliberately the lowest common denominator:
+//!
+//! * **level-triggered** readiness (a socket with unread bytes reports
+//!   readable on every wait until drained) — the reactor never needs the
+//!   edge-triggered "drain until `WouldBlock` or lose the wakeup" dance;
+//! * one `u64` token per fd, echoed back in events;
+//! * interest is replaced wholesale by [`Poller::modify`], not OR-ed.
+//!
+//! The poller also keeps a registration map so [`Poller::registered`]
+//! can report the live fd count as a gauge (and so the portable
+//! `poll(2)` backend can rebuild its pollfd array each wait).
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What readiness a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or closed/errored).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Write-only interest (used while a stuffed connection is paused).
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+}
+
+/// One readiness event: the registered token plus what fired.
+///
+/// Errors and hangups are folded into `readable`/`writable` — the
+/// reactor discovers the actual condition from the subsequent
+/// `read`/`write` returning `Ok(0)` or an error, which keeps the event
+/// type trivial and the error handling in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// Token supplied at registration.
+    pub token: u64,
+    /// Fd is readable, closed, or errored.
+    pub readable: bool,
+    /// Fd is writable or errored.
+    pub writable: bool,
+}
+
+/// On Linux the kernel tracks token + interest inside epoll, so these
+/// fields only feed the `poll(2)` fallback (and the gauge via the map's
+/// size).
+#[derive(Debug)]
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+struct Registration {
+    token: u64,
+    interest: Interest,
+}
+
+/// A readiness poller over raw fds (epoll on Linux, `poll(2)` elsewhere).
+#[derive(Debug)]
+pub struct Poller {
+    backend: backend::Backend,
+    registrations: Mutex<HashMap<RawFd, Registration>>,
+}
+
+impl Poller {
+    /// Creates a poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (Linux); infallible elsewhere.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            backend: backend::Backend::new()?,
+            registrations: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error (e.g. the fd is already registered).
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.backend.register(fd, token, interest)?;
+        self.registrations
+            .lock()
+            .expect("poller registrations poisoned")
+            .insert(fd, Registration { token, interest });
+        Ok(())
+    }
+
+    /// Replaces the interest set of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error (e.g. the fd is not registered).
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.backend.modify(fd, token, interest)?;
+        self.registrations
+            .lock()
+            .expect("poller registrations poisoned")
+            .insert(fd, Registration { token, interest });
+        Ok(())
+    }
+
+    /// Removes an fd from the poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error; the local registration is dropped either
+    /// way so the gauge cannot leak.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.registrations
+            .lock()
+            .expect("poller registrations poisoned")
+            .remove(&fd);
+        self.backend.deregister(fd)
+    }
+
+    /// Number of currently registered fds (the `registered_fds` gauge).
+    pub fn registered(&self) -> usize {
+        self.registrations
+            .lock()
+            .expect("poller registrations poisoned")
+            .len()
+    }
+
+    /// Blocks until at least one event fires or `timeout` elapses
+    /// (`None` blocks indefinitely). Events are appended to `events`
+    /// (which is cleared first). Returns the number of events delivered;
+    /// `0` means the wait timed out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error. `EINTR` is retried internally.
+    pub fn wait(
+        &self,
+        events: &mut Vec<PollEvent>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round *up* so a 100 µs timeout does not become a hot spin.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        loop {
+            match self.backend.wait(events, timeout_ms, &self.registrations) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                other => return other.map(|()| events.len()),
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    //! epoll via a thin `extern "C"` shim — the symbols live in the C
+    //! runtime std links, so no crate dependency is introduced.
+
+    use super::{Interest, PollEvent, Registration};
+    use std::collections::HashMap;
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirror of the kernel's `struct epoll_event`. Packed on x86-64,
+    /// where the kernel ABI leaves the u64 unaligned.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    #[derive(Debug)]
+    pub struct Backend {
+        epfd: RawFd,
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            // SAFETY: plain syscall wrapper, no pointers involved.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Backend { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // SAFETY: pre-2.6.9 kernels demanded a non-null event for DEL;
+            // passing one is harmless everywhere.
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<PollEvent>,
+            timeout_ms: i32,
+            _registrations: &Mutex<HashMap<RawFd, Registration>>,
+        ) -> io::Result<()> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            // SAFETY: `buf` is a valid writable array of `buf.len()` events.
+            let n =
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for ev in &buf[..n as usize] {
+                // Copy out of the (possibly packed) struct before use.
+                let events = ev.events;
+                let token = ev.data;
+                out.push(PollEvent {
+                    token,
+                    readable: events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            // SAFETY: we own `epfd` and close it exactly once.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    //! Portable `poll(2)` fallback for non-Linux unix. The pollfd array
+    //! is rebuilt from the registration map on every wait — O(fds), fine
+    //! for the connection counts a fallback platform sees.
+
+    use super::{Interest, PollEvent, Registration};
+    use std::collections::HashMap;
+    use std::ffi::{c_int, c_short, c_ulong};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    #[derive(Debug)]
+    pub struct Backend;
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            Ok(Backend)
+        }
+
+        pub fn register(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Ok(())
+        }
+
+        pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Ok(())
+        }
+
+        pub fn deregister(&self, _fd: RawFd) -> io::Result<()> {
+            Ok(())
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<PollEvent>,
+            timeout_ms: i32,
+            registrations: &Mutex<HashMap<RawFd, Registration>>,
+        ) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, u64, Interest)> = registrations
+                .lock()
+                .expect("poller registrations poisoned")
+                .iter()
+                .map(|(fd, r)| (*fd, r.token, r.interest))
+                .collect();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            // SAFETY: `fds` is a valid array of `fds.len()` pollfds.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for (pfd, (_, token, _)) in fds.iter().zip(&snapshot) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(PollEvent {
+                    token: *token,
+                    readable: pfd.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                    writable: pfd.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn wait_times_out_with_no_events() {
+        let poller = Poller::new().expect("poller");
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        assert_eq!(poller.registered(), 0);
+    }
+
+    #[test]
+    fn readable_socket_reports_its_token() {
+        let poller = Poller::new().expect("poller");
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        b.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(b.as_raw_fd(), 7, Interest::READ)
+            .expect("register");
+        assert_eq!(poller.registered(), 1);
+
+        let mut events = Vec::new();
+        // Nothing written yet: no event.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        a.write_all(b"x").expect("write");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: the byte is still unread, so it fires again.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(n, 1);
+
+        poller.deregister(b.as_raw_fd()).expect("deregister");
+        assert_eq!(poller.registered(), 0);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let poller = Poller::new().expect("poller");
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        b.set_nonblocking(true).expect("nonblocking");
+        a.write_all(b"x").expect("write");
+        poller
+            .register(b.as_raw_fd(), 1, Interest::WRITE)
+            .expect("register");
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(200)))
+            .expect("wait");
+        // Write interest on an idle socket: writable fires, readable not
+        // requested.
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+        poller
+            .modify(b.as_raw_fd(), 1, Interest::READ)
+            .expect("modify");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert!(events[0].readable);
+    }
+}

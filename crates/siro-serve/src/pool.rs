@@ -16,17 +16,57 @@ use std::time::Instant;
 use crate::engine::Engine;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::queue::BoundedQueue;
+use crate::reactor::Completions;
 use crate::stats::Metrics;
 
-/// One unit of queued work: a decoded request plus the channel that routes
-/// its response back to the owning connection's writer.
+/// Where a finished job's response goes. The threaded engine routes
+/// through the connection writer's channel; the event engine pushes onto
+/// the reactor's completion queue (which wakes the reactor so it can
+/// write the frame from the event loop).
+pub struct Reply(ReplyKind);
+
+enum ReplyKind {
+    Channel(mpsc::Sender<(u64, Response)>),
+    Reactor {
+        completions: std::sync::Arc<Completions>,
+        conn: u64,
+    },
+}
+
+impl Reply {
+    /// A reply routed to a per-connection writer thread.
+    pub fn channel(tx: mpsc::Sender<(u64, Response)>) -> Reply {
+        Reply(ReplyKind::Channel(tx))
+    }
+
+    /// A reply routed back to the reactor for connection `conn`.
+    pub(crate) fn reactor(completions: std::sync::Arc<Completions>, conn: u64) -> Reply {
+        Reply(ReplyKind::Reactor { completions, conn })
+    }
+
+    /// Delivers the response. The connection may already be gone (client
+    /// hung up mid-flight); delivery to a dead endpoint is a no-op.
+    pub fn send(&self, id: u64, response: Response) {
+        match &self.0 {
+            ReplyKind::Channel(tx) => {
+                let _ = tx.send((id, response));
+            }
+            ReplyKind::Reactor { completions, conn } => {
+                completions.push(*conn, id, response);
+            }
+        }
+    }
+}
+
+/// One unit of queued work: a decoded request plus the route that carries
+/// its response back to the owning connection.
 pub struct Job {
     /// Echo id from the request frame.
     pub id: u64,
     /// The decoded request.
     pub request: Request,
-    /// Where the response goes (the connection's writer thread).
-    pub reply: mpsc::Sender<(u64, Response)>,
+    /// Where the response goes.
+    pub reply: Reply,
     /// When the connection enqueued the job (queue wait + execution are
     /// both part of the served latency).
     pub enqueued: Instant,
@@ -91,9 +131,7 @@ fn worker_loop(queue: &BoundedQueue<Job>, engine: &Engine, metrics: &Metrics) {
         } else {
             metrics.on_ok(job.enqueued.elapsed());
         }
-        // The connection may be gone (client hung up mid-flight); a dead
-        // channel just drops the response.
-        let _ = job.reply.send((job.id, response));
+        job.reply.send(job.id, response);
     }
 }
 
@@ -120,7 +158,7 @@ mod tests {
                 .try_push(Job {
                     id,
                     request: Request::Ping { delay_ms: 0 },
-                    reply: tx.clone(),
+                    reply: Reply::channel(tx.clone()),
                     enqueued: Instant::now(),
                 })
                 .unwrap_or_else(|_| panic!("queue full"));
@@ -151,13 +189,13 @@ mod tests {
                 mode: TranslateMode::Reference,
                 text: "garbage".into(),
             },
-            reply: tx.clone(),
+            reply: Reply::channel(tx.clone()),
             enqueued: Instant::now(),
         };
         let good = Job {
             id: 2,
             request: Request::Ping { delay_ms: 0 },
-            reply: tx.clone(),
+            reply: Reply::channel(tx.clone()),
             enqueued: Instant::now(),
         };
         queue.try_push(bad).unwrap_or_else(|_| panic!("push"));

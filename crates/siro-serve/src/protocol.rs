@@ -35,6 +35,7 @@
 //! | `0x84` ShutdownOk | ← | empty |
 //! | `0x85` MetricsOk | ← | Prometheus-style plaintext metrics body |
 //! | `0xEE` Error | ← | code `u8`, message |
+//! | `0xEF` Throttled | ← | `u32` retry-after ms, message |
 //!
 //! Strings are `u32` length + UTF-8 bytes. `mode` is `0` for the built-in
 //! reference translator, `1` for a corpus-synthesized translator (served
@@ -132,6 +133,10 @@ pub enum ErrorCode {
     ShuttingDown = 8,
     /// A worker panicked or another internal invariant broke.
     Internal = 9,
+    /// Admission control rejected the request: this client exceeded its
+    /// per-peer rate budget. Carried by [`Response::Throttled`], which
+    /// also names how long to back off.
+    Throttled = 10,
 }
 
 impl ErrorCode {
@@ -146,6 +151,7 @@ impl ErrorCode {
             7 => ErrorCode::Translate,
             8 => ErrorCode::ShuttingDown,
             9 => ErrorCode::Internal,
+            10 => ErrorCode::Throttled,
             other => {
                 return Err(ProtocolError::Malformed(format!(
                     "unknown error code {other}"
@@ -167,6 +173,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Translate => "translate",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Throttled => "throttled",
         };
         f.write_str(s)
     }
@@ -217,6 +224,15 @@ pub enum Response {
     Error {
         /// Machine-readable category.
         code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Admission control rejected the request — a structured alternative
+    /// to blanket `Busy`: the client knows exactly how long to back off
+    /// before the per-peer token bucket refills.
+    Throttled {
+        /// Milliseconds until the peer's bucket has a token again.
+        retry_after_ms: u32,
         /// Human-readable detail.
         message: String,
     },
@@ -354,6 +370,7 @@ const KIND_PONG: u8 = 0x83;
 const KIND_SHUTDOWN_OK: u8 = 0x84;
 const KIND_METRICS_OK: u8 = 0x85;
 const KIND_ERROR: u8 = 0xEE;
+const KIND_THROTTLED: u8 = 0xEF;
 
 fn header(kind: u8, id: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
@@ -480,6 +497,15 @@ impl Response {
                 put_str(&mut out, message);
                 out
             }
+            Response::Throttled {
+                retry_after_ms,
+                message,
+            } => {
+                let mut out = header(KIND_THROTTLED, id);
+                put_u32(&mut out, *retry_after_ms);
+                put_str(&mut out, message);
+                out
+            }
         }
     }
 
@@ -513,6 +539,10 @@ impl Response {
             KIND_METRICS_OK => Response::MetricsOk { text: r.string()? },
             KIND_ERROR => Response::Error {
                 code: ErrorCode::from_byte(r.u8()?)?,
+                message: r.string()?,
+            },
+            KIND_THROTTLED => Response::Throttled {
+                retry_after_ms: r.u32()?,
                 message: r.string()?,
             },
             other => {
@@ -662,6 +692,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "queue full".into(),
+            },
+            Response::Throttled {
+                retry_after_ms: 250,
+                message: "per-client rate exceeded".into(),
             },
         ];
         for (i, resp) in cases.into_iter().enumerate() {

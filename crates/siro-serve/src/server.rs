@@ -1,21 +1,26 @@
-//! The TCP server: accept loop, connection threads, graceful shutdown.
+//! The TCP server: engine dispatch, accept paths, graceful shutdown.
 //!
-//! Thread model:
+//! Two serving engines share one protocol, worker pool, queue, and
+//! metrics surface — [`ServeConfig::engine`] picks at startup:
 //!
-//! * one **acceptor** thread owns the `TcpListener`;
-//! * one **reader** + one **writer** thread per connection — readers
-//!   decode frames and enqueue [`Job`]s (or answer `Busy` when the
-//!   bounded queue rejects), writers serialize responses back onto the
-//!   socket, so a connection can keep many requests in flight (pipelined
-//!   batching) and responses return as soon as a worker finishes them;
-//! * a fixed pool of **worker** threads (see [`crate::pool`]) executes
-//!   the CPU-bound translation work.
+//! * [`EngineMode::Event`] (default) — the nonblocking reactor
+//!   ([`crate::reactor`]): one thread owns every socket via a
+//!   level-triggered poller, CPU-bound work runs on the worker pool, and
+//!   open connections are decoupled from thread count.
+//! * [`EngineMode::Threaded`] — the original thread-per-connection
+//!   model: one **acceptor** thread, one **reader** + one **writer**
+//!   thread per connection, the same fixed worker pool. Kept as the
+//!   baseline the loadtest bench compares against.
+//!
+//! Both accept loops *back off* on failure (EMFILE/ENFILE and other
+//! transient errors) instead of hot-spinning, counting each failure in
+//! `accept_errors` / the `serve.accept_errors` trace counter.
 //!
 //! Shutdown (via [`ServerHandle::request_shutdown`] or a wire `Shutdown`
-//! frame) stops the acceptor, closes the queue for new work, lets workers
-//! drain what is already queued, and joins every thread before
-//! [`ServerHandle::wait`] returns — in-flight requests are answered, new
-//! ones get `ShuttingDown`.
+//! frame) stops accepting, closes the queue for new work, lets workers
+//! drain what is already queued, writes every pending response, and joins
+//! every thread before [`ServerHandle::wait`] returns — in-flight
+//! requests are answered, new ones get `ShuttingDown`.
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -30,13 +35,38 @@ use siro_synth::{
     TranslatorCache, TranslatorStore, ValidationMode,
 };
 
+use crate::admission::{Admission, AdmissionConfig, AdmissionControl};
 use crate::engine::Engine;
-use crate::pool::{Job, WorkerPool};
+use crate::pool::{Job, Reply, WorkerPool};
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameRead, ProtocolError, Request, Response,
 };
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::{render_metrics, render_stats, Metrics};
+use crate::reactor::{Completions, Reactor, ReactorStats};
+use crate::stats::{render_metrics, render_stats, Metrics, ServeGauges};
+
+/// Which serving engine runs the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Nonblocking event loop (reactor + worker pool) — the default.
+    #[default]
+    Event,
+    /// Thread-per-connection (reader/writer threads + worker pool) — the
+    /// pre-reactor baseline, kept for comparison benches.
+    Threaded,
+}
+
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "event" => Ok(EngineMode::Event),
+            "threaded" => Ok(EngineMode::Threaded),
+            other => Err(format!("unknown engine `{other}` (event|threaded)")),
+        }
+    }
+}
 
 /// Server configuration. `Default` is suitable for tests and local use.
 #[derive(Debug, Clone)]
@@ -48,12 +78,12 @@ pub struct ServeConfig {
     pub threads: Option<usize>,
     /// Bounded queue capacity; pushes beyond it answer `Busy`.
     pub queue_capacity: usize,
-    /// Per-connection socket read timeout. Readers wake at this cadence
-    /// to notice shutdown, and a peer stalling *mid-frame* longer than
-    /// this is disconnected.
+    /// Per-connection socket read timeout (threaded engine). Readers wake
+    /// at this cadence to notice shutdown, and a peer stalling *mid-frame*
+    /// longer than this is disconnected.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout; a peer not draining its
-    /// responses for longer than this is disconnected.
+    /// Per-connection socket write timeout (threaded engine); a peer not
+    /// draining its responses for longer than this is disconnected.
     pub write_timeout: Duration,
     /// Persistent translator store directory. When set, the store is
     /// attached process-wide, every entry is prefetched into the
@@ -65,6 +95,10 @@ pub struct ServeConfig {
     /// Size cap for the store; write-backs GC least-recently-used entries
     /// down to it. `None` leaves the store unbounded.
     pub store_max_bytes: Option<u64>,
+    /// Which serving engine to run.
+    pub engine: EngineMode,
+    /// Per-peer admission control; disabled by default.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -78,56 +112,91 @@ impl Default for ServeConfig {
             store_dir: None,
             store_validation: ValidationMode::default(),
             store_max_bytes: None,
+            engine: EngineMode::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     config: ServeConfig,
     addr: SocketAddr,
     queue: Arc<BoundedQueue<Job>>,
     engine: Arc<Engine>,
     metrics: Arc<Metrics>,
     workers: usize,
+    admission: Option<AdmissionControl>,
+    reactor_stats: Arc<ReactorStats>,
+    /// Present under the event engine: wakes the reactor on shutdown.
+    completions: Option<Arc<Completions>>,
     shutting_down: AtomicBool,
     shutdown_cv: (Mutex<bool>, Condvar),
 }
 
 impl Shared {
-    fn signal_shutdown(&self) {
+    pub(crate) fn signal_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the acceptor with a throwaway connection; it re-checks
-        // the flag after every accept.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        match self.config.engine {
+            EngineMode::Event => {
+                if let Some(completions) = &self.completions {
+                    completions.wake();
+                }
+            }
+            EngineMode::Threaded => {
+                // Unblock the acceptor with a throwaway connection; it
+                // re-checks the flag after every accept.
+                let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+            }
+        }
         let (lock, cv) = &self.shutdown_cv;
         *lock.lock().expect("shutdown cv poisoned") = true;
         cv.notify_all();
     }
 
-    fn stats_page(&self) -> String {
-        let totals = self.engine.coalescer().totals();
-        render_stats(
-            &self.metrics,
-            self.queue.len(),
-            self.queue.capacity(),
-            self.workers,
-            totals.syntheses,
-            totals.coalesced,
-        )
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
     }
 
-    fn metrics_page(&self) -> String {
+    pub(crate) fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    pub(crate) fn queue(&self) -> &Arc<BoundedQueue<Job>> {
+        &self.queue
+    }
+
+    pub(crate) fn admission(&self) -> Option<&AdmissionControl> {
+        self.admission.as_ref()
+    }
+
+    pub(crate) fn reactor_stats(&self) -> &Arc<ReactorStats> {
+        &self.reactor_stats
+    }
+
+    fn gauges(&self) -> ServeGauges {
         let totals = self.engine.coalescer().totals();
-        render_metrics(
-            &self.metrics,
-            self.queue.len(),
-            self.queue.capacity(),
-            self.workers,
-            totals.syntheses,
-            totals.coalesced,
-        )
+        let r = &self.reactor_stats;
+        ServeGauges {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.workers,
+            pairs_synthesized: totals.syntheses,
+            coalesced_waiters: totals.coalesced,
+            reactor_loops: r.loop_iterations.load(Ordering::Relaxed),
+            registered_fds: r.registered_fds.load(Ordering::Relaxed),
+            write_queue_hwm_bytes: r.write_queue_hwm_bytes.load(Ordering::Relaxed),
+            open_connections: r.open_connections.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn stats_page(&self) -> String {
+        render_stats(&self.metrics, &self.gauges())
+    }
+
+    pub(crate) fn metrics_page(&self) -> String {
+        render_metrics(&self.metrics, &self.gauges())
     }
 }
 
@@ -137,8 +206,9 @@ impl Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     pool: Option<WorkerPool>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    connections: Option<Arc<Mutex<Vec<JoinHandle<()>>>>>,
 }
 
 impl ServerHandle {
@@ -157,6 +227,11 @@ impl ServerHandle {
         self.shared.queue.capacity()
     }
 
+    /// Which engine this server runs.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.shared.config.engine
+    }
+
     /// The live metrics (shared with the workers).
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.shared.metrics
@@ -165,6 +240,11 @@ impl ServerHandle {
     /// The engine, exposing the per-pair coalescing counters.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.shared.engine
+    }
+
+    /// Reactor-side counters (all zero under the threaded engine).
+    pub fn reactor_stats(&self) -> &Arc<ReactorStats> {
+        &self.shared.reactor_stats
     }
 
     /// The plaintext stats page, rendered in-process (same code path as
@@ -198,17 +278,24 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        // No new connections now. Readers notice the flag within one read
-        // timeout and stop enqueuing; close the queue so workers exit once
-        // the backlog is drained (close still drains queued jobs).
+        // Event engine: the reactor closes the queue itself, waits for
+        // in-flight work, writes every pending response, then exits.
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
+        }
+        // Threaded engine (and belt-and-braces for event): no new
+        // connections now; close the queue so workers exit once the
+        // backlog is drained (close still drains queued jobs).
         self.shared.queue.close();
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
-        for h in handles {
-            let _ = h.join();
+        if let Some(connections) = self.connections.take() {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *connections.lock().expect("connection list poisoned"));
+            for h in handles {
+                let _ = h.join();
+            }
         }
     }
 
@@ -219,10 +306,10 @@ impl ServerHandle {
     }
 }
 
-/// Binds the listener, spawns the pool and the acceptor, and returns.
+/// Binds the listener, spawns the configured engine, and returns.
 /// When [`ServeConfig::store_dir`] is set, the persistent store is
-/// attached and warm-started *before* the acceptor spawns, so the first
-/// accepted request already finds every stored pair in the cache.
+/// attached and warm-started *before* traffic is accepted, so the first
+/// request already finds every stored pair in the cache.
 ///
 /// # Errors
 ///
@@ -246,6 +333,12 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         warm_start(&engine);
     }
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let admission = AdmissionControl::from_config(config.admission);
+    let mode = config.engine;
+    let completions = match mode {
+        EngineMode::Event => Some(Completions::new()?),
+        EngineMode::Threaded => None,
+    };
     let shared = Arc::new(Shared {
         config,
         addr,
@@ -253,27 +346,49 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         engine: Arc::clone(&engine),
         metrics: Arc::clone(&metrics),
         workers,
+        admission,
+        reactor_stats: Arc::new(ReactorStats::default()),
+        completions: completions.as_ref().map(|(c, _)| Arc::clone(c)),
         shutting_down: AtomicBool::new(false),
         shutdown_cv: (Mutex::new(false), Condvar::new()),
     });
     let pool = WorkerPool::spawn(workers, queue, engine, metrics);
-    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let acceptor = {
-        let shared = Arc::clone(&shared);
-        let connections = Arc::clone(&connections);
-        std::thread::Builder::new()
-            .name("siro-serve-acceptor".into())
-            .spawn(move || accept_loop(&listener, &shared, &connections))
-            .expect("spawning acceptor thread")
-    };
-
-    Ok(ServerHandle {
-        shared,
-        acceptor: Some(acceptor),
-        pool: Some(pool),
-        connections,
-    })
+    match mode {
+        EngineMode::Event => {
+            let (completions, wake_rx) = completions.expect("completions built for event mode");
+            let reactor = Reactor::new(listener, Arc::clone(&shared), completions, wake_rx)?;
+            let reactor = std::thread::Builder::new()
+                .name("siro-serve-reactor".into())
+                .spawn(move || reactor.run())
+                .expect("spawning reactor thread");
+            Ok(ServerHandle {
+                shared,
+                acceptor: None,
+                reactor: Some(reactor),
+                pool: Some(pool),
+                connections: None,
+            })
+        }
+        EngineMode::Threaded => {
+            let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+            let acceptor = {
+                let shared = Arc::clone(&shared);
+                let connections = Arc::clone(&connections);
+                std::thread::Builder::new()
+                    .name("siro-serve-acceptor".into())
+                    .spawn(move || accept_loop(&listener, &shared, &connections))
+                    .expect("spawning acceptor thread")
+            };
+            Ok(ServerHandle {
+                shared,
+                acceptor: Some(acceptor),
+                reactor: None,
+                pool: Some(pool),
+                connections: Some(connections),
+            })
+        }
+    }
 }
 
 /// Warm-starts the translator cache from the active persistent store.
@@ -315,16 +430,39 @@ fn warm_start(engine: &Arc<Engine>) -> u64 {
     loaded
 }
 
+/// First backoff after an accept failure; doubles per consecutive
+/// failure up to [`ACCEPT_BACKOFF_MAX`].
+const ACCEPT_BACKOFF_INITIAL: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
     connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
-    for stream in listener.incoming() {
+    let mut backoff = ACCEPT_BACKOFF_INITIAL;
+    loop {
+        let stream = listener.accept();
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok((stream, _peer)) => {
+                backoff = ACCEPT_BACKOFF_INITIAL;
+                stream
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_e) => {
+                // EMFILE/ENFILE (the process is out of fds) or another
+                // transient failure: sleep instead of hot-spinning —
+                // retrying instantly cannot succeed and starves the
+                // threads that could release descriptors.
+                shared.metrics.on_accept_error();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                continue;
+            }
+        };
         shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
@@ -346,6 +484,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<(), Prot
     stream.set_read_timeout(Some(shared.config.read_timeout))?;
     stream.set_write_timeout(Some(shared.config.write_timeout))?;
     stream.set_nodelay(true)?;
+    let peer = stream.peer_addr()?.ip();
     let mut reader = stream.try_clone()?;
 
     // All responses — worker results and inline control answers — funnel
@@ -368,7 +507,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<(), Prot
         })
         .expect("spawning connection writer");
 
-    let result = reader_loop(&mut reader, shared, &tx);
+    let result = reader_loop(&mut reader, peer, shared, &tx);
     drop(tx);
     let _ = writer.join();
     result
@@ -376,6 +515,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<(), Prot
 
 fn reader_loop(
     reader: &mut TcpStream,
+    peer: std::net::IpAddr,
     shared: &Arc<Shared>,
     tx: &mpsc::Sender<(u64, Response)>,
 ) -> Result<(), ProtocolError> {
@@ -446,7 +586,7 @@ fn reader_loop(
                 shared.signal_shutdown();
                 return Ok(());
             }
-            // Data plane: through the bounded queue.
+            // Data plane: admission control, then the bounded queue.
             request @ (Request::Translate { .. } | Request::Ping { .. }) => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     shared.metrics.on_error();
@@ -459,10 +599,28 @@ fn reader_loop(
                     ));
                     return Ok(());
                 }
+                if let Some(admission) = shared.admission() {
+                    if let Admission::Throttle { retry_after_ms } =
+                        admission.admit(peer, Instant::now())
+                    {
+                        shared.metrics.on_throttled();
+                        let _ = tx.send((
+                            id,
+                            Response::Throttled {
+                                retry_after_ms,
+                                message: format!(
+                                    "per-client budget of {} req/s exceeded",
+                                    admission.rate_per_sec()
+                                ),
+                            },
+                        ));
+                        continue;
+                    }
+                }
                 let job = Job {
                     id,
                     request,
-                    reply: tx.clone(),
+                    reply: Reply::channel(tx.clone()),
                     enqueued: Instant::now(),
                 };
                 match shared.queue.try_push(job) {

@@ -84,10 +84,15 @@ pub struct Metrics {
     pub requests_busy: AtomicU64,
     /// Requests answered with any other error.
     pub requests_error: AtomicU64,
+    /// Requests rejected by per-peer admission control (`Throttled`).
+    pub requests_throttled: AtomicU64,
     /// Translate requests executed by workers.
     pub translations: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// `accept(2)` failures (EMFILE/ENFILE and other transient errors);
+    /// each one also backs the accept loop off.
+    pub accept_errors: AtomicU64,
     /// Worker-side latency of completed requests.
     pub latency: Histogram,
 }
@@ -118,6 +123,18 @@ impl Metrics {
         Self::add(&self.requests_error, 1);
     }
 
+    /// Counts an admission-control rejection.
+    pub fn on_throttled(&self) {
+        Self::add(&self.requests_throttled, 1);
+    }
+
+    /// Counts an accept-loop failure (also traced as
+    /// `serve.accept_errors`).
+    pub fn on_accept_error(&self) {
+        Self::add(&self.accept_errors, 1);
+        siro_trace::counter("serve.accept_errors", 1);
+    }
+
     /// Immutable copy of the counters, for JSON dumps and assertions.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -125,8 +142,10 @@ impl Metrics {
             requests_ok: self.requests_ok.load(Ordering::Relaxed),
             requests_busy: self.requests_busy.load(Ordering::Relaxed),
             requests_error: self.requests_error.load(Ordering::Relaxed),
+            requests_throttled: self.requests_throttled.load(Ordering::Relaxed),
             translations: self.translations.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p99_us: self.latency.quantile_us(0.99),
         }
@@ -144,29 +163,52 @@ pub struct MetricsSnapshot {
     pub requests_busy: u64,
     /// See [`Metrics::requests_error`].
     pub requests_error: u64,
+    /// See [`Metrics::requests_throttled`].
+    pub requests_throttled: u64,
     /// See [`Metrics::translations`].
     pub translations: u64,
     /// See [`Metrics::connections`].
     pub connections: u64,
+    /// See [`Metrics::accept_errors`].
+    pub accept_errors: u64,
     /// p50 latency in µs (bucket upper bound), if any sample exists.
     pub latency_p50_us: Option<u64>,
     /// p99 latency in µs (bucket upper bound), if any sample exists.
     pub latency_p99_us: Option<u64>,
 }
 
+/// Point-in-time server gauges that accompany [`Metrics`] on the stats
+/// pages: queue and pool shape, coalescer totals, and — under the event
+/// engine — the reactor funnel. The threaded engine leaves the reactor
+/// gauges at zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeGauges {
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Coalescer: syntheses actually run.
+    pub pairs_synthesized: u64,
+    /// Coalescer: requests that reused another request's synthesis.
+    pub coalesced_waiters: u64,
+    /// Event-loop iterations so far.
+    pub reactor_loops: u64,
+    /// Fds registered with the poller right now.
+    pub registered_fds: u64,
+    /// Largest per-connection write queue seen, in bytes.
+    pub write_queue_hwm_bytes: u64,
+    /// Connections currently open (event engine).
+    pub open_connections: u64,
+}
+
 /// Renders the plaintext `STATS` page: one `key value` per line, stable
 /// keys, so it is trivially greppable from CI and shell scripts.
-pub fn render_stats(
-    metrics: &Metrics,
-    queue_depth: usize,
-    queue_capacity: usize,
-    workers: usize,
-    pairs_synthesized: u64,
-    coalesced_waiters: u64,
-) -> String {
+pub fn render_stats(metrics: &Metrics, g: &ServeGauges) -> String {
     let m = metrics.snapshot();
     let cache = TranslatorCache::snapshot();
-    let mut out = String::with_capacity(512);
+    let mut out = String::with_capacity(1024);
     let mut line = |k: &str, v: u64| {
         let _ = writeln!(out, "{k} {v}");
     };
@@ -174,19 +216,32 @@ pub fn render_stats(
     line("requests_ok", m.requests_ok);
     line("requests_busy", m.requests_busy);
     line("requests_error", m.requests_error);
+    line("requests_throttled", m.requests_throttled);
     line("translations", m.translations);
     line("connections", m.connections);
-    line("queue_depth", queue_depth as u64);
-    line("queue_capacity", queue_capacity as u64);
-    line("workers", workers as u64);
+    line("accept_errors", m.accept_errors);
+    line("queue_depth", g.queue_depth as u64);
+    line("queue_capacity", g.queue_capacity as u64);
+    line("workers", g.workers as u64);
+    line("reactor_loops", g.reactor_loops);
+    line("reactor_registered_fds", g.registered_fds);
+    line("reactor_write_queue_hwm_bytes", g.write_queue_hwm_bytes);
+    line("open_connections", g.open_connections);
     line("latency_p50_us", m.latency_p50_us.unwrap_or(0));
     line("latency_p99_us", m.latency_p99_us.unwrap_or(0));
     line("cache_hits", cache.hits);
     line("cache_misses", cache.misses);
     line("cache_entries", cache.entries as u64);
     line("cache_failures", cache.failures as u64);
-    line("pairs_synthesized", pairs_synthesized);
-    line("coalesced_waiters", coalesced_waiters);
+    for shard in TranslatorCache::shard_snapshots() {
+        let _ = writeln!(out, "cache_shard{}_hits {}", shard.index, shard.hits);
+        let _ = writeln!(out, "cache_shard{}_misses {}", shard.index, shard.misses);
+    }
+    let mut line = |k: &str, v: u64| {
+        let _ = writeln!(out, "{k} {v}");
+    };
+    line("pairs_synthesized", g.pairs_synthesized);
+    line("coalesced_waiters", g.coalesced_waiters);
     let store = siro_synth::store_stats();
     line("store_attached", u64::from(store.attached));
     line("store_warm_loaded", store.warm_loaded);
@@ -212,17 +267,10 @@ pub fn render_stats(
 /// (the trace section is rendered by
 /// [`siro_trace::export::render_prometheus_counters`], so the two
 /// surfaces can never disagree).
-pub fn render_metrics(
-    metrics: &Metrics,
-    queue_depth: usize,
-    queue_capacity: usize,
-    workers: usize,
-    pairs_synthesized: u64,
-    coalesced_waiters: u64,
-) -> String {
+pub fn render_metrics(metrics: &Metrics, g: &ServeGauges) -> String {
     let m = metrics.snapshot();
     let cache = TranslatorCache::snapshot();
-    let mut out = String::with_capacity(1024);
+    let mut out = String::with_capacity(2048);
     let mut sample = |name: &str, kind: &str, v: u64| {
         let _ = writeln!(out, "# TYPE {name} {kind}");
         let _ = writeln!(out, "{name} {v}");
@@ -231,11 +279,25 @@ pub fn render_metrics(
     sample("siro_requests_ok_total", "counter", m.requests_ok);
     sample("siro_requests_busy_total", "counter", m.requests_busy);
     sample("siro_requests_error_total", "counter", m.requests_error);
+    sample(
+        "siro_requests_throttled_total",
+        "counter",
+        m.requests_throttled,
+    );
     sample("siro_translations_total", "counter", m.translations);
     sample("siro_connections_total", "counter", m.connections);
-    sample("siro_queue_depth", "gauge", queue_depth as u64);
-    sample("siro_queue_capacity", "gauge", queue_capacity as u64);
-    sample("siro_workers", "gauge", workers as u64);
+    sample("siro_accept_errors_total", "counter", m.accept_errors);
+    sample("siro_queue_depth", "gauge", g.queue_depth as u64);
+    sample("siro_queue_capacity", "gauge", g.queue_capacity as u64);
+    sample("siro_workers", "gauge", g.workers as u64);
+    sample("siro_reactor_loops_total", "counter", g.reactor_loops);
+    sample("siro_reactor_registered_fds", "gauge", g.registered_fds);
+    sample(
+        "siro_reactor_write_queue_hwm_bytes",
+        "gauge",
+        g.write_queue_hwm_bytes,
+    );
+    sample("siro_open_connections", "gauge", g.open_connections);
     sample(
         "siro_latency_p50_microseconds",
         "gauge",
@@ -250,8 +312,28 @@ pub fn render_metrics(
     sample("siro_cache_misses_total", "counter", cache.misses);
     sample("siro_cache_entries", "gauge", cache.entries as u64);
     sample("siro_cache_failures", "gauge", cache.failures as u64);
-    sample("siro_pairs_synthesized_total", "counter", pairs_synthesized);
-    sample("siro_coalesced_waiters_total", "counter", coalesced_waiters);
+    for shard in TranslatorCache::shard_snapshots() {
+        sample(
+            &format!("siro_cache_shard{}_hits_total", shard.index),
+            "counter",
+            shard.hits,
+        );
+        sample(
+            &format!("siro_cache_shard{}_misses_total", shard.index),
+            "counter",
+            shard.misses,
+        );
+    }
+    sample(
+        "siro_pairs_synthesized_total",
+        "counter",
+        g.pairs_synthesized,
+    );
+    sample(
+        "siro_coalesced_waiters_total",
+        "counter",
+        g.coalesced_waiters,
+    );
     let store = siro_synth::store_stats();
     sample("siro_store_attached", "gauge", u64::from(store.attached));
     sample("siro_store_warm_loaded_total", "counter", store.warm_loaded);
@@ -332,19 +414,56 @@ mod tests {
         assert_eq!(h.quantile_us(0.5), Some(1u64 << (BUCKETS - 1)));
     }
 
+    fn gauges() -> ServeGauges {
+        ServeGauges {
+            queue_depth: 3,
+            queue_capacity: 64,
+            workers: 8,
+            pairs_synthesized: 2,
+            coalesced_waiters: 5,
+            reactor_loops: 11,
+            registered_fds: 4,
+            write_queue_hwm_bytes: 1024,
+            open_connections: 2,
+        }
+    }
+
     #[test]
     fn stats_page_is_greppable() {
         let m = Metrics::default();
         m.on_request();
         m.on_ok(Duration::from_micros(300));
-        let page = render_stats(&m, 3, 64, 8, 2, 5);
+        m.on_throttled();
+        let page = render_stats(&m, &gauges());
         assert_eq!(stats_value(&page, "requests_total"), Some(1));
+        assert_eq!(stats_value(&page, "requests_throttled"), Some(1));
         assert_eq!(stats_value(&page, "queue_depth"), Some(3));
         assert_eq!(stats_value(&page, "queue_capacity"), Some(64));
         assert_eq!(stats_value(&page, "workers"), Some(8));
         assert_eq!(stats_value(&page, "pairs_synthesized"), Some(2));
         assert_eq!(stats_value(&page, "coalesced_waiters"), Some(5));
         assert_eq!(stats_value(&page, "no_such_key"), None);
+        // The reactor funnel is always present (zero under the threaded
+        // engine).
+        assert_eq!(stats_value(&page, "reactor_loops"), Some(11));
+        assert_eq!(stats_value(&page, "reactor_registered_fds"), Some(4));
+        assert_eq!(
+            stats_value(&page, "reactor_write_queue_hwm_bytes"),
+            Some(1024)
+        );
+        assert_eq!(stats_value(&page, "open_connections"), Some(2));
+        assert!(stats_value(&page, "accept_errors").is_some());
+        // Every cache shard reports its own hit/miss pair.
+        for i in 0..siro_synth::CACHE_SHARDS {
+            assert!(
+                stats_value(&page, &format!("cache_shard{i}_hits")).is_some(),
+                "missing shard {i} hits"
+            );
+            assert!(
+                stats_value(&page, &format!("cache_shard{i}_misses")).is_some(),
+                "missing shard {i} misses"
+            );
+        }
         // Operators can tell traced runs apart from the page itself.
         assert!(stats_value(&page, "trace_enabled").is_some());
         // The persistent-store funnel is always present, attached or not.
@@ -361,9 +480,13 @@ mod tests {
         let m = Metrics::default();
         m.on_request();
         m.on_ok(Duration::from_micros(300));
-        let page = render_metrics(&m, 3, 64, 8, 2, 5);
+        let page = render_metrics(&m, &gauges());
         assert_eq!(metrics_value(&page, "siro_requests_total"), Some(1));
         assert_eq!(metrics_value(&page, "siro_queue_capacity"), Some(64));
+        assert_eq!(metrics_value(&page, "siro_reactor_loops_total"), Some(11));
+        assert!(metrics_value(&page, "siro_requests_throttled_total").is_some());
+        assert!(metrics_value(&page, "siro_accept_errors_total").is_some());
+        assert!(metrics_value(&page, "siro_cache_shard0_hits_total").is_some());
         assert!(metrics_value(&page, "siro_trace_enabled").is_some());
         // Every sample line is preceded by a `# TYPE` declaration. Parse
         // fallibly so a format tweak names the offending line instead of

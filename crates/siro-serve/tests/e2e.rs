@@ -13,8 +13,8 @@ use std::time::Duration;
 use siro_core::{ReferenceTranslator, Skeleton};
 use siro_ir::{parse, write, IrVersion};
 use siro_serve::{
-    metrics_value, stats_value, Client, ClientError, ErrorCode, Response, ServeConfig,
-    TranslateMode,
+    metrics_value, stats_value, AdmissionConfig, Client, ClientError, EngineMode, ErrorCode,
+    Response, ServeConfig, TranslateMode,
 };
 
 const TIMEOUT: Duration = Duration::from_secs(30);
@@ -300,6 +300,147 @@ fn wire_shutdown_drains_in_flight_requests() {
         Client::connect(addr, Duration::from_millis(300)).is_err(),
         "server must stop accepting after shutdown"
     );
+}
+
+fn start_engine(engine: EngineMode, threads: usize, queue: usize) -> siro_serve::ServerHandle {
+    siro_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: Some(threads),
+        queue_capacity: queue,
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_secs(10),
+        engine,
+        ..ServeConfig::default()
+    })
+    .expect("server must bind an ephemeral port")
+}
+
+/// Acceptance: the event-loop engine and the legacy threaded engine
+/// answer TRANSLATE byte-identically — same pair, same module, both
+/// translator modes, compared response-for-response.
+#[test]
+fn event_and_threaded_engines_answer_byte_identically() {
+    let _serial = serial();
+    let event = start_engine(EngineMode::Event, 2, 32);
+    let threaded = start_engine(EngineMode::Threaded, 2, 32);
+    assert_eq!(event.engine_mode(), EngineMode::Event);
+    assert_eq!(threaded.engine_mode(), EngineMode::Threaded);
+
+    let mut on_event = Client::connect(event.addr(), TIMEOUT).expect("connect event");
+    let mut on_threaded = Client::connect(threaded.addr(), TIMEOUT).expect("connect threaded");
+    // Reserved pairs: no other test in this binary synthesizes
+    // 11.0 -> 3.0 or 9.0 -> 3.6.
+    let pairs = [
+        (IrVersion::V11_0, IrVersion::V3_0),
+        (IrVersion::V9_0, IrVersion::V3_6),
+    ];
+    for (src, tgt) in pairs {
+        for mode in [TranslateMode::Reference, TranslateMode::Synthesized] {
+            for index in 0..3 {
+                let text = corpus_module_text(src, tgt, index);
+                let a = on_event
+                    .translate(src, tgt, mode, text.clone())
+                    .expect("event engine translation");
+                let b = on_threaded
+                    .translate(src, tgt, mode, text)
+                    .expect("threaded engine translation");
+                assert_eq!(
+                    a.text, b.text,
+                    "{mode:?} {src} -> {tgt} case {index}: engines must agree byte-for-byte"
+                );
+            }
+        }
+    }
+    event.shutdown();
+    threaded.shutdown();
+}
+
+/// Acceptance: the event engine holds more concurrent open connections
+/// than it has worker threads — impossible under the old
+/// two-threads-per-connection model without spawning, here served by one
+/// reactor thread.
+#[test]
+fn event_engine_holds_more_connections_than_workers() {
+    let _serial = serial();
+    let workers = 2;
+    let handle = start_engine(EngineMode::Event, workers, 64);
+    let addr = handle.addr();
+    let total = workers * 8 + 4;
+
+    // Open all connections first, then round-trip a ping on each while
+    // every other connection stays open.
+    let mut clients: Vec<Client> = (0..total)
+        .map(|i| Client::connect(addr, TIMEOUT).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    for (i, client) in clients.iter_mut().enumerate() {
+        client.ping(0).unwrap_or_else(|e| panic!("ping {i}: {e}"));
+    }
+
+    let open = handle
+        .reactor_stats()
+        .open_connections
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        open, total as u64,
+        "all {total} connections must be open at once"
+    );
+    assert!(
+        open > handle.workers() as u64,
+        "open connections ({open}) must exceed the worker count ({})",
+        handle.workers()
+    );
+    drop(clients);
+    handle.shutdown();
+}
+
+/// Admission control: a peer that exceeds its per-client budget gets a
+/// structured `Throttled` with a positive retry-after, the connection
+/// survives, and the request is counted — while control requests (STATS)
+/// stay exempt.
+#[test]
+fn over_budget_peer_is_throttled_with_retry_after() {
+    let _serial = serial();
+    let handle = siro_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: Some(2),
+        queue_capacity: 16,
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_secs(10),
+        admission: AdmissionConfig {
+            rate_per_sec: Some(1.0),
+            burst: Some(1.0),
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server must bind an ephemeral port");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+
+    // The bucket starts full: the first request is admitted.
+    client.ping(0).expect("first request is within budget");
+    // The second arrives immediately after and must be throttled.
+    let err = client.ping(0).expect_err("budget is spent");
+    match err {
+        ClientError::Throttled {
+            retry_after_ms,
+            ref message,
+        } => {
+            assert!(
+                (1..=60_000).contains(&retry_after_ms),
+                "retry-after must be a sane positive backoff, got {retry_after_ms} ms"
+            );
+            assert!(
+                message.contains("budget"),
+                "message should explain the throttle: {message:?}"
+            );
+        }
+        other => panic!("expected Throttled, got {other}"),
+    }
+
+    // STATS is a control request — exempt from admission — and reports
+    // the throttle; the connection survived the rejection.
+    let page = client.stats().expect("stats is exempt from admission");
+    assert_eq!(stats_value(&page, "requests_throttled"), Some(1));
+    handle.shutdown();
 }
 
 /// The METRICS endpoint serves a Prometheus-style page over the socket,

@@ -9,6 +9,14 @@
 //! pair is synthesized exactly once per process and every later consumer
 //! gets the shared [`Arc`] back.
 //!
+//! The storage is **sharded** [`CACHE_SHARDS`] ways by key hash: each
+//! shard has its own map lock and its own hit/miss counters, so hot-path
+//! lookups for different pairs proceed in parallel instead of serializing
+//! on one process-wide mutex (the serving event loop hits this from every
+//! worker core at once). [`TranslatorCache::snapshot`] and
+//! [`TranslatorCache::reset`] take every shard lock together, so
+//! cross-shard reads stay atomic.
+//!
 //! The `threads` knob is deliberately **excluded** from the key:
 //! refinement takes set unions over the passing assignments and both the
 //! probe and validation fan-outs preserve sequential order, so the
@@ -53,10 +61,14 @@ struct CacheKey {
 
 impl CacheKey {
     fn new(config: &SynthesisConfig, tests: &[OracleTest]) -> Self {
+        Self::with_fingerprint(config, corpus_fingerprint(tests))
+    }
+
+    fn with_fingerprint(config: &SynthesisConfig, corpus_fingerprint: u64) -> Self {
         CacheKey {
             source: config.source,
             target: config.target,
-            corpus_fingerprint: corpus_fingerprint(tests),
+            corpus_fingerprint,
             opt_equivalence: config.opt_equivalence,
             opt_memoization: config.opt_memoization,
             opt_ordering: config.opt_ordering,
@@ -87,12 +99,47 @@ pub fn corpus_fingerprint(tests: &[OracleTest]) -> u64 {
 /// with the loser reusing the winner's result.
 type Slot = Arc<OnceLock<Result<Arc<SynthesisOutcome>, SynthError>>>;
 
-static CACHE: OnceLock<Mutex<HashMap<CacheKey, Slot>>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Number of independent cache shards. Keys spread by hash, so hot-path
+/// lookups for different pairs almost never contend on the same lock.
+/// Power of two so the modulo compiles to a mask.
+pub const CACHE_SHARDS: usize = 16;
 
-fn cache() -> &'static Mutex<HashMap<CacheKey, Slot>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// One shard: its own map lock plus its own hit/miss counters, so a
+/// lookup touches exactly one lock and two shard-local atomics.
+struct CacheShard {
+    map: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+static CACHE: OnceLock<[CacheShard; CACHE_SHARDS]> = OnceLock::new();
+
+fn shards() -> &'static [CacheShard; CACHE_SHARDS] {
+    CACHE.get_or_init(|| {
+        std::array::from_fn(|_| CacheShard {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    })
+}
+
+fn shard_of(key: &CacheKey) -> &'static CacheShard {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    &shards()[(h.finish() as usize) & (CACHE_SHARDS - 1)]
+}
+
+/// Locks every shard in index order and returns the guards. Holding all
+/// guards at once is what makes [`TranslatorCache::snapshot`] and
+/// [`TranslatorCache::reset`] mutually atomic across shards: a snapshot
+/// racing a reset sees either the whole pre-reset state or the whole
+/// post-reset state, never a mix of shards from different epochs.
+fn lock_all() -> Vec<std::sync::MutexGuard<'static, HashMap<CacheKey, Slot>>> {
+    shards()
+        .iter()
+        .map(|s| s.map.lock().expect("translator cache poisoned"))
+        .collect()
 }
 
 /// Hit/miss counters since process start (or the last [`TranslatorCache::reset`]).
@@ -120,6 +167,20 @@ pub struct CacheSnapshot {
     pub entries: usize,
     /// Stored keys whose memoized outcome is a [`SynthError`].
     pub failures: usize,
+}
+
+/// Point-in-time view of one cache shard, for the per-shard serving
+/// funnel (`STATS` / `METRICS` in `siro-serve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Shard index in `0..CACHE_SHARDS`.
+    pub index: usize,
+    /// Lookups this shard answered from its map.
+    pub hits: u64,
+    /// Lookups that ran a synthesis in this shard.
+    pub misses: u64,
+    /// Distinct keys currently stored in this shard.
+    pub entries: usize,
 }
 
 /// Result of a cache lookup: the shared outcome plus whether this call is
@@ -169,8 +230,9 @@ impl TranslatorCache {
     ) -> Result<CacheLookup, SynthError> {
         let key = CacheKey::new(&config, tests);
         let fingerprint = key.corpus_fingerprint;
+        let shard = shard_of(&key);
         let slot = {
-            let mut map = cache().lock().expect("translator cache poisoned");
+            let mut map = shard.map.lock().expect("translator cache poisoned");
             Arc::clone(map.entry(key).or_default())
         };
         // Fault-injected configs never touch the persistent store: a
@@ -210,12 +272,12 @@ impl TranslatorCache {
         let fresh = ran.get();
         let from_store = loaded.get();
         if fresh {
-            MISSES.fetch_add(1, Ordering::Relaxed);
+            shard.misses.fetch_add(1, Ordering::Relaxed);
             siro_trace::counter("cache.misses", 1);
         } else {
             // Store loads count as hits: the lookup was answered by a
             // previous synthesis, just one from another process.
-            HITS.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             siro_trace::counter("cache.hits", 1);
         }
         result.clone().map(|outcome| CacheLookup {
@@ -238,8 +300,9 @@ impl TranslatorCache {
             return false;
         };
         let key = CacheKey::new(config, tests);
+        let shard = shard_of(&key);
         {
-            let map = cache().lock().expect("translator cache poisoned");
+            let map = shard.map.lock().expect("translator cache poisoned");
             if map.get(&key).is_some_and(|slot| slot.get().is_some()) {
                 return true;
             }
@@ -252,7 +315,7 @@ impl TranslatorCache {
             return false;
         };
         let slot = {
-            let mut map = cache().lock().expect("translator cache poisoned");
+            let mut map = shard.map.lock().expect("translator cache poisoned");
             Arc::clone(map.entry(key).or_default())
         };
         // A concurrent lookup may have raced us into the slot; either way
@@ -268,24 +331,58 @@ impl TranslatorCache {
     /// bump. The version-graph router uses this to classify an edge as
     /// hot (answerable at memory speed) without perturbing the edge.
     pub fn is_warm(config: &SynthesisConfig, tests: &[OracleTest]) -> bool {
-        let key = CacheKey::new(config, tests);
-        let map = cache().lock().expect("translator cache poisoned");
+        Self::is_warm_fingerprint(config, corpus_fingerprint(tests))
+    }
+
+    /// Like [`TranslatorCache::is_warm`], but with a precomputed
+    /// [`corpus_fingerprint`]. The version-graph router probes every
+    /// catalog edge each time it plans, and re-hashing a full corpus per
+    /// probe would dwarf the lookup itself — callers that hold a corpus
+    /// fixed should fingerprint it once and probe with this.
+    pub fn is_warm_fingerprint(config: &SynthesisConfig, corpus_fingerprint: u64) -> bool {
+        let key = CacheKey::with_fingerprint(config, corpus_fingerprint);
+        let map = shard_of(&key)
+            .map
+            .lock()
+            .expect("translator cache poisoned");
         map.get(&key)
             .is_some_and(|slot| matches!(slot.get(), Some(Ok(_))))
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss counters, summed over every shard.
     pub fn stats() -> CacheStats {
-        CacheStats {
-            hits: HITS.load(Ordering::Relaxed),
-            misses: MISSES.load(Ordering::Relaxed),
+        let mut stats = CacheStats { hits: 0, misses: 0 };
+        for s in shards() {
+            stats.hits += s.hits.load(Ordering::Relaxed);
+            stats.misses += s.misses.load(Ordering::Relaxed);
         }
+        stats
     }
 
-    /// Full snapshot: counters plus stored-entry shape. Counters and map
-    /// shape are read together *under the map lock*, so a snapshot racing
-    /// a [`TranslatorCache::reset`] sees either the pre-reset state or the
-    /// post-reset state — never non-zero counters over an empty map.
+    /// Per-shard counters and entry counts, for the serving funnel. Each
+    /// shard is read under its own lock; use [`TranslatorCache::snapshot`]
+    /// when you need all shards from one atomic epoch.
+    pub fn shard_snapshots() -> Vec<CacheShardStats> {
+        shards()
+            .iter()
+            .enumerate()
+            .map(|(index, s)| {
+                let map = s.map.lock().expect("translator cache poisoned");
+                CacheShardStats {
+                    index,
+                    hits: s.hits.load(Ordering::Relaxed),
+                    misses: s.misses.load(Ordering::Relaxed),
+                    entries: map.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Full snapshot: counters plus stored-entry shape. Every shard lock
+    /// is held while the counters and maps are read, so a snapshot racing
+    /// a [`TranslatorCache::reset`] sees either the whole pre-reset state
+    /// or the whole post-reset state — never non-zero counters over an
+    /// empty map, and never a mix of reset and un-reset shards.
     /// (Snapshotting before the lock was a real bug: a reader could
     /// observe `hits + misses > 0` with `entries == 0`.)
     ///
@@ -299,32 +396,37 @@ impl TranslatorCache {
     ///     + TranslatorCache::stats().misses);
     /// ```
     pub fn snapshot() -> CacheSnapshot {
-        let map = cache().lock().expect("translator cache poisoned");
-        let hits = HITS.load(Ordering::Relaxed);
-        let misses = MISSES.load(Ordering::Relaxed);
-        let entries = map.len();
-        let failures = map
-            .values()
-            .filter(|slot| matches!(slot.get(), Some(Err(_))))
-            .count();
-        CacheSnapshot {
-            hits,
-            misses,
-            entries,
-            failures,
+        let guards = lock_all();
+        let mut snap = CacheSnapshot {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+            failures: 0,
+        };
+        for (shard, map) in shards().iter().zip(&guards) {
+            snap.hits += shard.hits.load(Ordering::Relaxed);
+            snap.misses += shard.misses.load(Ordering::Relaxed);
+            snap.entries += map.len();
+            snap.failures += map
+                .values()
+                .filter(|slot| matches!(slot.get(), Some(Err(_))))
+                .count();
         }
+        snap
     }
 
-    /// Drops every cached outcome and zeroes the counters — both under
-    /// the map lock, so concurrent [`TranslatorCache::snapshot`]s never
-    /// observe cleared entries with stale counters. Meant for benchmarks
-    /// that measure cold runs; in-flight lookups keep their `Arc`s alive,
-    /// so this is always safe.
+    /// Drops every cached outcome and zeroes the counters — all shard
+    /// locks are held at once, so concurrent [`TranslatorCache::snapshot`]s
+    /// never observe cleared entries with stale counters (or a half-reset
+    /// subset of shards). Meant for benchmarks that measure cold runs;
+    /// in-flight lookups keep their `Arc`s alive, so this is always safe.
     pub fn reset() {
-        let mut map = cache().lock().expect("translator cache poisoned");
-        map.clear();
-        HITS.store(0, Ordering::Relaxed);
-        MISSES.store(0, Ordering::Relaxed);
+        let mut guards = lock_all();
+        for (shard, map) in shards().iter().zip(guards.iter_mut()) {
+            map.clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+        }
     }
 }
 

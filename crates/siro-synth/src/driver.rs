@@ -84,9 +84,13 @@ impl SynthesisConfig {
 
 /// Resolves the worker-thread count for synthesis: the `SIRO_THREADS`
 /// environment variable when set to a positive integer, otherwise every
-/// core `available_parallelism` reports.
+/// core `available_parallelism` reports. Resolved once per process —
+/// [`SynthesisConfig::new`] runs on the serving hot path (the router
+/// builds a config per catalog edge per plan), and the env lookup plus
+/// `available_parallelism` syscall dominated it.
 pub fn resolve_threads() -> usize {
-    threads_from_override(std::env::var("SIRO_THREADS").ok().as_deref())
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| threads_from_override(std::env::var("SIRO_THREADS").ok().as_deref()))
 }
 
 /// Pure core of [`resolve_threads`], split out so the fallback rules are

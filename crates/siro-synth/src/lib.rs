@@ -62,7 +62,8 @@ pub mod store;
 pub mod typegraph;
 
 pub use cache::{
-    corpus_fingerprint, synthesize_all, CacheLookup, CacheSnapshot, CacheStats, TranslatorCache,
+    corpus_fingerprint, synthesize_all, CacheLookup, CacheShardStats, CacheSnapshot, CacheStats,
+    TranslatorCache, CACHE_SHARDS,
 };
 pub use candgen::{generate_all, generate_for_kind, GenLimits};
 pub use driver::{

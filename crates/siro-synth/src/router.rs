@@ -406,7 +406,7 @@ fn note_max_hops(hops: u64) {
 /// the counters it bumps are process-global so `STATS` can report them.
 pub struct Router {
     nodes: Vec<IrVersion>,
-    corpora: Mutex<PairMap<Arc<Vec<OracleTest>>>>,
+    corpora: Mutex<PairMap<(Arc<Vec<OracleTest>>, u64)>>,
     composed: Mutex<PairMap<Arc<ComposedTranslator>>>,
 }
 
@@ -436,11 +436,26 @@ impl Router {
 
     /// The memoized oracle corpus for a pair (empty corpus = no edge).
     pub fn corpus(&self, from: IrVersion, to: IrVersion) -> Arc<Vec<OracleTest>> {
+        self.corpus_with_fingerprint(from, to).0
+    }
+
+    /// The memoized corpus *and* its [`crate::cache::corpus_fingerprint`].
+    /// The fingerprint is hashed once per pair per router, not per plan —
+    /// [`Router::graph`] probes every catalog edge on every call, and
+    /// re-hashing ~n² corpora per request was the serving hot path's
+    /// dominant cost.
+    fn corpus_with_fingerprint(
+        &self,
+        from: IrVersion,
+        to: IrVersion,
+    ) -> (Arc<Vec<OracleTest>>, u64) {
         let mut map = self.corpora.lock().expect("router corpora poisoned");
-        Arc::clone(
-            map.entry((from, to))
-                .or_insert_with(|| Arc::new(oracle_corpus(from, to))),
-        )
+        let (corpus, fp) = map.entry((from, to)).or_insert_with(|| {
+            let corpus = Arc::new(oracle_corpus(from, to));
+            let fp = crate::cache::corpus_fingerprint(&corpus);
+            (corpus, fp)
+        });
+        (Arc::clone(corpus), *fp)
     }
 
     fn observed_latencies() -> HashMap<(IrVersion, IrVersion), u64> {
@@ -479,17 +494,17 @@ impl Router {
                 if a == b {
                     continue;
                 }
-                let corpus = self.corpus(a, b);
+                let (corpus, fp) = self.corpus_with_fingerprint(a, b);
                 if corpus.is_empty() {
                     continue;
                 }
                 let config = SynthesisConfig::new(a, b);
-                let class = if TranslatorCache::is_warm(&config, &corpus) {
+                let class = if TranslatorCache::is_warm_fingerprint(&config, fp) {
                     EdgeClass::Hot
-                } else if store.as_ref().is_some_and(|s| {
-                    let fp = crate::cache::corpus_fingerprint(&corpus);
-                    s.entry_path(&StoreKey::new(&config, fp)).exists()
-                }) {
+                } else if store
+                    .as_ref()
+                    .is_some_and(|s| s.entry_path(&StoreKey::new(&config, fp)).exists())
+                {
                     EdgeClass::Warm
                 } else {
                     EdgeClass::Cold

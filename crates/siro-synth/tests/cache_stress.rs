@@ -6,21 +6,50 @@
 //! under the lock before the counter moves, and reset clears both under
 //! the same lock).
 //!
-//! With the fix (counters read under the map lock) the invariant below
-//! holds for every observable interleaving; with the old code this test
-//! fails within a few rounds.
+//! The cache is now **sharded** ([`siro_synth::CACHE_SHARDS`] ways), which
+//! re-opens the same class of bug with a new shape: `snapshot()` and
+//! `reset()` must hold *every* shard lock at once, or a reader could see
+//! shard A post-reset and shard B pre-reset. The tests here exercise the
+//! sharded form: the key sets are sized and spread to populate many
+//! shards (asserted), so a single-shard-at-a-time snapshot/reset would
+//! trip the invariant within a few rounds.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use siro_ir::IrVersion;
-use siro_synth::{SynthesisConfig, TranslatorCache};
+use siro_synth::{SynthesisConfig, TranslatorCache, CACHE_SHARDS};
+
+/// The process-wide cache is shared by every test in this binary; they
+/// must not interleave resets.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
+    match SERIAL.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Populates `n` distinct cache keys (same pair, varying limits) with an
+/// empty corpus — milliseconds per key, real inserts/hits through the
+/// sharded maps.
+fn populate_keys(src: IrVersion, tgt: IrVersion, n: usize, salt: usize) {
+    for i in 0..n {
+        let mut config = SynthesisConfig::new(src, tgt);
+        config.limits.max_exprs_per_type = 1 + (salt + i) % 7;
+        config.limits.max_candidates_per_kind = 4 + (salt + i) % 13;
+        // Miss, then hit, on the same key.
+        TranslatorCache::get_or_synthesize(config.clone(), &[]).expect("empty-corpus synth");
+        TranslatorCache::get_or_synthesize(config, &[]).expect("cached re-lookup");
+    }
+}
 
 #[test]
 fn snapshot_is_consistent_under_concurrent_reset() {
     const ROUNDS: usize = 20;
-    const KEYS_PER_ROUND: usize = 6;
+    const KEYS_PER_ROUND: usize = 24;
 
+    let _guard = serial();
     let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -46,20 +75,23 @@ fn snapshot_is_consistent_under_concurrent_reset() {
 
     // Keep the per-key work tiny: an empty corpus synthesizes only the
     // warning shells, so each round is milliseconds while still driving
-    // real insertions, hits, and misses through the cache.
+    // real insertions, hits, and misses through the sharded maps.
     for round in 0..ROUNDS {
         TranslatorCache::reset();
-        for i in 0..KEYS_PER_ROUND {
-            let mut config = SynthesisConfig::new(src, tgt);
-            config.limits.max_exprs_per_type = 1 + (round * KEYS_PER_ROUND + i) % 7;
-            config.limits.max_candidates_per_kind = 8;
-            // Miss, then hit, on the same key.
-            TranslatorCache::get_or_synthesize(config.clone(), &[]).expect("empty-corpus synth");
-            TranslatorCache::get_or_synthesize(config, &[]).expect("cached re-lookup");
-        }
+        populate_keys(src, tgt, KEYS_PER_ROUND, round * KEYS_PER_ROUND);
         let s = TranslatorCache::snapshot();
         assert_eq!(s.entries, KEYS_PER_ROUND, "round {round}");
         assert!(s.hits >= KEYS_PER_ROUND as u64, "round {round}");
+        // The round's keys must span shards, or this test would not
+        // exercise the cross-shard atomicity of snapshot()/reset().
+        let populated = TranslatorCache::shard_snapshots()
+            .iter()
+            .filter(|s| s.entries > 0)
+            .count();
+        assert!(
+            populated > 1,
+            "round {round}: all {KEYS_PER_ROUND} keys landed in one shard"
+        );
     }
 
     stop.store(true, Ordering::Relaxed);
@@ -67,5 +99,38 @@ fn snapshot_is_consistent_under_concurrent_reset() {
         .join()
         .expect("spinner panicked (invariant violated)");
     assert!(observed > 0, "the spinner never got to observe a snapshot");
+    TranslatorCache::reset();
+}
+
+#[test]
+fn cross_shard_snapshot_sums_the_per_shard_views() {
+    const KEYS: usize = CACHE_SHARDS * 3;
+
+    let _guard = serial();
+    TranslatorCache::reset();
+    populate_keys(IrVersion::V13_0, IrVersion::V3_0, KEYS, 7);
+
+    let shards = TranslatorCache::shard_snapshots();
+    assert_eq!(shards.len(), CACHE_SHARDS);
+    let populated = shards.iter().filter(|s| s.entries > 0).count();
+    assert!(
+        populated > CACHE_SHARDS / 4,
+        "{KEYS} distinct keys populated only {populated} shard(s) — \
+         the shard hash is not spreading"
+    );
+
+    // With no concurrent mutation, the all-locks snapshot must equal the
+    // sum of the per-shard views, and the totals must match what the
+    // workload did: every key missed once and hit once.
+    let s = TranslatorCache::snapshot();
+    let hits: u64 = shards.iter().map(|s| s.hits).sum();
+    let misses: u64 = shards.iter().map(|s| s.misses).sum();
+    let entries: usize = shards.iter().map(|s| s.entries).sum();
+    assert_eq!(s.hits, hits);
+    assert_eq!(s.misses, misses);
+    assert_eq!(s.entries, entries);
+    assert_eq!(s.entries, KEYS);
+    assert_eq!(s.misses, KEYS as u64);
+    assert_eq!(s.hits, KEYS as u64);
     TranslatorCache::reset();
 }

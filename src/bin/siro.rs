@@ -11,6 +11,8 @@
 //! siro difftest --pairs 13.0:3.6,17.0:12.0 --budget 60
 //! siro opt program.sir [-o out.sir]
 //! siro serve [--addr 127.0.0.1:4799] [--threads N] [--queue N] [--store DIR]
+//!           [--engine event|threaded] [--admission-rps N] [--admission-burst N]
+//! siro loadgen [--remote 127.0.0.1:4799] [--rates 1000,2000] [--connections N]
 //! siro route plan --from 13.0 --to 3.6 [--store DIR]
 //! siro route matrix [--store DIR]
 //! siro store warm --dir DIR [--pairs 13.0:3.6,17.0:12.0]
@@ -34,12 +36,50 @@ use std::time::Duration;
 
 use siro::core::{ReferenceTranslator, Skeleton};
 use siro::ir::{interp::Machine, parse, verify, write, IrVersion, Module};
-use siro::serve::{Client, ServeConfig, TranslateMode};
+use siro::serve::{Client, EngineMode, ServeConfig, TranslateMode};
 use siro::synth::{OracleTest, Synthesizer};
 
-/// I/O timeout for the remote-client commands. Generous because a cold
-/// synthesized pair blocks the response on a full synthesis.
-const REMOTE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default I/O timeout for the remote-client commands. Generous because a
+/// cold synthesized pair blocks the response on a full synthesis.
+const DEFAULT_REMOTE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Resolves the remote I/O timeout: `--timeout-ms` beats
+/// `SIRO_CLIENT_TIMEOUT_MS`, which beats the 30 s default. The second
+/// element says whether the choice was explicit — an explicit timeout
+/// also caps each response wait, not just connect and socket I/O.
+fn remote_timeout(args: &[String]) -> Result<(Duration, bool), String> {
+    let spec = match flag_value(args, "--timeout-ms") {
+        Some(ms) => Some((ms.to_string(), "--timeout-ms")),
+        None => std::env::var("SIRO_CLIENT_TIMEOUT_MS")
+            .ok()
+            .map(|ms| (ms, "SIRO_CLIENT_TIMEOUT_MS")),
+    };
+    match spec {
+        Some((ms, what)) => {
+            let ms: u64 = ms
+                .parse()
+                .ok()
+                .filter(|&v| v > 0)
+                .ok_or_else(|| format!("bad {what} `{ms}` (positive milliseconds)"))?;
+            Ok((Duration::from_millis(ms), true))
+        }
+        None => Ok((DEFAULT_REMOTE_TIMEOUT, false)),
+    }
+}
+
+/// Connects to a daemon honoring the resolved timeout. An explicitly
+/// chosen timeout is also installed as the per-response deadline
+/// ([`Client::set_op_timeout`]); the default leaves response waits
+/// unbounded because a cold synthesis legitimately takes a while.
+fn connect_remote(args: &[String], addr: &str) -> Result<Client, String> {
+    let (timeout, explicit) = remote_timeout(args)?;
+    let mut client =
+        Client::connect(addr, timeout).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    if explicit {
+        client.set_op_timeout(Some(timeout));
+    }
+    Ok(client)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +91,7 @@ fn main() -> ExitCode {
         Some("difftest") => cmd_difftest(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -93,9 +134,18 @@ USAGE:
     siro opt <file> [-o <out>]                       run the optimizer pipeline
     siro serve [--addr <host:port>]                  run the translation daemon
                [--threads <n>] [--queue <n>]         (defaults: SIRO_THREADS, 64)
+               [--engine event|threaded]             serving engine (default event)
+               [--admission-rps <n>]                 per-peer admission budget (default off)
+               [--admission-burst <n>]               token-bucket burst (default 1s of budget)
                [--store <dir>]                       persist translators; warm-start at boot
                [--store-validation off|checksum|full] load-time validation (default checksum)
                [--store-max-bytes <n>]               GC the store down to <n> bytes after writes
+    siro loadgen [--remote <addr>]                   open-loop rate sweep (docs/SERVING.md);
+               [--engine event|threaded]             boots an in-process daemon unless --remote
+               [--rates <r1,r2,...>] [--slo-ms <n>]  (defaults: 500,1000,2000,4000; 25 ms)
+               [--connections <n>] [--duration-ms <n>] (defaults: 64, 1000)
+               [--pairs <a:b,...>] [--synthesized]   version-pair mix (default 13.0:3.6)
+               [-o <json>]                           write a loadtest-v1 JSON report
     siro route plan --from <ver> --to <ver>          show the cheapest translation route
                [--store <dir>]                       classify edges against a store
     siro route matrix [--store <dir>]                plan every catalog pair (hop-count grid)
@@ -109,11 +159,16 @@ USAGE:
     siro trace-report [<trace.json>]                 aggregate a SIRO_TRACE Chrome trace
     siro shutdown --remote <addr>                    gracefully stop a daemon
 
+    Remote commands (translate --remote, stats, metrics, shutdown) accept
+    --timeout-ms <n>: connect + I/O + per-response deadline (default 30 s,
+    response waits unbounded unless set explicitly).
+
 ENVIRONMENT:
     SIRO_TRACE=1          record spans/counters; synthesize and serve write
                           a Chrome trace_event JSON on exit
     SIRO_TRACE_FILE=path  where to write it (default siro_trace.json)
-    SIRO_THREADS=n        worker threads for synthesis and serving"
+    SIRO_THREADS=n        worker threads for synthesis and serving
+    SIRO_CLIENT_TIMEOUT_MS=n  default for --timeout-ms on remote commands"
     );
 }
 
@@ -125,6 +180,21 @@ fn parse_version(s: &str) -> Result<IrVersion, String> {
         maj.parse().map_err(|_| format!("bad major in `{s}`"))?,
         min.parse().map_err(|_| format!("bad minor in `{s}`"))?,
     ))
+}
+
+fn parse_engine(s: &str) -> Result<EngineMode, String> {
+    match s {
+        "event" => Ok(EngineMode::Event),
+        "threaded" => Ok(EngineMode::Threaded),
+        other => Err(format!("bad --engine `{other}` (event|threaded)")),
+    }
+}
+
+fn engine_label(engine: EngineMode) -> &'static str {
+    match engine {
+        EngineMode::Event => "event",
+        EngineMode::Threaded => "threaded",
+    }
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -283,8 +353,7 @@ fn cmd_translate_remote(
     } else {
         TranslateMode::Reference
     };
-    let mut client =
-        Client::connect(addr, REMOTE_TIMEOUT).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut client = connect_remote(args, addr)?;
     let out = client
         .translate(source, to, mode, text)
         .map_err(|e| format!("remote translation failed: {e}"))?;
@@ -329,6 +398,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("bad --store-max-bytes `{n}`"))?,
         );
     }
+    if let Some(engine) = flag_value(args, "--engine") {
+        config.engine = parse_engine(engine)?;
+    }
+    if let Some(r) = flag_value(args, "--admission-rps") {
+        config.admission.rate_per_sec = Some(
+            r.parse()
+                .map_err(|_| format!("bad --admission-rps `{r}`"))?,
+        );
+    }
+    if let Some(b) = flag_value(args, "--admission-burst") {
+        config.admission.burst = Some(
+            b.parse()
+                .map_err(|_| format!("bad --admission-burst `{b}`"))?,
+        );
+    }
+    let engine_label = engine_label(config.engine);
+    let admission = config.admission.rate_per_sec;
     let handle = siro::serve::start(config).map_err(|e| format!("starting server: {e}"))?;
     // Parsed by scripts (and the CI smoke test) to discover the port.
     println!("siro-serve listening on {}", handle.addr());
@@ -342,14 +428,133 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
     }
     println!(
-        "workers {} | queue capacity {} | shut down with `siro shutdown --remote {}`",
+        "engine {engine_label} | workers {} | queue capacity {}{} | \
+         shut down with `siro shutdown --remote {}`",
         handle.workers(),
         handle.queue_capacity(),
+        admission
+            .map(|r| format!(" | admission {r} req/s per peer"))
+            .unwrap_or_default(),
         handle.addr()
     );
     handle.wait();
     finish_trace();
     eprintln!("siro-serve drained and stopped");
+    Ok(())
+}
+
+/// `siro loadgen`: open-loop rate sweep against a daemon. By default it
+/// boots an in-process server (pick the engine with `--engine`) so one
+/// command answers "what does this box sustain"; `--remote` points the
+/// sweep at an already-running daemon instead.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use siro::loadgen::{corpus_payloads, sweep, EngineRun, LoadgenConfig};
+    use std::net::ToSocketAddrs;
+
+    let pairs_spec = flag_value(args, "--pairs").unwrap_or("13.0:3.6");
+    let mut pairs = Vec::new();
+    for pair in pairs_spec.split(',') {
+        let (a, b) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("pair `{pair}` must look like `13.0:3.6`"))?;
+        pairs.push((parse_version(a)?, parse_version(b)?));
+    }
+    let mode = if args.iter().any(|a| a == "--synthesized") {
+        TranslateMode::Synthesized
+    } else {
+        TranslateMode::Reference
+    };
+    let rates: Vec<f64> = match flag_value(args, "--rates") {
+        Some(spec) => {
+            let mut out = Vec::new();
+            for s in spec.split(',') {
+                out.push(
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("bad --rates entry `{s}`"))?,
+                );
+            }
+            out
+        }
+        None => vec![500.0, 1000.0, 2000.0, 4000.0],
+    };
+    let parse_num = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            Some(s) => s.parse().map_err(|_| format!("bad {name} `{s}`")),
+            None => Ok(default),
+        }
+    };
+    let connections = parse_num("--connections", 64)?;
+    let duration_ms = parse_num("--duration-ms", 1000)?;
+    let slo_ms: f64 = match flag_value(args, "--slo-ms") {
+        Some(s) => s.parse().map_err(|_| format!("bad --slo-ms `{s}`"))?,
+        None => 25.0,
+    };
+
+    // An in-process server unless --remote points at a running daemon.
+    let handle = match flag_value(args, "--remote") {
+        Some(_) => None,
+        None => {
+            let mut config = ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                queue_capacity: 512,
+                read_timeout: Duration::from_millis(100),
+                ..ServeConfig::default()
+            };
+            if let Some(engine) = flag_value(args, "--engine") {
+                config.engine = parse_engine(engine)?;
+            }
+            if let Some(n) = flag_value(args, "--threads") {
+                config.threads = Some(n.parse().map_err(|_| format!("bad --threads `{n}`"))?);
+            }
+            Some(siro::serve::start(config).map_err(|e| format!("starting server: {e}"))?)
+        }
+    };
+    let (addr, engine) = match (&handle, flag_value(args, "--remote")) {
+        (Some(h), _) => (h.addr(), engine_label(h.engine_mode()).to_string()),
+        (None, Some(remote)) => (
+            remote
+                .to_socket_addrs()
+                .map_err(|e| format!("resolving {remote}: {e}"))?
+                .next()
+                .ok_or_else(|| format!("{remote} resolved to nothing"))?,
+            "remote".to_string(),
+        ),
+        (None, None) => unreachable!("either in-process or --remote"),
+    };
+
+    let config = LoadgenConfig {
+        addr,
+        connections,
+        duration: Duration::from_millis(duration_ms as u64),
+        rates_rps: rates,
+        slo_p99_ms: slo_ms,
+        payloads: corpus_payloads(&pairs, mode),
+        warmup: true,
+        ..LoadgenConfig::default()
+    };
+    eprintln!(
+        "loadgen [{engine}]: {addr}, {connections} connections, \
+         {} pair(s), SLO p99 <= {slo_ms} ms",
+        pairs.len()
+    );
+    let report = sweep(&config)?;
+    print!("{}", siro::loadgen::render_table(&report));
+
+    if let Some(out) = flag_value(args, "-o") {
+        let run = EngineRun {
+            engine,
+            workers: handle.as_ref().map(|h| h.workers()).unwrap_or(0),
+            connections,
+            report,
+        };
+        let json = siro::loadgen::render_loadtest_json(&[run]);
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("report written to {out}");
+    }
+    if let Some(h) = handle {
+        h.shutdown();
+    }
     Ok(())
 }
 
@@ -577,8 +782,7 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--remote").ok_or("usage: siro stats --remote <addr>")?;
-    let mut client =
-        Client::connect(addr, REMOTE_TIMEOUT).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut client = connect_remote(args, addr)?;
     let page = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
     print!("{page}");
     Ok(())
@@ -586,8 +790,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--remote").ok_or("usage: siro metrics --remote <addr>")?;
-    let mut client =
-        Client::connect(addr, REMOTE_TIMEOUT).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut client = connect_remote(args, addr)?;
     let page = client
         .metrics()
         .map_err(|e| format!("fetching metrics: {e}"))?;
@@ -637,8 +840,7 @@ fn finish_trace() {
 
 fn cmd_shutdown(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--remote").ok_or("usage: siro shutdown --remote <addr>")?;
-    let mut client =
-        Client::connect(addr, REMOTE_TIMEOUT).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut client = connect_remote(args, addr)?;
     client
         .shutdown()
         .map_err(|e| format!("requesting shutdown: {e}"))?;

@@ -11,6 +11,7 @@ pub use siro_difftest as difftest;
 pub use siro_fuzz as fuzz;
 pub use siro_ir as ir;
 pub use siro_kernel as kernel;
+pub use siro_loadgen as loadgen;
 pub use siro_opt as opt;
 pub use siro_serve as serve;
 pub use siro_study as study;
