@@ -16,6 +16,47 @@ use siro_ir::{
 
 use crate::error::{ApiError, ApiResult};
 
+/// The instruction-result correspondence map of one function translation.
+///
+/// The skeleton's generic walk uses the hashed form; the compiled tier's
+/// module driver — which knows the source function's instruction count up
+/// front — opts into the dense form via
+/// [`TranslationCtx::begin_function_dense`] so the per-operand probe in
+/// [`TranslationCtx::translate_value`] is an index, not a hash. Both forms
+/// hold exactly the same mapping; the choice is invisible to API
+/// components.
+#[derive(Debug)]
+enum ValueMap {
+    Hash(HashMap<InstId, ValueRef>),
+    Dense(Vec<Option<ValueRef>>),
+}
+
+impl ValueMap {
+    #[inline]
+    fn get(&self, i: InstId) -> Option<ValueRef> {
+        match self {
+            ValueMap::Hash(m) => m.get(&i).copied(),
+            ValueMap::Dense(v) => v.get(i.0 as usize).copied().flatten(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, i: InstId, v: ValueRef) {
+        match self {
+            ValueMap::Hash(m) => {
+                m.insert(i, v);
+            }
+            ValueMap::Dense(vec) => {
+                let idx = i.0 as usize;
+                if idx >= vec.len() {
+                    vec.resize(idx + 1, None);
+                }
+                vec[idx] = Some(v);
+            }
+        }
+    }
+}
+
 /// Mutable translation state threaded through every API component.
 #[derive(Debug)]
 pub struct TranslationCtx<'s> {
@@ -32,13 +73,21 @@ pub struct TranslationCtx<'s> {
     tgt_func: Option<FuncId>,
     cur_block: Option<BlockId>,
     // Module-level maps.
-    func_map: HashMap<FuncId, FuncId>,
-    global_map: HashMap<GlobalId, GlobalId>,
+    // Source func/global ids are dense arena indices, so these maps are
+    // direct-indexed: `translate_value` hits `func_map` on every call
+    // operand and a hash probe there is measurable on the translate span.
+    func_map: Vec<Option<FuncId>>,
+    global_map: Vec<Option<GlobalId>>,
     asm_map: HashMap<siro_ir::AsmId, siro_ir::AsmId>,
-    type_cache: HashMap<TypeId, TypeId>,
+    // Source `TypeId`s are dense table indices, so the type-translation
+    // cache is a flat vector probe instead of a hash map. Sized to the
+    // source table up front; getters may intern new source types later, so
+    // inserts still resize on demand.
+    type_cache: Vec<Option<TypeId>>,
     // Per-function maps (cleared by `begin_function`).
-    value_map: HashMap<InstId, ValueRef>,
-    block_map: HashMap<BlockId, BlockId>,
+    value_map: ValueMap,
+    // Blocks are dense per-function indices too: same flat-probe scheme.
+    block_map: Vec<Option<BlockId>>,
     pending: HashMap<InstId, u32>,
     placeholder_types: HashMap<u32, TypeId>,
     next_placeholder: u32,
@@ -49,19 +98,24 @@ impl<'s> TranslationCtx<'s> {
     /// Starts a translation of `src` into a fresh module of
     /// `target_version`.
     pub fn new(src: &'s Module, target_version: IrVersion) -> Self {
+        let mut tgt = Module::new(src.name.clone(), target_version);
+        // The target ends up with one function/global per source entry;
+        // pre-sizing avoids re-moving the arenas as signatures are cloned.
+        tgt.funcs.reserve(src.funcs.len());
+        tgt.globals.reserve(src.globals.len());
         TranslationCtx {
             src,
             src_types: src.types.clone(),
-            tgt: Module::new(src.name.clone(), target_version),
+            tgt,
             src_func: None,
             tgt_func: None,
             cur_block: None,
-            func_map: HashMap::new(),
-            global_map: HashMap::new(),
+            func_map: vec![None; src.func_ids().count()],
+            global_map: vec![None; src.global_ids().count()],
             asm_map: HashMap::new(),
-            type_cache: HashMap::new(),
-            value_map: HashMap::new(),
-            block_map: HashMap::new(),
+            type_cache: vec![None; src.types.len()],
+            value_map: ValueMap::Hash(HashMap::new()),
+            block_map: Vec::new(),
             pending: HashMap::new(),
             placeholder_types: HashMap::new(),
             next_placeholder: 0,
@@ -109,21 +163,56 @@ impl<'s> TranslationCtx<'s> {
 
     /// Registers the target counterpart of a source function.
     pub fn map_func(&mut self, src: FuncId, tgt: FuncId) {
-        self.func_map.insert(src, tgt);
+        let idx = src.0 as usize;
+        if idx >= self.func_map.len() {
+            self.func_map.resize(idx + 1, None);
+        }
+        self.func_map[idx] = Some(tgt);
     }
 
     /// Registers the target counterpart of a source global.
     pub fn map_global(&mut self, src: GlobalId, tgt: GlobalId) {
-        self.global_map.insert(src, tgt);
+        let idx = src.0 as usize;
+        if idx >= self.global_map.len() {
+            self.global_map.resize(idx + 1, None);
+        }
+        self.global_map[idx] = Some(tgt);
     }
 
     /// Enters a new function: clears per-function maps and sets the current
     /// source/target pair.
     pub fn begin_function(&mut self, src: FuncId, tgt: FuncId) {
+        self.value_map = ValueMap::Hash(HashMap::new());
+        self.begin_function_common(src, tgt);
+    }
+
+    /// [`TranslationCtx::begin_function`] with a pre-sized dense
+    /// instruction-result map: the caller promises the source function has
+    /// `insts` instructions (`Function::inst_count`), so operand lookups
+    /// become direct indexing. Used by the compiled tier's module driver;
+    /// behaviour is otherwise identical to `begin_function`.
+    pub fn begin_function_dense(&mut self, src: FuncId, tgt: FuncId, insts: usize) {
+        // Reuse the previous function's buffer: modules average a handful
+        // of instructions per function, so a fresh alloc per function is
+        // measurable on the translate span.
+        match &mut self.value_map {
+            ValueMap::Dense(v) => {
+                v.clear();
+                v.resize(insts, None);
+            }
+            m => *m = ValueMap::Dense(vec![None; insts]),
+        }
+        // The target function will hold roughly one instruction per source
+        // instruction; reserving up front keeps the hot build loop from
+        // reallocating the arena.
+        self.tgt.func_mut(tgt).insts.reserve(insts);
+        self.begin_function_common(src, tgt);
+    }
+
+    fn begin_function_common(&mut self, src: FuncId, tgt: FuncId) {
         self.src_func = Some(src);
         self.tgt_func = Some(tgt);
         self.cur_block = None;
-        self.value_map.clear();
         self.block_map.clear();
         self.pending.clear();
         self.placeholder_types.clear();
@@ -132,7 +221,11 @@ impl<'s> TranslationCtx<'s> {
     /// Registers the target counterpart of a source block in the current
     /// function.
     pub fn map_block(&mut self, src: BlockId, tgt: BlockId) {
-        self.block_map.insert(src, tgt);
+        let idx = src.0 as usize;
+        if idx >= self.block_map.len() {
+            self.block_map.resize(idx + 1, None);
+        }
+        self.block_map[idx] = Some(tgt);
     }
 
     /// Sets the builder insertion point in the target function.
@@ -145,6 +238,11 @@ impl<'s> TranslationCtx<'s> {
     /// references.
     pub fn note_translated(&mut self, src: InstId, tgt: ValueRef) -> ApiResult<()> {
         self.value_map.insert(src, tgt);
+        // Forward references are rare; skip the per-instruction hash when
+        // none are outstanding.
+        if self.pending.is_empty() {
+            return Ok(());
+        }
         if let Some(key) = self.pending.remove(&src) {
             let f = self
                 .tgt_func
@@ -179,8 +277,8 @@ impl<'s> TranslationCtx<'s> {
 
     /// Translates a source type to the target table, structurally.
     pub fn translate_type(&mut self, src_ty: TypeId) -> TypeId {
-        if let Some(&t) = self.type_cache.get(&src_ty) {
-            return t;
+        if let Some(Some(t)) = self.type_cache.get(src_ty.index()) {
+            return *t;
         }
         let ty = self.src_types.get(src_ty).clone();
         let mapped = match ty {
@@ -223,7 +321,11 @@ impl<'s> TranslationCtx<'s> {
                 }
             }
         };
-        self.type_cache.insert(src_ty, mapped);
+        let idx = src_ty.index();
+        if idx >= self.type_cache.len() {
+            self.type_cache.resize(idx + 1, None);
+        }
+        self.type_cache[idx] = Some(mapped);
         mapped
     }
 
@@ -234,8 +336,9 @@ impl<'s> TranslationCtx<'s> {
     /// [`ApiError::Missing`] if the skeleton has not pre-created the block.
     pub fn translate_block(&mut self, src: BlockId) -> ApiResult<BlockId> {
         self.block_map
-            .get(&src)
+            .get(src.0 as usize)
             .copied()
+            .flatten()
             .ok_or_else(|| ApiError::Missing(format!("block {} not mapped", src.0)))
     }
 
@@ -246,20 +349,21 @@ impl<'s> TranslationCtx<'s> {
     /// [`ApiError::Missing`] if the skeleton has not pre-registered it.
     pub fn translate_func(&mut self, src: FuncId) -> ApiResult<FuncId> {
         self.func_map
-            .get(&src)
+            .get(src.0 as usize)
             .copied()
+            .flatten()
             .ok_or_else(|| ApiError::Missing(format!("function {} not mapped", src.0)))
     }
 
     /// Translates a source global, creating the target global on demand.
     pub fn translate_global(&mut self, src: GlobalId) -> GlobalId {
-        if let Some(&g) = self.global_map.get(&src) {
-            return g;
+        if let Some(Some(g)) = self.global_map.get(src.0 as usize) {
+            return *g;
         }
         let g = self.src.global(src).clone();
         let ty = self.translate_type(g.ty);
         let id = self.tgt.add_global(Global { ty, ..g });
-        self.global_map.insert(src, id);
+        self.map_global(src, id);
         id
     }
 
@@ -287,7 +391,7 @@ impl<'s> TranslationCtx<'s> {
     pub fn translate_value(&mut self, v: ValueRef) -> ApiResult<ValueRef> {
         Ok(match v {
             ValueRef::Inst(i) => {
-                if let Some(&t) = self.value_map.get(&i) {
+                if let Some(t) = self.value_map.get(i) {
                     t
                 } else {
                     let key = match self.pending.get(&i) {
@@ -360,11 +464,10 @@ impl<'s> TranslationCtx<'s> {
         let ret = self.translate_type(f.ret_ty);
         let params: Vec<Param> = f
             .params
-            .clone()
-            .into_iter()
+            .iter()
             .map(|p| Param {
                 ty: self.translate_type(p.ty),
-                name: p.name,
+                name: p.name.clone(),
             })
             .collect();
         let mut nf = if is_external {
@@ -374,7 +477,7 @@ impl<'s> TranslationCtx<'s> {
         };
         nf.varargs = varargs;
         let id = self.tgt.add_func(nf);
-        self.func_map.insert(src_fid, id);
+        self.map_func(src_fid, id);
         id
     }
 }

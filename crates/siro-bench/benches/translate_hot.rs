@@ -1,0 +1,180 @@
+//! `translate_hot`: the steady-state translate span, compiled tier versus
+//! interpreter — the gate behind ROADMAP item 3 and PR 8's tentpole.
+//!
+//! One pair (13.0 -> 3.6, the paper's flagship), one synthesized
+//! translator, identical workload modules through both tiers:
+//!
+//! 1. every Tab. 4 project module is translated through both tiers and the
+//!    outputs are compared **byte-for-byte** (a fast wrong translator is
+//!    worthless);
+//! 2. the largest module is then timed — median of `REPS` timed calls per
+//!    tier after warmup. The interpreted tier runs the skeleton driver;
+//!    the compiled tier runs its serving entry point,
+//!    `translate_module_owned` (serving parses each request into a module
+//!    it owns — the per-rep clone stands in for that parse and happens
+//!    *outside* the timed span);
+//! 3. the gate requires `interpreted_p50 / compiled_p50 >=`
+//!    `SIRO_TRANSLATE_HOT_MIN_SPEEDUP` (default 5.0) *and* byte identity.
+//!
+//! Dumps `BENCH_translate_hot.json` (`siro-bench/translate-hot-v1`, path
+//! overridable via `SIRO_BENCH_TRANSLATE_HOT_JSON`); exits non-zero when
+//! the gate fails, so CI can run it directly.
+
+use std::time::Instant;
+
+use siro_bench::perf::{write_translate_hot_json, TranslateHotRecord};
+use siro_core::Skeleton;
+use siro_ir::{IrVersion, Module};
+use siro_synth::{
+    oracle_corpus, StreamBackend, SynthesisConfig, TranslatorBackend, TranslatorCache,
+};
+
+const REPS: usize = 30;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn time_translations(
+    skeleton: &Skeleton,
+    module: &Module,
+    translator: &dyn siro_core::InstTranslator,
+) -> Vec<u64> {
+    // Warmup: allocator, icache, thread-local scratch.
+    for _ in 0..3 {
+        std::hint::black_box(skeleton.translate_module(module, translator).unwrap());
+    }
+    (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(skeleton.translate_module(module, translator).unwrap());
+            t.elapsed().as_micros() as u64
+        })
+        .collect()
+}
+
+fn time_owned(compiled: &siro_synth::CompiledTranslator, module: &Module) -> Vec<u64> {
+    for _ in 0..3 {
+        std::hint::black_box(compiled.translate_module_owned(module.clone()).unwrap());
+    }
+    (0..REPS)
+        .map(|_| {
+            // The clone models the per-request parse and is not part of
+            // the translate span.
+            let m = module.clone();
+            let t = Instant::now();
+            std::hint::black_box(compiled.translate_module_owned(m).unwrap());
+            t.elapsed().as_micros() as u64
+        })
+        .collect()
+}
+
+fn main() {
+    let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+    let min_speedup = env_f64("SIRO_TRANSLATE_HOT_MIN_SPEEDUP", 5.0);
+    println!("translate_hot: pair {src}->{tgt}, {REPS} reps, gate {min_speedup}x + byte identity");
+
+    let tests = oracle_corpus(src, tgt);
+    let outcome = TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &tests)
+        .expect("synthesis must succeed for the flagship pair");
+
+    // One-time lowering cost, measured explicitly (the serving path pays
+    // it once per process per pair, under the `compile.lower` span).
+    let t = Instant::now();
+    let compiled = StreamBackend
+        .lower(&outcome.translator)
+        .expect("flagship translator must lower");
+    let lower_us = t.elapsed().as_micros() as u64;
+
+    let skeleton = Skeleton::new(tgt);
+
+    // ---- Byte identity over every workload module. ----------------------
+    let mut byte_identical = true;
+    let mut largest: Option<(String, Module)> = None;
+    for spec in siro_workloads::table4_projects() {
+        let module = siro_workloads::compile_project(&spec, siro_workloads::Frontend::High, src);
+        let interp = skeleton
+            .translate_module(&module, &outcome.translator)
+            .expect("interpreted translate");
+        let fast = compiled
+            .translate_module_owned(module.clone())
+            .expect("compiled translate");
+        let same = siro_ir::write::write_module(&interp) == siro_ir::write::write_module(&fast);
+        println!(
+            "  {:<16} {:>6} insts  byte-identical: {}",
+            spec.name,
+            module.inst_count(),
+            same
+        );
+        byte_identical &= same;
+        if largest
+            .as_ref()
+            .map(|(_, m)| module.inst_count() > m.inst_count())
+            .unwrap_or(true)
+        {
+            largest = Some((spec.name.to_string(), module));
+        }
+    }
+    let (mod_name, module) = largest.expect("at least one workload project");
+    let insts = module.inst_count();
+
+    // ---- Steady-state timing on the largest module. ----------------------
+    let interpreted = time_translations(&skeleton, &module, &outcome.translator);
+    let fast = time_owned(&compiled, &module);
+    let interpreted_p50_us = median(interpreted);
+    let compiled_p50_us = median(fast).max(1);
+    let speedup = interpreted_p50_us as f64 / compiled_p50_us as f64;
+
+    let record = TranslateHotRecord {
+        source: src,
+        target: tgt,
+        module: mod_name,
+        insts,
+        iters: REPS as u64,
+        interpreted_p50_us,
+        compiled_p50_us,
+        interpreted_ns_per_inst: interpreted_p50_us as f64 * 1e3 / insts as f64,
+        compiled_ns_per_inst: compiled_p50_us as f64 * 1e3 / insts as f64,
+        lower_us,
+        speedup,
+        min_speedup,
+        byte_identical,
+        pass: byte_identical && speedup >= min_speedup,
+    };
+    println!(
+        "\n  {} insts: interpreted p50 {} us ({:.1} ns/inst), compiled p50 {} us ({:.1} ns/inst)",
+        insts,
+        record.interpreted_p50_us,
+        record.interpreted_ns_per_inst,
+        record.compiled_p50_us,
+        record.compiled_ns_per_inst,
+    );
+    println!(
+        "  lowering {} us (one-time), speedup {:.2}x (gate {:.1}x), byte-identical {}",
+        lower_us, speedup, min_speedup, byte_identical
+    );
+
+    match write_translate_hot_json(&record) {
+        Ok(path) => println!("  wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("translate_hot: FAIL could not write JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !record.pass {
+        eprintln!(
+            "translate_hot: FAIL (speedup {:.2}x < {:.1}x or tier divergence)",
+            speedup, min_speedup
+        );
+        std::process::exit(1);
+    }
+    println!("translate_hot: PASS");
+}

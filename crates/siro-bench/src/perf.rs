@@ -536,6 +536,99 @@ pub fn write_router_json(record: &RouterRecord) -> std::io::Result<PathBuf> {
 
 // -------------------------------------------------------------------------
 
+/// Result of the `translate_hot` bench: the steady-state translate span of
+/// the compiled tier versus the interpreter on identical modules, with the
+/// outputs checked byte-identical. Dumped to `BENCH_translate_hot.json`
+/// (schema `siro-bench/translate-hot-v1`).
+#[derive(Debug, Clone)]
+pub struct TranslateHotRecord {
+    /// Source version of the measured pair.
+    pub source: IrVersion,
+    /// Target version of the measured pair.
+    pub target: IrVersion,
+    /// Name of the measured workload module.
+    pub module: String,
+    /// Instructions in the workload module.
+    pub insts: usize,
+    /// Timed iterations per tier.
+    pub iters: u64,
+    /// Median interpreted `translate_module` wall clock, µs.
+    pub interpreted_p50_us: u64,
+    /// Median compiled `translate_module` wall clock, µs.
+    pub compiled_p50_us: u64,
+    /// Interpreted per-instruction dispatch cost, ns.
+    pub interpreted_ns_per_inst: f64,
+    /// Compiled per-instruction dispatch cost, ns.
+    pub compiled_ns_per_inst: f64,
+    /// One-time lowering cost (`compile.lower`), µs.
+    pub lower_us: u64,
+    /// `interpreted_p50_us / compiled_p50_us`.
+    pub speedup: f64,
+    /// The gate: the speedup must be at least this.
+    pub min_speedup: f64,
+    /// Whether every workload module translated byte-identically across
+    /// the tiers.
+    pub byte_identical: bool,
+    /// Whether the gate held (speedup and byte identity).
+    pub pass: bool,
+}
+
+/// Where the translate-hot JSON goes: `SIRO_BENCH_TRANSLATE_HOT_JSON` if
+/// set, else `BENCH_translate_hot.json` in the current directory.
+pub fn translate_hot_json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_TRANSLATE_HOT_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_translate_hot.json"))
+}
+
+/// Renders the translate-hot record as a JSON document.
+pub fn render_translate_hot_json(record: &TranslateHotRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"siro-bench/translate-hot-v1\",");
+    let _ = writeln!(
+        out,
+        "  \"pair\": {{ \"source\": {}, \"target\": {} }},",
+        json_string(&record.source.to_string()),
+        json_string(&record.target.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "  \"module\": {{ \"name\": {}, \"insts\": {} }},",
+        json_string(&record.module),
+        record.insts
+    );
+    let _ = writeln!(out, "  \"iters\": {},", record.iters);
+    let _ = writeln!(
+        out,
+        "  \"translate_p50_us\": {{ \"interpreted\": {}, \"compiled\": {} }},",
+        record.interpreted_p50_us, record.compiled_p50_us
+    );
+    let _ = writeln!(
+        out,
+        "  \"dispatch_ns_per_inst\": {{ \"interpreted\": {:.3}, \"compiled\": {:.3} }},",
+        record.interpreted_ns_per_inst, record.compiled_ns_per_inst
+    );
+    let _ = writeln!(out, "  \"lower_us\": {},", record.lower_us);
+    let _ = writeln!(out, "  \"speedup\": {:.3},", record.speedup);
+    let _ = writeln!(out, "  \"min_speedup\": {:.3},", record.min_speedup);
+    let _ = writeln!(out, "  \"byte_identical\": {},", record.byte_identical);
+    let _ = writeln!(out, "  \"pass\": {}", record.pass);
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_translate_hot.json` and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_translate_hot_json(record: &TranslateHotRecord) -> std::io::Result<PathBuf> {
+    let path = translate_hot_json_path();
+    std::fs::write(&path, render_translate_hot_json(record))?;
+    Ok(path)
+}
+
 /// Where the sustained-load JSON goes: `SIRO_BENCH_LOADTEST_JSON` if set,
 /// else `BENCH_loadtest.json` in the current directory.
 pub fn loadtest_json_path() -> PathBuf {

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use siro_core::{Skeleton, TranslateError};
 use siro_ir::{
     interp::{ExecResult, Machine, TrapKind},
-    verify, IrVersion, Module,
+    verify, write, IrVersion, Module,
 };
 use siro_synth::{
     OracleTest, Router, SynthError, SynthFault, SynthesisConfig, SynthesisOutcome, TranslatorCache,
@@ -76,6 +76,11 @@ pub enum FailureFamily {
     TranslateCrash,
     /// Translated module fails verification.
     InvalidOutput,
+    /// The compiled and interpreted execution tiers of the *same*
+    /// translator disagreed (different verdict, or different bytes on
+    /// success). This is never a synthesis bug — it is a bug in the
+    /// compile backend or its fallback contract (`docs/COMPILED.md`).
+    TierDivergence,
 }
 
 impl FailureFamily {
@@ -85,6 +90,7 @@ impl FailureFamily {
             FailureFamily::Miscompile => "miscompile",
             FailureFamily::TranslateCrash => "translate-crash",
             FailureFamily::InvalidOutput => "invalid-output",
+            FailureFamily::TierDivergence => "tier-divergence",
         }
     }
 
@@ -94,6 +100,7 @@ impl FailureFamily {
             "miscompile" => Some(FailureFamily::Miscompile),
             "translate-crash" => Some(FailureFamily::TranslateCrash),
             "invalid-output" => Some(FailureFamily::InvalidOutput),
+            "tier-divergence" => Some(FailureFamily::TierDivergence),
             _ => None,
         }
     }
@@ -328,7 +335,7 @@ impl ChainSet {
 }
 
 enum Leg {
-    Ok(Module),
+    Ok(Box<Module>),
     Skip,
     Fail(Failure),
 }
@@ -350,9 +357,13 @@ fn translate_leg(
     outcome: &SynthesisOutcome,
     oracle: &'static str,
 ) -> Leg {
-    match Skeleton::new(tgt).translate_module(m, &outcome.translator) {
+    let interpreted = Skeleton::new(tgt).translate_module(m, &outcome.translator);
+    if let Some(f) = check_tiers(m, tgt, outcome, oracle, &interpreted) {
+        return Leg::Fail(f);
+    }
+    match interpreted {
         Ok(out) => match verify::verify_module(&out) {
-            Ok(()) => Leg::Ok(out),
+            Ok(()) => Leg::Ok(Box::new(out)),
             Err(e) => Leg::Fail(Failure {
                 oracle,
                 family: FailureFamily::InvalidOutput,
@@ -365,6 +376,60 @@ fn translate_leg(
             family: FailureFamily::TranslateCrash,
             detail: format!("{}→{}: {e}", m.version, tgt),
         }),
+    }
+}
+
+/// Runs the same leg through the compiled tier (when enabled and the
+/// translator lowers) and demands it agrees with the interpreter: the
+/// same ok/skip/fail verdict, and byte-identical output text on success.
+/// Every fuzzed mutant therefore exercises *both* execution tiers — the
+/// difftest doubles as the compile backend's equivalence oracle.
+fn check_tiers(
+    m: &Module,
+    tgt: IrVersion,
+    outcome: &SynthesisOutcome,
+    oracle: &'static str,
+    interpreted: &Result<Module, TranslateError>,
+) -> Option<Failure> {
+    if !siro_synth::compile_enabled() {
+        return None;
+    }
+    let compiled = outcome.compiled()?;
+    let divergence = |detail: String| {
+        Some(Failure {
+            oracle,
+            family: FailureFamily::TierDivergence,
+            detail,
+        })
+    };
+    match (compiled.translate_module(m), interpreted) {
+        (Ok(fast), Ok(slow)) => {
+            let (fast, slow) = (write::write_module(&fast), write::write_module(slow));
+            if fast == slow {
+                None
+            } else {
+                divergence(format!(
+                    "{}→{}: compiled and interpreted outputs differ ({} vs {} bytes)",
+                    m.version,
+                    tgt,
+                    fast.len(),
+                    slow.len()
+                ))
+            }
+        }
+        (Err(ce), Err(ie)) if skippable(&ce) == skippable(ie) => None,
+        (Ok(_), Err(e)) => divergence(format!(
+            "{}→{}: compiled tier succeeded where the interpreter failed ({e})",
+            m.version, tgt
+        )),
+        (Err(e), Ok(_)) => divergence(format!(
+            "{}→{}: compiled tier failed ({e}) where the interpreter succeeded",
+            m.version, tgt
+        )),
+        (Err(ce), Err(ie)) => divergence(format!(
+            "{}→{}: compiled tier error class differs: compiled `{ce}`, interpreted `{ie}`",
+            m.version, tgt
+        )),
     }
 }
 

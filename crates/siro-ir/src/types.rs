@@ -77,6 +77,26 @@ pub enum Type {
 pub struct TypeTable {
     types: Vec<Type>,
     lookup: HashMap<Type, TypeId>,
+    prims: PrimCache,
+}
+
+/// Memoized ids for the primitive types the builders request on almost
+/// every instruction (`void` for terminators, `i1` for compares, pointers
+/// for memory ops). Skips the hash probe in [`TypeTable::intern`] on the
+/// hot translate path; ids are append-only so a cached id never goes stale.
+#[derive(Debug, Clone, Copy, Default)]
+struct PrimCache {
+    void: Option<TypeId>,
+    i1: Option<TypeId>,
+    i8: Option<TypeId>,
+    i16: Option<TypeId>,
+    i32: Option<TypeId>,
+    i64: Option<TypeId>,
+    f32: Option<TypeId>,
+    f64: Option<TypeId>,
+    /// Most-recent `(pointee, ptr)` pair interned through [`TypeTable::ptr`]
+    /// in address space 0 — geps and allocas cluster around few pointees.
+    last_ptr: Option<(TypeId, TypeId)>,
 }
 
 impl TypeTable {
@@ -127,59 +147,116 @@ impl TypeTable {
 
     /// `void`
     pub fn void(&mut self) -> TypeId {
-        self.intern(Type::Void)
+        if let Some(id) = self.prims.void {
+            return id;
+        }
+        let id = self.intern(Type::Void);
+        self.prims.void = Some(id);
+        id
     }
 
     /// `i1`
     pub fn i1(&mut self) -> TypeId {
-        self.intern(Type::Int(1))
+        if let Some(id) = self.prims.i1 {
+            return id;
+        }
+        let id = self.intern(Type::Int(1));
+        self.prims.i1 = Some(id);
+        id
     }
 
     /// `i8`
     pub fn i8(&mut self) -> TypeId {
-        self.intern(Type::Int(8))
+        if let Some(id) = self.prims.i8 {
+            return id;
+        }
+        let id = self.intern(Type::Int(8));
+        self.prims.i8 = Some(id);
+        id
     }
 
     /// `i16`
     pub fn i16(&mut self) -> TypeId {
-        self.intern(Type::Int(16))
+        if let Some(id) = self.prims.i16 {
+            return id;
+        }
+        let id = self.intern(Type::Int(16));
+        self.prims.i16 = Some(id);
+        id
     }
 
     /// `i32`
     pub fn i32(&mut self) -> TypeId {
-        self.intern(Type::Int(32))
+        if let Some(id) = self.prims.i32 {
+            return id;
+        }
+        let id = self.intern(Type::Int(32));
+        self.prims.i32 = Some(id);
+        id
     }
 
     /// `i64`
     pub fn i64(&mut self) -> TypeId {
-        self.intern(Type::Int(64))
+        if let Some(id) = self.prims.i64 {
+            return id;
+        }
+        let id = self.intern(Type::Int(64));
+        self.prims.i64 = Some(id);
+        id
     }
 
     /// An integer of arbitrary width.
     pub fn int(&mut self, bits: u32) -> TypeId {
-        self.intern(Type::Int(bits))
+        match bits {
+            1 => self.i1(),
+            8 => self.i8(),
+            16 => self.i16(),
+            32 => self.i32(),
+            64 => self.i64(),
+            _ => self.intern(Type::Int(bits)),
+        }
     }
 
     /// `float`
     pub fn f32(&mut self) -> TypeId {
-        self.intern(Type::F32)
+        if let Some(id) = self.prims.f32 {
+            return id;
+        }
+        let id = self.intern(Type::F32);
+        self.prims.f32 = Some(id);
+        id
     }
 
     /// `double`
     pub fn f64(&mut self) -> TypeId {
-        self.intern(Type::F64)
+        if let Some(id) = self.prims.f64 {
+            return id;
+        }
+        let id = self.intern(Type::F64);
+        self.prims.f64 = Some(id);
+        id
     }
 
     /// A pointer to `pointee` in address space 0.
     pub fn ptr(&mut self, pointee: TypeId) -> TypeId {
-        self.intern(Type::Ptr {
+        if let Some((p, id)) = self.prims.last_ptr {
+            if p == pointee {
+                return id;
+            }
+        }
+        let id = self.intern(Type::Ptr {
             pointee,
             addr_space: 0,
-        })
+        });
+        self.prims.last_ptr = Some((pointee, id));
+        id
     }
 
     /// A pointer to `pointee` in the given address space.
     pub fn ptr_in(&mut self, pointee: TypeId, addr_space: u32) -> TypeId {
+        if addr_space == 0 {
+            return self.ptr(pointee);
+        }
         self.intern(Type::Ptr {
             pointee,
             addr_space,

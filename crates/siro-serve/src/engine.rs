@@ -141,11 +141,17 @@ impl Engine {
                 drop(sp);
                 let synth_nanos = t_synth.elapsed().as_nanos() as u64;
                 let sp = siro_trace::span!("serve.translate", "{source}->{target} synthesized");
+                // The request module is owned by this handler and not
+                // needed afterwards: hand it to the tiered owned path, so
+                // a compiled translator rewrites it in place (mirror
+                // driver) instead of rebuilding it — with transparent
+                // fallback to the compiled push driver and then the
+                // interpreter.
                 let r = match &acquired.outcome {
                     RouteOutcome::Direct(outcome) => {
-                        skeleton.translate_module(&module, &outcome.translator)
+                        siro_synth::translate_module_owned_tiered(outcome, target, module)
                     }
-                    RouteOutcome::Composed(chain) => chain.translate_module(&module),
+                    RouteOutcome::Composed(chain) => chain.translate_module_owned(module),
                 };
                 drop(sp);
                 (r, !acquired.fresh, synth_nanos)

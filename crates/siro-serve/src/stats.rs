@@ -249,6 +249,22 @@ pub fn render_stats(metrics: &Metrics, g: &ServeGauges) -> String {
     line("store_misses", store.misses);
     line("store_corrupt", store.corrupt);
     line("store_writes", store.writes);
+    let compile = siro_synth::compile_stats();
+    line("compile_enabled", u64::from(siro_synth::compile_enabled()));
+    line("compile_lowered", compile.lowered);
+    line("compile_lower_failures", compile.lower_failures);
+    line(
+        "compile_translations_compiled",
+        compile.translations_compiled,
+    );
+    line(
+        "compile_translations_interpreted",
+        compile.translations_interpreted,
+    );
+    line("compile_runtime_fallbacks", compile.runtime_fallbacks);
+    line("compile_sirx_loaded", compile.sirx_loaded);
+    line("compile_sirx_corrupt", compile.sirx_corrupt);
+    line("compile_sirx_writes", compile.sirx_writes);
     let router = siro_synth::router_stats();
     line("router_plans", router.plans);
     line("router_direct", router.direct);
@@ -341,6 +357,48 @@ pub fn render_metrics(metrics: &Metrics, g: &ServeGauges) -> String {
     sample("siro_store_misses_total", "counter", store.misses);
     sample("siro_store_corrupt_total", "counter", store.corrupt);
     sample("siro_store_writes_total", "counter", store.writes);
+    let compile = siro_synth::compile_stats();
+    sample(
+        "siro_compile_enabled",
+        "gauge",
+        u64::from(siro_synth::compile_enabled()),
+    );
+    sample("siro_compile_lowered_total", "counter", compile.lowered);
+    sample(
+        "siro_compile_lower_failures_total",
+        "counter",
+        compile.lower_failures,
+    );
+    sample(
+        "siro_compile_translations_compiled_total",
+        "counter",
+        compile.translations_compiled,
+    );
+    sample(
+        "siro_compile_translations_interpreted_total",
+        "counter",
+        compile.translations_interpreted,
+    );
+    sample(
+        "siro_compile_runtime_fallbacks_total",
+        "counter",
+        compile.runtime_fallbacks,
+    );
+    sample(
+        "siro_compile_sirx_loaded_total",
+        "counter",
+        compile.sirx_loaded,
+    );
+    sample(
+        "siro_compile_sirx_corrupt_total",
+        "counter",
+        compile.sirx_corrupt,
+    );
+    sample(
+        "siro_compile_sirx_writes_total",
+        "counter",
+        compile.sirx_writes,
+    );
     let router = siro_synth::router_stats();
     sample("siro_router_plans_total", "counter", router.plans);
     sample("siro_router_direct_total", "counter", router.direct);
@@ -473,6 +531,13 @@ mod tests {
         assert!(stats_value(&page, "router_plans").is_some());
         assert!(stats_value(&page, "router_composed").is_some());
         assert!(stats_value(&page, "router_fallbacks").is_some());
+        // The compiled-tier funnel: which tier served, and the `.sirx`
+        // persistence outcomes, are always observable.
+        assert!(stats_value(&page, "compile_enabled").is_some());
+        assert!(stats_value(&page, "compile_translations_compiled").is_some());
+        assert!(stats_value(&page, "compile_translations_interpreted").is_some());
+        assert!(stats_value(&page, "compile_runtime_fallbacks").is_some());
+        assert!(stats_value(&page, "compile_sirx_corrupt").is_some());
     }
 
     #[test]
@@ -488,6 +553,9 @@ mod tests {
         assert!(metrics_value(&page, "siro_accept_errors_total").is_some());
         assert!(metrics_value(&page, "siro_cache_shard0_hits_total").is_some());
         assert!(metrics_value(&page, "siro_trace_enabled").is_some());
+        assert!(metrics_value(&page, "siro_compile_enabled").is_some());
+        assert!(metrics_value(&page, "siro_compile_translations_compiled_total").is_some());
+        assert!(metrics_value(&page, "siro_compile_sirx_corrupt_total").is_some());
         // Every sample line is preceded by a `# TYPE` declaration. Parse
         // fallibly so a format tweak names the offending line instead of
         // panicking inside the iterator chain.

@@ -1,0 +1,3498 @@
+//! The AOT compilation tier: synthesized translators lowered to a flat,
+//! pre-resolved instruction stream.
+//!
+//! A [`crate::SynthesisOutcome`] carries its translator as *data*: per-kind
+//! arms of predicate-guarded [`siro_api::ApiProgram`]s, interpreted by
+//! re-resolving everything on every instruction — a full registry scan to
+//! enumerate the kind's predicate getters, per-predicate `String` keys into
+//! a fresh `BTreeMap` conjunction, arm selection by map equality, and a
+//! fresh argument `Vec` per program step. That is the right shape for
+//! synthesis (the searcher needs programs it can enumerate, merge, and
+//! render) but pure overhead once a translator is validated and served on
+//! the hot path.
+//!
+//! This module lowers a validated [`SynthesizedTranslator`] once, ahead of
+//! time, into a [`CompiledTranslator`]:
+//!
+//! * a **dense dispatch table** indexed by `opcode as usize` — no hash-map
+//!   probing; kinds the target version lacks dispatch straight to the
+//!   new-instruction lowerings, absent kinds straight to the error path;
+//! * **pre-resolved API references** — every program step and predicate
+//!   getter holds its direct [`siro_api::ApiId`] function index, resolved
+//!   at compile time;
+//! * **pre-bound operand slots** — each step's argument registers live in a
+//!   flat slice, executed against thread-local scratch buffers instead of
+//!   per-step allocations;
+//! * **pre-flattened guards** — each arm's covering conjunctions become
+//!   rows of bare [`PredValue`]s aligned with the kind's predicate order,
+//!   so arm selection is a slice comparison, not a `BTreeMap` walk. A kind
+//!   whose first arm carries the `true` guard skips predicate evaluation
+//!   entirely (the interpreter computes the conjunction and then ignores
+//!   it; predicate getters are pure source-side reads, so eliding them
+//!   cannot change the translated module).
+//!
+//! The split between [`TranslatorBackend::lower`] (whole translator → table)
+//! and [`TranslatorBackend::lower_kind`] (one kind → stream) mirrors
+//! wasmer's `ModuleCodeGenerator` / `FunctionCodeGenerator` pair: the
+//! module-level walk is generic, the per-unit codegen is the part a backend
+//! may specialize.
+//!
+//! **Fallback contract:** compilation is an optimization, never a
+//! requirement. Any lowering failure ([`CompileError`]), any `.sirx`
+//! load/validation failure, and any runtime error of the compiled tier
+//! falls back to the interpreter — observable through
+//! [`compile_stats`] and the `translate.compiled` /
+//! `translate.interpreted` / `translate.compiled_fallback` trace counters,
+//! never through a changed result. See `docs/COMPILED.md`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use siro_api::{
+    ApiCall, ApiError, ApiFn, ApiKind, ApiRegistry, ApiResult, ApiValue, PredConj, PredValue, Reg,
+    Side, TranslationCtx,
+};
+use siro_core::{newinst, InstTranslator, Skeleton, SynthesizedTranslator, TranslateResult};
+use siro_core::{KindTranslator, TranslateError};
+use siro_ir::{
+    AsmId, BlockId, FuncId, Function, Global, GlobalId, InlineAsm, InstAttrs, InstId, Instruction,
+    Module, Opcode, Type, TypeId, TypeTable, ValueRef,
+};
+
+use crate::driver::SynthesisOutcome;
+
+// ---- Enable gate -----------------------------------------------------------
+
+/// 0 = follow `SIRO_COMPILE`, 1 = forced on, 2 = forced off.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static ENV_DEFAULT: OnceLock<bool> = OnceLock::new();
+
+/// Whether the compiled tier is enabled for this process.
+///
+/// On by default; `SIRO_COMPILE=0` (or `off`/`false`) disables it, and
+/// [`set_compile_enabled`] overrides the environment either way.
+pub fn compile_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => *ENV_DEFAULT.get_or_init(|| {
+            !matches!(
+                std::env::var("SIRO_COMPILE").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            )
+        }),
+    }
+}
+
+/// Forces the compiled tier on or off, overriding `SIRO_COMPILE`. Returns
+/// the previous effective setting. Used by the serve CLI (`--no-compile`),
+/// benches, and tests.
+pub fn set_compile_enabled(on: bool) -> bool {
+    let before = compile_enabled();
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    before
+}
+
+// ---- Process-wide counters -------------------------------------------------
+
+static LOWERED: AtomicU64 = AtomicU64::new(0);
+static LOWER_FAILURES: AtomicU64 = AtomicU64::new(0);
+static TRANSLATE_COMPILED: AtomicU64 = AtomicU64::new(0);
+static TRANSLATE_INTERPRETED: AtomicU64 = AtomicU64::new(0);
+static RUNTIME_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static SIRX_LOADED: AtomicU64 = AtomicU64::new(0);
+static SIRX_CORRUPT: AtomicU64 = AtomicU64::new(0);
+static SIRX_WRITES: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time compiled-tier counters, exported on the serve daemon's
+/// `STATS`/`METRICS` pages next to the cache and store funnels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Translators lowered to the compiled form in this process.
+    pub lowered: u64,
+    /// Lowerings that failed (the outcome serves interpreted instead).
+    pub lower_failures: u64,
+    /// Module translations served by the compiled tier.
+    pub translations_compiled: u64,
+    /// Module translations served by the interpreter.
+    pub translations_interpreted: u64,
+    /// Compiled-tier runtime errors that re-ran on the interpreter.
+    pub runtime_fallbacks: u64,
+    /// Compiled entries (`.sirx`) adopted from the persistent store.
+    pub sirx_loaded: u64,
+    /// Compiled entries rejected as damaged/stale (load degraded to a
+    /// fresh lowering, or to the interpreter if that also failed).
+    pub sirx_corrupt: u64,
+    /// Compiled entries written back to the persistent store.
+    pub sirx_writes: u64,
+}
+
+/// Current compiled-tier counters.
+pub fn compile_stats() -> CompileStats {
+    CompileStats {
+        lowered: LOWERED.load(Ordering::Relaxed),
+        lower_failures: LOWER_FAILURES.load(Ordering::Relaxed),
+        translations_compiled: TRANSLATE_COMPILED.load(Ordering::Relaxed),
+        translations_interpreted: TRANSLATE_INTERPRETED.load(Ordering::Relaxed),
+        runtime_fallbacks: RUNTIME_FALLBACKS.load(Ordering::Relaxed),
+        sirx_loaded: SIRX_LOADED.load(Ordering::Relaxed),
+        sirx_corrupt: SIRX_CORRUPT.load(Ordering::Relaxed),
+        sirx_writes: SIRX_WRITES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the compiled-tier counters (benchmarks and tests).
+pub fn reset_compile_stats() {
+    for c in [
+        &LOWERED,
+        &LOWER_FAILURES,
+        &TRANSLATE_COMPILED,
+        &TRANSLATE_INTERPRETED,
+        &RUNTIME_FALLBACKS,
+        &SIRX_LOADED,
+        &SIRX_CORRUPT,
+        &SIRX_WRITES,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn note_sirx_loaded() {
+    SIRX_LOADED.fetch_add(1, Ordering::Relaxed);
+    siro_trace::counter("compile.sirx_loaded", 1);
+}
+
+pub(crate) fn note_sirx_corrupt() {
+    SIRX_CORRUPT.fetch_add(1, Ordering::Relaxed);
+    siro_trace::counter("compile.sirx_corrupt", 1);
+}
+
+pub(crate) fn note_sirx_write() {
+    SIRX_WRITES.fetch_add(1, Ordering::Relaxed);
+    siro_trace::counter("compile.sirx_writes", 1);
+}
+
+// ---- Compile errors --------------------------------------------------------
+
+/// Why a translator could not be lowered. Every variant degrades the
+/// outcome to the interpreted tier; none is ever fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// An arm's covering conjunction names a predicate set different from
+    /// the kind's predicate getters — the flat guard rows cannot be
+    /// aligned. (Synthesis never produces this; a hand-built or damaged
+    /// translator can.)
+    CoverMismatch {
+        /// The instruction kind.
+        kind: Opcode,
+        /// The predicate name that failed to align (or a summary).
+        detail: String,
+    },
+    /// A program is not well-typed against the registry, so its pre-bound
+    /// operand slots would be meaningless.
+    IllTyped {
+        /// The instruction kind.
+        kind: Opcode,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::CoverMismatch { kind, detail } => {
+                write!(f, "cannot align guards for `{kind}`: {detail}")
+            }
+            CompileError::IllTyped { kind } => {
+                write!(f, "program for `{kind}` is not well-typed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+// ---- Compiled form ---------------------------------------------------------
+
+/// One sub-kind predicate, pre-bound. The catalog's predicate getters are
+/// all infallible single-field reads on the source instruction; each gets a
+/// direct micro-op so the steady state evaluates a guard without touching
+/// the registry, cloning the instruction, or boxing a name. A predicate the
+/// binder does not recognize keeps its pre-resolved [`ApiFn`] handle
+/// (`Slow`) — slower, never wrong.
+#[derive(Debug, Clone)]
+pub(crate) enum PredOp {
+    IsUnconditional,
+    IsVoidReturn,
+    IsTailCall,
+    IsIndirectCall,
+    IsInbounds,
+    IsVolatile,
+    IsCleanup,
+    Slow(ApiFn),
+}
+
+/// A pre-resolved predicate getter: interned name (error paths,
+/// guard-row alignment, and `.sirx` serialization), micro-op.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledPred {
+    pub(crate) name: Arc<str>,
+    op: PredOp,
+}
+
+impl CompiledPred {
+    fn eval<E: ExecEnv>(
+        &self,
+        ctx: &mut E,
+        inst_id: InstId,
+        inst: &Instruction,
+    ) -> TranslateResult<PredValue> {
+        let b = match &self.op {
+            PredOp::IsUnconditional => inst.is_unconditional_branch(),
+            PredOp::IsVoidReturn => inst.is_void_return(),
+            PredOp::IsTailCall => inst.attrs.tail_call,
+            PredOp::IsIndirectCall => !matches!(
+                inst.callee(),
+                Some(ValueRef::Func(_) | ValueRef::InlineAsm(_))
+            ),
+            PredOp::IsInbounds => inst.attrs.inbounds,
+            PredOp::IsVolatile => inst.attrs.volatile,
+            PredOp::IsCleanup => inst.attrs.is_cleanup,
+            PredOp::Slow(f) => {
+                let out = ctx.api_call(f, &[ApiValue::SrcInst(inst_id)])?;
+                return out.as_pred().ok_or_else(|| {
+                    TranslateError::Api(ApiError::Type(format!("{} is not a predicate", self.name)))
+                });
+            }
+        };
+        Ok(PredValue::Bool(b))
+    }
+}
+
+/// A getter micro-op: the interpreter's getter closure specialized to a
+/// borrowed `&Instruction` — no instruction clone per call, immediates
+/// (operand indices) pre-bound at compile time. Each variant replicates the
+/// corresponding registry closure exactly, including its error strings, so
+/// the two tiers stay indistinguishable through results *and* failures.
+#[derive(Debug, Clone)]
+pub(crate) enum GetterOp {
+    Operand(u32),
+    OperandType(u32),
+    ResultType,
+    BlockOperand(u32),
+    Successor(u32),
+    IsUnconditional,
+    Condition,
+    IsVoidReturn,
+    ReturnValue,
+    DefaultDest,
+    Cases,
+    Address,
+    Destinations,
+    Callee,
+    CalledFunction,
+    Arguments,
+    CalleeType,
+    NormalDest,
+    UnwindDest,
+    FallthroughDest,
+    IndirectDests,
+    IsTailCall,
+    IsIndirectCall,
+    IntPredicateOf,
+    FloatPredicateOf,
+    Lhs,
+    Rhs,
+    AllocatedType,
+    PointerOperand(u32),
+    IsVolatile,
+    ValueOperand,
+    SourceElementType,
+    GepIndices,
+    IsInbounds,
+    OrderingOf,
+    RmwOperation,
+    IndexPath,
+    ShuffleMask,
+    Incoming,
+    IsCleanup,
+    Handlers,
+    Dest,
+}
+
+/// One pre-bound program step. Operand translators dispatch straight to
+/// their [`TranslationCtx`] method, getters to their [`GetterOp`], constants
+/// to a pre-evaluated literal, common builders to their [`BuildOp`];
+/// anything the binder does not recognize keeps a pre-resolved [`ApiFn`]
+/// and marshals arguments exactly like the interpreter.
+#[derive(Debug, Clone)]
+pub(crate) enum StepOp {
+    Lit(ApiValue),
+    TranslateValue(Reg),
+    TranslateBlock(Reg),
+    TranslateType(Reg),
+    TranslateValues(Reg),
+    TranslateBlocks(Reg),
+    TranslateCases(Reg),
+    TranslateIncoming(Reg),
+    Getter(GetterOp),
+    Build(BuildOp),
+    Call { f: ApiFn, args: Box<[Reg]> },
+}
+
+/// A builder micro-op: the registry's builder closure specialized to
+/// pre-bound argument registers. Executing one reads its arguments straight
+/// out of the step results — no per-call argument vector, no `ApiValue`
+/// clones (list arguments are *copied element-wise* into the operand vector
+/// instead of cloning the list and extending from it), no dynamic dispatch.
+/// Each variant replicates the corresponding `siro_api` builder closure
+/// exactly, including result-type inference and error strings.
+///
+/// Name-based binding is sound for builders because each builder name is
+/// registered once per registry (signatures differ across target versions,
+/// which the binder distinguishes by arity), and the opcode-parameterized
+/// families (`create_add`..`create_xor`, the casts) share one closure body
+/// parameterized only by the opcode the name itself spells.
+#[derive(Debug, Clone)]
+pub(crate) enum BuildOp {
+    Ret(Reg),
+    RetVoid,
+    Br(Reg),
+    CondBr(Reg, Reg, Reg),
+    Switch(Reg, Reg, Reg),
+    /// Pre-9.0 `create_call(callee, args)`: return type read off the callee.
+    CallImplicit {
+        callee: Reg,
+        args: ListArg,
+    },
+    /// 9.0+ `create_call(fnty, callee, args)`: explicit function type.
+    CallExplicit {
+        fnty: Reg,
+        callee: Reg,
+        args: ListArg,
+    },
+    Unreachable,
+    /// The 18 two-operand arithmetic/bitwise builders.
+    Bin {
+        op: Opcode,
+        a: Reg,
+        b: Reg,
+    },
+    FNeg(Reg),
+    Alloca(Reg),
+    /// 9.0+ `create_load(ty, ptr)`.
+    LoadExplicit {
+        ty: Reg,
+        ptr: Reg,
+    },
+    /// Pre-9.0 `create_load(ptr)`: pointee type read off the pointer.
+    LoadImplicit {
+        ptr: Reg,
+    },
+    Store {
+        v: Reg,
+        p: Reg,
+    },
+    /// 9.0+ `create_gep(src_ty, base, indices)`.
+    GepExplicit {
+        ty: Reg,
+        base: Reg,
+        idx: ListArg,
+    },
+    /// Pre-9.0 `create_gep(base, indices)`.
+    GepImplicit {
+        base: Reg,
+        idx: ListArg,
+    },
+    /// The 13 single-value cast builders (`create_trunc`..).
+    Cast {
+        op: Opcode,
+        v: Reg,
+        ty: Reg,
+    },
+    ICmp {
+        pred: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    FCmp {
+        pred: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Phi {
+        ty: Reg,
+        pairs: Reg,
+    },
+    Select {
+        c: Reg,
+        t: Reg,
+        f: Reg,
+    },
+    Freeze(Reg),
+}
+
+/// A builder's value-list argument. `Reg` reads an already-translated
+/// target list from a step register; `Fused` is the list-fusion peephole's
+/// form — the getter + `translate_values` + copy chain collapsed so source
+/// operands translate *directly into the final operand vector*, skipping
+/// two intermediate list allocations per instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ListArg {
+    Reg(Reg),
+    Fused(FusedList),
+}
+
+/// Which source list a fused builder argument reads off the instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FusedList {
+    /// `get_arguments` + `translate_values`: the call's argument operands.
+    CallArgs,
+    /// `get_indices` + `translate_values`: the GEP's index operands.
+    GepIndices,
+}
+
+/// One lowered arm: flattened guard rows plus the pre-bound program (and
+/// its symbolic form, kept for `.sirx` serialization).
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledArm {
+    /// Guard rows, one [`PredValue`] per predicate in the kind's predicate
+    /// order. Empty = the `true` guard (always matches).
+    pub(crate) covers: Box<[Box<[PredValue]>]>,
+    pub(crate) steps: Box<[StepOp]>,
+    /// The symbolic `(api, args)` steps the micro-ops were bound from —
+    /// what `.sirx` persists (micro-ops are a process-local encoding).
+    pub(crate) calls: Box<[ApiCall]>,
+    /// The arm's mirror-mode rewrite template, when the bound steps fall
+    /// inside the derivable fragment (see [`derive_tmpl`]); arms without
+    /// one run the step stream through [`MirrorEnv`] instead.
+    pub(crate) tmpl: Option<MirrorTmpl>,
+}
+
+impl CompiledArm {
+    fn matches(&self, evaluated: &[PredValue]) -> bool {
+        self.covers.is_empty() || self.covers.iter().any(|row| **row == *evaluated)
+    }
+}
+
+/// The compiled stream for one instruction kind.
+#[derive(Debug, Clone)]
+pub struct CompiledKind {
+    /// The kind's predicate getters, pre-resolved, in registry order (the
+    /// same order the interpreter evaluates them in).
+    pub(crate) preds: Box<[CompiledPred]>,
+    pub(crate) arms: Box<[CompiledArm]>,
+    /// When the first arm carries the `true` guard it wins regardless of
+    /// the conjunction, so predicate evaluation is elided entirely
+    /// (predicate getters are pure source-side reads — skipping them
+    /// cannot change results or errors).
+    pub(crate) skip_preds: bool,
+    /// Whether the in-place mirror driver may run this kind: every
+    /// reachable arm emits exactly one instruction as its final step, and
+    /// no reachable predicate or step needs a live registry call. Computed
+    /// at lower time; a `false` here makes [`CompiledTranslator::
+    /// translate_module_owned`] fall back to the push driver for the whole
+    /// module.
+    pub(crate) mirror_ok: bool,
+}
+
+/// Per-thread execution scratch: reused across instructions so the steady
+/// state allocates nothing per instruction.
+#[derive(Default)]
+struct Scratch {
+    evaluated: Vec<PredValue>,
+    results: Vec<ApiValue>,
+    args: Vec<ApiValue>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Binds one predicate getter to its micro-op by component name. Safe
+/// across kinds: every registry instance of a given predicate name has the
+/// same closure body (the per-kind registrations only differ in their
+/// parameter type), so the micro-op replicates whichever instance `f` is.
+fn bind_pred(f: &ApiFn) -> PredOp {
+    match f.name.as_str() {
+        "is_unconditional" => PredOp::IsUnconditional,
+        "is_void_return" => PredOp::IsVoidReturn,
+        "is_tail_call" => PredOp::IsTailCall,
+        "is_indirect_call" => PredOp::IsIndirectCall,
+        "is_inbounds" => PredOp::IsInbounds,
+        "is_volatile" => PredOp::IsVolatile,
+        "is_cleanup" => PredOp::IsCleanup,
+        _ => PredOp::Slow(f.clone()),
+    }
+}
+
+/// Binds one program step to its micro-op. Only applied to programs that
+/// already passed `well_typed`, which guarantees the invariants the
+/// micro-ops rely on: a getter's instruction argument is always
+/// `Reg::Input` (no component returns a source instruction), and a `u32`
+/// argument always comes from a constant provider (nothing else returns
+/// `u32`). Anything unrecognized falls back to a pre-resolved [`ApiFn`]
+/// call — identical to the interpreter, minus the registry lookup.
+fn bind_step(
+    reg: &ApiRegistry,
+    kind: Opcode,
+    call: &ApiCall,
+    lowered: &[StepOp],
+    dummy: &Module,
+) -> StepOp {
+    let f = reg.get(call.api);
+    let generic = || StepOp::Call {
+        f: f.clone(),
+        args: call.args.clone().into_boxed_slice(),
+    };
+    match f.kind {
+        // Constant providers are ctx-independent by contract; evaluate once
+        // against a throwaway context and store the literal.
+        ApiKind::Const if call.args.is_empty() => {
+            let mut dctx = TranslationCtx::new(dummy, reg.tgt_version);
+            match f.call(&mut dctx, &[]) {
+                Ok(v) => StepOp::Lit(v),
+                Err(_) => generic(),
+            }
+        }
+        ApiKind::OperandTranslator if call.args.len() == 1 => {
+            let r = call.args[0];
+            match f.name.as_str() {
+                "translate_value" => StepOp::TranslateValue(r),
+                "translate_block" => StepOp::TranslateBlock(r),
+                "translate_type" => StepOp::TranslateType(r),
+                "translate_values" => StepOp::TranslateValues(r),
+                "translate_blocks" => StepOp::TranslateBlocks(r),
+                "translate_cases" => StepOp::TranslateCases(r),
+                "translate_incoming" => StepOp::TranslateIncoming(r),
+                _ => generic(),
+            }
+        }
+        ApiKind::Getter if matches!(call.args.first(), Some(Reg::Input)) => {
+            // An index immediate must resolve to an already-lowered
+            // constant literal; otherwise the step stays generic.
+            let lit_u32 = |i: usize| match call.args.get(i) {
+                Some(Reg::Step(j)) => match lowered.get(*j) {
+                    Some(StepOp::Lit(ApiValue::U32(k))) => Some(*k),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let op = match (f.name.as_str(), call.args.len()) {
+                ("get_operand", 2) => lit_u32(1).map(GetterOp::Operand),
+                ("get_operand_type", 2) => lit_u32(1).map(GetterOp::OperandType),
+                ("get_result_type", 1) => Some(GetterOp::ResultType),
+                ("get_block_operand", 2) => lit_u32(1).map(GetterOp::BlockOperand),
+                ("get_successor", 2) => lit_u32(1).map(GetterOp::Successor),
+                ("is_unconditional", 1) => Some(GetterOp::IsUnconditional),
+                ("get_condition", 1) => Some(GetterOp::Condition),
+                ("is_void_return", 1) => Some(GetterOp::IsVoidReturn),
+                ("get_return_value", 1) => Some(GetterOp::ReturnValue),
+                ("get_default_dest", 1) => Some(GetterOp::DefaultDest),
+                ("get_cases", 1) => Some(GetterOp::Cases),
+                ("get_address", 1) => Some(GetterOp::Address),
+                ("get_destinations", 1) => Some(GetterOp::Destinations),
+                ("get_called_value" | "get_called_operand", 1) => Some(GetterOp::Callee),
+                ("get_called_function", 1) => Some(GetterOp::CalledFunction),
+                ("get_arguments", 1) => Some(GetterOp::Arguments),
+                ("get_callee_type", 1) => Some(GetterOp::CalleeType),
+                ("get_normal_dest", 1) => Some(GetterOp::NormalDest),
+                ("get_unwind_dest", 1) => Some(GetterOp::UnwindDest),
+                ("get_fallthrough_dest", 1) => Some(GetterOp::FallthroughDest),
+                ("get_indirect_dests", 1) => Some(GetterOp::IndirectDests),
+                ("is_tail_call", 1) => Some(GetterOp::IsTailCall),
+                ("is_indirect_call", 1) => Some(GetterOp::IsIndirectCall),
+                ("get_predicate", 1) => Some(GetterOp::IntPredicateOf),
+                ("get_float_predicate", 1) => Some(GetterOp::FloatPredicateOf),
+                ("get_lhs", 1) => Some(GetterOp::Lhs),
+                ("get_rhs", 1) => Some(GetterOp::Rhs),
+                ("get_allocated_type", 1) => Some(GetterOp::AllocatedType),
+                // The registered closure captures its operand index: 1 for
+                // stores, 0 for loads/GEPs/atomics. Well-typedness pins the
+                // component instance to this kind, so the kind decides.
+                ("get_pointer_operand", 1) => {
+                    Some(GetterOp::PointerOperand(u32::from(kind == Opcode::Store)))
+                }
+                ("is_volatile", 1) => Some(GetterOp::IsVolatile),
+                ("get_value_operand", 1) => Some(GetterOp::ValueOperand),
+                ("get_source_element_type", 1) => Some(GetterOp::SourceElementType),
+                ("get_indices", 1) => Some(GetterOp::GepIndices),
+                ("is_inbounds", 1) => Some(GetterOp::IsInbounds),
+                ("get_ordering", 1) => Some(GetterOp::OrderingOf),
+                ("get_rmw_operation", 1) => Some(GetterOp::RmwOperation),
+                ("get_index_path", 1) => Some(GetterOp::IndexPath),
+                ("get_shuffle_mask", 1) => Some(GetterOp::ShuffleMask),
+                ("get_incoming", 1) => Some(GetterOp::Incoming),
+                ("is_cleanup", 1) => Some(GetterOp::IsCleanup),
+                ("get_handlers", 1) => Some(GetterOp::Handlers),
+                ("get_dest", 1) => Some(GetterOp::Dest),
+                _ => None,
+            };
+            match op {
+                Some(g) => StepOp::Getter(g),
+                None => generic(),
+            }
+        }
+        ApiKind::Builder => match bind_build(f.name.as_str(), &call.args) {
+            Some(b) => StepOp::Build(b),
+            None => generic(),
+        },
+        _ => generic(),
+    }
+}
+
+/// Binds a builder call to its micro-op by name and arity (arity separates
+/// the pre/post-9.0 signatures of `create_call`/`create_load`/`create_gep`).
+/// Builders the micro-op catalog does not cover (invoke, atomics, vector
+/// and aggregate ops, exception handling) return `None` and stay on the
+/// generic pre-resolved [`ApiFn`] path.
+fn bind_build(name: &str, a: &[Reg]) -> Option<BuildOp> {
+    use BuildOp as B;
+    use Opcode::*;
+    Some(match (name, a.len()) {
+        ("create_ret", 1) => B::Ret(a[0]),
+        ("create_ret_void", 0) => B::RetVoid,
+        ("create_br", 1) => B::Br(a[0]),
+        ("create_cond_br", 3) => B::CondBr(a[0], a[1], a[2]),
+        ("create_switch", 3) => B::Switch(a[0], a[1], a[2]),
+        ("create_call", 2) => B::CallImplicit {
+            callee: a[0],
+            args: ListArg::Reg(a[1]),
+        },
+        ("create_call", 3) => B::CallExplicit {
+            fnty: a[0],
+            callee: a[1],
+            args: ListArg::Reg(a[2]),
+        },
+        ("create_unreachable", 0) => B::Unreachable,
+        ("create_fneg", 1) => B::FNeg(a[0]),
+        ("create_alloca", 1) => B::Alloca(a[0]),
+        ("create_load", 2) => B::LoadExplicit {
+            ty: a[0],
+            ptr: a[1],
+        },
+        ("create_load", 1) => B::LoadImplicit { ptr: a[0] },
+        ("create_store", 2) => B::Store { v: a[0], p: a[1] },
+        ("create_gep", 3) => B::GepExplicit {
+            ty: a[0],
+            base: a[1],
+            idx: ListArg::Reg(a[2]),
+        },
+        ("create_gep", 2) => B::GepImplicit {
+            base: a[0],
+            idx: ListArg::Reg(a[1]),
+        },
+        ("create_icmp", 3) => B::ICmp {
+            pred: a[0],
+            a: a[1],
+            b: a[2],
+        },
+        ("create_fcmp", 3) => B::FCmp {
+            pred: a[0],
+            a: a[1],
+            b: a[2],
+        },
+        ("create_phi", 2) => B::Phi {
+            ty: a[0],
+            pairs: a[1],
+        },
+        ("create_select", 3) => B::Select {
+            c: a[0],
+            t: a[1],
+            f: a[2],
+        },
+        ("create_freeze", 1) => B::Freeze(a[0]),
+        _ => {
+            let stem = name.strip_prefix("create_")?;
+            let op = Opcode::ALL.iter().copied().find(|o| o.name() == stem)?;
+            match (op, a.len()) {
+                (
+                    Add | FAdd | Sub | FSub | Mul | FMul | UDiv | SDiv | FDiv | URem | SRem | FRem
+                    | Shl | LShr | AShr | And | Or | Xor,
+                    2,
+                ) => B::Bin {
+                    op,
+                    a: a[0],
+                    b: a[1],
+                },
+                (
+                    Trunc | ZExt | SExt | FPTrunc | FPExt | FPToUI | FPToSI | UIToFP | SIToFP
+                    | PtrToInt | IntToPtr | BitCast | AddrSpaceCast,
+                    2,
+                ) => B::Cast {
+                    op,
+                    v: a[0],
+                    ty: a[1],
+                },
+                _ => return None,
+            }
+        }
+    })
+}
+
+/// Appends `r`'s register references (if any) to `out`.
+fn step_regs(step: &StepOp, out: &mut Vec<Reg>) {
+    match step {
+        StepOp::Lit(_) | StepOp::Getter(_) => {}
+        StepOp::TranslateValue(r)
+        | StepOp::TranslateBlock(r)
+        | StepOp::TranslateType(r)
+        | StepOp::TranslateValues(r)
+        | StepOp::TranslateBlocks(r)
+        | StepOp::TranslateCases(r)
+        | StepOp::TranslateIncoming(r) => out.push(*r),
+        StepOp::Call { args, .. } => out.extend(args.iter().copied()),
+        StepOp::Build(b) => {
+            use BuildOp as B;
+            let list = |l: &ListArg, out: &mut Vec<Reg>| {
+                if let ListArg::Reg(r) = l {
+                    out.push(*r);
+                }
+            };
+            match b {
+                B::RetVoid | B::Unreachable => {}
+                B::Ret(r) | B::Br(r) | B::FNeg(r) | B::Alloca(r) | B::Freeze(r) => out.push(*r),
+                B::CondBr(a, b, c) | B::Switch(a, b, c) => {
+                    out.extend([*a, *b]);
+                    out.push(*c);
+                }
+                B::CallImplicit { callee, args } => {
+                    out.push(*callee);
+                    list(args, out);
+                }
+                B::CallExplicit { fnty, callee, args } => {
+                    out.extend([*fnty, *callee]);
+                    list(args, out);
+                }
+                B::Bin { a, b, .. } | B::Cast { op: _, v: a, ty: b } | B::Store { v: a, p: b } => {
+                    out.extend([*a, *b])
+                }
+                B::LoadExplicit { ty: a, ptr: b } => out.extend([*a, *b]),
+                B::LoadImplicit { ptr } => out.push(*ptr),
+                B::GepExplicit { ty, base, idx } => {
+                    out.extend([*ty, *base]);
+                    list(idx, out);
+                }
+                B::GepImplicit { base, idx } => {
+                    out.push(*base);
+                    list(idx, out);
+                }
+                B::ICmp { pred, a, b } | B::FCmp { pred, a, b } => out.extend([*pred, *a, *b]),
+                B::Phi { ty, pairs } => out.extend([*ty, *pairs]),
+                B::Select { c, t, f } => out.extend([*c, *t, *f]),
+            }
+        }
+    }
+}
+
+/// The list-fusion peephole. When the arm ends in a builder whose list
+/// argument is produced by a `Getter(Arguments|GepIndices)` +
+/// `translate_values` pair used nowhere else, the pair is collapsed into
+/// the builder ([`ListArg::Fused`]) and its steps become inert literals
+/// (registers keep their indices).
+///
+/// Soundness: the getter is a pure, infallible source read, so executing it
+/// at build time is unobservable. Moving the `translate_values` later is
+/// safe only if no step between it and the builder translates or interns —
+/// `translate_value` creates target globals/types on demand, so reordering
+/// across another translating step could renumber them. The peephole
+/// therefore requires every intervening step to be a literal or a
+/// non-interning getter. Within the builder, fused translation runs
+/// *before* result-type inference (`callee_fn_type` / `gep_result`),
+/// preserving both error precedence and target-table interning order.
+fn fuse_lists(steps: &mut [StepOp]) {
+    let Some(bi) = steps.len().checked_sub(1) else {
+        return;
+    };
+    let (j, fused) = match &steps[bi] {
+        StepOp::Build(
+            BuildOp::CallImplicit {
+                args: ListArg::Reg(Reg::Step(j)),
+                ..
+            }
+            | BuildOp::CallExplicit {
+                args: ListArg::Reg(Reg::Step(j)),
+                ..
+            },
+        ) => (*j, FusedList::CallArgs),
+        StepOp::Build(
+            BuildOp::GepExplicit {
+                idx: ListArg::Reg(Reg::Step(j)),
+                ..
+            }
+            | BuildOp::GepImplicit {
+                idx: ListArg::Reg(Reg::Step(j)),
+                ..
+            },
+        ) => (*j, FusedList::GepIndices),
+        _ => return,
+    };
+    let i = match steps.get(j) {
+        Some(StepOp::TranslateValues(Reg::Step(i))) => *i,
+        _ => return,
+    };
+    let getter_ok = matches!(
+        (steps.get(i), fused),
+        (
+            Some(StepOp::Getter(GetterOp::Arguments)),
+            FusedList::CallArgs
+        ) | (
+            Some(StepOp::Getter(GetterOp::GepIndices)),
+            FusedList::GepIndices
+        )
+    );
+    if !getter_ok {
+        return;
+    }
+    // Both intermediate registers must be consumed exactly once (by the
+    // chain itself).
+    let mut refs = Vec::new();
+    for s in steps.iter() {
+        step_regs(s, &mut refs);
+    }
+    let uses = |k: usize| {
+        refs.iter()
+            .filter(|r| matches!(r, Reg::Step(s) if *s == k))
+            .count()
+    };
+    if uses(i) != 1 || uses(j) != 1 {
+        return;
+    }
+    // No translating/interning step may sit between the translate and the
+    // builder.
+    let pure = steps[j + 1..bi].iter().all(|s| {
+        matches!(s, StepOp::Lit(_))
+            || matches!(s, StepOp::Getter(g) if !matches!(g, GetterOp::CalleeType))
+    });
+    if !pure {
+        return;
+    }
+    steps[i] = StepOp::Lit(ApiValue::Bool(false));
+    steps[j] = StepOp::Lit(ApiValue::Bool(false));
+    if let StepOp::Build(b) = &mut steps[bi] {
+        match b {
+            BuildOp::CallImplicit { args, .. } | BuildOp::CallExplicit { args, .. } => {
+                *args = ListArg::Fused(fused);
+            }
+            BuildOp::GepExplicit { idx, .. } | BuildOp::GepImplicit { idx, .. } => {
+                *idx = ListArg::Fused(fused);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---- Mirror rewrite templates ----------------------------------------------
+//
+// The mirror driver's fast form. In mirror mode every value, block, and
+// type translation is identity, which collapses most compiled arms into a
+// direct "rewrite the instruction" recipe: fetch these operands, run these
+// checks, emit this instruction shape. The recipe — a [`MirrorTmpl`] — is
+// derived once at lower time by symbolically executing the arm's bound
+// steps under the mirror-mode semantics, so executing it skips the step
+// machine (no `ApiValue` traffic, no scratch registers) entirely.
+//
+// Soundness splits into two one-sided obligations:
+//
+// * **Success path**: a template only exists when the symbolic walk proved
+//   every register feeding the final builder, and its runtime replicates
+//   the builder's exact result construction — so when all checks pass, the
+//   emitted instruction is byte-identical to the stream's by construction.
+// * **Failure path**: the template never produces an error of its own; any
+//   failed check returns `None`, the mirror pass aborts with the module
+//   pristine, and the push driver re-runs from scratch — reproducing the
+//   stream tier's exact error (or result). Bailing is therefore always
+//   sound, merely slow; the derivation only has to be *conservative*,
+//   never complete.
+//
+// The one derivation invariant beyond register matching: every fallible
+// step (getters, translates) must feed the final builder. A checked-but-
+// unused step could fail in the stream where the template — which only
+// runs checks for the values it uses — would succeed; such arms keep the
+// stream path.
+
+/// How a template fetches one already-translated (identity) value off the
+/// source instruction, with the same checks its getter + `translate_value`
+/// chain performs. Any failure is a bail, not an error.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TmplVal {
+    /// `Getter(Operand(i))`: bounds-checked, rejects block labels.
+    Operand(u32),
+    /// `Getter(PointerOperand(i))`: bounds-checked only.
+    PointerOperand(u32),
+    /// Fixed-index getters (`Lhs`, `Rhs`, `ValueOperand`) that index
+    /// unchecked in the stream (a miss panics there); the template bails
+    /// instead and lets the push-driver fallback reproduce the panic.
+    OperandUnchecked(u32),
+    /// `Getter(ReturnValue)`: first operand, required.
+    ReturnValue,
+    /// `Getter(Callee)`: the call's callee, required.
+    Callee,
+    /// `Getter(Condition)`: first operand, rejected on unconditional
+    /// branches.
+    Condition,
+}
+
+/// How a template fetches a block reference (identity-translated).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TmplBlock {
+    /// `Getter(Successor(i))`: bounds-checked successor.
+    Successor(u32),
+}
+
+/// A derived rewrite recipe for one arm under mirror-mode semantics: which
+/// operands to fetch and which instruction shape to emit. Mirrors the
+/// corresponding [`BuildOp`] runtime exactly on success; bails to the
+/// whole-module fallback on any failed check.
+#[derive(Debug, Clone)]
+pub(crate) enum MirrorTmpl {
+    Ret(TmplVal),
+    RetVoid,
+    Br(TmplBlock),
+    CondBr(TmplVal, TmplBlock, TmplBlock),
+    Unreachable,
+    Bin {
+        op: Opcode,
+        a: TmplVal,
+        b: TmplVal,
+    },
+    /// Cast whose target type register carried `translate_type(result
+    /// type)` — identity in mirror mode, so the new type *is* `inst.ty`.
+    Cast {
+        op: Opcode,
+        v: TmplVal,
+    },
+    LoadImplicit {
+        ptr: TmplVal,
+    },
+    /// Explicit load whose type register carried the (identity-translated)
+    /// result type.
+    LoadExplicit {
+        ptr: TmplVal,
+    },
+    Store {
+        v: TmplVal,
+        p: TmplVal,
+    },
+    /// Implicit call with the fused argument list (arguments translate —
+    /// identity — straight into the operand vector).
+    CallImplicit {
+        callee: TmplVal,
+    },
+    /// Implicit GEP with the fused index list.
+    GepImplicit {
+        base: TmplVal,
+    },
+    ICmp {
+        a: TmplVal,
+        b: TmplVal,
+    },
+    FCmp {
+        a: TmplVal,
+        b: TmplVal,
+    },
+    Select {
+        c: TmplVal,
+        t: TmplVal,
+        f: TmplVal,
+    },
+    FNeg(TmplVal),
+    Freeze(TmplVal),
+}
+
+/// The symbolic value of one step register under mirror-mode execution.
+#[derive(Debug, Clone, Copy)]
+enum Sym {
+    /// A literal (constant provider or fusion placeholder): inert, cannot
+    /// fail, allowed to go unused.
+    Lit,
+    /// `SrcValue` fetched per the recipe.
+    SrcVal(TmplVal),
+    /// The above after identity `translate_value`.
+    TgtVal(TmplVal),
+    /// `SrcType(inst.ty)` from `Getter(ResultType)`.
+    SrcResultTy,
+    /// The above after identity `translate_type`.
+    TgtResultTy,
+    /// `SrcBlock` fetched per the recipe.
+    SrcBlock(TmplBlock),
+    /// The above after identity `translate_block`.
+    TgtBlock(TmplBlock),
+    /// `Getter(IntPredicateOf)` / `Getter(FloatPredicateOf)`.
+    IntPred,
+    FloatPred,
+}
+
+/// Symbolically executes one bound arm under mirror-mode semantics and
+/// derives its rewrite template, or `None` when any step or builder
+/// argument falls outside the modeled fragment (the arm then keeps the
+/// stream path, which handles everything).
+fn derive_tmpl(steps: &[StepOp]) -> Option<MirrorTmpl> {
+    let n = steps.len();
+    let build = match steps.last() {
+        Some(StepOp::Build(b)) => b,
+        _ => return None,
+    };
+    // Symbolic pass over everything but the final builder.
+    let mut syms: Vec<Sym> = Vec::with_capacity(n - 1);
+    for step in &steps[..n - 1] {
+        let resolve = |r: &Reg| match r {
+            Reg::Step(j) => syms.get(*j).copied(),
+            Reg::Input => None,
+        };
+        let sym = match step {
+            StepOp::Lit(_) => Sym::Lit,
+            StepOp::Getter(g) => match g {
+                GetterOp::Operand(i) => Sym::SrcVal(TmplVal::Operand(*i)),
+                GetterOp::PointerOperand(i) => Sym::SrcVal(TmplVal::PointerOperand(*i)),
+                GetterOp::ValueOperand => Sym::SrcVal(TmplVal::OperandUnchecked(0)),
+                GetterOp::Lhs => Sym::SrcVal(TmplVal::OperandUnchecked(0)),
+                GetterOp::Rhs => Sym::SrcVal(TmplVal::OperandUnchecked(1)),
+                GetterOp::ReturnValue => Sym::SrcVal(TmplVal::ReturnValue),
+                GetterOp::Callee => Sym::SrcVal(TmplVal::Callee),
+                GetterOp::Condition => Sym::SrcVal(TmplVal::Condition),
+                GetterOp::ResultType => Sym::SrcResultTy,
+                GetterOp::Successor(i) => Sym::SrcBlock(TmplBlock::Successor(*i)),
+                GetterOp::IntPredicateOf => Sym::IntPred,
+                GetterOp::FloatPredicateOf => Sym::FloatPred,
+                _ => return None,
+            },
+            StepOp::TranslateValue(r) => match resolve(r)? {
+                Sym::SrcVal(v) => Sym::TgtVal(v),
+                _ => return None,
+            },
+            StepOp::TranslateBlock(r) => match resolve(r)? {
+                Sym::SrcBlock(b) => Sym::TgtBlock(b),
+                _ => return None,
+            },
+            StepOp::TranslateType(r) => match resolve(r)? {
+                Sym::SrcResultTy => Sym::TgtResultTy,
+                _ => return None,
+            },
+            _ => return None,
+        };
+        syms.push(sym);
+    }
+    // Fallible-step consumption: every non-literal step must (transitively)
+    // feed the builder, or its runtime checks would be skipped.
+    let mut used = vec![false; n - 1];
+    let mut regs = Vec::new();
+    step_regs(&steps[n - 1], &mut regs);
+    for r in &regs {
+        if let Reg::Step(j) = r {
+            used[*j] = true;
+        }
+    }
+    for i in (0..n - 1).rev() {
+        if !used[i] {
+            continue;
+        }
+        regs.clear();
+        step_regs(&steps[i], &mut regs);
+        for r in &regs {
+            if let Reg::Step(j) = r {
+                used[*j] = true;
+            }
+        }
+    }
+    if used
+        .iter()
+        .zip(&syms)
+        .any(|(&u, s)| !u && !matches!(s, Sym::Lit))
+    {
+        return None;
+    }
+
+    // Match the builder's argument registers against the symbolic state.
+    let val = |r: &Reg| match r {
+        Reg::Step(j) => match syms.get(*j)? {
+            Sym::TgtVal(v) => Some(*v),
+            _ => None,
+        },
+        Reg::Input => None,
+    };
+    let blk = |r: &Reg| match r {
+        Reg::Step(j) => match syms.get(*j)? {
+            Sym::TgtBlock(b) => Some(*b),
+            _ => None,
+        },
+        Reg::Input => None,
+    };
+    let result_ty =
+        |r: &Reg| matches!(r, Reg::Step(j) if matches!(syms.get(*j), Some(Sym::TgtResultTy)));
+    let pred_is = |r: &Reg, want_int: bool| {
+        matches!(r, Reg::Step(j) if match syms.get(*j) {
+            Some(Sym::IntPred) => want_int,
+            Some(Sym::FloatPred) => !want_int,
+            _ => false,
+        })
+    };
+    use BuildOp as B;
+    use MirrorTmpl as T;
+    Some(match build {
+        B::Ret(r) => T::Ret(val(r)?),
+        B::RetVoid => T::RetVoid,
+        B::Br(r) => T::Br(blk(r)?),
+        B::CondBr(c, t, f) => T::CondBr(val(c)?, blk(t)?, blk(f)?),
+        B::Unreachable => T::Unreachable,
+        B::Bin { op, a, b } => T::Bin {
+            op: *op,
+            a: val(a)?,
+            b: val(b)?,
+        },
+        B::Cast { op, v, ty } if result_ty(ty) => T::Cast {
+            op: *op,
+            v: val(v)?,
+        },
+        B::LoadImplicit { ptr } => T::LoadImplicit { ptr: val(ptr)? },
+        B::LoadExplicit { ty, ptr } if result_ty(ty) => T::LoadExplicit { ptr: val(ptr)? },
+        B::Store { v, p } => T::Store {
+            v: val(v)?,
+            p: val(p)?,
+        },
+        B::CallImplicit {
+            callee,
+            args: ListArg::Fused(FusedList::CallArgs),
+        } => T::CallImplicit {
+            callee: val(callee)?,
+        },
+        B::GepImplicit {
+            base,
+            idx: ListArg::Fused(FusedList::GepIndices),
+        } => T::GepImplicit { base: val(base)? },
+        B::ICmp { pred, a, b } if pred_is(pred, true) => T::ICmp {
+            a: val(a)?,
+            b: val(b)?,
+        },
+        B::FCmp { pred, a, b } if pred_is(pred, false) => T::FCmp {
+            a: val(a)?,
+            b: val(b)?,
+        },
+        B::Select { c, t, f } => T::Select {
+            c: val(c)?,
+            t: val(t)?,
+            f: val(f)?,
+        },
+        B::FNeg(r) => T::FNeg(val(r)?),
+        B::Freeze(r) => T::Freeze(val(r)?),
+        _ => return None,
+    })
+}
+
+// ---- Execution environments ------------------------------------------------
+
+/// What the micro-op executor needs from its surroundings: value/block/type
+/// translation, side-table queries, and instruction emission. Two
+/// monomorphized implementations share every `exec_*` body below —
+/// [`TranslationCtx`] (the push mode: translate into a fresh target module)
+/// and [`MirrorEnv`] (the in-place mode: the source module *is* the target
+/// module, translation is identity, and the single built instruction is
+/// captured for a buffered overwrite). Keeping one copy of the getter /
+/// builder / step arms is what makes the two modes byte-identical by
+/// construction.
+pub(crate) trait ExecEnv {
+    fn translate_value(&mut self, v: ValueRef) -> ApiResult<ValueRef>;
+    fn translate_block(&mut self, b: BlockId) -> ApiResult<BlockId>;
+    fn translate_type(&mut self, t: TypeId) -> TypeId;
+    fn src_value_type(&self, v: ValueRef) -> Option<TypeId>;
+    fn src_func(&self, f: FuncId) -> &Function;
+    fn src_asm_ty(&self, a: AsmId) -> TypeId;
+    fn src_types(&self) -> &TypeTable;
+    fn src_types_mut(&mut self) -> &mut TypeTable;
+    fn tgt_value_type(&self, v: ValueRef) -> Option<TypeId>;
+    fn tgt_types(&self) -> &TypeTable;
+    fn tgt_types_mut(&mut self) -> &mut TypeTable;
+    fn tgt_global_ty(&self, g: GlobalId) -> TypeId;
+    fn tgt_func_ret(&self, f: FuncId) -> TypeId;
+    fn tgt_asm_ty(&self, a: AsmId) -> TypeId;
+    fn build(&mut self, inst: Instruction) -> ApiResult<ValueRef>;
+    /// Calls a pre-resolved registry function (`PredOp::Slow`,
+    /// `StepOp::Call`). Only the push mode supports this; the mirror
+    /// driver refuses kinds that need it at lower time.
+    fn api_call(&mut self, f: &ApiFn, args: &[ApiValue]) -> ApiResult<ApiValue>;
+}
+
+impl ExecEnv for TranslationCtx<'_> {
+    fn translate_value(&mut self, v: ValueRef) -> ApiResult<ValueRef> {
+        TranslationCtx::translate_value(self, v)
+    }
+    fn translate_block(&mut self, b: BlockId) -> ApiResult<BlockId> {
+        TranslationCtx::translate_block(self, b)
+    }
+    fn translate_type(&mut self, t: TypeId) -> TypeId {
+        TranslationCtx::translate_type(self, t)
+    }
+    fn src_value_type(&self, v: ValueRef) -> Option<TypeId> {
+        TranslationCtx::src_value_type(self, v)
+    }
+    fn src_func(&self, f: FuncId) -> &Function {
+        self.src.func(f)
+    }
+    fn src_asm_ty(&self, a: AsmId) -> TypeId {
+        self.src.asm(a).ty
+    }
+    fn src_types(&self) -> &TypeTable {
+        &self.src_types
+    }
+    fn src_types_mut(&mut self) -> &mut TypeTable {
+        &mut self.src_types
+    }
+    fn tgt_value_type(&self, v: ValueRef) -> Option<TypeId> {
+        TranslationCtx::tgt_value_type(self, v)
+    }
+    fn tgt_types(&self) -> &TypeTable {
+        &self.tgt.types
+    }
+    fn tgt_types_mut(&mut self) -> &mut TypeTable {
+        &mut self.tgt.types
+    }
+    fn tgt_global_ty(&self, g: GlobalId) -> TypeId {
+        self.tgt.global(g).ty
+    }
+    fn tgt_func_ret(&self, f: FuncId) -> TypeId {
+        self.tgt.func(f).ret_ty
+    }
+    fn tgt_asm_ty(&self, a: AsmId) -> TypeId {
+        self.tgt.asm(a).ty
+    }
+    fn build(&mut self, inst: Instruction) -> ApiResult<ValueRef> {
+        TranslationCtx::build(self, inst)
+    }
+    fn api_call(&mut self, f: &ApiFn, args: &[ApiValue]) -> ApiResult<ApiValue> {
+        f.call(self, args)
+    }
+}
+
+/// The in-place execution environment: the owned request module plays both
+/// sides. Value, block, and type translation are identity (ids are
+/// preserved because nothing is re-created), side-table queries read the
+/// module itself, and [`ExecEnv::build`] captures the one rewritten
+/// instruction instead of appending — the mirror driver overwrites the
+/// source slot with it after the whole module has translated cleanly.
+///
+/// Type interning (`get_callee_type`, GEP/cmp result types) appends to the
+/// module's own table; that is invisible in written output because the
+/// writer prints types structurally and never numbers them, and harmless on
+/// abort because unreferenced table entries never print.
+struct MirrorEnv<'m> {
+    /// Function arena, read-only during the mirror pass (rewrites are
+    /// buffered) — which is what lets the current instruction stay
+    /// *borrowed* while this env holds the type table mutably: disjoint
+    /// fields of the same destructured module, no per-instruction clone.
+    funcs: &'m [Function],
+    globals: &'m [Global],
+    asms: &'m [InlineAsm],
+    /// The one mutable piece: shared source/target table, interned into by
+    /// `get_callee_type` and result-type inference.
+    types: &'m mut TypeTable,
+    /// The function being mirrored (element of `funcs`).
+    func: &'m Function,
+    cur: InstId,
+    out: Option<Instruction>,
+}
+
+impl ExecEnv for MirrorEnv<'_> {
+    fn translate_value(&mut self, v: ValueRef) -> ApiResult<ValueRef> {
+        match v {
+            ValueRef::Placeholder(_) => {
+                Err(ApiError::Type("cannot translate a placeholder".into()))
+            }
+            v => Ok(v),
+        }
+    }
+    fn translate_block(&mut self, b: BlockId) -> ApiResult<BlockId> {
+        Ok(b)
+    }
+    fn translate_type(&mut self, t: TypeId) -> TypeId {
+        t
+    }
+    fn src_value_type(&self, v: ValueRef) -> Option<TypeId> {
+        // `Module::value_type` + the ctx's global case, against the
+        // current function.
+        match v {
+            ValueRef::Global(g) => Some(self.globals[g.0 as usize].ty),
+            ValueRef::Inst(i) => Some(self.func.inst(i).ty),
+            ValueRef::Arg(a) => self.func.params.get(a as usize).map(|p| p.ty),
+            ValueRef::ConstInt { ty, .. }
+            | ValueRef::ConstFloat { ty, .. }
+            | ValueRef::Null(ty)
+            | ValueRef::Undef(ty)
+            | ValueRef::ZeroInit(ty) => Some(ty),
+            _ => None,
+        }
+    }
+    fn src_func(&self, f: FuncId) -> &Function {
+        &self.funcs[f.0 as usize]
+    }
+    fn src_asm_ty(&self, a: AsmId) -> TypeId {
+        self.asms[a.0 as usize].ty
+    }
+    fn src_types(&self) -> &TypeTable {
+        self.types
+    }
+    fn src_types_mut(&mut self) -> &mut TypeTable {
+        self.types
+    }
+    fn tgt_value_type(&self, v: ValueRef) -> Option<TypeId> {
+        // Source and target are the same module; instructions not yet
+        // rewritten still carry the right type (result types are semantic,
+        // version differences live in operands/attrs).
+        ExecEnv::src_value_type(self, v)
+    }
+    fn tgt_types(&self) -> &TypeTable {
+        self.types
+    }
+    fn tgt_types_mut(&mut self) -> &mut TypeTable {
+        self.types
+    }
+    fn tgt_global_ty(&self, g: GlobalId) -> TypeId {
+        self.globals[g.0 as usize].ty
+    }
+    fn tgt_func_ret(&self, f: FuncId) -> TypeId {
+        self.funcs[f.0 as usize].ret_ty
+    }
+    fn tgt_asm_ty(&self, a: AsmId) -> TypeId {
+        self.asms[a.0 as usize].ty
+    }
+    fn build(&mut self, inst: Instruction) -> ApiResult<ValueRef> {
+        debug_assert!(self.out.is_none(), "mirror arm built twice");
+        self.out = Some(inst);
+        Ok(ValueRef::Inst(self.cur))
+    }
+    fn api_call(&mut self, _f: &ApiFn, _args: &[ApiValue]) -> ApiResult<ApiValue> {
+        Err(ApiError::Missing(
+            "mirror driver cannot call registry functions".into(),
+        ))
+    }
+}
+
+// ---- Mirror template runtime ----------------------------------------------
+//
+// Executes a derived [`MirrorTmpl`] against the borrowed instruction: the
+// same checks and the same result construction as the arm's stream form
+// under mirror semantics, minus the step machine. `None` anywhere means
+// "bail": the mirror pass aborts and the push driver reproduces the exact
+// stream-tier outcome on the pristine module.
+//
+// The runtime is phrased as free functions over the module's destructured
+// pieces (not [`MirrorEnv`] methods) so the commit pass can call it while
+// holding the function arena mutably.
+
+/// Fetches one recipe value with its chain's checks (bounds, block
+/// rejection, placeholder rejection).
+#[inline]
+fn tmpl_val(inst: &Instruction, v: TmplVal) -> Option<ValueRef> {
+    let r = match v {
+        TmplVal::Operand(i) => {
+            let v = *inst.operands.get(i as usize)?;
+            if v.is_block() {
+                return None;
+            }
+            v
+        }
+        TmplVal::PointerOperand(i) | TmplVal::OperandUnchecked(i) => {
+            *inst.operands.get(i as usize)?
+        }
+        TmplVal::ReturnValue => *inst.operands.first()?,
+        TmplVal::Callee => inst.callee()?,
+        TmplVal::Condition => {
+            if inst.is_unconditional_branch() {
+                return None;
+            }
+            *inst.operands.first()?
+        }
+    };
+    match r {
+        ValueRef::Placeholder(_) => None,
+        r => Some(r),
+    }
+}
+
+/// `b_want_type` under mirror semantics, as an `Option` (`None` bails).
+#[inline]
+fn tmpl_want_ty(func: &Function, v: ValueRef) -> Option<TypeId> {
+    match v {
+        ValueRef::Inst(i) => Some(func.inst(i).ty),
+        ValueRef::Arg(a) => func.params.get(a as usize).map(|p| p.ty),
+        ValueRef::ConstInt { ty, .. }
+        | ValueRef::ConstFloat { ty, .. }
+        | ValueRef::Null(ty)
+        | ValueRef::Undef(ty)
+        | ValueRef::ZeroInit(ty) => Some(ty),
+        // `Global`/`Func` are rejected by `b_want_type` itself ("address
+        // value needs explicit type"); the rest have no table type.
+        _ => None,
+    }
+}
+
+/// `b_fn_ret` as an `Option`.
+#[inline]
+fn tmpl_fn_ret(types: &TypeTable, ty: TypeId) -> Option<TypeId> {
+    match types.get(ty) {
+        Type::Func { ret, .. } => Some(*ret),
+        _ => None,
+    }
+}
+
+/// `b_callee_ret` under mirror semantics.
+fn tmpl_callee_ret(
+    funcs: &[Function],
+    globals: &[Global],
+    asms: &[InlineAsm],
+    types: &TypeTable,
+    func: &Function,
+    callee: ValueRef,
+) -> Option<TypeId> {
+    match callee {
+        ValueRef::Func(f) => Some(funcs[f.0 as usize].ret_ty),
+        ValueRef::InlineAsm(a) => tmpl_fn_ret(types, asms[a.0 as usize].ty),
+        other => {
+            // The untyped-callee lookup goes through `tgt_value_type`,
+            // which *does* resolve globals.
+            let ty = match other {
+                ValueRef::Global(g) => globals[g.0 as usize].ty,
+                v => tmpl_want_ty(func, v)?,
+            };
+            match types.get(ty) {
+                Type::Ptr { pointee, .. } => tmpl_fn_ret(types, *pointee),
+                Type::Func { .. } => tmpl_fn_ret(types, ty),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// `b_cmp_result_ty` under mirror semantics.
+fn tmpl_cmp_ty(types: &mut TypeTable, func: &Function, a: ValueRef, b: ValueRef) -> Option<TypeId> {
+    let ty = tmpl_want_ty(func, a).or_else(|| tmpl_want_ty(func, b))?;
+    let vec_len = match types.get(ty) {
+        Type::Vector { len, .. } => Some(*len),
+        _ => None,
+    };
+    Some(match vec_len {
+        Some(len) => {
+            let i1 = types.i1();
+            types.vector(i1, len)
+        }
+        None => types.i1(),
+    })
+}
+
+/// Runs one rewrite template, producing the replacement instruction's
+/// parts: opcode, result type, attributes, and the operand vector (written
+/// into the reusable `ops` buffer). `None` anywhere bails the mirror pass.
+#[allow(clippy::too_many_arguments)] // one template, one module cross-section
+fn tmpl_parts(
+    t: &MirrorTmpl,
+    inst: &Instruction,
+    func: &Function,
+    funcs: &[Function],
+    globals: &[Global],
+    asms: &[InlineAsm],
+    types: &mut TypeTable,
+    ops: &mut Vec<ValueRef>,
+) -> Option<(Opcode, TypeId, InstAttrs)> {
+    use MirrorTmpl as T;
+    ops.clear();
+    let mut attrs = InstAttrs::default();
+    let (op, ty) = match t {
+        T::Ret(r) => {
+            ops.push(tmpl_val(inst, *r)?);
+            (Opcode::Ret, types.void())
+        }
+        T::RetVoid => (Opcode::Ret, types.void()),
+        T::Br(TmplBlock::Successor(i)) => {
+            let bl = *inst.successors().get(*i as usize)?;
+            ops.push(ValueRef::Block(bl));
+            (Opcode::Br, types.void())
+        }
+        T::CondBr(c, TmplBlock::Successor(ti), TmplBlock::Successor(fi)) => {
+            let c = tmpl_val(inst, *c)?;
+            let succs = inst.successors();
+            let tb = *succs.get(*ti as usize)?;
+            let fb = *succs.get(*fi as usize)?;
+            ops.extend([c, ValueRef::Block(tb), ValueRef::Block(fb)]);
+            (Opcode::Br, types.void())
+        }
+        T::Unreachable => (Opcode::Unreachable, types.void()),
+        T::Bin { op, a, b } => {
+            let av = tmpl_val(inst, *a)?;
+            let bv = tmpl_val(inst, *b)?;
+            let ty = tmpl_want_ty(func, av).or_else(|| tmpl_want_ty(func, bv))?;
+            ops.extend([av, bv]);
+            (*op, ty)
+        }
+        T::Cast { op, v } => {
+            ops.push(tmpl_val(inst, *v)?);
+            (*op, inst.ty)
+        }
+        T::LoadImplicit { ptr } => {
+            let p = tmpl_val(inst, *ptr)?;
+            let pty = match p {
+                ValueRef::Global(g) => {
+                    let t = globals[g.0 as usize].ty;
+                    types.ptr(t)
+                }
+                _ => tmpl_want_ty(func, p)?,
+            };
+            let ty = types.pointee(pty)?;
+            attrs.gep_source_ty = Some(ty);
+            ops.push(p);
+            (Opcode::Load, ty)
+        }
+        T::LoadExplicit { ptr } => {
+            ops.push(tmpl_val(inst, *ptr)?);
+            attrs.gep_source_ty = Some(inst.ty);
+            (Opcode::Load, inst.ty)
+        }
+        T::Store { v, p } => {
+            let v = tmpl_val(inst, *v)?;
+            let p = tmpl_val(inst, *p)?;
+            ops.extend([v, p]);
+            (Opcode::Store, types.void())
+        }
+        T::CallImplicit { callee } => {
+            let c = tmpl_val(inst, *callee)?;
+            ops.push(c);
+            for &a in inst.call_args() {
+                if matches!(a, ValueRef::Placeholder(_)) {
+                    return None;
+                }
+                ops.push(a);
+            }
+            let ret = tmpl_callee_ret(funcs, globals, asms, types, func, c)?;
+            attrs.num_args = (ops.len() - 1) as u32;
+            attrs.callee_ty = None;
+            (Opcode::Call, ret)
+        }
+        T::GepImplicit { base } => {
+            let b = tmpl_val(inst, *base)?;
+            ops.push(b);
+            for &a in inst.operands.get(1..)? {
+                if matches!(a, ValueRef::Placeholder(_)) {
+                    return None;
+                }
+                ops.push(a);
+            }
+            let pty = match b {
+                ValueRef::Global(g) => {
+                    let t = globals[g.0 as usize].ty;
+                    types.ptr(t)
+                }
+                _ => tmpl_want_ty(func, b)?,
+            };
+            let src_ty = types.pointee(pty)?;
+            // `b_gep_result`: walk the indices (minus the leading one)
+            // through the pointee structure.
+            let mut cur = src_ty;
+            for idx in ops[1..].iter().skip(1) {
+                cur = match types.get(cur) {
+                    Type::Array { elem, .. } | Type::Vector { elem, .. } => *elem,
+                    Type::Struct { fields } => *fields.get(idx.as_int()? as usize)?,
+                    _ => return None,
+                };
+            }
+            let rty = types.ptr(cur);
+            attrs.gep_source_ty = Some(src_ty);
+            (Opcode::GetElementPtr, rty)
+        }
+        T::ICmp { a, b } => {
+            let pred = inst.attrs.int_pred?;
+            let av = tmpl_val(inst, *a)?;
+            let bv = tmpl_val(inst, *b)?;
+            let rty = tmpl_cmp_ty(types, func, av, bv)?;
+            attrs.int_pred = Some(pred);
+            ops.extend([av, bv]);
+            (Opcode::ICmp, rty)
+        }
+        T::FCmp { a, b } => {
+            let pred = inst.attrs.float_pred?;
+            let av = tmpl_val(inst, *a)?;
+            let bv = tmpl_val(inst, *b)?;
+            let rty = tmpl_cmp_ty(types, func, av, bv)?;
+            attrs.float_pred = Some(pred);
+            ops.extend([av, bv]);
+            (Opcode::FCmp, rty)
+        }
+        T::Select { c, t, f } => {
+            let c = tmpl_val(inst, *c)?;
+            let t = tmpl_val(inst, *t)?;
+            let f = tmpl_val(inst, *f)?;
+            let ty = tmpl_want_ty(func, t).or_else(|| tmpl_want_ty(func, f))?;
+            ops.extend([c, t, f]);
+            (Opcode::Select, ty)
+        }
+        T::FNeg(r) => {
+            let v = tmpl_val(inst, *r)?;
+            let ty = tmpl_want_ty(func, v)?;
+            ops.push(v);
+            (Opcode::FNeg, ty)
+        }
+        T::Freeze(r) => {
+            let v = tmpl_val(inst, *r)?;
+            let ty = tmpl_want_ty(func, v)?;
+            ops.push(v);
+            (Opcode::Freeze, ty)
+        }
+    };
+    Some((op, ty, attrs))
+}
+
+impl MirrorEnv<'_> {
+    /// Runs one rewrite template through [`tmpl_parts`], assembling the
+    /// replacement instruction (the buffered driver's form).
+    fn exec_tmpl(&mut self, t: &MirrorTmpl, inst: &Instruction) -> Option<Instruction> {
+        let mut ops = Vec::new();
+        let (op, ty, attrs) = tmpl_parts(
+            t,
+            inst,
+            self.func,
+            self.funcs,
+            self.globals,
+            self.asms,
+            self.types,
+            &mut ops,
+        )?;
+        let mut out = Instruction::new(op, ty, ops);
+        out.attrs = attrs;
+        Some(out)
+    }
+}
+
+/// Executes one getter micro-op against the borrowed instruction. Bodies
+/// and error strings mirror `siro_api`'s getter closures one-to-one.
+fn exec_getter<E: ExecEnv>(op: &GetterOp, ctx: &mut E, inst: &Instruction) -> ApiResult<ApiValue> {
+    use GetterOp::*;
+    const S: Side = Side::Source;
+    Ok(match op {
+        Operand(i) => {
+            let i = *i as usize;
+            let v = *inst
+                .operands
+                .get(i)
+                .ok_or_else(|| ApiError::OutOfRange(format!("operand {i}")))?;
+            if v.is_block() {
+                return Err(ApiError::Type("operand is a block label".into()));
+            }
+            ApiValue::SrcValue(v)
+        }
+        OperandType(i) => {
+            let i = *i as usize;
+            let v = *inst
+                .operands
+                .get(i)
+                .ok_or_else(|| ApiError::OutOfRange(format!("operand {i}")))?;
+            ctx.src_value_type(v)
+                .map(ApiValue::SrcType)
+                .ok_or_else(|| ApiError::Type("operand has no table type".into()))?
+        }
+        ResultType => ApiValue::SrcType(inst.ty),
+        BlockOperand(i) => {
+            let i = *i as usize;
+            let v = *inst
+                .operands
+                .get(i)
+                .ok_or_else(|| ApiError::OutOfRange(format!("operand {i}")))?;
+            v.as_block()
+                .map(ApiValue::SrcBlock)
+                .ok_or_else(|| ApiError::Type("operand is not a block".into()))?
+        }
+        Successor(i) => {
+            let i = *i as usize;
+            inst.successors()
+                .get(i)
+                .copied()
+                .map(ApiValue::SrcBlock)
+                .ok_or_else(|| ApiError::OutOfRange(format!("successor {i}")))?
+        }
+        IsUnconditional => ApiValue::Bool(inst.is_unconditional_branch()),
+        Condition => {
+            if inst.is_unconditional_branch() {
+                return Err(ApiError::WrongSubKind(
+                    "unconditional branch has no condition".into(),
+                ));
+            }
+            ApiValue::SrcValue(inst.operands[0])
+        }
+        IsVoidReturn => ApiValue::Bool(inst.is_void_return()),
+        ReturnValue => inst
+            .operands
+            .first()
+            .copied()
+            .map(ApiValue::SrcValue)
+            .ok_or_else(|| ApiError::WrongSubKind("void return has no value".into()))?,
+        DefaultDest => inst
+            .operands
+            .get(1)
+            .and_then(|v| v.as_block())
+            .map(ApiValue::SrcBlock)
+            .ok_or_else(|| ApiError::Type("switch default missing".into()))?,
+        Cases => ApiValue::Cases(S, inst.switch_cases()),
+        Address => ApiValue::SrcValue(inst.operands[0]),
+        Destinations => ApiValue::Blocks(S, inst.successors()),
+        Callee => inst
+            .callee()
+            .map(ApiValue::SrcValue)
+            .ok_or_else(|| ApiError::Type("no callee".into()))?,
+        CalledFunction => match inst.callee() {
+            Some(v @ ValueRef::Func(_)) => ApiValue::SrcValue(v),
+            _ => return Err(ApiError::WrongSubKind("indirect call".into())),
+        },
+        Arguments => ApiValue::Values(S, inst.call_args().to_vec()),
+        CalleeType => exec_callee_type(ctx, inst)?,
+        NormalDest => inst
+            .successors()
+            .first()
+            .copied()
+            .map(ApiValue::SrcBlock)
+            .ok_or_else(|| ApiError::Type("invoke without dests".into()))?,
+        UnwindDest => inst
+            .successors()
+            .get(1)
+            .copied()
+            .map(ApiValue::SrcBlock)
+            .ok_or_else(|| ApiError::Type("invoke without dests".into()))?,
+        FallthroughDest => inst
+            .successors()
+            .first()
+            .copied()
+            .map(ApiValue::SrcBlock)
+            .ok_or_else(|| ApiError::Type("callbr without dests".into()))?,
+        IndirectDests => ApiValue::Blocks(S, inst.successors()[1..].to_vec()),
+        IsTailCall => ApiValue::Bool(inst.attrs.tail_call),
+        IsIndirectCall => ApiValue::Bool(!matches!(
+            inst.callee(),
+            Some(ValueRef::Func(_) | ValueRef::InlineAsm(_))
+        )),
+        IntPredicateOf => inst
+            .attrs
+            .int_pred
+            .map(ApiValue::IntPred)
+            .ok_or_else(|| ApiError::Type("icmp without predicate".into()))?,
+        FloatPredicateOf => inst
+            .attrs
+            .float_pred
+            .map(ApiValue::FloatPred)
+            .ok_or_else(|| ApiError::Type("fcmp without predicate".into()))?,
+        Lhs => ApiValue::SrcValue(inst.operands[0]),
+        Rhs => ApiValue::SrcValue(inst.operands[1]),
+        AllocatedType => inst
+            .attrs
+            .alloc_ty
+            .map(ApiValue::SrcType)
+            .ok_or_else(|| ApiError::Type("alloca without type".into()))?,
+        PointerOperand(i) => inst
+            .operands
+            .get(*i as usize)
+            .copied()
+            .map(ApiValue::SrcValue)
+            .ok_or_else(|| ApiError::OutOfRange("pointer operand".into()))?,
+        IsVolatile => ApiValue::Bool(inst.attrs.volatile),
+        ValueOperand => ApiValue::SrcValue(inst.operands[0]),
+        SourceElementType => inst
+            .attrs
+            .gep_source_ty
+            .map(ApiValue::SrcType)
+            .ok_or_else(|| ApiError::Type("gep without source type".into()))?,
+        GepIndices => ApiValue::Values(S, inst.operands[1..].to_vec()),
+        IsInbounds => ApiValue::Bool(inst.attrs.inbounds),
+        OrderingOf => ApiValue::Ordering(
+            inst.attrs
+                .ordering
+                .unwrap_or(siro_ir::AtomicOrdering::SeqCst),
+        ),
+        RmwOperation => inst
+            .attrs
+            .rmw_op
+            .map(ApiValue::RmwOp)
+            .ok_or_else(|| ApiError::Type("atomicrmw without op".into()))?,
+        IndexPath => ApiValue::Indices(inst.attrs.indices.clone()),
+        ShuffleMask => ApiValue::Indices(inst.attrs.indices.clone()),
+        Incoming => ApiValue::Phis(S, inst.phi_incoming()),
+        IsCleanup => ApiValue::Bool(inst.attrs.is_cleanup),
+        Handlers => ApiValue::Blocks(S, inst.successors()),
+        Dest => inst
+            .operands
+            .first()
+            .and_then(|v| v.as_block())
+            .map(ApiValue::SrcBlock)
+            .ok_or_else(|| ApiError::Type("missing destination".into()))?,
+    })
+}
+
+/// `get_callee_type`, the one non-trivial getter: rebuilds function types
+/// through opaque pointers, interning into the scratch source type table —
+/// replicated from the registry closure verbatim.
+fn exec_callee_type<E: ExecEnv>(ctx: &mut E, inst: &Instruction) -> ApiResult<ApiValue> {
+    match inst.callee() {
+        Some(ValueRef::Func(fid)) => {
+            let f = ctx.src_func(fid);
+            let (ret, params, varargs) = (
+                f.ret_ty,
+                f.params.iter().map(|p| p.ty).collect::<Vec<_>>(),
+                f.varargs,
+            );
+            let ty = if varargs {
+                ctx.src_types_mut().func_varargs(ret, params)
+            } else {
+                ctx.src_types_mut().func(ret, params)
+            };
+            Ok(ApiValue::SrcType(ty))
+        }
+        Some(ValueRef::InlineAsm(a)) => Ok(ApiValue::SrcType(ctx.src_asm_ty(a))),
+        Some(v) => {
+            let ty = ctx
+                .src_value_type(v)
+                .ok_or_else(|| ApiError::Type("untyped callee".into()))?;
+            // Copy the shape out before touching the env again (the match
+            // scrutinee would otherwise hold the table borrow).
+            let pointee = match ctx.src_types().get(ty) {
+                Type::Ptr { pointee, .. } => Some(*pointee),
+                Type::Func { .. } => return Ok(ApiValue::SrcType(ty)),
+                _ => None,
+            };
+            let Some(pointee) = pointee else {
+                return Err(ApiError::Type("callee is not a function pointer".into()));
+            };
+            if matches!(ctx.src_types().get(pointee), Type::Func { .. }) {
+                return Ok(ApiValue::SrcType(pointee));
+            }
+            let params = inst
+                .call_args()
+                .iter()
+                .map(|&a| {
+                    ctx.src_value_type(a)
+                        .ok_or_else(|| ApiError::Type("untyped call argument".into()))
+                })
+                .collect::<ApiResult<Vec<_>>>()?;
+            Ok(ApiValue::SrcType(ctx.src_types_mut().func(inst.ty, params)))
+        }
+        None => Err(ApiError::Type("no callee".into())),
+    }
+}
+
+/// Resolves a register to the value it names.
+#[inline]
+fn reg_ref<'a>(r: Reg, results: &'a [ApiValue], input: &'a ApiValue) -> &'a ApiValue {
+    match r {
+        Reg::Input => input,
+        Reg::Step(i) => &results[i],
+    }
+}
+
+#[inline]
+fn type_err(msg: &str) -> TranslateError {
+    TranslateError::Api(ApiError::Type(msg.into()))
+}
+
+// ---- Builder micro-op execution -------------------------------------------
+//
+// These helpers replicate `siro_api`'s builder argument extractors and
+// result-type inference one-to-one (same match structure, same error
+// strings). The `i` parameter is the argument's position in the builder's
+// signature, so positional error messages match the interpreter's.
+
+#[inline]
+fn b_value(r: Reg, i: usize, results: &[ApiValue], input: &ApiValue) -> ApiResult<ValueRef> {
+    match reg_ref(r, results, input) {
+        ApiValue::TgtValue(v) => Ok(*v),
+        other => Err(ApiError::Type(format!(
+            "arg {i}: expected target value, got {:?}",
+            Some(other)
+        ))),
+    }
+}
+
+#[inline]
+fn b_block(r: Reg, i: usize, results: &[ApiValue], input: &ApiValue) -> ApiResult<BlockId> {
+    match reg_ref(r, results, input) {
+        ApiValue::TgtBlock(b) => Ok(*b),
+        other => Err(ApiError::Type(format!(
+            "arg {i}: expected target block, got {:?}",
+            Some(other)
+        ))),
+    }
+}
+
+#[inline]
+fn b_type(r: Reg, i: usize, results: &[ApiValue], input: &ApiValue) -> ApiResult<TypeId> {
+    match reg_ref(r, results, input) {
+        ApiValue::TgtType(t) => Ok(*t),
+        other => Err(ApiError::Type(format!(
+            "arg {i}: expected target type, got {:?}",
+            Some(other)
+        ))),
+    }
+}
+
+#[inline]
+fn b_values<'a>(
+    r: Reg,
+    i: usize,
+    results: &'a [ApiValue],
+    input: &'a ApiValue,
+) -> ApiResult<&'a [ValueRef]> {
+    match reg_ref(r, results, input) {
+        ApiValue::Values(Side::Target, vs) => Ok(vs.as_slice()),
+        other => Err(ApiError::Type(format!(
+            "arg {i}: expected target value list, got {:?}",
+            Some(other)
+        ))),
+    }
+}
+
+/// Assembles a call's `[callee, args...]` operand vector. A fused argument
+/// list translates the source call arguments directly into the vector.
+fn call_ops<E: ExecEnv>(
+    ctx: &mut E,
+    inst: &Instruction,
+    callee: ValueRef,
+    args: &ListArg,
+    i: usize,
+    results: &[ApiValue],
+    input: &ApiValue,
+) -> ApiResult<Vec<ValueRef>> {
+    Ok(match args {
+        ListArg::Reg(r) => {
+            let vs = b_values(*r, i, results, input)?;
+            let mut ops = Vec::with_capacity(1 + vs.len());
+            ops.push(callee);
+            ops.extend_from_slice(vs);
+            ops
+        }
+        ListArg::Fused(_) => {
+            let src = inst.call_args();
+            let mut ops = Vec::with_capacity(1 + src.len());
+            ops.push(callee);
+            for &a in src {
+                ops.push(ctx.translate_value(a)?);
+            }
+            ops
+        }
+    })
+}
+
+/// Assembles a GEP's `[base, indices...]` operand vector. A fused index
+/// list translates the source index operands directly into the vector.
+fn gep_ops<E: ExecEnv>(
+    ctx: &mut E,
+    inst: &Instruction,
+    base: ValueRef,
+    idx: &ListArg,
+    i: usize,
+    results: &[ApiValue],
+    input: &ApiValue,
+) -> ApiResult<Vec<ValueRef>> {
+    Ok(match idx {
+        ListArg::Reg(r) => {
+            let vs = b_values(*r, i, results, input)?;
+            let mut ops = Vec::with_capacity(1 + vs.len());
+            ops.push(base);
+            ops.extend_from_slice(vs);
+            ops
+        }
+        ListArg::Fused(_) => {
+            let src = &inst.operands[1..];
+            let mut ops = Vec::with_capacity(1 + src.len());
+            ops.push(base);
+            for &a in src {
+                ops.push(ctx.translate_value(a)?);
+            }
+            ops
+        }
+    })
+}
+
+/// `want_type`: the static type of a target value, required.
+fn b_want_type<E: ExecEnv>(ctx: &E, v: ValueRef) -> ApiResult<TypeId> {
+    match v {
+        ValueRef::Global(_) | ValueRef::Func(_) => {
+            Err(ApiError::Type("address value needs explicit type".into()))
+        }
+        _ => ctx
+            .tgt_value_type(v)
+            .ok_or_else(|| ApiError::Type("operand type unknown".into())),
+    }
+}
+
+/// The return type behind a target function type (`fn_parts`, return slot).
+fn b_fn_ret(types: &TypeTable, ty: TypeId) -> ApiResult<TypeId> {
+    match types.get(ty) {
+        Type::Func { ret, .. } => Ok(*ret),
+        _ => Err(ApiError::Type("expected function type".into())),
+    }
+}
+
+/// The return type behind a target callee value (`callee_fn_type`, return
+/// slot only — the parameter list the original computes is unused by its
+/// callers).
+fn b_callee_ret<E: ExecEnv>(ctx: &E, callee: ValueRef) -> ApiResult<TypeId> {
+    match callee {
+        ValueRef::Func(fid) => Ok(ctx.tgt_func_ret(fid)),
+        ValueRef::InlineAsm(a) => b_fn_ret(ctx.tgt_types(), ctx.tgt_asm_ty(a)),
+        other => {
+            let ty = ctx
+                .tgt_value_type(other)
+                .ok_or_else(|| ApiError::Type("untyped callee".into()))?;
+            match ctx.tgt_types().get(ty) {
+                Type::Ptr { pointee, .. } => b_fn_ret(ctx.tgt_types(), *pointee),
+                Type::Func { .. } => b_fn_ret(ctx.tgt_types(), ty),
+                _ => Err(ApiError::Type("callee is not callable".into())),
+            }
+        }
+    }
+}
+
+/// `gep_result`: walks the indices through the pointee structure.
+fn b_gep_result<E: ExecEnv>(
+    ctx: &mut E,
+    src_ty: TypeId,
+    indices: &[ValueRef],
+) -> ApiResult<TypeId> {
+    let mut cur = src_ty;
+    for idx in indices.iter().skip(1) {
+        cur = match ctx.tgt_types().get(cur) {
+            Type::Array { elem, .. } | Type::Vector { elem, .. } => *elem,
+            Type::Struct { fields } => {
+                let i = idx
+                    .as_int()
+                    .ok_or_else(|| ApiError::Type("struct gep index must be constant".into()))?
+                    as usize;
+                *fields
+                    .get(i)
+                    .ok_or_else(|| ApiError::OutOfRange("struct field".into()))?
+            }
+            _ => return Err(ApiError::Type("gep through scalar".into())),
+        };
+    }
+    Ok(ctx.tgt_types_mut().ptr(cur))
+}
+
+/// `cmp_result_ty`: `i1`, vectorized when the operands are vectors.
+fn b_cmp_result_ty<E: ExecEnv>(ctx: &mut E, a: ValueRef, b: ValueRef) -> ApiResult<TypeId> {
+    let ty = b_want_type(ctx, a).or_else(|_| b_want_type(ctx, b))?;
+    let vec_len = match ctx.tgt_types().get(ty) {
+        Type::Vector { len, .. } => Some(*len),
+        _ => None,
+    };
+    Ok(match vec_len {
+        Some(len) => {
+            let i1 = ctx.tgt_types_mut().i1();
+            ctx.tgt_types_mut().vector(i1, len)
+        }
+        None => ctx.tgt_types_mut().i1(),
+    })
+}
+
+/// Executes one builder micro-op: arguments straight from the step results,
+/// operands copied element-wise into a right-sized vector, one direct
+/// `ctx.build`. `inst` is the source instruction, read by fused list
+/// arguments.
+fn exec_build<E: ExecEnv>(
+    b: &BuildOp,
+    ctx: &mut E,
+    inst: &Instruction,
+    results: &[ApiValue],
+    input: &ApiValue,
+) -> ApiResult<ValueRef> {
+    use BuildOp as B;
+    match b {
+        B::Ret(r) => {
+            let v = b_value(*r, 0, results, input)?;
+            let void = ctx.tgt_types_mut().void();
+            ctx.build(Instruction::new(Opcode::Ret, void, vec![v]))
+        }
+        B::RetVoid => {
+            let void = ctx.tgt_types_mut().void();
+            ctx.build(Instruction::new(Opcode::Ret, void, vec![]))
+        }
+        B::Br(r) => {
+            let bl = b_block(*r, 0, results, input)?;
+            let void = ctx.tgt_types_mut().void();
+            ctx.build(Instruction::new(
+                Opcode::Br,
+                void,
+                vec![ValueRef::Block(bl)],
+            ))
+        }
+        B::CondBr(c, t, f) => {
+            let c = b_value(*c, 0, results, input)?;
+            let t = b_block(*t, 1, results, input)?;
+            let f = b_block(*f, 2, results, input)?;
+            let void = ctx.tgt_types_mut().void();
+            ctx.build(Instruction::new(
+                Opcode::Br,
+                void,
+                vec![c, ValueRef::Block(t), ValueRef::Block(f)],
+            ))
+        }
+        B::Switch(v, def, cases) => {
+            let v = b_value(*v, 0, results, input)?;
+            let def = b_block(*def, 1, results, input)?;
+            let cs = match reg_ref(*cases, results, input) {
+                ApiValue::Cases(Side::Target, cs) => cs,
+                _ => return Err(ApiError::Type("expected target cases".into())),
+            };
+            let void = ctx.tgt_types_mut().void();
+            let mut ops = Vec::with_capacity(2 + cs.len() * 2);
+            ops.push(v);
+            ops.push(ValueRef::Block(def));
+            for &(c, bb) in cs {
+                ops.push(c);
+                ops.push(ValueRef::Block(bb));
+            }
+            ctx.build(Instruction::new(Opcode::Switch, void, ops))
+        }
+        B::CallImplicit { callee, args } => {
+            let callee = b_value(*callee, 0, results, input)?;
+            let ops = call_ops(ctx, inst, callee, args, 1, results, input)?;
+            let ret = b_callee_ret(ctx, callee)?;
+            let n = (ops.len() - 1) as u32;
+            let mut out = Instruction::new(Opcode::Call, ret, ops);
+            out.attrs.num_args = n;
+            out.attrs.callee_ty = None;
+            ctx.build(out)
+        }
+        B::CallExplicit { fnty, callee, args } => {
+            let fnty = b_type(*fnty, 0, results, input)?;
+            let callee = b_value(*callee, 1, results, input)?;
+            let ops = call_ops(ctx, inst, callee, args, 2, results, input)?;
+            let ret = b_fn_ret(ctx.tgt_types(), fnty)?;
+            let n = (ops.len() - 1) as u32;
+            let mut out = Instruction::new(Opcode::Call, ret, ops);
+            out.attrs.num_args = n;
+            out.attrs.callee_ty = Some(fnty);
+            ctx.build(out)
+        }
+        B::Unreachable => {
+            let void = ctx.tgt_types_mut().void();
+            ctx.build(Instruction::new(Opcode::Unreachable, void, vec![]))
+        }
+        B::Bin { op, a, b } => {
+            let av = b_value(*a, 0, results, input)?;
+            let bv = b_value(*b, 1, results, input)?;
+            let ty = b_want_type(ctx, av).or_else(|_| b_want_type(ctx, bv))?;
+            ctx.build(Instruction::new(*op, ty, vec![av, bv]))
+        }
+        B::FNeg(r) => {
+            let v = b_value(*r, 0, results, input)?;
+            let ty = b_want_type(ctx, v)?;
+            ctx.build(Instruction::new(Opcode::FNeg, ty, vec![v]))
+        }
+        B::Alloca(r) => {
+            let ty = b_type(*r, 0, results, input)?;
+            let ptr = ctx.tgt_types_mut().ptr(ty);
+            let mut inst = Instruction::new(Opcode::Alloca, ptr, vec![]);
+            inst.attrs.alloc_ty = Some(ty);
+            ctx.build(inst)
+        }
+        B::LoadExplicit { ty, ptr } => {
+            let ty = b_type(*ty, 0, results, input)?;
+            let p = b_value(*ptr, 1, results, input)?;
+            let mut inst = Instruction::new(Opcode::Load, ty, vec![p]);
+            inst.attrs.gep_source_ty = Some(ty);
+            ctx.build(inst)
+        }
+        B::LoadImplicit { ptr } => {
+            let p = b_value(*ptr, 0, results, input)?;
+            let pty = match p {
+                ValueRef::Global(g) => {
+                    let t = ctx.tgt_global_ty(g);
+                    ctx.tgt_types_mut().ptr(t)
+                }
+                _ => b_want_type(ctx, p)?,
+            };
+            let ty = ctx
+                .tgt_types()
+                .pointee(pty)
+                .ok_or_else(|| ApiError::Type("load from non-pointer".into()))?;
+            let mut inst = Instruction::new(Opcode::Load, ty, vec![p]);
+            inst.attrs.gep_source_ty = Some(ty);
+            ctx.build(inst)
+        }
+        B::Store { v, p } => {
+            let v = b_value(*v, 0, results, input)?;
+            let p = b_value(*p, 1, results, input)?;
+            let void = ctx.tgt_types_mut().void();
+            ctx.build(Instruction::new(Opcode::Store, void, vec![v, p]))
+        }
+        B::GepExplicit { ty, base, idx } => {
+            let src_ty = b_type(*ty, 0, results, input)?;
+            let base = b_value(*base, 1, results, input)?;
+            let ops = gep_ops(ctx, inst, base, idx, 2, results, input)?;
+            let rty = b_gep_result(ctx, src_ty, &ops[1..])?;
+            let mut out = Instruction::new(Opcode::GetElementPtr, rty, ops);
+            out.attrs.gep_source_ty = Some(src_ty);
+            ctx.build(out)
+        }
+        B::GepImplicit { base, idx } => {
+            let base = b_value(*base, 0, results, input)?;
+            let ops = gep_ops(ctx, inst, base, idx, 1, results, input)?;
+            let pty = match base {
+                ValueRef::Global(g) => {
+                    let t = ctx.tgt_global_ty(g);
+                    ctx.tgt_types_mut().ptr(t)
+                }
+                _ => b_want_type(ctx, base)?,
+            };
+            let src_ty = ctx
+                .tgt_types()
+                .pointee(pty)
+                .ok_or_else(|| ApiError::Type("gep on non-pointer".into()))?;
+            let rty = b_gep_result(ctx, src_ty, &ops[1..])?;
+            let mut out = Instruction::new(Opcode::GetElementPtr, rty, ops);
+            out.attrs.gep_source_ty = Some(src_ty);
+            ctx.build(out)
+        }
+        B::Cast { op, v, ty } => {
+            let v = b_value(*v, 0, results, input)?;
+            let to = b_type(*ty, 1, results, input)?;
+            ctx.build(Instruction::new(*op, to, vec![v]))
+        }
+        B::ICmp { pred, a, b } => {
+            let pred = match reg_ref(*pred, results, input) {
+                ApiValue::IntPred(p) => *p,
+                _ => return Err(ApiError::Type("expected predicate".into())),
+            };
+            let av = b_value(*a, 1, results, input)?;
+            let bv = b_value(*b, 2, results, input)?;
+            let rty = b_cmp_result_ty(ctx, av, bv)?;
+            let mut inst = Instruction::new(Opcode::ICmp, rty, vec![av, bv]);
+            inst.attrs.int_pred = Some(pred);
+            ctx.build(inst)
+        }
+        B::FCmp { pred, a, b } => {
+            let pred = match reg_ref(*pred, results, input) {
+                ApiValue::FloatPred(p) => *p,
+                _ => return Err(ApiError::Type("expected predicate".into())),
+            };
+            let av = b_value(*a, 1, results, input)?;
+            let bv = b_value(*b, 2, results, input)?;
+            let rty = b_cmp_result_ty(ctx, av, bv)?;
+            let mut inst = Instruction::new(Opcode::FCmp, rty, vec![av, bv]);
+            inst.attrs.float_pred = Some(pred);
+            ctx.build(inst)
+        }
+        B::Phi { ty, pairs } => {
+            let ty = b_type(*ty, 0, results, input)?;
+            let ps = match reg_ref(*pairs, results, input) {
+                ApiValue::Phis(Side::Target, ps) => ps,
+                _ => return Err(ApiError::Type("expected target phi list".into())),
+            };
+            let mut ops = Vec::with_capacity(ps.len() * 2);
+            for &(v, bb) in ps {
+                ops.push(v);
+                ops.push(ValueRef::Block(bb));
+            }
+            ctx.build(Instruction::new(Opcode::Phi, ty, ops))
+        }
+        B::Select { c, t, f } => {
+            let c = b_value(*c, 0, results, input)?;
+            let t = b_value(*t, 1, results, input)?;
+            let f = b_value(*f, 2, results, input)?;
+            let ty = b_want_type(ctx, t).or_else(|_| b_want_type(ctx, f))?;
+            ctx.build(Instruction::new(Opcode::Select, ty, vec![c, t, f]))
+        }
+        B::Freeze(r) => {
+            let v = b_value(*r, 0, results, input)?;
+            let ty = b_want_type(ctx, v)?;
+            ctx.build(Instruction::new(Opcode::Freeze, ty, vec![v]))
+        }
+    }
+}
+
+/// Runs one arm's step stream. Steady state: no allocation, no hashing, no
+/// instruction clones — the scratch vectors are reused across instructions.
+fn exec_steps<E: ExecEnv>(
+    arm: &CompiledArm,
+    ctx: &mut E,
+    inst_id: InstId,
+    inst: &Instruction,
+    s: &mut Scratch,
+) -> TranslateResult<ValueRef> {
+    let input = ApiValue::SrcInst(inst_id);
+    s.results.clear();
+    for step in arm.steps.iter() {
+        let out = match step {
+            StepOp::Lit(v) => v.clone(),
+            StepOp::Getter(g) => exec_getter(g, ctx, inst)?,
+            StepOp::TranslateValue(r) => match reg_ref(*r, &s.results, &input) {
+                ApiValue::SrcValue(v) => ApiValue::TgtValue(ctx.translate_value(*v)?),
+                other => {
+                    return Err(TranslateError::Api(ApiError::Type(format!(
+                        "arg 0: expected source value, got {:?}",
+                        Some(other)
+                    ))))
+                }
+            },
+            StepOp::TranslateBlock(r) => match reg_ref(*r, &s.results, &input) {
+                ApiValue::SrcBlock(b) => ApiValue::TgtBlock(ctx.translate_block(*b)?),
+                _ => return Err(type_err("expected source block")),
+            },
+            StepOp::TranslateType(r) => match reg_ref(*r, &s.results, &input) {
+                ApiValue::SrcType(t) => ApiValue::TgtType(ctx.translate_type(*t)),
+                _ => return Err(type_err("expected source type")),
+            },
+            StepOp::TranslateValues(r) => match reg_ref(*r, &s.results, &input) {
+                ApiValue::Values(Side::Source, vs) => {
+                    let mut out = Vec::with_capacity(vs.len());
+                    for &v in vs {
+                        out.push(ctx.translate_value(v)?);
+                    }
+                    ApiValue::Values(Side::Target, out)
+                }
+                _ => return Err(type_err("expected source value list")),
+            },
+            StepOp::TranslateBlocks(r) => match reg_ref(*r, &s.results, &input) {
+                ApiValue::Blocks(Side::Source, bs) => {
+                    let mut out = Vec::with_capacity(bs.len());
+                    for &b in bs {
+                        out.push(ctx.translate_block(b)?);
+                    }
+                    ApiValue::Blocks(Side::Target, out)
+                }
+                _ => return Err(type_err("expected source block list")),
+            },
+            StepOp::TranslateCases(r) => match reg_ref(*r, &s.results, &input) {
+                ApiValue::Cases(Side::Source, cs) => {
+                    let mut out = Vec::with_capacity(cs.len());
+                    for &(v, b) in cs {
+                        out.push((ctx.translate_value(v)?, ctx.translate_block(b)?));
+                    }
+                    ApiValue::Cases(Side::Target, out)
+                }
+                _ => return Err(type_err("expected source case list")),
+            },
+            StepOp::TranslateIncoming(r) => match reg_ref(*r, &s.results, &input) {
+                ApiValue::Phis(Side::Source, ps) => {
+                    let mut out = Vec::with_capacity(ps.len());
+                    for &(v, b) in ps {
+                        out.push((ctx.translate_value(v)?, ctx.translate_block(b)?));
+                    }
+                    ApiValue::Phis(Side::Target, out)
+                }
+                _ => return Err(type_err("expected source phi list")),
+            },
+            StepOp::Build(b) => ApiValue::TgtValue(exec_build(b, ctx, inst, &s.results, &input)?),
+            StepOp::Call { f, args } => {
+                s.args.clear();
+                for r in args.iter() {
+                    s.args.push(match r {
+                        Reg::Input => input.clone(),
+                        Reg::Step(i) => s.results[*i].clone(),
+                    });
+                }
+                ctx.api_call(f, &s.args)?
+            }
+        };
+        s.results.push(out);
+    }
+    match s.results.last() {
+        Some(ApiValue::TgtValue(v)) => Ok(*v),
+        other => Err(TranslateError::Api(ApiError::Type(format!(
+            "program did not end in a target instruction: {other:?}"
+        )))),
+    }
+}
+
+impl CompiledKind {
+    /// Lowers one kind's translator. This is the canonical kind-level
+    /// codegen that [`TranslatorBackend::lower_kind`] delegates to.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] when guards cannot be aligned or a program is not
+    /// well-typed.
+    pub fn lower(
+        reg: &ApiRegistry,
+        kind: Opcode,
+        kt: &KindTranslator,
+    ) -> Result<CompiledKind, CompileError> {
+        let preds: Box<[CompiledPred]> = reg
+            .predicates_for(kind)
+            .into_iter()
+            .map(|id| {
+                let f = reg.get(id);
+                CompiledPred {
+                    name: Arc::from(f.name.as_str()),
+                    op: bind_pred(f),
+                }
+            })
+            .collect();
+        let dummy = Module::new("const-eval", reg.src_version);
+        let mut arms = Vec::with_capacity(kt.arms.len());
+        for arm in &kt.arms {
+            if !arm.program.well_typed(reg) {
+                return Err(CompileError::IllTyped { kind });
+            }
+            let mut covers = Vec::with_capacity(arm.covers.len());
+            for conj in &arm.covers {
+                if conj.len() != preds.len() {
+                    return Err(CompileError::CoverMismatch {
+                        kind,
+                        detail: format!(
+                            "guard names {} predicates, the kind has {}",
+                            conj.len(),
+                            preds.len()
+                        ),
+                    });
+                }
+                let row: Box<[PredValue]> = preds
+                    .iter()
+                    .map(|p| {
+                        conj.get(p.name.as_ref()).copied().ok_or_else(|| {
+                            CompileError::CoverMismatch {
+                                kind,
+                                detail: format!("guard lacks predicate `{}`", p.name),
+                            }
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                covers.push(row);
+            }
+            let mut steps = Vec::with_capacity(arm.program.steps.len());
+            for call in &arm.program.steps {
+                let bound = bind_step(reg, kind, call, &steps, &dummy);
+                steps.push(bound);
+            }
+            fuse_lists(&mut steps);
+            let tmpl = derive_tmpl(&steps);
+            arms.push(CompiledArm {
+                covers: covers.into_boxed_slice(),
+                steps: steps.into_boxed_slice(),
+                calls: arm.program.steps.clone().into_boxed_slice(),
+                tmpl,
+            });
+        }
+        let skip_preds = kt.arms.first().is_some_and(|a| a.covers.is_empty());
+        // Mirror capability: the in-place driver rewrites the source slot
+        // with the arm's single built instruction, so every arm that can
+        // run must (a) build exactly once, as its final step (the arm's
+        // result *is* the rewritten slot), and (b) never call back into
+        // the registry (`StepOp::Call`, `PredOp::Slow` — those closures
+        // expect a real push-mode context).
+        let arm_mirrorable = |a: &CompiledArm| {
+            let n = a.steps.len();
+            n > 0
+                && a.steps.iter().enumerate().all(|(i, s)| match s {
+                    StepOp::Build(_) => i + 1 == n,
+                    StepOp::Call { .. } => false,
+                    _ => true,
+                })
+                && matches!(a.steps.last(), Some(StepOp::Build(_)))
+        };
+        let mirror_ok = if skip_preds {
+            arms.first().is_some_and(arm_mirrorable)
+        } else {
+            preds.iter().all(|p| !matches!(p.op, PredOp::Slow(_)))
+                && !arms.is_empty()
+                && arms.iter().all(arm_mirrorable)
+        };
+        Ok(CompiledKind {
+            preds,
+            arms: arms.into_boxed_slice(),
+            skip_preds,
+            mirror_ok,
+        })
+    }
+
+    /// Reconstructs the interpreter-shaped conjunction for the unseen-
+    /// predicate error path (cold; names only live for this).
+    fn rebuild_conj(&self, evaluated: &[PredValue]) -> PredConj {
+        self.preds
+            .iter()
+            .zip(evaluated)
+            .map(|(p, v)| (p.name.to_string(), *v))
+            .collect()
+    }
+
+    /// Evaluates the kind's guards and picks the arm that covers them —
+    /// the dispatch half of [`CompiledKind::translate`], shared with the
+    /// mirror driver (which then runs the arm's template or stream).
+    fn select_arm<E: ExecEnv>(
+        &self,
+        ctx: &mut E,
+        kind: Opcode,
+        inst_id: InstId,
+        inst: &Instruction,
+        s: &mut Scratch,
+    ) -> TranslateResult<&CompiledArm> {
+        if self.skip_preds {
+            return Ok(&self.arms[0]);
+        }
+        s.evaluated.clear();
+        for p in self.preds.iter() {
+            let pv = p.eval(ctx, inst_id, inst)?;
+            s.evaluated.push(pv);
+        }
+        self.arms
+            .iter()
+            .find(|a| a.matches(&s.evaluated))
+            .ok_or_else(|| TranslateError::UnseenPredicate {
+                kind,
+                conj: self.rebuild_conj(&s.evaluated),
+            })
+    }
+
+    fn translate<E: ExecEnv>(
+        &self,
+        ctx: &mut E,
+        kind: Opcode,
+        inst_id: InstId,
+        inst: &Instruction,
+        s: &mut Scratch,
+    ) -> TranslateResult<ValueRef> {
+        let arm = self.select_arm(ctx, kind, inst_id, inst, s)?;
+        exec_steps(arm, ctx, inst_id, inst, s)
+    }
+}
+
+/// A dispatch-table slot: what `opcode as usize` resolves to.
+#[derive(Debug, Clone)]
+pub(crate) enum SlotAction {
+    /// The target version lacks this kind — dispatch to the
+    /// new-instruction lowerings (`siro_core::newinst`).
+    NewInst,
+    /// The target supports the kind but the translator has no entry.
+    Missing,
+    /// Run the compiled stream.
+    Kind(CompiledKind),
+}
+
+/// A synthesized translator lowered to its compiled execution form.
+///
+/// Plugs into the skeleton exactly like the interpreted translator (it
+/// implements [`InstTranslator`]) and produces byte-identical modules; see
+/// the module docs for what was pre-resolved.
+///
+/// # Examples
+///
+/// ```
+/// use siro_ir::IrVersion;
+/// use siro_synth::{oracle_corpus, StreamBackend, TranslatorBackend, TranslatorCache};
+/// use siro_synth::SynthesisConfig;
+/// use siro_core::Skeleton;
+///
+/// let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+/// let tests = oracle_corpus(src, tgt);
+/// let outcome =
+///     TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &tests).unwrap();
+/// let compiled = StreamBackend.lower(&outcome.translator).unwrap();
+///
+/// // The compiled tier is a drop-in InstTranslator: identical output.
+/// let skeleton = Skeleton::new(tgt);
+/// let interpreted = skeleton.translate_module(&tests[0].module, &outcome.translator).unwrap();
+/// let fast = skeleton.translate_module(&tests[0].module, &compiled).unwrap();
+/// assert_eq!(
+///     siro_ir::write::write_module(&interpreted),
+///     siro_ir::write::write_module(&fast),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledTranslator {
+    registry: Arc<ApiRegistry>,
+    table: Box<[SlotAction]>,
+}
+
+impl CompiledTranslator {
+    /// The registry the compiled streams index into.
+    pub fn registry(&self) -> &Arc<ApiRegistry> {
+        &self.registry
+    }
+
+    /// Kinds with a compiled stream, ascending.
+    pub fn compiled_kinds(&self) -> Vec<Opcode> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|op| matches!(self.table[*op as usize], SlotAction::Kind(_)))
+            .collect()
+    }
+
+    pub(crate) fn from_parts(
+        registry: Arc<ApiRegistry>,
+        kinds: impl IntoIterator<Item = (Opcode, CompiledKind)>,
+    ) -> Self {
+        let mut table: Vec<SlotAction> = Opcode::ALL
+            .iter()
+            .map(|&op| {
+                if registry.tgt_version.supports(op) {
+                    SlotAction::Missing
+                } else {
+                    SlotAction::NewInst
+                }
+            })
+            .collect();
+        for (kind, compiled) in kinds {
+            if registry.tgt_version.supports(kind) {
+                table[kind as usize] = SlotAction::Kind(compiled);
+            }
+        }
+        CompiledTranslator {
+            registry,
+            table: table.into_boxed_slice(),
+        }
+    }
+
+    pub(crate) fn kind_entries(&self) -> impl Iterator<Item = (Opcode, &CompiledKind)> {
+        Opcode::ALL
+            .iter()
+            .filter_map(move |&op| match &self.table[op as usize] {
+                SlotAction::Kind(k) => Some((op, k)),
+                _ => None,
+            })
+    }
+
+    #[inline]
+    fn translate_one(
+        &self,
+        ctx: &mut TranslationCtx<'_>,
+        inst_id: InstId,
+        inst: &Instruction,
+        s: &mut Scratch,
+    ) -> TranslateResult<ValueRef> {
+        match &self.table[inst.opcode as usize] {
+            SlotAction::NewInst => newinst::lower_new_instruction(ctx, inst_id),
+            SlotAction::Missing => Err(TranslateError::MissingTranslator(inst.opcode)),
+            SlotAction::Kind(k) => k.translate(ctx, inst.opcode, inst_id, inst, s),
+        }
+    }
+
+    /// Translates a whole module through the compiled tier's specialized
+    /// driver: the same walk as `Skeleton::translate_module` — same order,
+    /// same counters, same errors — but with the per-function value map in
+    /// dense (indexed) form and each instruction borrowed rather than
+    /// re-fetched and cloned per API call. This is the entry point the
+    /// tiered translation path ([`translate_module_tiered`]) uses; going
+    /// through [`Skeleton`] with a [`CompiledTranslator`] as a plain
+    /// [`InstTranslator`] stays supported and produces identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// The same [`TranslateError`]s the interpreted tier produces on the
+    /// same input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use siro_core::Skeleton;
+    /// use siro_ir::IrVersion;
+    /// use siro_synth::{oracle_corpus, StreamBackend, SynthesisConfig, TranslatorBackend,
+    ///                  TranslatorCache};
+    ///
+    /// let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+    /// let tests = oracle_corpus(src, tgt);
+    /// let outcome =
+    ///     TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &tests).unwrap();
+    /// let compiled = StreamBackend.lower(&outcome.translator).unwrap();
+    ///
+    /// let driven = compiled.translate_module(&tests[0].module).unwrap();
+    /// let interpreted = Skeleton::new(tgt)
+    ///     .translate_module(&tests[0].module, &outcome.translator)
+    ///     .unwrap();
+    /// assert_eq!(
+    ///     siro_ir::write::write_module(&driven),
+    ///     siro_ir::write::write_module(&interpreted),
+    /// );
+    /// ```
+    pub fn translate_module(&self, src: &Module) -> TranslateResult<Module> {
+        let mut ctx = TranslationCtx::new(src, self.registry.tgt_version);
+        for g in src.global_ids() {
+            ctx.translate_global(g);
+        }
+        for f in src.func_ids() {
+            ctx.clone_signature(f);
+        }
+        // One scratch borrow for the whole module: the per-instruction
+        // thread-local access and RefCell check move out of the hot loop.
+        // Nothing below re-enters SCRATCH (micro-ops and `PredOp::Slow`
+        // closures never call back into the driver).
+        SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            for f in src.func_ids() {
+                if src.func(f).is_external {
+                    continue;
+                }
+                self.translate_function(&mut ctx, src, f, s)?;
+            }
+            Ok::<(), TranslateError>(())
+        })?;
+        siro_trace::counter("core.modules_translated", 1);
+        Ok(ctx.finish())
+    }
+
+    fn translate_function<'s>(
+        &self,
+        ctx: &mut TranslationCtx<'s>,
+        src: &'s Module,
+        src_fid: FuncId,
+        s: &mut Scratch,
+    ) -> TranslateResult<()> {
+        let tgt_fid = ctx.translate_func(src_fid)?;
+        let func = src.func(src_fid);
+        ctx.begin_function_dense(src_fid, tgt_fid, func.inst_count());
+        // Same phase-funnel counters as the skeleton, batched; the phi scan
+        // only runs when tracing is on (the totals are what difftest
+        // deltas, and they match the skeleton's exactly).
+        if siro_trace::enabled() {
+            siro_trace::counter("core.funcs_translated", 1);
+            siro_trace::counter("core.blocks_translated", func.blocks.len() as u64);
+            siro_trace::counter(
+                "core.phis_translated",
+                func.blocks
+                    .iter()
+                    .flat_map(|b| &b.insts)
+                    .filter(|&&i| func.inst(i).opcode == Opcode::Phi)
+                    .count() as u64,
+            );
+        }
+        for b in func.block_ids() {
+            let name = func.block(b).name.clone();
+            let tb = ctx.tgt.func_mut(tgt_fid).add_block(name);
+            ctx.map_block(b, tb);
+        }
+        for b in func.block_ids() {
+            let tb = ctx.translate_block(b)?;
+            ctx.set_insertion(tb);
+            let insts = &func.block(b).insts;
+            siro_trace::counter("core.insts_translated", insts.len() as u64);
+            for &i in insts {
+                let inst = func.inst(i);
+                let v = self.translate_one(ctx, i, inst, s)?;
+                // Name carry, as in the skeleton — but only cloning the
+                // name when it will actually be set.
+                if let Some(tid) = v.as_inst() {
+                    if let Some(name) = inst.name.as_ref() {
+                        let tf = ctx.tgt.func_mut(tgt_fid);
+                        if tf.inst(tid).name.is_none() {
+                            tf.inst_mut(tid).name = Some(name.clone());
+                        }
+                    }
+                }
+                ctx.note_translated(i, v)?;
+            }
+        }
+        let unresolved = ctx.unresolved_placeholders();
+        if unresolved > 0 {
+            return Err(TranslateError::UnresolvedPlaceholders {
+                func: func.name.clone(),
+                count: unresolved,
+            });
+        }
+        Ok(())
+    }
+
+    /// Translates an *owned* module in place — the serving-shaped fast
+    /// path. Serving parses every request into a fresh module it owns;
+    /// handing that module to the translator by value lets the mirror
+    /// driver skip everything the by-reference drivers rebuild per call
+    /// (target module, globals, signatures, blocks, value maps): function,
+    /// block, instruction, and type identities are simply *kept*, and each
+    /// instruction's slot is overwritten with the instruction its compiled
+    /// arm builds.
+    ///
+    /// Output is byte-identical to the other tiers because the mirror mode
+    /// runs the *same* compiled arms through the same executor
+    /// (`ExecEnv`) — only value/type translation (identity here) and
+    /// emission (slot overwrite instead of append) differ, and the writer
+    /// numbers values by block order and prints types structurally, so
+    /// preserved internal ids are invisible.
+    ///
+    /// Rewrites are buffered and applied only after every instruction in
+    /// the module has translated cleanly, so on any error — or when a kind
+    /// is not mirror-capable (`CompiledKind::mirror_ok`) — the module is
+    /// still pristine and the push driver re-runs from scratch, producing
+    /// the exact push-tier result or error (counted as
+    /// `translate.mirror_fallback`).
+    ///
+    /// # Errors
+    ///
+    /// The same [`TranslateError`]s the other tiers produce on the same
+    /// input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use siro_core::Skeleton;
+    /// use siro_ir::IrVersion;
+    /// use siro_synth::{oracle_corpus, StreamBackend, SynthesisConfig, TranslatorBackend,
+    ///                  TranslatorCache};
+    ///
+    /// let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+    /// let tests = oracle_corpus(src, tgt);
+    /// let outcome =
+    ///     TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &tests).unwrap();
+    /// let compiled = StreamBackend.lower(&outcome.translator).unwrap();
+    ///
+    /// let owned = compiled.translate_module_owned(tests[0].module.clone()).unwrap();
+    /// let interpreted = Skeleton::new(tgt)
+    ///     .translate_module(&tests[0].module, &outcome.translator)
+    ///     .unwrap();
+    /// assert_eq!(
+    ///     siro_ir::write::write_module(&owned),
+    ///     siro_ir::write::write_module(&interpreted),
+    /// );
+    /// ```
+    pub fn translate_module_owned(&self, mut m: Module) -> TranslateResult<Module> {
+        if self.mirror_in_place(&mut m) {
+            siro_trace::counter("core.modules_translated", 1);
+            return Ok(m);
+        }
+        // The rewrite buffer was never applied, so `m` is still the parsed
+        // request (module-level metadata untouched; type-table appends are
+        // invisible): the push driver reproduces the exact push-tier
+        // result or error.
+        siro_trace::counter("translate.mirror_fallback", 1);
+        self.translate_module(&m)
+    }
+
+    /// The mirror pass. Two shapes, chosen by a read-only validation
+    /// sweep ([`CompiledTranslator::mirror_validate`]):
+    ///
+    /// * **commit** — every instruction selects a templated arm whose
+    ///   checks pass and whose computed result type equals the slot's
+    ///   existing type. The commit sweep then rewrites each slot in place
+    ///   with no buffering and no per-instruction allocation; it cannot
+    ///   fail, because it re-reads exactly the state validation read
+    ///   (templates read only *result types* of other instructions — never
+    ///   their operands, attributes, or opcodes — and signatures, globals,
+    ///   and blocks are never rewritten, so the proved type-invariance
+    ///   makes both sweeps see identical inputs).
+    /// * **buffered** — some arm is outside the template fragment (or
+    ///   changes a result type): fall back to evaluating arms in mirror
+    ///   mode, buffering `(function, slot, instruction)` rewrites, and
+    ///   applying them only if the whole module translates.
+    ///
+    /// Returns `false` — with the module unmodified — when any kind is not
+    /// mirror-capable or any arm errors; the caller re-runs the push
+    /// driver on the pristine module.
+    fn mirror_in_place(&self, m: &mut Module) -> bool {
+        let mut arms: Vec<&CompiledArm> = Vec::with_capacity(m.inst_count());
+        let ok = match self.mirror_validate(m, &mut arms) {
+            MirrorPlan::Bail => return false,
+            MirrorPlan::Commit => {
+                Self::mirror_commit(m, &arms);
+                true
+            }
+            MirrorPlan::Buffered => self.mirror_buffered(m),
+        };
+        if !ok {
+            return false;
+        }
+        m.version = self.registry.tgt_version;
+        if siro_trace::enabled() {
+            // Counter totals, replicated from the push driver so difftest
+            // deltas cannot tell the drivers apart (emitted only on
+            // success; the fallback path emits its own). `Phi` rewrites to
+            // `Phi`, so post-rewrite opcodes still count source phis.
+            let (mut n_funcs, mut n_blocks, mut n_insts, mut n_phis) = (0u64, 0u64, 0u64, 0u64);
+            for func in m.funcs.iter().filter(|f| !f.is_external) {
+                n_funcs += 1;
+                n_blocks += func.blocks.len() as u64;
+                for block in &func.blocks {
+                    n_insts += block.insts.len() as u64;
+                    for &iid in &block.insts {
+                        n_phis += u64::from(func.inst(iid).opcode == Opcode::Phi);
+                    }
+                }
+            }
+            siro_trace::counter("core.funcs_translated", n_funcs);
+            siro_trace::counter("core.blocks_translated", n_blocks);
+            siro_trace::counter("core.insts_translated", n_insts);
+            siro_trace::counter("core.phis_translated", n_phis);
+        }
+        true
+    }
+
+    /// Read-only sweep deciding how the mirror pass may run, filling
+    /// `arms` with the selected arm per instruction (module order) for the
+    /// commit sweep to reuse.
+    fn mirror_validate<'t>(
+        &'t self,
+        m: &mut Module,
+        arms: &mut Vec<&'t CompiledArm>,
+    ) -> MirrorPlan {
+        let mut plan = MirrorPlan::Commit;
+        // Disjoint field borrows: the function arena stays read-only, only
+        // the type table is mutable (template result-type computation may
+        // intern; interning is append-only and idempotent, and the writer
+        // prints types structurally, so validation-order appends are
+        // invisible in the output bytes).
+        let Module {
+            ref funcs,
+            ref globals,
+            ref asms,
+            ref mut types,
+            ..
+        } = *m;
+        SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            let mut ops: Vec<ValueRef> = Vec::new();
+            for func in funcs.iter() {
+                if func.is_external {
+                    continue;
+                }
+                let mut env = MirrorEnv {
+                    funcs,
+                    globals,
+                    asms,
+                    types: &mut *types,
+                    func,
+                    cur: InstId(0),
+                    out: None,
+                };
+                for block in &func.blocks {
+                    for &iid in &block.insts {
+                        let inst = func.inst(iid);
+                        let kind = match &self.table[inst.opcode as usize] {
+                            SlotAction::Kind(kind) if kind.mirror_ok => kind,
+                            _ => return MirrorPlan::Bail,
+                        };
+                        let arm = match kind.select_arm(&mut env, inst.opcode, iid, inst, s) {
+                            Ok(arm) => arm,
+                            Err(_) => return MirrorPlan::Bail,
+                        };
+                        arms.push(arm);
+                        let Some(t) = &arm.tmpl else {
+                            // Outside the template fragment: the buffered
+                            // sweep handles the whole module (it re-runs
+                            // the checks itself).
+                            plan = MirrorPlan::Buffered;
+                            continue;
+                        };
+                        match tmpl_parts(
+                            t, inst, func, env.funcs, globals, asms, env.types, &mut ops,
+                        ) {
+                            // A failed check means the stream form errors
+                            // (or panics) on this instruction: only the
+                            // pristine-module fallback reproduces that.
+                            None => return MirrorPlan::Bail,
+                            // Type changed: in-place reads after partial
+                            // rewriting would diverge; buffer instead.
+                            Some((_, ty, _)) if ty != inst.ty => plan = MirrorPlan::Buffered,
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            plan
+        })
+    }
+
+    /// The in-place commit sweep: rewrites every instruction slot through
+    /// its validated template — no rewrite buffer, no per-instruction
+    /// allocation (one reused operand scratch), `name` left in place.
+    ///
+    /// Only called after [`CompiledTranslator::mirror_validate`] returned
+    /// [`MirrorPlan::Commit`]; both sweeps are deterministic over
+    /// identical inputs (see [`CompiledTranslator::mirror_in_place`]), so
+    /// a template failing here is a driver bug, not an input condition —
+    /// it panics rather than half-rewriting the module.
+    fn mirror_commit(m: &mut Module, arms: &[&CompiledArm]) {
+        let Module {
+            ref mut funcs,
+            ref globals,
+            ref asms,
+            ref mut types,
+            ..
+        } = *m;
+        let mut ops: Vec<ValueRef> = Vec::new();
+        let mut next = 0usize;
+        for fi in 0..funcs.len() {
+            if funcs[fi].is_external {
+                continue;
+            }
+            for bi in 0..funcs[fi].blocks.len() {
+                for ii in 0..funcs[fi].blocks[bi].insts.len() {
+                    let iid = funcs[fi].blocks[bi].insts[ii];
+                    let t = arms[next].tmpl.as_ref().expect("validated template");
+                    next += 1;
+                    let (op, ty, attrs) = {
+                        let func = &funcs[fi];
+                        let inst = func.inst(iid);
+                        match tmpl_parts(t, inst, func, funcs, globals, asms, types, &mut ops) {
+                            Some(parts) => parts,
+                            None => unreachable!("validated mirror template failed on commit"),
+                        }
+                    };
+                    let slot = funcs[fi].inst_mut(iid);
+                    slot.opcode = op;
+                    slot.ty = ty;
+                    slot.operands.clear();
+                    slot.operands.extend_from_slice(&ops);
+                    slot.attrs = attrs;
+                }
+            }
+        }
+    }
+
+    /// The buffered mirror sweep: evaluates every instruction's arm in
+    /// mirror mode (template where derivable, stream execution otherwise),
+    /// buffering `(function, slot, instruction)` rewrites and applying
+    /// them only if the whole module translates. Returns `false` — with
+    /// the module unmodified — when any arm errors.
+    fn mirror_buffered(&self, m: &mut Module) -> bool {
+        let mut rewrites: Vec<(u32, InstId, Instruction)> = Vec::with_capacity(m.inst_count());
+        let Module {
+            ref funcs,
+            ref globals,
+            ref asms,
+            ref mut types,
+            ..
+        } = *m;
+        let ok = SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            for (fi, func) in funcs.iter().enumerate() {
+                if func.is_external {
+                    continue;
+                }
+                let mut env = MirrorEnv {
+                    funcs,
+                    globals,
+                    asms,
+                    types: &mut *types,
+                    func,
+                    cur: InstId(0),
+                    out: None,
+                };
+                for block in &func.blocks {
+                    for &iid in &block.insts {
+                        let inst = func.inst(iid);
+                        let kind = match &self.table[inst.opcode as usize] {
+                            SlotAction::Kind(kind) if kind.mirror_ok => kind,
+                            _ => return false,
+                        };
+                        let arm = match kind.select_arm(&mut env, inst.opcode, iid, inst, s) {
+                            Ok(arm) => arm,
+                            Err(_) => return false,
+                        };
+                        // Template first (the common case: no step machine
+                        // at all); arms outside the derivable fragment run
+                        // their stream through the mirror env.
+                        let mut new = if let Some(t) = &arm.tmpl {
+                            match env.exec_tmpl(t, inst) {
+                                Some(new) => new,
+                                None => return false,
+                            }
+                        } else {
+                            env.cur = iid;
+                            env.out = None;
+                            let v = exec_steps(arm, &mut env, iid, inst, s);
+                            match (v, env.out.take()) {
+                                (Ok(v), Some(new)) => {
+                                    debug_assert_eq!(v, ValueRef::Inst(iid));
+                                    new
+                                }
+                                _ => return false,
+                            }
+                        };
+                        // Name carry, as in the push driver: the built
+                        // instruction never has a name, the source one
+                        // keeps its own.
+                        if new.name.is_none() {
+                            new.name = inst.name.clone();
+                        }
+                        rewrites.push((fi as u32, iid, new));
+                    }
+                }
+            }
+            true
+        });
+        if !ok {
+            return false;
+        }
+        for (fi, iid, inst) in rewrites {
+            *m.funcs[fi as usize].inst_mut(iid) = inst;
+        }
+        true
+    }
+}
+
+/// How [`CompiledTranslator::mirror_in_place`] may run, decided by the
+/// read-only validation sweep.
+enum MirrorPlan {
+    /// Every instruction has a validated template with an unchanged result
+    /// type: rewrite slots in place, no buffering.
+    Commit,
+    /// Some arm needs stream execution (or changes a result type): run the
+    /// buffered sweep.
+    Buffered,
+    /// A check failed or a kind is not mirror-capable: leave the module
+    /// pristine and fall back to the push driver.
+    Bail,
+}
+
+impl InstTranslator for CompiledTranslator {
+    fn translate_inst(
+        &self,
+        ctx: &mut TranslationCtx<'_>,
+        inst: InstId,
+    ) -> TranslateResult<ValueRef> {
+        let fid = ctx
+            .src_func_id()
+            .ok_or_else(|| ApiError::Missing("no current source function".into()))?;
+        // `ctx.src` is a Copy field: reading it yields a borrow of the
+        // source module whose lifetime is independent of `ctx`, so the
+        // instruction can stay borrowed across the `&mut ctx` call below.
+        let src = ctx.src;
+        let inst_ref = src.func(fid).inst(inst);
+        SCRATCH.with(|scratch| self.translate_one(ctx, inst, inst_ref, &mut scratch.borrow_mut()))
+    }
+}
+
+// ---- The backend trait -----------------------------------------------------
+
+/// A code generator turning validated translators into their execution
+/// form — the module-level / kind-level split of wasmer's
+/// `ModuleCodeGenerator` / `FunctionCodeGenerator` pair. The provided
+/// methods implement the canonical stream lowering; a backend overrides
+/// [`TranslatorBackend::lower_kind`] to specialize per-kind codegen while
+/// inheriting the table walk, or [`TranslatorBackend::lower`] to replace
+/// the walk itself.
+pub trait TranslatorBackend {
+    /// A short identifier for traces and stats pages.
+    fn name(&self) -> &'static str;
+
+    /// Lowers one kind's translator into its compiled stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`]; the whole lowering aborts and the outcome stays
+    /// on the interpreted tier.
+    fn lower_kind(
+        &self,
+        reg: &ApiRegistry,
+        kind: Opcode,
+        kt: &KindTranslator,
+    ) -> Result<CompiledKind, CompileError> {
+        CompiledKind::lower(reg, kind, kt)
+    }
+
+    /// Lowers a whole translator: every kind through
+    /// [`TranslatorBackend::lower_kind`], assembled into the dense
+    /// dispatch table.
+    ///
+    /// # Errors
+    ///
+    /// The first per-kind [`CompileError`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use siro_api::ApiRegistry;
+    /// use siro_core::SynthesizedTranslator;
+    /// use siro_ir::IrVersion;
+    /// use siro_synth::{StreamBackend, TranslatorBackend};
+    /// use std::sync::Arc;
+    ///
+    /// // An empty translator lowers to a table of pure dispatch decisions:
+    /// // unsupported kinds go to the new-instruction lowerings, everything
+    /// // else to the missing-translator error — no compiled streams yet.
+    /// let reg = Arc::new(ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6));
+    /// let empty = SynthesizedTranslator::new(Arc::clone(&reg));
+    /// let compiled = StreamBackend.lower(&empty).unwrap();
+    /// assert!(compiled.compiled_kinds().is_empty());
+    /// assert_eq!(StreamBackend.name(), "stream");
+    /// ```
+    fn lower(
+        &self,
+        translator: &SynthesizedTranslator,
+    ) -> Result<CompiledTranslator, CompileError> {
+        let reg = &translator.registry;
+        let mut kinds = Vec::with_capacity(translator.kinds.len());
+        for (&kind, kt) in &translator.kinds {
+            kinds.push((kind, self.lower_kind(reg, kind, kt)?));
+        }
+        Ok(CompiledTranslator::from_parts(Arc::clone(reg), kinds))
+    }
+}
+
+/// The default backend: the flat instruction-stream lowering implemented
+/// by [`CompiledKind::lower`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamBackend;
+
+impl TranslatorBackend for StreamBackend {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+}
+
+// ---- Outcome attachment ----------------------------------------------------
+
+impl SynthesisOutcome {
+    /// The compiled tier of this outcome, lowering it on first use (under
+    /// a `compile.lower` span) and memoizing the result — including a
+    /// failed lowering, so a broken translator does not re-attempt per
+    /// request. Returns `None` when the tier is disabled
+    /// ([`compile_enabled`]) or the lowering failed: callers fall back to
+    /// the interpreted translator.
+    pub fn compiled(&self) -> Option<Arc<CompiledTranslator>> {
+        if !compile_enabled() {
+            return None;
+        }
+        self.compiled_slot
+            .get_or_init(|| {
+                let reg = &self.translator.registry;
+                let sp =
+                    siro_trace::span!("compile.lower", "{}->{}", reg.src_version, reg.tgt_version);
+                let lowered = StreamBackend.lower(&self.translator);
+                drop(sp);
+                match lowered {
+                    Ok(c) => {
+                        LOWERED.fetch_add(1, Ordering::Relaxed);
+                        siro_trace::counter("compile.lowered", 1);
+                        Some(Arc::new(c))
+                    }
+                    Err(_) => {
+                        LOWER_FAILURES.fetch_add(1, Ordering::Relaxed);
+                        siro_trace::counter("compile.lower_failures", 1);
+                        None
+                    }
+                }
+            })
+            .clone()
+    }
+
+    /// Seeds the compiled slot from a store-loaded `.sirx` entry. A racing
+    /// lazy lowering may already hold the slot; either value is correct.
+    pub(crate) fn seed_compiled(&self, compiled: Arc<CompiledTranslator>) {
+        let _ = self.compiled_slot.set(Some(compiled));
+    }
+}
+
+// ---- Tiered module translation ---------------------------------------------
+
+/// Translates a module through the outcome's best tier: compiled when
+/// available, interpreter otherwise — and interpreter again if the
+/// compiled tier errors at runtime (counted as a
+/// `translate.compiled_fallback`; both tiers implement identical
+/// semantics, so the interpreter reproduces the same result or error).
+/// Serving, routing, and difftest all translate through this single entry
+/// point.
+///
+/// # Errors
+///
+/// The interpreted tier's [`TranslateError`].
+pub fn translate_module_tiered(
+    outcome: &SynthesisOutcome,
+    target: siro_ir::IrVersion,
+    module: &Module,
+) -> TranslateResult<Module> {
+    if let Some(compiled) = outcome.compiled() {
+        match compiled.translate_module(module) {
+            Ok(m) => {
+                TRANSLATE_COMPILED.fetch_add(1, Ordering::Relaxed);
+                siro_trace::counter("translate.compiled", 1);
+                return Ok(m);
+            }
+            Err(_) => {
+                RUNTIME_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                siro_trace::counter("translate.compiled_fallback", 1);
+            }
+        }
+    }
+    TRANSLATE_INTERPRETED.fetch_add(1, Ordering::Relaxed);
+    siro_trace::counter("translate.interpreted", 1);
+    Skeleton::new(target).translate_module(module, &outcome.translator)
+}
+
+/// [`translate_module_tiered`] for an *owned* module — the serving-shaped
+/// entry point (serving parses every request into a module it owns, and
+/// composed chains own each intermediate hop result). Runs the compiled
+/// tier's in-place mirror driver directly on the owned module, falling
+/// back — still with zero clones, because the mirror driver mutates only
+/// on success — first to the compiled push driver and then to the
+/// interpreter on the pristine input.
+///
+/// # Errors
+///
+/// The interpreted tier's [`TranslateError`].
+pub fn translate_module_owned_tiered(
+    outcome: &SynthesisOutcome,
+    target: siro_ir::IrVersion,
+    module: Module,
+) -> TranslateResult<Module> {
+    if let Some(compiled) = outcome.compiled() {
+        let mut m = module;
+        if compiled.mirror_in_place(&mut m) {
+            siro_trace::counter("core.modules_translated", 1);
+            TRANSLATE_COMPILED.fetch_add(1, Ordering::Relaxed);
+            siro_trace::counter("translate.compiled", 1);
+            return Ok(m);
+        }
+        // The mirror pass left `m` pristine (see
+        // [`CompiledTranslator::translate_module_owned`]).
+        siro_trace::counter("translate.mirror_fallback", 1);
+        match compiled.translate_module(&m) {
+            Ok(out) => {
+                TRANSLATE_COMPILED.fetch_add(1, Ordering::Relaxed);
+                siro_trace::counter("translate.compiled", 1);
+                return Ok(out);
+            }
+            Err(_) => {
+                RUNTIME_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                siro_trace::counter("translate.compiled_fallback", 1);
+            }
+        }
+        TRANSLATE_INTERPRETED.fetch_add(1, Ordering::Relaxed);
+        siro_trace::counter("translate.interpreted", 1);
+        return Skeleton::new(target).translate_module(&m, &outcome.translator);
+    }
+    TRANSLATE_INTERPRETED.fetch_add(1, Ordering::Relaxed);
+    siro_trace::counter("translate.interpreted", 1);
+    Skeleton::new(target).translate_module(&module, &outcome.translator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SynthesisConfig;
+    use crate::store::oracle_corpus;
+    use crate::TranslatorCache;
+    use siro_api::{ApiId, ApiProgram};
+    use siro_core::TranslatorArm;
+    use siro_ir::IrVersion;
+
+    fn outcome_for(src: IrVersion, tgt: IrVersion) -> Arc<SynthesisOutcome> {
+        let tests = oracle_corpus(src, tgt);
+        TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &tests)
+            .expect("synthesis")
+    }
+
+    #[test]
+    fn compiled_output_is_byte_identical_over_the_full_corpus() {
+        let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+        let outcome = outcome_for(src, tgt);
+        let compiled = StreamBackend.lower(&outcome.translator).expect("lower");
+        let skeleton = Skeleton::new(tgt);
+        for test in oracle_corpus(src, tgt) {
+            let interp = skeleton
+                .translate_module(&test.module, &outcome.translator)
+                .expect("interpreted");
+            let fast = skeleton
+                .translate_module(&test.module, &compiled)
+                .expect("compiled");
+            assert_eq!(
+                siro_ir::write::write_module(&interp),
+                siro_ir::write::write_module(&fast),
+                "tier divergence on `{}`",
+                test.name
+            );
+            // The specialized driver must agree with both.
+            let driven = compiled.translate_module(&test.module).expect("driver");
+            assert_eq!(
+                siro_ir::write::write_module(&interp),
+                siro_ir::write::write_module(&driven),
+                "driver divergence on `{}`",
+                test.name
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_identical_across_tiers() {
+        let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+        let outcome = outcome_for(src, tgt);
+        let compiled = StreamBackend.lower(&outcome.translator).expect("lower");
+        // A kind the translator has never seen: strip one kind out and
+        // translate a module using it.
+        let mut stripped = outcome.translator.clone();
+        stripped.kinds.remove(&Opcode::Ret);
+        let recompiled = StreamBackend.lower(&stripped).expect("lower");
+        let mut m = Module::new("m", src);
+        let i32t = m.types.i32();
+        let f = siro_ir::FuncBuilder::define(&mut m, "main", i32t, vec![]);
+        let mut b = siro_ir::FuncBuilder::new(&mut m, f);
+        let e = b.add_block("entry");
+        b.position_at_end(e);
+        b.ret(Some(ValueRef::const_int(i32t, 7)));
+        let skeleton = Skeleton::new(tgt);
+        let interp_err = skeleton.translate_module(&m, &stripped).unwrap_err();
+        let fast_err = skeleton.translate_module(&m, &recompiled).unwrap_err();
+        assert_eq!(interp_err, fast_err);
+        let driver_err = recompiled.translate_module(&m).unwrap_err();
+        assert_eq!(interp_err, driver_err);
+        // And with the full translator both succeed identically.
+        let a = skeleton.translate_module(&m, &outcome.translator).unwrap();
+        let b2 = skeleton.translate_module(&m, &compiled).unwrap();
+        assert_eq!(
+            siro_ir::write::write_module(&a),
+            siro_ir::write::write_module(&b2)
+        );
+    }
+
+    #[test]
+    fn cover_mismatch_degrades_not_panics() {
+        let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+        let outcome = outcome_for(src, tgt);
+        let mut broken = outcome.translator.clone();
+        // Fabricate an arm whose guard names a predicate that does not
+        // exist for the kind.
+        let mut conj = PredConj::new();
+        conj.insert("no_such_predicate".into(), PredValue::Bool(true));
+        let program = broken
+            .kinds
+            .values()
+            .flat_map(|kt| kt.arms.first())
+            .map(|a| a.program.clone())
+            .next()
+            .expect("some program");
+        broken.kinds.insert(
+            program.kind,
+            KindTranslator {
+                arms: vec![TranslatorArm {
+                    covers: vec![conj],
+                    program,
+                }],
+            },
+        );
+        let err = StreamBackend.lower(&broken).unwrap_err();
+        assert!(matches!(err, CompileError::CoverMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn ill_typed_program_fails_to_lower() {
+        let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+        let outcome = outcome_for(src, tgt);
+        let mut broken = outcome.translator.clone();
+        let kind = *broken.kinds.keys().next().expect("kinds");
+        broken.kinds.insert(
+            kind,
+            KindTranslator::single(ApiProgram {
+                kind,
+                steps: vec![ApiCall {
+                    api: ApiId(0),
+                    args: vec![Reg::Step(5)],
+                }],
+            }),
+        );
+        let err = StreamBackend.lower(&broken).unwrap_err();
+        assert!(matches!(err, CompileError::IllTyped { .. }), "{err}");
+    }
+
+    #[test]
+    fn tiered_translate_uses_compiled_and_falls_back_when_disabled() {
+        let (src, tgt) = (IrVersion::V12_0, IrVersion::V3_6);
+        let outcome = outcome_for(src, tgt);
+        let tests = oracle_corpus(src, tgt);
+        let was = set_compile_enabled(true);
+        let before = compile_stats();
+        let a = translate_module_tiered(&outcome, tgt, &tests[0].module).unwrap();
+        let mid = compile_stats();
+        assert_eq!(mid.translations_compiled, before.translations_compiled + 1);
+        set_compile_enabled(false);
+        assert!(outcome.compiled().is_none(), "disabled tier must hide");
+        let b = translate_module_tiered(&outcome, tgt, &tests[0].module).unwrap();
+        let after = compile_stats();
+        assert_eq!(
+            after.translations_interpreted,
+            mid.translations_interpreted + 1
+        );
+        assert_eq!(
+            siro_ir::write::write_module(&a),
+            siro_ir::write::write_module(&b)
+        );
+        set_compile_enabled(was);
+    }
+}

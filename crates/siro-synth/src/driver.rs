@@ -23,7 +23,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use siro_api::{ApiProgram, ApiRegistry};
@@ -201,6 +201,11 @@ pub struct SynthesisOutcome {
     pub report: SynthesisReport,
     /// The final translator rendered as source code (Fig. 4 style).
     pub rendered: String,
+    /// The lazily lowered compiled tier: unset until the first
+    /// [`SynthesisOutcome::compiled`] call (or a `.sirx` store load seeds
+    /// it), then memoized — `None` records a failed lowering so it is not
+    /// re-attempted per request.
+    pub(crate) compiled_slot: OnceLock<Option<Arc<crate::compile::CompiledTranslator>>>,
 }
 
 /// Synthesis failure.
@@ -444,6 +449,7 @@ impl Synthesizer {
             translator,
             report,
             rendered,
+            compiled_slot: OnceLock::new(),
         })
     }
 

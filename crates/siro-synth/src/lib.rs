@@ -25,7 +25,12 @@
 //! * [`router`] — the version-graph router: any `(from, to)` request over
 //!   the full catalog answered by cheapest-path composition of pairwise
 //!   translators, with composed chains memoized and persisted under their
-//!   own keys.
+//!   own keys;
+//! * [`compile`] — the AOT execution tier: validated translators lowered
+//!   through a [`TranslatorBackend`] into flat, pre-resolved instruction
+//!   streams (dense opcode dispatch, direct function indices, pre-bound
+//!   operand slots), persisted as `.sirx` siblings of the store's `.sirt`
+//!   entries, with transparent interpreter fallback.
 //!
 //! ## Example
 //!
@@ -47,10 +52,11 @@
 //! println!("{}", outcome.rendered);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod candgen;
+pub mod compile;
 pub mod complete;
 pub mod driver;
 pub mod persist;
@@ -66,6 +72,11 @@ pub use cache::{
     TranslatorCache, CACHE_SHARDS,
 };
 pub use candgen::{generate_all, generate_for_kind, GenLimits};
+pub use compile::{
+    compile_enabled, compile_stats, reset_compile_stats, set_compile_enabled,
+    translate_module_owned_tiered, translate_module_tiered, CompileError, CompileStats,
+    CompiledKind, CompiledTranslator, StreamBackend, TranslatorBackend,
+};
 pub use driver::{
     resolve_threads, threads_from_override, StageTimings, SynthError, SynthesisConfig,
     SynthesisOutcome, SynthesisReport, Synthesizer, TestStats,

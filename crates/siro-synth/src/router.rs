@@ -43,7 +43,6 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use siro_core::Skeleton;
 use siro_ir::{IrVersion, Module};
 
 use crate::cache::{CacheLookup, TranslatorCache};
@@ -274,10 +273,24 @@ impl ComposedTranslator {
     ///
     /// Propagates the first hop's [`siro_core::TranslateError`].
     pub fn translate_module(&self, module: &Module) -> siro_core::TranslateResult<Module> {
-        let mut current = module.clone();
+        self.translate_module_owned(module.clone())
+    }
+
+    /// [`ComposedTranslator::translate_module`] for an *owned* module:
+    /// every hop consumes the previous hop's output through the tiered
+    /// path ([`crate::translate_module_owned_tiered`]), so a fully
+    /// compiled chain rewrites one module in place hop after hop — no
+    /// per-hop target module, no intermediate clones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first hop's [`siro_core::TranslateError`].
+    pub fn translate_module_owned(&self, module: Module) -> siro_core::TranslateResult<Module> {
+        let mut current = module;
         for hop in &self.hops {
             let sp = siro_trace::span!("route.hop", "{}->{}", hop.from, hop.to);
-            let next = Skeleton::new(hop.to).translate_module(&current, &hop.outcome.translator)?;
+            let next =
+                crate::compile::translate_module_owned_tiered(&hop.outcome, hop.to, current)?;
             drop(sp);
             current = next;
         }
@@ -816,6 +829,7 @@ pub fn chain_hops_if_whole(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use siro_core::Skeleton;
 
     // NOTE: router counters are process-global and tests run concurrently,
     // so assertions use per-call results (plans, Acquired flags) and

@@ -1,0 +1,249 @@
+//! The compiled tier's persistence and equivalence contract:
+//!
+//! * compile → `encode_compiled` → `decode_compiled` → translate is
+//!   byte-identical to the in-process compiled translator AND to the
+//!   interpreter, across the whole oracle corpus (the property the
+//!   `.sirx` format must never lose);
+//! * a store-attached lookup eagerly writes the `.sirx` sibling, and a
+//!   later process adopts it (`sirx_loaded`) instead of re-lowering;
+//! * every way a `.sirx` can be damaged — truncation, bit flips, magic /
+//!   format skew, garbage — degrades to a fresh lowering (counted as
+//!   `sirx_corrupt`, repaired by write-back), never panics, and never
+//!   changes a served byte.
+//!
+//! Compile counters and the store attachment are process-global, so the
+//! whole matrix runs inside ONE `#[test]` with scenario labels in every
+//! assertion message (same layout as `store_corruption.rs`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use siro_core::Skeleton;
+use siro_ir::{write, IrVersion};
+use siro_synth::persist::fnv1a64;
+use siro_synth::store::{decode_compiled, encode_compiled};
+use siro_synth::{
+    compile_stats, corpus_fingerprint, oracle_corpus, reset_compile_stats, set_active_store,
+    set_compile_enabled, translate_module_owned_tiered, OracleTest, StoreConfig, StoreKey,
+    SynthesisConfig, SynthesisOutcome, TranslatorCache, TranslatorStore,
+};
+
+/// Rewrites the trailing FNV-1a checksum so a deliberately *semantic*
+/// corruption (magic/format skew) reaches the deeper validation layer
+/// instead of being masked by the checksum check.
+fn fix_checksum(bytes: &mut [u8]) {
+    let body_len = bytes.len() - 8;
+    let sum = fnv1a64(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&sum.to_be_bytes());
+}
+
+struct Scenario {
+    label: &'static str,
+    damage: fn(&[u8]) -> Vec<u8>,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        label: "truncate-half",
+        damage: |b| b[..b.len() / 2].to_vec(),
+    },
+    Scenario {
+        label: "truncate-to-empty",
+        damage: |_| Vec::new(),
+    },
+    Scenario {
+        label: "bit-flip-mid-body",
+        damage: |b| {
+            let mut v = b.to_vec();
+            let mid = v.len() / 2;
+            v[mid] ^= 0x40;
+            v
+        },
+    },
+    Scenario {
+        label: "bad-magic",
+        damage: |b| {
+            let mut v = b.to_vec();
+            v[0] ^= 0xff;
+            fix_checksum(&mut v);
+            v
+        },
+    },
+    Scenario {
+        // A future build wrote this entry: format version at [4..6].
+        label: "format-version-bump",
+        damage: |b| {
+            let mut v = b.to_vec();
+            v[4..6].copy_from_slice(&2u16.to_be_bytes());
+            fix_checksum(&mut v);
+            v
+        },
+    },
+    Scenario {
+        // Valid checksum over a scrambled body: the symbolic decode (or
+        // the re-lowering it feeds) must reject it.
+        label: "scramble-body-fixed-checksum",
+        damage: |b| {
+            let mut v = b.to_vec();
+            let start = v.len() / 3;
+            let end = v.len() - 8;
+            for x in &mut v[start..end] {
+                *x ^= 0x5a;
+            }
+            fix_checksum(&mut v);
+            v
+        },
+    },
+    Scenario {
+        label: "garbage-with-right-length",
+        damage: |b| vec![0xa5; b.len()],
+    },
+];
+
+/// Asserts the compiled tier (push driver, the decoded copy, and the
+/// in-place tiered path) serves every corpus module byte-identically to
+/// the interpreter.
+fn assert_tiers_agree(
+    label: &str,
+    outcome: &SynthesisOutcome,
+    decoded: Option<&siro_synth::CompiledTranslator>,
+    tgt: IrVersion,
+    tests: &[OracleTest],
+) {
+    let compiled = outcome.compiled().expect("translator must lower");
+    let skeleton = Skeleton::new(tgt);
+    for test in tests {
+        let name = &test.name;
+        let slow = skeleton
+            .translate_module(&test.module, &outcome.translator)
+            .unwrap_or_else(|e| panic!("{label}/{name}: interpreter: {e}"));
+        let slow = write::write_module(&slow);
+        let fast = compiled
+            .translate_module(&test.module)
+            .unwrap_or_else(|e| panic!("{label}/{name}: compiled: {e}"));
+        assert_eq!(
+            write::write_module(&fast),
+            slow,
+            "{label}/{name}: compiled output differs from the interpreter"
+        );
+        let tiered = translate_module_owned_tiered(outcome, tgt, test.module.clone())
+            .unwrap_or_else(|e| panic!("{label}/{name}: tiered: {e}"));
+        assert_eq!(
+            write::write_module(&tiered),
+            slow,
+            "{label}/{name}: tiered owned path differs from the interpreter"
+        );
+        if let Some(d) = decoded {
+            let loaded = d
+                .translate_module(&test.module)
+                .unwrap_or_else(|e| panic!("{label}/{name}: decoded compiled: {e}"));
+            assert_eq!(
+                write::write_module(&loaded),
+                slow,
+                "{label}/{name}: persisted+reloaded compiled output differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn sirx_roundtrip_and_corruption_matrix() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("siro-sirx-matrix-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(TranslatorStore::open(StoreConfig::at(&dir)).expect("open store"));
+    set_active_store(Some(Arc::clone(&store)));
+    set_compile_enabled(true);
+    reset_compile_stats();
+
+    let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+    let tests = oracle_corpus(src, tgt);
+    let config = SynthesisConfig::new(src, tgt);
+    let key = StoreKey::new(&config, corpus_fingerprint(&tests));
+    let sirx_path = store.compiled_path(&key);
+
+    // Populate: a store-attached cold synthesis lowers eagerly and writes
+    // the `.sirx` sibling next to the `.sirt` entry.
+    TranslatorCache::reset();
+    let first = TranslatorCache::lookup_or_synthesize(config.clone(), &tests).expect("synthesis");
+    assert!(first.fresh && !first.from_store);
+    assert!(
+        sirx_path.exists(),
+        "cold synthesis must write the compiled sibling"
+    );
+    assert_eq!(compile_stats().sirx_writes, 1);
+    let compiled = first.outcome.compiled().expect("lowering succeeds");
+
+    // Property: compile → persist (in memory) → load → translate is
+    // byte-identical, across the corpus, against both the live compiled
+    // translator and the interpreter.
+    let bytes = encode_compiled(&key, &compiled);
+    let pristine = std::fs::read(&sirx_path).expect("sirx bytes");
+    assert_eq!(bytes, pristine, "save_compiled must write encode_compiled");
+    let decoded = decode_compiled(&bytes, &key).expect("decode pristine");
+    assert_tiers_agree("roundtrip", &first.outcome, Some(&decoded), tgt, &tests);
+    drop(first);
+
+    // A fresh process (cache reset) adopts the persisted `.sirx` instead
+    // of re-lowering, and serves identical bytes.
+    TranslatorCache::reset();
+    reset_compile_stats();
+    let warm = TranslatorCache::lookup_or_synthesize(config.clone(), &tests).expect("reload");
+    assert!(warm.from_store, "pristine entry must warm from the store");
+    assert_eq!(
+        compile_stats().sirx_loaded,
+        1,
+        "the compiled sibling must be adopted, not re-lowered"
+    );
+    assert_eq!(compile_stats().lowered, 0, "adoption skips the lowering");
+    assert_tiers_agree("warm-adopt", &warm.outcome, None, tgt, &tests);
+    drop(warm);
+
+    // Corruption matrix: every damaged `.sirx` is rejected (counted),
+    // serving degrades to a fresh lowering with identical bytes, and the
+    // write-back repairs the file for the next process.
+    for scenario in SCENARIOS {
+        let label = scenario.label;
+        std::fs::write(&sirx_path, (scenario.damage)(&pristine))
+            .unwrap_or_else(|e| panic!("{label}: writing damaged sirx: {e}"));
+        TranslatorCache::reset();
+        reset_compile_stats();
+
+        let lookup = TranslatorCache::lookup_or_synthesize(config.clone(), &tests)
+            .unwrap_or_else(|e| panic!("{label}: lookup failed: {e}"));
+        assert!(
+            lookup.from_store,
+            "{label}: the intact .sirt entry must still serve"
+        );
+        let stats = compile_stats();
+        assert_eq!(
+            stats.sirx_corrupt, 1,
+            "{label}: the rejected compiled entry must be counted"
+        );
+        assert_eq!(stats.sirx_loaded, 0, "{label}: damaged entry must not load");
+        assert_eq!(
+            stats.sirx_writes, 1,
+            "{label}: the fresh lowering must write back a repair"
+        );
+        assert_tiers_agree(label, &lookup.outcome, None, tgt, &tests);
+        drop(lookup);
+
+        // The repair round-trips: the next process adopts it again.
+        let repaired = std::fs::read(&sirx_path).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(repaired, pristine, "{label}: repair must restore the entry");
+
+        std::fs::write(&sirx_path, &pristine)
+            .unwrap_or_else(|e| panic!("{label}: restoring pristine sirx: {e}"));
+    }
+
+    // decode_compiled against the wrong key is a corruption, not a panic
+    // and not a silently re-keyed translator.
+    let other_key = StoreKey::new(&SynthesisConfig::new(src, IrVersion::V3_7), 0);
+    assert!(
+        decode_compiled(&pristine, &other_key).is_err(),
+        "a compiled entry must never decode under a different key"
+    );
+
+    set_active_store(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}

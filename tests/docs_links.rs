@@ -1,0 +1,143 @@
+//! Every intra-repo markdown link must resolve. The docs are the map of
+//! the system (`docs/ARCHITECTURE.md` is the index), so a renamed file or
+//! a typo'd relative path is a CI failure, not a reader's dead end.
+//!
+//! Scope: inline `[text](target)` links in every tracked `.md` file at
+//! the repo root, under `docs/`, and under `crates/`. External schemes
+//! (`http`, `https`, `mailto`) and pure in-page anchors (`#...`) are
+//! skipped; a `path#anchor` link is checked for the path part only.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Collects the markdown files under the checked roots, skipping build
+/// output and VCS internals.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != ".git" && name != "target" && name != "node_modules" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".md") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Extracts inline-link targets from one markdown source. Deliberately
+/// simple: `](target)` pairs outside fenced code blocks. Reference-style
+/// links are rare enough here that inline coverage is the contract.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(i) = rest.find("](") {
+            let tail = &rest[i + 2..];
+            let Some(end) = tail.find(')') else { break };
+            let target = &tail[..end];
+            // Markdown permits an optional title: `](path "title")`.
+            let target = target.split_whitespace().next().unwrap_or("");
+            if !target.is_empty() {
+                out.push(target.to_string());
+            }
+            rest = &tail[end + 1..];
+        }
+    }
+    out
+}
+
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = repo_root();
+    let mut files = markdown_files(&root);
+    files.retain(|p| {
+        let rel = p.strip_prefix(&root).unwrap_or(p);
+        let first = rel
+            .components()
+            .next()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned());
+        matches!(first.as_deref(), Some("docs") | Some("crates")) || rel.components().count() == 1
+    });
+    // PAPER.md / PAPERS.md / SNIPPETS.md are externally-retrieved reference
+    // material; their links point at assets that were never part of this
+    // repo and are not ours to fix.
+    files.retain(|p| {
+        !matches!(
+            p.file_name().and_then(|n| n.to_str()),
+            Some("PAPER.md" | "PAPERS.md" | "SNIPPETS.md")
+        )
+    });
+    assert!(
+        files.iter().any(|p| p.ends_with("docs/ARCHITECTURE.md")),
+        "docs/ARCHITECTURE.md (the doc index) must exist"
+    );
+
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", file.display()));
+        let dir = file.parent().expect("md file has a parent");
+        for target in link_targets(&text) {
+            if is_external(&target) {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            let resolved = if let Some(stripped) = path_part.strip_prefix('/') {
+                root.join(stripped)
+            } else {
+                dir.join(path_part)
+            };
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{} -> {target} (resolved {})",
+                    file.strip_prefix(&root).unwrap_or(file).display(),
+                    resolved.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        checked > 10,
+        "link checker only saw {checked} links — scan roots are probably wrong"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo markdown links:\n  {}",
+        broken.join("\n  ")
+    );
+}

@@ -1,0 +1,74 @@
+//! End-to-end check that the compiled translate tier is invisible on the
+//! wire: the same synthesized request served with the tier on and off
+//! returns byte-identical text, and the daemon's `STATS` page shows which
+//! tier did the work.
+//!
+//! Lives in its own integration-test binary because it toggles the
+//! process-global compile switch — sharing a process with other serve
+//! tests would race their translations onto the wrong tier.
+
+use std::time::Duration;
+
+use siro::ir::{interp::Machine, parse, write, IrVersion};
+use siro::serve::{stats_value, Client, ServeConfig, TranslateMode};
+use siro::synth::set_compile_enabled;
+
+#[test]
+fn compiled_tier_is_byte_invisible_on_the_wire() {
+    let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
+    let case = siro::testcases::corpus_for_pair(src, tgt)
+        .into_iter()
+        .next()
+        .expect("corpus has cases for the pair");
+    let text = write::write_module(&case.build(src));
+
+    let handle = siro::serve::start(ServeConfig {
+        threads: Some(2),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(60)).expect("connect");
+
+    // First request with the tier on: synthesizes, lowers, serves from
+    // the compiled tier (the in-place mirror driver on this corpus pair).
+    set_compile_enabled(true);
+    let compiled_out = client
+        .translate(src, tgt, TranslateMode::Synthesized, text.clone())
+        .expect("served translation (compiled tier)");
+    let page = client.stats().expect("stats");
+    let compiled_count = stats_value(&page, "compile_translations_compiled");
+    assert!(
+        compiled_count.is_some_and(|n| n >= 1),
+        "expected a compiled-tier translation on the stats page, got {compiled_count:?}"
+    );
+    assert_eq!(stats_value(&page, "compile_enabled"), Some(1));
+
+    // Same request with the tier forced off: the interpreter must serve
+    // the exact same bytes (the translator is already cached, so only the
+    // execution tier changes).
+    set_compile_enabled(false);
+    let interpreted_out = client
+        .translate(src, tgt, TranslateMode::Synthesized, text)
+        .expect("served translation (interpreter)");
+    assert_eq!(
+        compiled_out.text, interpreted_out.text,
+        "disabling the compiled tier changed served bytes"
+    );
+    let page = client.stats().expect("stats");
+    assert!(
+        stats_value(&page, "compile_translations_interpreted").is_some_and(|n| n >= 1),
+        "expected an interpreted translation after disabling the tier"
+    );
+    assert_eq!(stats_value(&page, "compile_enabled"), Some(0));
+
+    // The served text is live: it reparses and meets the corpus oracle.
+    let reparsed = parse::parse_module(&compiled_out.text).expect("reparse served text");
+    let got = Machine::new(&reparsed)
+        .run_main()
+        .expect("run served module")
+        .return_int();
+    assert_eq!(got, Some(case.oracle));
+
+    set_compile_enabled(true);
+    handle.shutdown();
+}
