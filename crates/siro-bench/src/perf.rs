@@ -629,6 +629,94 @@ pub fn write_translate_hot_json(record: &TranslateHotRecord) -> std::io::Result<
     Ok(path)
 }
 
+/// One row of the `ir_alloc` bench: allocator traffic on the
+/// parse→translate→serialize request path (`siro-bench/ir-alloc-v1`).
+#[derive(Debug, Clone)]
+pub struct IrAllocRecord {
+    /// Source version of the measured pair.
+    pub source: IrVersion,
+    /// Target version of the measured pair.
+    pub target: IrVersion,
+    /// Workload module name.
+    pub module: String,
+    /// Instruction count of the workload module.
+    pub insts: usize,
+    /// Timed/counted repetitions.
+    pub iters: u64,
+    /// Allocator calls per request in the parse leg.
+    pub parse_allocs: u64,
+    /// Allocator calls per request in the translate leg (compiled tier).
+    pub translate_allocs: u64,
+    /// Allocator calls per request in the serialize leg.
+    pub serialize_allocs: u64,
+    /// Allocator calls per request over the whole composition.
+    pub total_allocs: u64,
+    /// The pre-arena baseline the gate compares against.
+    pub baseline_allocs: u64,
+    /// `baseline_allocs / total_allocs`.
+    pub reduction: f64,
+    /// The gate: the reduction must be at least this.
+    pub min_reduction: f64,
+    /// p50 wall time of the whole composition, µs.
+    pub request_p50_us: u64,
+    /// p50 wall time of the translate leg alone, µs.
+    pub translate_p50_us: u64,
+    /// Whether the gate held.
+    pub pass: bool,
+}
+
+/// Where the ir-alloc JSON goes: `SIRO_BENCH_IR_ALLOC_JSON` if set, else
+/// `BENCH_ir_alloc.json` in the current directory.
+pub fn ir_alloc_json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_IR_ALLOC_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_ir_alloc.json"))
+}
+
+/// Renders the ir-alloc record as a JSON document.
+pub fn render_ir_alloc_json(record: &IrAllocRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"siro-bench/ir-alloc-v1\",");
+    let _ = writeln!(
+        out,
+        "  \"pair\": {{ \"source\": {}, \"target\": {} }},",
+        json_string(&record.source.to_string()),
+        json_string(&record.target.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "  \"module\": {{ \"name\": {}, \"insts\": {} }},",
+        json_string(&record.module),
+        record.insts
+    );
+    let _ = writeln!(out, "  \"iters\": {},", record.iters);
+    let _ = writeln!(
+        out,
+        "  \"allocs_per_request\": {{ \"parse\": {}, \"translate\": {}, \"serialize\": {}, \"total\": {} }},",
+        record.parse_allocs, record.translate_allocs, record.serialize_allocs, record.total_allocs
+    );
+    let _ = writeln!(out, "  \"baseline_allocs\": {},", record.baseline_allocs);
+    let _ = writeln!(out, "  \"reduction\": {:.3},", record.reduction);
+    let _ = writeln!(out, "  \"min_reduction\": {:.3},", record.min_reduction);
+    let _ = writeln!(out, "  \"request_p50_us\": {},", record.request_p50_us);
+    let _ = writeln!(out, "  \"translate_p50_us\": {},", record.translate_p50_us);
+    let _ = writeln!(out, "  \"pass\": {}", record.pass);
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_ir_alloc.json` and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_ir_alloc_json(record: &IrAllocRecord) -> std::io::Result<PathBuf> {
+    let path = ir_alloc_json_path();
+    std::fs::write(&path, render_ir_alloc_json(record))?;
+    Ok(path)
+}
+
 /// Where the sustained-load JSON goes: `SIRO_BENCH_LOADTEST_JSON` if set,
 /// else `BENCH_loadtest.json` in the current directory.
 pub fn loadtest_json_path() -> PathBuf {

@@ -1,0 +1,268 @@
+//! Cross-crate IR conformance suite — the behavioral contract of `siro-ir`.
+//!
+//! Every externally observable behavior of the IR layer is pinned here
+//! against committed golden files: the exact serialized text of a corpus of
+//! modules at **every** version in [`IrVersion::CATALOG`], the verifier
+//! verdict for each (including error messages), the reader's verdict on the
+//! writer's output, the interpreter outcome (result, step count, event
+//! stream, leak accounting), and the byte-exact output of synthesized
+//! translation for representative version pairs.
+//!
+//! The suite exists so that representation changes inside `siro-ir` (such
+//! as the arena/`Ptr<T>` core) can be proven to be *no-behavior-change*
+//! refactors: the goldens were generated from the pre-arena tree and must
+//! keep passing bit-for-bit afterwards.
+//!
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! SIRO_REGEN_GOLDEN=1 cargo test --test ir_conformance
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use siro::core::Skeleton;
+use siro::ir::{interp, parse, verify, write, IrVersion, Module, Opcode};
+use siro::synth::{OracleTest, SynthesisConfig, SynthesisOutcome, TranslatorCache};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/ir_conformance")
+}
+
+fn version_slug(v: IrVersion) -> String {
+    format!("v{}_{}", v.major(), v.minor())
+}
+
+/// Deterministic corpus for one version: every hand-written test case (the
+/// 68-case corpus covers the full opcode catalog, including the EH family,
+/// `callbr`, `freeze`, atomics, vectors, and inline asm) plus a batch of
+/// seeded generator programs for shape diversity.
+fn corpus(version: IrVersion) -> Vec<(String, Module)> {
+    let mut out = Vec::new();
+    for case in siro::testcases::full_corpus() {
+        out.push((format!("case:{}", case.name), case.build(version)));
+    }
+    let seed = 0x51D0_C0DE ^ (u64::from(version.major()) << 8) ^ u64::from(version.minor());
+    for case in siro::testcases::gen::generate_cases(seed, 6, version) {
+        out.push((format!("gen:{}", case.name), case.module));
+    }
+    out
+}
+
+/// Renders every observable fact about `module` into a deterministic dump
+/// section: serialized text, verify verdict, reparse verdict, and (when the
+/// module verifies) the interpreter outcome.
+fn dump_module(name: &str, module: &Module) -> String {
+    let mut s = String::new();
+    let text = write::write_module(module);
+    writeln!(s, "== {name} ==").unwrap();
+    writeln!(s, "-- text ({} bytes) --", text.len()).unwrap();
+    s.push_str(&text);
+    if !text.ends_with('\n') {
+        s.push('\n');
+    }
+    let verdict = verify::verify_module(module);
+    match &verdict {
+        Ok(()) => writeln!(s, "-- verify: ok --").unwrap(),
+        Err(e) => writeln!(s, "-- verify: error: {e} --").unwrap(),
+    }
+    match parse::parse_module(&text) {
+        Ok(reparsed) => {
+            let retext = write::write_module(&reparsed);
+            if retext == text {
+                writeln!(s, "-- reparse: ok (fixpoint) --").unwrap();
+            } else {
+                writeln!(s, "-- reparse: ok (NOT a fixpoint) --").unwrap();
+            }
+        }
+        Err(e) => writeln!(s, "-- reparse: error: {e} --").unwrap(),
+    }
+    if verdict.is_ok() {
+        match interp::Machine::new(module).with_fuel(200_000).run_main() {
+            Ok(outcome) => {
+                writeln!(s, "-- interp --").unwrap();
+                writeln!(s, "result: {:?}", outcome.result).unwrap();
+                writeln!(s, "steps: {}", outcome.steps).unwrap();
+                writeln!(s, "events: {:?}", outcome.events).unwrap();
+                writeln!(s, "leaked_heap: {}", outcome.leaked_heap).unwrap();
+            }
+            Err(e) => writeln!(s, "-- interp: error: {e} --").unwrap(),
+        }
+    } else {
+        writeln!(s, "-- interp: skipped (verify failed) --").unwrap();
+    }
+    s.push('\n');
+    s
+}
+
+fn dump_version(version: IrVersion) -> String {
+    let mut s = format!("# siro-ir conformance dump, version {version}\n\n");
+    for (name, module) in corpus(version) {
+        s.push_str(&dump_module(&name, &module));
+    }
+    s
+}
+
+fn check_or_regen(file: &str, rendered: &str) {
+    let path = golden_dir().join(file);
+    if std::env::var_os("SIRO_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e}; regenerate with SIRO_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    if rendered != golden {
+        // Locate the first differing line for a readable failure.
+        let mut line = 1usize;
+        for (a, b) in rendered.lines().zip(golden.lines()) {
+            if a != b {
+                panic!(
+                    "{file} drifted from the committed golden at line {line}:\n  \
+                     got:    {a}\n  golden: {b}\n\
+                     The IR layer's observable behavior changed; if intentional, \
+                     regenerate with SIRO_REGEN_GOLDEN=1",
+                );
+            }
+            line += 1;
+        }
+        panic!(
+            "{file} drifted from the committed golden (length {} vs {}); \
+             regenerate with SIRO_REGEN_GOLDEN=1 if intentional",
+            rendered.len(),
+            golden.len()
+        );
+    }
+}
+
+/// The headline conformance check: for every version in the catalog the
+/// full corpus dump (text, verify verdict, reparse verdict, interpreter
+/// outcome) must be byte-identical to the committed golden.
+#[test]
+fn golden_corpus_is_byte_identical_for_every_version() {
+    for version in IrVersion::CATALOG {
+        let rendered = dump_version(version);
+        check_or_regen(&format!("{}.txt", version_slug(version)), &rendered);
+    }
+}
+
+/// Writer output must be a parser fixpoint wherever the parser accepts it:
+/// `write(parse(write(m))) == write(m)`, and the reparsed module must agree
+/// with the original on the verifier verdict and interpreter outcome.
+#[test]
+fn write_parse_write_is_a_fixpoint_and_preserves_behavior() {
+    for version in IrVersion::CATALOG {
+        for (name, module) in corpus(version) {
+            let text = write::write_module(&module);
+            let reparsed = match parse::parse_module(&text) {
+                Ok(m) => m,
+                Err(_) => continue, // verdict itself is pinned by the golden dump
+            };
+            let retext = write::write_module(&reparsed);
+            assert_eq!(retext, text, "{version} {name}: not a print fixpoint");
+            let v1 = verify::verify_module(&module).map_err(|e| e.to_string());
+            let v2 = verify::verify_module(&reparsed).map_err(|e| e.to_string());
+            assert_eq!(v1, v2, "{version} {name}: verify verdict changed");
+            if v1.is_ok() {
+                let o1 = interp::Machine::new(&module).with_fuel(200_000).run_main();
+                let o2 = interp::Machine::new(&reparsed)
+                    .with_fuel(200_000)
+                    .run_main();
+                match (o1, o2) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.result, b.result, "{version} {name}: result");
+                        assert_eq!(a.steps, b.steps, "{version} {name}: steps");
+                        assert_eq!(a.events, b.events, "{version} {name}: events");
+                    }
+                    (a, b) => assert_eq!(
+                        a.is_ok(),
+                        b.is_ok(),
+                        "{version} {name}: interp error class changed"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The conformance corpus must exercise the complete opcode catalog at the
+/// newest version — otherwise "proven behavior-identical" would silently
+/// exclude the long tail.
+#[test]
+fn corpus_covers_every_opcode_kind() {
+    let version = IrVersion::V17_0;
+    let mut seen: BTreeSet<Opcode> = BTreeSet::new();
+    for (_, module) in corpus(version) {
+        for f in &module.funcs {
+            for inst in &f.insts {
+                seen.insert(inst.opcode);
+            }
+        }
+    }
+    let missing: Vec<Opcode> = Opcode::ALL.iter().copied().filter(|o| !seen.contains(o)).collect();
+    assert!(
+        missing.is_empty(),
+        "conformance corpus misses opcode kinds: {missing:?}"
+    );
+}
+
+fn oracle_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
+    siro::testcases::corpus_for_pair(src, tgt)
+        .into_iter()
+        .map(|c| OracleTest {
+            name: c.name.to_string(),
+            module: c.build(src),
+            oracle: c.oracle,
+        })
+        .collect()
+}
+
+fn synth(src: IrVersion, tgt: IrVersion) -> Arc<SynthesisOutcome> {
+    TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &oracle_tests(src, tgt))
+        .expect("synthesis")
+}
+
+/// The serve path end to end: for representative pairs, the serialized
+/// bytes of every translated corpus module are pinned. This is the exact
+/// parse→translate→serialize composition the daemon runs per request.
+#[test]
+fn translated_bytes_match_golden_for_representative_pairs() {
+    let pairs = [
+        (IrVersion::V13_0, IrVersion::V3_6),
+        (IrVersion::V17_0, IrVersion::V12_0),
+        (IrVersion::V3_6, IrVersion::V12_0),
+    ];
+    for (src, tgt) in pairs {
+        let outcome = synth(src, tgt);
+        let skel = Skeleton::new(tgt);
+        let mut s = format!("# translation conformance dump, pair {src} -> {tgt}\n\n");
+        for case in siro::testcases::corpus_for_pair(src, tgt) {
+            let m = case.build(src);
+            let translated = skel
+                .translate_module(&m, &outcome.translator)
+                .unwrap_or_else(|e| panic!("{src}->{tgt} {}: {e}", case.name));
+            let text = write::write_module(&translated);
+            writeln!(s, "== case:{} ({} bytes) ==", case.name, text.len()).unwrap();
+            s.push_str(&text);
+            if !text.ends_with('\n') {
+                s.push('\n');
+            }
+            s.push('\n');
+        }
+        check_or_regen(
+            &format!(
+                "translate_{}_to_{}.txt",
+                version_slug(src),
+                version_slug(tgt)
+            ),
+            &s,
+        );
+    }
+}
