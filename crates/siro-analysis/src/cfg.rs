@@ -22,8 +22,8 @@ impl Cfg {
         for b in func.block_ids() {
             if let Some(term) = func.terminator(b) {
                 for s in term.successors() {
-                    succs[b.0 as usize].push(s);
-                    preds[s.0 as usize].push(b);
+                    succs[b.index()].push(s);
+                    preds[s.index()].push(b);
                 }
             }
         }
@@ -42,12 +42,12 @@ impl Cfg {
 
     /// Successors of `b`.
     pub fn successors(&self, b: BlockId) -> &[BlockId] {
-        &self.succs[b.0 as usize]
+        &self.succs[b.index()]
     }
 
     /// Predecessors of `b`.
     pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
-        &self.preds[b.0 as usize]
+        &self.preds[b.index()]
     }
 
     /// Blocks in reverse post-order from the entry.
@@ -59,15 +59,15 @@ impl Cfg {
         let mut visited = vec![false; n];
         let mut post = Vec::with_capacity(n);
         // Iterative DFS computing post-order.
-        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::new(0), 0)];
         visited[0] = true;
         while let Some(&mut (b, ref mut i)) = stack.last_mut() {
             let succ = self.successors(b);
             if *i < succ.len() {
                 let s = succ[*i];
                 *i += 1;
-                if !visited[s.0 as usize] {
-                    visited[s.0 as usize] = true;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
                     stack.push((s, 0));
                 }
             } else {
@@ -87,15 +87,15 @@ impl Cfg {
         }
         let mut seen = vec![false; self.len()];
         let mut q = VecDeque::new();
-        seen[from.0 as usize] = true;
+        seen[from.index()] = true;
         q.push_back(from);
         while let Some(b) = q.pop_front() {
             for &s in self.successors(b) {
                 if s == to {
                     return true;
                 }
-                if !seen[s.0 as usize] {
-                    seen[s.0 as usize] = true;
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
                     q.push_back(s);
                 }
             }
@@ -138,9 +138,15 @@ mod tests {
     fn diamond_edges() {
         let (m, f) = diamond();
         let cfg = Cfg::build(m.func(f));
-        assert_eq!(cfg.successors(BlockId(0)), &[BlockId(1), BlockId(2)]);
-        assert_eq!(cfg.predecessors(BlockId(3)), &[BlockId(1), BlockId(2)]);
-        assert!(cfg.successors(BlockId(3)).is_empty());
+        assert_eq!(
+            cfg.successors(BlockId::new(0)),
+            &[BlockId::new(1), BlockId::new(2)]
+        );
+        assert_eq!(
+            cfg.predecessors(BlockId::new(3)),
+            &[BlockId::new(1), BlockId::new(2)]
+        );
+        assert!(cfg.successors(BlockId::new(3)).is_empty());
     }
 
     #[test]
@@ -149,17 +155,17 @@ mod tests {
         let cfg = Cfg::build(m.func(f));
         let rpo = cfg.reverse_post_order();
         assert_eq!(rpo.len(), 4);
-        assert_eq!(rpo[0], BlockId(0));
-        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+        assert_eq!(rpo[0], BlockId::new(0));
+        assert_eq!(*rpo.last().unwrap(), BlockId::new(3));
     }
 
     #[test]
     fn reachability() {
         let (m, f) = diamond();
         let cfg = Cfg::build(m.func(f));
-        assert!(cfg.reachable(BlockId(0), BlockId(3)));
-        assert!(cfg.reachable(BlockId(1), BlockId(3)));
-        assert!(!cfg.reachable(BlockId(1), BlockId(2)));
-        assert!(cfg.reachable(BlockId(2), BlockId(2)));
+        assert!(cfg.reachable(BlockId::new(0), BlockId::new(3)));
+        assert!(cfg.reachable(BlockId::new(1), BlockId::new(3)));
+        assert!(!cfg.reachable(BlockId::new(1), BlockId::new(2)));
+        assert!(cfg.reachable(BlockId::new(2), BlockId::new(2)));
     }
 }

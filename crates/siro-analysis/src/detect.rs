@@ -70,7 +70,7 @@ impl FnCtx<'_> {
         }
         match self.position(inst) {
             Some((b, pos)) => format!("{}:{}", self.func.block(b).name, pos),
-            None => format!("inst{}", inst.0),
+            None => format!("inst{}", inst.raw()),
         }
     }
 

@@ -23,20 +23,20 @@ impl DomTree {
         let rpo = cfg.reverse_post_order();
         let mut rpo_index = vec![usize::MAX; n];
         for (i, &b) in rpo.iter().enumerate() {
-            rpo_index[b.0 as usize] = i;
+            rpo_index[b.index()] = i;
         }
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         if n == 0 {
             return DomTree { idom, rpo_index };
         }
-        idom[0] = Some(BlockId(0));
+        idom[0] = Some(BlockId::new(0));
         let mut changed = true;
         while changed {
             changed = false;
             for &b in rpo.iter().skip(1) {
                 let mut new_idom: Option<BlockId> = None;
                 for &p in cfg.predecessors(b) {
-                    if idom[p.0 as usize].is_none() {
+                    if idom[p.index()].is_none() {
                         continue;
                     }
                     new_idom = Some(match new_idom {
@@ -44,8 +44,8 @@ impl DomTree {
                         Some(cur) => intersect(&idom, &rpo_index, p, cur),
                     });
                 }
-                if new_idom.is_some() && idom[b.0 as usize] != new_idom {
-                    idom[b.0 as usize] = new_idom;
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
                     changed = true;
                 }
             }
@@ -56,7 +56,7 @@ impl DomTree {
     /// The immediate dominator of `b` (`None` for the entry and unreachable
     /// blocks).
     pub fn idom(&self, b: BlockId) -> Option<BlockId> {
-        let d = self.idom[b.0 as usize]?;
+        let d = self.idom[b.index()]?;
         if d == b {
             None
         } else {
@@ -80,13 +80,13 @@ impl DomTree {
 
     /// Whether `b` is reachable from the entry.
     pub fn is_reachable(&self, b: BlockId) -> bool {
-        self.idom[b.0 as usize].is_some()
+        self.idom[b.index()].is_some()
     }
 
     /// The reverse post-order index of a block (used as a cheap topological
     /// position).
     pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
-        let i = self.rpo_index[b.0 as usize];
+        let i = self.rpo_index[b.index()];
         if i == usize::MAX {
             None
         } else {
@@ -102,11 +102,11 @@ fn intersect(
     mut b: BlockId,
 ) -> BlockId {
     while a != b {
-        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
-            a = idom[a.0 as usize].expect("processed block");
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block");
         }
-        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
-            b = idom[b.0 as usize].expect("processed block");
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block");
         }
     }
     a
@@ -150,15 +150,15 @@ mod tests {
     fn idoms_of_diamond_with_loop() {
         let (cfg, ()) = build();
         let dom = DomTree::build(&cfg);
-        assert_eq!(dom.idom(BlockId(0)), None);
-        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0))); // then: entry or merge preds
-        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
-        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
-        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(3)));
-        assert!(dom.dominates(BlockId(0), BlockId(4)));
-        assert!(dom.dominates(BlockId(3), BlockId(4)));
-        assert!(!dom.dominates(BlockId(1), BlockId(3)));
-        assert!(dom.dominates(BlockId(3), BlockId(3)));
+        assert_eq!(dom.idom(BlockId::new(0)), None);
+        assert_eq!(dom.idom(BlockId::new(1)), Some(BlockId::new(0))); // then: entry or merge preds
+        assert_eq!(dom.idom(BlockId::new(2)), Some(BlockId::new(0)));
+        assert_eq!(dom.idom(BlockId::new(3)), Some(BlockId::new(0)));
+        assert_eq!(dom.idom(BlockId::new(4)), Some(BlockId::new(3)));
+        assert!(dom.dominates(BlockId::new(0), BlockId::new(4)));
+        assert!(dom.dominates(BlockId::new(3), BlockId::new(4)));
+        assert!(!dom.dominates(BlockId::new(1), BlockId::new(3)));
+        assert!(dom.dominates(BlockId::new(3), BlockId::new(3)));
     }
 
     #[test]

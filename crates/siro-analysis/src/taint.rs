@@ -56,7 +56,7 @@ impl FlowSet {
                     Opcode::Select => inst.operands[1..].to_vec(),
                     Opcode::Phi => inst.phi_incoming().into_iter().map(|(v, _)| v).collect(),
                     Opcode::GetElementPtr => vec![inst.operands[0]],
-                    _ => inst.operands.clone(),
+                    _ => inst.operands.to_vec(),
                 };
                 if data_operands.iter().any(|v| values.contains(v)) {
                     values.insert(out);

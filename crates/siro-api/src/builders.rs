@@ -852,7 +852,7 @@ fn register_one(reg: &mut ApiRegistry, op: Opcode, explicit: bool) {
                 |ctx, args| {
                     let bs = blocks_arg(args, 0)?;
                     let void = ctx.tgt.types.void();
-                    let ops = bs.into_iter().map(ValueRef::Block).collect();
+                    let ops: siro_ir::OpVec = bs.into_iter().map(ValueRef::Block).collect();
                     ctx.build(Instruction::new(CatchSwitch, void, ops))
                         .map(as_inst)
                 },
@@ -965,7 +965,7 @@ mod tests {
         let tfid = ctx.clone_signature(sfid);
         ctx.begin_function(sfid, tfid);
         let b = ctx.tgt.func_mut(tfid).add_block("entry");
-        ctx.map_block(siro_ir::BlockId(0), b);
+        ctx.map_block(siro_ir::BlockId::new(0), b);
         ctx.set_insertion(b);
         ctx
     }
@@ -992,7 +992,7 @@ mod tests {
         }
         let tf = ctx.tgt.func(ctx.tgt_func_id().unwrap());
         assert_eq!(tf.inst_count(), 1);
-        assert_eq!(tf.inst(siro_ir::InstId(0)).opcode, Opcode::Add);
+        assert_eq!(tf.inst(siro_ir::InstId::new(0)).opcode, Opcode::Add);
     }
 
     #[test]
@@ -1032,7 +1032,7 @@ mod tests {
             )
             .unwrap();
         let tf = ctx.tgt.func(tfid);
-        let inst = tf.inst(siro_ir::InstId(0));
+        let inst = tf.inst(siro_ir::InstId::new(0));
         assert_eq!(inst.opcode, Opcode::Br);
         assert_eq!(inst.operands.len(), 3);
     }

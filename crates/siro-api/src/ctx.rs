@@ -36,7 +36,7 @@ impl ValueMap {
     fn get(&self, i: InstId) -> Option<ValueRef> {
         match self {
             ValueMap::Hash(m) => m.get(&i).copied(),
-            ValueMap::Dense(v) => v.get(i.0 as usize).copied().flatten(),
+            ValueMap::Dense(v) => v.get(i.index()).copied().flatten(),
         }
     }
 
@@ -47,7 +47,7 @@ impl ValueMap {
                 m.insert(i, v);
             }
             ValueMap::Dense(vec) => {
-                let idx = i.0 as usize;
+                let idx = i.index();
                 if idx >= vec.len() {
                     vec.resize(idx + 1, None);
                 }
@@ -163,7 +163,7 @@ impl<'s> TranslationCtx<'s> {
 
     /// Registers the target counterpart of a source function.
     pub fn map_func(&mut self, src: FuncId, tgt: FuncId) {
-        let idx = src.0 as usize;
+        let idx = src.index();
         if idx >= self.func_map.len() {
             self.func_map.resize(idx + 1, None);
         }
@@ -172,7 +172,7 @@ impl<'s> TranslationCtx<'s> {
 
     /// Registers the target counterpart of a source global.
     pub fn map_global(&mut self, src: GlobalId, tgt: GlobalId) {
-        let idx = src.0 as usize;
+        let idx = src.index();
         if idx >= self.global_map.len() {
             self.global_map.resize(idx + 1, None);
         }
@@ -221,7 +221,7 @@ impl<'s> TranslationCtx<'s> {
     /// Registers the target counterpart of a source block in the current
     /// function.
     pub fn map_block(&mut self, src: BlockId, tgt: BlockId) {
-        let idx = src.0 as usize;
+        let idx = src.index();
         if idx >= self.block_map.len() {
             self.block_map.resize(idx + 1, None);
         }
@@ -336,10 +336,10 @@ impl<'s> TranslationCtx<'s> {
     /// [`ApiError::Missing`] if the skeleton has not pre-created the block.
     pub fn translate_block(&mut self, src: BlockId) -> ApiResult<BlockId> {
         self.block_map
-            .get(src.0 as usize)
+            .get(src.index())
             .copied()
             .flatten()
-            .ok_or_else(|| ApiError::Missing(format!("block {} not mapped", src.0)))
+            .ok_or_else(|| ApiError::Missing(format!("block {} not mapped", src.raw())))
     }
 
     /// Translates a source function reference.
@@ -349,15 +349,15 @@ impl<'s> TranslationCtx<'s> {
     /// [`ApiError::Missing`] if the skeleton has not pre-registered it.
     pub fn translate_func(&mut self, src: FuncId) -> ApiResult<FuncId> {
         self.func_map
-            .get(src.0 as usize)
+            .get(src.index())
             .copied()
             .flatten()
-            .ok_or_else(|| ApiError::Missing(format!("function {} not mapped", src.0)))
+            .ok_or_else(|| ApiError::Missing(format!("function {} not mapped", src.raw())))
     }
 
     /// Translates a source global, creating the target global on demand.
     pub fn translate_global(&mut self, src: GlobalId) -> GlobalId {
-        if let Some(Some(g)) = self.global_map.get(src.0 as usize) {
+        if let Some(Some(g)) = self.global_map.get(src.index()) {
             return *g;
         }
         let g = self.src.global(src).clone();
@@ -521,10 +521,10 @@ mod tests {
         let tfid = ctx.clone_signature(sfid);
         ctx.begin_function(sfid, tfid);
         let tb = ctx.tgt.func_mut(tfid).add_block("entry");
-        ctx.map_block(BlockId(0), tb);
+        ctx.map_block(BlockId::new(0), tb);
         ctx.set_insertion(tb);
         // Forward-reference instruction 0 before translating it.
-        let ph = ctx.translate_value(ValueRef::Inst(InstId(0))).unwrap();
+        let ph = ctx.translate_value(ValueRef::Inst(InstId::new(0))).unwrap();
         assert!(matches!(ph, ValueRef::Placeholder(_)));
         assert_eq!(ctx.unresolved_placeholders(), 1);
         // Build an instruction using the placeholder.
@@ -533,7 +533,7 @@ mod tests {
             .build(Instruction::new(Opcode::Add, i32t, vec![ph, ph]))
             .unwrap();
         // Now "translate" instruction 0 and observe the patch.
-        ctx.note_translated(InstId(0), ValueRef::const_int(i32t, 5))
+        ctx.note_translated(InstId::new(0), ValueRef::const_int(i32t, 5))
             .unwrap();
         assert_eq!(ctx.unresolved_placeholders(), 0);
         let f = ctx.tgt.func(tfid);
@@ -546,7 +546,7 @@ mod tests {
     fn unmapped_block_is_an_error() {
         let src = src_module();
         let mut ctx = TranslationCtx::new(&src, IrVersion::V3_6);
-        let e = ctx.translate_block(BlockId(7)).unwrap_err();
+        let e = ctx.translate_block(BlockId::new(7)).unwrap_err();
         assert!(matches!(e, ApiError::Missing(_)));
     }
 
@@ -561,11 +561,15 @@ mod tests {
             is_const: false,
         });
         let mut ctx = TranslationCtx::new(&m, IrVersion::V3_6);
-        let v = ctx.translate_value(ValueRef::Global(GlobalId(0))).unwrap();
+        let v = ctx
+            .translate_value(ValueRef::Global(GlobalId::new(0)))
+            .unwrap();
         assert!(matches!(v, ValueRef::Global(_)));
         assert_eq!(ctx.tgt.globals.len(), 1);
         // Second translation reuses the mapping.
-        let _ = ctx.translate_value(ValueRef::Global(GlobalId(0))).unwrap();
+        let _ = ctx
+            .translate_value(ValueRef::Global(GlobalId::new(0)))
+            .unwrap();
         assert_eq!(ctx.tgt.globals.len(), 1);
     }
 

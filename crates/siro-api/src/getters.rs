@@ -744,12 +744,12 @@ mod tests {
         // Instruction 1 is the conditional branch.
         let ok = reg
             .get(get_cond)
-            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId(1))]);
+            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId::new(1))]);
         assert!(matches!(ok, Ok(ApiValue::SrcValue(_))));
         // Instruction 3 is the unconditional branch in `else`.
         let err = reg
             .get(get_cond)
-            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId(3))]);
+            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId::new(3))]);
         assert!(matches!(err, Err(ApiError::WrongSubKind(_))));
     }
 
@@ -760,7 +760,7 @@ mod tests {
         let reg = ApiRegistry::for_pair(IrVersion::V13_0, IrVersion::V3_6);
         let succ = reg.find_for_kind("get_successor", Opcode::Br).unwrap();
         let bop = reg.find_for_kind("get_block_operand", Opcode::Br).unwrap();
-        let inst = ApiValue::SrcInst(siro_ir::InstId(1));
+        let inst = ApiValue::SrcInst(siro_ir::InstId::new(1));
         // successor(0) == block_operand(1) for a conditional branch.
         let a = reg
             .get(succ)
@@ -784,7 +784,7 @@ mod tests {
         let p = reg.find_for_kind("get_predicate", Opcode::ICmp).unwrap();
         let v = reg
             .get(p)
-            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId(0))])
+            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId::new(0))])
             .unwrap();
         assert_eq!(v, ApiValue::IntPred(IntPredicate::Slt));
     }
@@ -808,7 +808,7 @@ mod tests {
         let g = reg.find_for_kind("get_callee_type", Opcode::Call).unwrap();
         let v = reg
             .get(g)
-            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId(0))])
+            .call(&mut ctx, &[ApiValue::SrcInst(siro_ir::InstId::new(0))])
             .unwrap();
         match v {
             ApiValue::SrcType(t) => {

@@ -229,10 +229,10 @@ mod tests {
         ctx.begin_function(sfid, tfid);
         let te = ctx.tgt.func_mut(tfid).add_block("entry");
         let tx = ctx.tgt.func_mut(tfid).add_block("exit");
-        ctx.map_block(siro_ir::BlockId(0), te);
-        ctx.map_block(siro_ir::BlockId(1), tx);
+        ctx.map_block(siro_ir::BlockId::new(0), te);
+        ctx.map_block(siro_ir::BlockId::new(1), tx);
         ctx.set_insertion(te);
-        let v = prog.run(&reg, &mut ctx, siro_ir::InstId(0)).unwrap();
+        let v = prog.run(&reg, &mut ctx, siro_ir::InstId::new(0)).unwrap();
         assert!(matches!(v, ValueRef::Inst(_)));
         let tf = ctx.tgt.func(tfid);
         let inst = tf.inst(v.as_inst().unwrap());

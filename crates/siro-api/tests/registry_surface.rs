@@ -106,7 +106,7 @@ fn getters_never_panic_on_corpus_instructions() {
             ctx.begin_function(fid, tfid);
             let func = module.func(fid);
             for (i, inst) in func.insts.iter().enumerate() {
-                let iid = siro_ir::InstId(i as u32);
+                let iid = siro_ir::InstId::new(i as u32);
                 for (api_id, f) in reg.iter() {
                     if f.kind != ApiKind::Getter {
                         continue;
@@ -156,7 +156,7 @@ fn subkind_profile_is_deterministic_and_keyed_by_name() {
     ctx.begin_function(fid, t);
     let func = module.func(fid);
     for (i, inst) in func.insts.iter().enumerate() {
-        let iid = siro_ir::InstId(i as u32);
+        let iid = siro_ir::InstId::new(i as u32);
         let a = reg.subkind_profile(&mut ctx, inst.opcode, iid).unwrap();
         let b = reg.subkind_profile(&mut ctx, inst.opcode, iid).unwrap();
         assert_eq!(a, b);

@@ -29,7 +29,9 @@ use std::time::Instant;
 
 use siro_bench::perf::{write_ir_alloc_json, IrAllocRecord};
 use siro_ir::{parse, write, IrVersion};
-use siro_synth::{oracle_corpus, StreamBackend, SynthesisConfig, TranslatorBackend, TranslatorCache};
+use siro_synth::{
+    oracle_corpus, StreamBackend, SynthesisConfig, TranslatorBackend, TranslatorCache,
+};
 
 /// Pre-arena allocator calls per request on this workload (tmux, 971
 /// insts, 13.0 → 3.6), measured at the commit that added this bench.
@@ -99,7 +101,9 @@ fn main() {
     let (src, tgt) = (IrVersion::V13_0, IrVersion::V3_6);
     let baseline = env_u64("SIRO_IR_ALLOC_BASELINE", PRE_ARENA_BASELINE);
     let min_ratio = env_f64("SIRO_IR_ALLOC_MIN_RATIO", 2.0);
-    println!("ir_alloc: pair {src}->{tgt}, {REPS} reps, gate >= {min_ratio:.1}x fewer allocator calls");
+    println!(
+        "ir_alloc: pair {src}->{tgt}, {REPS} reps, gate >= {min_ratio:.1}x fewer allocator calls"
+    );
 
     let tests = oracle_corpus(src, tgt);
     let outcome = TranslatorCache::get_or_synthesize(SynthesisConfig::new(src, tgt), &tests)

@@ -121,7 +121,7 @@ mod tests {
             let tb = ctx.tgt.func_mut(tfid).add_block(name);
             ctx.map_block(b, tb);
         }
-        ctx.set_insertion(siro_ir::BlockId(0));
+        ctx.set_insertion(siro_ir::BlockId::new(0));
         ctx
     }
 
@@ -136,7 +136,7 @@ mod tests {
         let v = b.freeze(ValueRef::const_int(i32t, 9));
         b.ret(Some(v));
         let mut ctx = setup_ctx(&m);
-        let out = lower_new_instruction(&mut ctx, siro_ir::InstId(0)).unwrap();
+        let out = lower_new_instruction(&mut ctx, siro_ir::InstId::new(0)).unwrap();
         // Constant 9, retyped into the target table.
         assert_eq!(out.as_int(), Some(9));
         // No instruction was built.
@@ -156,7 +156,7 @@ mod tests {
         b.addrspacecast(ValueRef::Null(p0), p3);
         b.ret(Some(ValueRef::const_int(i32t, 0)));
         let mut ctx = setup_ctx(&m);
-        let out = lower_new_instruction(&mut ctx, siro_ir::InstId(0)).unwrap();
+        let out = lower_new_instruction(&mut ctx, siro_ir::InstId::new(0)).unwrap();
         let tf = ctx.tgt.func(ctx.tgt_func_id().unwrap());
         assert_eq!(tf.inst(out.as_inst().unwrap()).opcode, Opcode::BitCast);
     }
@@ -184,12 +184,12 @@ mod tests {
         b.position_at_end(side);
         b.ret(Some(ValueRef::const_int(i32t, -1)));
         let mut ctx = setup_ctx(&m);
-        let out = lower_new_instruction(&mut ctx, siro_ir::InstId(0)).unwrap();
+        let out = lower_new_instruction(&mut ctx, siro_ir::InstId::new(0)).unwrap();
         let tfid = ctx.tgt_func_id().unwrap();
         let tf = ctx.tgt.func(tfid);
         assert_eq!(tf.inst_count(), 2);
         assert_eq!(tf.inst(out.as_inst().unwrap()).opcode, Opcode::Call);
-        let sw = tf.inst(siro_ir::InstId(1));
+        let sw = tf.inst(siro_ir::InstId::new(1));
         assert_eq!(sw.opcode, Opcode::Switch);
         // default = fallthrough + 1 case = side target.
         assert_eq!(sw.successors().len(), 2);
@@ -213,7 +213,7 @@ mod tests {
         b.position_at_end(h);
         b.ret(Some(ValueRef::const_int(i32t, 0)));
         let mut ctx = setup_ctx(&m);
-        let err = lower_new_instruction(&mut ctx, siro_ir::InstId(0)).unwrap_err();
+        let err = lower_new_instruction(&mut ctx, siro_ir::InstId::new(0)).unwrap_err();
         assert!(matches!(
             err,
             TranslateError::UnsupportedInstruction {

@@ -32,7 +32,7 @@ impl InstTranslator for ReferenceTranslator {
             return newinst::lower_new_instruction(ctx, inst_id);
         }
         // `freeze` upgrades cleanly; everything else is rebuilt 1:1.
-        let mut ops = Vec::with_capacity(inst.operands.len());
+        let mut ops = siro_ir::OpVec::new();
         for &op in &inst.operands {
             let t = match op {
                 ValueRef::Block(b) => ValueRef::Block(ctx.translate_block(b)?),

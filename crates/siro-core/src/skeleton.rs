@@ -197,7 +197,7 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, mainf);
         let e = b.add_block("entry");
         b.position_at_end(e);
-        let g = b.load(i32t, ValueRef::Global(siro_ir::GlobalId(0)));
+        let g = b.load(i32t, ValueRef::Global(siro_ir::GlobalId::new(0)));
         let r = b.call(i32t, ValueRef::Func(helper), vec![g]);
         b.ret(Some(r));
         let before = Machine::new(&m).run_main().unwrap().return_int();

@@ -358,7 +358,7 @@ pub fn with_appended_snippet(
         })?
     };
     m.func_mut(fid).blocks[bi].insts.pop();
-    let ret_block = BlockId(bi as u32);
+    let ret_block = BlockId::new(bi as u32);
     let mut b = FuncBuilder::new(&mut m, fid);
     b.position_at_end(ret_block);
     let garnish = inject(&mut b, i32t, ret_val);

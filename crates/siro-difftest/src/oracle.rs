@@ -81,6 +81,11 @@ pub enum FailureFamily {
     /// success). This is never a synthesis bug — it is a bug in the
     /// compile backend or its fallback contract (`docs/COMPILED.md`).
     TierDivergence,
+    /// Mutating an `arena_clone` of the input changed the original's
+    /// serialized bytes. This is never a synthesis bug — it means the
+    /// IR core's clone shared storage with its source
+    /// (`docs/IR_CORE.md`).
+    CloneAliasing,
 }
 
 impl FailureFamily {
@@ -91,6 +96,7 @@ impl FailureFamily {
             FailureFamily::TranslateCrash => "translate-crash",
             FailureFamily::InvalidOutput => "invalid-output",
             FailureFamily::TierDivergence => "tier-divergence",
+            FailureFamily::CloneAliasing => "clone-aliasing",
         }
     }
 
@@ -101,6 +107,7 @@ impl FailureFamily {
             "translate-crash" => Some(FailureFamily::TranslateCrash),
             "invalid-output" => Some(FailureFamily::InvalidOutput),
             "tier-divergence" => Some(FailureFamily::TierDivergence),
+            "clone-aliasing" => Some(FailureFamily::CloneAliasing),
             _ => None,
         }
     }
@@ -245,7 +252,34 @@ impl ChainSet {
     }
 
     /// Checks every applicable oracle on one source-version input.
+    ///
+    /// The behavioural oracles never see `m` itself: every leg runs on
+    /// an [`Module::arena_clone`], which is then deliberately scrambled.
+    /// If the original's serialized bytes change, the *arena-clone
+    /// oracle* trips ([`FailureFamily::CloneAliasing`]) — each fuzzed
+    /// input doubles as a storage-disjointness test for the IR core.
     pub fn check(&self, m: &Module, fuel: u64) -> Verdict {
+        let before = write::write_module(m);
+        let mut probe = m.arena_clone();
+        let verdict = self.check_behaviour(&probe, fuel);
+        scramble(&mut probe);
+        if write::write_module(m) != before {
+            return Verdict::Fail(Failure {
+                oracle: "arena-clone",
+                family: FailureFamily::CloneAliasing,
+                detail: format!(
+                    "mutating a clone changed the original {} module's serialized bytes",
+                    m.version
+                ),
+            });
+        }
+        verdict
+    }
+
+    /// The behavioural oracles proper (differential, chain, roundtrip,
+    /// tier equivalence), on a module [`ChainSet::check`] may freely
+    /// alias.
+    fn check_behaviour(&self, m: &Module, fuel: u64) -> Verdict {
         let Some(b_src) = behaviour(m, fuel) else {
             return Verdict::Skip("source ran out of fuel".into());
         };
@@ -338,6 +372,28 @@ enum Leg {
     Ok(Box<Module>),
     Skip,
     Fail(Failure),
+}
+
+/// Trashes every arena of `m` in place: renames entities, empties
+/// operand lists and block bodies, and rewrites remaining storage. If
+/// any buffer were shared with the module `m` was cloned from, the
+/// damage would show up in the original's serialized bytes.
+fn scramble(m: &mut Module) {
+    m.name.push_str("!scrambled");
+    for f in &mut m.funcs {
+        f.name.push_str("!scrambled");
+        for inst in &mut f.insts {
+            inst.operands.clear();
+            inst.name = Some("scrambled".to_string());
+        }
+        for b in &mut f.blocks {
+            b.name.push_str("!scrambled");
+            b.insts.clear();
+        }
+    }
+    for g in &mut m.globals {
+        g.name.push_str("!scrambled");
+    }
 }
 
 /// Translator partiality the synthesized-translator contract documents:
@@ -464,6 +520,36 @@ mod tests {
         match chain.check(&tiny(IrVersion::V13_0), ORACLE_FUEL) {
             Verdict::Agree => {}
             other => panic!("expected agreement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scramble_is_destructive_but_clone_shields_the_original() {
+        // Sensitivity: scrambling really changes a module's bytes, so a
+        // shared buffer could not hide from the arena-clone oracle.
+        let m = tiny(IrVersion::V13_0);
+        let before = write::write_module(&m);
+        let mut probe = m.arena_clone();
+        scramble(&mut probe);
+        assert_ne!(
+            write::write_module(&probe),
+            before,
+            "scramble left the clone byte-identical; the oracle is blind"
+        );
+        // Disjointness: the original is untouched.
+        assert_eq!(write::write_module(&m), before);
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in [
+            FailureFamily::Miscompile,
+            FailureFamily::TranslateCrash,
+            FailureFamily::InvalidOutput,
+            FailureFamily::TierDivergence,
+            FailureFamily::CloneAliasing,
+        ] {
+            assert_eq!(FailureFamily::parse(f.name()), Some(f));
         }
     }
 

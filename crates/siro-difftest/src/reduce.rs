@@ -81,8 +81,8 @@ pub fn compact(m: &Module) -> Module {
             }
             if let Some(&tid) = old.blocks[b].insts.last() {
                 for s in old.inst(tid).successors() {
-                    if !reach[s.0 as usize] {
-                        stack.push(s.0 as usize);
+                    if !reach[s.index()] {
+                        stack.push(s.index());
                     }
                 }
             }
@@ -92,7 +92,7 @@ pub fn compact(m: &Module) -> Module {
         let mut next_block = 0u32;
         for (bi, r) in reach.iter().enumerate() {
             if *r {
-                block_map[bi] = Some(BlockId(next_block));
+                block_map[bi] = Some(BlockId::new(next_block));
                 next_block += 1;
             }
         }
@@ -113,15 +113,15 @@ pub fn compact(m: &Module) -> Module {
                     let mut ops = Vec::with_capacity(inst.operands.len());
                     for pair in inst.operands.chunks(2) {
                         if let [_, ValueRef::Block(pb)] = pair {
-                            if reach[pb.0 as usize] {
+                            if reach[pb.index()] {
                                 ops.extend_from_slice(pair);
                             }
                         }
                     }
-                    inst.operands = ops;
+                    inst.operands = ops.into();
                 }
-                let nid = InstId(new_insts.len() as u32);
-                inst_map[iid.0 as usize] = Some(nid);
+                let nid = InstId::new(new_insts.len() as u32);
+                inst_map[iid.index()] = Some(nid);
                 new_insts.push(inst);
                 nb.insts.push(nid);
             }
@@ -131,20 +131,20 @@ pub fn compact(m: &Module) -> Module {
         for inst in &mut new_insts {
             for op in &mut inst.operands {
                 *op = match *op {
-                    ValueRef::Inst(oid) => match inst_map[oid.0 as usize] {
+                    ValueRef::Inst(oid) => match inst_map[oid.index()] {
                         Some(nid) => ValueRef::Inst(nid),
                         None => m
                             .value_type(old, ValueRef::Inst(oid))
                             .and_then(|t| zero_const(&m.types, t))
                             .unwrap_or(ValueRef::Inst(oid)),
                     },
-                    ValueRef::Block(ob) => ValueRef::Block(block_map[ob.0 as usize].unwrap_or(ob)),
+                    ValueRef::Block(ob) => ValueRef::Block(block_map[ob.index()].unwrap_or(ob)),
                     other => other,
                 };
             }
         }
-        f.blocks = new_blocks;
-        f.insts = new_insts;
+        f.blocks = new_blocks.into();
+        f.insts = new_insts.into();
     }
     out
 }
@@ -180,7 +180,7 @@ fn simplify_one_terminator(
             for s in succs {
                 *tried += 1;
                 let mut cand = cur.clone();
-                cand.funcs[fi].insts[tid.0 as usize] =
+                cand.funcs[fi].insts[tid.index()] =
                     Instruction::new(Opcode::Br, void, vec![ValueRef::Block(s)]);
                 let cand = compact(&cand);
                 if accept(&cand, still_fails) {
@@ -217,7 +217,9 @@ fn drop_one_switch_case(
                 *tried += 1;
                 let mut cand = cur.clone();
                 let ops = &mut cand.funcs[fi].inst_mut(tid).operands;
-                ops.drain(2 + 2 * ci..4 + 2 * ci);
+                let mut trimmed = ops.to_vec();
+                trimmed.drain(2 + 2 * ci..4 + 2 * ci);
+                *ops = trimmed.into();
                 let cand = compact(&cand);
                 if accept(&cand, still_fails) {
                     *cur = cand;
@@ -252,7 +254,7 @@ fn merge_one_block(
             let ValueRef::Block(s) = term.operands[0] else {
                 continue;
             };
-            let si = s.0 as usize;
+            let si = s.index();
             if si == bi || si == 0 {
                 continue;
             }
@@ -279,7 +281,7 @@ fn merge_one_block(
                 if inst.opcode == Opcode::Phi {
                     for op in &mut inst.operands {
                         if *op == ValueRef::Block(s) {
-                            *op = ValueRef::Block(BlockId(bi as u32));
+                            *op = ValueRef::Block(BlockId::new(bi as u32));
                         }
                     }
                 }

@@ -65,7 +65,7 @@ pub fn instrument(module: &Module) -> (Module, usize) {
                     break;
                 }
             }
-            let iid = siro_ir::InstId(func.insts.len() as u32);
+            let iid = siro_ir::InstId::new(func.insts.len() as u32);
             func.insts.push(call);
             func.blocks[bi].insts.insert(pos, iid);
             probes += 1;

@@ -124,7 +124,7 @@ impl<'m> FuncBuilder<'m> {
 
     fn binary(&mut self, op: Opcode, a: ValueRef, b: ValueRef) -> ValueRef {
         let ty = self.value_ty(a);
-        self.push(Instruction::new(op, ty, vec![a, b]))
+        self.push(Instruction::new(op, ty, [a, b]))
     }
 
     /// `add`
@@ -190,7 +190,7 @@ impl<'m> FuncBuilder<'m> {
     /// `fneg`
     pub fn fneg(&mut self, a: ValueRef) -> ValueRef {
         let ty = self.value_ty(a);
-        self.push(Instruction::new(Opcode::FNeg, ty, vec![a]))
+        self.push(Instruction::new(Opcode::FNeg, ty, [a]))
     }
 
     /// `shl`
@@ -228,7 +228,7 @@ impl<'m> FuncBuilder<'m> {
     /// `icmp <pred>`
     pub fn icmp(&mut self, pred: IntPredicate, a: ValueRef, b: ValueRef) -> ValueRef {
         let i1 = self.module.types.i1();
-        let mut inst = Instruction::new(Opcode::ICmp, i1, vec![a, b]);
+        let mut inst = Instruction::new(Opcode::ICmp, i1, [a, b]);
         inst.attrs.int_pred = Some(pred);
         self.push(inst)
     }
@@ -236,7 +236,7 @@ impl<'m> FuncBuilder<'m> {
     /// `fcmp <pred>`
     pub fn fcmp(&mut self, pred: FloatPredicate, a: ValueRef, b: ValueRef) -> ValueRef {
         let i1 = self.module.types.i1();
-        let mut inst = Instruction::new(Opcode::FCmp, i1, vec![a, b]);
+        let mut inst = Instruction::new(Opcode::FCmp, i1, [a, b]);
         inst.attrs.float_pred = Some(pred);
         self.push(inst)
     }
@@ -244,7 +244,7 @@ impl<'m> FuncBuilder<'m> {
     /// `select`
     pub fn select(&mut self, cond: ValueRef, t: ValueRef, f: ValueRef) -> ValueRef {
         let ty = self.value_ty(t);
-        self.push(Instruction::new(Opcode::Select, ty, vec![cond, t, f]))
+        self.push(Instruction::new(Opcode::Select, ty, [cond, t, f]))
     }
 
     // ---- Memory ------------------------------------------------------------
@@ -252,14 +252,14 @@ impl<'m> FuncBuilder<'m> {
     /// `alloca <ty>`
     pub fn alloca(&mut self, ty: TypeId) -> ValueRef {
         let ptr = self.module.types.ptr(ty);
-        let mut inst = Instruction::new(Opcode::Alloca, ptr, vec![]);
+        let mut inst = Instruction::new(Opcode::Alloca, ptr, crate::ctx::OpVec::new());
         inst.attrs.alloc_ty = Some(ty);
         self.push(inst)
     }
 
     /// `load <ty>, <ty>* <ptr>`
     pub fn load(&mut self, ty: TypeId, ptr: ValueRef) -> ValueRef {
-        let mut inst = Instruction::new(Opcode::Load, ty, vec![ptr]);
+        let mut inst = Instruction::new(Opcode::Load, ty, [ptr]);
         inst.attrs.gep_source_ty = Some(ty);
         self.push(inst)
     }
@@ -267,7 +267,7 @@ impl<'m> FuncBuilder<'m> {
     /// `store <val>, <ptr>`
     pub fn store(&mut self, val: ValueRef, ptr: ValueRef) -> ValueRef {
         let void = self.module.types.void();
-        self.push(Instruction::new(Opcode::Store, void, vec![val, ptr]))
+        self.push(Instruction::new(Opcode::Store, void, [val, ptr]))
     }
 
     /// `getelementptr <src_ty>, <ptr>, <indices...>`; `result_ty` is the
@@ -279,7 +279,7 @@ impl<'m> FuncBuilder<'m> {
         indices: Vec<ValueRef>,
         result_ty: TypeId,
     ) -> ValueRef {
-        let mut ops = vec![base];
+        let mut ops = crate::ctx::OpVec::from([base]);
         ops.extend(indices);
         let mut inst = Instruction::new(Opcode::GetElementPtr, result_ty, ops);
         inst.attrs.gep_source_ty = Some(src_ty);
@@ -289,7 +289,7 @@ impl<'m> FuncBuilder<'m> {
     /// `atomicrmw <op> <ptr>, <val>`
     pub fn atomicrmw(&mut self, op: RmwOp, ptr: ValueRef, val: ValueRef) -> ValueRef {
         let ty = self.value_ty(val);
-        let mut inst = Instruction::new(Opcode::AtomicRmw, ty, vec![ptr, val]);
+        let mut inst = Instruction::new(Opcode::AtomicRmw, ty, [ptr, val]);
         inst.attrs.rmw_op = Some(op);
         inst.attrs.ordering = Some(AtomicOrdering::SeqCst);
         self.push(inst)
@@ -301,7 +301,7 @@ impl<'m> FuncBuilder<'m> {
         let vty = self.value_ty(expected);
         let i1 = self.module.types.i1();
         let res = self.module.types.struct_(vec![vty, i1]);
-        let mut inst = Instruction::new(Opcode::CmpXchg, res, vec![ptr, expected, new]);
+        let mut inst = Instruction::new(Opcode::CmpXchg, res, [ptr, expected, new]);
         inst.attrs.ordering = Some(AtomicOrdering::SeqCst);
         self.push(inst)
     }
@@ -309,7 +309,7 @@ impl<'m> FuncBuilder<'m> {
     /// `fence`
     pub fn fence(&mut self) -> ValueRef {
         let void = self.module.types.void();
-        let mut inst = Instruction::new(Opcode::Fence, void, vec![]);
+        let mut inst = Instruction::new(Opcode::Fence, void, crate::ctx::OpVec::new());
         inst.attrs.ordering = Some(AtomicOrdering::SeqCst);
         self.push(inst)
     }
@@ -319,7 +319,7 @@ impl<'m> FuncBuilder<'m> {
     /// Generic cast helper.
     pub fn cast(&mut self, op: Opcode, v: ValueRef, to: TypeId) -> ValueRef {
         debug_assert_eq!(op.category(), crate::opcode::OpCategory::Cast);
-        self.push(Instruction::new(op, to, vec![v]))
+        self.push(Instruction::new(op, to, [v]))
     }
 
     /// `trunc`
@@ -357,11 +357,7 @@ impl<'m> FuncBuilder<'m> {
     /// `br label <dest>`
     pub fn br(&mut self, dest: BlockId) -> ValueRef {
         let void = self.module.types.void();
-        self.push(Instruction::new(
-            Opcode::Br,
-            void,
-            vec![ValueRef::Block(dest)],
-        ))
+        self.push(Instruction::new(Opcode::Br, void, [ValueRef::Block(dest)]))
     }
 
     /// `br i1 <cond>, label <t>, label <f>`
@@ -370,7 +366,7 @@ impl<'m> FuncBuilder<'m> {
         self.push(Instruction::new(
             Opcode::Br,
             void,
-            vec![cond, ValueRef::Block(t), ValueRef::Block(f)],
+            [cond, ValueRef::Block(t), ValueRef::Block(f)],
         ))
     }
 
@@ -383,7 +379,7 @@ impl<'m> FuncBuilder<'m> {
     ) -> ValueRef {
         let void = self.module.types.void();
         let vty = self.value_ty(value);
-        let mut ops = vec![value, ValueRef::Block(default)];
+        let mut ops = crate::ctx::OpVec::from([value, ValueRef::Block(default)]);
         for (c, b) in cases {
             ops.push(ValueRef::const_int(vty, c));
             ops.push(ValueRef::Block(b));
@@ -394,14 +390,18 @@ impl<'m> FuncBuilder<'m> {
     /// `ret` / `ret void`
     pub fn ret(&mut self, v: Option<ValueRef>) -> ValueRef {
         let void = self.module.types.void();
-        let ops = v.into_iter().collect();
+        let ops: crate::ctx::OpVec = v.into_iter().collect();
         self.push(Instruction::new(Opcode::Ret, void, ops))
     }
 
     /// `unreachable`
     pub fn unreachable(&mut self) -> ValueRef {
         let void = self.module.types.void();
-        self.push(Instruction::new(Opcode::Unreachable, void, vec![]))
+        self.push(Instruction::new(
+            Opcode::Unreachable,
+            void,
+            crate::ctx::OpVec::new(),
+        ))
     }
 
     /// `phi <ty> [v, b]...`
@@ -418,7 +418,7 @@ impl<'m> FuncBuilder<'m> {
 
     /// `call <ret_ty> <callee>(<args>)`
     pub fn call(&mut self, ret_ty: TypeId, callee: ValueRef, args: Vec<ValueRef>) -> ValueRef {
-        let mut ops = vec![callee];
+        let mut ops = crate::ctx::OpVec::from([callee]);
         let n = args.len() as u32;
         ops.extend(args);
         let mut inst = Instruction::new(Opcode::Call, ret_ty, ops);
@@ -435,7 +435,7 @@ impl<'m> FuncBuilder<'m> {
         normal: BlockId,
         unwind: BlockId,
     ) -> ValueRef {
-        let mut ops = vec![callee];
+        let mut ops = crate::ctx::OpVec::from([callee]);
         let n = args.len() as u32;
         ops.extend(args);
         ops.push(ValueRef::Block(normal));
@@ -455,7 +455,7 @@ impl<'m> FuncBuilder<'m> {
         fallthrough: BlockId,
         indirect: Vec<BlockId>,
     ) -> ValueRef {
-        let mut ops = vec![callee];
+        let mut ops = crate::ctx::OpVec::from([callee]);
         let n = args.len() as u32;
         ops.extend(args);
         ops.push(ValueRef::Block(fallthrough));
@@ -468,7 +468,7 @@ impl<'m> FuncBuilder<'m> {
     /// `freeze` (versions >= 10.0 only).
     pub fn freeze(&mut self, v: ValueRef) -> ValueRef {
         let ty = self.value_ty(v);
-        self.push(Instruction::new(Opcode::Freeze, ty, vec![v]))
+        self.push(Instruction::new(Opcode::Freeze, ty, [v]))
     }
 
     /// `addrspacecast` (versions >= 3.6 only).
@@ -483,7 +483,7 @@ impl<'m> FuncBuilder<'m> {
         self.push(Instruction::new(
             Opcode::ExtractElement,
             elem_ty,
-            vec![vec, idx],
+            [vec, idx],
         ))
     }
 
@@ -493,13 +493,13 @@ impl<'m> FuncBuilder<'m> {
         self.push(Instruction::new(
             Opcode::InsertElement,
             ty,
-            vec![vec, elem, idx],
+            [vec, elem, idx],
         ))
     }
 
     /// `extractvalue`
     pub fn extractvalue(&mut self, agg: ValueRef, indices: Vec<u64>, ty: TypeId) -> ValueRef {
-        let mut inst = Instruction::new(Opcode::ExtractValue, ty, vec![agg]);
+        let mut inst = Instruction::new(Opcode::ExtractValue, ty, [agg]);
         inst.attrs.indices = indices;
         self.push(inst)
     }
@@ -507,7 +507,7 @@ impl<'m> FuncBuilder<'m> {
     /// `insertvalue`
     pub fn insertvalue(&mut self, agg: ValueRef, val: ValueRef, indices: Vec<u64>) -> ValueRef {
         let ty = self.value_ty(agg);
-        let mut inst = Instruction::new(Opcode::InsertValue, ty, vec![agg, val]);
+        let mut inst = Instruction::new(Opcode::InsertValue, ty, [agg, val]);
         inst.attrs.indices = indices;
         self.push(inst)
     }
@@ -549,8 +549,14 @@ mod tests {
         b.position_at_end(exit);
         b.ret(Some(phi));
         assert_eq!(m.func(f).blocks.len(), 4);
-        assert_eq!(m.func(f).inst(crate::value::InstId(0)).opcode, Opcode::Br);
-        assert_eq!(m.func(f).inst(crate::value::InstId(2)).opcode, Opcode::ICmp);
+        assert_eq!(
+            m.func(f).inst(crate::value::InstId::new(0)).opcode,
+            Opcode::Br
+        );
+        assert_eq!(
+            m.func(f).inst(crate::value::InstId::new(2)).opcode,
+            Opcode::ICmp
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use crate::ctx::OpVec;
 use crate::opcode::Opcode;
 use crate::types::TypeId;
 use crate::value::{BlockId, ValueRef};
@@ -174,7 +175,10 @@ pub struct Instruction {
     /// The result type (`void` for instructions with no result).
     pub ty: TypeId,
     /// Operands, in the per-opcode order documented at the module level.
-    pub operands: Vec<ValueRef>,
+    ///
+    /// Stored inline up to [`OpVec::INLINE`] entries; reads see a plain
+    /// `[ValueRef]` slice through deref.
+    pub operands: OpVec,
     /// Attribute payload.
     pub attrs: InstAttrs,
     /// Optional result name (purely cosmetic; `%N` numbering otherwise).
@@ -183,11 +187,14 @@ pub struct Instruction {
 
 impl Instruction {
     /// Creates an instruction with default attributes.
-    pub fn new(opcode: Opcode, ty: TypeId, operands: Vec<ValueRef>) -> Self {
+    ///
+    /// `operands` accepts an array (allocation-free, preferred on hot
+    /// paths), a `Vec`, or an [`OpVec`].
+    pub fn new(opcode: Opcode, ty: TypeId, operands: impl Into<OpVec>) -> Self {
         Instruction {
             opcode,
             ty,
-            operands,
+            operands: operands.into(),
             attrs: InstAttrs::default(),
             name: None,
         }
@@ -292,20 +299,20 @@ mod tests {
         let (mut t, i32t) = i32_ty();
         let void = t.void();
         let i1 = t.i1();
-        let uncond = Instruction::new(Opcode::Br, void, vec![ValueRef::Block(BlockId(0))]);
+        let uncond = Instruction::new(Opcode::Br, void, vec![ValueRef::Block(BlockId::new(0))]);
         assert!(uncond.is_unconditional_branch());
-        assert_eq!(uncond.successors(), vec![BlockId(0)]);
+        assert_eq!(uncond.successors(), vec![BlockId::new(0)]);
         let cond = Instruction::new(
             Opcode::Br,
             void,
             vec![
                 ValueRef::const_int(i1, 1),
-                ValueRef::Block(BlockId(1)),
-                ValueRef::Block(BlockId(2)),
+                ValueRef::Block(BlockId::new(1)),
+                ValueRef::Block(BlockId::new(2)),
             ],
         );
         assert!(!cond.is_unconditional_branch());
-        assert_eq!(cond.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cond.successors(), vec![BlockId::new(1), BlockId::new(2)]);
         let _ = i32t;
     }
 
@@ -327,16 +334,16 @@ mod tests {
             Opcode::Invoke,
             i32t,
             vec![
-                ValueRef::Func(crate::value::FuncId(0)),
+                ValueRef::Func(crate::value::FuncId::new(0)),
                 ValueRef::const_int(i32t, 1),
                 ValueRef::const_int(i32t, 2),
-                ValueRef::Block(BlockId(3)),
-                ValueRef::Block(BlockId(4)),
+                ValueRef::Block(BlockId::new(3)),
+                ValueRef::Block(BlockId::new(4)),
             ],
         );
         inv.attrs.num_args = 2;
         assert_eq!(inv.call_args().len(), 2);
-        assert_eq!(inv.successors(), vec![BlockId(3), BlockId(4)]);
+        assert_eq!(inv.successors(), vec![BlockId::new(3), BlockId::new(4)]);
         assert!(inv.callee().is_some());
         let _ = void;
     }
@@ -350,14 +357,14 @@ mod tests {
             i32t,
             vec![
                 ValueRef::const_int(i32t, 1),
-                ValueRef::Block(BlockId(0)),
+                ValueRef::Block(BlockId::new(0)),
                 ValueRef::const_int(i32t, 2),
-                ValueRef::Block(BlockId(1)),
+                ValueRef::Block(BlockId::new(1)),
             ],
         );
         let inc = phi.phi_incoming();
         assert_eq!(inc.len(), 2);
-        assert_eq!(inc[1].1, BlockId(1));
+        assert_eq!(inc[1].1, BlockId::new(1));
     }
 
     #[test]
@@ -369,11 +376,11 @@ mod tests {
             void,
             vec![
                 ValueRef::const_int(i32t, 9),
-                ValueRef::Block(BlockId(0)),
+                ValueRef::Block(BlockId::new(0)),
                 ValueRef::const_int(i32t, 1),
-                ValueRef::Block(BlockId(1)),
+                ValueRef::Block(BlockId::new(1)),
                 ValueRef::const_int(i32t, 2),
-                ValueRef::Block(BlockId(2)),
+                ValueRef::Block(BlockId::new(2)),
             ],
         );
         assert_eq!(sw.switch_cases().len(), 2);

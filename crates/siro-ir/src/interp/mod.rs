@@ -346,7 +346,7 @@ impl<'m> Machine<'m> {
         let mut func_addrs = Vec::with_capacity(module.funcs.len());
         for (i, _) in module.funcs.iter().enumerate() {
             let addr = mem.alloc(8, AllocKind::Code);
-            func_addr_to_id.insert(addr, FuncId(i as u32));
+            func_addr_to_id.insert(addr, FuncId::new(i as u32));
             func_addrs.push(addr);
         }
         Machine {
@@ -463,13 +463,13 @@ impl<'m> Machine<'m> {
                     .ok_or_else(|| {
                         Trap::new(
                             TrapKind::Unsupported,
-                            format!("phi lacks incoming edge from block {}", pb.0),
+                            format!("phi lacks incoming edge from block {}", pb.raw()),
                         )
                     })?;
                 phi_updates.push((iid, self.eval(func, &env, args.as_slice(), v)?));
             }
             for (iid, v) in phi_updates {
-                env[iid.0 as usize] = Some(v);
+                env[iid.index()] = Some(v);
             }
             for &iid in &block.insts[body_start..] {
                 if self.steps >= self.fuel {
@@ -515,12 +515,12 @@ impl<'m> Machine<'m> {
     ) -> Result<RtVal, Trap> {
         Ok(match v {
             ValueRef::Inst(i) => env
-                .get(i.0 as usize)
+                .get(i.index())
                 .and_then(|o| o.clone())
                 .unwrap_or(RtVal::Undef),
             ValueRef::Arg(a) => args.get(a as usize).cloned().unwrap_or(RtVal::Undef),
-            ValueRef::Global(g) => RtVal::Ptr(self.global_addrs[g.0 as usize]),
-            ValueRef::Func(f) => RtVal::Ptr(self.func_addrs[f.0 as usize]),
+            ValueRef::Global(g) => RtVal::Ptr(self.global_addrs[g.index()]),
+            ValueRef::Func(f) => RtVal::Ptr(self.func_addrs[f.index()]),
             ValueRef::Block(_) | ValueRef::InlineAsm(_) => {
                 return Err(Trap::new(
                     TrapKind::Unsupported,
@@ -589,7 +589,7 @@ impl<'m> Machine<'m> {
         }
         macro_rules! set {
             ($v:expr) => {{
-                env[iid.0 as usize] = Some($v);
+                env[iid.index()] = Some($v);
                 Ok(Flow::Next)
             }};
         }
@@ -845,7 +845,7 @@ impl<'m> Machine<'m> {
             }
             Invoke => {
                 let r = self.do_call(func, env, args, inst)?;
-                env[iid.0 as usize] = Some(r);
+                env[iid.index()] = Some(r);
                 // Never unwinds in this model: always the normal destination.
                 let blocks: Vec<BlockId> =
                     inst.operands.iter().filter_map(|v| v.as_block()).collect();
@@ -853,7 +853,7 @@ impl<'m> Machine<'m> {
             }
             CallBr => {
                 let r = self.do_call(func, env, args, inst)?;
-                env[iid.0 as usize] = Some(r);
+                env[iid.index()] = Some(r);
                 // Fallthrough destination (asm-goto side targets never taken).
                 let blocks: Vec<BlockId> =
                     inst.operands.iter().filter_map(|v| v.as_block()).collect();

@@ -37,10 +37,11 @@
 //! assert_eq!(outcome.return_int(), Some(42));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod builder;
+pub mod ctx;
 pub mod error;
 pub mod inst;
 pub mod interp;
@@ -54,9 +55,10 @@ pub mod version;
 pub mod write;
 
 pub use builder::FuncBuilder;
+pub use ctx::{Arena, Entity, OpVec, Ptr, Use, UseIndex};
 pub use error::{IrError, IrResult};
 pub use inst::{AtomicOrdering, FloatPredicate, InstAttrs, Instruction, IntPredicate, RmwOp};
-pub use module::{BasicBlock, Function, Global, GlobalInit, InlineAsm, Module, Param};
+pub use module::{BasicBlock, Ctx, Function, Global, GlobalInit, InlineAsm, Module, Param};
 pub use opcode::{OpCategory, Opcode};
 pub use types::{Type, TypeId, TypeTable};
 pub use value::{AsmId, BlockId, FuncId, GlobalId, InstId, ValueRef};

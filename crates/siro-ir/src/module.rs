@@ -1,5 +1,13 @@
 //! The top level of the IR hierarchy: `P := F+ G+` (Fig. 3).
+//!
+//! Storage follows the arena model of [`crate::ctx`]: a [`Module`] owns a
+//! [`Ctx`] whose typed [`Arena`]s hold every module-level entity, each
+//! function owns arenas for its blocks and instructions, and all
+//! cross-entity links are copyable [`Ptr`](crate::ctx::Ptr) indices.
 
+use std::ops::{Deref, DerefMut};
+
+use crate::ctx::Arena;
 use crate::inst::Instruction;
 use crate::types::{TypeId, TypeTable};
 use crate::value::{AsmId, BlockId, FuncId, GlobalId, InstId, ValueRef};
@@ -69,8 +77,9 @@ pub struct BasicBlock {
 
 /// A function: `F := f(arg1..argn){ B+ }`.
 ///
-/// Blocks and instructions live in per-function arenas; [`BlockId`] and
-/// [`InstId`] index them.
+/// Blocks and instructions live in per-function [`Arena`]s; [`BlockId`] and
+/// [`InstId`] index them. Dropping the function parks both arena buffers in
+/// the thread-local recycling slab (see [`crate::ctx`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Symbol name (without the `@` sigil).
@@ -84,9 +93,9 @@ pub struct Function {
     /// Whether this is a declaration without a body.
     pub is_external: bool,
     /// Basic blocks in layout order; the first is the entry block.
-    pub blocks: Vec<BasicBlock>,
+    pub blocks: Arena<BasicBlock>,
     /// Instruction arena.
-    pub insts: Vec<Instruction>,
+    pub insts: Arena<Instruction>,
 }
 
 impl Function {
@@ -98,8 +107,8 @@ impl Function {
             params,
             varargs: false,
             is_external: false,
-            blocks: Vec::new(),
-            insts: Vec::new(),
+            blocks: Arena::new(),
+            insts: Arena::new(),
         }
     }
 
@@ -113,40 +122,37 @@ impl Function {
 
     /// Appends a new empty block and returns its id.
     pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
-        let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(BasicBlock {
+        self.blocks.alloc(BasicBlock {
             name: name.into(),
             insts: Vec::new(),
-        });
-        id
+        })
     }
 
     /// Appends `inst` to `block`, returning the instruction id.
     pub fn push_inst(&mut self, block: BlockId, inst: Instruction) -> InstId {
-        let id = InstId(self.insts.len() as u32);
-        self.insts.push(inst);
-        self.blocks[block.0 as usize].insts.push(id);
+        let id = self.insts.alloc(inst);
+        self.blocks[block].insts.push(id);
         id
     }
 
     /// The instruction behind `id`.
     pub fn inst(&self, id: InstId) -> &Instruction {
-        &self.insts[id.0 as usize]
+        &self.insts[id]
     }
 
     /// Mutable access to the instruction behind `id`.
     pub fn inst_mut(&mut self, id: InstId) -> &mut Instruction {
-        &mut self.insts[id.0 as usize]
+        &mut self.insts[id]
     }
 
     /// The block behind `id`.
     pub fn block(&self, id: BlockId) -> &BasicBlock {
-        &self.blocks[id.0 as usize]
+        &self.blocks[id]
     }
 
     /// Iterates over block ids in layout order.
     pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
-        (0..self.blocks.len() as u32).map(BlockId)
+        self.blocks.ids()
     }
 
     /// The entry block, if the function has a body.
@@ -154,7 +160,7 @@ impl Function {
         if self.blocks.is_empty() {
             None
         } else {
-            Some(BlockId(0))
+            Some(BlockId::new(0))
         }
     }
 
@@ -190,21 +196,71 @@ impl Function {
     }
 }
 
+/// The arena context of a module: interned types plus the typed arenas
+/// holding every module-level entity.
+///
+/// [`Module`] owns exactly one `Ctx` and dereferences to it, so module
+/// content is reached as `module.types`, `module.funcs`, `module.globals`,
+/// `module.asms` exactly as before the arena refactor. Dropping the `Ctx`
+/// releases the whole program in one arena free per entity kind (the
+/// buffers park in the thread-local slab for the next request).
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Interned types.
+    pub types: TypeTable,
+    /// Global variables.
+    pub globals: Arena<Global>,
+    /// Inline-assembly snippets.
+    pub asms: Arena<InlineAsm>,
+    /// Functions (definitions and declarations).
+    pub funcs: Arena<Function>,
+}
+
+impl Ctx {
+    /// Creates an empty context, reusing slab-recycled arena buffers.
+    pub fn new() -> Self {
+        Ctx {
+            types: TypeTable::new(),
+            globals: Arena::new(),
+            asms: Arena::new(),
+            funcs: Arena::new(),
+        }
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx::new()
+    }
+}
+
 /// A complete IR program of a particular version.
+///
+/// All entity storage lives in the owned [`Ctx`]; `Module` adds the
+/// identity (name, version) and dereferences to the context.
 #[derive(Debug, Clone)]
 pub struct Module {
     /// Module name (cosmetic).
     pub name: String,
     /// The version this module's serialized form and instruction set obey.
     pub version: IrVersion,
-    /// Interned types.
-    pub types: TypeTable,
-    /// Global variables.
-    pub globals: Vec<Global>,
-    /// Inline-assembly snippets.
-    pub asms: Vec<InlineAsm>,
-    /// Functions (definitions and declarations).
-    pub funcs: Vec<Function>,
+    /// The arena context holding types, globals, asms, and functions.
+    pub ctx: Ctx,
+}
+
+impl Deref for Module {
+    type Target = Ctx;
+    #[inline]
+    fn deref(&self) -> &Ctx {
+        &self.ctx
+    }
+}
+
+impl DerefMut for Module {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Ctx {
+        &mut self.ctx
+    }
 }
 
 impl Module {
@@ -213,83 +269,87 @@ impl Module {
         Module {
             name: name.into(),
             version,
-            types: TypeTable::new(),
-            globals: Vec::new(),
-            asms: Vec::new(),
-            funcs: Vec::new(),
+            ctx: Ctx::new(),
         }
+    }
+
+    /// Deep-copies the module into freshly allocated (slab-recycled)
+    /// arenas.
+    ///
+    /// The clone is structurally equal to the original but shares no
+    /// storage with it: every arena buffer, operand spill, and string is
+    /// disjoint, so mutating the clone can never alias back. This is what
+    /// `siro-difftest`'s `arena-clone` oracle exercises.
+    pub fn arena_clone(&self) -> Module {
+        self.clone()
     }
 
     /// Adds a global variable, returning its id.
     pub fn add_global(&mut self, global: Global) -> GlobalId {
-        let id = GlobalId(self.globals.len() as u32);
-        self.globals.push(global);
-        id
+        self.ctx.globals.alloc(global)
     }
 
     /// Adds an inline-assembly snippet, returning its id.
     pub fn add_asm(&mut self, asm: InlineAsm) -> AsmId {
-        let id = AsmId(self.asms.len() as u32);
-        self.asms.push(asm);
-        id
+        self.ctx.asms.alloc(asm)
     }
 
     /// Adds a function, returning its id.
     pub fn add_func(&mut self, func: Function) -> FuncId {
-        let id = FuncId(self.funcs.len() as u32);
-        self.funcs.push(func);
-        id
+        self.ctx.funcs.alloc(func)
     }
 
     /// The function behind `id`.
     pub fn func(&self, id: FuncId) -> &Function {
-        &self.funcs[id.0 as usize]
+        &self.ctx.funcs[id]
     }
 
     /// Mutable access to the function behind `id`.
     pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
-        &mut self.funcs[id.0 as usize]
+        &mut self.ctx.funcs[id]
     }
 
     /// The global behind `id`.
     pub fn global(&self, id: GlobalId) -> &Global {
-        &self.globals[id.0 as usize]
+        &self.ctx.globals[id]
     }
 
     /// The inline-assembly snippet behind `id`.
     pub fn asm(&self, id: AsmId) -> &InlineAsm {
-        &self.asms[id.0 as usize]
+        &self.ctx.asms[id]
     }
 
     /// Finds a function by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs
+        self.ctx
+            .funcs
             .iter()
             .position(|f| f.name == name)
-            .map(|i| FuncId(i as u32))
+            .map(FuncId::from_usize)
     }
 
     /// Finds a global by name.
     pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
-        self.globals
+        self.ctx
+            .globals
             .iter()
             .position(|g| g.name == name)
-            .map(|i| GlobalId(i as u32))
+            .map(GlobalId::from_usize)
     }
 
     /// Iterates over function ids.
     pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
-        (0..self.funcs.len() as u32).map(FuncId)
+        self.ctx.funcs.ids()
     }
 
     /// Iterates over global ids.
     pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> {
-        (0..self.globals.len() as u32).map(GlobalId)
+        self.ctx.globals.ids()
     }
 
     /// Total instruction count over all functions.
     pub fn inst_count(&self) -> usize {
-        self.funcs.iter().map(Function::inst_count).sum()
+        self.ctx.funcs.iter().map(Function::inst_count).sum()
     }
 
     /// The static type of an operand value within `func`.
@@ -335,8 +395,8 @@ mod tests {
         assert_eq!(m.func_by_name("main"), Some(fid));
         assert_eq!(m.inst_count(), 2);
         let f = m.func(fid);
-        assert_eq!(f.terminator(BlockId(0)).unwrap().opcode, Opcode::Ret);
-        assert_eq!(f.entry(), Some(BlockId(0)));
+        assert_eq!(f.terminator(BlockId::new(0)).unwrap().opcode, Opcode::Ret);
+        assert_eq!(f.entry(), Some(BlockId::new(0)));
     }
 
     #[test]

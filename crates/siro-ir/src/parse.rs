@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use crate::ctx::OpVec;
 use crate::error::{IrError, IrResult};
 use crate::inst::{AtomicOrdering, FloatPredicate, InstAttrs, Instruction, IntPredicate, RmwOp};
 use crate::module::{Function, Global, GlobalInit, InlineAsm, Module, Param};
@@ -77,9 +78,8 @@ pub fn parse_module_as(text: &str, version: IrVersion) -> IrResult<Module> {
                 j = end + 1;
                 continue;
             }
-            if let Some(rest) = line.strip_prefix("declare ") {
-                let (ret_ty, fname, params, varargs) =
-                    parse_signature(&mut module, &format!("declare {rest}"), j + 1)?;
+            if line.starts_with("declare ") {
+                let (ret_ty, fname, params, varargs) = parse_signature(&mut module, line, j + 1)?;
                 let mut f = Function::external(fname, ret_ty, params);
                 f.varargs = varargs;
                 module.add_func(f);
@@ -122,25 +122,26 @@ fn parse_body(
             line: start + 1,
             message: "internal: function registration mismatch".into(),
         })?;
-    // Pre-pass: block labels and instruction result names.
-    let mut block_names: HashMap<String, BlockId> = HashMap::new();
-    let mut inst_names: HashMap<String, InstId> = HashMap::new();
+    // Pre-pass: block labels and instruction result names. Keys borrow
+    // straight from the input text; the whole pass allocates only the two
+    // tables (plus one cosmetic name String per block).
+    let mut block_names: HashMap<&str, BlockId> = HashMap::new();
+    let mut inst_names: HashMap<&str, InstId> = HashMap::new();
     let mut next_inst = 0u32;
     for raw in &lines[start + 1..end] {
-        let line = strip_comment(raw).trim().to_string();
+        let line = strip_comment(raw).trim();
         if line.is_empty() {
             continue;
         }
         if let Some(label) = line.strip_suffix(':') {
             let bid = module.func_mut(fid).add_block(label_to_name(label));
-            block_names.insert(label.to_string(), bid);
+            block_names.insert(label, bid);
         } else {
             if let Some((lhs, _)) = line.split_once('=') {
                 let lhs = lhs.trim();
                 if let Some(n) = lhs.strip_prefix('%') {
-                    if !line.trim_start().starts_with("br ") && lhs.split_whitespace().count() == 1
-                    {
-                        inst_names.insert(n.to_string(), InstId(next_inst));
+                    if !line.starts_with("br ") && lhs.split_whitespace().count() == 1 {
+                        inst_names.insert(n, InstId::new(next_inst));
                     }
                 }
             }
@@ -158,7 +159,7 @@ fn parse_body(
     let mut cur_block: Option<BlockId> = None;
     for (off, raw) in lines[start + 1..end].iter().enumerate() {
         let lineno = start + 2 + off;
-        let line = strip_comment(raw).trim().to_string();
+        let line = strip_comment(raw).trim();
         if line.is_empty() {
             continue;
         }
@@ -178,7 +179,7 @@ fn parse_body(
             param_names: &param_names,
             line: lineno,
         };
-        let inst = ctx.parse_inst_line(&line)?;
+        let inst = ctx.parse_inst_line(line)?;
         module.func_mut(fid).push_inst(block, inst);
     }
     Ok(())
@@ -270,7 +271,7 @@ fn parse_signature(module: &mut Module, line: &str, lineno: usize) -> IrResult<S
         })?;
     let mut c = Cursor::new(rest.trim_end_matches('{').trim(), lineno);
     let ret_ty = c.parse_type(&mut module.types)?;
-    let name = c.parse_global_name()?;
+    let name = c.parse_global_name()?.to_string();
     c.expect('(')?;
     let mut params = Vec::new();
     let mut varargs = false;
@@ -283,7 +284,7 @@ fn parse_signature(module: &mut Module, line: &str, lineno: usize) -> IrResult<S
             }
             let ty = c.parse_type(&mut module.types)?;
             let pname = if c.peek_char() == Some('%') {
-                c.parse_local_name()?
+                c.parse_local_name()?.to_string()
             } else {
                 format!("arg{}", params.len())
             };
@@ -297,16 +298,16 @@ fn parse_signature(module: &mut Module, line: &str, lineno: usize) -> IrResult<S
     Ok((ret_ty, name, params, varargs))
 }
 
-struct InstCtx<'a> {
+struct InstCtx<'a, 'b> {
     module: &'a mut Module,
     fid: crate::value::FuncId,
-    block_names: &'a HashMap<String, BlockId>,
-    inst_names: &'a HashMap<String, InstId>,
+    block_names: &'a HashMap<&'b str, BlockId>,
+    inst_names: &'a HashMap<&'b str, InstId>,
     param_names: &'a HashMap<String, u32>,
     line: usize,
 }
 
-impl InstCtx<'_> {
+impl InstCtx<'_, '_> {
     fn err(&self, m: impl Into<String>) -> IrError {
         IrError::Parse {
             line: self.line,
@@ -341,7 +342,7 @@ impl InstCtx<'_> {
         }
         let name = c.parse_local_name()?;
         self.block_names
-            .get(&name)
+            .get(name)
             .map(|&b| ValueRef::Block(b))
             .ok_or_else(|| self.err(format!("unknown block `%{name}`")))
     }
@@ -352,11 +353,11 @@ impl InstCtx<'_> {
         match c.peek_char() {
             Some('%') => {
                 let n = c.parse_local_name()?;
-                self.resolve_local(&n)
+                self.resolve_local(n)
             }
             Some('@') => {
                 let n = c.parse_global_name()?;
-                self.resolve_global(&n)
+                self.resolve_global(n)
             }
             Some(ch) if ch.is_ascii_digit() || ch == '-' => {
                 if c.rest().starts_with("0x") {
@@ -411,27 +412,27 @@ impl InstCtx<'_> {
         let tail = c.eat_word("tail");
         let word = c.parse_word()?;
         let void = self.module.types.void();
-        let mut inst = match word.as_str() {
+        let mut inst = match word {
             "ret" => {
                 if c.eat_word("void") {
-                    Instruction::new(Opcode::Ret, void, vec![])
+                    Instruction::new(Opcode::Ret, void, OpVec::new())
                 } else {
                     let (_, v) = self.parse_tval(&mut c)?;
-                    Instruction::new(Opcode::Ret, void, vec![v])
+                    Instruction::new(Opcode::Ret, void, [v])
                 }
             }
             "br" => {
                 c.skip_ws();
                 if c.rest().starts_with("label") {
                     let b = self.resolve_block(&mut c)?;
-                    Instruction::new(Opcode::Br, void, vec![b])
+                    Instruction::new(Opcode::Br, void, [b])
                 } else {
                     let (_, cond) = self.parse_tval(&mut c)?;
                     c.expect(',')?;
                     let t = self.resolve_block(&mut c)?;
                     c.expect(',')?;
                     let f = self.resolve_block(&mut c)?;
-                    Instruction::new(Opcode::Br, void, vec![cond, t, f])
+                    Instruction::new(Opcode::Br, void, [cond, t, f])
                 }
             }
             "switch" => {
@@ -439,7 +440,7 @@ impl InstCtx<'_> {
                 c.expect(',')?;
                 let def = self.resolve_block(&mut c)?;
                 c.expect('[')?;
-                let mut ops = vec![v, def];
+                let mut ops = OpVec::from([v, def]);
                 loop {
                     c.skip_ws();
                     if c.eat(']') {
@@ -457,7 +458,7 @@ impl InstCtx<'_> {
                 let (_, v) = self.parse_tval(&mut c)?;
                 c.expect(',')?;
                 c.expect('[')?;
-                let mut ops = vec![v];
+                let mut ops = OpVec::from([v]);
                 loop {
                     c.skip_ws();
                     if c.eat(']') {
@@ -469,13 +470,13 @@ impl InstCtx<'_> {
                 }
                 Instruction::new(Opcode::IndirectBr, void, ops)
             }
-            "unreachable" => Instruction::new(Opcode::Unreachable, void, vec![]),
+            "unreachable" => Instruction::new(Opcode::Unreachable, void, OpVec::new()),
             "resume" => {
                 let (_, v) = self.parse_tval(&mut c)?;
-                Instruction::new(Opcode::Resume, void, vec![v])
+                Instruction::new(Opcode::Resume, void, [v])
             }
             "invoke" | "callbr" | "call" => {
-                let op = match word.as_str() {
+                let op = match word {
                     "invoke" => Opcode::Invoke,
                     "callbr" => Opcode::CallBr,
                     _ => Opcode::Call,
@@ -497,34 +498,32 @@ impl InstCtx<'_> {
                     let lvl = c.parse_int()? as u8;
                     let fnty = self.module.types.func(ret_ty, vec![]);
                     let aid = self.module.add_asm(InlineAsm {
-                        text,
-                        constraints,
+                        text: text.to_string(),
+                        constraints: constraints.to_string(),
                         ty: fnty,
                         hw_level: lvl,
                     });
                     ValueRef::InlineAsm(aid)
                 } else if c.peek_char() == Some('@') {
                     let n = c.parse_global_name()?;
-                    self.resolve_global(&n)?
+                    self.resolve_global(n)?
                 } else {
                     let n = c.parse_local_name()?;
-                    self.resolve_local(&n)?
+                    self.resolve_local(n)?
                 };
                 c.expect('(')?;
-                let mut args = Vec::new();
+                let mut ops = OpVec::from([callee]);
                 if !c.eat(')') {
                     loop {
                         let (_, v) = self.parse_tval(&mut c)?;
-                        args.push(v);
+                        ops.push(v);
                         if c.eat(')') {
                             break;
                         }
                         c.expect(',')?;
                     }
                 }
-                let mut ops = vec![callee];
-                let n = args.len() as u32;
-                ops.extend(args);
+                let n = ops.len() as u32 - 1;
                 let mut attrs = InstAttrs {
                     num_args: n,
                     tail_call: tail,
@@ -569,7 +568,7 @@ impl InstCtx<'_> {
             }
             "fneg" => {
                 let (ty, v) = self.parse_tval(&mut c)?;
-                Instruction::new(Opcode::FNeg, ty, vec![v])
+                Instruction::new(Opcode::FNeg, ty, [v])
             }
             "add" | "sub" | "mul" | "udiv" | "sdiv" | "urem" | "srem" | "shl" | "lshr" | "ashr"
             | "and" | "or" | "xor" | "fadd" | "fsub" | "fmul" | "fdiv" | "frem" => {
@@ -589,14 +588,14 @@ impl InstCtx<'_> {
                 let (ty, a) = self.parse_tval(&mut c)?;
                 c.expect(',')?;
                 let b = self.parse_value(&mut c, ty)?;
-                let mut i = Instruction::new(op, ty, vec![a, b]);
+                let mut i = Instruction::new(op, ty, [a, b]);
                 i.attrs = attrs;
                 i
             }
             "alloca" => {
                 let ty = c.parse_type(&mut self.module.types)?;
                 let ptr = self.module.types.ptr(ty);
-                let mut ops = vec![];
+                let mut ops = OpVec::new();
                 if c.eat(',') {
                     let (_, n) = self.parse_tval(&mut c)?;
                     ops.push(n);
@@ -623,7 +622,7 @@ impl InstCtx<'_> {
                         .ok_or_else(|| self.err("old-style load needs a pointer type"))?;
                     (pointee, p)
                 };
-                let mut i = Instruction::new(Opcode::Load, result_ty, vec![ptr]);
+                let mut i = Instruction::new(Opcode::Load, result_ty, [ptr]);
                 i.attrs.volatile = volatile;
                 i.attrs.gep_source_ty = Some(result_ty);
                 i
@@ -633,7 +632,7 @@ impl InstCtx<'_> {
                 let (_, v) = self.parse_tval(&mut c)?;
                 c.expect(',')?;
                 let (_, p) = self.parse_tval(&mut c)?;
-                let mut i = Instruction::new(Opcode::Store, void, vec![v, p]);
+                let mut i = Instruction::new(Opcode::Store, void, [v, p]);
                 i.attrs.volatile = volatile;
                 i
             }
@@ -655,15 +654,13 @@ impl InstCtx<'_> {
                         .ok_or_else(|| self.err("old-style gep needs a pointer type"))?;
                     (src, b)
                 };
-                let mut ops = vec![base];
-                let mut idx_vals = Vec::new();
+                let mut ops = OpVec::from([base]);
                 while c.eat(',') {
                     let (ity, v) = self.parse_tval(&mut c)?;
                     let _ = ity;
-                    idx_vals.push(v);
                     ops.push(v);
                 }
-                let result = compute_gep_result(&mut self.module.types, src_ty, &idx_vals)
+                let result = compute_gep_result(&mut self.module.types, src_ty, &ops[1..])
                     .ok_or_else(|| self.err("cannot compute gep result type"))?;
                 let mut i = Instruction::new(Opcode::GetElementPtr, result, ops);
                 i.attrs.gep_source_ty = Some(src_ty);
@@ -672,7 +669,7 @@ impl InstCtx<'_> {
             }
             "fence" => {
                 let _ = c.parse_word();
-                let mut i = Instruction::new(Opcode::Fence, void, vec![]);
+                let mut i = Instruction::new(Opcode::Fence, void, OpVec::new());
                 i.attrs.ordering = Some(AtomicOrdering::SeqCst);
                 i
             }
@@ -684,7 +681,7 @@ impl InstCtx<'_> {
                 let (_, n) = self.parse_tval(&mut c)?;
                 let i1 = self.module.types.i1();
                 let rty = self.module.types.struct_(vec![vty, i1]);
-                let mut i = Instruction::new(Opcode::CmpXchg, rty, vec![p, e, n]);
+                let mut i = Instruction::new(Opcode::CmpXchg, rty, [p, e, n]);
                 i.attrs.ordering = Some(AtomicOrdering::SeqCst);
                 i
             }
@@ -696,7 +693,7 @@ impl InstCtx<'_> {
                 let (_, p) = self.parse_tval(&mut c)?;
                 c.expect(',')?;
                 let (vty, v) = self.parse_tval(&mut c)?;
-                let mut i = Instruction::new(Opcode::AtomicRmw, vty, vec![p, v]);
+                let mut i = Instruction::new(Opcode::AtomicRmw, vty, [p, v]);
                 i.attrs.rmw_op = Some(rmw);
                 i.attrs.ordering = Some(AtomicOrdering::SeqCst);
                 i
@@ -709,7 +706,7 @@ impl InstCtx<'_> {
                     return Err(self.err("expected `to`"));
                 }
                 let to = c.parse_type(&mut self.module.types)?;
-                Instruction::new(op, to, vec![v])
+                Instruction::new(op, to, [v])
             }
             "icmp" => {
                 let pw = c.parse_word()?;
@@ -720,7 +717,7 @@ impl InstCtx<'_> {
                 c.expect(',')?;
                 let b = self.parse_value(&mut c, ty)?;
                 let rty = self.icmp_result_ty(ty);
-                let mut i = Instruction::new(Opcode::ICmp, rty, vec![a, b]);
+                let mut i = Instruction::new(Opcode::ICmp, rty, [a, b]);
                 i.attrs.int_pred = Some(pred);
                 i
             }
@@ -733,13 +730,13 @@ impl InstCtx<'_> {
                 c.expect(',')?;
                 let b = self.parse_value(&mut c, ty)?;
                 let rty = self.icmp_result_ty(ty);
-                let mut i = Instruction::new(Opcode::FCmp, rty, vec![a, b]);
+                let mut i = Instruction::new(Opcode::FCmp, rty, [a, b]);
                 i.attrs.float_pred = Some(pred);
                 i
             }
             "phi" => {
                 let ty = c.parse_type(&mut self.module.types)?;
-                let mut ops = Vec::new();
+                let mut ops = OpVec::new();
                 loop {
                     c.skip_ws();
                     if !c.eat('[') {
@@ -751,7 +748,7 @@ impl InstCtx<'_> {
                     let bl = c.parse_local_name()?;
                     let b = self
                         .block_names
-                        .get(&bl)
+                        .get(bl)
                         .ok_or_else(|| self.err(format!("unknown block `%{bl}`")))?;
                     c.expect(']')?;
                     ops.push(v);
@@ -768,13 +765,13 @@ impl InstCtx<'_> {
                 let (ty, t) = self.parse_tval(&mut c)?;
                 c.expect(',')?;
                 let (_, f) = self.parse_tval(&mut c)?;
-                Instruction::new(Opcode::Select, ty, vec![cond, t, f])
+                Instruction::new(Opcode::Select, ty, [cond, t, f])
             }
             "va_arg" => {
                 let (_, v) = self.parse_tval(&mut c)?;
                 c.expect(',')?;
                 let ty = c.parse_type(&mut self.module.types)?;
-                Instruction::new(Opcode::VAArg, ty, vec![v])
+                Instruction::new(Opcode::VAArg, ty, [v])
             }
             "extractelement" => {
                 let (vty, v) = self.parse_tval(&mut c)?;
@@ -784,7 +781,7 @@ impl InstCtx<'_> {
                     Type::Vector { elem, .. } => *elem,
                     _ => vty,
                 };
-                Instruction::new(Opcode::ExtractElement, ety, vec![v, i])
+                Instruction::new(Opcode::ExtractElement, ety, [v, i])
             }
             "insertelement" => {
                 let (vty, v) = self.parse_tval(&mut c)?;
@@ -792,7 +789,7 @@ impl InstCtx<'_> {
                 let (_, e) = self.parse_tval(&mut c)?;
                 c.expect(',')?;
                 let (_, i) = self.parse_tval(&mut c)?;
-                Instruction::new(Opcode::InsertElement, vty, vec![v, e, i])
+                Instruction::new(Opcode::InsertElement, vty, [v, e, i])
             }
             "shufflevector" => {
                 let (vty, a) = self.parse_tval(&mut c)?;
@@ -817,7 +814,7 @@ impl InstCtx<'_> {
                     _ => vty,
                 };
                 let rty = self.module.types.vector(ety, mask.len() as u32);
-                let mut i = Instruction::new(Opcode::ShuffleVector, rty, vec![a, b]);
+                let mut i = Instruction::new(Opcode::ShuffleVector, rty, [a, b]);
                 i.attrs.indices = mask;
                 i
             }
@@ -833,7 +830,7 @@ impl InstCtx<'_> {
                 }
                 c.expect(':')?;
                 let rty = c.parse_type(&mut self.module.types)?;
-                let mut i = Instruction::new(Opcode::ExtractValue, rty, vec![agg]);
+                let mut i = Instruction::new(Opcode::ExtractValue, rty, [agg]);
                 i.attrs.indices = idx;
                 i
             }
@@ -849,24 +846,24 @@ impl InstCtx<'_> {
                         break;
                     }
                 }
-                let mut i = Instruction::new(Opcode::InsertValue, aty, vec![agg, v]);
+                let mut i = Instruction::new(Opcode::InsertValue, aty, [agg, v]);
                 i.attrs.indices = idx;
                 i
             }
             "landingpad" => {
                 let ty = c.parse_type(&mut self.module.types)?;
                 let cleanup = c.eat_word("cleanup");
-                let mut i = Instruction::new(Opcode::LandingPad, ty, vec![]);
+                let mut i = Instruction::new(Opcode::LandingPad, ty, OpVec::new());
                 i.attrs.is_cleanup = cleanup;
                 i
             }
             "freeze" => {
                 let (ty, v) = self.parse_tval(&mut c)?;
-                Instruction::new(Opcode::Freeze, ty, vec![v])
+                Instruction::new(Opcode::Freeze, ty, [v])
             }
             "catchswitch" => {
                 c.expect('[')?;
-                let mut ops = Vec::new();
+                let mut ops = OpVec::new();
                 loop {
                     c.skip_ws();
                     if c.eat(']') {
@@ -879,19 +876,19 @@ impl InstCtx<'_> {
             }
             "catchpad" => {
                 let tok = self.module.types.token();
-                Instruction::new(Opcode::CatchPad, tok, vec![])
+                Instruction::new(Opcode::CatchPad, tok, OpVec::new())
             }
             "catchret" => {
                 let b = self.resolve_block(&mut c)?;
-                Instruction::new(Opcode::CatchRet, void, vec![b])
+                Instruction::new(Opcode::CatchRet, void, [b])
             }
             "cleanuppad" => {
                 let tok = self.module.types.token();
-                Instruction::new(Opcode::CleanupPad, tok, vec![])
+                Instruction::new(Opcode::CleanupPad, tok, OpVec::new())
             }
             "cleanupret" => {
                 let b = self.resolve_block(&mut c)?;
-                Instruction::new(Opcode::CleanupRet, void, vec![b])
+                Instruction::new(Opcode::CleanupRet, void, [b])
             }
             other => return Err(self.err(format!("unknown instruction `{other}`"))),
         };
@@ -1009,7 +1006,7 @@ impl<'a> Cursor<'a> {
         false
     }
 
-    fn parse_word(&mut self) -> IrResult<String> {
+    fn parse_word(&mut self) -> IrResult<&'a str> {
         self.skip_ws();
         let start = self.pos;
         while let Some(ch) = self.rest().chars().next() {
@@ -1022,11 +1019,11 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             Err(self.err(format!("expected word near `{}`", self.rest_short())))
         } else {
-            Ok(self.s[start..self.pos].to_string())
+            Ok(&self.s[start..self.pos])
         }
     }
 
-    fn parse_local_name(&mut self) -> IrResult<String> {
+    fn parse_local_name(&mut self) -> IrResult<&'a str> {
         self.skip_ws();
         if !self.rest().starts_with('%') {
             return Err(self.err(format!("expected `%` near `{}`", self.rest_short())));
@@ -1040,10 +1037,10 @@ impl<'a> Cursor<'a> {
                 break;
             }
         }
-        Ok(self.s[start..self.pos].to_string())
+        Ok(&self.s[start..self.pos])
     }
 
-    fn parse_global_name(&mut self) -> IrResult<String> {
+    fn parse_global_name(&mut self) -> IrResult<&'a str> {
         self.skip_ws();
         if !self.rest().starts_with('@') {
             return Err(self.err(format!("expected `@` near `{}`", self.rest_short())));
@@ -1057,7 +1054,7 @@ impl<'a> Cursor<'a> {
                 break;
             }
         }
-        Ok(self.s[start..self.pos].to_string())
+        Ok(&self.s[start..self.pos])
     }
 
     fn parse_int(&mut self) -> IrResult<i64> {
@@ -1095,16 +1092,16 @@ impl<'a> Cursor<'a> {
         u64::from_str_radix(&self.s[start..self.pos], 16).map_err(|_| self.err("bad hex literal"))
     }
 
-    fn parse_string(&mut self) -> IrResult<String> {
+    fn parse_string(&mut self) -> IrResult<&'a str> {
         self.expect('"')?;
         self.take_until('"')
     }
 
-    fn take_until(&mut self, end: char) -> IrResult<String> {
+    fn take_until(&mut self, end: char) -> IrResult<&'a str> {
         let start = self.pos;
         while let Some(ch) = self.rest().chars().next() {
             if ch == end {
-                let s = self.s[start..self.pos].to_string();
+                let s = &self.s[start..self.pos];
                 self.pos += end.len_utf8();
                 return Ok(s);
             }
@@ -1145,7 +1142,7 @@ impl<'a> Cursor<'a> {
             types.struct_(fields)
         } else {
             let w = self.parse_word()?;
-            match w.as_str() {
+            match w {
                 "void" => types.void(),
                 "float" => types.f32(),
                 "double" => types.f64(),

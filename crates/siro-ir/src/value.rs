@@ -1,27 +1,28 @@
 //! Value references — the operand language of Fig. 3 in the paper:
 //! `Value v := G | Arg | F | B | I | C`.
 
+use crate::ctx::Ptr;
 use crate::types::TypeId;
 
-/// Function-local handle to an instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct InstId(pub u32);
+/// Function-local handle to an instruction ([`Ptr`] into the function's
+/// instruction arena).
+pub type InstId = Ptr<crate::inst::Instruction>;
 
-/// Function-local handle to a basic block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct BlockId(pub u32);
+/// Function-local handle to a basic block ([`Ptr`] into the function's
+/// block arena).
+pub type BlockId = Ptr<crate::module::BasicBlock>;
 
-/// Module-level handle to a function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct FuncId(pub u32);
+/// Module-level handle to a function ([`Ptr`] into the module's function
+/// arena).
+pub type FuncId = Ptr<crate::module::Function>;
 
-/// Module-level handle to a global variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct GlobalId(pub u32);
+/// Module-level handle to a global variable ([`Ptr`] into the module's
+/// global arena).
+pub type GlobalId = Ptr<crate::module::Global>;
 
-/// Module-level handle to an inline-assembly snippet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct AsmId(pub u32);
+/// Module-level handle to an inline-assembly snippet ([`Ptr`] into the
+/// module's asm arena).
+pub type AsmId = Ptr<crate::module::InlineAsm>;
 
 /// A reference to any IR value usable as an instruction operand.
 ///
@@ -156,12 +157,12 @@ mod tests {
         let c = ValueRef::const_int(i32t, -7);
         assert_eq!(c.as_int(), Some(-7));
         assert_eq!(c.as_block(), None);
-        let b = ValueRef::Block(BlockId(2));
+        let b = ValueRef::Block(BlockId::new(2));
         assert!(b.is_block());
-        assert_eq!(b.as_block(), Some(BlockId(2)));
+        assert_eq!(b.as_block(), Some(BlockId::new(2)));
         assert!(!b.is_constant());
-        let i = ValueRef::Inst(InstId(4));
-        assert_eq!(i.as_inst(), Some(InstId(4)));
+        let i = ValueRef::Inst(InstId::new(4));
+        assert_eq!(i.as_inst(), Some(InstId::new(4)));
     }
 
     #[test]

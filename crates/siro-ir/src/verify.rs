@@ -109,13 +109,13 @@ impl Verifier<'_> {
         }
         let mut seen_inst = HashSet::new();
         for (bi, block) in f.blocks.iter().enumerate() {
-            let bid = BlockId(bi as u32);
+            let bid = BlockId::new(bi as u32);
             if block.insts.is_empty() {
                 self.report(format!("{}: block `{}` is empty", f.name, block.name));
                 continue;
             }
             for (pos, &iid) in block.insts.iter().enumerate() {
-                if iid.0 as usize >= f.insts.len() {
+                if iid.index() >= f.insts.len() {
                     self.report(format!("{}: dangling instruction id {:?}", f.name, iid));
                     continue;
                 }
@@ -168,25 +168,25 @@ impl Verifier<'_> {
         }
         for op in &inst.operands {
             match *op {
-                ValueRef::Inst(i) if i.0 as usize >= f.insts.len() => {
+                ValueRef::Inst(i) if i.index() >= f.insts.len() => {
                     self.report(format!("{}: operand references dangling {:?}", f.name, i));
                 }
                 ValueRef::Arg(a) if a as usize >= f.params.len() => {
                     self.report(format!("{}: argument index {a} out of range", f.name));
                 }
-                ValueRef::Block(b) if b.0 as usize >= f.blocks.len() => {
+                ValueRef::Block(b) if b.index() >= f.blocks.len() => {
                     self.report(format!("{}: block operand {:?} out of range", f.name, b));
                 }
-                ValueRef::Global(g) if g.0 as usize >= m.globals.len() => {
+                ValueRef::Global(g) if g.index() >= m.globals.len() => {
                     self.report(format!("{}: global operand {:?} out of range", f.name, g));
                 }
-                ValueRef::Func(fid) if fid.0 as usize >= m.funcs.len() => {
+                ValueRef::Func(fid) if fid.index() >= m.funcs.len() => {
                     self.report(format!(
                         "{}: function operand {:?} out of range",
                         f.name, fid
                     ));
                 }
-                ValueRef::InlineAsm(a) if a.0 as usize >= m.asms.len() => {
+                ValueRef::InlineAsm(a) if a.index() >= m.asms.len() => {
                     self.report(format!("{}: asm operand {:?} out of range", f.name, a));
                 }
                 ValueRef::Placeholder(k) => {
@@ -352,7 +352,7 @@ impl Verifier<'_> {
                 if n < 1 {
                     bad(self, "needs a callee");
                 } else if let ValueRef::Func(fid) = inst.operands[0] {
-                    if (fid.0 as usize) < m.funcs.len() {
+                    if fid.index() < m.funcs.len() {
                         let callee = m.func(fid);
                         let argc = n - 1;
                         if !callee.varargs && argc != callee.params.len() {
@@ -578,8 +578,8 @@ mod tests {
     #[test]
     fn placeholder_rejected() {
         let mut m = valid_module();
-        let f = m.func_mut(crate::value::FuncId(0));
-        f.inst_mut(crate::value::InstId(0)).operands[0] = ValueRef::Placeholder(9);
+        let f = m.func_mut(crate::value::FuncId::new(0));
+        f.inst_mut(crate::value::InstId::new(0)).operands[0] = ValueRef::Placeholder(9);
         let findings = collect_findings(&m);
         assert!(findings.iter().any(|s| s.contains("placeholder")));
     }
@@ -617,8 +617,8 @@ mod tests {
             Opcode::Br,
             void,
             vec![
-                ValueRef::Block(crate::value::BlockId(0)),
-                ValueRef::Block(crate::value::BlockId(0)),
+                ValueRef::Block(crate::value::BlockId::new(0)),
+                ValueRef::Block(crate::value::BlockId::new(0)),
             ],
         ));
         let findings = collect_findings(&m);

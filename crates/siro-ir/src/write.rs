@@ -9,6 +9,12 @@
 //!   result/source element type);
 //! * `>= 3.7`: `load i32, i32* %p` / `getelementptr i32, i32* %p, ...`;
 //! * `>= 15.0`: pointers print as opaque `ptr`.
+//!
+//! The writer streams every fragment straight into one pre-sized output
+//! buffer: no per-instruction `format!` temporaries, no `Vec<String>` joins.
+//! A whole-module serialization performs O(1) allocator calls (the buffer
+//! plus the dense value-numbering scratch vector), which matters because
+//! serialization sits on the per-request hot path of the serving tier.
 
 use std::fmt::Write as _;
 
@@ -21,11 +27,17 @@ use crate::version::IrVersion;
 
 /// Serializes `module` into its version's textual format.
 pub fn write_module(module: &Module) -> String {
+    // Pre-size the buffer from the instruction count so the common case is a
+    // single allocation (plus the numbering scratch vector).
+    let mut est = 256 + module.globals.len() * 48;
+    for f in &module.funcs {
+        est += 96 + f.insts.len() * 48;
+    }
     let mut w = Writer {
         m: module,
         v: module.version,
-        out: String::new(),
-        value_numbers: std::collections::HashMap::new(),
+        out: String::with_capacity(est),
+        value_numbers: Vec::new(),
     };
     w.module();
     w.out
@@ -35,10 +47,13 @@ struct Writer<'a> {
     m: &'a Module,
     v: IrVersion,
     out: String,
-    /// Dense result numbering of the current function (arena ids can have
-    /// gaps after transformations; the textual form always numbers densely).
-    value_numbers: std::collections::HashMap<crate::value::InstId, usize>,
+    /// Dense result numbering of the current function, indexed by arena
+    /// slot (arena ids can have gaps after transformations; the textual
+    /// form always numbers densely). `u32::MAX` marks "no number".
+    value_numbers: Vec<u32>,
 }
+
+const UNNUMBERED: u32 = u32::MAX;
 
 impl Writer<'_> {
     fn module(&mut self) {
@@ -49,25 +64,38 @@ impl Writer<'_> {
         }
         for g in &self.m.globals {
             let kw = if g.is_const { "constant" } else { "global" };
-            let ty = self.ty(g.ty);
+            let _ = write!(self.out, "@{} = ", g.name);
             match &g.init {
                 GlobalInit::External => {
-                    let _ = writeln!(self.out, "@{} = external {kw} {ty}", g.name);
+                    let _ = write!(self.out, "external {kw} ");
+                    self.ty(g.ty);
                 }
                 GlobalInit::Zero => {
-                    let _ = writeln!(self.out, "@{} = {kw} {ty} zeroinitializer", g.name);
+                    let _ = write!(self.out, "{kw} ");
+                    self.ty(g.ty);
+                    self.out.push_str(" zeroinitializer");
                 }
                 GlobalInit::Int(v) => {
-                    let _ = writeln!(self.out, "@{} = {kw} {ty} {v}", g.name);
+                    let _ = write!(self.out, "{kw} ");
+                    self.ty(g.ty);
+                    let _ = write!(self.out, " {v}");
                 }
                 GlobalInit::Float(v) => {
-                    let _ = writeln!(self.out, "@{} = {kw} {ty} 0x{:016x}", g.name, v.to_bits());
+                    let _ = write!(self.out, "{kw} ");
+                    self.ty(g.ty);
+                    let _ = write!(self.out, " 0x{:016x}", v.to_bits());
                 }
                 GlobalInit::Bytes(bs) => {
-                    let hex: String = bs.iter().map(|b| format!("\\{b:02x}")).collect();
-                    let _ = writeln!(self.out, "@{} = {kw} {ty} c\"{hex}\"", g.name);
+                    let _ = write!(self.out, "{kw} ");
+                    self.ty(g.ty);
+                    self.out.push_str(" c\"");
+                    for b in bs {
+                        let _ = write!(self.out, "\\{b:02x}");
+                    }
+                    self.out.push('"');
                 }
             }
+            self.out.push('\n');
         }
         for f in &self.m.funcs {
             self.out.push('\n');
@@ -79,457 +107,567 @@ impl Writer<'_> {
         }
     }
 
-    fn ty(&self, t: TypeId) -> String {
+    fn ty(&mut self, t: TypeId) {
         if self.v.opaque_pointers_in_text() {
-            self.m.types.display_opaque(t).to_string()
+            let _ = write!(self.out, "{}", self.m.types.display_opaque(t));
         } else {
-            self.m.types.display(t).to_string()
+            let _ = write!(self.out, "{}", self.m.types.display(t));
         }
     }
 
     /// A type that must stay transparent even under opaque pointers (the
     /// pointer operand of pre-3.7 `load`/`gep`, which carries the element
     /// type).
-    fn ty_typed(&self, t: TypeId) -> String {
-        self.m.types.display(t).to_string()
+    fn ty_typed(&mut self, t: TypeId) {
+        let _ = write!(self.out, "{}", self.m.types.display(t));
     }
 
-    fn params(&self, f: &Function) -> String {
-        let mut s = String::new();
+    fn params(&mut self, f: &Function) {
         for (i, p) in f.params.iter().enumerate() {
             if i > 0 {
-                s.push_str(", ");
+                self.out.push_str(", ");
             }
-            let name = if p.name.is_empty() {
-                format!("arg{i}")
+            self.ty(p.ty);
+            if p.name.is_empty() {
+                let _ = write!(self.out, " %arg{i}");
             } else {
-                p.name.clone()
-            };
-            let _ = write!(s, "{} %{}", self.ty(p.ty), name);
+                let _ = write!(self.out, " %{}", p.name);
+            }
         }
         if f.varargs {
             if !f.params.is_empty() {
-                s.push_str(", ");
+                self.out.push_str(", ");
             }
-            s.push_str("...");
+            self.out.push_str("...");
         }
-        s
     }
 
     fn declare(&mut self, f: &Function) {
-        let _ = writeln!(
-            self.out,
-            "declare {} @{}({})",
-            self.ty(f.ret_ty),
-            f.name,
-            self.params(f)
-        );
+        self.out.push_str("declare ");
+        self.ty(f.ret_ty);
+        let _ = write!(self.out, " @{}(", f.name);
+        self.params(f);
+        self.out.push_str(")\n");
     }
 
     fn define(&mut self, f: &Function) {
         // Assign dense value numbers in layout order.
         self.value_numbers.clear();
-        let mut n = 0usize;
+        self.value_numbers.resize(f.insts.len(), UNNUMBERED);
+        let mut n = 0u32;
         for block in &f.blocks {
             for &iid in &block.insts {
                 let inst = f.inst(iid);
                 if !matches!(self.m.types.get(inst.ty), crate::types::Type::Void) {
-                    self.value_numbers.insert(iid, n);
+                    self.value_numbers[iid.index()] = n;
                     n += 1;
                 }
             }
         }
-        let _ = writeln!(
-            self.out,
-            "define {} @{}({}) {{",
-            self.ty(f.ret_ty),
-            f.name,
-            self.params(f)
-        );
+        self.out.push_str("define ");
+        self.ty(f.ret_ty);
+        let _ = write!(self.out, " @{}(", f.name);
+        self.params(f);
+        self.out.push_str(") {\n");
         for (bi, block) in f.blocks.iter().enumerate() {
             if bi > 0 {
                 self.out.push('\n');
             }
-            let _ = writeln!(self.out, "{}:", block_label(f, BlockId(bi as u32)));
+            self.label(f, BlockId::new(bi as u32));
+            self.out.push_str(":\n");
             for &iid in &block.insts {
                 let inst = f.inst(iid);
-                let text = self.inst(f, inst);
                 // Anything with a non-void type carries a result — including
                 // the result-producing terminators `invoke` and `callbr`.
                 let has_result = !matches!(self.m.types.get(inst.ty), crate::types::Type::Void);
                 if has_result {
                     let num = self
                         .value_numbers
-                        .get(&iid)
+                        .get(iid.index())
                         .copied()
-                        .unwrap_or(iid.0 as usize);
-                    let _ = writeln!(self.out, "  %t{num} = {text}");
+                        .filter(|&x| x != UNNUMBERED)
+                        .map(|x| x as usize)
+                        .unwrap_or(iid.index());
+                    let _ = write!(self.out, "  %t{num} = ");
                 } else {
-                    let _ = writeln!(self.out, "  {text}");
+                    self.out.push_str("  ");
                 }
+                self.inst(f, inst);
+                self.out.push('\n');
             }
         }
         self.out.push_str("}\n");
     }
 
-    fn val(&self, f: &Function, v: ValueRef) -> String {
+    fn val(&mut self, f: &Function, v: ValueRef) {
         match v {
             ValueRef::Inst(i) => {
-                let num = self.value_numbers.get(&i).copied().unwrap_or(i.0 as usize);
-                format!("%t{num}")
+                let num = self
+                    .value_numbers
+                    .get(i.index())
+                    .copied()
+                    .filter(|&x| x != UNNUMBERED)
+                    .map(|x| x as usize)
+                    .unwrap_or(i.index());
+                let _ = write!(self.out, "%t{num}");
             }
             ValueRef::Arg(a) => {
                 let p = &f.params[a as usize];
                 if p.name.is_empty() {
-                    format!("%arg{a}")
+                    let _ = write!(self.out, "%arg{a}");
                 } else {
-                    format!("%{}", p.name)
+                    let _ = write!(self.out, "%{}", p.name);
                 }
             }
-            ValueRef::Global(g) => format!("@{}", self.m.global(g).name),
-            ValueRef::Func(fid) => format!("@{}", self.m.func(fid).name),
-            ValueRef::Block(b) => format!("%{}", block_label(f, b)),
-            ValueRef::ConstInt { value, .. } => value.to_string(),
-            ValueRef::ConstFloat { bits, .. } => format!("0x{bits:016x}"),
-            ValueRef::Null(_) => "null".into(),
-            ValueRef::Undef(_) => "undef".into(),
-            ValueRef::ZeroInit(_) => "zeroinitializer".into(),
-            ValueRef::InlineAsm(_) => "<asm>".into(),
-            ValueRef::Placeholder(k) => format!("<placeholder:{k}>"),
+            ValueRef::Global(g) => {
+                let _ = write!(self.out, "@{}", self.m.global(g).name);
+            }
+            ValueRef::Func(fid) => {
+                let _ = write!(self.out, "@{}", self.m.func(fid).name);
+            }
+            ValueRef::Block(b) => {
+                self.out.push('%');
+                self.label(f, b);
+            }
+            ValueRef::ConstInt { value, .. } => {
+                let _ = write!(self.out, "{value}");
+            }
+            ValueRef::ConstFloat { bits, .. } => {
+                let _ = write!(self.out, "0x{bits:016x}");
+            }
+            ValueRef::Null(_) => self.out.push_str("null"),
+            ValueRef::Undef(_) => self.out.push_str("undef"),
+            ValueRef::ZeroInit(_) => self.out.push_str("zeroinitializer"),
+            ValueRef::InlineAsm(_) => self.out.push_str("<asm>"),
+            ValueRef::Placeholder(k) => {
+                let _ = write!(self.out, "<placeholder:{k}>");
+            }
+        }
+    }
+
+    /// Renders the operand's static type (the type half of [`Self::tval`]).
+    fn val_ty(&mut self, f: &Function, v: ValueRef) {
+        match self.m.value_type(f, v) {
+            Some(t) => self.ty(t),
+            None => self.pointer_ish_type(v),
+        }
+    }
+
+    /// Like [`Self::val_ty`] but keeps pointers transparent (pre-3.7 forms).
+    fn val_ty_typed(&mut self, f: &Function, v: ValueRef) {
+        match self.m.value_type(f, v) {
+            Some(t) => self.ty_typed(t),
+            None => self.pointer_ish_type(v),
         }
     }
 
     /// Renders `ty value` with the operand's static type.
-    fn tval(&self, f: &Function, v: ValueRef) -> String {
-        let ty = self
-            .m
-            .value_type(f, v)
-            .map(|t| self.ty(t))
-            .unwrap_or_else(|| self.pointer_ish_type(v));
-        format!("{ty} {}", self.val(f, v))
+    fn tval(&mut self, f: &Function, v: ValueRef) {
+        self.val_ty(f, v);
+        self.out.push(' ');
+        self.val(f, v);
     }
 
-    fn pointer_ish_type(&self, v: ValueRef) -> String {
+    fn pointer_ish_type(&mut self, v: ValueRef) {
         match v {
             ValueRef::Global(g) => {
                 let t = self.m.global(g).ty;
                 if self.v.opaque_pointers_in_text() {
-                    "ptr".into()
+                    self.out.push_str("ptr");
                 } else {
-                    format!("{}*", self.m.types.display(t))
+                    let _ = write!(self.out, "{}*", self.m.types.display(t));
                 }
             }
             ValueRef::Func(_) => {
                 if self.v.opaque_pointers_in_text() {
-                    "ptr".into()
+                    self.out.push_str("ptr");
                 } else {
-                    "void ()*".into()
+                    self.out.push_str("void ()*");
                 }
             }
-            _ => "i64".into(),
+            _ => self.out.push_str("i64"),
+        }
+    }
+
+    /// Renders `label %dest` for each of `dests`, comma-separated.
+    fn labels(&mut self, f: &Function, dests: &[ValueRef]) {
+        for (i, v) in dests.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str("label ");
+            self.val(f, *v);
+        }
+    }
+
+    /// Renders each of `args` as `ty value`, comma-separated.
+    fn tvals(&mut self, f: &Function, args: &[ValueRef]) {
+        for (i, v) in args.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.tval(f, *v);
         }
     }
 
     #[allow(clippy::too_many_lines)]
-    fn inst(&self, f: &Function, inst: &Instruction) -> String {
+    fn inst(&mut self, f: &Function, inst: &Instruction) {
         use Opcode::*;
         let ops = &inst.operands;
         match inst.opcode {
             Ret => {
                 if ops.is_empty() {
-                    "ret void".into()
+                    self.out.push_str("ret void");
                 } else {
-                    format!("ret {}", self.tval(f, ops[0]))
+                    self.out.push_str("ret ");
+                    self.tval(f, ops[0]);
                 }
             }
             Br => {
                 if ops.len() == 1 {
-                    format!("br label {}", self.val(f, ops[0]))
+                    self.out.push_str("br label ");
+                    self.val(f, ops[0]);
                 } else {
-                    format!(
-                        "br i1 {}, label {}, label {}",
-                        self.val(f, ops[0]),
-                        self.val(f, ops[1]),
-                        self.val(f, ops[2])
-                    )
+                    self.out.push_str("br i1 ");
+                    self.val(f, ops[0]);
+                    self.out.push_str(", label ");
+                    self.val(f, ops[1]);
+                    self.out.push_str(", label ");
+                    self.val(f, ops[2]);
                 }
             }
             Switch => {
-                let mut s = format!(
-                    "switch {}, label {} [",
-                    self.tval(f, ops[0]),
-                    self.val(f, ops[1])
-                );
+                self.out.push_str("switch ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", label ");
+                self.val(f, ops[1]);
+                self.out.push_str(" [");
                 for pair in ops[2..].chunks(2) {
-                    let _ = write!(
-                        s,
-                        " {}, label {}",
-                        self.tval(f, pair[0]),
-                        self.val(f, pair[1])
-                    );
+                    self.out.push(' ');
+                    self.tval(f, pair[0]);
+                    self.out.push_str(", label ");
+                    self.val(f, pair[1]);
                 }
-                s.push_str(" ]");
-                s
+                self.out.push_str(" ]");
             }
             IndirectBr => {
-                let dests: Vec<String> = ops[1..]
-                    .iter()
-                    .map(|v| format!("label {}", self.val(f, *v)))
-                    .collect();
-                format!(
-                    "indirectbr {}, [{}]",
-                    self.tval(f, ops[0]),
-                    dests.join(", ")
-                )
+                self.out.push_str("indirectbr ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", [");
+                self.labels(f, &ops[1..]);
+                self.out.push(']');
             }
             Invoke => {
                 let n = inst.attrs.num_args as usize;
-                let args: Vec<String> = ops[1..1 + n].iter().map(|v| self.tval(f, *v)).collect();
-                format!(
-                    "invoke {} {}({}) to label {} unwind label {}",
-                    self.ty(inst.ty),
-                    self.val(f, ops[0]),
-                    args.join(", "),
-                    self.val(f, ops[1 + n]),
-                    self.val(f, ops[2 + n]),
-                )
+                self.out.push_str("invoke ");
+                self.ty(inst.ty);
+                self.out.push(' ');
+                self.val(f, ops[0]);
+                self.out.push('(');
+                self.tvals(f, &ops[1..1 + n]);
+                self.out.push_str(") to label ");
+                self.val(f, ops[1 + n]);
+                self.out.push_str(" unwind label ");
+                self.val(f, ops[2 + n]);
             }
             CallBr => {
                 let n = inst.attrs.num_args as usize;
-                let args: Vec<String> = ops[1..1 + n].iter().map(|v| self.tval(f, *v)).collect();
-                let indirect: Vec<String> = ops[2 + n..]
-                    .iter()
-                    .map(|v| format!("label {}", self.val(f, *v)))
-                    .collect();
-                format!(
-                    "callbr {} {}({}) to label {} [{}]",
-                    self.ty(inst.ty),
-                    self.callee_text(f, ops[0]),
-                    args.join(", "),
-                    self.val(f, ops[1 + n]),
-                    indirect.join(", ")
-                )
+                self.out.push_str("callbr ");
+                self.ty(inst.ty);
+                self.out.push(' ');
+                self.callee_text(f, ops[0]);
+                self.out.push('(');
+                self.tvals(f, &ops[1..1 + n]);
+                self.out.push_str(") to label ");
+                self.val(f, ops[1 + n]);
+                self.out.push_str(" [");
+                self.labels(f, &ops[2 + n..]);
+                self.out.push(']');
             }
             Call => {
-                let args: Vec<String> = ops[1..].iter().map(|v| self.tval(f, *v)).collect();
-                let tail = if inst.attrs.tail_call { "tail " } else { "" };
-                format!(
-                    "{tail}call {} {}({})",
-                    self.ty(inst.ty),
-                    self.callee_text(f, ops[0]),
-                    args.join(", ")
-                )
+                if inst.attrs.tail_call {
+                    self.out.push_str("tail ");
+                }
+                self.out.push_str("call ");
+                self.ty(inst.ty);
+                self.out.push(' ');
+                self.callee_text(f, ops[0]);
+                self.out.push('(');
+                self.tvals(f, &ops[1..]);
+                self.out.push(')');
             }
-            Resume => format!("resume {}", self.tval(f, ops[0])),
-            Unreachable => "unreachable".into(),
+            Resume => {
+                self.out.push_str("resume ");
+                self.tval(f, ops[0]);
+            }
+            Unreachable => self.out.push_str("unreachable"),
             Add | Sub | Mul | UDiv | SDiv | URem | SRem | Shl | LShr | AShr | And | Or | Xor
             | FAdd | FSub | FMul | FDiv | FRem => {
-                let mut flags = String::new();
+                let _ = write!(self.out, "{} ", inst.opcode);
                 if inst.attrs.nuw {
-                    flags.push_str("nuw ");
+                    self.out.push_str("nuw ");
                 }
                 if inst.attrs.nsw {
-                    flags.push_str("nsw ");
+                    self.out.push_str("nsw ");
                 }
                 if inst.attrs.exact {
-                    flags.push_str("exact ");
+                    self.out.push_str("exact ");
                 }
-                format!(
-                    "{} {flags}{}, {}",
-                    inst.opcode,
-                    self.tval(f, ops[0]),
-                    self.val(f, ops[1])
-                )
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.val(f, ops[1]);
             }
-            FNeg => format!("fneg {}", self.tval(f, ops[0])),
+            FNeg => {
+                self.out.push_str("fneg ");
+                self.tval(f, ops[0]);
+            }
             Alloca => {
-                let ty = self.ty(inst.attrs.alloc_ty.unwrap_or(inst.ty));
+                self.out.push_str("alloca ");
+                self.ty(inst.attrs.alloc_ty.unwrap_or(inst.ty));
                 if let Some(&c) = ops.first() {
-                    format!("alloca {ty}, {}", self.tval(f, c))
-                } else {
-                    format!("alloca {ty}")
+                    self.out.push_str(", ");
+                    self.tval(f, c);
                 }
             }
             Load => {
-                let vol = if inst.attrs.volatile { "volatile " } else { "" };
-                let ptr_ty = self
-                    .m
-                    .value_type(f, ops[0])
-                    .map(|t| self.ty(t))
-                    .unwrap_or_else(|| self.pointer_ish_type(ops[0]));
+                self.out.push_str("load ");
+                if inst.attrs.volatile {
+                    self.out.push_str("volatile ");
+                }
                 if self.v.explicit_load_type_in_text() {
-                    format!(
-                        "load {vol}{}, {ptr_ty} {}",
-                        self.ty(inst.ty),
-                        self.val(f, ops[0])
-                    )
+                    self.ty(inst.ty);
+                    self.out.push_str(", ");
+                    self.val_ty(f, ops[0]);
+                    self.out.push(' ');
+                    self.val(f, ops[0]);
                 } else {
                     // Old style: the element type rides on the pointer type,
                     // which therefore must stay transparent.
-                    let ptr_ty = self
-                        .m
-                        .value_type(f, ops[0])
-                        .map(|t| self.ty_typed(t))
-                        .unwrap_or_else(|| self.pointer_ish_type(ops[0]));
-                    format!("load {vol}{ptr_ty} {}", self.val(f, ops[0]))
+                    self.val_ty_typed(f, ops[0]);
+                    self.out.push(' ');
+                    self.val(f, ops[0]);
                 }
             }
             Store => {
-                let vol = if inst.attrs.volatile { "volatile " } else { "" };
-                format!(
-                    "store {vol}{}, {}",
-                    self.tval(f, ops[0]),
-                    self.tval(f, ops[1])
-                )
+                self.out.push_str("store ");
+                if inst.attrs.volatile {
+                    self.out.push_str("volatile ");
+                }
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.tval(f, ops[1]);
             }
             GetElementPtr => {
-                let inb = if inst.attrs.inbounds { "inbounds " } else { "" };
-                let idx: Vec<String> = ops[1..].iter().map(|v| self.tval(f, *v)).collect();
+                self.out.push_str("getelementptr ");
+                if inst.attrs.inbounds {
+                    self.out.push_str("inbounds ");
+                }
                 if self.v.explicit_load_type_in_text() {
-                    let src = self.ty(inst.attrs.gep_source_ty.unwrap_or(inst.ty));
-                    format!(
-                        "getelementptr {inb}{src}, {}, {}",
-                        self.tval(f, ops[0]),
-                        idx.join(", ")
-                    )
+                    self.ty(inst.attrs.gep_source_ty.unwrap_or(inst.ty));
+                    self.out.push_str(", ");
+                    self.tval(f, ops[0]);
+                    self.out.push_str(", ");
+                    self.tvals(f, &ops[1..]);
                 } else {
-                    let ptr_ty = self
-                        .m
-                        .value_type(f, ops[0])
-                        .map(|t| self.ty_typed(t))
-                        .unwrap_or_else(|| self.pointer_ish_type(ops[0]));
-                    format!(
-                        "getelementptr {inb}{ptr_ty} {}, {}",
-                        self.val(f, ops[0]),
-                        idx.join(", ")
-                    )
+                    self.val_ty_typed(f, ops[0]);
+                    self.out.push(' ');
+                    self.val(f, ops[0]);
+                    self.out.push_str(", ");
+                    self.tvals(f, &ops[1..]);
                 }
             }
-            Fence => format!(
-                "fence {}",
-                inst.attrs
-                    .ordering
-                    .unwrap_or(crate::inst::AtomicOrdering::SeqCst)
-            ),
-            CmpXchg => format!(
-                "cmpxchg {}, {}, {} seq_cst seq_cst",
-                self.tval(f, ops[0]),
-                self.tval(f, ops[1]),
-                self.tval(f, ops[2])
-            ),
-            AtomicRmw => format!(
-                "atomicrmw {} {}, {} seq_cst",
-                inst.attrs.rmw_op.map(|o| o.name()).unwrap_or("xchg"),
-                self.tval(f, ops[0]),
-                self.tval(f, ops[1])
-            ),
+            Fence => {
+                let _ = write!(
+                    self.out,
+                    "fence {}",
+                    inst.attrs
+                        .ordering
+                        .unwrap_or(crate::inst::AtomicOrdering::SeqCst)
+                );
+            }
+            CmpXchg => {
+                self.out.push_str("cmpxchg ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.tval(f, ops[1]);
+                self.out.push_str(", ");
+                self.tval(f, ops[2]);
+                self.out.push_str(" seq_cst seq_cst");
+            }
+            AtomicRmw => {
+                let _ = write!(
+                    self.out,
+                    "atomicrmw {} ",
+                    inst.attrs.rmw_op.map(|o| o.name()).unwrap_or("xchg")
+                );
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.tval(f, ops[1]);
+                self.out.push_str(" seq_cst");
+            }
             Trunc | ZExt | SExt | FPTrunc | FPExt | FPToUI | FPToSI | UIToFP | SIToFP
             | PtrToInt | IntToPtr | BitCast | AddrSpaceCast => {
-                format!(
-                    "{} {} to {}",
-                    inst.opcode,
-                    self.tval(f, ops[0]),
-                    self.ty(inst.ty)
-                )
+                let _ = write!(self.out, "{} ", inst.opcode);
+                self.tval(f, ops[0]);
+                self.out.push_str(" to ");
+                self.ty(inst.ty);
             }
-            ICmp => format!(
-                "icmp {} {}, {}",
-                inst.attrs.int_pred.map(|p| p.name()).unwrap_or("eq"),
-                self.tval(f, ops[0]),
-                self.val(f, ops[1])
-            ),
-            FCmp => format!(
-                "fcmp {} {}, {}",
-                inst.attrs.float_pred.map(|p| p.name()).unwrap_or("oeq"),
-                self.tval(f, ops[0]),
-                self.val(f, ops[1])
-            ),
+            ICmp => {
+                let _ = write!(
+                    self.out,
+                    "icmp {} ",
+                    inst.attrs.int_pred.map(|p| p.name()).unwrap_or("eq")
+                );
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.val(f, ops[1]);
+            }
+            FCmp => {
+                let _ = write!(
+                    self.out,
+                    "fcmp {} ",
+                    inst.attrs.float_pred.map(|p| p.name()).unwrap_or("oeq")
+                );
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.val(f, ops[1]);
+            }
             Phi => {
-                let pairs: Vec<String> = ops
-                    .chunks(2)
-                    .map(|c| format!("[ {}, {} ]", self.val(f, c[0]), self.val(f, c[1])))
-                    .collect();
-                format!("phi {} {}", self.ty(inst.ty), pairs.join(", "))
+                self.out.push_str("phi ");
+                self.ty(inst.ty);
+                self.out.push(' ');
+                for (i, c) in ops.chunks(2).enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.out.push_str("[ ");
+                    self.val(f, c[0]);
+                    self.out.push_str(", ");
+                    self.val(f, c[1]);
+                    self.out.push_str(" ]");
+                }
             }
-            Select => format!(
-                "select {}, {}, {}",
-                self.tval(f, ops[0]),
-                self.tval(f, ops[1]),
-                self.tval(f, ops[2])
-            ),
-            VAArg => format!("va_arg {}, {}", self.tval(f, ops[0]), self.ty(inst.ty)),
-            ExtractElement => format!(
-                "extractelement {}, {}",
-                self.tval(f, ops[0]),
-                self.tval(f, ops[1])
-            ),
-            InsertElement => format!(
-                "insertelement {}, {}, {}",
-                self.tval(f, ops[0]),
-                self.tval(f, ops[1]),
-                self.tval(f, ops[2])
-            ),
+            Select => {
+                self.out.push_str("select ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.tval(f, ops[1]);
+                self.out.push_str(", ");
+                self.tval(f, ops[2]);
+            }
+            VAArg => {
+                self.out.push_str("va_arg ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.ty(inst.ty);
+            }
+            ExtractElement => {
+                self.out.push_str("extractelement ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.tval(f, ops[1]);
+            }
+            InsertElement => {
+                self.out.push_str("insertelement ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.tval(f, ops[1]);
+                self.out.push_str(", ");
+                self.tval(f, ops[2]);
+            }
             ShuffleVector => {
-                let mask: Vec<String> = inst.attrs.indices.iter().map(u64::to_string).collect();
-                format!(
-                    "shufflevector {}, {}, mask <{}>",
-                    self.tval(f, ops[0]),
-                    self.tval(f, ops[1]),
-                    mask.join(", ")
-                )
+                self.out.push_str("shufflevector ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.tval(f, ops[1]);
+                self.out.push_str(", mask <");
+                self.indices(inst);
+                self.out.push('>');
             }
             ExtractValue => {
-                let idx: Vec<String> = inst.attrs.indices.iter().map(u64::to_string).collect();
-                format!(
-                    "extractvalue {}, {} : {}",
-                    self.tval(f, ops[0]),
-                    idx.join(", "),
-                    self.ty(inst.ty)
-                )
+                self.out.push_str("extractvalue ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.indices(inst);
+                self.out.push_str(" : ");
+                self.ty(inst.ty);
             }
             InsertValue => {
-                let idx: Vec<String> = inst.attrs.indices.iter().map(u64::to_string).collect();
-                format!(
-                    "insertvalue {}, {}, {}",
-                    self.tval(f, ops[0]),
-                    self.tval(f, ops[1]),
-                    idx.join(", ")
-                )
+                self.out.push_str("insertvalue ");
+                self.tval(f, ops[0]);
+                self.out.push_str(", ");
+                self.tval(f, ops[1]);
+                self.out.push_str(", ");
+                self.indices(inst);
             }
             LandingPad => {
-                let cl = if inst.attrs.is_cleanup {
-                    " cleanup"
-                } else {
-                    ""
-                };
-                format!("landingpad {}{cl}", self.ty(inst.ty))
+                self.out.push_str("landingpad ");
+                self.ty(inst.ty);
+                if inst.attrs.is_cleanup {
+                    self.out.push_str(" cleanup");
+                }
             }
-            Freeze => format!("freeze {}", self.tval(f, ops[0])),
+            Freeze => {
+                self.out.push_str("freeze ");
+                self.tval(f, ops[0]);
+            }
             CatchSwitch => {
-                let dests: Vec<String> = ops
-                    .iter()
-                    .filter(|v| v.is_block())
-                    .map(|v| format!("label {}", self.val(f, *v)))
-                    .collect();
-                format!("catchswitch [{}]", dests.join(", "))
+                self.out.push_str("catchswitch [");
+                let mut first = true;
+                for v in ops.iter().filter(|v| v.is_block()) {
+                    if !first {
+                        self.out.push_str(", ");
+                    }
+                    first = false;
+                    self.out.push_str("label ");
+                    self.val(f, *v);
+                }
+                self.out.push(']');
             }
-            CatchPad => "catchpad".into(),
-            CatchRet => format!("catchret label {}", self.val(f, ops[0])),
-            CleanupPad => "cleanuppad".into(),
-            CleanupRet => format!("cleanupret label {}", self.val(f, ops[0])),
+            CatchPad => self.out.push_str("catchpad"),
+            CatchRet => {
+                self.out.push_str("catchret label ");
+                self.val(f, ops[0]);
+            }
+            CleanupPad => self.out.push_str("cleanuppad"),
+            CleanupRet => {
+                self.out.push_str("cleanupret label ");
+                self.val(f, ops[0]);
+            }
         }
     }
 
-    fn callee_text(&self, f: &Function, callee: ValueRef) -> String {
+    /// Renders `inst.attrs.indices` comma-separated.
+    fn indices(&mut self, inst: &Instruction) {
+        for (i, ix) in inst.attrs.indices.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let _ = write!(self.out, "{ix}");
+        }
+    }
+
+    fn callee_text(&mut self, f: &Function, callee: ValueRef) {
         match callee {
             ValueRef::InlineAsm(a) => {
                 let asm = self.m.asm(a);
-                format!(
+                let _ = write!(
+                    self.out,
                     "asm \"{}\", \"{}\" hwlevel {}",
                     asm.text, asm.constraints, asm.hw_level
-                )
+                );
             }
             other => self.val(f, other),
+        }
+    }
+
+    /// Streams the label of `block` (same text as [`block_label`]).
+    fn label(&mut self, f: &Function, block: BlockId) {
+        let b = f.block(block);
+        if b.name.is_empty() {
+            let _ = write!(self.out, "bb{}", block.raw());
+        } else {
+            let _ = write!(self.out, "{}.{}", b.name, block.raw());
         }
     }
 }
@@ -538,9 +676,9 @@ impl Writer<'_> {
 pub fn block_label(f: &Function, block: BlockId) -> String {
     let b = f.block(block);
     if b.name.is_empty() {
-        format!("bb{}", block.0)
+        format!("bb{}", block.raw())
     } else {
-        format!("{}.{}", b.name, block.0)
+        format!("{}.{}", b.name, block.raw())
     }
 }
 

@@ -1,0 +1,308 @@
+//! Property tests for the arena invariants of the IR core.
+//!
+//! Three invariants from `docs/IR_CORE.md` are fuzzed with `siro-rng`:
+//!
+//! 1. **No dangling pointers** — random build/mutate/delete sequences
+//!    never produce a `ValueRef::Inst`/`ValueRef::Block` whose `Ptr<T>`
+//!    falls outside its arena, nor a block whose instruction list points
+//!    past the instruction arena.
+//! 2. **Use-def consistency** — `UseIndex::build` agrees exactly with a
+//!    brute-force scan of the operand lists, in both directions.
+//! 3. **Clone disjointness** — `Module::arena_clone` is structurally
+//!    equal (byte-identical serialization) but storage-disjoint: any
+//!    mutation of the clone leaves the original's bytes untouched.
+
+use siro_rng::seq::SliceRandom;
+use siro_rng::{Rng, SeedableRng, StdRng};
+
+use siro_ir::{
+    write, BlockId, FuncBuilder, Function, InstId, IrVersion, Module, UseIndex, ValueRef,
+};
+use siro_testcases::gen::generate_cases;
+
+const VERSIONS: [IrVersion; 4] = [
+    IrVersion::V5_0,
+    IrVersion::V10_0,
+    IrVersion::V13_0,
+    IrVersion::V17_0,
+];
+
+/// Every operand and block membership in `f` must resolve inside the
+/// function's arenas. Panics with a description of the first violation.
+fn assert_no_dangling(f: &Function, what: &str) {
+    let ninsts = f.insts.len();
+    let nblocks = f.blocks.len();
+    for bid in f.block_ids() {
+        for &iid in &f.block(bid).insts {
+            assert!(
+                iid.index() < ninsts,
+                "{what}: block {bid:?} lists out-of-arena instruction {iid:?} (arena len {ninsts})"
+            );
+        }
+    }
+    for iid in f.insts.ids() {
+        for &op in &f.inst(iid).operands {
+            match op {
+                ValueRef::Inst(i) => assert!(
+                    i.index() < ninsts,
+                    "{what}: {iid:?} has dangling operand {i:?} (arena len {ninsts})"
+                ),
+                ValueRef::Block(b) => assert!(
+                    b.index() < nblocks,
+                    "{what}: {iid:?} has dangling label {b:?} (arena len {nblocks})"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Brute-force use-def map: for each defining instruction, the list of
+/// `(user, slot)` pairs naming it in an operand list, in program order.
+fn brute_force_uses(f: &Function) -> Vec<Vec<(InstId, u32)>> {
+    let mut out = vec![Vec::new(); f.insts.len()];
+    for iid in f.insts.ids() {
+        for (slot, &op) in f.inst(iid).operands.iter().enumerate() {
+            if let ValueRef::Inst(def) = op {
+                out[def.index()].push((iid, slot as u32));
+            }
+        }
+    }
+    out
+}
+
+fn assert_use_index_consistent(f: &Function, what: &str) {
+    let idx = UseIndex::build(f);
+    let brute = brute_force_uses(f);
+    let mut total = 0usize;
+    for iid in f.insts.ids() {
+        let via_index: Vec<(InstId, u32)> =
+            idx.uses_of(iid).iter().map(|u| (u.user, u.slot)).collect();
+        assert_eq!(
+            via_index,
+            brute[iid.index()],
+            "{what}: UseIndex disagrees with operand scan for def {iid:?}"
+        );
+        // Back-pointer check: each recorded use really names `iid` at
+        // that slot.
+        for u in idx.uses_of(iid) {
+            assert_eq!(
+                f.inst(u.user).operands[u.slot as usize],
+                ValueRef::Inst(iid),
+                "{what}: recorded use ({:?}, slot {}) does not point back at {iid:?}",
+                u.user,
+                u.slot
+            );
+        }
+        total += via_index.len();
+    }
+    // `UseIndex::len` counts covered instructions, and the total number
+    // of recorded uses must match the brute-force scan.
+    assert_eq!(
+        idx.len(),
+        f.insts.len(),
+        "{what}: UseIndex coverage drifted"
+    );
+    let brute_total: usize = brute.iter().map(Vec::len).sum();
+    assert_eq!(total, brute_total, "{what}: UseIndex use count drifted");
+}
+
+/// Applies `steps` random mutations to every function of `m`: operand
+/// pushes/pops/truncations/rewrites, new blocks, new instructions, and
+/// placeholder replacement. All mutations only ever reference live ids,
+/// so the no-dangling invariant must survive each one.
+fn mutate_randomly(m: &mut Module, rng: &mut StdRng, steps: usize) {
+    let fids: Vec<_> = m.func_ids().collect();
+    for _ in 0..steps {
+        let Some(&fid) = fids.as_slice().choose(rng) else {
+            return;
+        };
+        let f = m.func_mut(fid);
+        if f.insts.is_empty() || f.blocks.is_empty() {
+            continue;
+        }
+        let ninsts = f.insts.len();
+        let nblocks = f.blocks.len();
+        let victim = InstId::from_usize(rng.gen_range(0..ninsts));
+        match rng.gen_range(0..6u32) {
+            // Push a reference to a live instruction.
+            0 => {
+                let tgt = InstId::from_usize(rng.gen_range(0..ninsts));
+                f.inst_mut(victim).operands.push(ValueRef::Inst(tgt));
+            }
+            // Push a label operand.
+            1 => {
+                let tgt = BlockId::from_usize(rng.gen_range(0..nblocks));
+                f.inst_mut(victim).operands.push(ValueRef::Block(tgt));
+            }
+            // Pop (possibly spilling back below the inline threshold).
+            2 => {
+                f.inst_mut(victim).operands.pop();
+            }
+            // Truncate to a random prefix.
+            3 => {
+                let ops = &mut f.inst_mut(victim).operands;
+                if !ops.is_empty() {
+                    let keep = rng.gen_range(0..ops.len() + 1);
+                    ops.truncate(keep);
+                }
+            }
+            // Rewrite one slot in place through as_mut_slice.
+            4 => {
+                let tgt = InstId::from_usize(rng.gen_range(0..ninsts));
+                let ops = f.inst_mut(victim).operands.as_mut_slice();
+                if !ops.is_empty() {
+                    let slot = rng.gen_range(0..ops.len());
+                    ops[slot] = ValueRef::Inst(tgt);
+                }
+            }
+            // "Delete": clear an operand list outright (the arena keeps
+            // the slot alive, so no other list can dangle).
+            _ => {
+                f.inst_mut(victim).operands.clear();
+            }
+        }
+    }
+}
+
+/// Builds a small random-but-valid module from scratch through
+/// `FuncBuilder`, exercising arena allocation directly (as opposed to
+/// the parser-driven corpus of `generate_cases`).
+fn build_random_module(rng: &mut StdRng, version: IrVersion) -> Module {
+    let mut m = Module::new("prop", version);
+    let i32t = m.types.i32();
+    let nfuncs = rng.gen_range(1..4usize);
+    for fi in 0..nfuncs {
+        let fid = FuncBuilder::define(&mut m, format!("f{fi}"), i32t, vec![]);
+        let mut b = FuncBuilder::new(&mut m, fid);
+        let entry = b.add_block("entry");
+        b.position_at_end(entry);
+        let mut vals = vec![ValueRef::const_int(i32t, rng.gen_range(0..100))];
+        for _ in 0..rng.gen_range(1..13usize) {
+            let lhs = *vals.as_slice().choose(rng).unwrap();
+            let rhs = *vals.as_slice().choose(rng).unwrap();
+            let v = match rng.gen_range(0..3u32) {
+                0 => b.add(lhs, rhs),
+                1 => b.sub(lhs, rhs),
+                _ => b.xor(lhs, rhs),
+            };
+            vals.push(v);
+        }
+        b.ret(Some(*vals.last().unwrap()));
+    }
+    m
+}
+
+#[test]
+fn random_builds_never_dangle() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xA11A + seed);
+        let version = VERSIONS[(seed as usize) % VERSIONS.len()];
+        let m = build_random_module(&mut rng, version);
+        for fid in m.func_ids() {
+            assert_no_dangling(m.func(fid), &format!("seed {seed} build"));
+        }
+    }
+}
+
+#[test]
+fn random_mutations_never_dangle() {
+    for seed in 0..16u64 {
+        let version = VERSIONS[(seed as usize) % VERSIONS.len()];
+        let mut cases = generate_cases(0xD1CE + seed, 2, version);
+        let mut rng = StdRng::seed_from_u64(0xBEEF + seed);
+        for case in &mut cases {
+            mutate_randomly(&mut case.module, &mut rng, 64);
+            for fid in case.module.func_ids() {
+                assert_no_dangling(
+                    case.module.func(fid),
+                    &format!("seed {seed} case {}", case.name),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn use_index_matches_brute_force_scan() {
+    for seed in 0..12u64 {
+        let version = VERSIONS[(seed as usize) % VERSIONS.len()];
+        let mut cases = generate_cases(0xCAFE + seed, 2, version);
+        let mut rng = StdRng::seed_from_u64(0xF00D + seed);
+        for case in &mut cases {
+            // Consistent both on the pristine module...
+            for fid in case.module.func_ids() {
+                assert_use_index_consistent(case.module.func(fid), &case.name);
+            }
+            // ...and after arbitrary operand-list churn.
+            mutate_randomly(&mut case.module, &mut rng, 48);
+            for fid in case.module.func_ids() {
+                assert_use_index_consistent(case.module.func(fid), &case.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_clone_is_equal_but_disjoint() {
+    for seed in 0..12u64 {
+        let version = VERSIONS[(seed as usize) % VERSIONS.len()];
+        let cases = generate_cases(0x51B0 + seed, 2, version);
+        let mut rng = StdRng::seed_from_u64(0xC10E + seed);
+        for case in &cases {
+            let before = write::write_module(&case.module);
+            let mut clone = case.module.arena_clone();
+            assert_eq!(
+                write::write_module(&clone),
+                before,
+                "clone of {} not structurally equal",
+                case.name
+            );
+            // Storage disjointness: hammer the clone, then check the
+            // original still serializes to the exact same bytes.
+            mutate_randomly(&mut clone, &mut rng, 96);
+            for fid in clone.func_ids() {
+                let f = clone.func_mut(fid);
+                for iid in 0..f.insts.len() {
+                    f.inst_mut(InstId::from_usize(iid)).operands.clear();
+                }
+            }
+            assert_eq!(
+                write::write_module(&case.module),
+                before,
+                "mutating clone of {} leaked into the original",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn slab_reuse_keeps_ptrs_in_bounds() {
+    // Dropping a module parks its arena buffers in the thread-local
+    // slab; the next module reuses them. Pointers minted against the
+    // new module must still be bounds-checked against *its* lengths,
+    // never the recycled capacity.
+    let mut rng = StdRng::seed_from_u64(0x51AB);
+    let big = build_random_module(&mut rng, IrVersion::V13_0);
+    let big_insts = big.inst_count();
+    assert!(big_insts > 0);
+    drop(big);
+
+    let depths = siro_ir::ctx::slab_depths();
+    assert!(
+        depths.iter().any(|&d| d > 0),
+        "dropping a module should park at least one buffer, got {depths:?}"
+    );
+
+    let small = build_random_module(&mut rng, IrVersion::V13_0);
+    for fid in small.func_ids() {
+        let f = small.func(fid);
+        assert_no_dangling(f, "recycled arena");
+        // A pointer index valid for the big module must be rejected by
+        // the small one's accessors rather than aliasing stale storage.
+        let stale = InstId::from_usize(f.insts.len() + 7);
+        assert!(f.insts.get(stale).is_none());
+        assert!(!f.insts.contains(stale));
+    }
+}

@@ -387,7 +387,7 @@ fn scan_function(module: &Module, func: &Function, patch: &SecurityPatch) -> Vec
                             sink: inst
                                 .name
                                 .clone()
-                                .unwrap_or_else(|| format!("inst{}", sink.0)),
+                                .unwrap_or_else(|| format!("inst{}", sink.raw())),
                             status: BugStatus::Confirmed,
                         });
                     }
@@ -405,7 +405,7 @@ fn scan_function(module: &Module, func: &Function, patch: &SecurityPatch) -> Vec
                             .inst(acq_id)
                             .name
                             .clone()
-                            .unwrap_or_else(|| format!("inst{}", acq_id.0)),
+                            .unwrap_or_else(|| format!("inst{}", acq_id.raw())),
                         status: BugStatus::Confirmed,
                     });
                 }

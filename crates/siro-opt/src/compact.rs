@@ -27,7 +27,7 @@ pub fn compact(module: &mut Module) -> usize {
         let remap: HashMap<InstId, InstId> = live
             .iter()
             .enumerate()
-            .map(|(new, &old)| (old, InstId(new as u32)))
+            .map(|(new, &old)| (old, InstId::new(new as u32)))
             .collect();
         let mut new_insts = Vec::with_capacity(live.len());
         for &old in &live {
@@ -40,7 +40,7 @@ pub fn compact(module: &mut Module) -> usize {
                 }
             }
         }
-        func.insts = new_insts;
+        func.insts = new_insts.into();
         for block in &mut func.blocks {
             for iid in &mut block.insts {
                 *iid = remap[iid];
@@ -69,11 +69,11 @@ mod tests {
         let w = b.add(v, v);
         b.ret(Some(w));
         crate::mem2reg(&mut m); // leaves alloca/store/load orphaned
-        let func = m.func(siro_ir::FuncId(0));
+        let func = m.func(siro_ir::FuncId::new(0));
         assert!(func.insts.len() > func.blocks[0].insts.len());
         let dropped = compact(&mut m);
         assert_eq!(dropped, 3);
-        let func = m.func(siro_ir::FuncId(0));
+        let func = m.func(siro_ir::FuncId::new(0));
         assert_eq!(func.insts.len(), func.blocks[0].insts.len());
         verify::verify_module(&m).expect("pass output must verify");
         assert_eq!(

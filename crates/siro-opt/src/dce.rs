@@ -129,11 +129,14 @@ mod tests {
         let slot = b.alloca(i32t);
         b.store(ValueRef::const_int(i32t, 3), slot);
         b.ret(Some(ValueRef::const_int(i32t, 0)));
-        let before = m.func(siro_ir::FuncId(1)).blocks[0].insts.len();
+        let before = m.func(siro_ir::FuncId::new(1)).blocks[0].insts.len();
         let removed = dce(&mut m);
         // Only the unused sdiv? No: sdiv has potential traps -> kept.
         // alloca is used by the store -> kept. Nothing is removable.
         assert_eq!(removed, 0);
-        assert_eq!(m.func(siro_ir::FuncId(1)).blocks[0].insts.len(), before);
+        assert_eq!(
+            m.func(siro_ir::FuncId::new(1)).blocks[0].insts.len(),
+            before
+        );
     }
 }

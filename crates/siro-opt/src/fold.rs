@@ -226,7 +226,7 @@ mod tests {
             before
         );
         // main is now a single ret.
-        assert_eq!(m.func(siro_ir::FuncId(0)).blocks[0].insts.len(), 1);
+        assert_eq!(m.func(siro_ir::FuncId::new(0)).blocks[0].insts.len(), 1);
     }
 
     #[test]
@@ -249,7 +249,7 @@ mod tests {
         );
         b.ret(Some(v));
         fold_constants(&mut m);
-        let func = m.func(siro_ir::FuncId(0));
+        let func = m.func(siro_ir::FuncId::new(0));
         assert_eq!(func.blocks[0].insts.len(), 1);
         assert_eq!(
             Machine::new(&m)

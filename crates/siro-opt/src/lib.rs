@@ -30,7 +30,7 @@
 //! let stats = siro_opt::optimize(&mut m);
 //! assert!(stats.promoted_slots >= 1);
 //! // After mem2reg + folding the function is a single `ret i32 42`.
-//! assert_eq!(m.func(siro_ir::FuncId(0)).blocks[0].insts.len(), 1);
+//! assert_eq!(m.func(siro_ir::FuncId::new(0)).blocks[0].insts.len(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -133,7 +133,7 @@ mod tests {
         assert_eq!(stats.promoted_slots, 1);
         assert!(stats.removed_blocks >= 2, "{stats:?}");
         // Fully collapsed: one block, one ret.
-        let func = m.func(siro_ir::FuncId(0));
+        let func = m.func(siro_ir::FuncId::new(0));
         assert_eq!(func.blocks.len(), 1);
         assert_eq!(func.blocks[0].insts.len(), 1);
     }

@@ -92,7 +92,7 @@ fn promote_function(func: &mut Function) -> usize {
             }
             let mut runner = p;
             while runner != idom_b {
-                df[runner.0 as usize].insert(b);
+                df[runner.index()].insert(b);
                 match dom.idom(runner) {
                     Some(d) => runner = d,
                     None => break,
@@ -116,13 +116,13 @@ fn promote_function(func: &mut Function) -> usize {
         }
         let mut placed: HashSet<BlockId> = HashSet::new();
         while let Some(b) = work.pop() {
-            for &frontier in df[b.0 as usize].clone().iter() {
+            for &frontier in df[b.index()].clone().iter() {
                 if placed.insert(frontier) {
                     // Insert an (initially empty) phi at the block head.
                     let phi = Instruction::new(Opcode::Phi, slot_ty[&slot], vec![]);
-                    let pid = InstId(func.insts.len() as u32);
+                    let pid = InstId::new(func.insts.len() as u32);
                     func.insts.push(phi);
-                    func.blocks[frontier.0 as usize].insts.insert(0, pid);
+                    func.blocks[frontier.index()].insts.insert(0, pid);
                     phi_slots.insert((frontier, slot), pid);
                     work.push(frontier);
                 }
@@ -134,7 +134,7 @@ fn promote_function(func: &mut Function) -> usize {
     let mut dom_children: Vec<Vec<BlockId>> = vec![Vec::new(); nblocks];
     for b in func.block_ids() {
         if let Some(d) = dom.idom(b) {
-            dom_children[d.0 as usize].push(b);
+            dom_children[d.index()].push(b);
         }
     }
     let mut replace: HashMap<InstId, ValueRef> = HashMap::new(); // load -> value
@@ -153,7 +153,7 @@ fn promote_function(func: &mut Function) -> usize {
     };
 
     let mut stack_frames = vec![Frame {
-        block: BlockId(0),
+        block: BlockId::new(0),
         child_idx: 0,
         pushed: Vec::new(),
     }];
@@ -161,8 +161,8 @@ fn promote_function(func: &mut Function) -> usize {
     let mut entered = vec![false; nblocks];
     while let Some(frame) = stack_frames.last_mut() {
         let b = frame.block;
-        if !entered[b.0 as usize] {
-            entered[b.0 as usize] = true;
+        if !entered[b.index()] {
+            entered[b.index()] = true;
             // 1. Phis placed in this block define new values.
             for (&(pb, slot), &pid) in &phi_slots {
                 if pb == b {
@@ -174,7 +174,7 @@ fn promote_function(func: &mut Function) -> usize {
                 }
             }
             // 2. Walk the instructions.
-            for &iid in func.blocks[b.0 as usize].insts.clone().iter() {
+            for &iid in func.blocks[b.index()].insts.clone().iter() {
                 let inst = func.inst(iid).clone();
                 match inst.opcode {
                     Opcode::Load => {
@@ -215,7 +215,7 @@ fn promote_function(func: &mut Function) -> usize {
             }
         }
         // 4. Recurse into dominator-tree children.
-        let children = &dom_children[b.0 as usize];
+        let children = &dom_children[b.index()];
         if frame.child_idx < children.len() {
             let child = children[frame.child_idx];
             frame.child_idx += 1;
@@ -296,7 +296,7 @@ mod tests {
         verify::verify_module(&m).expect("pass output must verify");
         assert_eq!(run(&m), before);
         // No memory operations remain.
-        let func = m.func(siro_ir::FuncId(0));
+        let func = m.func(siro_ir::FuncId::new(0));
         for bb in &func.blocks {
             for &i in &bb.insts {
                 assert!(!matches!(
@@ -340,7 +340,7 @@ mod tests {
         mem2reg(&mut m);
         verify::verify_module(&m).expect("pass output must verify");
         assert_eq!(run(&m), before);
-        let func = m.func(siro_ir::FuncId(0));
+        let func = m.func(siro_ir::FuncId::new(0));
         let has_phi = func
             .blocks
             .iter()

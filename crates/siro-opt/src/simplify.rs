@@ -55,10 +55,10 @@ fn merge_straight_line(func: &mut Function) -> usize {
             let Some(s) = term.operands[0].as_block() else {
                 continue;
             };
-            if s == b || s.0 == 0 || cfg.predecessors(s) != [b] {
+            if s == b || s.raw() == 0 || cfg.predecessors(s) != [b] {
                 continue;
             }
-            let s_has_phi = func.blocks[s.0 as usize]
+            let s_has_phi = func.blocks[s.index()]
                 .insts
                 .first()
                 .is_some_and(|&i| func.inst(i).opcode == Opcode::Phi);
@@ -71,9 +71,9 @@ fn merge_straight_line(func: &mut Function) -> usize {
         let Some((b, s)) = pair else { return merged };
         // Drop b's branch, splice s's instructions in, and redirect phi
         // references to s's successors.
-        func.blocks[b.0 as usize].insts.pop();
-        let moved = std::mem::take(&mut func.blocks[s.0 as usize].insts);
-        func.blocks[b.0 as usize].insts.extend(moved);
+        func.blocks[b.index()].insts.pop();
+        let moved = std::mem::take(&mut func.blocks[s.index()].insts);
+        func.blocks[b.index()].insts.extend(moved);
         for inst in &mut func.insts {
             if inst.opcode == Opcode::Phi {
                 for op in &mut inst.operands {
@@ -128,7 +128,7 @@ fn drop_unreachable(func: &mut Function) -> usize {
     let cfg = Cfg::build(func);
     let mut reachable: Vec<BlockId> = Vec::new();
     let mut seen = HashSet::new();
-    let mut stack = vec![BlockId(0)];
+    let mut stack = vec![BlockId::new(0)];
     while let Some(b) = stack.pop() {
         if !seen.insert(b) {
             continue;
@@ -145,15 +145,15 @@ fn drop_unreachable(func: &mut Function) -> usize {
     let remap: HashMap<BlockId, BlockId> = reachable
         .iter()
         .enumerate()
-        .map(|(new, &old)| (old, BlockId(new as u32)))
+        .map(|(new, &old)| (old, BlockId::new(new as u32)))
         .collect();
     let removed = func.blocks.len() - reachable.len();
     // Rebuild the block list.
     let mut new_blocks = Vec::with_capacity(reachable.len());
     for &old in &reachable {
-        new_blocks.push(func.blocks[old.0 as usize].clone());
+        new_blocks.push(func.blocks[old.index()].clone());
     }
-    func.blocks = new_blocks;
+    func.blocks = new_blocks.into();
     // Rewrite block operands everywhere (dropping phi pairs from removed
     // predecessors happens in `repair_phis`).
     let kept_insts: HashSet<InstId> = func
@@ -162,7 +162,7 @@ fn drop_unreachable(func: &mut Function) -> usize {
         .flat_map(|b| b.insts.iter().copied())
         .collect();
     for (i, inst) in func.insts.iter_mut().enumerate() {
-        if !kept_insts.contains(&InstId(i as u32)) {
+        if !kept_insts.contains(&InstId::new(i as u32)) {
             continue;
         }
         if inst.opcode == Opcode::Phi {
@@ -176,7 +176,7 @@ fn drop_unreachable(func: &mut Function) -> usize {
                     }
                 }
             }
-            inst.operands = ops;
+            inst.operands = ops.into();
         } else {
             for op in &mut inst.operands {
                 if let ValueRef::Block(pb) = op {
@@ -197,7 +197,7 @@ fn repair_phis(func: &mut Function) {
     let mut replace: HashMap<InstId, ValueRef> = HashMap::new();
     for b in func.block_ids() {
         let preds: HashSet<BlockId> = cfg.predecessors(b).iter().copied().collect();
-        for &iid in func.blocks[b.0 as usize].insts.clone().iter() {
+        for &iid in func.blocks[b.index()].insts.clone().iter() {
             if func.inst(iid).opcode != Opcode::Phi {
                 continue;
             }
@@ -211,7 +211,7 @@ fn repair_phis(func: &mut Function) {
                     }
                 }
             }
-            inst.operands = ops;
+            inst.operands = ops.into();
             if inst.operands.len() == 2 {
                 replace.insert(iid, inst.operands[0]);
             }
@@ -282,7 +282,7 @@ mod tests {
             Some(4)
         );
         // dead removed, live merged into entry.
-        assert_eq!(m.func(siro_ir::FuncId(0)).blocks.len(), 1);
+        assert_eq!(m.func(siro_ir::FuncId::new(0)).blocks.len(), 1);
     }
 
     #[test]
@@ -313,7 +313,7 @@ mod tests {
                 .return_int(),
             Some(20)
         );
-        assert_eq!(m.func(siro_ir::FuncId(0)).blocks.len(), 1);
+        assert_eq!(m.func(siro_ir::FuncId::new(0)).blocks.len(), 1);
     }
 
     #[test]
@@ -357,7 +357,7 @@ mod tests {
                 .return_int(),
             Some(7)
         );
-        let func = m.func(siro_ir::FuncId(0));
+        let func = m.func(siro_ir::FuncId::new(0));
         let any_phi = func
             .blocks
             .iter()

@@ -1310,7 +1310,7 @@ impl ExecEnv for MirrorEnv<'_> {
         // `Module::value_type` + the ctx's global case, against the
         // current function.
         match v {
-            ValueRef::Global(g) => Some(self.globals[g.0 as usize].ty),
+            ValueRef::Global(g) => Some(self.globals[g.index()].ty),
             ValueRef::Inst(i) => Some(self.func.inst(i).ty),
             ValueRef::Arg(a) => self.func.params.get(a as usize).map(|p| p.ty),
             ValueRef::ConstInt { ty, .. }
@@ -1322,10 +1322,10 @@ impl ExecEnv for MirrorEnv<'_> {
         }
     }
     fn src_func(&self, f: FuncId) -> &Function {
-        &self.funcs[f.0 as usize]
+        &self.funcs[f.index()]
     }
     fn src_asm_ty(&self, a: AsmId) -> TypeId {
-        self.asms[a.0 as usize].ty
+        self.asms[a.index()].ty
     }
     fn src_types(&self) -> &TypeTable {
         self.types
@@ -1346,13 +1346,13 @@ impl ExecEnv for MirrorEnv<'_> {
         self.types
     }
     fn tgt_global_ty(&self, g: GlobalId) -> TypeId {
-        self.globals[g.0 as usize].ty
+        self.globals[g.index()].ty
     }
     fn tgt_func_ret(&self, f: FuncId) -> TypeId {
-        self.funcs[f.0 as usize].ret_ty
+        self.funcs[f.index()].ret_ty
     }
     fn tgt_asm_ty(&self, a: AsmId) -> TypeId {
-        self.asms[a.0 as usize].ty
+        self.asms[a.index()].ty
     }
     fn build(&mut self, inst: Instruction) -> ApiResult<ValueRef> {
         debug_assert!(self.out.is_none(), "mirror arm built twice");
@@ -1444,13 +1444,13 @@ fn tmpl_callee_ret(
     callee: ValueRef,
 ) -> Option<TypeId> {
     match callee {
-        ValueRef::Func(f) => Some(funcs[f.0 as usize].ret_ty),
-        ValueRef::InlineAsm(a) => tmpl_fn_ret(types, asms[a.0 as usize].ty),
+        ValueRef::Func(f) => Some(funcs[f.index()].ret_ty),
+        ValueRef::InlineAsm(a) => tmpl_fn_ret(types, asms[a.index()].ty),
         other => {
             // The untyped-callee lookup goes through `tgt_value_type`,
             // which *does* resolve globals.
             let ty = match other {
-                ValueRef::Global(g) => globals[g.0 as usize].ty,
+                ValueRef::Global(g) => globals[g.index()].ty,
                 v => tmpl_want_ty(func, v)?,
             };
             match types.get(ty) {
@@ -1530,7 +1530,7 @@ fn tmpl_parts(
             let p = tmpl_val(inst, *ptr)?;
             let pty = match p {
                 ValueRef::Global(g) => {
-                    let t = globals[g.0 as usize].ty;
+                    let t = globals[g.index()].ty;
                     types.ptr(t)
                 }
                 _ => tmpl_want_ty(func, p)?,
@@ -1576,7 +1576,7 @@ fn tmpl_parts(
             }
             let pty = match b {
                 ValueRef::Global(g) => {
-                    let t = globals[g.0 as usize].ty;
+                    let t = globals[g.index()].ty;
                     types.ptr(t)
                 }
                 _ => tmpl_want_ty(func, b)?,
@@ -2918,13 +2918,12 @@ impl CompiledTranslator {
         // intern; interning is append-only and idempotent, and the writer
         // prints types structurally, so validation-order appends are
         // invisible in the output bytes).
-        let Module {
+        let siro_ir::Ctx {
             ref funcs,
             ref globals,
             ref asms,
             ref mut types,
-            ..
-        } = *m;
+        } = m.ctx;
         SCRATCH.with(|scratch| {
             let s = &mut *scratch.borrow_mut();
             let mut ops: Vec<ValueRef> = Vec::new();
@@ -2938,7 +2937,7 @@ impl CompiledTranslator {
                     asms,
                     types: &mut *types,
                     func,
-                    cur: InstId(0),
+                    cur: InstId::new(0),
                     out: None,
                 };
                 for block in &func.blocks {
@@ -2989,13 +2988,12 @@ impl CompiledTranslator {
     /// a template failing here is a driver bug, not an input condition —
     /// it panics rather than half-rewriting the module.
     fn mirror_commit(m: &mut Module, arms: &[&CompiledArm]) {
-        let Module {
+        let siro_ir::Ctx {
             ref mut funcs,
             ref globals,
             ref asms,
             ref mut types,
-            ..
-        } = *m;
+        } = m.ctx;
         let mut ops: Vec<ValueRef> = Vec::new();
         let mut next = 0usize;
         for fi in 0..funcs.len() {
@@ -3033,13 +3031,12 @@ impl CompiledTranslator {
     /// the module unmodified — when any arm errors.
     fn mirror_buffered(&self, m: &mut Module) -> bool {
         let mut rewrites: Vec<(u32, InstId, Instruction)> = Vec::with_capacity(m.inst_count());
-        let Module {
+        let siro_ir::Ctx {
             ref funcs,
             ref globals,
             ref asms,
             ref mut types,
-            ..
-        } = *m;
+        } = m.ctx;
         let ok = SCRATCH.with(|scratch| {
             let s = &mut *scratch.borrow_mut();
             for (fi, func) in funcs.iter().enumerate() {
@@ -3052,7 +3049,7 @@ impl CompiledTranslator {
                     asms,
                     types: &mut *types,
                     func,
-                    cur: InstId(0),
+                    cur: InstId::new(0),
                     out: None,
                 };
                 for block in &func.blocks {

@@ -367,7 +367,7 @@ fn phi_loop(v: IrVersion) -> Module {
         let header = b.add_block("header");
         let body = b.add_block("body");
         let exit = b.add_block("exit");
-        let entry = siro_ir::BlockId(0);
+        let entry = siro_ir::BlockId::new(0);
         b.br(header);
         b.position_at_end(header);
         let i = b.phi(i32t, vec![(ci(i32t, 0), entry)]);

@@ -304,10 +304,7 @@ mod tests {
                         // A back edge: a conditional branch whose first
                         // successor is its own block.
                         inst.opcode == Opcode::Br
-                            && inst
-                                .successors()
-                                .first()
-                                .is_some_and(|&b| b.0 as usize == bi)
+                            && inst.successors().first().is_some_and(|&b| b.index() == bi)
                     })
                 })
             })

@@ -121,8 +121,7 @@ fn check_or_regen(file: &str, rendered: &str) {
     });
     if rendered != golden {
         // Locate the first differing line for a readable failure.
-        let mut line = 1usize;
-        for (a, b) in rendered.lines().zip(golden.lines()) {
+        for (line, (a, b)) in (1usize..).zip(rendered.lines().zip(golden.lines())) {
             if a != b {
                 panic!(
                     "{file} drifted from the committed golden at line {line}:\n  \
@@ -131,7 +130,6 @@ fn check_or_regen(file: &str, rendered: &str) {
                      regenerate with SIRO_REGEN_GOLDEN=1",
                 );
             }
-            line += 1;
         }
         panic!(
             "{file} drifted from the committed golden (length {} vs {}); \
@@ -206,7 +204,11 @@ fn corpus_covers_every_opcode_kind() {
             }
         }
     }
-    let missing: Vec<Opcode> = Opcode::ALL.iter().copied().filter(|o| !seen.contains(o)).collect();
+    let missing: Vec<Opcode> = Opcode::ALL
+        .iter()
+        .copied()
+        .filter(|o| !seen.contains(o))
+        .collect();
     assert!(
         missing.is_empty(),
         "conformance corpus misses opcode kinds: {missing:?}"
