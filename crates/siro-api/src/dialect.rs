@@ -1,0 +1,101 @@
+//! The dialect-generic registry surface.
+//!
+//! The synthesizer's generality story rests on one abstraction: *any* IR
+//! family that can describe its versioned component library — getters,
+//! builders, their names and typed signatures — can be synthesized over.
+//! [`DialectRegistry`] is that description. [`ApiRegistry`] (the Siro
+//! family) and `siro_wir::WirRegistry` (the stack-machine family) both
+//! implement it, and the cross-dialect conformance goldens byte-pin each
+//! implementation's [`DialectRegistry::describe`] dump so API-surface
+//! drift is caught the same way text-format drift is.
+
+use crate::registry::{ApiKind, ApiRegistry};
+
+/// One component in a registry's surface dump: the name and signature
+/// rendered dialect-neutrally (types as strings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiSurfaceFn {
+    /// Version-dependent component name.
+    pub name: String,
+    /// Component family.
+    pub kind: ApiKind,
+    /// Parameter type names, in declaration order.
+    pub params: Vec<String>,
+    /// Return type name.
+    pub ret: String,
+}
+
+impl ApiSurfaceFn {
+    /// Renders `name(param, ...) -> ret`.
+    pub fn render(&self) -> String {
+        format!("{}({}) -> {}", self.name, self.params.join(", "), self.ret)
+    }
+}
+
+/// A versioned IR API registry, as the synthesizer sees it: an enumerable,
+/// searchable set of named typed components.
+pub trait DialectRegistry {
+    /// The dialect's short lowercase name (`siro` / `wir`).
+    fn dialect(&self) -> &'static str;
+
+    /// The version(s) this registry was assembled for, rendered for
+    /// reports (e.g. `13.0 -> 3.6` or `wir2.0`).
+    fn versions(&self) -> String;
+
+    /// Every component, in registration order.
+    fn surface(&self) -> Vec<ApiSurfaceFn>;
+
+    /// A stable, line-oriented dump of the full surface, suitable for
+    /// golden-file pinning.
+    fn describe(&self) -> String {
+        let mut out = format!("registry {} {}\n", self.dialect(), self.versions());
+        for f in self.surface() {
+            let kind = match f.kind {
+                ApiKind::Getter => "getter",
+                ApiKind::Builder => "builder",
+                ApiKind::OperandTranslator => "xlat",
+                ApiKind::Const => "const",
+            };
+            out.push_str(&format!("  {kind:7} {}\n", f.render()));
+        }
+        out
+    }
+}
+
+impl DialectRegistry for ApiRegistry {
+    fn dialect(&self) -> &'static str {
+        "siro"
+    }
+
+    fn versions(&self) -> String {
+        format!("{} -> {}", self.src_version, self.tgt_version)
+    }
+
+    fn surface(&self) -> Vec<ApiSurfaceFn> {
+        self.iter()
+            .map(|(_, f)| ApiSurfaceFn {
+                name: f.name.clone(),
+                kind: f.kind,
+                params: f.params.iter().map(|p| p.to_string()).collect(),
+                ret: f.ret.to_string(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_ir::IrVersion;
+
+    #[test]
+    fn siro_registry_surface_reflects_version_quirks() {
+        let old = ApiRegistry::for_pair(IrVersion::V10_0, IrVersion::V3_6);
+        let new = ApiRegistry::for_pair(IrVersion::V11_0, IrVersion::V3_6);
+        let names =
+            |r: &ApiRegistry| -> Vec<String> { r.surface().into_iter().map(|f| f.name).collect() };
+        assert!(names(&old).contains(&"get_called_value".to_string()));
+        assert!(names(&new).contains(&"get_called_operand".to_string()));
+        assert!(old.describe().starts_with("registry siro 10.0 -> 3.6\n"));
+    }
+}

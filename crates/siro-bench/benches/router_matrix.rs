@@ -101,7 +101,11 @@ fn main() {
                     composed += 1;
                 }
                 max_hops = max_hops.max(p.hop_count());
-                planned.push((*a, *b, p.hop_count()));
+                let (sa, sb) = (
+                    a.as_siro().expect("siro-only router"),
+                    b.as_siro().expect("siro-only router"),
+                );
+                planned.push((sa, sb, p.hop_count()));
             }
         }
     }
@@ -174,11 +178,11 @@ fn main() {
             let placed: Vec<_> = siro_difftest::fuzz::placed_kinds(&test.module)
                 .into_iter()
                 .collect();
-            let faithful = chain
-                .plan
-                .hops
-                .iter()
-                .all(|hop| placed.iter().all(|&k| hop.to.supports(k)));
+            let faithful = chain.plan.hops.iter().all(|hop| {
+                hop.to
+                    .as_siro()
+                    .is_some_and(|v| placed.iter().all(|&k| v.supports(k)))
+            });
             if faithful {
                 byte_cases += 1;
                 if write::write_module(&c) != write::write_module(&d) {

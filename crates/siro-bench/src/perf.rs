@@ -736,3 +736,132 @@ pub fn write_loadtest_json(json: &str) -> std::io::Result<PathBuf> {
     std::fs::write(&path, json)?;
     Ok(path)
 }
+
+// -------------------------------------------------------------------------
+
+/// One in-catalog WIR pair measured by the `cross_dialect` bench.
+#[derive(Debug, Clone)]
+pub struct WirPairRecord {
+    /// Source WIR version, rendered (`"1.0"`).
+    pub from: String,
+    /// Target WIR version, rendered.
+    pub to: String,
+    /// Cold synthesis latency, µs (0 when the pair was already hot).
+    pub synth_cold_us: u64,
+    /// Warm (memoized) acquisition + translate latency, µs.
+    pub warm_us: u64,
+    /// Corpus modules round-tripped `from → to → from`.
+    pub corpus: usize,
+    /// Modules whose round trip reproduced the source byte-for-byte —
+    /// the gate requires `corpus` (all of them).
+    pub roundtrip_identical: usize,
+    /// Whether the warm re-translation matched the cold bytes.
+    pub warm_identical: bool,
+}
+
+/// One SIRO↔WIR anchor measured by the `cross_dialect` bench.
+#[derive(Debug, Clone)]
+pub struct CrossPairRecord {
+    /// Siro side, rendered (`"13.0"`).
+    pub siro: String,
+    /// WIR side, rendered (`"2.0"`).
+    pub wir: String,
+    /// Bridge certificate validation latency, µs (cold).
+    pub bridge_cold_us: u64,
+    /// Warm certificate + raise/lower latency, µs.
+    pub warm_us: u64,
+    /// Corpus modules pushed through raise → lower.
+    pub corpus: usize,
+    /// Modules whose [`XBehaviour`](siro_synth::XBehaviour) bucket
+    /// survived both legs — the gate requires `corpus`.
+    pub buckets_preserved: usize,
+    /// Whether repeating the round trip warm reproduced identical bytes.
+    pub warm_identical: bool,
+}
+
+/// Result of the `cross_dialect` bench: every in-catalog WIR pair plus
+/// the bridge anchors, each synthesized and round-tripped with warm
+/// byte-identity. Dumped to `BENCH_cross_dialect.json`
+/// (schema `siro-bench/cross-dialect-v1`).
+#[derive(Debug, Clone)]
+pub struct CrossDialectRecord {
+    /// Every ordered in-catalog WIR pair.
+    pub wir_pairs: Vec<WirPairRecord>,
+    /// Every bridge anchor (≥1 SIRO↔WIR pair).
+    pub cross_pairs: Vec<CrossPairRecord>,
+    /// Whether every gate held.
+    pub pass: bool,
+}
+
+/// Where the cross-dialect JSON goes: `SIRO_BENCH_CROSS_JSON` if set,
+/// else `BENCH_cross_dialect.json` in the current directory.
+pub fn cross_dialect_json_path() -> PathBuf {
+    std::env::var_os("SIRO_BENCH_CROSS_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_cross_dialect.json"))
+}
+
+/// Renders the cross-dialect record as a JSON document.
+pub fn render_cross_dialect_json(record: &CrossDialectRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"siro-bench/cross-dialect-v1\",");
+    out.push_str("  \"wir_pairs\": [\n");
+    for (i, p) in record.wir_pairs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"from\": \"{}\", \"to\": \"{}\", \"synth_cold_us\": {}, \
+             \"warm_us\": {}, \"corpus\": {}, \"roundtrip_identical\": {}, \
+             \"warm_identical\": {} }}",
+            p.from,
+            p.to,
+            p.synth_cold_us,
+            p.warm_us,
+            p.corpus,
+            p.roundtrip_identical,
+            p.warm_identical
+        );
+        out.push_str(if i + 1 == record.wir_pairs.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"cross_pairs\": [\n");
+    for (i, p) in record.cross_pairs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"siro\": \"{}\", \"wir\": \"{}\", \"bridge_cold_us\": {}, \
+             \"warm_us\": {}, \"corpus\": {}, \"buckets_preserved\": {}, \
+             \"warm_identical\": {} }}",
+            p.siro,
+            p.wir,
+            p.bridge_cold_us,
+            p.warm_us,
+            p.corpus,
+            p.buckets_preserved,
+            p.warm_identical
+        );
+        out.push_str(if i + 1 == record.cross_pairs.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"pass\": {}", record.pass);
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_cross_dialect.json` and returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_cross_dialect_json(record: &CrossDialectRecord) -> std::io::Result<PathBuf> {
+    let path = cross_dialect_json_path();
+    std::fs::write(&path, render_cross_dialect_json(record))?;
+    Ok(path)
+}

@@ -19,7 +19,11 @@
 //! * [`artifact`] — deterministic on-disk regression artifacts that are
 //!   simultaneously valid IR modules and self-describing bug reports;
 //! * [`report`] — the `BENCH_difftest.json` emitter
-//!   (schema `siro-bench/difftest-v1`).
+//!   (schema `siro-bench/difftest-v1`);
+//! * [`wir_mutate`] + [`cross`] — the second dialect: stack-depth-
+//!   preserving WIR mutators and the cross-dialect interpreter-
+//!   differential oracle over the SIRO↔WIR bridge anchors, with `.sirw`
+//!   regression artifacts (schema `siro-difftest/cross-regression-v1`).
 //!
 //! Faults for end-to-end validation of the pipeline are injected with
 //! [`siro_synth::SynthFault`]; a clean run over the production
@@ -28,13 +32,19 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod cross;
 pub mod fuzz;
 pub mod mutate;
 pub mod oracle;
 pub mod reduce;
 pub mod report;
+pub mod wir_mutate;
 
 pub use artifact::{RegressionArtifact, ARTIFACT_SCHEMA};
+pub use cross::{
+    run_all_anchors, run_cross, CrossArtifact, CrossConfig, CrossFailure, CrossReport,
+    CROSS_ARTIFACT_SCHEMA, CROSS_DEFAULT_MODULES,
+};
 pub use fuzz::{run, DifftestConfig, DifftestReport, FailureRecord, SHRINK_TARGET};
 pub use mutate::{applicable_mutators, Mutator};
 pub use oracle::{
@@ -42,3 +52,4 @@ pub use oracle::{
 };
 pub use reduce::{compact, placed_inst_count, reduce, ReduceOutcome};
 pub use report::{render_difftest_json, write_difftest_json};
+pub use wir_mutate::{applicable_wir_mutators, raisable_wir_mutators, WirMutator};

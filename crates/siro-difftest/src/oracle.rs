@@ -86,6 +86,11 @@ pub enum FailureFamily {
     /// IR core's clone shared storage with its source
     /// (`docs/IR_CORE.md`).
     CloneAliasing,
+    /// A module and its image across a SIRO↔WIR bridge landed in
+    /// different behaviour buckets ([`siro_synth::XBehaviour`]): the
+    /// bridge failed to normalize a semantic divergence between the two
+    /// dialects (see [`crate::cross`] and `docs/DIALECTS.md`).
+    CrossDialect,
 }
 
 impl FailureFamily {
@@ -97,6 +102,7 @@ impl FailureFamily {
             FailureFamily::InvalidOutput => "invalid-output",
             FailureFamily::TierDivergence => "tier-divergence",
             FailureFamily::CloneAliasing => "clone-aliasing",
+            FailureFamily::CrossDialect => "cross-dialect",
         }
     }
 
@@ -108,6 +114,7 @@ impl FailureFamily {
             "invalid-output" => Some(FailureFamily::InvalidOutput),
             "tier-divergence" => Some(FailureFamily::TierDivergence),
             "clone-aliasing" => Some(FailureFamily::CloneAliasing),
+            "cross-dialect" => Some(FailureFamily::CrossDialect),
             _ => None,
         }
     }
@@ -183,7 +190,7 @@ pub fn routed_mids(src: IrVersion, tgt: IrVersion) -> Vec<IrVersion> {
     let mut mids: Vec<(u64, IrVersion)> = graph
         .nodes()
         .iter()
-        .copied()
+        .filter_map(|n| n.as_siro())
         .filter(|&m| m != src && m != tgt)
         .map(|m| {
             // A missing edge (off-catalog hop) prices as unreachable but
@@ -548,6 +555,7 @@ mod tests {
             FailureFamily::InvalidOutput,
             FailureFamily::TierDivergence,
             FailureFamily::CloneAliasing,
+            FailureFamily::CrossDialect,
         ] {
             assert_eq!(FailureFamily::parse(f.name()), Some(f));
         }

@@ -1,0 +1,398 @@
+//! Targeted WIR mutators: stack-depth-preserving surgery on stack-machine
+//! modules, the [`crate::mutate`] counterpart for the second dialect.
+//!
+//! Every mutator preserves the validation invariant the WIR verifier
+//! checks — in particular the *stack depth contract*: a garnish appended
+//! before the final `return` pushes exactly one value and folds it into
+//! the original result with `xor`, and a statement inserted at the head of
+//! the body is height-neutral. Mutants therefore validate by construction
+//! (and are re-verified before being returned, like the Siro mutators).
+//!
+//! The mutators split into two tiers:
+//!
+//! * **raisable** ([`WirMutator::raisable`]) — straight-line only, so the
+//!   mutant stays inside the SIRO↔WIR bridge's subset and can feed the
+//!   cross-dialect differential oracle ([`crate::cross`]);
+//! * **structured** — blocks, loops, and `br_table` dispatch, usable for
+//!   WIR→WIR differential fuzzing but rejected by the bridge.
+
+use siro_rng::{Rng, StdRng};
+use siro_wir::{verify_module, WBin, WCmp, WKind, WTy, WirFunc, WirInst, WirModule};
+
+/// Division edge constants the garnish mutators over-sample: the exact
+/// operand space where the two dialects' semantics genuinely differ.
+const DIV_EDGE_POOL: [i64; 6] = [0, 1, -1, 2, i32::MIN as i64, i32::MAX as i64];
+
+/// One targeted WIR mutation. Deterministic given the RNG state and gated
+/// on [`WirMutator::applicable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WirMutator {
+    /// Perturb one `i32.const` immediate.
+    ConstTweak,
+    /// Insert a `nop` at the head of the body.
+    NopPad,
+    /// Garnish the result with `x ^ (local ^ const)`.
+    XorGarnish,
+    /// Garnish with a division whose operands come from the edge pool —
+    /// `div_s`/`rem_s` is where SIRO and WIR genuinely diverge.
+    DivEdge,
+    /// Garnish through a `select` with a non-boolean condition (2.0+),
+    /// probing the low-bit vs non-zero truthiness divergence.
+    SelectGarnish,
+    /// Garnish through a `local.tee` round trip (2.0+).
+    TeeShuffle,
+    /// Garnish through `eqz` of a comparison.
+    CmpChain,
+    /// Insert a height-neutral `block … br_if … end` skip statement.
+    BlockSkip,
+    /// Insert a bounded counting loop over a fresh local.
+    LoopSpin,
+    /// Insert a height-neutral `br_table` dispatch statement (3.0+).
+    BrTableHop,
+}
+
+impl WirMutator {
+    /// Every mutator, in catalogue order.
+    pub const ALL: [WirMutator; 10] = [
+        WirMutator::ConstTweak,
+        WirMutator::NopPad,
+        WirMutator::XorGarnish,
+        WirMutator::DivEdge,
+        WirMutator::SelectGarnish,
+        WirMutator::TeeShuffle,
+        WirMutator::CmpChain,
+        WirMutator::BlockSkip,
+        WirMutator::LoopSpin,
+        WirMutator::BrTableHop,
+    ];
+
+    /// Stable catalogue name (used in reports and regression artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            WirMutator::ConstTweak => "wir-const-tweak",
+            WirMutator::NopPad => "wir-nop-pad",
+            WirMutator::XorGarnish => "wir-xor-garnish",
+            WirMutator::DivEdge => "wir-div-edge",
+            WirMutator::SelectGarnish => "wir-select-garnish",
+            WirMutator::TeeShuffle => "wir-tee-shuffle",
+            WirMutator::CmpChain => "wir-cmp-chain",
+            WirMutator::BlockSkip => "wir-block-skip",
+            WirMutator::LoopSpin => "wir-loop-spin",
+            WirMutator::BrTableHop => "wir-br-table-hop",
+        }
+    }
+
+    /// The instruction kinds the mutator injects; all must be supported by
+    /// the module's version for the mutant to validate.
+    pub fn injected_kinds(self) -> &'static [WKind] {
+        match self {
+            WirMutator::ConstTweak => &[],
+            WirMutator::NopPad => &[WKind::Nop],
+            WirMutator::XorGarnish => &[WKind::LocalGet, WKind::Binop],
+            WirMutator::DivEdge => &[WKind::Binop],
+            WirMutator::SelectGarnish => &[WKind::Select],
+            WirMutator::TeeShuffle => &[WKind::LocalTee],
+            WirMutator::CmpChain => &[WKind::Cmp, WKind::Eqz],
+            WirMutator::BlockSkip => &[WKind::Block, WKind::BrIf, WKind::End],
+            WirMutator::LoopSpin => &[WKind::Loop, WKind::BrIf, WKind::End],
+            WirMutator::BrTableHop => &[WKind::Block, WKind::BrTable, WKind::End],
+        }
+    }
+
+    /// Whether the mutator's injected kinds all exist at `version`.
+    pub fn applicable(self, version: siro_wir::WirVersion) -> bool {
+        self.injected_kinds().iter().all(|&k| version.supports(k))
+    }
+
+    /// Whether mutants stay inside the straight-line subset the SIRO↔WIR
+    /// bridge raises — the cross-dialect oracle uses only these.
+    pub fn raisable(self) -> bool {
+        !matches!(
+            self,
+            WirMutator::BlockSkip | WirMutator::LoopSpin | WirMutator::BrTableHop
+        )
+    }
+
+    /// Applies the mutation to `main`. Returns `None` when the module has
+    /// no suitable surgery site or the mutant fails validation.
+    pub fn apply(self, module: &WirModule, rng: &mut StdRng) -> Option<WirModule> {
+        if !self.applicable(module.version) {
+            return None;
+        }
+        let out = match self {
+            WirMutator::ConstTweak => const_tweak(module, rng),
+            WirMutator::NopPad => with_head_stmt(module, rng, |body, _| {
+                body.push(WirInst::Nop);
+            }),
+            WirMutator::XorGarnish => with_return_garnish(module, rng, |body, f, rng| {
+                let l = rng.gen_range(0..f.local_count() as u32);
+                body.push(WirInst::LocalGet(l));
+                body.push(WirInst::Const(WTy::I32, rng.gen_range(1..64)));
+                body.push(WirInst::Binop(WTy::I32, WBin::Xor));
+            }),
+            WirMutator::DivEdge => with_return_garnish(module, rng, |body, _, rng| {
+                let a = DIV_EDGE_POOL[rng.gen_range(0..DIV_EDGE_POOL.len())];
+                let b = DIV_EDGE_POOL[rng.gen_range(0..DIV_EDGE_POOL.len())];
+                let op = if rng.gen_bool(0.5) {
+                    WBin::DivS
+                } else {
+                    WBin::RemS
+                };
+                body.push(WirInst::Const(WTy::I32, a));
+                body.push(WirInst::Const(WTy::I32, b));
+                body.push(WirInst::Binop(WTy::I32, op));
+            }),
+            WirMutator::SelectGarnish => with_return_garnish(module, rng, |body, _, rng| {
+                body.push(WirInst::Const(WTy::I32, 21));
+                body.push(WirInst::Const(WTy::I32, 35));
+                // Conditions with a clear low bit but non-zero value are the
+                // truthiness divergence the bridge must mask.
+                body.push(WirInst::Const(WTy::I32, rng.gen_range(0..5) * 2));
+                body.push(WirInst::Select);
+            }),
+            WirMutator::TeeShuffle => with_return_garnish(module, rng, |body, f, rng| {
+                let l = rng.gen_range(0..f.local_count() as u32);
+                body.push(WirInst::Const(WTy::I32, rng.gen_range(1..32)));
+                body.push(WirInst::LocalTee(l));
+            }),
+            WirMutator::CmpChain => with_return_garnish(module, rng, |body, f, rng| {
+                let l = rng.gen_range(0..f.local_count() as u32);
+                let c = WCmp::ALL[rng.gen_range(0..WCmp::ALL.len())];
+                body.push(WirInst::LocalGet(l));
+                body.push(WirInst::Const(WTy::I32, rng.gen_range(0..9)));
+                body.push(WirInst::Cmp(WTy::I32, c));
+                body.push(WirInst::Eqz(WTy::I32));
+            }),
+            WirMutator::BlockSkip => with_head_stmt(module, rng, |body, rng| {
+                body.push(WirInst::Block);
+                body.push(WirInst::Const(WTy::I32, rng.gen_range(0..2)));
+                body.push(WirInst::BrIf(0));
+                body.push(WirInst::Nop);
+                body.push(WirInst::End);
+            }),
+            WirMutator::LoopSpin => {
+                let mut m = module.clone();
+                let f = main_mut(&mut m)?;
+                let c = f.alloc_local(WTy::I32);
+                let bound = rng.gen_range(2..6);
+                let stmt = vec![
+                    WirInst::Const(WTy::I32, 0),
+                    WirInst::LocalSet(c),
+                    WirInst::Loop,
+                    WirInst::LocalGet(c),
+                    WirInst::Const(WTy::I32, 1),
+                    WirInst::Binop(WTy::I32, WBin::Add),
+                    WirInst::LocalSet(c),
+                    WirInst::LocalGet(c),
+                    WirInst::Const(WTy::I32, bound),
+                    WirInst::Cmp(WTy::I32, WCmp::LtS),
+                    WirInst::BrIf(0),
+                    WirInst::End,
+                ];
+                splice_head(&mut m, stmt)?;
+                Some(m)
+            }
+            WirMutator::BrTableHop => with_head_stmt(module, rng, |body, rng| {
+                body.push(WirInst::Block);
+                body.push(WirInst::Block);
+                body.push(WirInst::Const(WTy::I32, rng.gen_range(0..3)));
+                body.push(WirInst::BrTable(vec![0, 1, 0]));
+                body.push(WirInst::End);
+                body.push(WirInst::Nop);
+                body.push(WirInst::End);
+            }),
+        }?;
+        verify_module(&out).ok()?;
+        Some(out)
+    }
+}
+
+/// The mutators usable for modules of `version`, in catalogue order.
+pub fn applicable_wir_mutators(version: siro_wir::WirVersion) -> Vec<WirMutator> {
+    WirMutator::ALL
+        .into_iter()
+        .filter(|m| m.applicable(version))
+        .collect()
+}
+
+/// The raisable (straight-line) mutators for `version`, used by the
+/// cross-dialect oracle so mutants stay inside the bridge's subset.
+pub fn raisable_wir_mutators(version: siro_wir::WirVersion) -> Vec<WirMutator> {
+    applicable_wir_mutators(version)
+        .into_iter()
+        .filter(|m| m.raisable())
+        .collect()
+}
+
+fn main_mut(m: &mut WirModule) -> Option<&mut WirFunc> {
+    m.funcs.iter_mut().find(|f| f.name == "main")
+}
+
+/// Rebuilds `main`'s body as `prefix ++ body` (height-neutral statement at
+/// the head, where the stack is empty by construction).
+fn splice_head(m: &mut WirModule, prefix: Vec<WirInst>) -> Option<()> {
+    let f = main_mut(m)?;
+    let old: Vec<WirInst> = f.body.iter().cloned().collect();
+    f.body = siro_ir::Arena::new();
+    for i in prefix.into_iter().chain(old) {
+        f.body.alloc(i);
+    }
+    Some(())
+}
+
+/// The head-statement surgery: `inject` appends a height-neutral statement
+/// which is spliced before the whole body (where the stack is empty, so
+/// height-neutrality is the only obligation).
+fn with_head_stmt(
+    module: &WirModule,
+    rng: &mut StdRng,
+    inject: impl FnOnce(&mut Vec<WirInst>, &mut StdRng),
+) -> Option<WirModule> {
+    let mut m = module.clone();
+    let mut stmt = Vec::new();
+    inject(&mut stmt, rng);
+    splice_head(&mut m, stmt)?;
+    Some(m)
+}
+
+/// The return-garnish surgery shared by the value-flow mutators: detach
+/// `main`'s trailing `return`, let `inject` push exactly one extra value,
+/// fold it into the original result with `xor`, and re-attach the return.
+/// Returns `None` when `main` does not end with `return` on an `i32`
+/// result.
+fn with_return_garnish(
+    module: &WirModule,
+    rng: &mut StdRng,
+    inject: impl FnOnce(&mut Vec<WirInst>, &WirFunc, &mut StdRng),
+) -> Option<WirModule> {
+    let mut m = module.clone();
+    let f = main_mut(&mut m)?;
+    if f.result != Some(WTy::I32) {
+        return None;
+    }
+    let mut body: Vec<WirInst> = f.body.iter().cloned().collect();
+    if body.pop()? != WirInst::Return {
+        return None;
+    }
+    let mut garnish = Vec::new();
+    inject(&mut garnish, f, rng);
+    body.extend(garnish);
+    body.push(WirInst::Binop(WTy::I32, WBin::Xor));
+    body.push(WirInst::Return);
+    f.body = siro_ir::Arena::new();
+    for i in body {
+        f.body.alloc(i);
+    }
+    Some(m)
+}
+
+/// Integer-constant perturbation over every `i32.const` site in `main`.
+fn const_tweak(module: &WirModule, rng: &mut StdRng) -> Option<WirModule> {
+    let mut m = module.clone();
+    let f = main_mut(&mut m)?;
+    let sites: Vec<usize> = f
+        .body
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| matches!(inst, WirInst::Const(WTy::I32, _)).then_some(i))
+        .collect();
+    if sites.is_empty() {
+        return None;
+    }
+    let site = sites[rng.gen_range(0..sites.len())];
+    let delta = rng.gen_range(1..9);
+    if let WirInst::Const(_, v) = &mut f.body[site] {
+        *v = (v.wrapping_add(delta) as i32) as i64;
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siro_rng::SeedableRng;
+    use siro_wir::{generate_module, generate_straightline, WirMachine, WirVersion};
+
+    #[test]
+    fn every_mutator_yields_a_validating_running_mutant() {
+        let base = generate_module(42, WirVersion::W3_0);
+        for mu in WirMutator::ALL {
+            let mut rng = StdRng::seed_from_u64(9);
+            let Some(mutant) = mu.apply(&base, &mut rng) else {
+                panic!("{} produced no mutant on the seed", mu.name());
+            };
+            verify_module(&mutant).unwrap_or_else(|e| panic!("{}: {e}", mu.name()));
+            let out = WirMachine::new(&mutant).with_fuel(100_000).run_main();
+            assert!(out.steps > 0, "{} mutant did not execute", mu.name());
+            for &k in mu.injected_kinds() {
+                let placed = mutant
+                    .funcs
+                    .iter()
+                    .any(|f| f.body.iter().any(|i| i.kind() == k));
+                assert!(placed, "{} did not place {k}", mu.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let base = generate_module(7, WirVersion::W3_0);
+        for mu in WirMutator::ALL {
+            let a = mu.apply(&base, &mut StdRng::seed_from_u64(3));
+            let b = mu.apply(&base, &mut StdRng::seed_from_u64(3));
+            match (a, b) {
+                (Some(x), Some(y)) => assert_eq!(
+                    siro_wir::write::write_module(&x),
+                    siro_wir::write::write_module(&y),
+                    "{}",
+                    mu.name()
+                ),
+                (None, None) => {}
+                _ => panic!("{} nondeterministic applicability", mu.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn raisable_mutants_stay_straight_line() {
+        let base = generate_straightline(11, WirVersion::W2_0);
+        for mu in raisable_wir_mutators(WirVersion::W2_0) {
+            let mut rng = StdRng::seed_from_u64(5);
+            let Some(mutant) = mu.apply(&base, &mut rng) else {
+                continue;
+            };
+            assert!(
+                siro_synth::raise_module(&mutant, siro_ir::IrVersion::V13_0).is_ok(),
+                "{} mutant left the bridge's raisable subset",
+                mu.name()
+            );
+        }
+    }
+
+    #[test]
+    fn gating_follows_the_wir_catalog() {
+        assert!(!WirMutator::SelectGarnish.applicable(WirVersion::W1_0));
+        assert!(WirMutator::SelectGarnish.applicable(WirVersion::W2_0));
+        assert!(!WirMutator::BrTableHop.applicable(WirVersion::W2_0));
+        assert!(WirMutator::BrTableHop.applicable(WirVersion::W3_0));
+        assert!(!applicable_wir_mutators(WirVersion::W1_0).contains(&WirMutator::TeeShuffle));
+    }
+
+    #[test]
+    fn garnish_changes_behaviour_observably_or_not_at_all() {
+        // Sensitivity: a miscompiled garnish must be visible to the
+        // differential oracle, so the xor fold must reach the result.
+        let base = generate_straightline(3, WirVersion::W2_0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mutant = WirMutator::XorGarnish
+            .apply(&base, &mut rng)
+            .expect("applies");
+        let a = WirMachine::new(&base).run_main().result;
+        let b = WirMachine::new(&mutant).run_main().result;
+        // Both run; the garnish xors in `local ^ const`, so the results can
+        // differ — but the mutant must still terminate with a value or a
+        // comparable trap, never a validation failure.
+        let _ = (a, b);
+        verify_module(&mutant).expect("mutant validates");
+    }
+}

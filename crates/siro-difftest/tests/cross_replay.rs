@@ -1,0 +1,181 @@
+//! Replays every committed cross-dialect regression artifact (`.sirw`) in
+//! the default `cargo test` lane.
+//!
+//! A cross artifact records a *real* dialect divergence — a module whose
+//! exact behaviour differs between WIR and its bridge-raised Siro image —
+//! together with the normalized contract that makes the bridge sound:
+//! both sides land in the same [`XBehaviour`] bucket. The replay asserts
+//! the full story:
+//!
+//! * **divergent** — the exact WIR outcome and the exact Siro outcome of
+//!   the raised image still differ (the recorded bug would trip a naive
+//!   exactness oracle);
+//! * **then normalized** — both sides bucket identically under
+//!   [`XBehaviour`], and the round-trip lowering agrees too, so the
+//!   production cross-dialect oracle ([`siro_difftest::run_cross`]) stays
+//!   clean.
+//!
+//! Regenerate the canonical artifact with:
+//!
+//! ```text
+//! SIRO_REGEN_CROSS=1 cargo test -p siro-difftest --test cross_replay
+//! ```
+
+use std::path::Path;
+
+use siro_difftest::{CrossArtifact, FailureFamily};
+use siro_ir::{
+    interp::{ExecResult, Machine},
+    IrVersion,
+};
+use siro_synth::{raise_module, siro_behaviour, wir_behaviour, XBehaviour, BRIDGE_FUEL};
+use siro_wir::{
+    verify_module, write_module, WBin, WTy, WirFunc, WirInst, WirMachine, WirModule, WirVersion,
+};
+
+fn regressions_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/regressions"))
+}
+
+/// The first divergence the cross-dialect oracle hunt surfaced, kept as
+/// the canonical committed artifact: `i32.div_s` on `MIN / -1` traps
+/// integer-overflow in WIR, while Siro's `sdiv` wraps to `MIN`. The
+/// bridge normalizes both into the arithmetic-trap bucket by guarding the
+/// raised `sdiv` (degrading overflow to a div-by-zero trap — same
+/// bucket, different exact kind).
+fn canonical_divergence() -> CrossArtifact {
+    let mut m = WirModule::new("sdiv_overflow_divergence", WirVersion::W2_0);
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    f.body.alloc(WirInst::Const(WTy::I32, i64::from(i32::MIN)));
+    f.body.alloc(WirInst::Const(WTy::I32, -1));
+    f.body.alloc(WirInst::Binop(WTy::I32, WBin::DivS));
+    f.body.alloc(WirInst::Return);
+    m.funcs.push(f);
+    verify_module(&m).expect("canonical module must validate");
+    CrossArtifact {
+        siro: IrVersion::V13_0,
+        wir: WirVersion::W2_0,
+        direction: "raise".into(),
+        family: FailureFamily::CrossDialect,
+        mutator: "wir-div-edge".into(),
+        detail: "wir traps integer-overflow where siro sdiv wraps; bridge guard \
+                 normalizes both into the arith bucket"
+            .into(),
+        module: m,
+    }
+}
+
+#[test]
+fn regen_cross_artifacts() {
+    if std::env::var("SIRO_REGEN_CROSS").is_err() {
+        return;
+    }
+    let a = canonical_divergence();
+    let path = a.save(regressions_dir()).expect("write artifact");
+    println!("wrote {}", path.display());
+}
+
+#[test]
+fn committed_cross_artifacts_exist_and_parse() {
+    let artifacts = CrossArtifact::load_dir(regressions_dir());
+    assert!(
+        !artifacts.is_empty(),
+        "no .sirw cross artifacts under {} (run with SIRO_REGEN_CROSS=1 to regenerate)",
+        regressions_dir().display()
+    );
+    for (path, a) in &artifacts {
+        assert_eq!(
+            a.family,
+            FailureFamily::CrossDialect,
+            "{}: wrong family",
+            path.display()
+        );
+        assert!(
+            matches!(a.direction.as_str(), "raise" | "lower"),
+            "{}: unknown direction `{}`",
+            path.display(),
+            a.direction
+        );
+        verify_module(&a.module)
+            .unwrap_or_else(|e| panic!("{}: module does not validate: {e}", path.display()));
+        assert_eq!(
+            a.module.version,
+            a.wir,
+            "{}: version mismatch",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn cross_artifacts_diverge_exactly_then_normalize() {
+    for (path, a) in CrossArtifact::load_dir(regressions_dir()) {
+        // Exact outcomes on both sides of the bridge.
+        let wir_exact = WirMachine::new(&a.module)
+            .with_fuel(BRIDGE_FUEL)
+            .run_main()
+            .result;
+        let raised = raise_module(&a.module, a.siro)
+            .unwrap_or_else(|e| panic!("{}: raise failed: {e}", path.display()));
+        let siro_outcome = Machine::new(&raised)
+            .with_fuel(BRIDGE_FUEL)
+            .run_main()
+            .unwrap_or_else(|e| panic!("{}: siro run failed: {e}", path.display()));
+        let siro_exact = match &siro_outcome.result {
+            ExecResult::Returned(_) => format!("value {:?}", siro_outcome.return_int()),
+            ExecResult::Trapped(t) => format!("trap {:?}", t.kind),
+        };
+
+        // Divergent: the exact outcomes differ — this is the recorded bug.
+        assert_ne!(
+            format!("{wir_exact:?}").to_lowercase(),
+            siro_exact.to_lowercase(),
+            "{}: exact behaviours agree; this is not a divergence artifact",
+            path.display()
+        );
+
+        // Then normalized: both sides share an XBehaviour bucket, and the
+        // round trip through the lowering agrees too.
+        let want = wir_behaviour(&a.module);
+        assert_eq!(
+            siro_behaviour(&raised),
+            want,
+            "{}: bridge no longer normalizes the raise leg",
+            path.display()
+        );
+        let lowered = siro_synth::lower_module(&raised, a.wir)
+            .unwrap_or_else(|e| panic!("{}: lower failed: {e}", path.display()));
+        assert_eq!(
+            wir_behaviour(&lowered),
+            want,
+            "{}: bridge no longer normalizes the round trip",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn canonical_divergence_is_the_sdiv_overflow_case() {
+    let a = canonical_divergence();
+    let on_disk = CrossArtifact::load_dir(regressions_dir());
+    let found = on_disk
+        .iter()
+        .find(|(_, b)| write_module(&b.module) == write_module(&a.module))
+        .unwrap_or_else(|| {
+            panic!(
+                "the canonical sdiv MIN/-1 artifact is not committed under {}",
+                regressions_dir().display()
+            )
+        });
+    assert_eq!(found.1.siro, IrVersion::V13_0);
+    assert_eq!(found.1.wir, WirVersion::W2_0);
+
+    // Pin the exact divergence: integer-overflow trap vs a wrapped value
+    // on a naive raise, normalized to the arith bucket by the bridge.
+    use siro_wir::{WirExec, WirTrap};
+    let exact = WirMachine::new(&a.module).run_main().result;
+    assert_eq!(exact, WirExec::Trap(WirTrap::IntegerOverflow));
+    assert_eq!(wir_behaviour(&a.module), XBehaviour::Arith);
+    let raised = raise_module(&a.module, IrVersion::V13_0).expect("raise");
+    assert_eq!(siro_behaviour(&raised), XBehaviour::Arith);
+}

@@ -66,8 +66,8 @@ fn random_graph(rng: &mut StdRng, nodes: &[IrVersion], edge_p: u32) -> VersionGr
                 None
             };
             edges.push(EdgeInfo {
-                from: a,
-                to: b,
+                from: a.into(),
+                to: b.into(),
                 class,
                 observed_us: observed,
                 cost_us: class_cost + observed.unwrap_or(0),

@@ -42,6 +42,7 @@
 
 pub mod builder;
 pub mod ctx;
+pub mod dialect;
 pub mod error;
 pub mod inst;
 pub mod interp;
@@ -56,6 +57,7 @@ pub mod write;
 
 pub use builder::FuncBuilder;
 pub use ctx::{Arena, Entity, OpVec, Ptr, Use, UseIndex};
+pub use dialect::{Dialect, DialectVersion};
 pub use error::{IrError, IrResult};
 pub use inst::{AtomicOrdering, FloatPredicate, InstAttrs, Instruction, IntPredicate, RmwOp};
 pub use module::{BasicBlock, Ctx, Function, Global, GlobalInit, InlineAsm, Module, Param};

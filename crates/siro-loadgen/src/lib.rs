@@ -238,8 +238,8 @@ pub fn run_rate(config: &LoadgenConfig, rate_rps: f64) -> Result<RateReport, Str
             .map(|(i, _)| {
                 let p = &config.payloads[(conn + i * connections) % config.payloads.len()];
                 let body = Request::Translate {
-                    source: p.source,
-                    target: p.target,
+                    source: p.source.into(),
+                    target: p.target.into(),
                     mode: p.mode,
                     text: p.text.clone(),
                 }

@@ -184,14 +184,14 @@ impl Client {
     /// (including `Busy` under backpressure).
     pub fn translate(
         &mut self,
-        source: IrVersion,
-        target: IrVersion,
+        source: impl Into<siro_ir::DialectVersion>,
+        target: impl Into<siro_ir::DialectVersion>,
         mode: TranslateMode,
         text: impl Into<String>,
     ) -> Result<Translated, ClientError> {
         let response = self.roundtrip(&Request::Translate {
-            source,
-            target,
+            source: source.into(),
+            target: target.into(),
             mode,
             text: text.into(),
         })?;
@@ -232,8 +232,8 @@ impl Client {
         let mut ids = Vec::with_capacity(requests.len());
         for (source, target, mode, text) in requests {
             ids.push(self.send(&Request::Translate {
-                source: *source,
-                target: *target,
+                source: (*source).into(),
+                target: (*target).into(),
                 mode: *mode,
                 text: text.clone(),
             })?);

@@ -11,8 +11,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use siro_core::{ReferenceTranslator, Skeleton};
-use siro_ir::{parse, verify, write};
+use siro_ir::{parse, verify, write, DialectVersion};
 use siro_synth::{RouteOutcome, Router};
+use siro_wir::AnyModule;
 
 use crate::coalesce::PairCoalescer;
 use crate::protocol::{ErrorCode, Request, Response, StageNanos, TranslateMode};
@@ -22,6 +23,7 @@ use crate::stats::Metrics;
 pub struct Engine {
     coalescer: PairCoalescer,
     router: Router,
+    dialect_router: Router,
     metrics: Arc<Metrics>,
 }
 
@@ -38,6 +40,7 @@ impl Engine {
         Engine {
             coalescer: PairCoalescer::new(),
             router: Router::new(),
+            dialect_router: Router::with_wir(),
             metrics,
         }
     }
@@ -47,9 +50,17 @@ impl Engine {
         &self.coalescer
     }
 
-    /// The version-graph router serving any-pair requests.
+    /// The version-graph router serving Siro any-pair requests.
     pub fn router(&self) -> &Router {
         &self.router
+    }
+
+    /// The dual-catalog router serving requests with a WIR endpoint.
+    /// Separate from [`Engine::router`] on purpose: pure-Siro requests
+    /// plan over the Siro-only node set, so adding the second dialect
+    /// cannot change how existing traffic routes.
+    pub fn dialect_router(&self) -> &Router {
+        &self.dialect_router
     }
 
     /// Executes one already-dequeued request. `Stats` and `Shutdown` are
@@ -77,6 +88,137 @@ impl Engine {
     }
 
     fn translate(
+        &self,
+        source: DialectVersion,
+        target: DialectVersion,
+        mode: TranslateMode,
+        text: &str,
+    ) -> Response {
+        match (source.as_siro(), target.as_siro()) {
+            (Some(s), Some(t)) => self.translate_siro(s, t, mode, text),
+            _ => self.translate_cross(source, target, mode, text),
+        }
+    }
+
+    /// Any request with a WIR endpoint: WIR→WIR pairs and SIRO↔WIR
+    /// cross-dialect pairs, all served as composed chains over the
+    /// dual-catalog router (WIR translator hops, bridge hops at the
+    /// anchors). Unbridgeable pairs answer `Unsupported` — the router
+    /// reports them unreachable rather than planning a bogus chain.
+    fn translate_cross(
+        &self,
+        source: DialectVersion,
+        target: DialectVersion,
+        mode: TranslateMode,
+        text: &str,
+    ) -> Response {
+        let t_start = Instant::now();
+        self.metrics
+            .translations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics
+            .cross_dialect
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        siro_trace::counter("serve.cross_dialect", 1);
+        if mode == TranslateMode::Reference {
+            return err(
+                ErrorCode::Unsupported,
+                "the reference translator only serves Siro-to-Siro pairs",
+            );
+        }
+
+        let sp = siro_trace::span!("serve.parse");
+        let module = match AnyModule::parse(text) {
+            Ok(m) => m,
+            Err(e) => return err(ErrorCode::Parse, format!("parsing request module: {e}")),
+        };
+        if module.dialect_version() != source {
+            return err(
+                ErrorCode::Parse,
+                format!(
+                    "module text declares version {} but the request says {source}",
+                    module.dialect_version()
+                ),
+            );
+        }
+        if let Err(e) = module.verify() {
+            return err(ErrorCode::Verify, format!("request module: {e}"));
+        }
+        drop(sp);
+        let parse_nanos = t_start.elapsed().as_nanos() as u64;
+
+        let t_synth = Instant::now();
+        let sp = siro_trace::span!("serve.acquire_translator", "{source}->{target}");
+        let acquired = match self
+            .dialect_router
+            .acquire_with(source, target, &|s, t, _tests| {
+                self.coalescer
+                    .translator_for(s, t)
+                    .map(|l| (l.outcome, l.fresh))
+            }) {
+            Ok(a) => a,
+            Err(e) => {
+                return err(
+                    ErrorCode::Unsupported,
+                    format!("acquiring {source} -> {target}: {e}"),
+                )
+            }
+        };
+        drop(sp);
+        let synth_nanos = t_synth.elapsed().as_nanos() as u64;
+
+        let sp = siro_trace::span!("serve.translate", "{source}->{target} synthesized");
+        let translated = match &acquired.outcome {
+            RouteOutcome::Composed(chain) => chain.translate_any_owned(module),
+            // A WIR-endpoint request can never resolve direct (direct
+            // routes are Siro pairwise translators).
+            RouteOutcome::Direct(_) => {
+                return err(
+                    ErrorCode::Internal,
+                    "cross-dialect request resolved to a direct Siro translator",
+                )
+            }
+        };
+        drop(sp);
+        let translated = match translated {
+            Ok(m) => m,
+            Err(e) => {
+                return err(
+                    ErrorCode::Translate,
+                    format!("translating {source} -> {target}: {e}"),
+                )
+            }
+        };
+        let translate_nanos = (t_synth.elapsed().as_nanos() as u64).saturating_sub(synth_nanos);
+        if translated.dialect_version() != target {
+            return err(
+                ErrorCode::Internal,
+                format!(
+                    "chain produced {} instead of {target}",
+                    translated.dialect_version()
+                ),
+            );
+        }
+        if let Err(e) = translated.verify() {
+            return err(ErrorCode::Verify, format!("translated module: {e}"));
+        }
+
+        let sp = siro_trace::span!("serve.serialize");
+        let text = translated.print();
+        drop(sp);
+        Response::TranslateOk {
+            cache_hit: !acquired.fresh,
+            timings: StageNanos {
+                parse: parse_nanos,
+                synth: synth_nanos,
+                translate: translate_nanos,
+                total: t_start.elapsed().as_nanos() as u64,
+            },
+            text,
+        }
+    }
+
+    fn translate_siro(
         &self,
         source: siro_ir::IrVersion,
         target: siro_ir::IrVersion,
@@ -207,8 +349,8 @@ mod tests {
         let e = engine();
         let text = sample_module(IrVersion::V13_0);
         let resp = e.execute(&Request::Translate {
-            source: IrVersion::V13_0,
-            target: IrVersion::V3_6,
+            source: IrVersion::V13_0.into(),
+            target: IrVersion::V3_6.into(),
             mode: TranslateMode::Reference,
             text: text.clone(),
         });
@@ -233,8 +375,8 @@ mod tests {
     fn malformed_module_is_a_parse_error_not_a_panic() {
         let e = engine();
         let resp = e.execute(&Request::Translate {
-            source: IrVersion::V13_0,
-            target: IrVersion::V3_6,
+            source: IrVersion::V13_0.into(),
+            target: IrVersion::V3_6.into(),
             mode: TranslateMode::Reference,
             text: "this is not ir".into(),
         });
@@ -254,8 +396,8 @@ mod tests {
     fn version_mismatch_is_reported() {
         let e = engine();
         let resp = e.execute(&Request::Translate {
-            source: IrVersion::V12_0,
-            target: IrVersion::V3_6,
+            source: IrVersion::V12_0.into(),
+            target: IrVersion::V3_6.into(),
             mode: TranslateMode::Reference,
             text: sample_module(IrVersion::V13_0),
         });
@@ -294,8 +436,8 @@ mod tests {
         );
         let text = sample_module(a);
         let resp = e.execute(&Request::Translate {
-            source: a,
-            target: b,
+            source: a.into(),
+            target: b.into(),
             mode: TranslateMode::Synthesized,
             text: text.clone(),
         });
@@ -312,6 +454,74 @@ mod tests {
             .translate_module(&module, &direct.translator)
             .expect("direct translation");
         assert_eq!(served, write::write_module(&expected));
+    }
+
+    #[test]
+    fn wir_pair_serves_through_the_dialect_router() {
+        let e = engine();
+        let m = siro_wir::generate_straightline(11, siro_wir::WirVersion::W1_0);
+        let text = siro_wir::write::write_module(&m);
+        let resp = e.execute(&Request::Translate {
+            source: DialectVersion::wir(1, 0),
+            target: DialectVersion::wir(2, 0),
+            mode: TranslateMode::Synthesized,
+            text,
+        });
+        let Response::TranslateOk { text: served, .. } = resp else {
+            panic!("expected TranslateOk, got {resp:?}");
+        };
+        let out = siro_wir::parse::parse_module(&served).expect("served text parses");
+        assert_eq!(out.version, siro_wir::WirVersion::W2_0);
+    }
+
+    #[test]
+    fn cross_dialect_pair_serves_through_an_anchor_bridge() {
+        let e = engine();
+        // 13.0 -> wir2.0 is an anchor pair. Raising a straight-line WIR
+        // module gives a Siro module guaranteed to be in the bridge's
+        // lowerable subset, so the round trip must serve successfully and
+        // preserve behaviour.
+        let wir = siro_wir::generate_straightline(23, siro_wir::WirVersion::W2_0);
+        let module = siro_synth::raise_module(&wir, IrVersion::V13_0).expect("raise");
+        let text = write::write_module(&module);
+        let resp = e.execute(&Request::Translate {
+            source: IrVersion::V13_0.into(),
+            target: DialectVersion::wir(2, 0),
+            mode: TranslateMode::Synthesized,
+            text,
+        });
+        let Response::TranslateOk { text: served, .. } = resp else {
+            panic!("expected TranslateOk, got {resp:?}");
+        };
+        let out = siro_wir::parse::parse_module(&served).expect("wir text");
+        assert_eq!(out.version, siro_wir::WirVersion::W2_0);
+        assert_eq!(
+            siro_synth::siro_behaviour(&module),
+            siro_synth::wir_behaviour(&out),
+            "behaviour bucket must survive the bridge"
+        );
+    }
+
+    #[test]
+    fn unbridged_cross_dialect_pair_answers_unsupported() {
+        let e = engine();
+        // wir1.0 -> 3.6: the only bridges are at the anchors, and 3.6 is
+        // not one, but wir1.0 can hop to an anchored WIR version first —
+        // so this *is* reachable. A version off both catalogs is not.
+        let m = siro_wir::generate_straightline(3, siro_wir::WirVersion::W1_0);
+        let resp = e.execute(&Request::Translate {
+            source: DialectVersion::wir(1, 0),
+            target: DialectVersion::wir(9, 9),
+            mode: TranslateMode::Synthesized,
+            text: siro_wir::write::write_module(&m),
+        });
+        match resp {
+            Response::Error {
+                code: ErrorCode::Unsupported,
+                message,
+            } => assert!(message.contains("no route"), "{message}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
     }
 
     #[test]

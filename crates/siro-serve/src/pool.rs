@@ -184,8 +184,8 @@ mod tests {
         let bad = Job {
             id: 1,
             request: Request::Translate {
-                source: IrVersion::V13_0,
-                target: IrVersion::V3_6,
+                source: IrVersion::V13_0.into(),
+                target: IrVersion::V3_6.into(),
                 mode: TranslateMode::Reference,
                 text: "garbage".into(),
             },

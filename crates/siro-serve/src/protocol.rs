@@ -24,7 +24,7 @@
 //!
 //! | kind | direction | body |
 //! |---|---|---|
-//! | `0x01` Translate | → | src `u16.u16`, tgt `u16.u16`, mode `u8`, module text |
+//! | `0x01` Translate | → | src `u16.u16`, tgt `u16.u16`, mode `u8`, module text, optional dialect trailer |
 //! | `0x02` Stats | → | empty |
 //! | `0x03` Ping | → | `u32` artificial delay in ms (diagnostics / tests) |
 //! | `0x04` Shutdown | → | empty |
@@ -40,10 +40,21 @@
 //! Strings are `u32` length + UTF-8 bytes. `mode` is `0` for the built-in
 //! reference translator, `1` for a corpus-synthesized translator (served
 //! through the process-wide `TranslatorCache`).
+//!
+//! ## Dialect trailer
+//!
+//! `Translate` endpoints are dialect-qualified [`DialectVersion`]s. A
+//! request whose endpoints are both Siro encodes exactly as it always has
+//! (the `u16.u16` pairs alone), so pre-dialect clients and servers
+//! interoperate unchanged. When either endpoint is a WIR version, two
+//! trailing bytes follow the module text — the source and target dialect
+//! codes (`0` Siro, `1` WIR). Decoders read the trailer only when bytes
+//! remain after the text; a pre-dialect server rejects the trailer as
+//! trailing bytes, which is correct — it cannot serve the pair anyway.
 
 use std::io::{self, Read, Write};
 
-use siro_ir::IrVersion;
+use siro_ir::{Dialect, DialectVersion, IrVersion};
 
 /// Magic bytes opening every payload.
 pub const MAGIC: [u8; 4] = *b"SIRO";
@@ -85,11 +96,11 @@ impl TranslateMode {
 pub enum Request {
     /// Translate a textual IR module from `source` to `target`.
     Translate {
-        /// Version the module text is written in (validated server-side
-        /// against the module's own version comment).
-        source: IrVersion,
-        /// Version to translate to.
-        target: IrVersion,
+        /// Dialect-qualified version the module text is written in
+        /// (validated server-side against the module's own header).
+        source: DialectVersion,
+        /// Dialect-qualified version to translate to.
+        target: DialectVersion,
         /// Reference or synthesized translator.
         mode: TranslateMode,
         /// The module in Siro's textual IR format.
@@ -288,9 +299,19 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_version(out: &mut Vec<u8>, v: IrVersion) {
-    put_u16(out, v.major());
-    put_u16(out, v.minor());
+fn dialect_to_byte(d: Dialect) -> u8 {
+    match d {
+        Dialect::Siro => 0,
+        Dialect::Wir => 1,
+    }
+}
+
+fn dialect_from_byte(b: u8) -> Result<Dialect, ProtocolError> {
+    match b {
+        0 => Ok(Dialect::Siro),
+        1 => Ok(Dialect::Wir),
+        other => Err(ProtocolError::Malformed(format!("unknown dialect {other}"))),
+    }
 }
 
 /// Cursor over a received payload.
@@ -345,6 +366,10 @@ impl<'a> Reader<'a> {
 
     fn version(&mut self) -> Result<IrVersion, ProtocolError> {
         Ok(IrVersion::new(self.u16()?, self.u16()?))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn finish(&self) -> Result<(), ProtocolError> {
@@ -408,10 +433,18 @@ impl Request {
                 text,
             } => {
                 let mut out = header(KIND_TRANSLATE, id);
-                put_version(&mut out, *source);
-                put_version(&mut out, *target);
+                put_u16(&mut out, source.major);
+                put_u16(&mut out, source.minor);
+                put_u16(&mut out, target.major);
+                put_u16(&mut out, target.minor);
                 out.push(mode.to_byte());
                 put_str(&mut out, text);
+                // Pure-Siro requests stay byte-identical to the
+                // pre-dialect encoding; anything else gets the trailer.
+                if source.dialect != Dialect::Siro || target.dialect != Dialect::Siro {
+                    out.push(dialect_to_byte(source.dialect));
+                    out.push(dialect_to_byte(target.dialect));
+                }
                 out
             }
             Request::Stats => header(KIND_STATS, id),
@@ -439,9 +472,24 @@ impl Request {
                 let target = r.version()?;
                 let mode = TranslateMode::from_byte(r.u8()?)?;
                 let text = r.string()?;
+                // Optional dialect trailer; its absence means Siro/Siro
+                // (the pre-dialect wire shape).
+                let (src_d, tgt_d) = if r.remaining() > 0 {
+                    (dialect_from_byte(r.u8()?)?, dialect_from_byte(r.u8()?)?)
+                } else {
+                    (Dialect::Siro, Dialect::Siro)
+                };
                 Request::Translate {
-                    source,
-                    target,
+                    source: DialectVersion {
+                        dialect: src_d,
+                        major: source.major(),
+                        minor: source.minor(),
+                    },
+                    target: DialectVersion {
+                        dialect: tgt_d,
+                        major: target.major(),
+                        minor: target.minor(),
+                    },
                     mode,
                     text,
                 }
@@ -650,10 +698,22 @@ mod tests {
     fn requests_roundtrip() {
         let cases = [
             Request::Translate {
-                source: IrVersion::V13_0,
-                target: IrVersion::V3_6,
+                source: IrVersion::V13_0.into(),
+                target: IrVersion::V3_6.into(),
                 mode: TranslateMode::Synthesized,
                 text: "define i32 @main() {\n}\n".into(),
+            },
+            Request::Translate {
+                source: DialectVersion::wir(1, 0),
+                target: DialectVersion::wir(2, 0),
+                mode: TranslateMode::Synthesized,
+                text: ";; wir 1.0\n".into(),
+            },
+            Request::Translate {
+                source: IrVersion::V13_0.into(),
+                target: DialectVersion::wir(2, 0),
+                mode: TranslateMode::Synthesized,
+                text: "; IR version 13.0\n".into(),
             },
             Request::Stats,
             Request::Ping { delay_ms: 250 },
@@ -704,6 +764,36 @@ mod tests {
             assert_eq!(got_id, id);
             assert_eq!(got, resp);
         }
+    }
+
+    #[test]
+    fn siro_translate_frames_keep_the_pre_dialect_byte_shape() {
+        // A Siro↔Siro request must encode with no dialect trailer: the
+        // exact bytes a pre-dialect client would have produced. A frame
+        // truncated to that legacy shape must also decode back to Siro
+        // endpoints.
+        let req = Request::Translate {
+            source: IrVersion::V13_0.into(),
+            target: IrVersion::V3_6.into(),
+            mode: TranslateMode::Reference,
+            text: "x".into(),
+        };
+        let payload = req.encode(5);
+        // header(14) + 2×(u16,u16)(8) + mode(1) + len(4) + text(1)
+        assert_eq!(payload.len(), 14 + 8 + 1 + 4 + 1, "unexpected trailer");
+        let (_, got) = Request::decode(&payload).expect("legacy decode");
+        assert_eq!(got, req);
+
+        // Cross-dialect requests do carry the two-byte trailer.
+        let cross = Request::Translate {
+            source: DialectVersion::wir(1, 0),
+            target: IrVersion::V13_0.into(),
+            mode: TranslateMode::Synthesized,
+            text: "x".into(),
+        };
+        let cross_payload = cross.encode(6);
+        assert_eq!(cross_payload.len(), payload.len() + 2);
+        assert_eq!(&cross_payload[cross_payload.len() - 2..], &[1, 0]);
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub struct Metrics {
     pub requests_throttled: AtomicU64,
     /// Translate requests executed by workers.
     pub translations: AtomicU64,
+    /// Translate requests with a WIR endpoint (WIR↔WIR or SIRO↔WIR),
+    /// served through the dual-catalog router.
+    pub cross_dialect: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
     /// `accept(2)` failures (EMFILE/ENFILE and other transient errors);
@@ -144,6 +147,7 @@ impl Metrics {
             requests_error: self.requests_error.load(Ordering::Relaxed),
             requests_throttled: self.requests_throttled.load(Ordering::Relaxed),
             translations: self.translations.load(Ordering::Relaxed),
+            cross_dialect: self.cross_dialect.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
             latency_p50_us: self.latency.quantile_us(0.50),
@@ -167,6 +171,8 @@ pub struct MetricsSnapshot {
     pub requests_throttled: u64,
     /// See [`Metrics::translations`].
     pub translations: u64,
+    /// See [`Metrics::cross_dialect`].
+    pub cross_dialect: u64,
     /// See [`Metrics::connections`].
     pub connections: u64,
     /// See [`Metrics::accept_errors`].
@@ -218,6 +224,7 @@ pub fn render_stats(metrics: &Metrics, g: &ServeGauges) -> String {
     line("requests_error", m.requests_error);
     line("requests_throttled", m.requests_throttled);
     line("translations", m.translations);
+    line("cross_dialect_translations", m.cross_dialect);
     line("connections", m.connections);
     line("accept_errors", m.accept_errors);
     line("queue_depth", g.queue_depth as u64);
@@ -301,6 +308,11 @@ pub fn render_metrics(metrics: &Metrics, g: &ServeGauges) -> String {
         m.requests_throttled,
     );
     sample("siro_translations_total", "counter", m.translations);
+    sample(
+        "siro_cross_dialect_translations_total",
+        "counter",
+        m.cross_dialect,
+    );
     sample("siro_connections_total", "counter", m.connections);
     sample("siro_accept_errors_total", "counter", m.accept_errors);
     sample("siro_queue_depth", "gauge", g.queue_depth as u64);
@@ -524,6 +536,8 @@ mod tests {
         }
         // Operators can tell traced runs apart from the page itself.
         assert!(stats_value(&page, "trace_enabled").is_some());
+        // The second-dialect funnel is always present.
+        assert_eq!(stats_value(&page, "cross_dialect_translations"), Some(0));
         // The persistent-store funnel is always present, attached or not.
         assert!(stats_value(&page, "store_attached").is_some());
         assert!(stats_value(&page, "store_corrupt").is_some());

@@ -54,6 +54,7 @@
 
 #![deny(missing_docs)]
 
+pub mod bridge;
 pub mod cache;
 pub mod candgen;
 pub mod compile;
@@ -66,7 +67,13 @@ pub mod refine;
 pub mod router;
 pub mod store;
 pub mod typegraph;
+pub mod wir;
 
+pub use bridge::{
+    bridge_cached, bridge_is_hot, bridge_store_name, is_anchor_pair, lower_module, raise_module,
+    reset_bridge_cache, siro_behaviour, validate_bridge, wir_behaviour, BridgeError, BridgeOutcome,
+    BridgeStats, XBehaviour, BRIDGE_ANCHORS, BRIDGE_FUEL, BRIDGE_SEEDS,
+};
 pub use cache::{
     corpus_fingerprint, synthesize_all, CacheLookup, CacheShardStats, CacheSnapshot, CacheStats,
     TranslatorCache, CACHE_SHARDS,
@@ -85,12 +92,16 @@ pub use pertest::{OracleTest, PerTestTranslator};
 pub use profile::{profile_module, ProfileTable, ProfiledInst};
 pub use refine::{CandIdx, MStar, SynthFault};
 pub use router::{
-    chain_persist_key, reset_router_stats, router_stats, Acquired, ComposedHop, ComposedTranslator,
-    EdgeClass, EdgeInfo, RouteOutcome, RoutePlan, Router, RouterStats, VersionGraph, COST_COLD_US,
-    COST_HOT_US, COST_WARM_US, OBSERVED_CAP_US,
+    chain_hops_if_whole, chain_persist_key, reset_router_stats, router_stats, Acquired,
+    ComposedHop, ComposedTranslator, EdgeClass, EdgeInfo, HopKind, RouteOutcome, RoutePlan, Router,
+    RouterStats, VersionGraph, COST_COLD_US, COST_HOT_US, COST_WARM_US, OBSERVED_CAP_US,
 };
 pub use store::{
     active_store, oracle_corpus, reset_store_stats, set_active_store, store_stats, GcReport,
     StoreConfig, StoreEntry, StoreKey, StoreStats, TranslatorStore, ValidationMode, VerifyOutcome,
 };
 pub use typegraph::TypeGraph;
+pub use wir::{
+    reset_wir_cache, synthesize_wir, validate_wir_translator, wir_pair_is_hot, wir_store_name,
+    wir_translator_cached, WirOutcome, WirSynthError, WirSynthStats, WirTranslator,
+};

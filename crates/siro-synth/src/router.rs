@@ -4,21 +4,41 @@
 //! compatibility. Direct synthesis can serve every pair, but it is the
 //! most expensive way to answer a request whose endpoints are already
 //! bridged by warm translators. This module models the catalog as a
-//! directed graph — nodes are [`IrVersion::CATALOG`], an edge `a -> b` is
-//! the pairwise translator for `(a, b)` — and answers a `(from, to)`
-//! request by cheapest-path composition over that graph.
+//! directed graph and answers a `(from, to)` request by cheapest-path
+//! composition over that graph.
+//!
+//! ## Dialect-aware nodes
+//!
+//! Nodes are keyed by `(dialect, version)` ([`DialectVersion`]), not by a
+//! flat version number — `1.0` in the Siro family and `1.0` in the WIR
+//! family are different nodes. Edges come in three kinds:
+//!
+//! * **Siro → Siro** — the synthesized pairwise translator for the pair
+//!   (exists when the pair has an oracle corpus);
+//! * **WIR → WIR** — the synthesized WIR translator
+//!   ([`crate::wir::wir_translator_cached`]; every ordered catalog pair);
+//! * **Siro ↔ WIR** — a validated bridge at one of the
+//!   [`crate::bridge::BRIDGE_ANCHORS`], in either direction. Non-anchor
+//!   cross-dialect pairs get **no** edge, so a request whose endpoints
+//!   span dialects with no anchor on any path is reported *unreachable*
+//!   rather than served by a bogus chain.
+//!
+//! [`Router::new`] keeps the historical Siro-only node set (nothing about
+//! pure-Siro serving changes); [`Router::with_wir`] adds the WIR catalog
+//! and the anchor bridges, after which cross-dialect hops compose like any
+//! other edge.
 //!
 //! ## Edge-cost formula
 //!
 //! Each edge is classified by how much work acquiring its translator
 //! costs *right now*:
 //!
-//! * **Hot** — a successful outcome sits in the in-memory
-//!   [`TranslatorCache`] ([`COST_HOT_US`] ≈ an `Arc` clone);
-//! * **Warm** — a persisted `.sirt` entry exists in the attached
-//!   [`TranslatorStore`] ([`COST_WARM_US`] ≈ read + validate);
-//! * **Cold** — the translator must be synthesized ([`COST_COLD_US`] ≈
-//!   a measured full-corpus synthesis).
+//! * **Hot** — a successful outcome sits in the in-memory cache for its
+//!   kind ([`COST_HOT_US`] ≈ an `Arc` clone);
+//! * **Warm** — a persisted entry (`.sirt`, `.sirw`, or `.sirb`) exists in
+//!   the attached [`TranslatorStore`] ([`COST_WARM_US`] ≈ read + validate);
+//! * **Cold** — the translator must be synthesized or the bridge validated
+//!   ([`COST_COLD_US`] ≈ a measured full-corpus synthesis).
 //!
 //! `cost(edge) = class_cost_us + observed_hop_us`, where `observed_hop_us`
 //! is the mean duration of `route.hop` / `serve.translate` spans recorded
@@ -30,26 +50,32 @@
 //!
 //! 1. cheapest path over the graph (direct edges compete on cost like any
 //!    other path);
-//! 2. if acquiring any hop of a composed path fails, fall back to direct
-//!    synthesis of the full pair;
-//! 3. if direct synthesis also fails, the error propagates to the caller.
+//! 2. if acquiring any hop of a composed path fails and both endpoints
+//!    are Siro versions, fall back to direct synthesis of the full pair;
+//! 3. if direct synthesis also fails — or the endpoints span dialects,
+//!    where no direct synthesis exists — the error propagates.
 //!
 //! Composed chains are memoized per process (the router's composed cache)
 //! and persisted as first-class store entries: a [`ComposedTranslator`]
 //! has its own persist key and a plaintext `.sirc` manifest naming each
-//! hop's `.sirt` entry (see [`TranslatorStore::save_chain`]).
+//! hop's store entry (see [`TranslatorStore::save_chain`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use siro_ir::{IrVersion, Module};
+use siro_ir::{Dialect, DialectVersion, IrVersion, Module};
+use siro_wir::{AnyModule, WirVersion};
 
+use crate::bridge::{
+    bridge_cached, bridge_is_hot, bridge_store_name, is_anchor_pair, BridgeOutcome,
+};
 use crate::cache::{CacheLookup, TranslatorCache};
 use crate::driver::{SynthError, SynthesisConfig, SynthesisOutcome};
 use crate::persist::fnv1a64;
 use crate::pertest::OracleTest;
 use crate::store::{active_store, oracle_corpus, StoreKey, TranslatorStore};
+use crate::wir::{wir_pair_is_hot, wir_store_name, wir_translator_cached, WirOutcome};
 
 /// Cost (µs) of an edge whose translator is in the in-memory cache.
 pub const COST_HOT_US: u64 = 10;
@@ -61,14 +87,19 @@ pub const COST_COLD_US: u64 = 50_000;
 /// cannot make a hot edge look colder than synthesis.
 pub const OBSERVED_CAP_US: u64 = COST_COLD_US / 2;
 
+/// Extracts the WIR-family version, if `v` names one.
+fn as_wir(v: DialectVersion) -> Option<WirVersion> {
+    matches!(v.dialect, Dialect::Wir).then(|| WirVersion::new(v.major, v.minor))
+}
+
 /// How an edge's translator would be acquired right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeClass {
-    /// In the in-memory [`TranslatorCache`].
+    /// In the in-memory cache for its kind.
     Hot,
     /// Persisted in the attached [`TranslatorStore`].
     Warm,
-    /// Must be synthesized.
+    /// Must be synthesized (or, for a bridge, validated).
     Cold,
 }
 
@@ -85,10 +116,10 @@ impl std::fmt::Display for EdgeClass {
 /// One edge of the version graph, with its cost breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeInfo {
-    /// Source version of the hop.
-    pub from: IrVersion,
-    /// Target version of the hop.
-    pub to: IrVersion,
+    /// Source node of the hop.
+    pub from: DialectVersion,
+    /// Target node of the hop.
+    pub to: DialectVersion,
     /// Acquisition class at snapshot time.
     pub class: EdgeClass,
     /// Mean observed per-hop translate latency (µs) from trace spans,
@@ -102,8 +133,8 @@ pub struct EdgeInfo {
 /// custom node set) and every synthesizable edge with its current cost.
 #[derive(Debug, Clone)]
 pub struct VersionGraph {
-    nodes: Vec<IrVersion>,
-    edges: HashMap<(IrVersion, IrVersion), EdgeInfo>,
+    nodes: Vec<DialectVersion>,
+    edges: HashMap<(DialectVersion, DialectVersion), EdgeInfo>,
 }
 
 impl VersionGraph {
@@ -111,21 +142,25 @@ impl VersionGraph {
     /// the live snapshot; this constructor exists for planners and tests
     /// that need a synthetic cost landscape (e.g. difftest fuzzing path
     /// selection over randomized warm/cold mixes).
-    pub fn from_edges(nodes: Vec<IrVersion>, edges: Vec<EdgeInfo>) -> Self {
+    pub fn from_edges<N: Into<DialectVersion>>(nodes: Vec<N>, edges: Vec<EdgeInfo>) -> Self {
         VersionGraph {
-            nodes,
+            nodes: nodes.into_iter().map(Into::into).collect(),
             edges: edges.into_iter().map(|e| ((e.from, e.to), e)).collect(),
         }
     }
 
     /// The node set.
-    pub fn nodes(&self) -> &[IrVersion] {
+    pub fn nodes(&self) -> &[DialectVersion] {
         &self.nodes
     }
 
     /// The edge `from -> to`, if it exists in this snapshot.
-    pub fn edge(&self, from: IrVersion, to: IrVersion) -> Option<&EdgeInfo> {
-        self.edges.get(&(from, to))
+    pub fn edge(
+        &self,
+        from: impl Into<DialectVersion>,
+        to: impl Into<DialectVersion>,
+    ) -> Option<&EdgeInfo> {
+        self.edges.get(&(from.into(), to.into()))
     }
 
     /// Number of edges in the snapshot.
@@ -134,9 +169,14 @@ impl VersionGraph {
     }
 
     /// Cheapest path `from -> to` by summed edge cost (Dijkstra; ties
-    /// broken toward fewer hops, then lower version order, so plans are
+    /// broken toward fewer hops, then lower node order, so plans are
     /// deterministic). `from == to` yields an empty-hop plan.
-    pub fn cheapest_path(&self, from: IrVersion, to: IrVersion) -> Option<RoutePlan> {
+    pub fn cheapest_path(
+        &self,
+        from: impl Into<DialectVersion>,
+        to: impl Into<DialectVersion>,
+    ) -> Option<RoutePlan> {
+        let (from, to) = (from.into(), to.into());
         if !self.nodes.contains(&from) || !self.nodes.contains(&to) {
             return None;
         }
@@ -149,9 +189,9 @@ impl VersionGraph {
             });
         }
         // dist: node -> (cost, hops); prev: node -> predecessor.
-        let mut dist: HashMap<IrVersion, (u64, usize)> = HashMap::new();
-        let mut prev: HashMap<IrVersion, IrVersion> = HashMap::new();
-        let mut done: Vec<IrVersion> = Vec::new();
+        let mut dist: HashMap<DialectVersion, (u64, usize)> = HashMap::new();
+        let mut prev: HashMap<DialectVersion, DialectVersion> = HashMap::new();
+        let mut done: Vec<DialectVersion> = Vec::new();
         dist.insert(from, (0, 0));
         loop {
             let (&node, &(cost, hops)) = dist
@@ -196,10 +236,10 @@ impl VersionGraph {
 /// The route chosen for one `(from, to)` request.
 #[derive(Debug, Clone)]
 pub struct RoutePlan {
-    /// Requested source version.
-    pub from: IrVersion,
-    /// Requested target version.
-    pub to: IrVersion,
+    /// Requested source node.
+    pub from: DialectVersion,
+    /// Requested target node.
+    pub to: DialectVersion,
     /// The hops, in order; empty for `from == to`, one entry for a
     /// direct route.
     pub hops: Vec<EdgeInfo>,
@@ -218,6 +258,17 @@ impl RoutePlan {
         self.hops.len() <= 1
     }
 
+    /// Whether every node on the plan (endpoints and hops) is a
+    /// Siro-family version.
+    pub fn is_all_siro(&self) -> bool {
+        self.from.dialect == Dialect::Siro
+            && self.to.dialect == Dialect::Siro
+            && self
+                .hops
+                .iter()
+                .all(|h| h.from.dialect == Dialect::Siro && h.to.dialect == Dialect::Siro)
+    }
+
     /// One-line rendering, e.g. `13.0 -> 12.0 -> 3.6 (2 hops, cost 2010us)`.
     pub fn describe(&self) -> String {
         let mut path = self.from.to_string();
@@ -233,28 +284,70 @@ impl RoutePlan {
     }
 }
 
+/// The translator carried by one leg of a composed chain.
+#[derive(Debug, Clone)]
+pub enum HopKind {
+    /// A synthesized Siro pairwise translator.
+    Siro(Arc<SynthesisOutcome>),
+    /// A synthesized WIR translator.
+    Wir(Arc<WirOutcome>),
+    /// A validated bridge, applied Siro → WIR (lowering).
+    Lower(Arc<BridgeOutcome>),
+    /// A validated bridge, applied WIR → Siro (raising).
+    Raise(Arc<BridgeOutcome>),
+}
+
 /// One leg of a composed translator.
 #[derive(Debug, Clone)]
 pub struct ComposedHop {
-    /// Hop source version.
-    pub from: IrVersion,
-    /// Hop target version.
-    pub to: IrVersion,
-    /// The hop's synthesized translator.
-    pub outcome: Arc<SynthesisOutcome>,
-    /// The hop's `.sirt` entry file name (its persistent identity).
+    /// Hop source node.
+    pub from: DialectVersion,
+    /// Hop target node.
+    pub to: DialectVersion,
+    /// The hop's translator.
+    pub kind: HopKind,
+    /// The hop's store entry file name (its persistent identity:
+    /// `.sirt` for Siro hops, `.sirw` for WIR hops, `.sirb` for bridges).
     pub entry_file: String,
+}
+
+impl ComposedHop {
+    /// The Siro synthesis outcome, when this is a Siro hop.
+    pub fn siro_outcome(&self) -> Option<&Arc<SynthesisOutcome>> {
+        match &self.kind {
+            HopKind::Siro(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+fn hop_dialect_error(hop: &ComposedHop, got: &AnyModule) -> siro_core::TranslateError {
+    siro_core::TranslateError::Api(siro_api::ApiError::Unsupported(format!(
+        "chain hop {} -> {} fed a {} module",
+        hop.from,
+        hop.to,
+        got.dialect_version()
+    )))
+}
+
+fn hop_error(hop: &ComposedHop, e: impl std::fmt::Display) -> siro_core::TranslateError {
+    siro_core::TranslateError::Api(siro_api::ApiError::Unsupported(format!(
+        "chain hop {} -> {}: {e}",
+        hop.from, hop.to
+    )))
 }
 
 /// A chain of pairwise translators serving one `(from, to)` pair by
 /// module-level composition: the module is translated hop by hop, each
-/// hop running the full skeleton translation into its own target version.
+/// hop running its full translation into its own target version. Hops may
+/// cross dialects (through bridge legs), so the unit of composition is an
+/// [`AnyModule`].
 #[derive(Debug, Clone)]
 pub struct ComposedTranslator {
-    /// Composed source version.
-    pub from: IrVersion,
-    /// Composed target version.
-    pub to: IrVersion,
+    /// Composed source node.
+    pub from: DialectVersion,
+    /// Composed target node.
+    pub to: DialectVersion,
     /// The legs, in application order.
     pub hops: Vec<ComposedHop>,
     /// The plan this chain was built from.
@@ -267,11 +360,51 @@ impl ComposedTranslator {
         self.hops.len()
     }
 
-    /// Translates a whole module through every hop in order.
+    /// Translates a whole module through every hop in order. The input
+    /// dialect must match `from`; Siro-only chains behave exactly as the
+    /// pre-dialect router did.
     ///
     /// # Errors
     ///
-    /// Propagates the first hop's [`siro_core::TranslateError`].
+    /// Propagates the first hop's failure as a
+    /// [`siro_core::TranslateError`].
+    pub fn translate_any_owned(&self, module: AnyModule) -> siro_core::TranslateResult<AnyModule> {
+        let mut current = module;
+        for hop in &self.hops {
+            let sp = siro_trace::span!("route.hop", "{}->{}", hop.from, hop.to);
+            let next = match (&hop.kind, current) {
+                (HopKind::Siro(outcome), AnyModule::Siro(m)) => {
+                    let to = hop.to.as_siro().expect("siro hop targets a siro version");
+                    AnyModule::Siro(crate::compile::translate_module_owned_tiered(
+                        outcome, to, m,
+                    )?)
+                }
+                (HopKind::Wir(outcome), AnyModule::Wir(w)) => AnyModule::Wir(
+                    outcome
+                        .translator
+                        .translate_module(&w)
+                        .map_err(|e| hop_error(hop, e))?,
+                ),
+                (HopKind::Lower(bridge), AnyModule::Siro(m)) => AnyModule::Wir(
+                    crate::bridge::lower_module(&m, bridge.wir).map_err(|e| hop_error(hop, e))?,
+                ),
+                (HopKind::Raise(bridge), AnyModule::Wir(w)) => AnyModule::Siro(
+                    crate::bridge::raise_module(&w, bridge.siro).map_err(|e| hop_error(hop, e))?,
+                ),
+                (_, got) => return Err(hop_dialect_error(hop, &got)),
+            };
+            drop(sp);
+            current = next;
+        }
+        Ok(current)
+    }
+
+    /// Translates a whole Siro module through every hop in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first hop's [`siro_core::TranslateError`]; a chain
+    /// ending at a WIR node reports a dialect mismatch.
     pub fn translate_module(&self, module: &Module) -> siro_core::TranslateResult<Module> {
         self.translate_module_owned(module.clone())
     }
@@ -286,15 +419,15 @@ impl ComposedTranslator {
     ///
     /// Propagates the first hop's [`siro_core::TranslateError`].
     pub fn translate_module_owned(&self, module: Module) -> siro_core::TranslateResult<Module> {
-        let mut current = module;
-        for hop in &self.hops {
-            let sp = siro_trace::span!("route.hop", "{}->{}", hop.from, hop.to);
-            let next =
-                crate::compile::translate_module_owned_tiered(&hop.outcome, hop.to, current)?;
-            drop(sp);
-            current = next;
+        match self.translate_any_owned(AnyModule::Siro(module))? {
+            AnyModule::Siro(m) => Ok(m),
+            AnyModule::Wir(_) => Err(siro_core::TranslateError::Api(
+                siro_api::ApiError::Unsupported(format!(
+                    "chain {} -> {} ends at a WIR node; use translate_any_owned",
+                    self.from, self.to
+                )),
+            )),
         }
-        Ok(current)
     }
 
     /// The chain's persist key (see [`chain_persist_key`]).
@@ -322,9 +455,9 @@ impl ComposedTranslator {
 /// How [`Router::acquire`] answered a request.
 #[derive(Debug, Clone)]
 pub enum RouteOutcome {
-    /// A single pairwise translator (direct route).
+    /// A single pairwise translator (direct Siro route).
     Direct(Arc<SynthesisOutcome>),
-    /// A composed chain.
+    /// A composed chain (including every WIR or cross-dialect route).
     Composed(Arc<ComposedTranslator>),
 }
 
@@ -343,10 +476,11 @@ pub struct Acquired {
     pub fell_back: bool,
 }
 
-/// A hop resolver: returns the translator outcome for one pair plus
+/// A hop resolver: returns the translator outcome for one Siro pair plus
 /// whether this call synthesized it. The serving layer passes a
 /// coalescer-backed resolver; the default resolver goes straight to
-/// [`TranslatorCache`].
+/// [`TranslatorCache`]. WIR and bridge hops resolve through their own
+/// process caches and are not routed through this hook.
 pub type HopResolver<'a> = &'a dyn Fn(
     IrVersion,
     IrVersion,
@@ -418,12 +552,12 @@ fn note_max_hops(hops: u64) {
 /// The version-graph router. One instance per engine / CLI invocation;
 /// the counters it bumps are process-global so `STATS` can report them.
 pub struct Router {
-    nodes: Vec<IrVersion>,
+    nodes: Vec<DialectVersion>,
     corpora: Mutex<PairMap<(Arc<Vec<OracleTest>>, u64)>>,
-    composed: Mutex<PairMap<Arc<ComposedTranslator>>>,
+    composed: Mutex<HashMap<(DialectVersion, DialectVersion), Arc<ComposedTranslator>>>,
 }
 
-/// Memoization table keyed by an ordered version pair.
+/// Memoization table keyed by an ordered Siro version pair.
 type PairMap<T> = HashMap<(IrVersion, IrVersion), T>;
 
 impl Default for Router {
@@ -433,13 +567,27 @@ impl Default for Router {
 }
 
 impl Router {
-    /// A router over the full [`IrVersion::CATALOG`].
+    /// A router over the full Siro [`IrVersion::CATALOG`] (no WIR nodes;
+    /// the historical single-dialect behaviour).
     pub fn new() -> Self {
         Self::over(IrVersion::CATALOG.to_vec())
     }
 
-    /// A router over a custom node set (tests, partial deployments).
+    /// A router over both catalogs: every Siro version, every WIR version
+    /// ([`WirVersion::CATALOG`]), and the anchor bridges between them.
+    pub fn with_wir() -> Self {
+        let mut nodes: Vec<DialectVersion> = IrVersion::CATALOG.iter().map(|&v| v.into()).collect();
+        nodes.extend(WirVersion::CATALOG.iter().map(|&v| DialectVersion::from(v)));
+        Self::over_dialects(nodes)
+    }
+
+    /// A router over a custom Siro node set (tests, partial deployments).
     pub fn over(nodes: Vec<IrVersion>) -> Self {
+        Self::over_dialects(nodes.into_iter().map(Into::into).collect())
+    }
+
+    /// A router over an explicit dialect-qualified node set.
+    pub fn over_dialects(nodes: Vec<DialectVersion>) -> Self {
         Router {
             nodes,
             corpora: Mutex::new(HashMap::new()),
@@ -447,7 +595,8 @@ impl Router {
         }
     }
 
-    /// The memoized oracle corpus for a pair (empty corpus = no edge).
+    /// The memoized oracle corpus for a Siro pair (empty corpus = no
+    /// edge).
     pub fn corpus(&self, from: IrVersion, to: IrVersion) -> Arc<Vec<OracleTest>> {
         self.corpus_with_fingerprint(from, to).0
     }
@@ -471,19 +620,19 @@ impl Router {
         (Arc::clone(corpus), *fp)
     }
 
-    fn observed_latencies() -> HashMap<(IrVersion, IrVersion), u64> {
-        let mut sums: HashMap<(IrVersion, IrVersion), (u64, u64)> = HashMap::new();
+    fn observed_latencies() -> HashMap<(DialectVersion, DialectVersion), u64> {
+        let mut sums: HashMap<(DialectVersion, DialectVersion), (u64, u64)> = HashMap::new();
         for span in siro_trace::snapshot().spans {
             if span.name != "route.hop" && span.name != "serve.translate" {
                 continue;
             }
-            // Details look like `13.0->3.6` (route.hop) or
-            // `13.0->3.6 synthesized` (serve.translate).
+            // Details look like `13.0->3.6` or `wir1.0->wir2.0`
+            // (route.hop), or `13.0->3.6 synthesized` (serve.translate).
             let pair_str = span.detail.split(' ').next().unwrap_or("");
             let Some((a, b)) = pair_str.split_once("->") else {
                 continue;
             };
-            let (Some(a), Some(b)) = (parse_version(a), parse_version(b)) else {
+            let (Ok(a), Ok(b)) = (a.parse::<DialectVersion>(), b.parse::<DialectVersion>()) else {
                 continue;
             };
             let e = sums.entry((a, b)).or_insert((0, 0));
@@ -495,8 +644,48 @@ impl Router {
             .collect()
     }
 
+    /// Classifies one potential edge, or `None` when the pair has no edge
+    /// (empty Siro corpus; non-anchor cross-dialect pair).
+    fn classify_edge(
+        &self,
+        a: DialectVersion,
+        b: DialectVersion,
+        store: Option<&TranslatorStore>,
+    ) -> Option<EdgeClass> {
+        match (a.dialect, b.dialect) {
+            (Dialect::Siro, Dialect::Siro) => {
+                let (sa, sb) = (a.as_siro()?, b.as_siro()?);
+                let (corpus, fp) = self.corpus_with_fingerprint(sa, sb);
+                if corpus.is_empty() {
+                    return None;
+                }
+                let config = SynthesisConfig::new(sa, sb);
+                Some(if TranslatorCache::is_warm_fingerprint(&config, fp) {
+                    EdgeClass::Hot
+                } else if store.is_some_and(|s| s.entry_path(&StoreKey::new(&config, fp)).exists())
+                {
+                    EdgeClass::Warm
+                } else {
+                    EdgeClass::Cold
+                })
+            }
+            (Dialect::Wir, Dialect::Wir) => {
+                let (wa, wb) = (as_wir(a)?, as_wir(b)?);
+                Some(if wir_pair_is_hot(wa, wb) {
+                    EdgeClass::Hot
+                } else if store.is_some_and(|s| s.named_path(&wir_store_name(wa, wb)).exists()) {
+                    EdgeClass::Warm
+                } else {
+                    EdgeClass::Cold
+                })
+            }
+            (Dialect::Siro, Dialect::Wir) => anchor_class(a.as_siro()?, as_wir(b)?, store),
+            (Dialect::Wir, Dialect::Siro) => anchor_class(b.as_siro()?, as_wir(a)?, store),
+        }
+    }
+
     /// Snapshots the version graph: classifies every edge against the
-    /// in-memory cache and the attached store, and folds in observed
+    /// in-memory caches and the attached store, and folds in observed
     /// per-hop latencies from the trace collector.
     pub fn graph(&self) -> VersionGraph {
         let store = active_store();
@@ -507,20 +696,8 @@ impl Router {
                 if a == b {
                     continue;
                 }
-                let (corpus, fp) = self.corpus_with_fingerprint(a, b);
-                if corpus.is_empty() {
+                let Some(class) = self.classify_edge(a, b, store.as_deref()) else {
                     continue;
-                }
-                let config = SynthesisConfig::new(a, b);
-                let class = if TranslatorCache::is_warm_fingerprint(&config, fp) {
-                    EdgeClass::Hot
-                } else if store
-                    .as_ref()
-                    .is_some_and(|s| s.entry_path(&StoreKey::new(&config, fp)).exists())
-                {
-                    EdgeClass::Warm
-                } else {
-                    EdgeClass::Cold
                 };
                 let class_cost = match class {
                     EdgeClass::Hot => COST_HOT_US,
@@ -549,8 +726,13 @@ impl Router {
 
     /// Plans the cheapest route for `(from, to)` over a fresh graph
     /// snapshot. `None` when either endpoint is off-catalog or no path
-    /// exists.
-    pub fn plan(&self, from: IrVersion, to: IrVersion) -> Option<RoutePlan> {
+    /// exists (including cross-dialect requests with no anchor bridge).
+    pub fn plan(
+        &self,
+        from: impl Into<DialectVersion>,
+        to: impl Into<DialectVersion>,
+    ) -> Option<RoutePlan> {
+        let (from, to) = (from.into(), to.into());
         PLANS.fetch_add(1, Ordering::Relaxed);
         siro_trace::counter("route.plans", 1);
         let sp = siro_trace::span!("route.plan", "{from}->{to}");
@@ -560,9 +742,9 @@ impl Router {
     }
 
     /// Plans every ordered pair over one graph snapshot, row-major in
-    /// catalog order (identity pairs included, as 0-hop plans). Pairs with
+    /// node order (identity pairs included, as 0-hop plans). Pairs with
     /// no path are reported as `None` at their matrix position.
-    pub fn matrix(&self) -> Vec<((IrVersion, IrVersion), Option<RoutePlan>)> {
+    pub fn matrix(&self) -> Vec<((DialectVersion, DialectVersion), Option<RoutePlan>)> {
         let graph = self.graph();
         let mut out = Vec::with_capacity(self.nodes.len() * self.nodes.len());
         for &a in &self.nodes {
@@ -578,16 +760,21 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// [`SynthError`] when no route exists (reported as the direct pair's
-    /// synthesis error) or when the entire fallback ladder failed.
-    pub fn acquire(&self, from: IrVersion, to: IrVersion) -> Result<Acquired, SynthError> {
-        self.acquire_with(from, to, &|a, b, tests| {
+    /// [`SynthError`] when no route exists (for Siro pairs, reported as
+    /// the direct pair's synthesis error; for cross-dialect pairs, as an
+    /// explicit unreachable report) or when the fallback ladder failed.
+    pub fn acquire(
+        &self,
+        from: impl Into<DialectVersion>,
+        to: impl Into<DialectVersion>,
+    ) -> Result<Acquired, SynthError> {
+        self.acquire_with(from.into(), to.into(), &|a, b, tests| {
             TranslatorCache::lookup_or_synthesize(SynthesisConfig::new(a, b), tests)
                 .map(|CacheLookup { outcome, fresh, .. }| (outcome, fresh))
         })
     }
 
-    /// [`Router::acquire`] with a caller-supplied hop resolver (the
+    /// [`Router::acquire`] with a caller-supplied Siro hop resolver (the
     /// serving layer passes its coalescer so per-pair serving counters
     /// keep working).
     ///
@@ -596,22 +783,40 @@ impl Router {
     /// See [`Router::acquire`].
     pub fn acquire_with(
         &self,
-        from: IrVersion,
-        to: IrVersion,
+        from: impl Into<DialectVersion>,
+        to: impl Into<DialectVersion>,
         resolve: HopResolver<'_>,
     ) -> Result<Acquired, SynthError> {
-        let plan = self.plan(from, to).unwrap_or_else(|| RoutePlan {
-            from,
-            to,
-            // Off-graph or unreachable: attempt the direct pair anyway and
-            // let its synthesis error speak.
-            hops: Vec::new(),
-            cost_us: COST_COLD_US,
-        });
+        let (from, to) = (from.into(), to.into());
+        let all_siro_endpoints = from.dialect == Dialect::Siro && to.dialect == Dialect::Siro;
+        let plan = match self.plan(from, to) {
+            Some(plan) => plan,
+            // Off-graph or unreachable. For Siro pairs, attempt the direct
+            // pair anyway and let its synthesis error speak — the
+            // historical behaviour. Anything cross-dialect has no direct
+            // synthesis to attempt: report unreachable instead of
+            // fabricating a chain.
+            None if all_siro_endpoints => RoutePlan {
+                from,
+                to,
+                hops: Vec::new(),
+                cost_us: COST_COLD_US,
+            },
+            None => {
+                return Err(SynthError::Api(format!(
+                    "no route {from} -> {to}: the endpoints span dialects with no \
+                     validated bridge on any path"
+                )))
+            }
+        };
         note_max_hops(plan.hop_count() as u64);
 
-        if plan.is_direct() {
-            let (outcome, fresh) = resolve(from, to, &self.corpus(from, to))?;
+        if plan.is_direct() && plan.is_all_siro() && all_siro_endpoints {
+            let (sf, st) = (
+                from.as_siro().expect("checked siro"),
+                to.as_siro().expect("checked siro"),
+            );
+            let (outcome, fresh) = resolve(sf, st, &self.corpus(sf, st))?;
             DIRECT.fetch_add(1, Ordering::Relaxed);
             siro_trace::counter("route.direct", 1);
             return Ok(Acquired {
@@ -651,12 +856,17 @@ impl Router {
                     fell_back: false,
                 })
             }
-            Err(_) => {
-                // Fallback ladder step 2: a hop died; synthesize the pair
-                // directly.
+            Err(e) if all_siro_endpoints => {
+                // Fallback ladder step 2: a hop died; synthesize the Siro
+                // pair directly.
+                let _ = e;
                 FALLBACKS.fetch_add(1, Ordering::Relaxed);
                 siro_trace::counter("route.fallbacks", 1);
-                let (outcome, fresh) = resolve(from, to, &self.corpus(from, to))?;
+                let (sf, st) = (
+                    from.as_siro().expect("checked siro"),
+                    to.as_siro().expect("checked siro"),
+                );
+                let (outcome, fresh) = resolve(sf, st, &self.corpus(sf, st))?;
                 DIRECT.fetch_add(1, Ordering::Relaxed);
                 Ok(Acquired {
                     outcome: RouteOutcome::Direct(outcome),
@@ -665,7 +875,90 @@ impl Router {
                     fell_back: true,
                 })
             }
+            // Cross-dialect hop failures have no direct fallback.
+            Err(e) => Err(e),
         }
+    }
+
+    /// Resolves one plan edge into a composed hop.
+    fn resolve_hop(
+        &self,
+        edge: &EdgeInfo,
+        resolve: HopResolver<'_>,
+    ) -> Result<(ComposedHop, bool), SynthError> {
+        let hop = match (edge.from.dialect, edge.to.dialect) {
+            (Dialect::Siro, Dialect::Siro) => {
+                let (a, b) = (
+                    edge.from.as_siro().expect("siro edge"),
+                    edge.to.as_siro().expect("siro edge"),
+                );
+                let corpus = self.corpus(a, b);
+                let (outcome, fresh) = resolve(a, b, &corpus)?;
+                let config = SynthesisConfig::new(a, b);
+                let fp = crate::cache::corpus_fingerprint(&corpus);
+                (
+                    ComposedHop {
+                        from: edge.from,
+                        to: edge.to,
+                        kind: HopKind::Siro(outcome),
+                        entry_file: StoreKey::new(&config, fp).file_name(),
+                    },
+                    fresh,
+                )
+            }
+            (Dialect::Wir, Dialect::Wir) => {
+                let (a, b) = (
+                    as_wir(edge.from).expect("wir edge"),
+                    as_wir(edge.to).expect("wir edge"),
+                );
+                let (outcome, fresh) =
+                    wir_translator_cached(a, b).map_err(|e| SynthError::Api(e.to_string()))?;
+                (
+                    ComposedHop {
+                        from: edge.from,
+                        to: edge.to,
+                        kind: HopKind::Wir(outcome),
+                        entry_file: wir_store_name(a, b),
+                    },
+                    fresh,
+                )
+            }
+            (Dialect::Siro, Dialect::Wir) => {
+                let (s, w) = (
+                    edge.from.as_siro().expect("siro edge"),
+                    as_wir(edge.to).expect("wir edge"),
+                );
+                let (outcome, fresh) =
+                    bridge_cached(s, w).map_err(|e| SynthError::Api(e.to_string()))?;
+                (
+                    ComposedHop {
+                        from: edge.from,
+                        to: edge.to,
+                        kind: HopKind::Lower(outcome),
+                        entry_file: bridge_store_name(s, w),
+                    },
+                    fresh,
+                )
+            }
+            (Dialect::Wir, Dialect::Siro) => {
+                let (w, s) = (
+                    as_wir(edge.from).expect("wir edge"),
+                    edge.to.as_siro().expect("siro edge"),
+                );
+                let (outcome, fresh) =
+                    bridge_cached(s, w).map_err(|e| SynthError::Api(e.to_string()))?;
+                (
+                    ComposedHop {
+                        from: edge.from,
+                        to: edge.to,
+                        kind: HopKind::Raise(outcome),
+                        entry_file: bridge_store_name(s, w),
+                    },
+                    fresh,
+                )
+            }
+        };
+        Ok(hop)
     }
 
     /// Builds (and memoizes + persists) the composed chain for a plan.
@@ -677,17 +970,9 @@ impl Router {
         let mut hops = Vec::with_capacity(plan.hops.len());
         let mut fresh = false;
         for edge in &plan.hops {
-            let corpus = self.corpus(edge.from, edge.to);
-            let (outcome, hop_fresh) = resolve(edge.from, edge.to, &corpus)?;
+            let (hop, hop_fresh) = self.resolve_hop(edge, resolve)?;
             fresh |= hop_fresh;
-            let config = SynthesisConfig::new(edge.from, edge.to);
-            let fp = crate::cache::corpus_fingerprint(&corpus);
-            hops.push(ComposedHop {
-                from: edge.from,
-                to: edge.to,
-                outcome,
-                entry_file: StoreKey::new(&config, fp).file_name(),
-            });
+            hops.push(hop);
         }
         let chain = Arc::new(ComposedTranslator {
             from: plan.from,
@@ -711,7 +996,7 @@ impl Router {
         Ok((chain, fresh))
     }
 
-    /// Composes a translator along an explicit node path, the caller
+    /// Composes a translator along an explicit Siro node path, the caller
     /// choosing the route instead of the cost model — the byte-identity
     /// matrix checks and difftest's path-selection fuzzing exercise
     /// router alternates this way. Hops resolve through the process-wide
@@ -739,22 +1024,22 @@ impl Router {
             let config = SynthesisConfig::new(a, b);
             let fp = crate::cache::corpus_fingerprint(&corpus);
             hops.push(ComposedHop {
-                from: a,
-                to: b,
-                outcome: lookup.outcome,
+                from: a.into(),
+                to: b.into(),
+                kind: HopKind::Siro(lookup.outcome),
                 entry_file: StoreKey::new(&config, fp).file_name(),
             });
             edges.push(EdgeInfo {
-                from: a,
-                to: b,
+                from: a.into(),
+                to: b.into(),
                 class: EdgeClass::Hot,
                 observed_us: None,
                 cost_us: COST_HOT_US,
             });
         }
         let plan = RoutePlan {
-            from: path[0],
-            to: *path.last().expect("non-empty path"),
+            from: path[0].into(),
+            to: (*path.last().expect("non-empty path")).into(),
             cost_us: edges.iter().map(|e| e.cost_us).sum(),
             hops: edges,
         };
@@ -775,32 +1060,40 @@ impl Router {
     }
 }
 
-/// The persist key of a composed chain, e.g. `c13.0-t3.6-9e3779b97f4a7c15`:
-/// the pair plus an FNV-1a hash over the ordered hop entry file names, so a
-/// different path (or different hop knobs) gets a different key.
+/// Edge class for a cross-dialect anchor, or `None` when `(s, w)` is not
+/// an anchor pair — the non-edge that makes unbridged cross-dialect
+/// requests unreachable.
+fn anchor_class(s: IrVersion, w: WirVersion, store: Option<&TranslatorStore>) -> Option<EdgeClass> {
+    if !is_anchor_pair(s, w) {
+        return None;
+    }
+    Some(if bridge_is_hot(s, w) {
+        EdgeClass::Hot
+    } else if store.is_some_and(|st| st.named_path(&bridge_store_name(s, w)).exists()) {
+        EdgeClass::Warm
+    } else {
+        EdgeClass::Cold
+    })
+}
+
+/// The persist key of a composed chain, e.g. `c13.0-t3.6-9e3779b97f4a7c15`
+/// or `c13.0-twir1.0-…` for a cross-dialect chain: the pair plus an FNV-1a
+/// hash over the ordered hop entry file names, so a different path (or
+/// different hop knobs) gets a different key. Siro endpoints render
+/// exactly as they did before dialects existed, so pre-dialect keys are
+/// unchanged byte for byte.
 pub fn chain_persist_key<'a>(
-    from: IrVersion,
-    to: IrVersion,
+    from: impl Into<DialectVersion>,
+    to: impl Into<DialectVersion>,
     entry_files: impl Iterator<Item = &'a str>,
 ) -> String {
+    let (from, to) = (from.into(), to.into());
     let mut bytes = Vec::new();
     for file in entry_files {
         bytes.extend_from_slice(file.as_bytes());
         bytes.push(0);
     }
-    format!(
-        "c{}.{}-t{}.{}-{:016x}",
-        from.major(),
-        from.minor(),
-        to.major(),
-        to.minor(),
-        fnv1a64(&bytes),
-    )
-}
-
-fn parse_version(s: &str) -> Option<IrVersion> {
-    let (maj, min) = s.split_once('.')?;
-    Some(IrVersion::new(maj.parse().ok()?, min.parse().ok()?))
+    format!("c{from}-t{to}-{:016x}", fnv1a64(&bytes))
 }
 
 /// Validates a persisted chain manifest against a store: every named hop
@@ -808,15 +1101,15 @@ fn parse_version(s: &str) -> Option<IrVersion> {
 pub fn chain_hops_if_whole(
     store: &TranslatorStore,
     manifest: &str,
-) -> Option<Vec<(IrVersion, IrVersion)>> {
+) -> Option<Vec<(DialectVersion, DialectVersion)>> {
     let mut hops = Vec::new();
     for line in manifest.lines() {
         let Some(rest) = line.strip_prefix("hop ") else {
             continue;
         };
         let mut parts = rest.split(' ');
-        let from = parse_version(parts.next()?)?;
-        let to = parse_version(parts.next()?)?;
+        let from: DialectVersion = parts.next()?.parse().ok()?;
+        let to: DialectVersion = parts.next()?.parse().ok()?;
         let entry_file = parts.next()?;
         if !store.dir().join(entry_file).exists() {
             return None;
@@ -865,46 +1158,42 @@ mod tests {
     fn warm_hops_beat_a_cold_direct_edge() {
         // Hand-build a graph where 13.0->3.6 direct is cold but the two
         // hops through 12.0 are hot: the cheapest path must compose.
-        let mk = |from, to, class, cost_us| EdgeInfo {
-            from,
-            to,
+        let mk = |from: IrVersion, to: IrVersion, class, cost_us| EdgeInfo {
+            from: from.into(),
+            to: to.into(),
             class,
             observed_us: None,
             cost_us,
         };
         let (a, m, b) = (IrVersion::V13_0, IrVersion::V12_0, IrVersion::V3_6);
-        let mut edges = HashMap::new();
-        edges.insert((a, b), mk(a, b, EdgeClass::Cold, COST_COLD_US));
-        edges.insert((a, m), mk(a, m, EdgeClass::Hot, COST_HOT_US));
-        edges.insert((m, b), mk(m, b, EdgeClass::Hot, COST_HOT_US));
-        let g = VersionGraph {
-            nodes: vec![a, m, b],
-            edges,
-        };
+        let g = VersionGraph::from_edges(
+            vec![a, m, b],
+            vec![
+                mk(a, b, EdgeClass::Cold, COST_COLD_US),
+                mk(a, m, EdgeClass::Hot, COST_HOT_US),
+                mk(m, b, EdgeClass::Hot, COST_HOT_US),
+            ],
+        );
         let plan = g.cheapest_path(a, b).expect("path");
         assert_eq!(plan.hop_count(), 2, "{}", plan.describe());
-        assert_eq!(plan.hops[0].to, m);
+        assert_eq!(plan.hops[0].to, m.into());
         assert_eq!(plan.cost_us, 2 * COST_HOT_US);
     }
 
     #[test]
     fn ties_prefer_fewer_hops() {
-        let mk = |from, to, cost_us| EdgeInfo {
-            from,
-            to,
+        let mk = |from: IrVersion, to: IrVersion, cost_us| EdgeInfo {
+            from: from.into(),
+            to: to.into(),
             class: EdgeClass::Hot,
             observed_us: None,
             cost_us,
         };
         let (a, m, b) = (IrVersion::V13_0, IrVersion::V12_0, IrVersion::V3_6);
-        let mut edges = HashMap::new();
-        edges.insert((a, b), mk(a, b, 20));
-        edges.insert((a, m), mk(a, m, 10));
-        edges.insert((m, b), mk(m, b, 10));
-        let g = VersionGraph {
-            nodes: vec![a, m, b],
-            edges,
-        };
+        let g = VersionGraph::from_edges(
+            vec![a, m, b],
+            vec![mk(a, b, 20), mk(a, m, 10), mk(m, b, 10)],
+        );
         let plan = g.cheapest_path(a, b).expect("path");
         assert_eq!(plan.hop_count(), 1, "equal cost must stay direct");
     }
@@ -984,5 +1273,99 @@ mod tests {
         let k4 = chain_persist_key(from, to, via_4.into_iter());
         assert_ne!(k12, k4, "different paths must get different keys");
         assert!(k12.starts_with("c13.0-t3.6-"));
+    }
+
+    // ---- dialect-aware routing ------------------------------------------
+
+    #[test]
+    fn nodes_are_keyed_by_dialect_and_version() {
+        let g = Router::with_wir().graph();
+        let wir1: DialectVersion = WirVersion::W1_0.into();
+        let wir2: DialectVersion = WirVersion::W2_0.into();
+        // WIR pairs always have an edge; anchors bridge the dialects; a
+        // non-anchor cross pair has no edge at all.
+        assert!(g.edge(wir1, wir2).is_some(), "wir catalog pair");
+        assert!(
+            g.edge(IrVersion::V13_0, wir2).is_some(),
+            "anchor bridge edge"
+        );
+        assert!(
+            g.edge(IrVersion::V13_0, wir1).is_none(),
+            "non-anchor cross pair must not get an edge"
+        );
+    }
+
+    #[test]
+    fn cross_dialect_plans_route_through_an_anchor() {
+        let r = Router::with_wir();
+        let plan = r
+            .plan(IrVersion::V13_0, WirVersion::W1_0)
+            .expect("route exists via the 13.0<->wir2.0 anchor");
+        assert!(plan.hop_count() >= 2, "{}", plan.describe());
+        assert!(
+            plan.hops.iter().any(|h| h.from.dialect != h.to.dialect),
+            "the plan must contain a bridge hop: {}",
+            plan.describe()
+        );
+    }
+
+    #[test]
+    fn missing_bridge_reports_unreachable_not_a_bogus_chain() {
+        // A node set with both dialects but no anchor pair present: the
+        // cross-dialect request must be *unreachable*, and acquisition
+        // must surface that as an error instead of fabricating a chain.
+        let r = Router::over_dialects(vec![
+            IrVersion::V3_6.into(),
+            IrVersion::V4_0.into(),
+            WirVersion::W1_0.into(),
+        ]);
+        assert!(r.plan(IrVersion::V3_6, WirVersion::W1_0).is_none());
+        let err = r
+            .acquire(IrVersion::V3_6, WirVersion::W1_0)
+            .expect_err("must not fabricate a chain");
+        assert!(
+            err.to_string().contains("no route"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn wir_pairs_acquire_composed_chains_that_translate() {
+        let r = Router::with_wir();
+        let acquired = r
+            .acquire(WirVersion::W1_0, WirVersion::W2_0)
+            .expect("wir pair acquires");
+        let RouteOutcome::Composed(chain) = &acquired.outcome else {
+            panic!("wir routes are served as composed chains");
+        };
+        assert_eq!(chain.hop_count(), 1);
+        let m = siro_wir::generate_straightline(7, WirVersion::W1_0);
+        let out = chain
+            .translate_any_owned(AnyModule::Wir(m.clone()))
+            .expect("translates");
+        let AnyModule::Wir(w) = out else {
+            panic!("wir chain must end at a wir module");
+        };
+        assert_eq!(w.version, WirVersion::W2_0);
+        // Behaviour preserved across the synthesized hop.
+        assert_eq!(
+            crate::bridge::wir_behaviour(&m),
+            crate::bridge::wir_behaviour(&w)
+        );
+    }
+
+    #[test]
+    fn siro_chains_refuse_a_wir_module() {
+        let r = Router::with_wir();
+        let acquired = r
+            .acquire(WirVersion::W1_0, WirVersion::W2_0)
+            .expect("wir pair acquires");
+        let RouteOutcome::Composed(chain) = &acquired.outcome else {
+            panic!("composed expected");
+        };
+        // Feeding the wrong dialect through the typed entry point fails
+        // loudly instead of mis-translating.
+        let m = Module::new("m", IrVersion::V13_0);
+        assert!(chain.translate_module(&m).is_err());
     }
 }

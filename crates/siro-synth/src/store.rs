@@ -1123,6 +1123,58 @@ impl TranslatorStore {
         (fnv1a64(body.as_bytes()) == expected).then_some(body)
     }
 
+    /// The path of a named plaintext entry (`name` carries its own
+    /// extension, e.g. `w1.0-t3.0.sirw`).
+    pub fn named_path(&self, name: &str) -> PathBuf {
+        self.config.dir.join(name)
+    }
+
+    /// Atomically persists a named plaintext entry with a trailing FNV-1a
+    /// checksum line — the persistence channel for non-Siro translator
+    /// payloads (`.sirw` WIR translators, `.sirb` bridge certificates)
+    /// that share the store directory with `.sirt`/`.sirx`/`.sirc`
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (the temp file is cleaned up).
+    pub fn save_named(&self, name: &str, text: &str) -> io::Result<()> {
+        let mut bytes = text.as_bytes().to_vec();
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(format!("checksum {checksum:016x}\n").as_bytes());
+        let final_path = self.named_path(name);
+        let tmp_path = self.config.dir.join(format!(
+            ".{name}.{}.{}.tmp",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        let write = (|| -> io::Result<()> {
+            let mut f = fs::File::create(&tmp_path)?;
+            io::Write::write_all(&mut f, &bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp_path, &final_path)
+        })();
+        if write.is_err() {
+            let _ = fs::remove_file(&tmp_path);
+            return write;
+        }
+        siro_trace::counter("store.named_writes", 1);
+        Ok(())
+    }
+
+    /// Loads a named plaintext entry and validates its checksum line.
+    /// Returns the body (checksum line stripped); a missing file or a
+    /// checksum mismatch returns `None` — the caller re-synthesizes.
+    pub fn load_named(&self, name: &str) -> Option<String> {
+        let text = fs::read_to_string(self.named_path(name)).ok()?;
+        let body = text.strip_suffix('\n').unwrap_or(&text);
+        let (body, checksum_line) = body.rsplit_once('\n')?;
+        let body = format!("{body}\n");
+        let expected = checksum_line.strip_prefix("checksum ")?;
+        let expected = u64::from_str_radix(expected.trim(), 16).ok()?;
+        (fnv1a64(body.as_bytes()) == expected).then_some(body)
+    }
+
     /// Lists every persisted `.sirc` chain manifest path.
     ///
     /// # Errors

@@ -1,0 +1,295 @@
+//! Hand-written WIR conformance programs.
+//!
+//! These are the WIR analogue of `siro_ir::corpus`: small, deliberately
+//! tricky modules used three ways — as parse/print/interp conformance
+//! goldens in the root `ir_conformance` suite, as the oracle corpus for
+//! WIR→WIR synthesis, and as seed programs for the differential mutator.
+//! Each case is written against the *lowest* version whose features it
+//! needs, so every case can also be re-versioned upward.
+
+use crate::inst::{WBin, WCmp, WTy, WirInst};
+use crate::module::{WirFunc, WirModule};
+use crate::version::WirVersion;
+
+/// A named conformance program.
+pub struct WirCase {
+    /// Stable case name (used in golden file paths).
+    pub name: &'static str,
+    /// The lowest version the case is valid at.
+    pub min_version: WirVersion,
+    /// Builds the module at the given version (must be `>= min_version`).
+    pub build: fn(WirVersion) -> WirModule,
+}
+
+fn module_one(name: &str, version: WirVersion, f: WirFunc) -> WirModule {
+    let mut m = WirModule::new(name, version);
+    m.funcs.push(f);
+    m
+}
+
+/// `(7 + 35) * 1 = 42` — pure straight-line arithmetic.
+fn c_arith(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    f.body.alloc(WirInst::Const(WTy::I32, 7));
+    f.body.alloc(WirInst::Const(WTy::I32, 35));
+    f.body.alloc(WirInst::Binop(WTy::I32, WBin::Add));
+    f.body.alloc(WirInst::Const(WTy::I32, 1));
+    f.body.alloc(WirInst::Binop(WTy::I32, WBin::Mul));
+    f.body.alloc(WirInst::Return);
+    module_one("arith", v, f)
+}
+
+/// Signed division edge semantics: `i32::MIN / -1` traps in WIR.
+fn c_div_overflow(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    f.body.alloc(WirInst::Const(WTy::I32, i32::MIN as i64));
+    f.body.alloc(WirInst::Const(WTy::I32, -1));
+    f.body.alloc(WirInst::Binop(WTy::I32, WBin::DivS));
+    f.body.alloc(WirInst::Return);
+    module_one("div_overflow", v, f)
+}
+
+/// `i32::MIN % -1 = 0` — no trap, unlike division.
+fn c_rem_edge(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    f.body.alloc(WirInst::Const(WTy::I32, i32::MIN as i64));
+    f.body.alloc(WirInst::Const(WTy::I32, -1));
+    f.body.alloc(WirInst::Binop(WTy::I32, WBin::RemS));
+    f.body.alloc(WirInst::Return);
+    module_one("rem_edge", v, f)
+}
+
+/// Locals and a conditional skip: `x = 5; block { br_if eqz(0); x = 9 }; x`
+/// — the branch is taken, so the store is skipped and `x` stays 5.
+fn c_block_skip(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    let x = f.alloc_local(WTy::I32);
+    f.body.alloc(WirInst::Const(WTy::I32, 5));
+    f.body.alloc(WirInst::LocalSet(x));
+    f.body.alloc(WirInst::Block);
+    f.body.alloc(WirInst::Const(WTy::I32, 0));
+    f.body.alloc(WirInst::Eqz(WTy::I32));
+    f.body.alloc(WirInst::BrIf(0));
+    f.body.alloc(WirInst::Const(WTy::I32, 9));
+    f.body.alloc(WirInst::LocalSet(x));
+    f.body.alloc(WirInst::End);
+    f.body.alloc(WirInst::LocalGet(x));
+    f.body.alloc(WirInst::Return);
+    module_one("block_skip", v, f)
+}
+
+/// Sum 0..10 with a counting loop; result 45.
+fn c_loop_sum(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    let i = f.alloc_local(WTy::I32);
+    let acc = f.alloc_local(WTy::I32);
+    f.body.alloc(WirInst::Loop);
+    f.body.alloc(WirInst::LocalGet(acc));
+    f.body.alloc(WirInst::LocalGet(i));
+    f.body.alloc(WirInst::Binop(WTy::I32, WBin::Add));
+    f.body.alloc(WirInst::LocalSet(acc));
+    f.body.alloc(WirInst::LocalGet(i));
+    f.body.alloc(WirInst::Const(WTy::I32, 1));
+    f.body.alloc(WirInst::Binop(WTy::I32, WBin::Add));
+    f.body.alloc(WirInst::LocalSet(i));
+    f.body.alloc(WirInst::LocalGet(i));
+    f.body.alloc(WirInst::Const(WTy::I32, 10));
+    f.body.alloc(WirInst::Cmp(WTy::I32, WCmp::LtS));
+    f.body.alloc(WirInst::BrIf(0));
+    f.body.alloc(WirInst::End);
+    f.body.alloc(WirInst::LocalGet(acc));
+    f.body.alloc(WirInst::Return);
+    module_one("loop_sum", v, f)
+}
+
+/// Cross-function call: `main` calls `sq(6)`; result 36.
+fn c_call(v: WirVersion) -> WirModule {
+    let mut m = WirModule::new("call", v);
+    let mut sq = WirFunc::new("sq", vec![WTy::I32], Some(WTy::I32));
+    sq.body.alloc(WirInst::LocalGet(0));
+    sq.body.alloc(WirInst::LocalGet(0));
+    sq.body.alloc(WirInst::Binop(WTy::I32, WBin::Mul));
+    sq.body.alloc(WirInst::Return);
+    m.funcs.push(sq);
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    f.body.alloc(WirInst::Const(WTy::I32, 6));
+    f.body.alloc(WirInst::Call(0));
+    f.body.alloc(WirInst::Return);
+    m.funcs.push(f);
+    m
+}
+
+/// i64 shifts mask the count mod 64: `1 << 65 == 2`.
+fn c_shift_mask(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    f.body.alloc(WirInst::Const(WTy::I64, 1));
+    f.body.alloc(WirInst::Const(WTy::I64, 65));
+    f.body.alloc(WirInst::Binop(WTy::I64, WBin::Shl));
+    f.body.alloc(WirInst::Const(WTy::I64, 2));
+    f.body.alloc(WirInst::Cmp(WTy::I64, WCmp::Eq));
+    f.body.alloc(WirInst::Return);
+    module_one("shift_mask", v, f)
+}
+
+/// 2.0+: `select`/`local.tee` — `tee x = 3; select(x, 30, 40) = 30`.
+fn c_select_tee(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    let x = f.alloc_local(WTy::I32);
+    f.body.alloc(WirInst::Const(WTy::I32, 3));
+    f.body.alloc(WirInst::LocalTee(x));
+    f.body.alloc(WirInst::Drop);
+    f.body.alloc(WirInst::Const(WTy::I32, 30));
+    f.body.alloc(WirInst::Const(WTy::I32, 40));
+    f.body.alloc(WirInst::LocalGet(x));
+    f.body.alloc(WirInst::Select);
+    f.body.alloc(WirInst::Return);
+    module_one("select_tee", v, f)
+}
+
+/// 3.0+: `br_table` three-way dispatch on 1 → middle arm → 200.
+fn c_br_table(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    let r = f.alloc_local(WTy::I32);
+    f.body.alloc(WirInst::Block); // depth 2 exit
+    f.body.alloc(WirInst::Block); // depth 1 -> arm 1
+    f.body.alloc(WirInst::Block); // depth 0 -> arm 0
+    f.body.alloc(WirInst::Const(WTy::I32, 1));
+    f.body.alloc(WirInst::BrTable(vec![0, 1, 2]));
+    f.body.alloc(WirInst::End);
+    f.body.alloc(WirInst::Const(WTy::I32, 100));
+    f.body.alloc(WirInst::LocalSet(r));
+    f.body.alloc(WirInst::Br(1));
+    f.body.alloc(WirInst::End);
+    f.body.alloc(WirInst::Const(WTy::I32, 200));
+    f.body.alloc(WirInst::LocalSet(r));
+    f.body.alloc(WirInst::Br(0));
+    f.body.alloc(WirInst::End);
+    f.body.alloc(WirInst::LocalGet(r));
+    f.body.alloc(WirInst::Return);
+    module_one("br_table", v, f)
+}
+
+/// Division by zero traps.
+fn c_div_zero(v: WirVersion) -> WirModule {
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    f.body.alloc(WirInst::Const(WTy::I32, 42));
+    f.body.alloc(WirInst::Const(WTy::I32, 0));
+    f.body.alloc(WirInst::Binop(WTy::I32, WBin::RemS));
+    f.body.alloc(WirInst::Return);
+    module_one("div_zero", v, f)
+}
+
+/// The conformance corpus, ordered by minimum version.
+pub const CASES: &[WirCase] = &[
+    WirCase {
+        name: "arith",
+        min_version: WirVersion::W1_0,
+        build: c_arith,
+    },
+    WirCase {
+        name: "div_overflow",
+        min_version: WirVersion::W1_0,
+        build: c_div_overflow,
+    },
+    WirCase {
+        name: "rem_edge",
+        min_version: WirVersion::W1_0,
+        build: c_rem_edge,
+    },
+    WirCase {
+        name: "div_zero",
+        min_version: WirVersion::W1_0,
+        build: c_div_zero,
+    },
+    WirCase {
+        name: "block_skip",
+        min_version: WirVersion::W1_0,
+        build: c_block_skip,
+    },
+    WirCase {
+        name: "loop_sum",
+        min_version: WirVersion::W1_0,
+        build: c_loop_sum,
+    },
+    WirCase {
+        name: "call",
+        min_version: WirVersion::W1_0,
+        build: c_call,
+    },
+    WirCase {
+        name: "shift_mask",
+        min_version: WirVersion::W1_0,
+        build: c_shift_mask,
+    },
+    WirCase {
+        name: "select_tee",
+        min_version: WirVersion::W2_0,
+        build: c_select_tee,
+    },
+    WirCase {
+        name: "br_table",
+        min_version: WirVersion::W3_0,
+        build: c_br_table,
+    },
+];
+
+/// The cases valid at `version`, instantiated there.
+pub fn cases_at(version: WirVersion) -> Vec<WirModule> {
+    CASES
+        .iter()
+        .filter(|c| c.min_version <= version)
+        .map(|c| (c.build)(version))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{WirExec, WirMachine, WirTrap};
+    use crate::validate::verify_module;
+
+    #[test]
+    fn every_case_validates_at_every_admitting_version() {
+        for c in CASES {
+            for v in WirVersion::CATALOG {
+                if c.min_version <= v {
+                    let m = (c.build)(v);
+                    verify_module(&m).unwrap_or_else(|e| panic!("{} @ {v}: {e}", c.name));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_results() {
+        let run = |m: &WirModule| WirMachine::new(m).run_main().result;
+        assert_eq!(run(&c_arith(WirVersion::W1_0)), WirExec::Value(42));
+        assert_eq!(
+            run(&c_div_overflow(WirVersion::W1_0)),
+            WirExec::Trap(WirTrap::IntegerOverflow)
+        );
+        assert_eq!(run(&c_rem_edge(WirVersion::W1_0)), WirExec::Value(0));
+        assert_eq!(
+            run(&c_div_zero(WirVersion::W1_0)),
+            WirExec::Trap(WirTrap::DivByZero)
+        );
+        assert_eq!(run(&c_block_skip(WirVersion::W1_0)), WirExec::Value(5));
+        assert_eq!(run(&c_loop_sum(WirVersion::W1_0)), WirExec::Value(45));
+        assert_eq!(run(&c_call(WirVersion::W1_0)), WirExec::Value(36));
+        assert_eq!(run(&c_shift_mask(WirVersion::W1_0)), WirExec::Value(1));
+        assert_eq!(run(&c_select_tee(WirVersion::W2_0)), WirExec::Value(30));
+        assert_eq!(run(&c_br_table(WirVersion::W3_0)), WirExec::Value(200));
+    }
+
+    #[test]
+    fn cases_round_trip_through_text_at_every_version() {
+        for v in WirVersion::CATALOG {
+            for m in cases_at(v) {
+                let text = crate::write::write_module(&m);
+                let back = crate::parse::parse_module(&text)
+                    .unwrap_or_else(|e| panic!("{} @ {v}: {e}\n{text}", m.name));
+                assert_eq!(crate::write::write_module(&back), text);
+            }
+        }
+    }
+}

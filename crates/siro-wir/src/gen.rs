@@ -1,0 +1,318 @@
+//! Seeded WIR program generation for property tests and fuzzing.
+//!
+//! Two generators, both deterministic in `(seed, version)` and both
+//! producing modules that validate by construction:
+//!
+//! * [`generate_module`] — the general generator: straight-line arithmetic
+//!   plus structured control (block-skip, bounded loops, and `br_table`
+//!   dispatch where the version allows), used by the round-trip property
+//!   tests and the WIR→WIR differential oracle.
+//! * [`generate_straightline`] — the raisable subset (no control flow, no
+//!   calls), used by the cross-dialect fuzz loop; it deliberately
+//!   over-samples division edge cases (`0`, `-1`, `MIN`) because that is
+//!   where the two dialects' semantics genuinely differ.
+
+use siro_rng::{Rng, SeedableRng, StdRng};
+
+use crate::inst::{WBin, WCmp, WTy, WirInst};
+use crate::module::{WirFunc, WirModule};
+use crate::version::WirVersion;
+
+/// Interesting i32 constants, over-weighting arithmetic edge cases.
+const CONST_POOL: [i64; 10] = [
+    0,
+    1,
+    -1,
+    2,
+    7,
+    42,
+    -1_000_003,
+    i32::MAX as i64,
+    i32::MIN as i64,
+    13,
+];
+
+struct Gen {
+    rng: StdRng,
+    version: WirVersion,
+}
+
+impl Gen {
+    fn konst(&mut self) -> WirInst {
+        WirInst::Const(
+            WTy::I32,
+            CONST_POOL[self.rng.gen_range(0..CONST_POOL.len())],
+        )
+    }
+
+    /// Emits instructions pushing exactly one i32 onto the stack.
+    fn expr(&mut self, f: &mut WirFunc, depth: usize) {
+        let n_locals = f.local_count() as u32;
+        let choice = if depth == 0 {
+            self.rng.gen_range(0..2)
+        } else {
+            self.rng.gen_range(0..8)
+        };
+        match choice {
+            0 => {
+                let c = self.konst();
+                f.body.alloc(c);
+            }
+            1 => {
+                let i = self.rng.gen_range(0..n_locals);
+                f.body.alloc(WirInst::LocalGet(i));
+            }
+            2 | 3 => {
+                self.expr(f, depth - 1);
+                self.expr(f, depth - 1);
+                let op = WBin::ALL[self.rng.gen_range(0..WBin::ALL.len())];
+                f.body.alloc(WirInst::Binop(WTy::I32, op));
+            }
+            4 => {
+                self.expr(f, depth - 1);
+                self.expr(f, depth - 1);
+                let op = WCmp::ALL[self.rng.gen_range(0..WCmp::ALL.len())];
+                f.body.alloc(WirInst::Cmp(WTy::I32, op));
+            }
+            5 => {
+                self.expr(f, depth - 1);
+                f.body.alloc(WirInst::Eqz(WTy::I32));
+            }
+            6 if self.version.supports(crate::inst::WKind::Select) => {
+                self.expr(f, depth - 1);
+                self.expr(f, depth - 1);
+                self.expr(f, depth - 1);
+                f.body.alloc(WirInst::Select);
+            }
+            7 if self.version.supports(crate::inst::WKind::LocalTee) => {
+                self.expr(f, depth - 1);
+                let i = self.rng.gen_range(0..n_locals);
+                f.body.alloc(WirInst::LocalTee(i));
+            }
+            _ => {
+                let c = self.konst();
+                f.body.alloc(c);
+            }
+        }
+    }
+
+    /// Emits a height-neutral statement.
+    fn stmt(&mut self, f: &mut WirFunc) {
+        match self.rng.gen_range(0..6) {
+            // expr; local.set
+            0 | 1 => {
+                self.expr(f, 2);
+                let i = self.rng.gen_range(0..f.local_count() as u32);
+                f.body.alloc(WirInst::LocalSet(i));
+            }
+            // expr; drop
+            2 => {
+                self.expr(f, 2);
+                f.body.alloc(WirInst::Drop);
+            }
+            // block (cond br_if 0) set end — conditionally skip a store
+            3 => {
+                f.body.alloc(WirInst::Block);
+                self.expr(f, 1);
+                f.body.alloc(WirInst::BrIf(0));
+                self.expr(f, 1);
+                let i = self.rng.gen_range(0..f.local_count() as u32);
+                f.body.alloc(WirInst::LocalSet(i));
+                f.body.alloc(WirInst::End);
+            }
+            // bounded counting loop over a fresh local
+            4 => {
+                let c = f.alloc_local(WTy::I32);
+                let bound = self.rng.gen_range(2..8);
+                f.body.alloc(WirInst::Const(WTy::I32, 0));
+                f.body.alloc(WirInst::LocalSet(c));
+                f.body.alloc(WirInst::Loop);
+                f.body.alloc(WirInst::LocalGet(c));
+                f.body.alloc(WirInst::Const(WTy::I32, 1));
+                f.body.alloc(WirInst::Binop(WTy::I32, WBin::Add));
+                f.body.alloc(WirInst::LocalSet(c));
+                f.body.alloc(WirInst::LocalGet(c));
+                f.body.alloc(WirInst::Const(WTy::I32, bound));
+                f.body.alloc(WirInst::Cmp(WTy::I32, WCmp::LtS));
+                f.body.alloc(WirInst::BrIf(0));
+                f.body.alloc(WirInst::End);
+            }
+            // br_table dispatch (3.0+), else nop padding
+            _ => {
+                if self.version.supports(crate::inst::WKind::BrTable) {
+                    f.body.alloc(WirInst::Block);
+                    f.body.alloc(WirInst::Block);
+                    self.expr(f, 1);
+                    let default = self.rng.gen_range(0..2) as u32;
+                    f.body.alloc(WirInst::BrTable(vec![0, 1, default]));
+                    f.body.alloc(WirInst::End);
+                    self.expr(f, 1);
+                    let i = self.rng.gen_range(0..f.local_count() as u32);
+                    f.body.alloc(WirInst::LocalSet(i));
+                    f.body.alloc(WirInst::End);
+                } else {
+                    f.body.alloc(WirInst::Nop);
+                }
+            }
+        }
+    }
+}
+
+/// Generates a valid single-function module exercising the version's full
+/// instruction set (locals, blocks, loops, dispatch).
+pub fn generate_module(seed: u64, version: WirVersion) -> WirModule {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed ^ 0x5751_C0DE),
+        version,
+    };
+    let mut m = WirModule::new(format!("gen{seed:x}"), version);
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    for _ in 0..g.rng.gen_range(2..5usize) {
+        f.alloc_local(WTy::I32);
+    }
+    let n_stmts = g.rng.gen_range(1..4usize);
+    for _ in 0..n_stmts {
+        g.stmt(&mut f);
+    }
+    g.expr(&mut f, 2);
+    f.body.alloc(WirInst::Return);
+    m.funcs.push(f);
+    debug_assert!(
+        crate::validate::verify_module(&m).is_ok(),
+        "generator produced an invalid module for seed {seed}: {:?}",
+        crate::validate::verify_module(&m)
+    );
+    m
+}
+
+/// Generates a valid, control-flow-free module (the raisable subset used
+/// by the cross-dialect oracle).
+pub fn generate_straightline(seed: u64, version: WirVersion) -> WirModule {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed ^ 0x5751_F1A7),
+        version,
+    };
+    let mut m = WirModule::new(format!("flat{seed:x}"), version);
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    for _ in 0..g.rng.gen_range(1..4usize) {
+        f.alloc_local(WTy::I32);
+    }
+    for _ in 0..g.rng.gen_range(0..3usize) {
+        // Straight-line statements only: stores and drops.
+        if g.rng.gen_bool(0.7) {
+            g.flat_expr(&mut f, 2);
+            let i = g.rng.gen_range(0..f.local_count() as u32);
+            f.body.alloc(WirInst::LocalSet(i));
+        } else {
+            g.flat_expr(&mut f, 2);
+            f.body.alloc(WirInst::Drop);
+        }
+    }
+    g.flat_expr(&mut f, 2);
+    f.body.alloc(WirInst::Return);
+    m.funcs.push(f);
+    debug_assert!(crate::validate::verify_module(&m).is_ok());
+    m
+}
+
+impl Gen {
+    /// Like [`Gen::expr`] but never emits control flow (no tee either, to
+    /// keep the subset raisable into pure SSA data flow).
+    fn flat_expr(&mut self, f: &mut WirFunc, depth: usize) {
+        let n_locals = f.local_count() as u32;
+        let choice = if depth == 0 {
+            self.rng.gen_range(0..2)
+        } else {
+            self.rng.gen_range(0..7)
+        };
+        match choice {
+            0 => {
+                let c = self.konst();
+                f.body.alloc(c);
+            }
+            1 => {
+                let i = self.rng.gen_range(0..n_locals);
+                f.body.alloc(WirInst::LocalGet(i));
+            }
+            // Over-weight div/rem: that is where dialects disagree.
+            2 | 3 => {
+                self.flat_expr(f, depth - 1);
+                self.flat_expr(f, depth - 1);
+                let op = if self.rng.gen_bool(0.4) {
+                    if self.rng.gen_bool(0.5) {
+                        WBin::DivS
+                    } else {
+                        WBin::RemS
+                    }
+                } else {
+                    WBin::ALL[self.rng.gen_range(0..WBin::ALL.len())]
+                };
+                f.body.alloc(WirInst::Binop(WTy::I32, op));
+            }
+            4 => {
+                self.flat_expr(f, depth - 1);
+                self.flat_expr(f, depth - 1);
+                let op = WCmp::ALL[self.rng.gen_range(0..WCmp::ALL.len())];
+                f.body.alloc(WirInst::Cmp(WTy::I32, op));
+            }
+            5 => {
+                self.flat_expr(f, depth - 1);
+                f.body.alloc(WirInst::Eqz(WTy::I32));
+            }
+            6 if self.version.supports(crate::inst::WKind::Select) => {
+                self.flat_expr(f, depth - 1);
+                self.flat_expr(f, depth - 1);
+                self.flat_expr(f, depth - 1);
+                f.body.alloc(WirInst::Select);
+            }
+            _ => {
+                let c = self.konst();
+                f.body.alloc(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::WirMachine;
+    use crate::validate::verify_module;
+
+    #[test]
+    fn generated_modules_validate_and_run_for_every_version() {
+        for version in WirVersion::CATALOG {
+            for seed in 0..50 {
+                let m = generate_module(seed, version);
+                verify_module(&m).unwrap_or_else(|e| panic!("seed {seed} @ {version}: {e}"));
+                let out = WirMachine::new(&m).with_fuel(100_000).run_main();
+                // Fuel is generous; the bounded loops always terminate.
+                assert!(out.steps <= 100_000);
+            }
+        }
+    }
+
+    #[test]
+    fn straightline_modules_avoid_control_flow() {
+        for seed in 0..50 {
+            let m = generate_straightline(seed, WirVersion::W2_0);
+            verify_module(&m).expect("valid");
+            assert!(m.funcs[0].body.iter().all(|i| !matches!(
+                i.kind(),
+                crate::inst::WKind::Block
+                    | crate::inst::WKind::Loop
+                    | crate::inst::WKind::Br
+                    | crate::inst::WKind::BrIf
+                    | crate::inst::WKind::BrTable
+                    | crate::inst::WKind::Call
+            )));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = crate::write::write_module(&generate_module(7, WirVersion::W3_0));
+        let b = crate::write::write_module(&generate_module(7, WirVersion::W3_0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,343 @@
+//! WIR instructions: a small, typed, wasm-shaped stack-machine ISA.
+//!
+//! Every instruction is an enum variant carrying its immediates inline; the
+//! operand *values* live on the implicit evaluation stack, so unlike
+//! `siro_ir::Instruction` there is no operand list. Control flow is
+//! structured: `block`/`loop` open a labelled region closed by `end`, and
+//! `br`/`br_if`/`br_table` jump to an enclosing label by relative depth
+//! (0 = innermost).
+
+use std::fmt;
+
+/// A WIR value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WTy {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+}
+
+impl WTy {
+    /// Both value types, in canonical order.
+    pub const ALL: [WTy; 2] = [WTy::I32, WTy::I64];
+
+    /// The type's textual name (`i32` / `i64`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            WTy::I32 => "i32",
+            WTy::I64 => "i64",
+        }
+    }
+
+    /// Parses `i32` / `i64`.
+    pub fn parse(s: &str) -> Option<WTy> {
+        match s {
+            "i32" => Some(WTy::I32),
+            "i64" => Some(WTy::I64),
+            _ => None,
+        }
+    }
+
+    /// Bit width (32 / 64).
+    pub const fn bits(self) -> u32 {
+        match self {
+            WTy::I32 => 32,
+            WTy::I64 => 64,
+        }
+    }
+}
+
+impl fmt::Display for WTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+macro_rules! w_enum {
+    ($(#[$meta:meta])* $name:ident { $($(#[$vmeta:meta])* $variant:ident => $text:literal),+ $(,)? }) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $name {
+            $($(#[$vmeta])* $variant),+
+        }
+
+        impl $name {
+            /// All variants, in canonical order.
+            pub const ALL: [$name; [$($name::$variant),+].len()] = [$($name::$variant),+];
+
+            /// The variant's textual mnemonic.
+            pub const fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $text),+
+                }
+            }
+
+            /// Parses a mnemonic back into the variant.
+            pub fn parse(s: &str) -> Option<$name> {
+                match s {
+                    $($text => Some($name::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+    };
+}
+
+w_enum! {
+    /// Two-operand arithmetic/bitwise operators (`ty.op` in the text form).
+    WBin {
+        /// Wrapping addition.
+        Add => "add",
+        /// Wrapping subtraction.
+        Sub => "sub",
+        /// Wrapping multiplication.
+        Mul => "mul",
+        /// Signed division; traps on division by zero and on overflow
+        /// (`MIN / -1`), like wasm and unlike Siro's wrapping `sdiv`.
+        DivS => "div_s",
+        /// Signed remainder; traps on zero divisor, `MIN % -1` is 0.
+        RemS => "rem_s",
+        /// Bitwise and.
+        And => "and",
+        /// Bitwise or.
+        Or => "or",
+        /// Bitwise xor.
+        Xor => "xor",
+        /// Shift left; the count is masked modulo the bit width.
+        Shl => "shl",
+        /// Arithmetic shift right; the count is masked modulo the bit width.
+        ShrS => "shr_s",
+    }
+}
+
+w_enum! {
+    /// Two-operand comparisons pushing an `i32` 0/1.
+    WCmp {
+        /// Equal.
+        Eq => "eq",
+        /// Not equal.
+        Ne => "ne",
+        /// Signed less-than.
+        LtS => "lt_s",
+        /// Signed greater-than.
+        GtS => "gt_s",
+        /// Signed less-or-equal.
+        LeS => "le_s",
+        /// Signed greater-or-equal.
+        GeS => "ge_s",
+    }
+}
+
+/// One WIR instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WirInst {
+    /// Push an integer constant of the given type.
+    Const(WTy, i64),
+    /// Pop two values of the type, push the operator's result.
+    Binop(WTy, WBin),
+    /// Pop two values of the type, push an `i32` 0/1.
+    Cmp(WTy, WCmp),
+    /// Pop one value of the type, push an `i32` 1 if it was zero else 0.
+    Eqz(WTy),
+    /// Push local `n`.
+    LocalGet(u32),
+    /// Pop into local `n`.
+    LocalSet(u32),
+    /// Pop into local `n` and push the value back (2.0+).
+    LocalTee(u32),
+    /// Pop `cond:i32`, `b`, `a`; push `a` if `cond != 0` else `b` (2.0+).
+    Select,
+    /// Pop and discard one value.
+    Drop,
+    /// Do nothing.
+    Nop,
+    /// Open a block label; `br` to it jumps past the matching `end`.
+    Block,
+    /// Open a loop label; `br` to it jumps back to the loop head.
+    Loop,
+    /// Close the innermost `block`/`loop`.
+    End,
+    /// Unconditional branch to the label `depth` levels out.
+    Br(u32),
+    /// Pop an `i32`; branch if it is non-zero.
+    BrIf(u32),
+    /// Pop an `i32` index; branch to `targets[i]`, or to the last entry
+    /// (the default) when out of range (3.0+).
+    BrTable(Vec<u32>),
+    /// Return from the function (popping the result value, if any).
+    Return,
+    /// Call function `n` of the module.
+    Call(u32),
+}
+
+/// The kind (shape) of a [`WirInst`], used for version gating and as the
+/// synthesizer's translation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WKind {
+    /// [`WirInst::Const`].
+    Const,
+    /// [`WirInst::Binop`].
+    Binop,
+    /// [`WirInst::Cmp`].
+    Cmp,
+    /// [`WirInst::Eqz`].
+    Eqz,
+    /// [`WirInst::LocalGet`].
+    LocalGet,
+    /// [`WirInst::LocalSet`].
+    LocalSet,
+    /// [`WirInst::LocalTee`].
+    LocalTee,
+    /// [`WirInst::Select`].
+    Select,
+    /// [`WirInst::Drop`].
+    Drop,
+    /// [`WirInst::Nop`].
+    Nop,
+    /// [`WirInst::Block`].
+    Block,
+    /// [`WirInst::Loop`].
+    Loop,
+    /// [`WirInst::End`].
+    End,
+    /// [`WirInst::Br`].
+    Br,
+    /// [`WirInst::BrIf`].
+    BrIf,
+    /// [`WirInst::BrTable`].
+    BrTable,
+    /// [`WirInst::Return`].
+    Return,
+    /// [`WirInst::Call`].
+    Call,
+}
+
+impl WKind {
+    /// Every kind, in canonical order.
+    pub const ALL: [WKind; 18] = [
+        WKind::Const,
+        WKind::Binop,
+        WKind::Cmp,
+        WKind::Eqz,
+        WKind::LocalGet,
+        WKind::LocalSet,
+        WKind::LocalTee,
+        WKind::Select,
+        WKind::Drop,
+        WKind::Nop,
+        WKind::Block,
+        WKind::Loop,
+        WKind::End,
+        WKind::Br,
+        WKind::BrIf,
+        WKind::BrTable,
+        WKind::Return,
+        WKind::Call,
+    ];
+
+    /// A stable lowercase name for reports and persisted translators.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WKind::Const => "const",
+            WKind::Binop => "binop",
+            WKind::Cmp => "cmp",
+            WKind::Eqz => "eqz",
+            WKind::LocalGet => "local_get",
+            WKind::LocalSet => "local_set",
+            WKind::LocalTee => "local_tee",
+            WKind::Select => "select",
+            WKind::Drop => "drop",
+            WKind::Nop => "nop",
+            WKind::Block => "block",
+            WKind::Loop => "loop",
+            WKind::End => "end",
+            WKind::Br => "br",
+            WKind::BrIf => "br_if",
+            WKind::BrTable => "br_table",
+            WKind::Return => "return",
+            WKind::Call => "call",
+        }
+    }
+
+    /// Parses [`WKind::name`] output.
+    pub fn parse(s: &str) -> Option<WKind> {
+        WKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for WKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl WirInst {
+    /// This instruction's [`WKind`].
+    pub fn kind(&self) -> WKind {
+        match self {
+            WirInst::Const(..) => WKind::Const,
+            WirInst::Binop(..) => WKind::Binop,
+            WirInst::Cmp(..) => WKind::Cmp,
+            WirInst::Eqz(..) => WKind::Eqz,
+            WirInst::LocalGet(..) => WKind::LocalGet,
+            WirInst::LocalSet(..) => WKind::LocalSet,
+            WirInst::LocalTee(..) => WKind::LocalTee,
+            WirInst::Select => WKind::Select,
+            WirInst::Drop => WKind::Drop,
+            WirInst::Nop => WKind::Nop,
+            WirInst::Block => WKind::Block,
+            WirInst::Loop => WKind::Loop,
+            WirInst::End => WKind::End,
+            WirInst::Br(..) => WKind::Br,
+            WirInst::BrIf(..) => WKind::BrIf,
+            WirInst::BrTable(..) => WKind::BrTable,
+            WirInst::Return => WKind::Return,
+            WirInst::Call(..) => WKind::Call,
+        }
+    }
+
+    /// Whether execution never continues to the textually next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            WirInst::Br(..) | WirInst::BrTable(..) | WirInst::Return
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for b in WBin::ALL {
+            assert_eq!(WBin::parse(b.name()), Some(b));
+        }
+        for c in WCmp::ALL {
+            assert_eq!(WCmp::parse(c.name()), Some(c));
+        }
+        for k in WKind::ALL {
+            assert_eq!(WKind::parse(k.name()), Some(k));
+        }
+        // The binop and cmp mnemonic namespaces must not collide: the
+        // parser resolves `ty.xxx` by trying both tables.
+        for b in WBin::ALL {
+            assert_eq!(WCmp::parse(b.name()), None);
+        }
+    }
+
+    #[test]
+    fn kind_covers_every_variant() {
+        assert_eq!(WirInst::Const(WTy::I32, 1).kind(), WKind::Const);
+        assert_eq!(WirInst::BrTable(vec![0]).kind(), WKind::BrTable);
+        assert_eq!(WKind::ALL.len(), 18);
+    }
+}

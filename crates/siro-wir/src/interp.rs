@@ -1,0 +1,541 @@
+//! The WIR interpreter: the dialect's differential-testing oracle.
+//!
+//! Mirrors `siro_ir::interp::Machine`'s role: fuel-limited, deterministic,
+//! and trap-classifying. Semantics are wasm's, which is where WIR and Siro
+//! genuinely diverge: `div_s` traps on overflow (`MIN / -1`) where Siro's
+//! `sdiv` wraps — the divergence the first cross-dialect regression
+//! artifact records. Shift counts are masked modulo the bit width in both
+//! dialects, so shifts do *not* diverge.
+
+use crate::inst::{WBin, WCmp, WTy, WirInst};
+use crate::module::{WirFunc, WirModule};
+
+/// Default fuel budget (interpreted instructions) for [`WirMachine`].
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// Maximum call depth before [`WirTrap::CallDepth`].
+pub const MAX_CALL_DEPTH: usize = 64;
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WirTrap {
+    /// `div_s`/`rem_s` with a zero divisor.
+    DivByZero,
+    /// `div_s` overflow: `MIN / -1` (wasm traps; Siro wraps).
+    IntegerOverflow,
+    /// The fuel budget ran out.
+    FuelExhausted,
+    /// Call depth exceeded [`MAX_CALL_DEPTH`].
+    CallDepth,
+    /// The module has no `main` function.
+    NoMain,
+    /// The module is malformed (only reachable on unvalidated modules).
+    Malformed,
+}
+
+impl WirTrap {
+    /// Stable lowercase name, used in behaviour strings and artifacts.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WirTrap::DivByZero => "div-by-zero",
+            WirTrap::IntegerOverflow => "integer-overflow",
+            WirTrap::FuelExhausted => "fuel-exhausted",
+            WirTrap::CallDepth => "call-depth",
+            WirTrap::NoMain => "no-main",
+            WirTrap::Malformed => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for WirTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WirExec {
+    /// `main` produced a value (i32 results are sign-extended to i64).
+    Value(i64),
+    /// `main` has no result type and returned normally.
+    NoValue,
+    /// Execution trapped.
+    Trap(WirTrap),
+}
+
+/// The result of a [`WirMachine`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirOutcome {
+    /// How execution ended.
+    pub result: WirExec,
+    /// Number of instructions interpreted.
+    pub steps: u64,
+}
+
+impl WirOutcome {
+    /// The returned integer, if execution produced one.
+    pub fn return_int(&self) -> Option<i64> {
+        match self.result {
+            WirExec::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A fuel-limited WIR interpreter over one module.
+#[derive(Debug)]
+pub struct WirMachine<'m> {
+    module: &'m WirModule,
+    fuel: u64,
+}
+
+struct Ctrl {
+    is_loop: bool,
+    /// Body index of the `block`/`loop` instruction.
+    start: usize,
+    /// Body index of the matching `end`.
+    end: usize,
+    entry_height: usize,
+}
+
+enum Flow {
+    Done(Option<i64>),
+    Trap(WirTrap),
+}
+
+impl<'m> WirMachine<'m> {
+    /// Creates a machine with the default fuel budget.
+    pub fn new(module: &'m WirModule) -> Self {
+        WirMachine {
+            module,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Replaces the fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `main` with no arguments.
+    pub fn run_main(mut self) -> WirOutcome {
+        let Some(main_idx) = self.module.func_index("main") else {
+            return WirOutcome {
+                result: WirExec::Trap(WirTrap::NoMain),
+                steps: 0,
+            };
+        };
+        let main = &self.module.funcs[main_idx as usize];
+        if !main.params.is_empty() {
+            return WirOutcome {
+                result: WirExec::Trap(WirTrap::Malformed),
+                steps: 0,
+            };
+        }
+        let mut steps = 0u64;
+        let flow = self.run_func(main_idx, &[], 0, &mut steps);
+        let result = match flow {
+            Flow::Done(Some(v)) => WirExec::Value(v),
+            Flow::Done(None) => WirExec::NoValue,
+            Flow::Trap(t) => WirExec::Trap(t),
+        };
+        WirOutcome { result, steps }
+    }
+
+    fn run_func(&mut self, func: u32, args: &[i64], depth: usize, steps: &mut u64) -> Flow {
+        if depth > MAX_CALL_DEPTH {
+            return Flow::Trap(WirTrap::CallDepth);
+        }
+        let Some(f) = self.module.funcs.get(func as usize) else {
+            return Flow::Trap(WirTrap::Malformed);
+        };
+        let mut locals = vec![0i64; f.local_count()];
+        locals[..args.len()].copy_from_slice(args);
+        let ends = match match_ends(f) {
+            Some(e) => e,
+            None => return Flow::Trap(WirTrap::Malformed),
+        };
+
+        let mut stack: Vec<i64> = Vec::new();
+        let mut ctrl: Vec<Ctrl> = Vec::new();
+        let mut ip = 0usize;
+        macro_rules! pop {
+            () => {
+                match stack.pop() {
+                    Some(v) => v,
+                    None => return Flow::Trap(WirTrap::Malformed),
+                }
+            };
+        }
+        while ip < f.body.len() {
+            if self.fuel == 0 {
+                return Flow::Trap(WirTrap::FuelExhausted);
+            }
+            self.fuel -= 1;
+            *steps += 1;
+            match &f.body[ip] {
+                WirInst::Const(ty, v) => stack.push(norm(*ty, *v)),
+                WirInst::Binop(ty, op) => {
+                    let b = pop!();
+                    let a = pop!();
+                    match binop(*ty, *op, a, b) {
+                        Ok(v) => stack.push(v),
+                        Err(t) => return Flow::Trap(t),
+                    }
+                }
+                WirInst::Cmp(ty, op) => {
+                    let b = norm(*ty, pop!());
+                    let a = norm(*ty, pop!());
+                    stack.push(cmp(*op, a, b) as i64);
+                }
+                WirInst::Eqz(ty) => {
+                    let v = norm(*ty, pop!());
+                    stack.push((v == 0) as i64);
+                }
+                WirInst::LocalGet(i) => match locals.get(*i as usize) {
+                    Some(v) => stack.push(*v),
+                    None => return Flow::Trap(WirTrap::Malformed),
+                },
+                WirInst::LocalSet(i) => {
+                    let v = pop!();
+                    match locals.get_mut(*i as usize) {
+                        Some(slot) => *slot = v,
+                        None => return Flow::Trap(WirTrap::Malformed),
+                    }
+                }
+                WirInst::LocalTee(i) => {
+                    let v = match stack.last() {
+                        Some(v) => *v,
+                        None => return Flow::Trap(WirTrap::Malformed),
+                    };
+                    match locals.get_mut(*i as usize) {
+                        Some(slot) => *slot = v,
+                        None => return Flow::Trap(WirTrap::Malformed),
+                    }
+                }
+                WirInst::Select => {
+                    let c = pop!();
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(if c as i32 != 0 { a } else { b });
+                }
+                WirInst::Drop => {
+                    pop!();
+                }
+                WirInst::Nop => {}
+                WirInst::Block | WirInst::Loop => ctrl.push(Ctrl {
+                    is_loop: matches!(f.body[ip], WirInst::Loop),
+                    start: ip,
+                    end: ends[ip],
+                    entry_height: stack.len(),
+                }),
+                WirInst::End => {
+                    ctrl.pop();
+                }
+                WirInst::Br(d) => {
+                    branch(&mut ctrl, &mut stack, &mut ip, *d);
+                    continue;
+                }
+                WirInst::BrIf(d) => {
+                    if pop!() as i32 != 0 {
+                        branch(&mut ctrl, &mut stack, &mut ip, *d);
+                        continue;
+                    }
+                }
+                WirInst::BrTable(targets) => {
+                    let i = pop!() as i32;
+                    let d = if i >= 0 && (i as usize) < targets.len() - 1 {
+                        targets[i as usize]
+                    } else {
+                        *targets.last().expect("parser requires a default")
+                    };
+                    branch(&mut ctrl, &mut stack, &mut ip, d);
+                    continue;
+                }
+                WirInst::Return => {
+                    return match f.result {
+                        Some(ty) => Flow::Done(Some(norm(ty, pop!()))),
+                        None => Flow::Done(None),
+                    };
+                }
+                WirInst::Call(idx) => {
+                    let Some(callee) = self.module.funcs.get(*idx as usize) else {
+                        return Flow::Trap(WirTrap::Malformed);
+                    };
+                    let n = callee.params.len();
+                    if stack.len() < n {
+                        return Flow::Trap(WirTrap::Malformed);
+                    }
+                    let args: Vec<i64> = stack.split_off(stack.len() - n);
+                    let has_result = callee.result.is_some();
+                    match self.run_func(*idx, &args, depth + 1, steps) {
+                        Flow::Done(Some(v)) if has_result => stack.push(v),
+                        Flow::Done(_) => {}
+                        trap @ Flow::Trap(_) => return trap,
+                    }
+                }
+            }
+            ip += 1;
+        }
+        // Implicit return by falling off the end.
+        match f.result {
+            Some(ty) => match stack.pop() {
+                Some(v) => Flow::Done(Some(norm(ty, v))),
+                None => Flow::Trap(WirTrap::Malformed),
+            },
+            None => Flow::Done(None),
+        }
+    }
+}
+
+/// Jumps to branch target `d` labels out, unwinding control frames and
+/// truncating the operand stack to the target frame's entry height.
+fn branch(ctrl: &mut Vec<Ctrl>, stack: &mut Vec<i64>, ip: &mut usize, d: u32) {
+    let idx = ctrl.len() - 1 - d as usize;
+    let target = &ctrl[idx];
+    stack.truncate(target.entry_height);
+    if target.is_loop {
+        // Branch to a loop re-enters it at the instruction after the
+        // `loop` head; the loop frame stays live.
+        *ip = target.start + 1;
+        ctrl.truncate(idx + 1);
+    } else {
+        *ip = target.end + 1;
+        ctrl.truncate(idx);
+    }
+}
+
+/// Matches each `block`/`loop` body index to its `end` index.
+fn match_ends(f: &WirFunc) -> Option<Vec<usize>> {
+    let mut ends = vec![0usize; f.body.len()];
+    let mut open: Vec<usize> = Vec::new();
+    for (i, inst) in f.body.iter().enumerate() {
+        match inst {
+            WirInst::Block | WirInst::Loop => open.push(i),
+            WirInst::End => {
+                let start = open.pop()?;
+                ends[start] = i;
+            }
+            _ => {}
+        }
+    }
+    open.is_empty().then_some(ends)
+}
+
+/// Truncates `v` to `ty`'s width and sign-extends back to i64.
+fn norm(ty: WTy, v: i64) -> i64 {
+    match ty {
+        WTy::I32 => v as i32 as i64,
+        WTy::I64 => v,
+    }
+}
+
+fn binop(ty: WTy, op: WBin, a: i64, b: i64) -> Result<i64, WirTrap> {
+    let a = norm(ty, a);
+    let b = norm(ty, b);
+    let bits = ty.bits();
+    let v = match op {
+        WBin::Add => a.wrapping_add(b),
+        WBin::Sub => a.wrapping_sub(b),
+        WBin::Mul => a.wrapping_mul(b),
+        WBin::DivS => {
+            if b == 0 {
+                return Err(WirTrap::DivByZero);
+            }
+            let min = match ty {
+                WTy::I32 => i32::MIN as i64,
+                WTy::I64 => i64::MIN,
+            };
+            if a == min && b == -1 {
+                // wasm `div_s` traps on overflow; Siro's `sdiv` wraps here.
+                return Err(WirTrap::IntegerOverflow);
+            }
+            a.wrapping_div(b)
+        }
+        WBin::RemS => {
+            if b == 0 {
+                return Err(WirTrap::DivByZero);
+            }
+            // `MIN % -1` is defined (0) in wasm — no overflow trap.
+            a.wrapping_rem(b)
+        }
+        WBin::And => a & b,
+        WBin::Or => a | b,
+        WBin::Xor => a ^ b,
+        WBin::Shl => {
+            let sh = (b as u32) % bits;
+            a.wrapping_shl(sh)
+        }
+        WBin::ShrS => {
+            let sh = (b as u32) % bits;
+            a.wrapping_shr(sh)
+        }
+    };
+    Ok(norm(ty, v))
+}
+
+fn cmp(op: WCmp, a: i64, b: i64) -> bool {
+    match op {
+        WCmp::Eq => a == b,
+        WCmp::Ne => a != b,
+        WCmp::LtS => a < b,
+        WCmp::GtS => a > b,
+        WCmp::LeS => a <= b,
+        WCmp::GeS => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::WirVersion;
+
+    fn run(body: Vec<WirInst>) -> WirExec {
+        let mut m = WirModule::new("t", WirVersion::W3_0);
+        let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+        f.body.extend(body);
+        m.funcs.push(f);
+        crate::validate::verify_module(&m).expect("test body must validate");
+        WirMachine::new(&m).run_main().result
+    }
+
+    #[test]
+    fn arithmetic_and_implicit_return() {
+        let r = run(vec![
+            WirInst::Const(WTy::I32, 40),
+            WirInst::Const(WTy::I32, 2),
+            WirInst::Binop(WTy::I32, WBin::Add),
+        ]);
+        assert_eq!(r, WirExec::Value(42));
+    }
+
+    #[test]
+    fn div_s_traps_on_zero_and_overflow_but_rem_s_overflow_is_zero() {
+        let div = |a: i64, b: i64, op: WBin| {
+            run(vec![
+                WirInst::Const(WTy::I32, a),
+                WirInst::Const(WTy::I32, b),
+                WirInst::Binop(WTy::I32, op),
+            ])
+        };
+        assert_eq!(div(5, 0, WBin::DivS), WirExec::Trap(WirTrap::DivByZero));
+        assert_eq!(
+            div(i32::MIN as i64, -1, WBin::DivS),
+            WirExec::Trap(WirTrap::IntegerOverflow)
+        );
+        assert_eq!(div(i32::MIN as i64, -1, WBin::RemS), WirExec::Value(0));
+        assert_eq!(div(7, 2, WBin::DivS), WirExec::Value(3));
+        assert_eq!(div(-7, 2, WBin::RemS), WirExec::Value(-1));
+    }
+
+    #[test]
+    fn shift_counts_mask_modulo_width() {
+        let r = run(vec![
+            WirInst::Const(WTy::I32, 1),
+            WirInst::Const(WTy::I32, 33),
+            WirInst::Binop(WTy::I32, WBin::Shl),
+        ]);
+        assert_eq!(r, WirExec::Value(2));
+    }
+
+    #[test]
+    fn loop_counts_to_ten() {
+        // local0 = 0; loop { local0 += 1; br_if(local0 < 10) } return local0
+        let mut m = WirModule::new("t", WirVersion::W1_0);
+        let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+        let l = f.alloc_local(WTy::I32);
+        f.body.extend(vec![
+            WirInst::Loop,
+            WirInst::LocalGet(l),
+            WirInst::Const(WTy::I32, 1),
+            WirInst::Binop(WTy::I32, WBin::Add),
+            WirInst::LocalSet(l),
+            WirInst::LocalGet(l),
+            WirInst::Const(WTy::I32, 10),
+            WirInst::Cmp(WTy::I32, WCmp::LtS),
+            WirInst::BrIf(0),
+            WirInst::End,
+            WirInst::LocalGet(l),
+            WirInst::Return,
+        ]);
+        m.funcs.push(f);
+        crate::validate::verify_module(&m).expect("valid");
+        let out = WirMachine::new(&m).run_main();
+        assert_eq!(out.result, WirExec::Value(10));
+        assert!(out.steps > 9 * 9);
+    }
+
+    #[test]
+    fn block_branch_skips_forward() {
+        let r = run(vec![
+            WirInst::Block,
+            WirInst::Const(WTy::I32, 1),
+            WirInst::BrIf(0),
+            WirInst::Nop,
+            WirInst::End,
+            WirInst::Const(WTy::I32, 5),
+            WirInst::Return,
+        ]);
+        assert_eq!(r, WirExec::Value(5));
+    }
+
+    #[test]
+    fn br_table_selects_depth() {
+        // block block (i=1) br_table [1 0 / default 0] → depth 1 (outer)
+        let r = run(vec![
+            WirInst::Block,
+            WirInst::Block,
+            WirInst::Const(WTy::I32, 0),
+            WirInst::BrTable(vec![1, 0]),
+            WirInst::End,
+            WirInst::Const(WTy::I32, 7),
+            WirInst::Return,
+            WirInst::End,
+            WirInst::Const(WTy::I32, 9),
+            WirInst::Return,
+        ]);
+        assert_eq!(r, WirExec::Value(9));
+    }
+
+    #[test]
+    fn calls_pass_args_and_fuel_is_shared() {
+        let mut m = WirModule::new("t", WirVersion::W1_0);
+        let mut main = WirFunc::new("main", vec![], Some(WTy::I32));
+        main.body.extend(vec![
+            WirInst::Const(WTy::I32, 20),
+            WirInst::Const(WTy::I32, 22),
+            WirInst::Call(1),
+            WirInst::Return,
+        ]);
+        let mut add = WirFunc::new("add", vec![WTy::I32, WTy::I32], Some(WTy::I32));
+        add.body.extend(vec![
+            WirInst::LocalGet(0),
+            WirInst::LocalGet(1),
+            WirInst::Binop(WTy::I32, WBin::Add),
+            WirInst::Return,
+        ]);
+        m.funcs.push(main);
+        m.funcs.push(add);
+        crate::validate::verify_module(&m).expect("valid");
+        assert_eq!(WirMachine::new(&m).run_main().result, WirExec::Value(42));
+        assert_eq!(
+            WirMachine::new(&m).with_fuel(3).run_main().result,
+            WirExec::Trap(WirTrap::FuelExhausted)
+        );
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let mut m = WirModule::new("t", WirVersion::W1_0);
+        let mut f = WirFunc::new("main", vec![], None);
+        f.body
+            .extend(vec![WirInst::Loop, WirInst::Br(0), WirInst::End]);
+        m.funcs.push(f);
+        crate::validate::verify_module(&m).expect("valid");
+        let out = WirMachine::new(&m).with_fuel(1000).run_main();
+        assert_eq!(out.result, WirExec::Trap(WirTrap::FuelExhausted));
+        assert_eq!(out.steps, 1000);
+    }
+}

@@ -1,0 +1,154 @@
+//! WIR modules and functions.
+//!
+//! Function bodies live in the same typed-arena infrastructure as Siro IR:
+//! [`WirInst`] implements `siro_ir`'s [`Entity`] trait with its own
+//! thread-local recycling slab, so a serve worker's parse → translate →
+//! serialize churn over WIR modules reuses buffer capacity exactly like the
+//! Siro path does (see `docs/IR_CORE.md`). [`wir_slab_depth`] exposes the
+//! slab depth for the bounded-recycling property tests.
+
+use std::cell::RefCell;
+
+use siro_ir::{Arena, Entity};
+
+use crate::inst::{WTy, WirInst};
+use crate::version::WirVersion;
+
+thread_local! {
+    static WIR_INST_SLAB: RefCell<Vec<Vec<WirInst>>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Entity for WirInst {
+    const PTR_NAME: &'static str = "WInstId";
+
+    fn with_slab<R>(f: impl FnOnce(&mut Vec<Vec<Self>>) -> R) -> R {
+        WIR_INST_SLAB.with(|s| f(&mut s.borrow_mut()))
+    }
+}
+
+/// Number of parked [`WirInst`] buffers in this thread's recycling slab.
+///
+/// The WIR counterpart of `siro_ir::ctx::slab_depths`; bounded by the same
+/// slab constant, which the round-trip property tests assert.
+pub fn wir_slab_depth() -> usize {
+    WirInst::with_slab(|s| s.len())
+}
+
+/// One WIR function: a typed signature plus a flat, structured body.
+///
+/// The local index space is the parameters followed by the declared extra
+/// locals, wasm-style: local `i < params.len()` is the `i`-th parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirFunc {
+    /// Symbolic name (`$name` in the text format).
+    pub name: String,
+    /// Parameter types (also the first locals).
+    pub params: Vec<WTy>,
+    /// Result type; `None` for no result.
+    pub result: Option<WTy>,
+    /// Extra local declarations, zero-initialized at entry.
+    pub locals: Vec<WTy>,
+    /// The body, in textual order. Structured control flow: `block`/`loop`
+    /// regions are closed by `end` within this sequence.
+    pub body: Arena<WirInst>,
+}
+
+impl WirFunc {
+    /// Creates an empty function with the given signature.
+    pub fn new(name: impl Into<String>, params: Vec<WTy>, result: Option<WTy>) -> Self {
+        WirFunc {
+            name: name.into(),
+            params,
+            result,
+            locals: Vec::new(),
+            body: Arena::new(),
+        }
+    }
+
+    /// Total number of locals (parameters + extras).
+    pub fn local_count(&self) -> usize {
+        self.params.len() + self.locals.len()
+    }
+
+    /// The type of local `i`, if it exists.
+    pub fn local_ty(&self, i: u32) -> Option<WTy> {
+        let i = i as usize;
+        if i < self.params.len() {
+            Some(self.params[i])
+        } else {
+            self.locals.get(i - self.params.len()).copied()
+        }
+    }
+
+    /// Appends a fresh local of type `ty` and returns its index.
+    pub fn alloc_local(&mut self, ty: WTy) -> u32 {
+        self.locals.push(ty);
+        (self.params.len() + self.locals.len() - 1) as u32
+    }
+}
+
+/// A WIR module: a named collection of functions at one [`WirVersion`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirModule {
+    /// Module name (`(module $name)` in the text format).
+    pub name: String,
+    /// The version whose instruction set and text format this module uses.
+    pub version: WirVersion,
+    /// Functions, in declaration order; [`WirInst::Call`] indexes this.
+    pub funcs: Vec<WirFunc>,
+}
+
+impl WirModule {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>, version: WirVersion) -> Self {
+        WirModule {
+            name: name.into(),
+            version,
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Index of the function named `name`.
+    pub fn func_index(&self, name: &str) -> Option<u32> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// The entry function (`main`), if present.
+    pub fn main(&self) -> Option<&WirFunc> {
+        self.funcs.iter().find(|f| f.name == "main")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_index_space_covers_params_then_locals() {
+        let mut f = WirFunc::new("f", vec![WTy::I32, WTy::I64], Some(WTy::I32));
+        assert_eq!(f.local_ty(0), Some(WTy::I32));
+        assert_eq!(f.local_ty(1), Some(WTy::I64));
+        assert_eq!(f.local_ty(2), None);
+        let l = f.alloc_local(WTy::I32);
+        assert_eq!(l, 2);
+        assert_eq!(f.local_ty(2), Some(WTy::I32));
+        assert_eq!(f.local_count(), 3);
+    }
+
+    #[test]
+    fn body_arena_recycles_through_the_wir_slab() {
+        let baseline = wir_slab_depth();
+        {
+            let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+            f.body.alloc(WirInst::Const(WTy::I32, 1));
+            f.body.alloc(WirInst::Return);
+        }
+        assert_eq!(wir_slab_depth(), baseline + 1);
+        let f = WirFunc::new("main", vec![], None);
+        assert_eq!(wir_slab_depth(), baseline);
+        drop(f);
+    }
+}

@@ -1,0 +1,155 @@
+//! The WIR version catalog.
+//!
+//! WIR's catalog evolves the way [`siro_ir::IrVersion`] does: each release
+//! gates instructions and changes the builder API surface in one of the
+//! paper's three breakage shapes — renamed components, reordered
+//! parameters, and representation migrations (named vs. opaque function
+//! references in the text format).
+
+use std::fmt;
+
+use siro_ir::DialectVersion;
+
+use crate::inst::WKind;
+
+/// A major.minor WIR version, e.g. `1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use siro_wir::WirVersion;
+/// assert!(WirVersion::W2_0 > WirVersion::W1_0);
+/// assert_eq!(WirVersion::W1_0.to_string(), "1.0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WirVersion {
+    major: u16,
+    minor: u16,
+}
+
+impl WirVersion {
+    /// The base release: no `select`, no `local.tee`, no `br_table`;
+    /// builders are named `emit_*`.
+    pub const W1_0: WirVersion = WirVersion::new(1, 0);
+    /// Adds `select` and `local.tee`; renames every builder `emit_*` →
+    /// `build_*`.
+    pub const W2_0: WirVersion = WirVersion::new(2, 0);
+    /// Adds `br_table`; swaps the binop builder's `(type, op)` parameters
+    /// to `(op, type)`; call sites print opaque `@fN` references instead of
+    /// `$name`.
+    pub const W3_0: WirVersion = WirVersion::new(3, 0);
+
+    /// Every WIR version, oldest first.
+    pub const CATALOG: [WirVersion; 3] = [Self::W1_0, Self::W2_0, Self::W3_0];
+
+    /// Creates a version from raw major/minor numbers.
+    pub const fn new(major: u16, minor: u16) -> Self {
+        WirVersion { major, minor }
+    }
+
+    /// The major component.
+    pub const fn major(self) -> u16 {
+        self.major
+    }
+
+    /// The minor component.
+    pub const fn minor(self) -> u16 {
+        self.minor
+    }
+
+    /// Whether this version's instruction set contains `kind`.
+    pub fn supports(self, kind: WKind) -> bool {
+        match kind {
+            WKind::Select | WKind::LocalTee => self >= Self::W2_0,
+            WKind::BrTable => self >= Self::W3_0,
+            _ => true,
+        }
+    }
+
+    /// Instruction kinds available in this version, in canonical order.
+    pub fn instruction_set(self) -> Vec<WKind> {
+        WKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| self.supports(*k))
+            .collect()
+    }
+
+    // ---- API / serialization quirks -------------------------------------
+
+    /// Since 2.0, builders are named `build_*` instead of `emit_*`.
+    pub fn renamed_builders(self) -> bool {
+        self >= Self::W2_0
+    }
+
+    /// Since 3.0, the binop builder takes `(op, type)` instead of
+    /// `(type, op)`.
+    pub fn reordered_binop_params(self) -> bool {
+        self >= Self::W3_0
+    }
+
+    /// Since 3.0, call sites print opaque function references (`call @f0`)
+    /// instead of symbolic names (`call $main`).
+    pub fn opaque_func_refs_in_text(self) -> bool {
+        self >= Self::W3_0
+    }
+}
+
+impl fmt::Display for WirVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+impl From<WirVersion> for DialectVersion {
+    fn from(v: WirVersion) -> Self {
+        DialectVersion::wir(v.major, v.minor)
+    }
+}
+
+impl TryFrom<DialectVersion> for WirVersion {
+    type Error = String;
+
+    fn try_from(v: DialectVersion) -> Result<Self, String> {
+        match v.dialect {
+            siro_ir::Dialect::Wir => Ok(WirVersion::new(v.major, v.minor)),
+            siro_ir::Dialect::Siro => Err(format!("{v} is not a WIR version")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gating_follows_the_catalog_story() {
+        assert!(!WirVersion::W1_0.supports(WKind::Select));
+        assert!(!WirVersion::W1_0.supports(WKind::LocalTee));
+        assert!(WirVersion::W2_0.supports(WKind::Select));
+        assert!(!WirVersion::W2_0.supports(WKind::BrTable));
+        assert!(WirVersion::W3_0.supports(WKind::BrTable));
+        assert_eq!(
+            WirVersion::W1_0.instruction_set().len(),
+            WKind::ALL.len() - 3
+        );
+        assert_eq!(WirVersion::W3_0.instruction_set().len(), WKind::ALL.len());
+    }
+
+    #[test]
+    fn quirks_are_monotone() {
+        assert!(!WirVersion::W1_0.renamed_builders());
+        assert!(WirVersion::W2_0.renamed_builders());
+        assert!(!WirVersion::W2_0.reordered_binop_params());
+        assert!(WirVersion::W3_0.reordered_binop_params());
+        assert!(WirVersion::W3_0.opaque_func_refs_in_text());
+    }
+
+    #[test]
+    fn dialect_version_round_trip() {
+        let d: DialectVersion = WirVersion::W2_0.into();
+        assert_eq!(d.to_string(), "wir2.0");
+        assert_eq!(WirVersion::try_from(d).unwrap(), WirVersion::W2_0);
+        assert!(WirVersion::try_from(DialectVersion::siro(13, 0)).is_err());
+    }
+}

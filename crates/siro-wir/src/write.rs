@@ -1,0 +1,132 @@
+//! The WIR writer: canonical text serialization.
+//!
+//! The format is line-based and wat-flavoured. The writer is canonical —
+//! fixed indentation (two spaces per nesting level), one instruction per
+//! line — so `parse(write(m))` reprints byte-identically, which the
+//! conformance goldens and the warm-serve round-trip gates rely on.
+//!
+//! ```text
+//! ;; wir 2.0
+//! (module $demo)
+//! (func $main (result i32)
+//!   (local i32)
+//!   i32.const 40
+//!   i32.const 2
+//!   i32.add
+//!   return
+//! )
+//! ```
+//!
+//! Version quirks: from 3.0 on, call sites print the opaque function
+//! reference `call @fN` instead of the symbolic `call $name`.
+
+use std::fmt::Write as _;
+
+use crate::inst::WirInst;
+use crate::module::{WirFunc, WirModule};
+
+/// Serializes `m` into the canonical text form.
+pub fn write_module(m: &WirModule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ";; wir {}", m.version);
+    let _ = writeln!(out, "(module ${})", m.name);
+    for f in &m.funcs {
+        write_func(&mut out, m, f);
+    }
+    out
+}
+
+fn write_func(out: &mut String, m: &WirModule, f: &WirFunc) {
+    out.push_str("(func $");
+    out.push_str(&f.name);
+    if !f.params.is_empty() {
+        out.push_str(" (param");
+        for p in &f.params {
+            let _ = write!(out, " {p}");
+        }
+        out.push(')');
+    }
+    if let Some(r) = f.result {
+        let _ = write!(out, " (result {r})");
+    }
+    out.push('\n');
+    if !f.locals.is_empty() {
+        out.push_str("  (local");
+        for l in &f.locals {
+            let _ = write!(out, " {l}");
+        }
+        out.push_str(")\n");
+    }
+    let mut depth: usize = 0;
+    for inst in f.body.iter() {
+        if matches!(inst, WirInst::End) {
+            depth = depth.saturating_sub(1);
+        }
+        for _ in 0..depth + 1 {
+            out.push_str("  ");
+        }
+        write_inst(out, m, inst);
+        out.push('\n');
+        if matches!(inst, WirInst::Block | WirInst::Loop) {
+            depth += 1;
+        }
+    }
+    out.push_str(")\n");
+}
+
+fn write_inst(out: &mut String, m: &WirModule, inst: &WirInst) {
+    match inst {
+        WirInst::Const(ty, v) => {
+            let _ = write!(out, "{ty}.const {v}");
+        }
+        WirInst::Binop(ty, op) => {
+            let _ = write!(out, "{ty}.{op}");
+        }
+        WirInst::Cmp(ty, op) => {
+            let _ = write!(out, "{ty}.{op}");
+        }
+        WirInst::Eqz(ty) => {
+            let _ = write!(out, "{ty}.eqz");
+        }
+        WirInst::LocalGet(i) => {
+            let _ = write!(out, "local.get {i}");
+        }
+        WirInst::LocalSet(i) => {
+            let _ = write!(out, "local.set {i}");
+        }
+        WirInst::LocalTee(i) => {
+            let _ = write!(out, "local.tee {i}");
+        }
+        WirInst::Select => out.push_str("select"),
+        WirInst::Drop => out.push_str("drop"),
+        WirInst::Nop => out.push_str("nop"),
+        WirInst::Block => out.push_str("block"),
+        WirInst::Loop => out.push_str("loop"),
+        WirInst::End => out.push_str("end"),
+        WirInst::Br(d) => {
+            let _ = write!(out, "br {d}");
+        }
+        WirInst::BrIf(d) => {
+            let _ = write!(out, "br_if {d}");
+        }
+        WirInst::BrTable(targets) => {
+            out.push_str("br_table");
+            for t in targets {
+                let _ = write!(out, " {t}");
+            }
+        }
+        WirInst::Return => out.push_str("return"),
+        WirInst::Call(idx) => {
+            if m.version.opaque_func_refs_in_text() {
+                let _ = write!(out, "call @f{idx}");
+            } else {
+                let name = m
+                    .funcs
+                    .get(*idx as usize)
+                    .map(|f| f.name.as_str())
+                    .unwrap_or("?");
+                let _ = write!(out, "call ${name}");
+            }
+        }
+    }
+}

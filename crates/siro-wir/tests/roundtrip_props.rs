@@ -1,0 +1,109 @@
+//! Randomized round-trip and determinism properties for every WIR version.
+//!
+//! The dialect-generic counterpart of the Siro parser/printer property
+//! tests: for a large seeded corpus at each [`WirVersion`] in the catalog,
+//!
+//! * `parse(write(m))` succeeds and `write` is a parser **fixpoint**;
+//! * the reparsed module is structurally equal to the original;
+//! * the interpreter is **deterministic**: two runs of the same module
+//!   agree exactly (result and step count), and the reparsed module
+//!   replays the original's outcome;
+//! * churning through 1k parse→drop cycles keeps the thread-local
+//!   instruction slab **bounded** — the WIR arena recycles buffers
+//!   instead of growing without limit (see `docs/IR_CORE.md`).
+
+use siro_wir::{
+    generate_module, generate_straightline, parse_module, verify_module, wir_slab_depth,
+    write_module, WirMachine, WirVersion,
+};
+
+/// Matches `SLAB_MAX` in `siro-ir`'s arena core; the recycling slab never
+/// parks more than this many buffers per thread.
+const SLAB_BOUND: usize = 64;
+
+const SEEDS_PER_VERSION: u64 = 200;
+
+#[test]
+fn parse_write_round_trip_is_a_fixpoint_for_every_version() {
+    for version in WirVersion::CATALOG {
+        for seed in 0..SEEDS_PER_VERSION {
+            let m = generate_module(seed, version);
+            verify_module(&m).unwrap_or_else(|e| panic!("wir{version} seed {seed}: {e}"));
+            let text = write_module(&m);
+            let reparsed = parse_module(&text)
+                .unwrap_or_else(|e| panic!("wir{version} seed {seed}: parse failed: {e}"));
+            assert_eq!(
+                reparsed, m,
+                "wir{version} seed {seed}: reparse is not structural identity"
+            );
+            assert_eq!(
+                write_module(&reparsed),
+                text,
+                "wir{version} seed {seed}: write is not a parser fixpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn straightline_generator_round_trips_too() {
+    for version in WirVersion::CATALOG {
+        for seed in 0..SEEDS_PER_VERSION {
+            let m = generate_straightline(seed, version);
+            verify_module(&m).unwrap_or_else(|e| panic!("wir{version} seed {seed}: {e}"));
+            let text = write_module(&m);
+            let reparsed = parse_module(&text)
+                .unwrap_or_else(|e| panic!("wir{version} seed {seed}: parse failed: {e}"));
+            assert_eq!(write_module(&reparsed), text, "wir{version} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn interpreter_is_deterministic_and_survives_reparse() {
+    for version in WirVersion::CATALOG {
+        for seed in 0..SEEDS_PER_VERSION {
+            let m = generate_module(seed, version);
+            let a = WirMachine::new(&m).run_main();
+            let b = WirMachine::new(&m).run_main();
+            assert_eq!(a, b, "wir{version} seed {seed}: nondeterministic run");
+            let reparsed = parse_module(&write_module(&m)).expect("round trip");
+            let c = WirMachine::new(&reparsed).run_main();
+            assert_eq!(
+                a, c,
+                "wir{version} seed {seed}: reparse changed the outcome"
+            );
+        }
+    }
+}
+
+#[test]
+fn slab_depth_stays_bounded_across_1k_parses() {
+    // Pre-render the corpus so the churn loop below measures only the
+    // parse→drop cycle.
+    let texts: Vec<String> = (0..50u64)
+        .flat_map(|seed| {
+            WirVersion::CATALOG
+                .iter()
+                .map(move |&v| write_module(&generate_module(seed, v)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut max_depth = 0;
+    for i in 0..1000 {
+        let text = &texts[i % texts.len()];
+        let m = parse_module(text).expect("corpus text parses");
+        drop(m);
+        max_depth = max_depth.max(wir_slab_depth());
+    }
+    assert!(
+        max_depth <= SLAB_BOUND,
+        "WIR slab grew to {max_depth} parked buffers (bound {SLAB_BOUND}); \
+         arena recycling regressed"
+    );
+    assert!(
+        max_depth > 0,
+        "slab never parked a buffer; recycling is not engaged"
+    );
+}

@@ -6,6 +6,7 @@
 //! siro versions
 //! siro run program.sir
 //! siro translate --to 3.6 program.sir [-o out.sir] [--synthesized]
+//! siro translate --to wir2.0 program.sir        # cross-dialect (anchor-bridged)
 //! siro translate --remote 127.0.0.1:4799 --to 3.6 program.sir
 //! siro synthesize --from 13.0 --to 3.6 [--emit-code]
 //! siro difftest --pairs 13.0:3.6,17.0:12.0 --budget 60
@@ -13,8 +14,8 @@
 //! siro serve [--addr 127.0.0.1:4799] [--threads N] [--queue N] [--store DIR]
 //!           [--engine event|threaded] [--admission-rps N] [--admission-burst N]
 //! siro loadgen [--remote 127.0.0.1:4799] [--rates 1000,2000] [--connections N]
-//! siro route plan --from 13.0 --to 3.6 [--store DIR]
-//! siro route matrix [--store DIR]
+//! siro route plan --from 13.0 --to 3.6 [--store DIR] [--dialects]
+//! siro route matrix [--store DIR] [--dialects]
 //! siro store warm --dir DIR [--pairs 13.0:3.6,17.0:12.0]
 //! siro store ls --dir DIR
 //! siro store gc --dir DIR --max-bytes N
@@ -186,6 +187,13 @@ fn parse_version(s: &str) -> Result<IrVersion, String> {
     ))
 }
 
+/// Parses a dialect-qualified version: bare `13.0` is Siro, `wir2.0` (or
+/// `wir:2.0`) is the stack-machine family.
+fn parse_dialect_version(s: &str) -> Result<siro::ir::DialectVersion, String> {
+    s.parse()
+        .map_err(|_| format!("version `{s}` must look like `13.0` or `wir2.0`"))
+}
+
 fn parse_engine(s: &str) -> Result<EngineMode, String> {
     match s {
         "event" => Ok(EngineMode::Event),
@@ -310,7 +318,7 @@ fn corpus_tests(src: IrVersion, tgt: IrVersion) -> Vec<OracleTest> {
 }
 
 fn cmd_translate(args: &[String]) -> Result<(), String> {
-    let to = parse_version(flag_value(args, "--to").ok_or("missing --to <version>")?)?;
+    let to_any = parse_dialect_version(flag_value(args, "--to").ok_or("missing --to <version>")?)?;
     let [path] = positional(args)[..] else {
         return Err(
             "usage: siro translate --to <ver> <file> [-o <out>] [--synthesized] [--remote <addr>]"
@@ -318,7 +326,18 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
         );
     };
     if let Some(addr) = flag_value(args, "--remote") {
-        return cmd_translate_remote(args, addr, to, path);
+        return cmd_translate_remote(args, addr, to_any, path);
+    }
+    // A WIR endpoint (either side) goes through the dual-catalog router;
+    // the classic Siro→Siro paths below are untouched.
+    let Some(to) = to_any.as_siro() else {
+        return cmd_translate_cross(args, to_any, path);
+    };
+    {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        if siro::wir::parse::looks_like_wir(&text) {
+            return cmd_translate_cross(args, to_any, path);
+        }
     }
     let m = load_module(path)?;
     let skel = Skeleton::new(to);
@@ -339,20 +358,68 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     emit_module(&translated, flag_value(args, "-o"))
 }
 
+/// `siro translate` with a WIR endpoint on either side: parse whichever
+/// dialect the file holds, acquire a composed route over the dual catalog
+/// (WIR translator hops, anchor bridges), and emit the result in the
+/// target dialect. `--synthesized` is implied — there is no reference
+/// translator across dialects.
+fn cmd_translate_cross(
+    args: &[String],
+    to: siro::ir::DialectVersion,
+    path: &str,
+) -> Result<(), String> {
+    use siro::synth::{RouteOutcome, Router};
+    use siro::wir::any::AnyModule;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let m = AnyModule::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    m.verify()
+        .map_err(|e| format!("{path} does not verify: {e}"))?;
+    let source = m.dialect_version();
+    eprintln!("routing {source} -> {to} over the dual catalog ...");
+    let router = Router::with_wir();
+    let acquired = router
+        .acquire(source, to)
+        .map_err(|e| format!("no translator for {source} -> {to}: {e}"))?;
+    let out = match &acquired.outcome {
+        RouteOutcome::Composed(chain) => chain
+            .translate_any_owned(m)
+            .map_err(|e| format!("translation failed: {e}"))?,
+        RouteOutcome::Direct(_) => {
+            return Err("cross-dialect request resolved to a direct Siro translator".into())
+        }
+    };
+    out.verify()
+        .map_err(|e| format!("output does not verify: {e}"))?;
+    let rendered = out.print();
+    match flag_value(args, "-o") {
+        Some(out_path) => {
+            std::fs::write(out_path, rendered).map_err(|e| format!("writing {out_path}: {e}"))
+        }
+        None => {
+            print!("{rendered}");
+            Ok(())
+        }
+    }
+}
+
 /// `siro translate --remote`: ship the module text to a daemon and emit
 /// what comes back. The daemon parses/verifies server-side, so this path
 /// deliberately does not parse locally — the wire carries the raw text.
 fn cmd_translate_remote(
     args: &[String],
     addr: &str,
-    to: IrVersion,
+    to: siro::ir::DialectVersion,
     path: &str,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let source = parse::parse_module(&text)
+    let source = siro::wir::any::AnyModule::parse(&text)
         .map_err(|e| format!("parsing {path}: {e}"))?
-        .version;
-    let mode = if args.iter().any(|a| a == "--synthesized") {
+        .dialect_version();
+    // Cross-dialect pairs have no reference translator: imply
+    // `--synthesized` so the daemon routes instead of rejecting.
+    let cross = source.as_siro().is_none() || to.as_siro().is_none();
+    let mode = if cross || args.iter().any(|a| a == "--synthesized") {
         TranslateMode::Synthesized
     } else {
         TranslateMode::Reference
@@ -572,7 +639,8 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
 fn cmd_route(args: &[String]) -> Result<(), String> {
     use siro::synth::{self, Router, StoreConfig, TranslatorStore, ValidationMode};
 
-    const USAGE: &str = "usage: siro route <plan|matrix> [--from <ver> --to <ver>] [--store <dir>]";
+    const USAGE: &str = "usage: siro route <plan|matrix> [--from <ver> --to <ver>] \
+                         [--store <dir>] [--dialects]";
     let sub = args.first().map(String::as_str).ok_or(USAGE)?;
     let previous = match flag_value(args, "--store") {
         Some(dir) => {
@@ -586,11 +654,18 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let router = Router::new();
+    // `--dialects` widens the node set to both catalogs (WIR versions and
+    // the anchor bridges); the default stays Siro-only.
+    let router = if args.iter().any(|a| a == "--dialects") {
+        Router::with_wir()
+    } else {
+        Router::new()
+    };
     let result = match sub {
         "plan" => {
-            let from = parse_version(flag_value(args, "--from").ok_or("missing --from <ver>")?)?;
-            let to = parse_version(flag_value(args, "--to").ok_or("missing --to <ver>")?)?;
+            let from =
+                parse_dialect_version(flag_value(args, "--from").ok_or("missing --from <ver>")?)?;
+            let to = parse_dialect_version(flag_value(args, "--to").ok_or("missing --to <ver>")?)?;
             match router.plan(from, to) {
                 Some(plan) => {
                     println!("{}", plan.describe());
@@ -610,10 +685,10 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
             }
         }
         "matrix" => {
-            let nodes = IrVersion::CATALOG;
+            let nodes = router.graph().nodes().to_vec();
             let matrix = router.matrix();
             print!("{:>6} |", "from\\to");
-            for v in nodes {
+            for v in &nodes {
                 print!("{:>6}", v.to_string());
             }
             println!();

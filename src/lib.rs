@@ -18,4 +18,5 @@ pub use siro_study as study;
 pub use siro_synth as synth;
 pub use siro_testcases as testcases;
 pub use siro_trace as trace;
+pub use siro_wir as wir;
 pub use siro_workloads as workloads;

@@ -13,6 +13,11 @@
 //! refactors: the goldens were generated from the pre-arena tree and must
 //! keep passing bit-for-bit afterwards.
 //!
+//! The suite is dialect-generic: a parallel WIR section pins the same
+//! contract (text, verify verdict, reparse fixpoint, interpreter outcome)
+//! for every version in [`WirVersion::CATALOG`] — the `wir_conformance`
+//! CI lane runs exactly these `wir_*` tests.
+//!
 //! Regenerate deliberately with:
 //!
 //! ```text
@@ -27,6 +32,7 @@ use std::sync::Arc;
 use siro::core::Skeleton;
 use siro::ir::{interp, parse, verify, write, IrVersion, Module, Opcode};
 use siro::synth::{OracleTest, SynthesisConfig, SynthesisOutcome, TranslatorCache};
+use siro::wir::{self, WKind, WirModule, WirVersion};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/ir_conformance")
@@ -212,6 +218,191 @@ fn corpus_covers_every_opcode_kind() {
     assert!(
         missing.is_empty(),
         "conformance corpus misses opcode kinds: {missing:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// WIR: the second dialect's conformance section
+// ---------------------------------------------------------------------------
+
+fn wir_version_slug(v: WirVersion) -> String {
+    format!("wir{}_{}", v.major(), v.minor())
+}
+
+/// Deterministic WIR corpus for one version: seeded full-feature generator
+/// modules (blocks, loops, branches, calls — everything the version's
+/// instruction set gates in) plus straight-line modules from the
+/// bridge-facing generator.
+fn wir_corpus(version: WirVersion) -> Vec<(String, WirModule)> {
+    use siro::wir::{WBin, WTy, WirFunc, WirInst};
+
+    let mut out = Vec::new();
+
+    // Hand-written cases covering the corners the generator avoids:
+    // cross-function calls, unconditional branches, nop, and the two
+    // division trap kinds (the semantics the cross-dialect bridge hinges
+    // on — pinned here per version so a drift is caught at the dialect
+    // layer, not just in the bridge tests).
+    let mut m = WirModule::new("call_helper", version);
+    let mut h = WirFunc::new("add2", vec![WTy::I32, WTy::I32], Some(WTy::I32));
+    h.body.alloc(WirInst::LocalGet(0));
+    h.body.alloc(WirInst::LocalGet(1));
+    h.body.alloc(WirInst::Binop(WTy::I32, WBin::Add));
+    h.body.alloc(WirInst::Return);
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    f.body.alloc(WirInst::Const(WTy::I32, 40));
+    f.body.alloc(WirInst::Const(WTy::I32, 2));
+    f.body.alloc(WirInst::Call(0));
+    f.body.alloc(WirInst::Return);
+    m.funcs.push(h);
+    m.funcs.push(f);
+    out.push(("case:call-helper".to_string(), m));
+
+    let mut m = WirModule::new("br_skip_nop", version);
+    let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+    let l = f.alloc_local(WTy::I32);
+    f.body.alloc(WirInst::Block);
+    f.body.alloc(WirInst::Br(0));
+    f.body.alloc(WirInst::End);
+    f.body.alloc(WirInst::Nop);
+    f.body.alloc(WirInst::LocalGet(l));
+    f.body.alloc(WirInst::Return);
+    m.funcs.push(f);
+    out.push(("case:br-skip-nop".to_string(), m));
+
+    for (name, divisor) in [("div-by-zero", 0i64), ("sdiv-overflow", -1i64)] {
+        let mut m = WirModule::new(name.replace('-', "_"), version);
+        let mut f = WirFunc::new("main", vec![], Some(WTy::I32));
+        f.body.alloc(WirInst::Const(WTy::I32, i64::from(i32::MIN)));
+        f.body.alloc(WirInst::Const(WTy::I32, divisor));
+        f.body.alloc(WirInst::Binop(WTy::I32, WBin::DivS));
+        f.body.alloc(WirInst::Return);
+        m.funcs.push(f);
+        out.push((format!("case:{name}"), m));
+    }
+
+    let seed = 0x51D0_C0DE ^ (u64::from(version.major()) << 8) ^ u64::from(version.minor());
+    for i in 0..8u64 {
+        out.push((
+            format!("gen:full-{i}"),
+            wir::generate_module(seed ^ (i << 16), version),
+        ));
+    }
+    for i in 0..4u64 {
+        out.push((
+            format!("gen:straightline-{i}"),
+            wir::generate_straightline(seed ^ (i << 24), version),
+        ));
+    }
+    out
+}
+
+/// The WIR analogue of [`dump_module`]: text, verify verdict, reparse
+/// verdict, and interpreter outcome (result + step count).
+fn dump_wir_module(name: &str, module: &WirModule) -> String {
+    let mut s = String::new();
+    let text = wir::write_module(module);
+    writeln!(s, "== {name} ==").unwrap();
+    writeln!(s, "-- text ({} bytes) --", text.len()).unwrap();
+    s.push_str(&text);
+    if !text.ends_with('\n') {
+        s.push('\n');
+    }
+    let verdict = wir::verify_module(module);
+    match &verdict {
+        Ok(()) => writeln!(s, "-- verify: ok --").unwrap(),
+        Err(e) => writeln!(s, "-- verify: error: {e} --").unwrap(),
+    }
+    match wir::parse_module(&text) {
+        Ok(reparsed) => {
+            if wir::write_module(&reparsed) == text {
+                writeln!(s, "-- reparse: ok (fixpoint) --").unwrap();
+            } else {
+                writeln!(s, "-- reparse: ok (NOT a fixpoint) --").unwrap();
+            }
+        }
+        Err(e) => writeln!(s, "-- reparse: error: {e} --").unwrap(),
+    }
+    if verdict.is_ok() {
+        let outcome = wir::WirMachine::new(module)
+            .with_fuel(wir::DEFAULT_FUEL)
+            .run_main();
+        writeln!(s, "-- interp --").unwrap();
+        writeln!(s, "result: {:?}", outcome.result).unwrap();
+        writeln!(s, "steps: {}", outcome.steps).unwrap();
+    } else {
+        writeln!(s, "-- interp: skipped (verify failed) --").unwrap();
+    }
+    s.push('\n');
+    s
+}
+
+fn dump_wir_version(version: WirVersion) -> String {
+    let mut s = format!("# siro-wir conformance dump, version {version}\n\n");
+    for (name, module) in wir_corpus(version) {
+        s.push_str(&dump_wir_module(&name, &module));
+    }
+    s
+}
+
+/// The WIR headline check: for every version in the WIR catalog the full
+/// corpus dump (text, verify verdict, reparse verdict, interpreter
+/// outcome) must be byte-identical to the committed golden.
+#[test]
+fn wir_golden_corpus_is_byte_identical_for_every_version() {
+    for version in WirVersion::CATALOG {
+        let rendered = dump_wir_version(version);
+        check_or_regen(&format!("{}.txt", wir_version_slug(version)), &rendered);
+    }
+}
+
+/// WIR writer output must be a parser fixpoint, and the reparsed module
+/// must agree on the verifier verdict and interpreter outcome.
+#[test]
+fn wir_write_parse_write_is_a_fixpoint_and_preserves_behavior() {
+    for version in WirVersion::CATALOG {
+        for (name, module) in wir_corpus(version) {
+            let text = wir::write_module(&module);
+            let reparsed = wir::parse_module(&text)
+                .unwrap_or_else(|e| panic!("wir{version} {name}: reparse failed: {e}"));
+            assert_eq!(
+                wir::write_module(&reparsed),
+                text,
+                "wir{version} {name}: not a print fixpoint"
+            );
+            let v1 = wir::verify_module(&module).map_err(|e| e.to_string());
+            let v2 = wir::verify_module(&reparsed).map_err(|e| e.to_string());
+            assert_eq!(v1, v2, "wir{version} {name}: verify verdict changed");
+            if v1.is_ok() {
+                let o1 = wir::WirMachine::new(&module).run_main();
+                let o2 = wir::WirMachine::new(&reparsed).run_main();
+                assert_eq!(o1.result, o2.result, "wir{version} {name}: result");
+                assert_eq!(o1.steps, o2.steps, "wir{version} {name}: steps");
+            }
+        }
+    }
+}
+
+/// The WIR corpus must exercise the complete instruction catalog at the
+/// newest version, mirroring [`corpus_covers_every_opcode_kind`].
+#[test]
+fn wir_corpus_covers_every_instruction_kind() {
+    let mut seen: BTreeSet<WKind> = BTreeSet::new();
+    for (_, module) in wir_corpus(WirVersion::W3_0) {
+        for f in &module.funcs {
+            for inst in f.body.iter() {
+                seen.insert(inst.kind());
+            }
+        }
+    }
+    let missing: Vec<WKind> = WKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| !seen.contains(k))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "WIR conformance corpus misses instruction kinds: {missing:?}"
     );
 }
 
